@@ -1,0 +1,101 @@
+// Ablation of the paper's efficiency ladder (§IV-C): the same FVAE trained
+// under an equal wall-clock budget with
+//   (a) legacy full softmax over every known feature,
+//   (b) batched softmax (batch-union candidates), no feature sampling,
+//   (c) batched softmax + uniform feature sampling r = 0.1.
+// Reports training progress (steps, users/s), the candidate-set sizes each
+// variant actually scored, and the tag-prediction AUC reached within the
+// budget — showing each trick's contribution to the Table V speedups.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+
+namespace fvae::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool batched_softmax;
+  core::SamplingStrategy strategy;
+  double rate;
+};
+
+int Run() {
+  PrintBanner("Ablation — full softmax vs batched softmax vs + sampling",
+              "FVAE paper §IV-C (efficiency ladder behind Table V)");
+  const Scale scale = GetScale();
+  const GeneratedProfiles gen = MakeShortContent(scale, /*seed=*/2040);
+  std::printf("dataset: %s\n\n", gen.dataset.Summary().c_str());
+
+  constexpr size_t kTagField = 3;
+  const std::vector<uint32_t> eval_users =
+      EvalUsers(gen.dataset, ByScale<size_t>(scale, 200, 800, 2000));
+  const double budget = ByScale<double>(scale, 4.0, 20.0, 60.0);
+
+  const Variant variants[] = {
+      {"full-softmax", false, core::SamplingStrategy::kNone, 1.0},
+      {"batched", true, core::SamplingStrategy::kNone, 1.0},
+      {"batched+r=0.1", true, core::SamplingStrategy::kUniform, 0.1},
+  };
+
+  std::printf("%-15s  %-7s  %-10s  %-18s  %s\n", "variant", "steps",
+              "users/s", "tag candidates", "tag AUC");
+  for (const Variant& variant : variants) {
+    core::FvaeConfig config = DefaultFvaeConfig(scale, 51);
+    config.batched_softmax = variant.batched_softmax;
+    config.sampling_strategy = variant.strategy;
+    config.sampling_rate = variant.rate;
+    core::FieldVae model(config, gen.dataset.fields());
+
+    core::TrainOptions options;
+    options.batch_size = 256;
+    options.epochs = 1000000;
+    options.time_budget_seconds = budget;
+    const core::TrainResult result =
+        core::TrainFvae(model, gen.dataset, options);
+
+    // Evaluate what the budget bought.
+    class Wrapper : public eval::RepresentationModel {
+     public:
+      explicit Wrapper(core::FieldVae* model) : model_(model) {}
+      std::string Name() const override { return "fvae"; }
+      void Fit(const MultiFieldDataset&) override {}
+      Matrix Embed(const MultiFieldDataset& data,
+                   std::span<const uint32_t> users) const override {
+        return model_->Encode(data, users);
+      }
+      Matrix Score(const MultiFieldDataset& input,
+                   std::span<const uint32_t> users, size_t field,
+                   std::span<const uint64_t> candidates) const override {
+        return model_->EncodeAndScore(input, users, field, candidates);
+      }
+
+     private:
+      core::FieldVae* model_;
+    } wrapper(&model);
+    Rng task_rng(53);
+    const eval::TaskMetrics metrics = eval::RunTagPrediction(
+        wrapper, gen.dataset, eval_users, kTagField,
+        gen.field_vocab[kTagField], task_rng);
+
+    std::printf("%-15s  %-7zu  %-10.1f  %-18.1f  %.4f\n", variant.name,
+                result.steps, result.UsersPerSecond(),
+                result.mean_candidates_per_field[kTagField], metrics.auc);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: each rung multiplies throughput; within a fixed\n"
+      "budget the cheaper variants take far more steps and reach at least\n"
+      "comparable AUC — the justification for §IV-C.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvae::bench
+
+int main() { return fvae::bench::Run(); }

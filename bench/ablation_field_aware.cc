@@ -1,0 +1,174 @@
+// Ablation of the paper's core modeling claim: field-aware per-field
+// multinomials vs ONE multinomial over the flattened feature space, with
+// everything else held equal (same encoder, same batched softmax + dynamic
+// hashing efficiency). The single-field variant is an FVAE trained on a
+// view of the dataset where all fields are merged into one, so the only
+// difference is the decoder's likelihood factorization.
+//
+// Reports per-field tag-prediction / reconstruction AUC. The field-aware
+// decoder should win per field (the paper's Table II/III argument isolated
+// from the efficiency tricks).
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+
+namespace fvae::bench {
+namespace {
+
+/// Mixes (field, id) into a single collision-resistant 64-bit key so the
+/// merged view keeps fields distinct in one namespace.
+uint64_t MergeId(uint32_t field, uint64_t id) {
+  uint64_t z = id + (uint64_t(field) + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Flattens all fields of `source` into one field.
+MultiFieldDataset MergeFields(const MultiFieldDataset& source) {
+  MultiFieldDataset::Builder builder({FieldSchema{"all", true}});
+  std::vector<std::vector<FeatureEntry>> per_field(1);
+  for (size_t u = 0; u < source.num_users(); ++u) {
+    per_field[0].clear();
+    for (size_t k = 0; k < source.num_fields(); ++k) {
+      for (const FeatureEntry& e : source.UserField(u, k)) {
+        per_field[0].push_back(
+            {MergeId(static_cast<uint32_t>(k), e.id), e.value});
+      }
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+/// RepresentationModel facade over an FVAE trained on the merged view:
+/// translates multi-field inputs/candidates into the merged namespace.
+class MergedFvae : public eval::RepresentationModel {
+ public:
+  MergedFvae(const core::FvaeConfig& config,
+             const core::TrainOptions& options)
+      : config_(config), options_(options) {}
+
+  std::string Name() const override { return "single-multinomial"; }
+
+  void Fit(const MultiFieldDataset& train) override {
+    merged_train_ = MergeFields(train);
+    model_ = std::make_unique<core::FieldVae>(config_,
+                                              merged_train_.fields());
+    core::TrainFvae(*model_, merged_train_, options_);
+  }
+
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override {
+    const MultiFieldDataset merged = MergeFields(data);
+    return model_->Encode(merged, users);
+  }
+
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override {
+    const MultiFieldDataset merged = MergeFields(input);
+    const Matrix z = model_->Encode(merged, users);
+    std::vector<uint64_t> merged_candidates;
+    merged_candidates.reserve(candidates.size());
+    for (uint64_t id : candidates) {
+      merged_candidates.push_back(
+          MergeId(static_cast<uint32_t>(field), id));
+    }
+    return model_->ScoreField(z, 0, merged_candidates);
+  }
+
+ private:
+  core::FvaeConfig config_;
+  core::TrainOptions options_;
+  MultiFieldDataset merged_train_;
+  std::unique_ptr<core::FieldVae> model_;
+};
+
+int Run() {
+  PrintBanner("Ablation — field-aware decoder vs single multinomial",
+              "FVAE paper §IV-A (the model contribution in isolation)");
+  const Scale scale = GetScale();
+  const GeneratedProfiles gen = MakeShortContent(scale, /*seed=*/2041);
+  std::printf("dataset: %s\n\n", gen.dataset.Summary().c_str());
+
+  constexpr size_t kTagField = 3;
+  // Held-out evaluation users (paper protocol).
+  const HeldOutUsers user_split = SplitHeldOutUsers(
+      gen.dataset, 0.2, ByScale<size_t>(scale, 200, 800, 2000));
+
+  core::FvaeConfig config = SweepFvaeConfig(scale, 61);
+  core::TrainOptions options = SweepTrainOptions(scale);
+
+  // Field-aware FVAE.
+  baselines::FvaeAdapter field_aware(config, options);
+  std::printf("training field-aware FVAE...\n");
+  field_aware.Fit(user_split.train);
+
+  // Single-multinomial control.
+  MergedFvae merged(config, options);
+  std::printf("training single-multinomial control...\n");
+  merged.Fit(user_split.train);
+
+  Rng rng1(63), rng2(63);
+  const eval::TaskMetrics fa = eval::RunTagPrediction(
+      field_aware, gen.dataset, user_split.test_users, kTagField,
+      gen.field_vocab[kTagField], rng1);
+  const eval::TaskMetrics sm = eval::RunTagPrediction(
+      merged, gen.dataset, user_split.test_users, kTagField,
+      gen.field_vocab[kTagField], rng2);
+
+  std::printf("\n%-22s  %-8s  %-8s\n", "decoder", "tag AUC", "tag mAP");
+  std::printf("%-22s  %.4f    %.4f\n", "field-aware (FVAE)", fa.auc, fa.map);
+  std::printf("%-22s  %.4f    %.4f\n", "single multinomial", sm.auc, sm.map);
+
+  // Per-field reconstruction comparison.
+  Rng split_rng(65);
+  const ReconstructionSplit split =
+      HoldOutWithinUsers(gen.dataset, 0.3, split_rng);
+  const size_t num_train =
+      gen.dataset.num_users() - user_split.test_users.size();
+  std::vector<uint32_t> train_users(num_train);
+  std::iota(train_users.begin(), train_users.end(), 0u);
+  const MultiFieldDataset recon_train = Subset(split.input, train_users);
+  baselines::FvaeAdapter field_aware_r(config, options);
+  field_aware_r.Fit(recon_train);
+  MergedFvae merged_r(config, options);
+  merged_r.Fit(recon_train);
+  Rng rng3(67), rng4(67);
+  const eval::ReconstructionMetrics fa_rec = eval::RunReconstruction(
+      field_aware_r, gen.dataset, split, user_split.test_users,
+      gen.field_vocab, rng3);
+  const eval::ReconstructionMetrics sm_rec = eval::RunReconstruction(
+      merged_r, gen.dataset, split, user_split.test_users,
+      gen.field_vocab, rng4);
+
+  std::printf("\nreconstruction AUC per field:\n%-22s", "decoder");
+  for (size_t k = 0; k < gen.dataset.num_fields(); ++k) {
+    std::printf("  %-7s", gen.dataset.field(k).name.c_str());
+  }
+  std::printf("  overall\n%-22s", "field-aware (FVAE)");
+  for (size_t k = 0; k < gen.dataset.num_fields(); ++k) {
+    std::printf("  %.4f ", fa_rec.per_field[k].auc);
+  }
+  std::printf("  %.4f\n%-22s", fa_rec.overall.auc, "single multinomial");
+  for (size_t k = 0; k < gen.dataset.num_fields(); ++k) {
+    std::printf("  %.4f ", sm_rec.per_field[k].auc);
+  }
+  std::printf("  %.4f\n", sm_rec.overall.auc);
+
+  std::printf(
+      "\nExpected shape: field-aware wins per field; the single\n"
+      "multinomial is competitive on 'overall' (globally comparable\n"
+      "scores) — the paper's Table II trade-off, isolated.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvae::bench
+
+int main() { return fvae::bench::Run(); }

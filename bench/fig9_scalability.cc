@@ -1,0 +1,94 @@
+// Reproduces Fig. 9: FVAE training-time scalability on Barabasi-Albert
+// synthetic data. Two sweeps, as in the paper:
+//   (a) vary the average feature size per user with the max feature count
+//       fixed (paper: 1e5) -> time must grow ~linearly;
+//   (b) vary the max feature count with the average feature size fixed
+//       (paper: 200) -> time must stay ~flat.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+#include "datagen/barabasi_albert.h"
+
+namespace fvae::bench {
+namespace {
+
+double TimeOneEpoch(const MultiFieldDataset& data, Scale scale) {
+  core::FvaeConfig config = SweepFvaeConfig(scale, 121);
+  config.sampling_rate = 0.1;
+  core::FieldVae model(config, data.fields());
+  core::TrainOptions options;
+  // Modest batches keep the batch-union candidate sets well below the
+  // vocabulary cap, so sweep (a) stays in the linear (unsaturated) regime
+  // the paper plots.
+  options.batch_size = 128;
+  options.epochs = 1;
+  const core::TrainResult result = core::TrainFvae(model, data, options);
+  return result.seconds;
+}
+
+int Run() {
+  PrintBanner("Fig. 9 — scalability on Barabasi-Albert synthetic data",
+              "FVAE paper, Fig. 9");
+  const Scale scale = GetScale();
+  const size_t num_users = ByScale<size_t>(scale, 500, 4000, 20000);
+  const size_t fixed_max = ByScale<size_t>(scale, 20000, 100000, 100000);
+  const size_t fixed_avg = ByScale<size_t>(scale, 50, 200, 200);
+
+  std::printf("\n(a) time vs AVERAGE feature size (max fixed at %zu)\n",
+              fixed_max);
+  std::printf("%-12s  %-12s  %s\n", "avg features", "epoch time", "ratio");
+  double first_time = 0.0;
+  size_t first_avg = 0;
+  for (size_t avg :
+       {fixed_avg / 4, fixed_avg / 2, fixed_avg, fixed_avg * 2}) {
+    BarabasiAlbertConfig ba;
+    ba.num_users = num_users;
+    ba.features_per_user = avg;
+    ba.max_features = fixed_max;
+    ba.seed = 131;
+    const MultiFieldDataset data = GenerateBarabasiAlbert(ba);
+    const double seconds = TimeOneEpoch(data, scale);
+    if (first_time == 0.0) {
+      first_time = seconds;
+      first_avg = avg;
+    }
+    // Ratio normalized by the workload ratio: ~1 means linear scaling.
+    const double workload_ratio = double(avg) / double(first_avg);
+    std::printf("%-12zu  %-12.2fs  %.2f (vs linear %.2f)\n", avg, seconds,
+                seconds / first_time, workload_ratio);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(b) time vs MAX feature count (avg fixed at %zu)\n",
+              fixed_avg);
+  std::printf("%-12s  %-12s  %s\n", "max features", "epoch time", "ratio");
+  first_time = 0.0;
+  for (size_t max_features :
+       {fixed_max / 100, fixed_max / 10, fixed_max / 2, fixed_max}) {
+    BarabasiAlbertConfig ba;
+    ba.num_users = num_users;
+    ba.features_per_user = fixed_avg;
+    ba.max_features = max_features;
+    ba.seed = 137;
+    const MultiFieldDataset data = GenerateBarabasiAlbert(ba);
+    const double seconds = TimeOneEpoch(data, scale);
+    if (first_time == 0.0) first_time = seconds;
+    std::printf("%-12zu  %-12.2fs  %.2f\n", max_features, seconds,
+                seconds / first_time);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: sweep (a) time ratios track the linear workload\n"
+      "ratios; sweep (b) ratios stay near 1 (paper Fig. 9).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvae::bench
+
+int main() { return fvae::bench::Run(); }

@@ -1,0 +1,96 @@
+#ifndef FVAE_BENCH_MODEL_ZOO_H_
+#define FVAE_BENCH_MODEL_ZOO_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/fvae_adapter.h"
+#include "baselines/lda.h"
+#include "baselines/mult_vae.h"
+#include "baselines/pca.h"
+#include "baselines/skipgram.h"
+#include "bench/bench_common.h"
+#include "eval/representation_model.h"
+
+namespace fvae::bench {
+
+/// Builds the full Table II/III model zoo: PCA, LDA, Item2Vec, Mult-DAE,
+/// Mult-VAE, RecVAE, Job2Vec, FVAE — in the paper's row order.
+inline std::vector<std::unique_ptr<eval::RepresentationModel>> BuildAllModels(
+    Scale scale, uint64_t seed) {
+  std::vector<std::unique_ptr<eval::RepresentationModel>> models;
+
+  {
+    baselines::PcaModel::Options options;
+    options.latent_dim = ByScale<size_t>(scale, 16, 32, 64);
+    options.seed = seed + 1;
+    models.push_back(std::make_unique<baselines::PcaModel>(options));
+  }
+  {
+    baselines::LdaModel::Options options;
+    options.num_topics = ByScale<size_t>(scale, 16, 32, 64);
+    options.passes = ByScale<size_t>(scale, 2, 4, 6);
+    options.seed = seed + 2;
+    models.push_back(std::make_unique<baselines::LdaModel>(options));
+  }
+  {
+    baselines::SkipGramModel::Options options;
+    options.variant = baselines::SkipGramModel::Variant::kItem2Vec;
+    options.embedding_dim = ByScale<size_t>(scale, 32, 64, 64);
+    options.epochs = ByScale<size_t>(scale, 4, 10, 12);
+    options.contexts_per_center = 8;
+    options.seed = seed + 3;
+    models.push_back(std::make_unique<baselines::SkipGramModel>(options));
+  }
+  {
+    baselines::MultVaeModel::Options options;
+    options.variant = baselines::MultVaeModel::Variant::kDae;
+    options.hidden_dim = ByScale<size_t>(scale, 32, 64, 128);
+    options.latent_dim = ByScale<size_t>(scale, 16, 32, 64);
+    options.epochs = ByScale<size_t>(scale, 6, 10, 15);
+    options.seed = seed + 4;
+    models.push_back(std::make_unique<baselines::MultVaeModel>(options));
+  }
+  {
+    baselines::MultVaeModel::Options options;
+    options.variant = baselines::MultVaeModel::Variant::kVae;
+    options.hidden_dim = ByScale<size_t>(scale, 32, 64, 128);
+    options.latent_dim = ByScale<size_t>(scale, 16, 32, 64);
+    options.epochs = ByScale<size_t>(scale, 6, 10, 15);
+    options.beta = 0.1f;
+    options.anneal_steps = ByScale<size_t>(scale, 30, 150, 600);
+    options.seed = seed + 5;
+    models.push_back(std::make_unique<baselines::MultVaeModel>(options));
+  }
+  {
+    baselines::MultVaeModel::Options options;
+    options.variant = baselines::MultVaeModel::Variant::kRecVae;
+    options.hidden_dim = ByScale<size_t>(scale, 32, 64, 128);
+    options.latent_dim = ByScale<size_t>(scale, 16, 32, 64);
+    options.epochs = ByScale<size_t>(scale, 6, 10, 15);
+    options.beta = 0.1f;
+    options.anneal_steps = ByScale<size_t>(scale, 30, 150, 600);
+    options.seed = seed + 6;
+    models.push_back(std::make_unique<baselines::MultVaeModel>(options));
+  }
+  {
+    baselines::SkipGramModel::Options options;
+    options.variant = baselines::SkipGramModel::Variant::kJob2Vec;
+    options.embedding_dim = ByScale<size_t>(scale, 32, 64, 64);
+    options.epochs = ByScale<size_t>(scale, 4, 10, 12);
+    options.contexts_per_center = 8;
+    options.seed = seed + 7;
+    models.push_back(std::make_unique<baselines::SkipGramModel>(options));
+  }
+  {
+    core::FvaeConfig config = DefaultFvaeConfig(scale, seed + 8);
+    core::TrainOptions options = DefaultTrainOptions(scale);
+    models.push_back(
+        std::make_unique<baselines::FvaeAdapter>(config, options));
+  }
+  return models;
+}
+
+}  // namespace fvae::bench
+
+#endif  // FVAE_BENCH_MODEL_ZOO_H_

@@ -1,0 +1,98 @@
+// Reproduces Table IV: tag prediction on the billion-scale datasets (KD,
+// QB) for the methods that scale — PCA, LDA, Item2Vec, and FVAE at
+// sampling rates r = 0.05 and r = 0.1. (The paper excludes Mult-DAE/VAE,
+// RecVAE and Job2Vec here for scalability reasons; so do we.)
+//
+// Our KD/QB stand-ins are scaled-down power-law synthetics (DESIGN.md §5);
+// the shape to verify is FVAE(r=.1) >= FVAE(r=.05) > Item2Vec > LDA > PCA.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/lda.h"
+#include "baselines/pca.h"
+#include "baselines/skipgram.h"
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace fvae::bench {
+namespace {
+
+void RunDataset(const char* name, const GeneratedProfiles& gen,
+                Scale scale) {
+  std::printf("\n--- %s: %s ---\n", name, gen.dataset.Summary().c_str());
+  constexpr size_t kTagField = 3;
+  const HeldOutUsers split = SplitHeldOutUsers(
+      gen.dataset, 0.1, ByScale<size_t>(scale, 300, 1200, 3000));
+
+  struct Row {
+    std::string name;
+    std::unique_ptr<eval::RepresentationModel> model;
+  };
+  std::vector<Row> rows;
+  {
+    baselines::PcaModel::Options options;
+    options.latent_dim = ByScale<size_t>(scale, 16, 32, 64);
+    rows.push_back({"PCA", std::make_unique<baselines::PcaModel>(options)});
+  }
+  {
+    baselines::LdaModel::Options options;
+    options.num_topics = ByScale<size_t>(scale, 16, 32, 64);
+    options.passes = ByScale<size_t>(scale, 2, 3, 4);
+    rows.push_back({"LDA", std::make_unique<baselines::LdaModel>(options)});
+  }
+  {
+    baselines::SkipGramModel::Options options;
+    options.variant = baselines::SkipGramModel::Variant::kItem2Vec;
+    options.embedding_dim = ByScale<size_t>(scale, 32, 64, 64);
+    options.epochs = ByScale<size_t>(scale, 4, 6, 8);
+    options.contexts_per_center = 8;
+    rows.push_back(
+        {"Item2Vec", std::make_unique<baselines::SkipGramModel>(options)});
+  }
+  for (double rate : {0.05, 0.1}) {
+    core::FvaeConfig config = DefaultFvaeConfig(GetScale(), 31);
+    config.sampling_rate = rate;
+    core::TrainOptions options = DefaultTrainOptions(GetScale());
+    // The KD/QB stand-ins have many more users than SC; fewer epochs reach
+    // the same number of updates per parameter.
+    options.epochs = ByScale<size_t>(GetScale(), 6, 10, 14);
+    auto adapter =
+        std::make_unique<baselines::FvaeAdapter>(config, options);
+    char label[32];
+    std::snprintf(label, sizeof(label), "FVAE(r=%.2f)", rate);
+    adapter->set_name(label);
+    rows.push_back({label, std::move(adapter)});
+  }
+
+  std::printf("%-14s  %-8s  %-8s  %s\n", "Method", "AUC", "mAP", "fit time");
+  for (Row& row : rows) {
+    Stopwatch watch;
+    row.model->Fit(split.train);
+    Rng task_rng(77);
+    const eval::TaskMetrics metrics =
+        eval::RunTagPrediction(*row.model, gen.dataset, split.test_users,
+                               kTagField, gen.field_vocab[kTagField],
+                               task_rng);
+    std::printf("%-14s  %.4f    %.4f    %.1fs\n", row.name.c_str(),
+                metrics.auc, metrics.map, watch.ElapsedSeconds());
+    std::fflush(stdout);
+  }
+}
+
+int Run() {
+  PrintBanner("Table IV — tag prediction at billion scale (KD, QB)",
+              "FVAE paper, Table IV");
+  const Scale scale = GetScale();
+  RunDataset("KD (Kandian stand-in)", MakeKandian(scale, 2024), scale);
+  RunDataset("QB (QQ Browser stand-in)", MakeQQBrowser(scale, 2025), scale);
+  std::printf(
+      "\nExpected shape: FVAE variants clearly ahead; r=0.1 >= r=0.05;\n"
+      "Item2Vec > LDA > PCA among baselines.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvae::bench
+
+int main() { return fvae::bench::Run(); }

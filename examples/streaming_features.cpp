@@ -1,0 +1,66 @@
+// Demonstrates the open-vocabulary property of the dynamic hash tables
+// (paper §IV-C1): the model keeps training as brand-new feature IDs arrive
+// — no re-indexing, no feature hashing, no collisions.
+//
+//   ./build/examples/streaming_features
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+#include "datagen/profile_generator.h"
+
+int main() {
+  using namespace fvae;
+
+  // Day 1: an initial batch of users with the day-1 vocabulary.
+  ProfileGeneratorConfig day1 = ShortContentConfig(600, /*seed=*/1);
+  day1.fields[3].vocab_size = 1024;
+  const GeneratedProfiles gen1 = GenerateProfiles(day1);
+
+  core::FvaeConfig config;
+  config.latent_dim = 16;
+  config.encoder_hidden = {64};
+  config.decoder_hidden = {64};
+  config.sampling_strategy = core::SamplingStrategy::kUniform;
+  config.sampling_rate = 0.3;
+  core::FieldVae model(config, gen1.dataset.fields());
+
+  core::TrainOptions options;
+  options.batch_size = 128;
+  options.epochs = 5;
+  core::TrainFvae(model, gen1.dataset, options);
+  std::printf("after day 1: known features per field:");
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    std::printf(" %s=%zu", gen1.dataset.field(k).name.c_str(),
+                model.KnownFeatures(k));
+  }
+  std::printf("\nparameters: %zu\n", model.ParameterCount());
+
+  // Day 2: new users whose profiles use a larger, partially fresh
+  // vocabulary (seed change scatters new raw IDs). The same model instance
+  // keeps training; its tables grow in place.
+  ProfileGeneratorConfig day2 = ShortContentConfig(600, /*seed=*/2);
+  day2.fields[3].vocab_size = 2048;  // vocabulary grew overnight
+  const GeneratedProfiles gen2 = GenerateProfiles(day2);
+  core::TrainFvae(model, gen2.dataset, options);
+
+  std::printf("after day 2: known features per field:");
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    std::printf(" %s=%zu", gen2.dataset.field(k).name.c_str(),
+                model.KnownFeatures(k));
+  }
+  std::printf("\nparameters: %zu\n", model.ParameterCount());
+
+  // Day-2 users (including ones with brand-new features) encode fine.
+  std::vector<uint32_t> users(8);
+  std::iota(users.begin(), users.end(), 0u);
+  const Matrix z = model.Encode(gen2.dataset, users);
+  std::printf("day-2 embeddings: %zux%zu, first row:\n", z.rows(),
+              z.cols());
+  for (size_t d = 0; d < z.cols(); ++d) std::printf("%.3f ", z(0, d));
+  std::printf("\n\nThe vocabulary grew without re-indexing — this is what\n"
+              "static feature hashing cannot do without collisions.\n");
+  return 0;
+}

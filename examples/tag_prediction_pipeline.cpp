@@ -1,0 +1,70 @@
+// Tag-prediction pipeline on synthetic Short-Content-like profiles: the
+// matching-stage workload from the paper's evaluation (§V-B2). Trains the
+// FVAE and a PCA baseline, then evaluates fold-in tag prediction.
+//
+//   ./build/examples/tag_prediction_pipeline
+
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/fvae_adapter.h"
+#include "baselines/pca.h"
+#include "common/random.h"
+#include "datagen/profile_generator.h"
+#include "eval/tasks.h"
+
+int main() {
+  using namespace fvae;
+
+  // Synthetic SC-like data: 4 fields (ch1/ch2/ch3/tag), power-law
+  // popularity, topic-driven inter-field correlation.
+  ProfileGeneratorConfig gen_config = ShortContentConfig(
+      /*num_users=*/2000, /*seed=*/7);
+  gen_config.fields[3].vocab_size = 4096;
+  const GeneratedProfiles gen = GenerateProfiles(gen_config);
+  std::printf("dataset: %s\n", gen.dataset.Summary().c_str());
+
+  // FVAE.
+  core::FvaeConfig config;
+  config.latent_dim = 32;
+  config.encoder_hidden = {128};
+  config.decoder_hidden = {128};
+  config.beta = 0.1f;
+  config.sampling_strategy = core::SamplingStrategy::kUniform;
+  config.sampling_rate = 0.2;
+  core::TrainOptions train_options;
+  train_options.batch_size = 256;
+  train_options.epochs = 12;
+  baselines::FvaeAdapter fvae(config, train_options);
+  std::printf("training FVAE...\n");
+  fvae.Fit(gen.dataset);
+
+  // PCA baseline.
+  baselines::PcaModel::Options pca_options;
+  pca_options.latent_dim = 32;
+  baselines::PcaModel pca(pca_options);
+  std::printf("fitting PCA...\n");
+  pca.Fit(gen.dataset);
+
+  // Evaluate: mask the tag field, predict each user's tags against
+  // equally many random negatives.
+  std::vector<uint32_t> users(std::min<size_t>(800,
+                                               gen.dataset.num_users()));
+  std::iota(users.begin(), users.end(), 0u);
+  constexpr size_t kTagField = 3;
+
+  Rng rng1(11), rng2(11);
+  const eval::TaskMetrics fvae_metrics = eval::RunTagPrediction(
+      fvae, gen.dataset, users, kTagField, gen.field_vocab[kTagField],
+      rng1);
+  const eval::TaskMetrics pca_metrics = eval::RunTagPrediction(
+      pca, gen.dataset, users, kTagField, gen.field_vocab[kTagField], rng2);
+
+  std::printf("\n%-8s  %-8s  %-8s\n", "model", "AUC", "mAP");
+  std::printf("%-8s  %.4f    %.4f\n", "FVAE", fvae_metrics.auc,
+              fvae_metrics.map);
+  std::printf("%-8s  %.4f    %.4f\n", "PCA", pca_metrics.auc,
+              pca_metrics.map);
+  std::printf("\nFVAE should clearly beat the linear baseline.\n");
+  return 0;
+}

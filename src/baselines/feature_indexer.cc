@@ -1,0 +1,57 @@
+#include "baselines/feature_indexer.h"
+
+#include "common/check.h"
+
+namespace fvae::baselines {
+
+uint64_t FeatureIndexer::CombineKey(uint32_t field, uint64_t id) {
+  // Mix the field into the high bits so identical IDs in different fields
+  // stay distinct keys.
+  uint64_t z = id + (uint64_t(field) + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+FeatureIndexer FeatureIndexer::BuildExact(const MultiFieldDataset& dataset) {
+  FeatureIndexer indexer;
+  indexer.num_fields_ = dataset.num_fields();
+  indexer.exact_ = std::make_unique<DynamicHashTable>();
+  for (size_t k = 0; k < dataset.num_fields(); ++k) {
+    for (size_t u = 0; u < dataset.num_users(); ++u) {
+      for (const FeatureEntry& e : dataset.UserField(u, k)) {
+        const uint64_t key = CombineKey(static_cast<uint32_t>(k), e.id);
+        const size_t before = indexer.exact_->size();
+        const uint32_t column = indexer.exact_->GetOrInsert(key);
+        if (indexer.exact_->size() > before) {
+          FVAE_CHECK(column == indexer.owners_.size());
+          indexer.owners_.emplace_back(static_cast<uint32_t>(k), e.id);
+        }
+      }
+    }
+  }
+  return indexer;
+}
+
+FeatureIndexer FeatureIndexer::BuildHashed(size_t num_fields, int bits) {
+  FeatureIndexer indexer;
+  indexer.num_fields_ = num_fields;
+  indexer.hasher_ = std::make_unique<FeatureHasher>(bits);
+  return indexer;
+}
+
+std::optional<uint32_t> FeatureIndexer::Column(uint32_t field,
+                                               uint64_t id) const {
+  FVAE_CHECK(field < num_fields_) << "field out of range";
+  if (hasher_ != nullptr) {
+    return hasher_->Bucket(field, id);
+  }
+  return exact_->Find(CombineKey(field, id));
+}
+
+size_t FeatureIndexer::num_columns() const {
+  if (hasher_ != nullptr) return hasher_->num_buckets();
+  return exact_->size();
+}
+
+}  // namespace fvae::baselines

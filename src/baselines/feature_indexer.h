@@ -1,0 +1,64 @@
+#ifndef FVAE_BASELINES_FEATURE_INDEXER_H_
+#define FVAE_BASELINES_FEATURE_INDEXER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/dynamic_hash_table.h"
+#include "hash/feature_hashing.h"
+
+namespace fvae::baselines {
+
+/// Flattens (field, feature_id) pairs into a single dense column space
+/// [0, J) — the representation the single-multinomial baselines (PCA, LDA,
+/// Mult-DAE/VAE, RecVAE) operate on.
+///
+/// Two modes:
+///  * exact:   every distinct (field, id) pair seen at Build time gets its
+///             own column (closed vocabulary; unseen pairs have no column).
+///  * hashed:  columns are 2^bits feature-hash buckets (the paper's legacy
+///             setup for Mult-VAE at billion scale; collisions possible).
+class FeatureIndexer {
+ public:
+  /// Exact indexer over every feature occurring in `dataset`.
+  static FeatureIndexer BuildExact(const MultiFieldDataset& dataset);
+
+  /// Hashed indexer with 2^bits buckets (no dataset scan needed).
+  static FeatureIndexer BuildHashed(size_t num_fields, int bits);
+
+  /// Column for a (field, id) pair; nullopt only in exact mode for unseen
+  /// pairs.
+  std::optional<uint32_t> Column(uint32_t field, uint64_t id) const;
+
+  /// Total number of columns J.
+  size_t num_columns() const;
+
+  bool hashed() const { return hasher_ != nullptr; }
+  size_t num_fields() const { return num_fields_; }
+
+  /// Exact mode only: the (field, id) owning each column.
+  const std::vector<std::pair<uint32_t, uint64_t>>& column_owners() const {
+    return owners_;
+  }
+
+  /// Default state: no columns; use the Build factories to populate.
+  FeatureIndexer() = default;
+
+ private:
+  static uint64_t CombineKey(uint32_t field, uint64_t id);
+
+  size_t num_fields_ = 0;
+  // Exact mode.
+  std::unique_ptr<DynamicHashTable> exact_;
+  std::vector<std::pair<uint32_t, uint64_t>> owners_;
+  // Hashed mode.
+  std::unique_ptr<FeatureHasher> hasher_;
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_FEATURE_INDEXER_H_

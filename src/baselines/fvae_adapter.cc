@@ -1,0 +1,25 @@
+#include "baselines/fvae_adapter.h"
+
+#include "common/check.h"
+
+namespace fvae::baselines {
+
+void FvaeAdapter::Fit(const MultiFieldDataset& train) {
+  model_ = std::make_unique<core::FieldVae>(config_, train.fields());
+  train_result_ = core::TrainFvae(*model_, train, train_options_);
+}
+
+Matrix FvaeAdapter::Embed(const MultiFieldDataset& data,
+                          std::span<const uint32_t> users) const {
+  FVAE_CHECK(model_ != nullptr) << "Fit must be called before Embed";
+  return model_->Encode(data, users);
+}
+
+Matrix FvaeAdapter::Score(const MultiFieldDataset& input,
+                          std::span<const uint32_t> users, size_t field,
+                          std::span<const uint64_t> candidates) const {
+  FVAE_CHECK(model_ != nullptr) << "Fit must be called before Score";
+  return model_->EncodeAndScore(input, users, field, candidates);
+}
+
+}  // namespace fvae::baselines

@@ -1,0 +1,51 @@
+#ifndef FVAE_BASELINES_FVAE_ADAPTER_H_
+#define FVAE_BASELINES_FVAE_ADAPTER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/fvae_config.h"
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+#include "eval/representation_model.h"
+
+namespace fvae::baselines {
+
+/// Exposes the core FieldVae through the common RepresentationModel
+/// interface so the evaluation tasks and benchmark harnesses can treat it
+/// uniformly with the baselines.
+class FvaeAdapter : public eval::RepresentationModel {
+ public:
+  FvaeAdapter(core::FvaeConfig config, core::TrainOptions train_options)
+      : config_(std::move(config)), train_options_(std::move(train_options)) {}
+
+  std::string Name() const override { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Fit(const MultiFieldDataset& train) override;
+
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override;
+
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override;
+
+  /// The trained model (valid after Fit).
+  core::FieldVae& model() { return *model_; }
+  const core::FieldVae& model() const { return *model_; }
+
+  /// Training statistics of the last Fit call.
+  const core::TrainResult& train_result() const { return train_result_; }
+
+ private:
+  core::FvaeConfig config_;
+  core::TrainOptions train_options_;
+  std::unique_ptr<core::FieldVae> model_;
+  core::TrainResult train_result_;
+  std::string name_ = "FVAE";
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_FVAE_ADAPTER_H_

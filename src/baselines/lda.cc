@@ -1,0 +1,190 @@
+#include "baselines/lda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "math/special.h"
+
+namespace fvae::baselines {
+
+LdaModel::Doc LdaModel::MakeDoc(const MultiFieldDataset& data,
+                                uint32_t user) const {
+  Doc doc;
+  for (size_t k = 0; k < data.num_fields(); ++k) {
+    for (const FeatureEntry& e : data.UserField(user, k)) {
+      auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+      if (!col.has_value()) continue;
+      doc.cols.push_back(*col);
+      doc.counts.push_back(e.value);
+    }
+  }
+  return doc;
+}
+
+std::vector<double> LdaModel::EStep(const Doc& doc,
+                                    const Matrix& exp_elog_beta,
+                                    Matrix* sstats) const {
+  const size_t T = options_.num_topics;
+  std::vector<double> gamma(T, options_.alpha + 1.0);
+  std::vector<double> exp_elog_theta(T);
+  const size_t nnz = doc.cols.size();
+  if (nnz == 0) return gamma;
+
+  // phi is stored implicitly: phinorm_w = sum_t expElogTheta_t *
+  // expElogBeta_{t,w}; gamma_t = alpha + sum_w count_w * expElogTheta_t *
+  // expElogBeta_{t,w} / phinorm_w.
+  std::vector<double> phinorm(nnz);
+  for (size_t iter = 0; iter < options_.e_step_iterations; ++iter) {
+    double gamma_sum = 0.0;
+    for (double g : gamma) gamma_sum += g;
+    const double psi_total = Digamma(gamma_sum);
+    for (size_t t = 0; t < T; ++t) {
+      exp_elog_theta[t] = std::exp(Digamma(gamma[t]) - psi_total);
+    }
+    for (size_t w = 0; w < nnz; ++w) {
+      double acc = 1e-100;
+      for (size_t t = 0; t < T; ++t) {
+        acc += exp_elog_theta[t] * exp_elog_beta(t, doc.cols[w]);
+      }
+      phinorm[w] = acc;
+    }
+    double max_change = 0.0;
+    for (size_t t = 0; t < T; ++t) {
+      double acc = 0.0;
+      for (size_t w = 0; w < nnz; ++w) {
+        acc += doc.counts[w] * exp_elog_beta(t, doc.cols[w]) / phinorm[w];
+      }
+      const double updated = options_.alpha + exp_elog_theta[t] * acc;
+      max_change = std::max(max_change, std::fabs(updated - gamma[t]));
+      gamma[t] = updated;
+    }
+    if (max_change < options_.e_step_tolerance) break;
+  }
+
+  if (sstats != nullptr) {
+    // sstats_{t,w} += count_w * phi_{t,w}
+    //              =  count_w * expElogTheta_t expElogBeta_{t,w} / phinorm_w.
+    double gamma_sum = 0.0;
+    for (double g : gamma) gamma_sum += g;
+    const double psi_total = Digamma(gamma_sum);
+    for (size_t t = 0; t < T; ++t) {
+      exp_elog_theta[t] = std::exp(Digamma(gamma[t]) - psi_total);
+    }
+    for (size_t w = 0; w < nnz; ++w) {
+      double acc = 1e-100;
+      for (size_t t = 0; t < T; ++t) {
+        acc += exp_elog_theta[t] * exp_elog_beta(t, doc.cols[w]);
+      }
+      for (size_t t = 0; t < T; ++t) {
+        (*sstats)(t, doc.cols[w]) += static_cast<float>(
+            doc.counts[w] * exp_elog_theta[t] *
+            exp_elog_beta(t, doc.cols[w]) / acc);
+      }
+    }
+  }
+  return gamma;
+}
+
+void LdaModel::Fit(const MultiFieldDataset& train) {
+  indexer_ = FeatureIndexer::BuildExact(train);
+  const size_t T = options_.num_topics;
+  const size_t J = indexer_.num_columns();
+  FVAE_CHECK(J > 0) << "empty vocabulary";
+
+  Rng rng(options_.seed);
+  lambda_.Resize(T, J);
+  for (size_t i = 0; i < lambda_.size(); ++i) {
+    // Standard init: lambda ~ Gamma(100, 1/100).
+    lambda_.data()[i] = static_cast<float>(rng.Gamma(100.0) / 100.0);
+  }
+
+  Matrix exp_elog_beta(T, J);
+  Matrix sstats(T, J);
+  for (size_t pass = 0; pass < options_.passes; ++pass) {
+    // E[log beta_{t,w}] = psi(lambda_tw) - psi(sum_w lambda_tw).
+    for (size_t t = 0; t < T; ++t) {
+      double row_sum = 0.0;
+      for (size_t w = 0; w < J; ++w) row_sum += lambda_(t, w);
+      const double psi_row = Digamma(row_sum);
+      for (size_t w = 0; w < J; ++w) {
+        exp_elog_beta(t, w) =
+            static_cast<float>(std::exp(Digamma(lambda_(t, w)) - psi_row));
+      }
+    }
+    sstats.SetZero();
+    for (size_t u = 0; u < train.num_users(); ++u) {
+      const Doc doc = MakeDoc(train, static_cast<uint32_t>(u));
+      EStep(doc, exp_elog_beta, &sstats);
+    }
+    // Batch M-step.
+    for (size_t i = 0; i < lambda_.size(); ++i) {
+      lambda_.data()[i] =
+          static_cast<float>(options_.eta) + sstats.data()[i];
+    }
+  }
+
+  // Posterior-mean topic-word distributions for scoring.
+  expected_beta_.Resize(T, J);
+  for (size_t t = 0; t < T; ++t) {
+    double row_sum = 0.0;
+    for (size_t w = 0; w < J; ++w) row_sum += lambda_(t, w);
+    for (size_t w = 0; w < J; ++w) {
+      expected_beta_(t, w) = static_cast<float>(lambda_(t, w) / row_sum);
+    }
+  }
+}
+
+Matrix LdaModel::Embed(const MultiFieldDataset& data,
+                       std::span<const uint32_t> users) const {
+  FVAE_CHECK(!lambda_.empty()) << "Fit must be called before Embed";
+  const size_t T = options_.num_topics;
+  const size_t J = indexer_.num_columns();
+
+  // exp(E[log beta]) for fold-in E-steps.
+  Matrix exp_elog_beta(T, J);
+  for (size_t t = 0; t < T; ++t) {
+    double row_sum = 0.0;
+    for (size_t w = 0; w < J; ++w) row_sum += lambda_(t, w);
+    const double psi_row = Digamma(row_sum);
+    for (size_t w = 0; w < J; ++w) {
+      exp_elog_beta(t, w) =
+          static_cast<float>(std::exp(Digamma(lambda_(t, w)) - psi_row));
+    }
+  }
+
+  Matrix z(users.size(), T);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const Doc doc = MakeDoc(data, users[i]);
+    const std::vector<double> gamma = EStep(doc, exp_elog_beta, nullptr);
+    double total = 0.0;
+    for (double g : gamma) total += g;
+    for (size_t t = 0; t < T; ++t) {
+      z(i, t) = static_cast<float>(gamma[t] / total);
+    }
+  }
+  return z;
+}
+
+Matrix LdaModel::Score(const MultiFieldDataset& input,
+                       std::span<const uint32_t> users, size_t field,
+                       std::span<const uint64_t> candidates) const {
+  const Matrix theta = Embed(input, users);
+  const size_t T = options_.num_topics;
+  Matrix scores(users.size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto col = indexer_.Column(static_cast<uint32_t>(field), candidates[c]);
+    if (!col.has_value()) continue;
+    for (size_t i = 0; i < users.size(); ++i) {
+      double acc = 0.0;
+      for (size_t t = 0; t < T; ++t) {
+        acc += double(theta(i, t)) * expected_beta_(t, *col);
+      }
+      scores(i, c) = static_cast<float>(acc);
+    }
+  }
+  return scores;
+}
+
+}  // namespace fvae::baselines

@@ -1,0 +1,72 @@
+#ifndef FVAE_BASELINES_LDA_H_
+#define FVAE_BASELINES_LDA_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/feature_indexer.h"
+#include "eval/representation_model.h"
+#include "math/matrix.h"
+
+namespace fvae::baselines {
+
+/// Latent Dirichlet Allocation baseline (paper §V-A1), batch variational
+/// Bayes (Blei et al. 2003; Hoffman et al. 2010 update form). Each user is
+/// a document; each (field, feature) pair is a word; counts are feature
+/// values. The user representation is the normalized variational
+/// document-topic posterior gamma.
+class LdaModel : public eval::RepresentationModel {
+ public:
+  struct Options {
+    size_t num_topics = 64;
+    /// Symmetric Dirichlet prior on document-topic proportions.
+    double alpha = 0.1;
+    /// Symmetric Dirichlet prior on topic-word distributions.
+    double eta = 0.01;
+    /// Full batch VB passes over the corpus.
+    size_t passes = 10;
+    /// Per-document E-step iterations.
+    size_t e_step_iterations = 20;
+    double e_step_tolerance = 1e-3;
+    uint64_t seed = 13;
+  };
+
+  explicit LdaModel(Options options) : options_(options) {}
+
+  std::string Name() const override { return "LDA"; }
+
+  void Fit(const MultiFieldDataset& train) override;
+
+  /// Rows are normalized document-topic posteriors (dimension num_topics).
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override;
+
+  /// Scores are predictive word probabilities p(w | user) = sum_t
+  /// theta_t beta_{t,w} — globally comparable across fields.
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override;
+
+ private:
+  /// One document's sparse bag of words in column space.
+  struct Doc {
+    std::vector<uint32_t> cols;
+    std::vector<float> counts;
+  };
+
+  Doc MakeDoc(const MultiFieldDataset& data, uint32_t user) const;
+
+  /// Runs the E-step for one document against exp(E[log beta]); returns the
+  /// final gamma and (optionally) accumulates sufficient statistics.
+  std::vector<double> EStep(const Doc& doc, const Matrix& exp_elog_beta,
+                            Matrix* sstats) const;
+
+  Options options_;
+  FeatureIndexer indexer_;
+  Matrix lambda_;  // num_topics x J variational topic-word parameters
+  Matrix expected_beta_;  // normalized E[beta], used for scoring
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_LDA_H_

@@ -1,0 +1,38 @@
+#include "baselines/most_popular.h"
+
+#include "common/check.h"
+
+namespace fvae::baselines {
+
+void MostPopularModel::Fit(const MultiFieldDataset& train) {
+  popularity_.assign(train.num_fields(), {});
+  for (size_t k = 0; k < train.num_fields(); ++k) {
+    for (size_t u = 0; u < train.num_users(); ++u) {
+      for (const FeatureEntry& e : train.UserField(u, k)) {
+        popularity_[k][e.id] += e.value;
+      }
+    }
+  }
+}
+
+Matrix MostPopularModel::Embed(const MultiFieldDataset&,
+                               std::span<const uint32_t> users) const {
+  return Matrix(users.size(), 1);
+}
+
+Matrix MostPopularModel::Score(const MultiFieldDataset&,
+                               std::span<const uint32_t> users, size_t field,
+                               std::span<const uint64_t> candidates) const {
+  FVAE_CHECK(field < popularity_.size()) << "Fit before Score";
+  Matrix scores(users.size(), candidates.size());
+  const auto& field_popularity = popularity_[field];
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto it = field_popularity.find(candidates[c]);
+    const float score =
+        it == field_popularity.end() ? 0.0f : float(it->second);
+    for (size_t i = 0; i < users.size(); ++i) scores(i, c) = score;
+  }
+  return scores;
+}
+
+}  // namespace fvae::baselines

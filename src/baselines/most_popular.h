@@ -1,0 +1,41 @@
+#ifndef FVAE_BASELINES_MOST_POPULAR_H_
+#define FVAE_BASELINES_MOST_POPULAR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/representation_model.h"
+
+namespace fvae::baselines {
+
+/// Non-personalized popularity baseline: scores every candidate by its
+/// global training-set frequency, identically for every user. The sanity
+/// floor every personalized model must clear — any AUC it achieves comes
+/// purely from the popularity skew of the negatives, not from user
+/// understanding.
+class MostPopularModel : public eval::RepresentationModel {
+ public:
+  MostPopularModel() = default;
+
+  std::string Name() const override { return "MostPopular"; }
+
+  void Fit(const MultiFieldDataset& train) override;
+
+  /// Embeddings are meaningless for a non-personalized model; returns a
+  /// single-column zero matrix so downstream plumbing keeps working.
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override;
+
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override;
+
+ private:
+  /// Per field: id -> total observed value across users.
+  std::vector<std::unordered_map<uint64_t, double>> popularity_;
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_MOST_POPULAR_H_

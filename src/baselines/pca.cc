@@ -1,0 +1,118 @@
+#include "baselines/pca.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace fvae::baselines {
+
+namespace {
+
+/// LinearOperator view of a MultiFieldDataset through a FeatureIndexer:
+/// A[u][col(field, id)] = value. Never materializes the dense matrix.
+class SparseDatasetOperator : public LinearOperator {
+ public:
+  SparseDatasetOperator(const MultiFieldDataset* dataset,
+                        const FeatureIndexer* indexer)
+      : dataset_(dataset), indexer_(indexer) {}
+
+  size_t rows() const override { return dataset_->num_users(); }
+  size_t cols() const override { return indexer_->num_columns(); }
+
+  void Apply(const Matrix& x, Matrix* out) const override {
+    FVAE_CHECK(x.rows() == cols()) << "operator apply shape";
+    out->Resize(rows(), x.cols());
+    for (size_t u = 0; u < rows(); ++u) {
+      float* out_row = out->Row(u);
+      for (size_t k = 0; k < dataset_->num_fields(); ++k) {
+        for (const FeatureEntry& e : dataset_->UserField(u, k)) {
+          auto col = indexer_->Column(static_cast<uint32_t>(k), e.id);
+          if (!col.has_value()) continue;
+          const float* x_row = x.Row(*col);
+          for (size_t j = 0; j < x.cols(); ++j) {
+            out_row[j] += e.value * x_row[j];
+          }
+        }
+      }
+    }
+  }
+
+  void ApplyTranspose(const Matrix& x, Matrix* out) const override {
+    FVAE_CHECK(x.rows() == rows()) << "operator apply-transpose shape";
+    out->Resize(cols(), x.cols());
+    for (size_t u = 0; u < rows(); ++u) {
+      const float* x_row = x.Row(u);
+      for (size_t k = 0; k < dataset_->num_fields(); ++k) {
+        for (const FeatureEntry& e : dataset_->UserField(u, k)) {
+          auto col = indexer_->Column(static_cast<uint32_t>(k), e.id);
+          if (!col.has_value()) continue;
+          float* out_row = out->Row(*col);
+          for (size_t j = 0; j < x.cols(); ++j) {
+            out_row[j] += e.value * x_row[j];
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  const MultiFieldDataset* dataset_;
+  const FeatureIndexer* indexer_;
+};
+
+}  // namespace
+
+void PcaModel::Fit(const MultiFieldDataset& train) {
+  indexer_ = FeatureIndexer::BuildExact(train);
+  SparseDatasetOperator op(&train, &indexer_);
+  const size_t rank = std::min(
+      options_.latent_dim, std::min(op.rows(), op.cols()));
+  FVAE_CHECK(rank > 0) << "empty training matrix";
+  Rng rng(options_.seed);
+  SvdResult svd = RandomizedSvd(op, rank, rng, options_.oversample,
+                                options_.power_iterations);
+  components_ = std::move(svd.v);  // J x rank
+  singular_values_ = std::move(svd.singular_values);
+}
+
+Matrix PcaModel::Embed(const MultiFieldDataset& data,
+                       std::span<const uint32_t> users) const {
+  FVAE_CHECK(!components_.empty()) << "Fit must be called before Embed";
+  const size_t rank = components_.cols();
+  Matrix z(users.size(), rank);
+  for (size_t i = 0; i < users.size(); ++i) {
+    float* z_row = z.Row(i);
+    for (size_t k = 0; k < data.num_fields(); ++k) {
+      for (const FeatureEntry& e : data.UserField(users[i], k)) {
+        auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+        if (!col.has_value()) continue;
+        const float* v_row = components_.Row(*col);
+        for (size_t d = 0; d < rank; ++d) z_row[d] += e.value * v_row[d];
+      }
+    }
+  }
+  return z;
+}
+
+Matrix PcaModel::Score(const MultiFieldDataset& input,
+                       std::span<const uint32_t> users, size_t field,
+                       std::span<const uint64_t> candidates) const {
+  const Matrix z = Embed(input, users);
+  const size_t rank = components_.cols();
+  Matrix scores(users.size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto col = indexer_.Column(static_cast<uint32_t>(field), candidates[c]);
+    if (!col.has_value()) continue;  // unseen candidate scores 0
+    const float* v_row = components_.Row(*col);
+    for (size_t i = 0; i < users.size(); ++i) {
+      const float* z_row = z.Row(i);
+      double acc = 0.0;
+      for (size_t d = 0; d < rank; ++d) acc += double(z_row[d]) * v_row[d];
+      scores(i, c) = static_cast<float>(acc);
+    }
+  }
+  return scores;
+}
+
+}  // namespace fvae::baselines

@@ -1,0 +1,53 @@
+#ifndef FVAE_BASELINES_PCA_H_
+#define FVAE_BASELINES_PCA_H_
+
+#include <string>
+
+#include "baselines/feature_indexer.h"
+#include "eval/representation_model.h"
+#include "math/svd.h"
+
+namespace fvae::baselines {
+
+/// PCA baseline (paper §V-A1): truncated SVD of the sparse user-feature
+/// matrix U (users x J). The user embedding is the projection U V_k; scores
+/// are the rank-k reconstruction restricted to the candidate columns.
+/// Mean-centering is skipped, as is standard for sparse high-dimensional
+/// data (centering would densify the matrix).
+class PcaModel : public eval::RepresentationModel {
+ public:
+  struct Options {
+    size_t latent_dim = 64;
+    size_t oversample = 8;
+    int power_iterations = 2;
+    uint64_t seed = 11;
+  };
+
+  explicit PcaModel(Options options) : options_(options) {}
+
+  std::string Name() const override { return "PCA"; }
+
+  void Fit(const MultiFieldDataset& train) override;
+
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override;
+
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override;
+
+  /// Singular values of the fit (decreasing), for tests/diagnostics.
+  const std::vector<float>& singular_values() const {
+    return singular_values_;
+  }
+
+ private:
+  Options options_;
+  FeatureIndexer indexer_;
+  Matrix components_;  // J x latent_dim (right singular vectors)
+  std::vector<float> singular_values_;
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_PCA_H_

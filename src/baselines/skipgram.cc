@@ -1,0 +1,195 @@
+#include "baselines/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "math/vector_ops.h"
+
+namespace fvae::baselines {
+
+SkipGramModel::SkipGramModel(Options options)
+    : options_(options), rng_(options.seed) {
+  FVAE_CHECK(options_.embedding_dim > 0);
+  FVAE_CHECK(options_.epochs > 0);
+}
+
+void SkipGramModel::SgnsUpdate(uint32_t center, uint32_t context,
+                               float label, float lr) {
+  const size_t dim = options_.embedding_dim;
+  float* v = in_vectors_.Row(center);
+  float* u = out_vectors_.Row(context);
+  double dot = 0.0;
+  for (size_t d = 0; d < dim; ++d) dot += double(v[d]) * u[d];
+  const float sigma = 1.0f / (1.0f + std::exp(-static_cast<float>(dot)));
+  const float g = lr * (label - sigma);
+  for (size_t d = 0; d < dim; ++d) {
+    const float v_d = v[d];
+    v[d] += g * u[d];
+    u[d] += g * v_d;
+  }
+}
+
+void SkipGramModel::Fit(const MultiFieldDataset& train) {
+  indexer_ = FeatureIndexer::BuildExact(train);
+  const size_t J = indexer_.num_columns();
+  const size_t dim = options_.embedding_dim;
+  FVAE_CHECK(J > 0) << "empty vocabulary";
+
+  const float init = 0.5f / float(dim);
+  in_vectors_.Resize(J, dim);
+  for (size_t i = 0; i < in_vectors_.size(); ++i) {
+    in_vectors_.data()[i] = static_cast<float>(rng_.Uniform(-init, init));
+  }
+  out_vectors_.Resize(J, dim);  // zero init, as in word2vec
+
+  // Unigram^power negative-sampling distribution.
+  std::vector<double> unigram(J, 0.0);
+  for (size_t u = 0; u < train.num_users(); ++u) {
+    for (size_t k = 0; k < train.num_fields(); ++k) {
+      for (const FeatureEntry& e : train.UserField(u, k)) {
+        auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+        if (col.has_value()) unigram[*col] += e.value;
+      }
+    }
+  }
+  for (double& w : unigram) w = std::pow(w, options_.unigram_power);
+  AliasSampler negative_sampler(unigram);
+
+  // Pre-extract each user's features as (column, field) lists.
+  struct UserItems {
+    std::vector<uint32_t> cols;
+    std::vector<uint32_t> fields;
+  };
+  std::vector<UserItems> items(train.num_users());
+  for (size_t u = 0; u < train.num_users(); ++u) {
+    for (size_t k = 0; k < train.num_fields(); ++k) {
+      for (const FeatureEntry& e : train.UserField(u, k)) {
+        auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+        if (!col.has_value()) continue;
+        items[u].cols.push_back(*col);
+        items[u].fields.push_back(static_cast<uint32_t>(k));
+      }
+    }
+  }
+
+  // Total center visits, for the linear learning-rate decay.
+  size_t total_centers = 0;
+  for (const UserItems& ui : items) total_centers += ui.cols.size();
+  total_centers *= options_.epochs;
+  size_t visited = 0;
+
+  const bool cross_field_only = options_.variant == Variant::kJob2Vec;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t u = 0; u < items.size(); ++u) {
+      const UserItems& ui = items[u];
+      if (ui.cols.size() < 2) {
+        visited += ui.cols.size();
+        continue;
+      }
+      for (size_t c = 0; c < ui.cols.size(); ++c) {
+        const float progress =
+            total_centers > 0 ? float(visited) / float(total_centers) : 0.0f;
+        const float lr = std::max(
+            options_.min_learning_rate,
+            options_.learning_rate * (1.0f - progress));
+        ++visited;
+        for (size_t draw = 0; draw < options_.contexts_per_center; ++draw) {
+          const size_t o = rng_.UniformInt(ui.cols.size());
+          if (o == c) continue;
+          if (cross_field_only && ui.fields[o] == ui.fields[c]) continue;
+          SgnsUpdate(ui.cols[c], ui.cols[o], 1.0f, lr);
+          for (size_t neg = 0; neg < options_.negatives_per_positive;
+               ++neg) {
+            const uint32_t n =
+                static_cast<uint32_t>(negative_sampler.Sample(rng_));
+            if (n == ui.cols[o]) continue;
+            SgnsUpdate(ui.cols[c], n, 0.0f, lr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void SkipGramModel::UserVector(const MultiFieldDataset& data, uint32_t user,
+                               float* out) const {
+  const size_t dim = options_.embedding_dim;
+  std::fill(out, out + dim, 0.0f);
+
+  if (options_.variant == Variant::kItem2Vec) {
+    // Value-weighted mean of feature input vectors.
+    double total_weight = 0.0;
+    for (size_t k = 0; k < data.num_fields(); ++k) {
+      for (const FeatureEntry& e : data.UserField(user, k)) {
+        auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+        if (!col.has_value()) continue;
+        const float* v = in_vectors_.Row(*col);
+        for (size_t d = 0; d < dim; ++d) out[d] += e.value * v[d];
+        total_weight += e.value;
+      }
+    }
+    if (total_weight > 0.0) {
+      const float inv = static_cast<float>(1.0 / total_weight);
+      for (size_t d = 0; d < dim; ++d) out[d] *= inv;
+    }
+    return;
+  }
+
+  // Job2Vec: mean of L2-normalized per-field aggregates (multi-view).
+  std::vector<float> field_vec(dim);
+  size_t fields_used = 0;
+  for (size_t k = 0; k < data.num_fields(); ++k) {
+    std::fill(field_vec.begin(), field_vec.end(), 0.0f);
+    double total_weight = 0.0;
+    for (const FeatureEntry& e : data.UserField(user, k)) {
+      auto col = indexer_.Column(static_cast<uint32_t>(k), e.id);
+      if (!col.has_value()) continue;
+      const float* v = in_vectors_.Row(*col);
+      for (size_t d = 0; d < dim; ++d) field_vec[d] += e.value * v[d];
+      total_weight += e.value;
+    }
+    if (total_weight <= 0.0) continue;
+    L2NormalizeInPlace(field_vec);
+    for (size_t d = 0; d < dim; ++d) out[d] += field_vec[d];
+    ++fields_used;
+  }
+  if (fields_used > 0) {
+    const float inv = 1.0f / float(fields_used);
+    for (size_t d = 0; d < dim; ++d) out[d] *= inv;
+  }
+}
+
+Matrix SkipGramModel::Embed(const MultiFieldDataset& data,
+                            std::span<const uint32_t> users) const {
+  FVAE_CHECK(!in_vectors_.empty()) << "Fit must be called before Embed";
+  Matrix z(users.size(), options_.embedding_dim);
+  for (size_t i = 0; i < users.size(); ++i) {
+    UserVector(data, users[i], z.Row(i));
+  }
+  return z;
+}
+
+Matrix SkipGramModel::Score(const MultiFieldDataset& input,
+                            std::span<const uint32_t> users, size_t field,
+                            std::span<const uint64_t> candidates) const {
+  const Matrix z = Embed(input, users);
+  const size_t dim = options_.embedding_dim;
+  Matrix scores(users.size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto col = indexer_.Column(static_cast<uint32_t>(field), candidates[c]);
+    if (!col.has_value()) continue;
+    // SGNS is trained to make sigma(v_center . u_context) discriminate true
+    // co-occurrence, so prediction scores use the in->out dot product with
+    // the user aggregate as the center. (In-in cosine is only a similarity
+    // heuristic and degrades once negative sampling shapes the geometry.)
+    std::span<const float> u{out_vectors_.Row(*col), dim};
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores(i, c) = static_cast<float>(Dot({z.Row(i), dim}, u));
+    }
+  }
+  return scores;
+}
+
+}  // namespace fvae::baselines

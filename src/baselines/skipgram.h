@@ -1,0 +1,80 @@
+#ifndef FVAE_BASELINES_SKIPGRAM_H_
+#define FVAE_BASELINES_SKIPGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/feature_indexer.h"
+#include "common/random.h"
+#include "eval/representation_model.h"
+#include "math/matrix.h"
+
+namespace fvae::baselines {
+
+/// Skip-gram-with-negative-sampling embedding baselines.
+///
+///  * Item2Vec (Barkan & Koenigstein): every feature of a user is an item
+///    in one "sentence"; all within-user pairs are positive examples. The
+///    user representation is the (value-weighted) mean of their features'
+///    input vectors.
+///  * Job2Vec-style multi-view (Zhang et al., approximated): positive pairs
+///    are restricted to *cross-field* pairs, aligning the per-field views
+///    in one shared space; the user representation is the mean of the
+///    L2-normalized per-field aggregates.
+///
+/// Negative contexts are drawn from the unigram^{0.75} distribution via an
+/// alias table. Scores are cosine similarities between the user vector and
+/// the candidate's input vector.
+class SkipGramModel : public eval::RepresentationModel {
+ public:
+  enum class Variant { kItem2Vec, kJob2Vec };
+
+  struct Options {
+    Variant variant = Variant::kItem2Vec;
+    size_t embedding_dim = 64;
+    /// Positive context draws per center feature per epoch.
+    size_t contexts_per_center = 4;
+    size_t negatives_per_positive = 5;
+    size_t epochs = 5;
+    float learning_rate = 0.05f;
+    /// Final learning rate after linear decay.
+    float min_learning_rate = 1e-4f;
+    /// Exponent of the unigram negative-sampling distribution.
+    double unigram_power = 0.75;
+    uint64_t seed = 33;
+  };
+
+  explicit SkipGramModel(Options options);
+
+  std::string Name() const override {
+    return options_.variant == Variant::kItem2Vec ? "Item2Vec" : "Job2Vec";
+  }
+
+  void Fit(const MultiFieldDataset& train) override;
+
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override;
+
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override;
+
+  size_t vocabulary_size() const { return indexer_.num_columns(); }
+
+ private:
+  /// Writes the user's aggregate vector into `out` (embedding_dim floats).
+  void UserVector(const MultiFieldDataset& data, uint32_t user,
+                  float* out) const;
+
+  void SgnsUpdate(uint32_t center, uint32_t context, float label, float lr);
+
+  Options options_;
+  FeatureIndexer indexer_;
+  Rng rng_;
+  Matrix in_vectors_;   // J x dim
+  Matrix out_vectors_;  // J x dim
+};
+
+}  // namespace fvae::baselines
+
+#endif  // FVAE_BASELINES_SKIPGRAM_H_

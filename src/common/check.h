@@ -1,0 +1,62 @@
+#ifndef FVAE_COMMON_CHECK_H_
+#define FVAE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fvae {
+namespace internal_check {
+
+/// Stream sink that aborts the process when destroyed. Used by FVAE_CHECK to
+/// collect a failure message with `<<` and then terminate.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "FVAE_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets FVAE_CHECK expand to a void expression while still allowing a
+/// streamed message (the glog "voidify" idiom: `&` binds looser than `<<`).
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace fvae
+
+/// Aborts with a message when `cond` is false. Supports streaming extra
+/// context: FVAE_CHECK(n > 0) << "n=" << n;
+/// For programmer errors / invariant violations only — recoverable failures
+/// must return Status.
+#define FVAE_CHECK(cond)                                   \
+  (cond) ? (void)0                                         \
+         : ::fvae::internal_check::Voidify() &             \
+               ::fvae::internal_check::CheckFailureStream( \
+                   #cond, __FILE__, __LINE__)
+
+/// Convenience comparisons.
+#define FVAE_CHECK_EQ(a, b) FVAE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FVAE_CHECK_NE(a, b) FVAE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FVAE_CHECK_LT(a, b) FVAE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FVAE_CHECK_LE(a, b) FVAE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FVAE_CHECK_GT(a, b) FVAE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FVAE_CHECK_GE(a, b) FVAE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // FVAE_COMMON_CHECK_H_

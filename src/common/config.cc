@@ -1,0 +1,99 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fvae {
+
+Result<ConfigMap> ConfigMap::Parse(const std::string& text) {
+  ConfigMap config;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    // Strip comments, then whitespace.
+    std::string line = raw_line;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+
+    const size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected key = value", line_number));
+    }
+    const std::string key(StripWhitespace(stripped.substr(0, eq)));
+    const std::string value(StripWhitespace(stripped.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: empty key", line_number));
+    }
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Result<ConfigMap> ConfigMap::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open config: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+void ConfigMap::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool ConfigMap::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ConfigMap::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t ConfigMap::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return ParseInt64(it->second).value_or(fallback);
+}
+
+double ConfigMap::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return ParseDouble(it->second).value_or(fallback);
+}
+
+bool ConfigMap::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+std::vector<std::string> ConfigMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+std::string ConfigMap::ToString() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : values_) {
+    out << key << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fvae

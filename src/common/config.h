@@ -1,0 +1,56 @@
+#ifndef FVAE_COMMON_CONFIG_H_
+#define FVAE_COMMON_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fvae {
+
+/// Flat key = value configuration, as read from a config file or assembled
+/// programmatically. Used by the CLI's --config option and by experiment
+/// scripts.
+///
+/// File syntax: one `key = value` per line; '#' starts a comment; blank
+/// lines ignored; keys are dot-scoped by convention ("train.epochs").
+/// Duplicate keys: last one wins.
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses `text`; returns InvalidArgument on malformed lines.
+  static Result<ConfigMap> Parse(const std::string& text);
+
+  /// Reads and parses a file.
+  static Result<ConfigMap> LoadFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults. Type-mismatched values return the
+  /// default (callers that must distinguish use GetString + Parse*).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted (stable iteration for serialization and logging).
+  std::vector<std::string> Keys() const;
+
+  /// Serializes back to the file syntax.
+  std::string ToString() const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_CONFIG_H_

@@ -1,0 +1,63 @@
+#ifndef FVAE_COMMON_LOGGING_H_
+#define FVAE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fvae {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns / sets the global minimum severity that is actually emitted.
+/// Default is kInfo. Thread-compatible: set once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_log {
+
+/// One log record; formats "[LEVEL ts] message\n" to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+// Macro-friendly aliases: FVAE_LOG(INFO) expands to kINFO.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+}  // namespace internal_log
+}  // namespace fvae
+
+#define FVAE_LOG_INTERNAL(level)                                     \
+  (level) < ::fvae::GetLogLevel()                                    \
+      ? (void)0                                                      \
+      : ::fvae::internal_log::LogVoidify() &                         \
+            ::fvae::internal_log::LogMessage(level, __FILE__, __LINE__)
+
+/// Usage: FVAE_LOG(INFO) << "epoch " << e << " loss " << loss;
+#define FVAE_LOG(severity) \
+  FVAE_LOG_INTERNAL(::fvae::internal_log::k##severity)
+
+#endif  // FVAE_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef FVAE_COMMON_RESULT_H_
+#define FVAE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace fvae {
+
+/// Value-or-error return type, in the spirit of absl::StatusOr<T>.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of a non-OK Result aborts via FVAE_CHECK — callers must test
+/// ok() (or use FVAE_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirrors StatusOr).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    FVAE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::Ok() when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Abort when !ok().
+  const T& value() const& {
+    FVAE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FVAE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FVAE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace fvae
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define FVAE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  FVAE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      FVAE_RESULT_CONCAT_(_fvae_result, __LINE__), lhs, rexpr)
+
+#define FVAE_RESULT_CONCAT_INNER_(a, b) a##b
+#define FVAE_RESULT_CONCAT_(a, b) FVAE_RESULT_CONCAT_INNER_(a, b)
+#define FVAE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // FVAE_COMMON_RESULT_H_

@@ -1,0 +1,32 @@
+#ifndef FVAE_COMMON_STOPWATCH_H_
+#define FVAE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fvae {
+
+/// Monotonic wall-clock stopwatch used by the training loops and the
+/// benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef FVAE_COMMON_STRING_UTIL_H_
+#define FVAE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fvae {
+
+/// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Joins pieces with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Case-sensitive prefix / suffix tests.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict numeric parsing: the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,57 @@
+#ifndef FVAE_COMMON_THREAD_POOL_H_
+#define FVAE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fvae {
+
+/// Fixed-size worker pool with a shared FIFO queue.
+///
+/// Used by the distributed-training simulator (one "server" per worker) and
+/// by ParallelFor below. Tasks must not throw — library code reports errors
+/// through Status and checks invariants with FVAE_CHECK.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`, blocking until complete.
+/// Iterations are chunked to amortize scheduling overhead.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,156 @@
+#ifndef FVAE_CORE_FVAE_MODEL_H_
+#define FVAE_CORE_FVAE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "core/fvae_config.h"
+#include "data/dataset.h"
+#include "math/matrix.h"
+#include "nn/dense.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace fvae::core {
+
+/// Per-step training statistics.
+struct StepStats {
+  /// Mean (over batch users) reconstruction NLL per field, alpha-weighted
+  /// terms summed in `loss`.
+  std::vector<double> field_nll;
+  double kl = 0.0;
+  double loss = 0.0;
+  /// Candidate-set sizes per field after batched softmax + sampling (the
+  /// quantity the efficiency tricks shrink).
+  std::vector<size_t> candidates_per_field;
+};
+
+/// Field-aware Variational Autoencoder (the paper's core contribution).
+///
+/// Encoder: per-field dynamic-hash embedding tables whose rows are summed
+/// over a user's observed features (weighted by feature value), giving the
+/// first hidden activation in O(N̄) — equivalent to a dense first layer over
+/// the multi-hot input but without materializing it. A tanh MLP trunk then
+/// produces mu and log-variance heads of the diagonal Gaussian posterior.
+///
+/// Decoder: a shared tanh MLP trunk from z, followed by one output head per
+/// field; each head holds one weight row + bias per feature in a growable
+/// EmbeddingTable and models the field with an independent multinomial
+/// (Eq. 1-4). Training normalizes each field's softmax over the batched
+/// (and optionally feature-sampled) candidate set (§IV-C2/C3).
+///
+/// The user representation is the posterior mean mu (paper §III).
+class FieldVae {
+ public:
+  /// `field_schemas` fixes the number of fields and which are sparse
+  /// (sampling-eligible). The feature vocabulary itself is open: tables
+  /// grow as training encounters new IDs.
+  FieldVae(const FvaeConfig& config, std::vector<FieldSchema> field_schemas);
+
+  FieldVae(const FieldVae&) = delete;
+  FieldVae& operator=(const FieldVae&) = delete;
+
+  /// One Algorithm-1 training step over `users` from `dataset`, with the
+  /// current annealed KL weight `beta`.
+  StepStats TrainStep(const MultiFieldDataset& dataset,
+                      std::span<const uint32_t> users, float beta);
+
+  /// Posterior means (num users x latent_dim) — the user embeddings.
+  /// Unknown feature IDs are skipped (cold-start behaviour).
+  Matrix Encode(const MultiFieldDataset& dataset,
+                std::span<const uint32_t> users) const;
+
+  /// Posterior means and log-variances.
+  void EncodeWithVariance(const MultiFieldDataset& dataset,
+                          std::span<const uint32_t> users, Matrix* mu,
+                          Matrix* logvar) const;
+
+  /// Decoder-trunk activation for latent codes `z` (one row per row of z).
+  /// An alternative exported representation: its inner-product geometry is
+  /// what the per-field output heads rank features with, so L2/cosine
+  /// similarity in this space tracks *profile* similarity — the right
+  /// space for mean-pooled look-alike recall (see bench/table6_ab_test).
+  Matrix DecoderHidden(const Matrix& z) const;
+
+  /// Decoder logits for `candidate_ids` of field `k`, one row per z row.
+  /// Unknown candidates score 0 (cold feature). Row-wise softmax of the
+  /// result is the multinomial pi^k(z) restricted to the candidates.
+  Matrix ScoreField(const Matrix& z, size_t k,
+                    std::span<const uint64_t> candidate_ids) const;
+
+  /// Convenience: embeddings -> scores in one call for evaluation tasks.
+  Matrix EncodeAndScore(const MultiFieldDataset& dataset,
+                        std::span<const uint32_t> users, size_t k,
+                        std::span<const uint64_t> candidate_ids) const;
+
+  size_t num_fields() const { return field_schemas_.size(); }
+  size_t latent_dim() const { return config_.latent_dim; }
+  const FvaeConfig& config() const { return config_; }
+  const std::vector<FieldSchema>& field_schemas() const {
+    return field_schemas_;
+  }
+
+  /// Features currently known to the input table of field k.
+  size_t KnownFeatures(size_t k) const;
+
+  /// Total trainable parameter count (dense + sparse tables), for logging.
+  size_t ParameterCount() const;
+
+  /// Dense parameter values, in a stable order across replicas built from
+  /// the same config. Used by the distributed trainer's model averaging
+  /// and by checkpointing (core/model_io.h).
+  std::vector<Matrix*> DenseParams();
+  std::vector<const Matrix*> DenseParams() const;
+
+  /// Access to the per-field tables (distributed merging, checkpointing).
+  nn::EmbeddingTable& input_table(size_t k) { return *input_tables_[k]; }
+  nn::EmbeddingTable& output_table(size_t k) { return *output_tables_[k]; }
+  const nn::EmbeddingTable& input_table(size_t k) const {
+    return *input_tables_[k];
+  }
+  const nn::EmbeddingTable& output_table(size_t k) const {
+    return *output_tables_[k];
+  }
+
+ private:
+  struct EncoderCache;
+
+  /// Shared encoder computation. When `cache` is non-null, the per-user
+  /// feature lists and intermediate activations needed by backprop are
+  /// stored (and tables grow for unseen IDs); otherwise lookup is
+  /// read-only.
+  void EncodeInternal(const MultiFieldDataset& dataset,
+                      std::span<const uint32_t> users, bool training,
+                      Matrix* mu, Matrix* logvar, EncoderCache* cache);
+
+  /// Read-only encode used by the const public methods.
+  void EncodeConst(const MultiFieldDataset& dataset,
+                   std::span<const uint32_t> users, Matrix* mu,
+                   Matrix* logvar) const;
+
+  FvaeConfig config_;
+  std::vector<FieldSchema> field_schemas_;
+  Rng rng_;
+
+  // --- encoder ---
+  std::vector<std::unique_ptr<nn::EmbeddingTable>> input_tables_;
+  Matrix first_bias_;       // 1 x encoder_hidden[0]
+  Matrix first_bias_grad_;
+  std::unique_ptr<nn::Mlp> encoder_trunk_;  // only when >1 hidden layer
+  std::unique_ptr<nn::DenseLayer> mu_head_;
+  std::unique_ptr<nn::DenseLayer> logvar_head_;
+
+  // --- decoder ---
+  std::unique_ptr<nn::Mlp> decoder_trunk_;  // latent -> decoder_hidden.back()
+  std::vector<std::unique_ptr<nn::EmbeddingTable>> output_tables_;
+
+  std::unique_ptr<nn::AdamOptimizer> dense_optimizer_;
+};
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_FVAE_MODEL_H_

@@ -1,0 +1,63 @@
+#include "core/hyper_search.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae::core {
+
+FvaeConfig SampleConfig(const FvaeSearchSpace& space, const FvaeConfig& base,
+                        size_t num_fields, Rng& rng) {
+  FVAE_CHECK(!space.latent_choices.empty());
+  FVAE_CHECK(!space.hidden_choices.empty());
+  FVAE_CHECK(!space.strategy_choices.empty());
+  FVAE_CHECK(space.beta_min <= space.beta_max);
+  FVAE_CHECK(space.sampling_rate_min <= space.sampling_rate_max);
+  FVAE_CHECK(space.sampling_rate_min > 0.0);
+
+  FvaeConfig config = base;
+  config.latent_dim =
+      space.latent_choices[rng.UniformInt(space.latent_choices.size())];
+  const size_t hidden =
+      space.hidden_choices[rng.UniformInt(space.hidden_choices.size())];
+  config.encoder_hidden = {hidden};
+  config.decoder_hidden = {hidden};
+  config.sampling_strategy =
+      space.strategy_choices[rng.UniformInt(space.strategy_choices.size())];
+  config.beta =
+      static_cast<float>(rng.Uniform(space.beta_min, space.beta_max));
+  config.sampling_rate =
+      rng.Uniform(space.sampling_rate_min, space.sampling_rate_max);
+  if (space.search_alpha) {
+    config.alpha.resize(num_fields);
+    for (float& alpha : config.alpha) {
+      const double exponent =
+          rng.Uniform(space.alpha_log10_min, space.alpha_log10_max);
+      alpha = static_cast<float>(std::pow(10.0, exponent));
+    }
+  }
+  return config;
+}
+
+SearchOutcome RandomSearch(
+    const FvaeSearchSpace& space, const FvaeConfig& base, size_t num_fields,
+    size_t num_trials,
+    const std::function<double(const FvaeConfig&)>& objective, Rng& rng) {
+  FVAE_CHECK(num_trials > 0);
+  FVAE_CHECK(objective != nullptr);
+  SearchOutcome outcome;
+  outcome.trials.reserve(num_trials);
+  for (size_t t = 0; t < num_trials; ++t) {
+    SearchTrial trial;
+    trial.config = SampleConfig(space, base, num_fields, rng);
+    trial.score = objective(trial.config);
+    if (outcome.trials.empty() || trial.score > outcome.best_score) {
+      outcome.best_score = trial.score;
+      outcome.best_config = trial.config;
+    }
+    outcome.trials.push_back(std::move(trial));
+  }
+  return outcome;
+}
+
+}  // namespace fvae::core

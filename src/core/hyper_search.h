@@ -1,0 +1,62 @@
+#ifndef FVAE_CORE_HYPER_SEARCH_H_
+#define FVAE_CORE_HYPER_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "core/fvae_config.h"
+
+namespace fvae::core {
+
+/// Search space for FVAE hyper-parameters. The paper (§V-D2) recommends
+/// plain random search (Bergstra & Bengio) for tuning alpha — this utility
+/// implements it over the full configuration.
+struct FvaeSearchSpace {
+  /// Discrete choices (picked uniformly).
+  std::vector<size_t> latent_choices{32, 48, 64};
+  std::vector<size_t> hidden_choices{128, 192, 256};
+  std::vector<SamplingStrategy> strategy_choices{SamplingStrategy::kUniform};
+
+  /// Continuous ranges (uniform unless noted).
+  float beta_min = 0.0f;
+  float beta_max = 0.5f;
+  double sampling_rate_min = 0.05;
+  double sampling_rate_max = 0.5;
+  /// Per-field alpha, sampled log-uniformly over [10^lo, 10^hi] — the
+  /// paper's Fig. 7 shows alpha matters across orders of magnitude.
+  float alpha_log10_min = -2.0f;
+  float alpha_log10_max = 1.0f;
+  /// When false, alpha stays at the all-ones default.
+  bool search_alpha = true;
+};
+
+/// One completed trial.
+struct SearchTrial {
+  FvaeConfig config;
+  double score = 0.0;
+};
+
+/// Outcome of a random search (higher score = better).
+struct SearchOutcome {
+  FvaeConfig best_config;
+  double best_score = 0.0;
+  std::vector<SearchTrial> trials;
+};
+
+/// Draws one configuration from the space. `base` supplies every field the
+/// space does not cover (learning rates, anneal steps, seed...).
+FvaeConfig SampleConfig(const FvaeSearchSpace& space, const FvaeConfig& base,
+                        size_t num_fields, Rng& rng);
+
+/// Runs `num_trials` random configurations through `objective` (which
+/// trains/evaluates and returns a score to MAXIMIZE) and returns the best.
+/// Deterministic given `rng` state and a deterministic objective.
+SearchOutcome RandomSearch(
+    const FvaeSearchSpace& space, const FvaeConfig& base, size_t num_fields,
+    size_t num_trials,
+    const std::function<double(const FvaeConfig&)>& objective, Rng& rng);
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_HYPER_SEARCH_H_

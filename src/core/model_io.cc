@@ -1,0 +1,251 @@
+#include "core/model_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace fvae::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'V', 'M', 'D'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len) || len > (1u << 20)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return in.good();
+}
+
+void WriteMatrix(std::ofstream& out, const Matrix& m) {
+  WritePod(out, static_cast<uint64_t>(m.rows()));
+  WritePod(out, static_cast<uint64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+bool ReadMatrixInto(std::ifstream& in, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) return false;
+  if (rows != m->rows() || cols != m->cols()) return false;
+  in.read(reinterpret_cast<char*>(m->data()),
+          static_cast<std::streamsize>(m->size() * sizeof(float)));
+  return in.good();
+}
+
+void WriteTable(std::ofstream& out, const nn::EmbeddingTable& table) {
+  WritePod(out, static_cast<uint64_t>(table.dim()));
+  WritePod(out, static_cast<uint8_t>(table.with_bias() ? 1 : 0));
+  const auto items = table.Items();
+  WritePod(out, static_cast<uint64_t>(items.size()));
+  for (const auto& [key, row] : items) {
+    WritePod(out, key);
+    std::span<const float> weights = table.Row(row);
+    out.write(reinterpret_cast<const char*>(weights.data()),
+              static_cast<std::streamsize>(weights.size() * sizeof(float)));
+    const float bias = table.with_bias() ? table.bias(row) : 0.0f;
+    WritePod(out, bias);
+  }
+}
+
+bool ReadTableInto(std::ifstream& in, nn::EmbeddingTable* table) {
+  uint64_t dim = 0;
+  uint8_t with_bias = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &dim) || !ReadPod(in, &with_bias) ||
+      !ReadPod(in, &count)) {
+    return false;
+  }
+  if (dim != table->dim() ||
+      (with_bias != 0) != table->with_bias()) {
+    return false;
+  }
+  std::vector<float> weights(dim);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    float bias = 0.0f;
+    if (!ReadPod(in, &key)) return false;
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(dim * sizeof(float)));
+    if (!ReadPod(in, &bias)) return false;
+    const uint32_t row = table->GetOrCreateRow(key);
+    std::span<float> dst = table->Row(row);
+    std::copy(weights.begin(), weights.end(), dst.begin());
+    if (table->with_bias()) table->set_bias(row, bias);
+  }
+  return true;
+}
+
+void WriteSizeVector(std::ofstream& out, const std::vector<size_t>& v) {
+  WritePod(out, static_cast<uint32_t>(v.size()));
+  for (size_t x : v) WritePod(out, static_cast<uint64_t>(x));
+}
+
+bool ReadSizeVector(std::ifstream& in, std::vector<size_t>* v) {
+  uint32_t n = 0;
+  if (!ReadPod(in, &n) || n > 64) return false;
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    if (!ReadPod(in, &x)) return false;
+    (*v)[i] = static_cast<size_t>(x);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveFieldVae(const FieldVae& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+
+  // ---- config ----
+  const FvaeConfig& config = model.config();
+  WritePod(out, static_cast<uint64_t>(config.latent_dim));
+  WriteSizeVector(out, config.encoder_hidden);
+  WriteSizeVector(out, config.decoder_hidden);
+  WritePod(out, static_cast<uint32_t>(config.alpha.size()));
+  for (float a : config.alpha) WritePod(out, a);
+  WritePod(out, config.beta);
+  WritePod(out, static_cast<uint64_t>(config.anneal_steps));
+  WritePod(out, static_cast<uint32_t>(config.anneal_schedule));
+  WritePod(out, static_cast<uint32_t>(config.sampling_strategy));
+  WritePod(out, config.sampling_rate);
+  WritePod(out, static_cast<uint8_t>(config.batched_softmax ? 1 : 0));
+  WritePod(out, config.dense_learning_rate);
+  WritePod(out, config.sparse_learning_rate);
+  WritePod(out, config.embedding_init_stddev);
+  WritePod(out, config.seed);
+
+  // ---- schemas ----
+  WritePod(out, static_cast<uint32_t>(model.num_fields()));
+  for (const FieldSchema& schema : model.field_schemas()) {
+    WriteString(out, schema.name);
+    WritePod(out, static_cast<uint8_t>(schema.is_sparse ? 1 : 0));
+  }
+
+  // ---- dense parameters ----
+  const auto params = model.DenseParams();
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const Matrix* param : params) WriteMatrix(out, *param);
+
+  // ---- embedding tables ----
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    WriteTable(out, model.input_table(k));
+    WriteTable(out, model.output_table(k));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FieldVae>> LoadFieldVae(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+
+  // ---- config ----
+  FvaeConfig config;
+  uint64_t latent = 0;
+  if (!ReadPod(in, &latent)) return Status::IoError("truncated config");
+  config.latent_dim = static_cast<size_t>(latent);
+  if (!ReadSizeVector(in, &config.encoder_hidden) ||
+      !ReadSizeVector(in, &config.decoder_hidden)) {
+    return Status::InvalidArgument("bad hidden dims");
+  }
+  uint32_t alpha_count = 0;
+  if (!ReadPod(in, &alpha_count) || alpha_count > 1024) {
+    return Status::InvalidArgument("bad alpha count");
+  }
+  config.alpha.resize(alpha_count);
+  for (float& a : config.alpha) {
+    if (!ReadPod(in, &a)) return Status::IoError("truncated alpha");
+  }
+  uint64_t anneal = 0;
+  uint32_t schedule = 0;
+  uint32_t strategy = 0;
+  uint8_t batched = 1;
+  if (!ReadPod(in, &config.beta) || !ReadPod(in, &anneal) ||
+      !ReadPod(in, &schedule) ||
+      !ReadPod(in, &strategy) || !ReadPod(in, &config.sampling_rate) ||
+      !ReadPod(in, &batched) || !ReadPod(in, &config.dense_learning_rate) ||
+      !ReadPod(in, &config.sparse_learning_rate) ||
+      !ReadPod(in, &config.embedding_init_stddev) ||
+      !ReadPod(in, &config.seed)) {
+    return Status::IoError("truncated config");
+  }
+  config.anneal_steps = static_cast<size_t>(anneal);
+  config.anneal_schedule = static_cast<AnnealSchedule>(schedule);
+  config.sampling_strategy = static_cast<SamplingStrategy>(strategy);
+  config.batched_softmax = batched != 0;
+
+  // ---- schemas ----
+  uint32_t num_fields = 0;
+  if (!ReadPod(in, &num_fields) || num_fields == 0 || num_fields > 1024) {
+    return Status::InvalidArgument("bad field count");
+  }
+  std::vector<FieldSchema> schemas(num_fields);
+  for (FieldSchema& schema : schemas) {
+    uint8_t sparse = 0;
+    if (!ReadString(in, &schema.name) || !ReadPod(in, &sparse)) {
+      return Status::IoError("truncated schema");
+    }
+    schema.is_sparse = sparse != 0;
+  }
+
+  auto model = std::make_unique<FieldVae>(config, schemas);
+
+  // ---- dense parameters ----
+  uint32_t param_count = 0;
+  if (!ReadPod(in, &param_count)) return Status::IoError("truncated params");
+  auto params = model->DenseParams();
+  if (param_count != params.size()) {
+    return Status::InvalidArgument("dense parameter count mismatch");
+  }
+  for (Matrix* param : params) {
+    if (!ReadMatrixInto(in, param)) {
+      return Status::InvalidArgument("dense parameter shape mismatch");
+    }
+  }
+
+  // ---- embedding tables ----
+  for (size_t k = 0; k < model->num_fields(); ++k) {
+    if (!ReadTableInto(in, &model->input_table(k)) ||
+        !ReadTableInto(in, &model->output_table(k))) {
+      return Status::InvalidArgument("embedding table mismatch");
+    }
+  }
+  return model;
+}
+
+}  // namespace fvae::core

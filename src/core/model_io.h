@@ -1,0 +1,31 @@
+#ifndef FVAE_CORE_MODEL_IO_H_
+#define FVAE_CORE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/fvae_model.h"
+
+namespace fvae::core {
+
+/// Checkpointing of a trained FieldVae: the offline module trains, saves,
+/// and the serving side reloads for inference (Fig. 2's model serving
+/// proxy).
+///
+/// The checkpoint contains the full FvaeConfig, the field schemas, every
+/// dense parameter, and every embedding-table entry (key, weights, bias).
+/// Optimizer state (Adam moments, AdaGrad accumulators) is NOT saved: a
+/// loaded model is exact for inference and a valid warm start for further
+/// training, but the first post-load steps re-estimate optimizer state.
+///
+/// Format (little-endian): magic "FVMD", uint32 version, config block,
+/// schema block, dense-parameter block, per-field table blocks.
+Status SaveFieldVae(const FieldVae& model, const std::string& path);
+
+Result<std::unique_ptr<FieldVae>> LoadFieldVae(const std::string& path);
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_MODEL_IO_H_

@@ -1,0 +1,134 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae::core {
+
+SamplingStrategy ParseSamplingStrategy(const std::string& name) {
+  if (name == "none") return SamplingStrategy::kNone;
+  if (name == "uniform") return SamplingStrategy::kUniform;
+  if (name == "frequency") return SamplingStrategy::kFrequency;
+  if (name == "zipfian") return SamplingStrategy::kZipfian;
+  FVAE_CHECK(false) << "unknown sampling strategy: " << name;
+  return SamplingStrategy::kNone;
+}
+
+const char* SamplingStrategyName(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kNone:
+      return "none";
+    case SamplingStrategy::kUniform:
+      return "uniform";
+    case SamplingStrategy::kFrequency:
+      return "frequency";
+    case SamplingStrategy::kZipfian:
+      return "zipfian";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Draws `want` distinct indices from an AliasSampler built over `weights`
+/// by rejection of repeats. Falls back to a weighted prefix when rejection
+/// stalls (can happen when the weight mass is concentrated on few items).
+std::vector<size_t> DistinctWeightedSample(const std::vector<double>& weights,
+                                           size_t want, Rng& rng) {
+  const size_t n = weights.size();
+  AliasSampler alias(weights);
+  std::vector<bool> chosen(n, false);
+  std::vector<size_t> picks;
+  picks.reserve(want);
+  // Expected draws is O(want log want) in benign regimes; cap the budget.
+  size_t budget = 20 * want + 64;
+  while (picks.size() < want && budget-- > 0) {
+    const size_t j = alias.Sample(rng);
+    if (!chosen[j]) {
+      chosen[j] = true;
+      picks.push_back(j);
+    }
+  }
+  // Top-up deterministically from the heaviest unchosen items.
+  if (picks.size() < want) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return weights[a] > weights[b];
+    });
+    for (size_t j : order) {
+      if (picks.size() >= want) break;
+      if (!chosen[j]) {
+        chosen[j] = true;
+        picks.push_back(j);
+      }
+    }
+  }
+  return picks;
+}
+
+}  // namespace
+
+std::vector<uint64_t> SampleCandidates(
+    const std::vector<Candidate>& candidates, double rate,
+    SamplingStrategy strategy, Rng& rng) {
+  FVAE_CHECK(rate > 0.0 && rate <= 1.0) << "sampling rate out of range";
+  std::vector<uint64_t> out;
+  if (candidates.empty()) return out;
+  if (strategy == SamplingStrategy::kNone || rate >= 1.0) {
+    out.reserve(candidates.size());
+    for (const Candidate& c : candidates) out.push_back(c.id);
+    return out;
+  }
+
+  const size_t want = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(rate * double(candidates.size()))));
+  if (want >= candidates.size()) {
+    out.reserve(candidates.size());
+    for (const Candidate& c : candidates) out.push_back(c.id);
+    return out;
+  }
+
+  switch (strategy) {
+    case SamplingStrategy::kUniform: {
+      std::vector<uint64_t> picks =
+          rng.SampleWithoutReplacement(candidates.size(), want);
+      out.reserve(want);
+      for (uint64_t p : picks) out.push_back(candidates[p].id);
+      break;
+    }
+    case SamplingStrategy::kFrequency: {
+      std::vector<double> weights(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        weights[i] = double(candidates[i].batch_frequency);
+      }
+      for (size_t j : DistinctWeightedSample(weights, want, rng)) {
+        out.push_back(candidates[j].id);
+      }
+      break;
+    }
+    case SamplingStrategy::kZipfian: {
+      // Rank by decreasing frequency, then weight rank r by 1/(r+1).
+      std::vector<size_t> order(candidates.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return candidates[a].batch_frequency > candidates[b].batch_frequency;
+      });
+      std::vector<double> weights(candidates.size());
+      for (size_t r = 0; r < order.size(); ++r) {
+        weights[order[r]] = 1.0 / double(r + 1);
+      }
+      for (size_t j : DistinctWeightedSample(weights, want, rng)) {
+        out.push_back(candidates[j].id);
+      }
+      break;
+    }
+    case SamplingStrategy::kNone:
+      break;  // handled above
+  }
+  return out;
+}
+
+}  // namespace fvae::core

@@ -1,0 +1,48 @@
+#ifndef FVAE_CORE_SAMPLING_H_
+#define FVAE_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fvae::core {
+
+/// Feature-sampling strategies for sparse fields (paper §IV-C3, Fig. 5).
+/// All strategies operate on the *batched* candidate set (features with at
+/// least one user in the current batch) and keep roughly a fraction r of it.
+enum class SamplingStrategy {
+  /// Keep every batched candidate (batched softmax only).
+  kNone,
+  /// The paper's proposal: sample candidates uniformly at random.
+  kUniform,
+  /// Sample candidates proportionally to their in-batch frequency.
+  kFrequency,
+  /// Rank candidates by decreasing in-batch frequency and sample them with
+  /// an approximately Zipfian (1/rank) distribution.
+  kZipfian,
+};
+
+/// Parses "none" / "uniform" / "frequency" / "zipfian" (case-sensitive).
+/// Aborts on unknown names (configuration error).
+SamplingStrategy ParseSamplingStrategy(const std::string& name);
+const char* SamplingStrategyName(SamplingStrategy strategy);
+
+/// A batched-softmax candidate: a feature ID and the number of users in the
+/// batch that exhibit it (its in-batch frequency).
+struct Candidate {
+  uint64_t id = 0;
+  uint32_t batch_frequency = 0;
+};
+
+/// Selects ~rate * candidates.size() candidates according to `strategy`
+/// (at least 1 when the input is non-empty). kNone returns all candidates.
+/// The returned IDs preserve no particular order; duplicates never occur.
+std::vector<uint64_t> SampleCandidates(const std::vector<Candidate>& candidates,
+                                       double rate,
+                                       SamplingStrategy strategy, Rng& rng);
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_SAMPLING_H_

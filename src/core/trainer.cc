@@ -1,0 +1,93 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "data/batching.h"
+
+namespace fvae::core {
+
+float AnnealedBeta(const FvaeConfig& config, size_t step) {
+  FVAE_CHECK(step >= 1) << "steps are 1-based";
+  const size_t period = std::max<size_t>(1, config.anneal_steps);
+  switch (config.anneal_schedule) {
+    case AnnealSchedule::kLinear: {
+      const float progress = std::min(1.0f, float(step) / float(period));
+      return config.beta * progress;
+    }
+    case AnnealSchedule::kCyclical: {
+      // Sawtooth: position within the current cycle, 1-based.
+      const size_t phase = ((step - 1) % period) + 1;
+      return config.beta * float(phase) / float(period);
+    }
+    case AnnealSchedule::kCosine: {
+      const float progress = std::min(1.0f, float(step) / float(period));
+      return config.beta * 0.5f *
+             (1.0f - std::cos(float(std::numbers::pi) * progress));
+    }
+  }
+  return config.beta;
+}
+
+TrainResult TrainFvae(FieldVae& model, const MultiFieldDataset& dataset,
+                      const TrainOptions& options) {
+  FVAE_CHECK(options.batch_size > 0);
+  FVAE_CHECK(dataset.num_users() > 0) << "cannot train on an empty dataset";
+
+  TrainResult result;
+  result.mean_candidates_per_field.assign(model.num_fields(), 0.0);
+
+  BatchIterator batches(dataset.num_users(), options.batch_size,
+                        options.shuffle_seed);
+  Stopwatch watch;
+  std::vector<uint32_t> batch;
+  bool stop = false;
+
+  for (size_t epoch = 0; epoch < options.epochs && !stop; ++epoch) {
+    double epoch_loss = 0.0;
+    size_t epoch_batches = 0;
+    while (batches.Next(&batch)) {
+      const float beta = AnnealedBeta(model.config(), result.steps + 1);
+      const StepStats stats = model.TrainStep(dataset, batch, beta);
+      epoch_loss += stats.loss;
+      ++epoch_batches;
+      ++result.steps;
+      result.users_processed += batch.size();
+      for (size_t k = 0; k < stats.candidates_per_field.size(); ++k) {
+        result.mean_candidates_per_field[k] +=
+            double(stats.candidates_per_field[k]);
+      }
+      if (options.eval_every_steps > 0 && options.step_callback &&
+          result.steps % options.eval_every_steps == 0) {
+        options.step_callback(result.steps, watch.ElapsedSeconds());
+      }
+      if (options.time_budget_seconds > 0.0 &&
+          watch.ElapsedSeconds() >= options.time_budget_seconds) {
+        stop = true;
+        break;
+      }
+    }
+    batches.NewEpoch();
+    if (epoch_batches > 0) {
+      result.epoch_loss.push_back(epoch_loss / double(epoch_batches));
+    }
+    if (options.epoch_callback && !stop) {
+      if (!options.epoch_callback(epoch, result.epoch_loss.back(),
+                                  watch.ElapsedSeconds())) {
+        stop = true;
+      }
+    }
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  for (double& c : result.mean_candidates_per_field) {
+    if (result.steps > 0) c /= double(result.steps);
+  }
+  return result;
+}
+
+}  // namespace fvae::core

@@ -1,0 +1,56 @@
+#ifndef FVAE_CORE_TRAINER_H_
+#define FVAE_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/fvae_model.h"
+#include "data/dataset.h"
+
+namespace fvae::core {
+
+/// Knobs of the training loop (Algorithm 1).
+struct TrainOptions {
+  size_t batch_size = 512;
+  size_t epochs = 10;
+  /// Stop early after this many seconds of wall-clock training (0 = off).
+  /// Used by the timed benchmarks (Fig. 6, Table V).
+  double time_budget_seconds = 0.0;
+  /// Called after every epoch with (epoch index, mean loss, elapsed s);
+  /// return false to stop training early.
+  std::function<bool(size_t, double, double)> epoch_callback;
+  /// Called after every `eval_every_steps` steps (0 = never) with
+  /// (step index, elapsed seconds); used by AUC-vs-time studies.
+  size_t eval_every_steps = 0;
+  std::function<void(size_t, double)> step_callback;
+  uint64_t shuffle_seed = 99;
+};
+
+/// Aggregated outcome of a training run.
+struct TrainResult {
+  std::vector<double> epoch_loss;
+  size_t steps = 0;
+  size_t users_processed = 0;
+  double seconds = 0.0;
+  /// Mean candidate-set size per field over all steps (what batched softmax
+  /// + sampling actually scored).
+  std::vector<double> mean_candidates_per_field;
+
+  double UsersPerSecond() const {
+    return seconds > 0.0 ? double(users_processed) / seconds : 0.0;
+  }
+};
+
+/// The annealed KL weight at 1-based training step `step` under the given
+/// configuration (exposed for tests and custom training loops).
+float AnnealedBeta(const FvaeConfig& config, size_t step);
+
+/// Runs Algorithm 1: shuffled mini-batches, per-batch candidate
+/// construction (inside the model), and KL annealing from 0 up to
+/// config.beta over config.anneal_steps steps (config.anneal_schedule).
+TrainResult TrainFvae(FieldVae& model, const MultiFieldDataset& dataset,
+                      const TrainOptions& options);
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_TRAINER_H_

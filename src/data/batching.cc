@@ -1,0 +1,44 @@
+#include "data/batching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fvae {
+
+BatchIterator::BatchIterator(size_t num_users, size_t batch_size,
+                             uint64_t seed, bool drop_remainder)
+    : batch_size_(batch_size), drop_remainder_(drop_remainder), rng_(seed) {
+  FVAE_CHECK(num_users > 0) << "empty dataset";
+  FVAE_CHECK(batch_size > 0) << "batch size must be positive";
+  order_.resize(num_users);
+  std::iota(order_.begin(), order_.end(), 0u);
+  rng_.Shuffle(order_);
+}
+
+bool BatchIterator::Next(std::vector<uint32_t>* batch) {
+  batch->clear();
+  if (cursor_ >= order_.size()) return false;
+  const size_t remaining = order_.size() - cursor_;
+  if (drop_remainder_ && remaining < batch_size_) {
+    cursor_ = order_.size();
+    return false;
+  }
+  const size_t take = std::min(batch_size_, remaining);
+  batch->assign(order_.begin() + cursor_, order_.begin() + cursor_ + take);
+  cursor_ += take;
+  return true;
+}
+
+void BatchIterator::NewEpoch() {
+  cursor_ = 0;
+  rng_.Shuffle(order_);
+}
+
+size_t BatchIterator::BatchesPerEpoch() const {
+  if (drop_remainder_) return order_.size() / batch_size_;
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace fvae

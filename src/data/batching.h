@@ -1,0 +1,46 @@
+#ifndef FVAE_DATA_BATCHING_H_
+#define FVAE_DATA_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fvae {
+
+/// Yields shuffled mini-batches of user indices, reshuffling every epoch.
+///
+/// Usage:
+///   BatchIterator batches(dataset.num_users(), 512, rng_seed);
+///   while (batches.Next(&batch)) { ... }   // one epoch
+///   batches.NewEpoch();                    // reshuffle for the next
+class BatchIterator {
+ public:
+  /// `num_users` > 0, `batch_size` > 0. `drop_remainder` discards a final
+  /// short batch (keeps gradient-noise statistics uniform).
+  BatchIterator(size_t num_users, size_t batch_size, uint64_t seed,
+                bool drop_remainder = false);
+
+  /// Fills `batch` with the next batch's user indices. Returns false (and
+  /// leaves `batch` empty) when the epoch is exhausted.
+  bool Next(std::vector<uint32_t>* batch);
+
+  /// Reshuffles and restarts from the beginning.
+  void NewEpoch();
+
+  /// Number of batches per epoch.
+  size_t BatchesPerEpoch() const;
+
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  std::vector<uint32_t> order_;
+  size_t batch_size_;
+  size_t cursor_ = 0;
+  bool drop_remainder_;
+  Rng rng_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_DATA_BATCHING_H_

@@ -1,0 +1,81 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace fvae {
+
+MultiFieldDataset::Builder::Builder(std::vector<FieldSchema> fields)
+    : fields_(std::move(fields)) {
+  FVAE_CHECK(!fields_.empty()) << "a dataset needs at least one field";
+  entries_.resize(fields_.size());
+  offsets_.assign(fields_.size(), std::vector<uint64_t>{0});
+}
+
+uint32_t MultiFieldDataset::Builder::AddUser(
+    const std::vector<std::vector<FeatureEntry>>& features_per_field) {
+  FVAE_CHECK(features_per_field.size() == fields_.size())
+      << "expected " << fields_.size() << " fields, got "
+      << features_per_field.size();
+  for (size_t k = 0; k < fields_.size(); ++k) {
+    for (const FeatureEntry& e : features_per_field[k]) {
+      FVAE_CHECK(e.value >= 0.0f) << "negative feature value";
+      entries_[k].push_back(e);
+    }
+    offsets_[k].push_back(entries_[k].size());
+  }
+  return static_cast<uint32_t>(offsets_[0].size() - 2);
+}
+
+MultiFieldDataset MultiFieldDataset::Builder::Build() {
+  MultiFieldDataset dataset;
+  dataset.fields_ = std::move(fields_);
+  dataset.num_users_ = offsets_.empty() ? 0 : offsets_[0].size() - 1;
+  dataset.entries_ = std::move(entries_);
+  dataset.offsets_ = std::move(offsets_);
+  fields_.clear();
+  entries_.clear();
+  offsets_.clear();
+  return dataset;
+}
+
+double MultiFieldDataset::UserFieldTotal(size_t u, size_t k) const {
+  double total = 0.0;
+  for (const FeatureEntry& e : UserField(u, k)) total += e.value;
+  return total;
+}
+
+size_t MultiFieldDataset::TotalNnz() const {
+  size_t total = 0;
+  for (const auto& field_entries : entries_) total += field_entries.size();
+  return total;
+}
+
+std::vector<uint64_t> MultiFieldDataset::DistinctFeatureIds(size_t k) const {
+  FVAE_CHECK(k < fields_.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(entries_[k].size());
+  for (const FeatureEntry& e : entries_[k]) seen.insert(e.id);
+  std::vector<uint64_t> ids(seen.begin(), seen.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double MultiFieldDataset::AverageFeaturesPerUser() const {
+  if (num_users_ == 0) return 0.0;
+  return double(TotalNnz()) / double(num_users_);
+}
+
+std::string MultiFieldDataset::Summary() const {
+  std::ostringstream out;
+  out << "MultiFieldDataset{users=" << num_users_
+      << ", fields=" << fields_.size();
+  for (size_t k = 0; k < fields_.size(); ++k) {
+    out << ", " << fields_[k].name << ":nnz=" << entries_[k].size();
+  }
+  out << ", avg_features/user=" << AverageFeaturesPerUser() << "}";
+  return out.str();
+}
+
+}  // namespace fvae

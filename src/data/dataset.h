@@ -1,0 +1,109 @@
+#ifndef FVAE_DATA_DATASET_H_
+#define FVAE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fvae {
+
+/// One observed feature of a user: raw 64-bit ID plus a non-negative value.
+/// The value is the multinomial count F^k_{i,j} (usually 1.0; the Tencent
+/// profile data carries weights, which the multinomial likelihood treats as
+/// fractional counts).
+struct FeatureEntry {
+  uint64_t id = 0;
+  float value = 1.0f;
+
+  bool operator==(const FeatureEntry&) const = default;
+};
+
+/// Static description of one feature field (paper: ch1 / ch2 / ch3 / tag).
+struct FieldSchema {
+  std::string name;
+  /// Fields flagged sparse get the feature-sampling treatment (§IV-C3).
+  bool is_sparse = false;
+};
+
+/// Sparse multi-field user-feature dataset U (paper §III).
+///
+/// Storage is CSR-like per field: entries of all users are concatenated and
+/// indexed by per-user offsets, so iterating a user's features in one field
+/// is a contiguous span. Users are dense indices [0, num_users); feature IDs
+/// are raw 64-bit values with no contiguity assumption (the dynamic hash
+/// table in the model layer densifies them).
+///
+/// Immutable once built (see Builder); cheap to share by const reference
+/// across trainers and evaluation tasks.
+class MultiFieldDataset {
+ public:
+  /// Incremental builder: add users one at a time, then Build().
+  class Builder {
+   public:
+    explicit Builder(std::vector<FieldSchema> fields);
+
+    /// Appends one user; `features_per_field` must have one entry per field
+    /// (empty vectors are fine — users may lack a field entirely).
+    /// Returns the new user's index.
+    uint32_t AddUser(
+        const std::vector<std::vector<FeatureEntry>>& features_per_field);
+
+    /// Finalizes the dataset. The builder is left empty.
+    MultiFieldDataset Build();
+
+   private:
+    std::vector<FieldSchema> fields_;
+    std::vector<std::vector<FeatureEntry>> entries_;   // per field
+    std::vector<std::vector<uint64_t>> offsets_;       // per field, N+1
+  };
+
+  MultiFieldDataset() = default;
+
+  size_t num_users() const { return num_users_; }
+  size_t num_fields() const { return fields_.size(); }
+  const std::vector<FieldSchema>& fields() const { return fields_; }
+  const FieldSchema& field(size_t k) const { return fields_[k]; }
+
+  /// Features of user `u` in field `k` as a contiguous span.
+  std::span<const FeatureEntry> UserField(size_t u, size_t k) const {
+    FVAE_CHECK(u < num_users_ && k < fields_.size());
+    const auto& off = offsets_[k];
+    return {entries_[k].data() + off[u],
+            static_cast<size_t>(off[u + 1] - off[u])};
+  }
+
+  /// Total observed-feature count of user `u` in field `k` (N^k_i).
+  double UserFieldTotal(size_t u, size_t k) const;
+
+  /// Number of (user, feature) incidences in field `k` across all users.
+  size_t FieldNnz(size_t k) const { return entries_[k].size(); }
+
+  /// Number of (user, feature) incidences across all fields.
+  size_t TotalNnz() const;
+
+  /// Distinct feature IDs appearing in field `k` (sorted ascending).
+  std::vector<uint64_t> DistinctFeatureIds(size_t k) const;
+
+  /// Average number of observed features per user, across fields
+  /// (the paper's N̄ statistic).
+  double AverageFeaturesPerUser() const;
+
+  /// Human-readable summary line for logging.
+  std::string Summary() const;
+
+ private:
+  friend class Builder;
+
+  std::vector<FieldSchema> fields_;
+  size_t num_users_ = 0;
+  // Per field: concatenated user entries and N+1 offsets.
+  std::vector<std::vector<FeatureEntry>> entries_;
+  std::vector<std::vector<uint64_t>> offsets_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_DATA_DATASET_H_

@@ -1,0 +1,205 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fvae {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'V', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveDatasetBinary(const MultiFieldDataset& dataset,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(dataset.num_fields()));
+  for (const FieldSchema& field : dataset.fields()) {
+    WritePod(out, static_cast<uint32_t>(field.name.size()));
+    out.write(field.name.data(),
+              static_cast<std::streamsize>(field.name.size()));
+    WritePod(out, static_cast<uint8_t>(field.is_sparse ? 1 : 0));
+  }
+  WritePod(out, static_cast<uint64_t>(dataset.num_users()));
+  for (size_t k = 0; k < dataset.num_fields(); ++k) {
+    WritePod(out, static_cast<uint64_t>(dataset.FieldNnz(k)));
+    uint64_t offset = 0;
+    WritePod(out, offset);
+    for (size_t u = 0; u < dataset.num_users(); ++u) {
+      offset += dataset.UserField(u, k).size();
+      WritePod(out, offset);
+    }
+    for (size_t u = 0; u < dataset.num_users(); ++u) {
+      for (const FeatureEntry& e : dataset.UserField(u, k)) {
+        WritePod(out, e.id);
+        WritePod(out, e.value);
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<MultiFieldDataset> LoadDatasetBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version");
+  }
+  uint32_t num_fields = 0;
+  if (!ReadPod(in, &num_fields) || num_fields == 0 || num_fields > 1024) {
+    return Status::InvalidArgument("bad field count");
+  }
+  std::vector<FieldSchema> fields(num_fields);
+  for (FieldSchema& field : fields) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("bad field name length");
+    }
+    field.name.resize(name_len);
+    in.read(field.name.data(), name_len);
+    uint8_t sparse = 0;
+    if (!ReadPod(in, &sparse)) return Status::IoError("truncated schema");
+    field.is_sparse = sparse != 0;
+  }
+  uint64_t num_users = 0;
+  if (!ReadPod(in, &num_users)) return Status::IoError("truncated header");
+
+  std::vector<std::vector<FeatureEntry>> field_entries(num_fields);
+  std::vector<std::vector<uint64_t>> field_offsets(num_fields);
+  for (uint32_t k = 0; k < num_fields; ++k) {
+    uint64_t nnz = 0;
+    if (!ReadPod(in, &nnz)) return Status::IoError("truncated field header");
+    field_offsets[k].resize(num_users + 1);
+    for (uint64_t& off : field_offsets[k]) {
+      if (!ReadPod(in, &off)) return Status::IoError("truncated offsets");
+    }
+    if (field_offsets[k].back() != nnz) {
+      return Status::InvalidArgument("offset/nnz mismatch");
+    }
+    field_entries[k].resize(nnz);
+    for (FeatureEntry& e : field_entries[k]) {
+      if (!ReadPod(in, &e.id) || !ReadPod(in, &e.value)) {
+        return Status::IoError("truncated entries");
+      }
+    }
+  }
+
+  MultiFieldDataset::Builder builder(std::move(fields));
+  std::vector<std::vector<FeatureEntry>> per_field(num_fields);
+  for (uint64_t u = 0; u < num_users; ++u) {
+    for (uint32_t k = 0; k < num_fields; ++k) {
+      const uint64_t lo = field_offsets[k][u];
+      const uint64_t hi = field_offsets[k][u + 1];
+      if (hi < lo || hi > field_entries[k].size()) {
+        return Status::InvalidArgument("corrupt offsets");
+      }
+      per_field[k].assign(field_entries[k].begin() + lo,
+                          field_entries[k].begin() + hi);
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+Status SaveDatasetText(const MultiFieldDataset& dataset,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "#fields ";
+  for (size_t k = 0; k < dataset.num_fields(); ++k) {
+    if (k) out << ",";
+    out << dataset.field(k).name;
+    if (dataset.field(k).is_sparse) out << ":sparse";
+  }
+  out << "\n";
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    for (size_t k = 0; k < dataset.num_fields(); ++k) {
+      if (k) out << "|";
+      auto span = dataset.UserField(u, k);
+      for (size_t i = 0; i < span.size(); ++i) {
+        if (i) out << ",";
+        out << span[i].id << ":" << span[i].value;
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<MultiFieldDataset> LoadDatasetText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, "#fields ")) {
+    return Status::InvalidArgument("missing #fields header in " + path);
+  }
+  std::vector<FieldSchema> fields;
+  for (const std::string& spec : Split(line.substr(8), ',')) {
+    FieldSchema field;
+    auto parts = Split(spec, ':');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::InvalidArgument("bad field spec: " + spec);
+    }
+    field.name = std::string(StripWhitespace(parts[0]));
+    field.is_sparse = parts.size() > 1 && parts[1] == "sparse";
+    fields.push_back(field);
+  }
+  const size_t num_fields = fields.size();
+  MultiFieldDataset::Builder builder(std::move(fields));
+  std::vector<std::vector<FeatureEntry>> per_field(num_fields);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto field_specs = Split(line, '|');
+    if (field_specs.size() != num_fields) {
+      return Status::InvalidArgument("wrong field count on line: " + line);
+    }
+    for (size_t k = 0; k < num_fields; ++k) {
+      per_field[k].clear();
+      if (StripWhitespace(field_specs[k]).empty()) continue;
+      for (const std::string& entry : Split(field_specs[k], ',')) {
+        auto pieces = Split(entry, ':');
+        if (pieces.size() != 2) {
+          return Status::InvalidArgument("bad entry: " + entry);
+        }
+        FVAE_ASSIGN_OR_RETURN(int64_t id, ParseInt64(pieces[0]));
+        FVAE_ASSIGN_OR_RETURN(double value, ParseDouble(pieces[1]));
+        per_field[k].push_back(
+            {static_cast<uint64_t>(id), static_cast<float>(value)});
+      }
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+}  // namespace fvae

@@ -1,0 +1,100 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fvae {
+
+DatasetSplit SplitUsers(size_t num_users, double valid_fraction,
+                        double test_fraction, Rng& rng) {
+  FVAE_CHECK(valid_fraction >= 0.0 && test_fraction >= 0.0 &&
+             valid_fraction + test_fraction <= 1.0)
+      << "bad split fractions";
+  std::vector<uint32_t> order(num_users);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(order);
+
+  const size_t num_valid = static_cast<size_t>(num_users * valid_fraction);
+  const size_t num_test = static_cast<size_t>(num_users * test_fraction);
+  DatasetSplit split;
+  split.valid.assign(order.begin(), order.begin() + num_valid);
+  split.test.assign(order.begin() + num_valid,
+                    order.begin() + num_valid + num_test);
+  split.train.assign(order.begin() + num_valid + num_test, order.end());
+  return split;
+}
+
+MultiFieldDataset Subset(const MultiFieldDataset& source,
+                         const std::vector<uint32_t>& users) {
+  MultiFieldDataset::Builder builder(source.fields());
+  std::vector<std::vector<FeatureEntry>> per_field(source.num_fields());
+  for (uint32_t u : users) {
+    for (size_t k = 0; k < source.num_fields(); ++k) {
+      auto span = source.UserField(u, k);
+      per_field[k].assign(span.begin(), span.end());
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+MultiFieldDataset MaskField(const MultiFieldDataset& source,
+                            size_t held_out_field) {
+  FVAE_CHECK(held_out_field < source.num_fields());
+  MultiFieldDataset::Builder builder(source.fields());
+  std::vector<std::vector<FeatureEntry>> per_field(source.num_fields());
+  for (size_t u = 0; u < source.num_users(); ++u) {
+    for (size_t k = 0; k < source.num_fields(); ++k) {
+      per_field[k].clear();
+      if (k == held_out_field) continue;
+      auto span = source.UserField(u, k);
+      per_field[k].assign(span.begin(), span.end());
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+ReconstructionSplit HoldOutWithinUsers(const MultiFieldDataset& source,
+                                       double holdout_fraction, Rng& rng) {
+  FVAE_CHECK(holdout_fraction >= 0.0 && holdout_fraction < 1.0)
+      << "holdout fraction out of range";
+  ReconstructionSplit result;
+  result.held_out.resize(source.num_users());
+
+  MultiFieldDataset::Builder builder(source.fields());
+  std::vector<std::vector<FeatureEntry>> kept(source.num_fields());
+  for (size_t u = 0; u < source.num_users(); ++u) {
+    result.held_out[u].resize(source.num_fields());
+    for (size_t k = 0; k < source.num_fields(); ++k) {
+      kept[k].clear();
+      auto span = source.UserField(u, k);
+      if (span.size() < 2) {
+        // Too few entries to split: keep everything as input.
+        kept[k].assign(span.begin(), span.end());
+        continue;
+      }
+      size_t num_hold =
+          static_cast<size_t>(double(span.size()) * holdout_fraction);
+      num_hold = std::min(num_hold, span.size() - 1);  // keep >= 1 as input
+      std::vector<uint64_t> picks =
+          rng.SampleWithoutReplacement(span.size(), num_hold);
+      std::vector<bool> held(span.size(), false);
+      for (uint64_t p : picks) held[p] = true;
+      for (size_t i = 0; i < span.size(); ++i) {
+        if (held[i]) {
+          result.held_out[u][k].push_back(span[i]);
+        } else {
+          kept[k].push_back(span[i]);
+        }
+      }
+    }
+    builder.AddUser(kept);
+  }
+  result.input = builder.Build();
+  return result;
+}
+
+}  // namespace fvae

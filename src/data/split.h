@@ -1,0 +1,53 @@
+#ifndef FVAE_DATA_SPLIT_H_
+#define FVAE_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace fvae {
+
+/// User-level split into train / validation / test index sets.
+struct DatasetSplit {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> valid;
+  std::vector<uint32_t> test;
+};
+
+/// Randomly partitions users. Fractions must be in [0,1] and sum to <= 1;
+/// the remainder goes to train.
+DatasetSplit SplitUsers(size_t num_users, double valid_fraction,
+                        double test_fraction, Rng& rng);
+
+/// Builds a sub-dataset containing only the given users (indices refer to
+/// `source`). Field schemas are preserved; users are renumbered densely in
+/// the order given.
+MultiFieldDataset Subset(const MultiFieldDataset& source,
+                         const std::vector<uint32_t>& users);
+
+/// Builds the fold-in view used by the tag-prediction task (paper §V-B2):
+/// a copy of `source` with field `held_out_field` emptied for every user.
+/// The model encodes users from the remaining fields and is scored on how
+/// well it predicts the held-out field.
+MultiFieldDataset MaskField(const MultiFieldDataset& source,
+                            size_t held_out_field);
+
+/// Per-user within-field holdout for the reconstruction task: for each user,
+/// a `holdout_fraction` of each field's entries (at least one entry is kept
+/// as input whenever the user has >= 2 entries) is removed from the input
+/// copy and returned in `held_out`. Users with a single entry in a field
+/// keep it in the input.
+struct ReconstructionSplit {
+  MultiFieldDataset input;
+  /// held_out[u][k] lists the removed entries of user u, field k.
+  std::vector<std::vector<std::vector<FeatureEntry>>> held_out;
+};
+
+ReconstructionSplit HoldOutWithinUsers(const MultiFieldDataset& source,
+                                       double holdout_fraction, Rng& rng);
+
+}  // namespace fvae
+
+#endif  // FVAE_DATA_SPLIT_H_

@@ -1,0 +1,83 @@
+#ifndef FVAE_DATA_STREAMING_H_
+#define FVAE_DATA_STREAMING_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fvae {
+
+/// Streaming user-record format for datasets too large to hold in memory —
+/// the regime the paper's billion-scale offline pipeline lives in. Records
+/// are written and read one user at a time; readers never materialize the
+/// full dataset.
+///
+/// File layout (little-endian): magic "FVST", uint32 version,
+/// uint32 num_fields, per field (uint32 name_len, name, uint8 sparse),
+/// then one record per user:
+///   per field: uint32 count, count x (uint64 id, float value)
+/// terminated by EOF.
+class StreamingDatasetWriter {
+ public:
+  StreamingDatasetWriter() = default;
+  ~StreamingDatasetWriter() { Close(); }
+
+  StreamingDatasetWriter(const StreamingDatasetWriter&) = delete;
+  StreamingDatasetWriter& operator=(const StreamingDatasetWriter&) = delete;
+
+  /// Opens `path` for writing and emits the header.
+  Status Open(const std::string& path, std::vector<FieldSchema> fields);
+
+  /// Appends one user; `features_per_field` must match the schema arity.
+  Status WriteUser(
+      const std::vector<std::vector<FeatureEntry>>& features_per_field);
+
+  /// Flushes and closes; further writes are errors. Idempotent.
+  Status Close();
+
+  size_t users_written() const { return users_written_; }
+
+ private:
+  std::ofstream out_;
+  std::vector<FieldSchema> fields_;
+  size_t users_written_ = 0;
+  bool open_ = false;
+};
+
+/// Sequential reader over a StreamingDatasetWriter file.
+class StreamingDatasetReader {
+ public:
+  /// Opens `path` and parses the header.
+  static Result<StreamingDatasetReader> Open(const std::string& path);
+
+  /// Reads the next user into `features_per_field` (resized to the field
+  /// count). Returns false at clean EOF; corrupt trailing data is an
+  /// FVAE_CHECK-free error reported through status().
+  bool NextUser(std::vector<std::vector<FeatureEntry>>* features_per_field);
+
+  /// Ok unless a record was malformed.
+  const Status& status() const { return status_; }
+
+  const std::vector<FieldSchema>& fields() const { return fields_; }
+  size_t users_read() const { return users_read_; }
+
+  /// Convenience: drains the remaining records into an in-memory dataset.
+  Result<MultiFieldDataset> ReadAll();
+
+ private:
+  StreamingDatasetReader() = default;
+
+  std::shared_ptr<std::ifstream> in_;  // shared: reader must stay movable
+  std::vector<FieldSchema> fields_;
+  size_t users_read_ = 0;
+  Status status_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_DATA_STREAMING_H_

@@ -1,0 +1,51 @@
+#include "datagen/barabasi_albert.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fvae {
+
+MultiFieldDataset GenerateBarabasiAlbert(const BarabasiAlbertConfig& config) {
+  FVAE_CHECK(config.num_users > 0);
+  FVAE_CHECK(config.features_per_user > 0);
+  FVAE_CHECK(config.max_features > 0);
+  FVAE_CHECK(config.new_feature_prob > 0.0 && config.new_feature_prob <= 1.0);
+
+  Rng rng(config.seed);
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // attachment appends its feature to this list, so a uniform draw from the
+  // list is a draw proportional to degree.
+  std::vector<uint32_t> endpoints;
+  endpoints.reserve(config.num_users * config.features_per_user);
+  uint32_t next_feature = 0;
+
+  MultiFieldDataset::Builder builder({FieldSchema{"ba", /*is_sparse=*/true}});
+  std::unordered_map<uint32_t, float> user_counts;
+  std::vector<std::vector<FeatureEntry>> per_field(1);
+
+  for (size_t u = 0; u < config.num_users; ++u) {
+    user_counts.clear();
+    for (size_t a = 0; a < config.features_per_user; ++a) {
+      uint32_t feature;
+      const bool can_mint = next_feature < config.max_features;
+      if (endpoints.empty() ||
+          (can_mint && rng.Bernoulli(config.new_feature_prob))) {
+        feature = next_feature++;
+      } else {
+        feature = endpoints[rng.UniformInt(endpoints.size())];
+      }
+      endpoints.push_back(feature);
+      user_counts[feature] += 1.0f;
+    }
+    per_field[0].clear();
+    per_field[0].reserve(user_counts.size());
+    for (const auto& [id, count] : user_counts) {
+      per_field[0].push_back({id, count});
+    }
+    builder.AddUser(per_field);
+  }
+  return builder.Build();
+}
+
+}  // namespace fvae

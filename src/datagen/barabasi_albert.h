@@ -1,0 +1,42 @@
+#ifndef FVAE_DATAGEN_BARABASI_ALBERT_H_
+#define FVAE_DATAGEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace fvae {
+
+/// Synthetic sparse-data generator following the Barabási-Albert
+/// preferential-attachment process, as used by the paper's scalability
+/// study (§V-E2 / Fig. 9).
+///
+/// Users arrive one at a time; each user attaches to `features_per_user`
+/// features. With probability `new_feature_prob` (while the vocabulary has
+/// not reached `max_features`) a brand-new feature is created; otherwise an
+/// existing feature is chosen proportionally to its current degree. The
+/// result is a bipartite user-feature incidence whose feature popularity
+/// follows a power law — the regime the batched softmax exploits.
+struct BarabasiAlbertConfig {
+  size_t num_users = 10000;
+  /// Average number of features per user (paper fixes this to 200 while
+  /// varying max_features, and vice versa).
+  size_t features_per_user = 200;
+  /// Hard cap on the vocabulary size J (paper fixes 1e5 while varying the
+  /// average feature count).
+  size_t max_features = 100000;
+  /// Probability of minting a new feature on each attachment while the cap
+  /// has not been reached.
+  double new_feature_prob = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Generates a single-field dataset under the BA process. The field is
+/// named "ba" and flagged sparse.
+MultiFieldDataset GenerateBarabasiAlbert(const BarabasiAlbertConfig& config);
+
+}  // namespace fvae
+
+#endif  // FVAE_DATAGEN_BARABASI_ALBERT_H_

@@ -1,0 +1,66 @@
+#include "datagen/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae {
+
+namespace {
+std::vector<double> ZipfWeights(size_t n, double s) {
+  FVAE_CHECK(n > 0) << "ZipfSampler needs n > 0";
+  FVAE_CHECK(s >= 0.0) << "negative Zipf exponent";
+  std::vector<double> weights(n);
+  for (size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(double(r + 1), s);
+  }
+  return weights;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double s) : alias_(ZipfWeights(n, s)) {
+  std::vector<double> weights = ZipfWeights(n, s);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  probs_.resize(n);
+  for (size_t r = 0; r < n; ++r) probs_[r] = weights[r] / total;
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  FVAE_CHECK(rank < probs_.size());
+  return probs_[rank];
+}
+
+void PopularityHistogram::Add(uint64_t feature_id) {
+  ++counts_[feature_id];
+  ++total_;
+}
+
+std::vector<size_t> PopularityHistogram::RankFrequency() const {
+  std::vector<size_t> freqs;
+  freqs.reserve(counts_.size());
+  for (const auto& [id, count] : counts_) freqs.push_back(count);
+  std::sort(freqs.begin(), freqs.end(), std::greater<>());
+  return freqs;
+}
+
+double PopularityHistogram::LogLogSlope() const {
+  const std::vector<size_t> freqs = RankFrequency();
+  FVAE_CHECK(freqs.size() >= 2) << "need at least two distinct features";
+  const size_t n = freqs.size();
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double x = std::log(double(r + 1));
+    const double y = std::log(double(freqs[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = double(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (double(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace fvae

@@ -1,0 +1,59 @@
+#ifndef FVAE_DATAGEN_POWERLAW_H_
+#define FVAE_DATAGEN_POWERLAW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fvae {
+
+/// Zipf-distributed sampler over ranks [0, n): P(rank = r) ~ 1/(r+1)^s.
+///
+/// User features in large platforms follow a power law (paper §IV-C2); the
+/// synthetic profile generators use this sampler to reproduce that shape.
+/// Implemented with an alias table, so draws are O(1).
+class ZipfSampler {
+ public:
+  /// `n` > 0 ranks, exponent `s` >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const { return alias_.Sample(rng); }
+
+  size_t size() const { return alias_.size(); }
+
+  /// Probability mass at a rank (for tests and analytics).
+  double Probability(size_t rank) const;
+
+ private:
+  AliasSampler alias_;
+  std::vector<double> probs_;
+};
+
+/// Empirical popularity counts of feature IDs over a stream, with helpers to
+/// characterize how power-law-like the distribution is.
+class PopularityHistogram {
+ public:
+  void Add(uint64_t feature_id);
+
+  size_t distinct_features() const { return counts_.size(); }
+  size_t total_observations() const { return total_; }
+
+  /// Counts sorted descending (the rank-frequency curve).
+  std::vector<size_t> RankFrequency() const;
+
+  /// Least-squares slope of log(frequency) vs log(rank + 1); a power law
+  /// with exponent s gives approximately -s. Requires >= 2 distinct ranks.
+  double LogLogSlope() const;
+
+ private:
+  std::unordered_map<uint64_t, size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_DATAGEN_POWERLAW_H_

@@ -1,0 +1,183 @@
+#include "datagen/profile_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "datagen/powerlaw.h"
+
+namespace fvae {
+
+namespace {
+
+// splitmix64 finalizer used to scatter dense indices into sparse raw IDs.
+uint64_t ScatterId(uint64_t field, uint64_t dense) {
+  uint64_t z = (field + 1) * 0x9E3779B97F4A7C15ULL + dense;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+GeneratedProfiles GenerateProfiles(const ProfileGeneratorConfig& config) {
+  FVAE_CHECK(config.num_users > 0);
+  FVAE_CHECK(config.num_topics > 0);
+  FVAE_CHECK(!config.fields.empty());
+  FVAE_CHECK(config.topic_concentration > 0.0);
+  FVAE_CHECK(config.noise_prob >= 0.0 && config.noise_prob <= 1.0);
+  FVAE_CHECK(config.pair_interaction_prob >= 0.0 &&
+             config.pair_interaction_prob <= 1.0);
+
+  Rng rng(config.seed);
+  const size_t num_fields = config.fields.size();
+  const size_t num_topics = config.num_topics;
+
+  GeneratedProfiles out;
+  out.dominant_topic.reserve(config.num_users);
+  out.topic_mixture.reserve(config.num_users);
+
+  // Field vocabularies: dense index -> raw ID.
+  out.field_vocab.resize(num_fields);
+  for (size_t k = 0; k < num_fields; ++k) {
+    const size_t vocab = config.fields[k].vocab_size;
+    FVAE_CHECK(vocab > 0) << "empty vocabulary in field " << k;
+    out.field_vocab[k].resize(vocab);
+    for (size_t j = 0; j < vocab; ++j) {
+      out.field_vocab[k][j] =
+          config.scatter_ids ? ScatterId(k, j) : static_cast<uint64_t>(j);
+    }
+  }
+
+  // One Zipf sampler per field, reused across topics: a topic t draws rank r
+  // and lands on dense feature (center_t + r) mod vocab, i.e., each topic
+  // prefers a Zipf-decaying window anchored at its own center. Windows of
+  // adjacent topics overlap, giving realistic soft topic boundaries.
+  std::vector<ZipfSampler> zipf_per_field;
+  zipf_per_field.reserve(num_fields);
+  for (size_t k = 0; k < num_fields; ++k) {
+    zipf_per_field.emplace_back(config.fields[k].vocab_size,
+                                config.fields[k].zipf_exponent);
+  }
+
+  std::vector<FieldSchema> schemas;
+  schemas.reserve(num_fields);
+  for (const ProfileFieldSpec& spec : config.fields) {
+    schemas.push_back({spec.name, spec.is_sparse});
+  }
+  MultiFieldDataset::Builder builder(std::move(schemas));
+
+  const std::vector<double> alpha(num_topics, config.topic_concentration);
+  std::vector<double> topic_cdf(num_topics);
+  std::vector<std::vector<FeatureEntry>> per_field(num_fields);
+  std::unordered_map<uint64_t, float> merged;
+
+  for (size_t u = 0; u < config.num_users; ++u) {
+    // Latent topic mixture for this user.
+    const std::vector<double> mixture = rng.Dirichlet(alpha);
+    double running = 0.0;
+    size_t dominant = 0;
+    size_t second = 0;
+    for (size_t t = 0; t < num_topics; ++t) {
+      running += mixture[t];
+      topic_cdf[t] = running;
+      if (mixture[t] > mixture[dominant]) {
+        second = dominant;
+        dominant = t;
+      } else if (t != dominant && mixture[t] > mixture[second]) {
+        second = t;
+      }
+    }
+    out.dominant_topic.push_back(static_cast<uint32_t>(dominant));
+    std::vector<float> mixture_f(mixture.begin(), mixture.end());
+    out.topic_mixture.push_back(std::move(mixture_f));
+
+    // The user's pair-interaction anchor: a pseudo-random window center
+    // determined by the (unordered) top-2 topic pair. Compositional: users
+    // sharing the pair share these features across all fields.
+    const uint64_t pair_lo = std::min(dominant, second);
+    const uint64_t pair_hi = std::max(dominant, second);
+    const uint64_t pair_key = ScatterId(pair_lo + 1, pair_hi + 1);
+
+    for (size_t k = 0; k < num_fields; ++k) {
+      const ProfileFieldSpec& spec = config.fields[k];
+      const size_t vocab = spec.vocab_size;
+      const uint64_t count = rng.Poisson(spec.avg_features);
+      merged.clear();
+      for (uint64_t draw = 0; draw < count; ++draw) {
+        size_t center;
+        if (rng.Bernoulli(config.pair_interaction_prob)) {
+          center = static_cast<size_t>(ScatterId(k + 101, pair_key) % vocab);
+        } else {
+          size_t topic;
+          if (rng.Bernoulli(config.noise_prob)) {
+            topic = rng.UniformInt(num_topics);
+          } else {
+            const double coin = rng.Uniform();
+            topic = static_cast<size_t>(
+                std::lower_bound(topic_cdf.begin(), topic_cdf.end(), coin) -
+                topic_cdf.begin());
+            if (topic >= num_topics) topic = num_topics - 1;
+          }
+          center = topic * vocab / num_topics;
+        }
+        const size_t rank = zipf_per_field[k].Sample(rng);
+        const size_t dense = (center + rank) % vocab;
+        merged[out.field_vocab[k][dense]] += 1.0f;
+      }
+      per_field[k].clear();
+      per_field[k].reserve(merged.size());
+      for (const auto& [id, value] : merged) {
+        per_field[k].push_back({id, value});
+      }
+    }
+    builder.AddUser(per_field);
+  }
+  out.dataset = builder.Build();
+  return out;
+}
+
+ProfileGeneratorConfig ShortContentConfig(size_t num_users, uint64_t seed) {
+  ProfileGeneratorConfig config;
+  config.num_users = num_users;
+  config.num_topics = 16;
+  config.seed = seed;
+  config.fields = {
+      {"ch1", /*vocab_size=*/64, /*avg_features=*/4.0,
+       /*zipf_exponent=*/0.9, /*is_sparse=*/false},
+      {"ch2", 512, 8.0, 1.0, false},
+      {"ch3", 4096, 12.0, 1.05, false},
+      {"tag", 32768, 24.0, 1.1, true},
+  };
+  return config;
+}
+
+ProfileGeneratorConfig KandianConfig(size_t num_users, uint64_t seed) {
+  ProfileGeneratorConfig config;
+  config.num_users = num_users;
+  config.num_topics = 32;
+  config.seed = seed;
+  config.fields = {
+      {"ch1", 128, 5.0, 0.9, false},
+      {"ch2", 2048, 10.0, 1.0, false},
+      {"ch3", 16384, 16.0, 1.05, false},
+      {"tag", 131072, 40.0, 1.15, true},
+  };
+  return config;
+}
+
+ProfileGeneratorConfig QQBrowserConfig(size_t num_users, uint64_t seed) {
+  ProfileGeneratorConfig config;
+  config.num_users = num_users;
+  config.num_topics = 24;
+  config.seed = seed;
+  config.fields = {
+      {"ch1", 96, 4.0, 0.9, false},
+      {"ch2", 1024, 8.0, 1.0, false},
+      {"ch3", 8192, 12.0, 1.05, false},
+      {"tag", 65536, 32.0, 1.1, true},
+  };
+  return config;
+}
+
+}  // namespace fvae

@@ -1,0 +1,80 @@
+#include "eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fvae::eval {
+
+namespace {
+double SquaredDist(const Matrix& points, size_t a, size_t b) {
+  double acc = 0.0;
+  const float* pa = points.Row(a);
+  const float* pb = points.Row(b);
+  for (size_t d = 0; d < points.cols(); ++d) {
+    const double diff = double(pa[d]) - pb[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+}  // namespace
+
+double KnnLabelPurity(const Matrix& points,
+                      const std::vector<uint32_t>& labels, size_t k) {
+  const size_t n = points.rows();
+  FVAE_CHECK(labels.size() == n) << "label count mismatch";
+  FVAE_CHECK(n >= 2 && k >= 1);
+  k = std::min(k, n - 1);
+
+  double total_purity = 0.0;
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist[j] = {j == i ? std::numeric_limits<double>::infinity()
+                        : SquaredDist(points, i, j),
+                 j};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    size_t same = 0;
+    for (size_t t = 0; t < k; ++t) {
+      if (labels[dist[t].second] == labels[i]) ++same;
+    }
+    total_purity += double(same) / double(k);
+  }
+  return total_purity / double(n);
+}
+
+double SilhouetteScore(const Matrix& points,
+                       const std::vector<uint32_t>& labels) {
+  const size_t n = points.rows();
+  FVAE_CHECK(labels.size() == n) << "label count mismatch";
+  std::unordered_map<uint32_t, size_t> cluster_size;
+  for (uint32_t label : labels) ++cluster_size[label];
+  FVAE_CHECK(cluster_size.size() >= 2) << "need at least two clusters";
+
+  double total = 0.0;
+  std::unordered_map<uint32_t, double> sum_dist;
+  for (size_t i = 0; i < n; ++i) {
+    sum_dist.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_dist[labels[j]] += std::sqrt(SquaredDist(points, i, j));
+    }
+    const size_t own_size = cluster_size[labels[i]];
+    if (own_size <= 1) continue;  // singleton clusters contribute 0
+    const double a = sum_dist[labels[i]] / double(own_size - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, total_d] : sum_dist) {
+      if (label == labels[i]) continue;
+      b = std::min(b, total_d / double(cluster_size[label]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / double(n);
+}
+
+}  // namespace fvae::eval

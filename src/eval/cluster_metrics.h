@@ -1,0 +1,27 @@
+#ifndef FVAE_EVAL_CLUSTER_METRICS_H_
+#define FVAE_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fvae::eval {
+
+/// Quantitative companions to the Fig. 4 visualization: how well do
+/// ground-truth topic labels cluster in an embedding space?
+
+/// Fraction of each point's k nearest neighbors (Euclidean) sharing its
+/// label, averaged over points. 1.0 = perfectly separated clusters;
+/// ~(class prior) = random.
+double KnnLabelPurity(const Matrix& points,
+                      const std::vector<uint32_t>& labels, size_t k);
+
+/// Mean silhouette coefficient over all points (O(n^2)). Requires at least
+/// two distinct labels; points in singleton clusters contribute 0.
+double SilhouetteScore(const Matrix& points,
+                       const std::vector<uint32_t>& labels);
+
+}  // namespace fvae::eval
+
+#endif  // FVAE_EVAL_CLUSTER_METRICS_H_

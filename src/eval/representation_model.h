@@ -1,0 +1,45 @@
+#ifndef FVAE_EVAL_REPRESENTATION_MODEL_H_
+#define FVAE_EVAL_REPRESENTATION_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/matrix.h"
+
+namespace fvae::eval {
+
+/// Common interface of every user-representation learner in the repository
+/// (the FVAE and all Table II/III baselines). The evaluation tasks, the
+/// look-alike system, and the benchmark harnesses are written against this
+/// interface only.
+class RepresentationModel {
+ public:
+  virtual ~RepresentationModel() = default;
+
+  /// Display name used in benchmark tables ("FVAE", "Mult-VAE", ...).
+  virtual std::string Name() const = 0;
+
+  /// Learns the representation from `train` (unsupervised).
+  virtual void Fit(const MultiFieldDataset& train) = 0;
+
+  /// Low-dimensional embeddings (one row per entry of `users`). `data` may
+  /// be the training set or a fold-in view with fields masked.
+  virtual Matrix Embed(const MultiFieldDataset& data,
+                       std::span<const uint32_t> users) const = 0;
+
+  /// Relevance scores of `candidates` in `field` for each user (rows follow
+  /// `users`, columns follow `candidates`). Higher = more relevant. Scores
+  /// of different fields need not share a scale (the paper's point about
+  /// FVAE's per-field multinomials); scores within one call must be
+  /// rank-comparable.
+  virtual Matrix Score(const MultiFieldDataset& input,
+                       std::span<const uint32_t> users, size_t field,
+                       std::span<const uint64_t> candidates) const = 0;
+};
+
+}  // namespace fvae::eval
+
+#endif  // FVAE_EVAL_REPRESENTATION_MODEL_H_

@@ -1,0 +1,212 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace fvae::eval {
+
+namespace {
+
+/// Users are evaluated in chunks: one Embed/Score pass per chunk over the
+/// union of the chunk's candidates, then per-user columns are extracted.
+/// Keeps the candidate matrices small while amortizing the encoder cost.
+constexpr size_t kChunk = 64;
+
+struct UserCandidates {
+  std::vector<uint64_t> ids;      // positives then negatives
+  std::vector<uint8_t> labels;    // 1 for positives, 0 for negatives
+};
+
+/// Extracts one user's scores for their own candidates from the chunk
+/// score matrix via the union-position map.
+std::vector<float> GatherScores(
+    const Matrix& chunk_scores, size_t row, const UserCandidates& cand,
+    const std::unordered_map<uint64_t, size_t>& position) {
+  std::vector<float> scores;
+  scores.reserve(cand.ids.size());
+  for (uint64_t id : cand.ids) {
+    auto it = position.find(id);
+    FVAE_CHECK(it != position.end()) << "candidate missing from union";
+    scores.push_back(chunk_scores(row, it->second));
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<uint64_t> SampleNegatives(
+    const std::vector<uint64_t>& vocabulary,
+    const std::vector<uint64_t>& observed, size_t count, Rng& rng) {
+  std::unordered_set<uint64_t> excluded(observed.begin(), observed.end());
+  std::vector<uint64_t> negatives;
+  if (vocabulary.empty() || count == 0) return negatives;
+  negatives.reserve(count);
+  std::unordered_set<uint64_t> chosen;
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * count + 100;
+  while (negatives.size() < count && attempts++ < max_attempts) {
+    const uint64_t id = vocabulary[rng.UniformInt(vocabulary.size())];
+    if (excluded.count(id) || chosen.count(id)) continue;
+    chosen.insert(id);
+    negatives.push_back(id);
+  }
+  return negatives;
+}
+
+TaskMetrics RunTagPrediction(const RepresentationModel& model,
+                             const MultiFieldDataset& data,
+                             const std::vector<uint32_t>& test_users,
+                             size_t target_field,
+                             const std::vector<uint64_t>& field_vocabulary,
+                             Rng& rng) {
+  FVAE_CHECK(target_field < data.num_fields());
+  const MultiFieldDataset masked = MaskField(data, target_field);
+
+  std::vector<std::vector<float>> all_scores;
+  std::vector<std::vector<uint8_t>> all_labels;
+
+  for (size_t begin = 0; begin < test_users.size(); begin += kChunk) {
+    const size_t end = std::min(test_users.size(), begin + kChunk);
+    std::span<const uint32_t> chunk{test_users.data() + begin, end - begin};
+
+    // Per-user candidates and the chunk union.
+    std::vector<UserCandidates> candidates(chunk.size());
+    std::vector<uint64_t> union_ids;
+    std::unordered_map<uint64_t, size_t> position;
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      std::vector<uint64_t> positives;
+      for (const FeatureEntry& e : data.UserField(chunk[i], target_field)) {
+        positives.push_back(e.id);
+      }
+      if (positives.empty()) continue;
+      const std::vector<uint64_t> negatives = SampleNegatives(
+          field_vocabulary, positives, positives.size(), rng);
+      UserCandidates& cand = candidates[i];
+      for (uint64_t id : positives) {
+        cand.ids.push_back(id);
+        cand.labels.push_back(1);
+      }
+      for (uint64_t id : negatives) {
+        cand.ids.push_back(id);
+        cand.labels.push_back(0);
+      }
+      for (uint64_t id : cand.ids) {
+        if (position.emplace(id, union_ids.size()).second) {
+          union_ids.push_back(id);
+        }
+      }
+    }
+    if (union_ids.empty()) continue;
+
+    const Matrix scores =
+        model.Score(masked, chunk, target_field, union_ids);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (candidates[i].ids.empty()) continue;
+      all_scores.push_back(GatherScores(scores, i, candidates[i], position));
+      all_labels.push_back(candidates[i].labels);
+    }
+  }
+
+  TaskMetrics metrics;
+  metrics.auc = MeanAuc(all_scores, all_labels);
+  metrics.map = MeanAveragePrecision(all_scores, all_labels);
+  return metrics;
+}
+
+ReconstructionMetrics RunReconstruction(
+    const RepresentationModel& model, const MultiFieldDataset& full_data,
+    const ReconstructionSplit& split,
+    const std::vector<uint32_t>& test_users,
+    const std::vector<std::vector<uint64_t>>& vocabulary_per_field,
+    Rng& rng) {
+  (void)full_data;
+  const size_t num_fields = split.input.num_fields();
+  FVAE_CHECK(vocabulary_per_field.size() == num_fields);
+
+  std::vector<std::vector<std::vector<float>>> field_scores(num_fields);
+  std::vector<std::vector<std::vector<uint8_t>>> field_labels(num_fields);
+  std::vector<std::vector<float>> overall_scores;
+  std::vector<std::vector<uint8_t>> overall_labels;
+
+  for (size_t begin = 0; begin < test_users.size(); begin += kChunk) {
+    const size_t end = std::min(test_users.size(), begin + kChunk);
+    std::span<const uint32_t> chunk{test_users.data() + begin, end - begin};
+
+    // Per-user overall accumulators for this chunk.
+    std::vector<std::vector<float>> pooled_scores(chunk.size());
+    std::vector<std::vector<uint8_t>> pooled_labels(chunk.size());
+
+    for (size_t k = 0; k < num_fields; ++k) {
+      std::vector<UserCandidates> candidates(chunk.size());
+      std::vector<uint64_t> union_ids;
+      std::unordered_map<uint64_t, size_t> position;
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        const uint32_t user = chunk[i];
+        const auto& held = split.held_out[user][k];
+        if (held.empty()) continue;
+        std::vector<uint64_t> exclude;
+        for (const FeatureEntry& e : held) exclude.push_back(e.id);
+        for (const FeatureEntry& e : split.input.UserField(user, k)) {
+          exclude.push_back(e.id);
+        }
+        std::vector<uint64_t> positives;
+        for (const FeatureEntry& e : held) positives.push_back(e.id);
+        const std::vector<uint64_t> negatives = SampleNegatives(
+            vocabulary_per_field[k], exclude, positives.size(), rng);
+        UserCandidates& cand = candidates[i];
+        for (uint64_t id : positives) {
+          cand.ids.push_back(id);
+          cand.labels.push_back(1);
+        }
+        for (uint64_t id : negatives) {
+          cand.ids.push_back(id);
+          cand.labels.push_back(0);
+        }
+        for (uint64_t id : cand.ids) {
+          if (position.emplace(id, union_ids.size()).second) {
+            union_ids.push_back(id);
+          }
+        }
+      }
+      if (union_ids.empty()) continue;
+
+      const Matrix scores = model.Score(split.input, chunk, k, union_ids);
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        if (candidates[i].ids.empty()) continue;
+        std::vector<float> user_scores =
+            GatherScores(scores, i, candidates[i], position);
+        pooled_scores[i].insert(pooled_scores[i].end(), user_scores.begin(),
+                                user_scores.end());
+        pooled_labels[i].insert(pooled_labels[i].end(),
+                                candidates[i].labels.begin(),
+                                candidates[i].labels.end());
+        field_scores[k].push_back(std::move(user_scores));
+        field_labels[k].push_back(candidates[i].labels);
+      }
+    }
+
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (pooled_scores[i].empty()) continue;
+      overall_scores.push_back(std::move(pooled_scores[i]));
+      overall_labels.push_back(std::move(pooled_labels[i]));
+    }
+  }
+
+  ReconstructionMetrics metrics;
+  metrics.per_field.resize(num_fields);
+  for (size_t k = 0; k < num_fields; ++k) {
+    metrics.per_field[k].auc = MeanAuc(field_scores[k], field_labels[k]);
+    metrics.per_field[k].map =
+        MeanAveragePrecision(field_scores[k], field_labels[k]);
+  }
+  metrics.overall.auc = MeanAuc(overall_scores, overall_labels);
+  metrics.overall.map =
+      MeanAveragePrecision(overall_scores, overall_labels);
+  return metrics;
+}
+
+}  // namespace fvae::eval

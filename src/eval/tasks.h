@@ -1,0 +1,64 @@
+#ifndef FVAE_EVAL_TASKS_H_
+#define FVAE_EVAL_TASKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/representation_model.h"
+
+namespace fvae::eval {
+
+/// AUC and mAP of one evaluation run.
+struct TaskMetrics {
+  double auc = 0.0;
+  double map = 0.0;
+};
+
+/// Metrics of the reconstruction task (Table II): one entry per field plus
+/// the cross-field "overall" pooling.
+struct ReconstructionMetrics {
+  TaskMetrics overall;
+  std::vector<TaskMetrics> per_field;
+};
+
+/// Tag-prediction task (paper §V-B2, Tables III/IV).
+///
+/// For each user in `test_users`: the field `target_field` is masked from
+/// the model's input (fold-in); the user's observed features of that field
+/// are positives; an equal number of unobserved features drawn uniformly
+/// from `field_vocabulary` are negatives. Per-user AUC/AP over the
+/// positives+negatives, averaged over users with at least one positive.
+TaskMetrics RunTagPrediction(const RepresentationModel& model,
+                             const MultiFieldDataset& data,
+                             const std::vector<uint32_t>& test_users,
+                             size_t target_field,
+                             const std::vector<uint64_t>& field_vocabulary,
+                             Rng& rng);
+
+/// Reconstruction task (paper §V-B1, Table II).
+///
+/// `split` comes from HoldOutWithinUsers: the model embeds users from the
+/// reduced input and must rank each user's held-out entries above sampled
+/// unobserved negatives, per field. The "overall" metric pools candidates
+/// of all fields into a single per-user ranking — which is only fair to
+/// models whose scores are globally comparable (the paper's explanation of
+/// why Mult-VAE edges FVAE there).
+ReconstructionMetrics RunReconstruction(
+    const RepresentationModel& model, const MultiFieldDataset& full_data,
+    const ReconstructionSplit& split,
+    const std::vector<uint32_t>& test_users,
+    const std::vector<std::vector<uint64_t>>& vocabulary_per_field, Rng& rng);
+
+/// Draws `count` IDs uniformly from `vocabulary` that are not in
+/// `observed` (sorted or not). May return fewer when the vocabulary is
+/// nearly exhausted.
+std::vector<uint64_t> SampleNegatives(
+    const std::vector<uint64_t>& vocabulary,
+    const std::vector<uint64_t>& observed, size_t count, Rng& rng);
+
+}  // namespace fvae::eval
+
+#endif  // FVAE_EVAL_TASKS_H_

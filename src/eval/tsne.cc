@@ -1,0 +1,169 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace fvae::eval {
+
+namespace {
+
+/// Binary-searches the Gaussian bandwidth of row `i` so that the conditional
+/// distribution p_{j|i} has the target perplexity, then writes p_{j|i}.
+void ComputeRowAffinities(const std::vector<double>& sq_dist, size_t i,
+                          double perplexity, std::vector<double>* p_row) {
+  const size_t n = sq_dist.size();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double beta_min = 0.0, beta_max = HUGE_VAL;
+
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum_p = 0.0, sum_dp = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        (*p_row)[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-beta * sq_dist[j]);
+      (*p_row)[j] = p;
+      sum_p += p;
+      sum_dp += p * sq_dist[j];
+    }
+    if (sum_p <= 0.0) {
+      // All mass collapsed; widen the kernel.
+      beta_max = beta;
+      beta = (beta_min + beta) / 2.0;
+      continue;
+    }
+    // Shannon entropy of the normalized row.
+    const double entropy = std::log(sum_p) + beta * sum_dp / sum_p;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  double sum_p = 0.0;
+  for (size_t j = 0; j < n; ++j) sum_p += (*p_row)[j];
+  if (sum_p > 0.0) {
+    for (size_t j = 0; j < n; ++j) (*p_row)[j] /= sum_p;
+  }
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& points, const TsneConfig& config) {
+  const size_t n = points.rows();
+  FVAE_CHECK(n >= 2) << "t-SNE needs at least two points";
+  FVAE_CHECK(config.output_dim >= 1);
+  FVAE_CHECK(config.perplexity > 1.0 && config.perplexity < double(n))
+      << "perplexity out of range";
+
+  // Pairwise squared distances in the input space.
+  std::vector<std::vector<double>> sq_dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* a = points.Row(i);
+      const float* b = points.Row(j);
+      for (size_t d = 0; d < points.cols(); ++d) {
+        const double diff = double(a[d]) - b[d];
+        acc += diff * diff;
+      }
+      sq_dist[i][j] = sq_dist[j][i] = acc;
+    }
+  }
+
+  // Symmetrized joint affinities P.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      ComputeRowAffinities(sq_dist[i], i, config.perplexity, &row);
+      for (size_t j = 0; j < n; ++j) p[i][j] = row[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = std::max((p[i][j] + p[j][i]) / (2.0 * double(n)),
+                                1e-12);
+      p[i][j] = p[j][i] = v;
+    }
+    p[i][i] = 0.0;
+  }
+
+  // Low-dimensional map, small Gaussian init.
+  Rng rng(config.seed);
+  const size_t dim = config.output_dim;
+  Matrix y(n, dim);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = static_cast<float>(rng.Normal(0.0, 1e-2));
+  }
+  Matrix velocity(n, dim);
+  Matrix grad(n, dim);
+  std::vector<std::vector<double>> q_num(n, std::vector<double>(n, 0.0));
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+
+    // Student-t numerators and normalizer.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = double(y(i, d)) - y(j, d);
+          acc += diff * diff;
+        }
+        const double num = 1.0 / (1.0 + acc);
+        q_num[i][j] = q_num[j][i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    grad.SetZero();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(q_num[i][j] / q_sum, 1e-12);
+        const double mult =
+            4.0 * (exaggeration * p[i][j] - q) * q_num[i][j];
+        for (size_t d = 0; d < dim; ++d) {
+          grad(i, d) += static_cast<float>(mult *
+                                           (double(y(i, d)) - y(j, d)));
+        }
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < dim; ++d) {
+        velocity(i, d) = static_cast<float>(
+            config.momentum * velocity(i, d) -
+            config.learning_rate * grad(i, d));
+        y(i, d) += velocity(i, d);
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    for (size_t d = 0; d < dim; ++d) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y(i, d);
+      mean /= double(n);
+      for (size_t i = 0; i < n; ++i) {
+        y(i, d) -= static_cast<float>(mean);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace fvae::eval

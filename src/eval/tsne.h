@@ -1,0 +1,30 @@
+#ifndef FVAE_EVAL_TSNE_H_
+#define FVAE_EVAL_TSNE_H_
+
+#include <cstdint>
+
+#include "math/matrix.h"
+
+namespace fvae::eval {
+
+/// Exact t-SNE (van der Maaten & Hinton 2008) hyper-parameters.
+struct TsneConfig {
+  size_t output_dim = 2;
+  double perplexity = 30.0;
+  size_t iterations = 500;
+  /// Early exaggeration factor applied for the first `exaggeration_iters`.
+  double exaggeration = 12.0;
+  size_t exaggeration_iters = 100;
+  double learning_rate = 200.0;
+  double momentum = 0.8;
+  uint64_t seed = 42;
+};
+
+/// Embeds the rows of `points` (n x d) into `config.output_dim` dimensions
+/// with exact O(n^2) t-SNE. Suitable for the Fig. 4 visualization study
+/// (thousands of points). Deterministic given the config seed.
+Matrix Tsne(const Matrix& points, const TsneConfig& config);
+
+}  // namespace fvae::eval
+
+#endif  // FVAE_EVAL_TSNE_H_

@@ -1,0 +1,91 @@
+#include "hash/dynamic_hash_table.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace fvae {
+
+DynamicHashTable::DynamicHashTable(size_t initial_capacity) {
+  size_t capacity = std::bit_ceil(std::max<size_t>(initial_capacity, 16));
+  slots_.assign(capacity, Slot{});
+}
+
+uint64_t DynamicHashTable::Mix(uint64_t key) {
+  // splitmix64 finalizer: full-avalanche mixing of the raw ID. Also remaps
+  // the empty-slot sentinel onto a different probe sequence start.
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint32_t DynamicHashTable::GetOrInsert(uint64_t key) {
+  if (key == kEmptyKey) {
+    if (!has_sentinel_key_) {
+      has_sentinel_key_ = true;
+      sentinel_index_ = static_cast<uint32_t>(size_);
+      ++size_;
+    }
+    return sentinel_index_;
+  }
+  if ((size_ + 1) * 10 > slots_.size() * 7) Grow();
+  size_t pos = ProbeStart(Mix(key));
+  for (;;) {
+    Slot& slot = slots_[pos];
+    if (slot.key == kEmptyKey) {
+      slot.key = key;
+      slot.index = static_cast<uint32_t>(size_);
+      ++size_;
+      return slot.index;
+    }
+    if (slot.key == key) return slot.index;
+    pos = (pos + 1) & (slots_.size() - 1);
+  }
+}
+
+std::optional<uint32_t> DynamicHashTable::Find(uint64_t key) const {
+  if (key == kEmptyKey) {
+    if (has_sentinel_key_) return sentinel_index_;
+    return std::nullopt;
+  }
+  size_t pos = ProbeStart(Mix(key));
+  for (;;) {
+    const Slot& slot = slots_[pos];
+    if (slot.key == kEmptyKey) return std::nullopt;
+    if (slot.key == key) return slot.index;
+    pos = (pos + 1) & (slots_.size() - 1);
+  }
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> DynamicHashTable::Items() const {
+  std::vector<std::pair<uint64_t, uint32_t>> items;
+  items.reserve(size_);
+  for (const Slot& slot : slots_) {
+    if (slot.key != kEmptyKey) items.emplace_back(slot.key, slot.index);
+  }
+  if (has_sentinel_key_) items.emplace_back(kEmptyKey, sentinel_index_);
+  return items;
+}
+
+void DynamicHashTable::Clear() {
+  for (Slot& slot : slots_) slot = Slot{};
+  size_ = 0;
+  has_sentinel_key_ = false;
+  sentinel_index_ = 0;
+}
+
+void DynamicHashTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  for (const Slot& slot : old) {
+    if (slot.key == kEmptyKey) continue;
+    size_t pos = ProbeStart(Mix(slot.key));
+    while (slots_[pos].key != kEmptyKey) {
+      pos = (pos + 1) & (slots_.size() - 1);
+    }
+    slots_[pos] = slot;
+  }
+}
+
+}  // namespace fvae

@@ -1,0 +1,50 @@
+#include "hash/feature_hashing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fvae {
+
+namespace {
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+FeatureHasher::FeatureHasher(int bits) : bits_(bits) {
+  // bits == 32 would overflow uint32_t (2^32 buckets); 31 is plenty.
+  FVAE_CHECK(bits >= 1 && bits <= 31) << "bits out of range: " << bits;
+  num_buckets_ = static_cast<uint32_t>(1u << bits);
+}
+
+uint32_t FeatureHasher::Bucket(uint64_t feature_id) const {
+  return static_cast<uint32_t>(Mix64(feature_id) >> (64 - bits_));
+}
+
+uint32_t FeatureHasher::Bucket(uint32_t field, uint64_t feature_id) const {
+  // Fold the field into the key so identical raw IDs in different fields
+  // hash independently.
+  const uint64_t combined =
+      Mix64(feature_id) ^ (Mix64(field) * 0xC2B2AE3D27D4EB4FULL);
+  return static_cast<uint32_t>(Mix64(combined) >> (64 - bits_));
+}
+
+double FeatureHasher::CollisionRate(const std::vector<uint64_t>& ids) const {
+  if (ids.empty()) return 0.0;
+  std::vector<uint32_t> buckets;
+  buckets.reserve(ids.size());
+  for (uint64_t id : ids) buckets.push_back(Bucket(id));
+  std::sort(buckets.begin(), buckets.end());
+  size_t collisions = 0;
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    if (buckets[i] == buckets[i - 1]) ++collisions;
+  }
+  return double(collisions) / double(ids.size());
+}
+
+}  // namespace fvae

@@ -1,0 +1,42 @@
+#ifndef FVAE_HASH_FEATURE_HASHING_H_
+#define FVAE_HASH_FEATURE_HASHING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fvae {
+
+/// Static feature hashing ("the hashing trick").
+///
+/// Maps raw 64-bit feature IDs to a fixed 2^bits bucket space. This is the
+/// collision-prone alternative to DynamicHashTable discussed in the paper's
+/// introduction and used by the Mult-VAE baseline at billion scale (the
+/// paper maps KD/QB features to a 20-bit space for Mult-VAE, Table V
+/// footnote). Collisions merge unrelated features and the bucket space
+/// cannot grow with the data.
+class FeatureHasher {
+ public:
+  /// `bits` in [1, 31]: bucket space size is 2^bits.
+  explicit FeatureHasher(int bits);
+
+  /// Bucket for a raw feature ID, in [0, num_buckets()).
+  uint32_t Bucket(uint64_t feature_id) const;
+
+  /// Bucket for a (field, feature) pair; fields get decorrelated streams.
+  uint32_t Bucket(uint32_t field, uint64_t feature_id) const;
+
+  uint32_t num_buckets() const { return num_buckets_; }
+  int bits() const { return bits_; }
+
+  /// Fraction of distinct IDs that collide with an earlier ID, measured over
+  /// `ids` (diagnostic used in tests and the Table V harness).
+  double CollisionRate(const std::vector<uint64_t>& ids) const;
+
+ private:
+  int bits_;
+  uint32_t num_buckets_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_HASH_FEATURE_HASHING_H_

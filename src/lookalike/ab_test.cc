@@ -1,0 +1,220 @@
+#include "lookalike/ab_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "lookalike/lookalike_system.h"
+
+namespace fvae::lookalike {
+
+namespace {
+// Field-salted key so pooled profiles keep fields distinct.
+uint64_t FieldKey(uint32_t field, uint64_t id) {
+  uint64_t z = id + (uint64_t(field) + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+LookalikeAbTest::LookalikeAbTest(
+    std::vector<std::vector<float>> topic_mixture, const AbTestConfig& config)
+    : config_(config), topic_mixture_(std::move(topic_mixture)) {
+  FVAE_CHECK(!topic_mixture_.empty()) << "no users";
+  FVAE_CHECK(config_.num_accounts > 0);
+  const size_t num_users = topic_mixture_.size();
+  const size_t num_topics = topic_mixture_[0].size();
+  FVAE_CHECK(num_topics > 0);
+
+  Rng rng(config_.seed);
+
+  // Account topic profiles: peaked Dirichlet draws; each account's niche
+  // is its top-2 profile topics.
+  account_profiles_.Resize(config_.num_accounts, num_topics);
+  account_pair_.resize(config_.num_accounts);
+  const std::vector<double> alpha(num_topics, 0.15);
+  for (size_t a = 0; a < config_.num_accounts; ++a) {
+    const std::vector<double> profile = rng.Dirichlet(alpha);
+    size_t top = 0, second = (num_topics > 1) ? 1 : 0;
+    for (size_t t = 0; t < num_topics; ++t) {
+      account_profiles_(a, t) = static_cast<float>(profile[t]);
+      if (profile[t] > profile[top]) {
+        second = top;
+        top = t;
+      } else if (t != top && profile[t] > profile[second]) {
+        second = t;
+      }
+    }
+    account_pair_[a] = {std::min<uint32_t>(top, second),
+                        std::max<uint32_t>(top, second)};
+  }
+
+  // Users' top-2 topic pairs (the compositional interest).
+  user_pair_.resize(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    size_t top = 0, second = (num_topics > 1) ? 1 : 0;
+    for (size_t t = 0; t < num_topics; ++t) {
+      if (topic_mixture_[u][t] > topic_mixture_[u][top]) {
+        second = top;
+        top = t;
+      } else if (t != top &&
+                 topic_mixture_[u][t] > topic_mixture_[u][second]) {
+        second = t;
+      }
+    }
+    user_pair_[u] = {std::min<uint32_t>(top, second),
+                     std::max<uint32_t>(top, second)};
+  }
+
+  BuildSeedGraph(num_users, rng);
+}
+
+LookalikeAbTest::LookalikeAbTest(const MultiFieldDataset& profiles,
+                                 const AbTestConfig& config)
+    : config_(config), profile_mode_(true) {
+  FVAE_CHECK(profiles.num_users() > 0) << "no users";
+  FVAE_CHECK(config_.num_accounts > 0);
+  const size_t num_users = profiles.num_users();
+
+  // L2-normalized sparse tf vectors per user, all fields pooled.
+  user_profile_.resize(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    auto& profile = user_profile_[u];
+    double sq_sum = 0.0;
+    for (size_t k = 0; k < profiles.num_fields(); ++k) {
+      for (const FeatureEntry& e : profiles.UserField(u, k)) {
+        profile[FieldKey(static_cast<uint32_t>(k), e.id)] += e.value;
+      }
+    }
+    for (const auto& [key, value] : profile) {
+      sq_sum += double(value) * value;
+    }
+    if (sq_sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(sq_sum));
+      for (auto& [key, value] : profile) value *= inv;
+    }
+  }
+
+  // Account content signatures: profiles of random prototype users.
+  Rng rng(config_.seed);
+  account_prototype_.resize(config_.num_accounts);
+  const std::vector<uint64_t> picks = rng.SampleWithoutReplacement(
+      num_users, std::min<size_t>(config_.num_accounts, num_users));
+  for (size_t a = 0; a < config_.num_accounts; ++a) {
+    account_prototype_[a] =
+        static_cast<uint32_t>(picks[a % picks.size()]);
+  }
+
+  BuildSeedGraph(num_users, rng);
+}
+
+void LookalikeAbTest::BuildSeedGraph(size_t num_users, Rng& rng) {
+  // Per-user normalization: affinity is scaled so the user's best account
+  // has affinity ~1 (keeps the response curve comparable across users).
+  user_affinity_norm_.assign(num_users, 1e-6f);
+  for (size_t u = 0; u < num_users; ++u) {
+    for (size_t a = 0; a < config_.num_accounts; ++a) {
+      user_affinity_norm_[u] = std::max(
+          user_affinity_norm_[u],
+          static_cast<float>(RawAffinity(static_cast<uint32_t>(u),
+                                         static_cast<uint32_t>(a))));
+    }
+  }
+
+  // Seed follow graph: each account is followed by its highest-affinity
+  // users (with a little noise to avoid deterministic ties).
+  seed_followers_.assign(config_.num_accounts, {});
+  user_seed_follows_.assign(num_users, {});
+  std::vector<std::pair<double, uint32_t>> ranked(num_users);
+  for (size_t a = 0; a < config_.num_accounts; ++a) {
+    for (size_t u = 0; u < num_users; ++u) {
+      ranked[u] = {Affinity(static_cast<uint32_t>(u),
+                            static_cast<uint32_t>(a)) +
+                       0.02 * rng.Uniform(),
+                   static_cast<uint32_t>(u)};
+    }
+    const size_t take =
+        std::min(config_.seed_followers_per_account, num_users);
+    std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                      [](const auto& x, const auto& y) {
+                        return x.first > y.first;
+                      });
+    for (size_t i = 0; i < take; ++i) {
+      seed_followers_[a].push_back(ranked[i].second);
+      user_seed_follows_[ranked[i].second].push_back(
+          static_cast<uint32_t>(a));
+    }
+  }
+}
+
+double LookalikeAbTest::RawAffinity(uint32_t user, uint32_t account) const {
+  if (profile_mode_) {
+    // Cosine overlap of L2-normalized sparse profiles; iterate the smaller.
+    const auto& a = user_profile_[user];
+    const auto& b = user_profile_[account_prototype_[account]];
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    double dot = 0.0;
+    for (const auto& [key, value] : small) {
+      auto it = large.find(key);
+      if (it != large.end()) dot += double(value) * it->second;
+    }
+    return dot;
+  }
+  double raw = 0.0;
+  for (size_t t = 0; t < account_profiles_.cols(); ++t) {
+    raw += double(topic_mixture_[user][t]) * account_profiles_(account, t);
+  }
+  if (user_pair_[user] == account_pair_[account]) {
+    raw += config_.pair_affinity_weight;
+  }
+  return raw;
+}
+
+double LookalikeAbTest::Affinity(uint32_t user, uint32_t account) const {
+  FVAE_CHECK(user < user_affinity_norm_.size());
+  FVAE_CHECK(account < config_.num_accounts);
+  return std::min(
+      1.0, RawAffinity(user, account) / double(user_affinity_norm_[user]));
+}
+
+ArmMetrics LookalikeAbTest::RunArm(const std::string& name,
+                                   const Matrix& user_embeddings) {
+  FVAE_CHECK(user_embeddings.rows() == user_affinity_norm_.size())
+      << "embedding row count mismatch";
+  ArmMetrics metrics;
+  metrics.name = name;
+
+  LookalikeSystem system(user_embeddings, seed_followers_);
+  // A fixed per-arm RNG seed: both arms face identical user randomness, so
+  // metric differences come from recall quality only.
+  Rng rng(config_.seed ^ 0xAB);
+
+  for (uint32_t u = 0; u < user_embeddings.rows(); ++u) {
+    const std::vector<uint32_t> recalled = system.Recall(
+        u, config_.recommendations_per_user, user_seed_follows_[u]);
+    bool liked = false;
+    bool shared = false;
+    for (uint32_t account : recalled) {
+      const double affinity = Affinity(u, account);
+      const double p_click =
+          std::min(0.95, config_.click_scale * affinity * affinity);
+      if (!rng.Bernoulli(p_click)) continue;
+      ++metrics.following_clicks;
+      if (rng.Bernoulli(config_.like_given_click)) {
+        ++metrics.likes;
+        liked = true;
+      }
+      if (rng.Bernoulli(config_.share_given_click)) {
+        ++metrics.shares;
+        shared = true;
+      }
+    }
+    if (liked) ++metrics.users_liked;
+    if (shared) ++metrics.users_shared;
+  }
+  return metrics;
+}
+
+}  // namespace fvae::lookalike

@@ -1,0 +1,157 @@
+#include "lookalike/ann_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "math/vector_ops.h"
+
+namespace fvae::lookalike {
+
+namespace {
+
+size_t NearestCentroid(const Matrix& centroids, std::span<const float> x) {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const double dist =
+        SquaredDistance(x, {centroids.Row(c), centroids.cols()});
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+AnnIndex::AnnIndex(const Matrix& points, const Options& options)
+    : points_(points) {
+  FVAE_CHECK(points.rows() > 0) << "empty index";
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  const size_t cells = std::max<size_t>(1, std::min(options.num_cells, n));
+  Rng rng(options.seed);
+
+  // k-means++: seed centroids from distinct random points (plain random
+  // restarts suffice at this scale), then Lloyd iterations.
+  centroids_.Resize(cells, dim);
+  const std::vector<uint64_t> seeds = rng.SampleWithoutReplacement(n, cells);
+  for (size_t c = 0; c < cells; ++c) {
+    const float* src = points.Row(seeds[c]);
+    std::copy(src, src + dim, centroids_.Row(c));
+  }
+
+  std::vector<uint32_t> assignment(n, 0);
+  std::vector<size_t> counts(cells);
+  for (size_t iter = 0; iter < options.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t nearest = static_cast<uint32_t>(
+          NearestCentroid(centroids_, {points.Row(i), dim}));
+      if (nearest != assignment[i]) {
+        assignment[i] = nearest;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    centroids_.SetZero();
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      float* centroid = centroids_.Row(assignment[i]);
+      const float* src = points.Row(i);
+      for (size_t d = 0; d < dim; ++d) centroid[d] += src[d];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < cells; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cell from a random point.
+        const float* src = points.Row(rng.UniformInt(n));
+        std::copy(src, src + dim, centroids_.Row(c));
+        continue;
+      }
+      const float inv = 1.0f / float(counts[c]);
+      float* centroid = centroids_.Row(c);
+      for (size_t d = 0; d < dim; ++d) centroid[d] *= inv;
+    }
+  }
+
+  // Final assignment -> posting lists.
+  cells_.assign(cells, {});
+  for (size_t i = 0; i < n; ++i) {
+    cells_[NearestCentroid(centroids_, {points.Row(i), dim})].push_back(
+        static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<uint32_t> AnnIndex::Query(std::span<const float> query,
+                                      size_t top_k, size_t nprobe) const {
+  FVAE_CHECK(query.size() == points_.cols()) << "query dim mismatch";
+  nprobe = std::max<size_t>(1, std::min(nprobe, cells_.size()));
+
+  // Rank cells by centroid distance.
+  std::vector<std::pair<double, uint32_t>> cell_order(cells_.size());
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    cell_order[c] = {
+        SquaredDistance(query, {centroids_.Row(c), centroids_.cols()}),
+        static_cast<uint32_t>(c)};
+  }
+  std::partial_sort(cell_order.begin(), cell_order.begin() + nprobe,
+                    cell_order.end());
+
+  // Exact ranking within the probed cells.
+  std::vector<std::pair<double, uint32_t>> scored;
+  for (size_t p = 0; p < nprobe; ++p) {
+    for (uint32_t idx : cells_[cell_order[p].second]) {
+      scored.emplace_back(
+          SquaredDistance(query, {points_.Row(idx), points_.cols()}), idx);
+    }
+  }
+  const size_t take = std::min(top_k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<uint32_t> AnnIndex::QueryExact(std::span<const float> query,
+                                           size_t top_k) const {
+  FVAE_CHECK(query.size() == points_.cols()) << "query dim mismatch";
+  std::vector<std::pair<double, uint32_t>> scored(points_.rows());
+  for (size_t i = 0; i < points_.rows(); ++i) {
+    scored[i] = {SquaredDistance(query, {points_.Row(i), points_.cols()}),
+                 static_cast<uint32_t>(i)};
+  }
+  const size_t take = std::min(top_k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+double AnnIndex::MeasureRecall(const Matrix& queries, size_t top_k,
+                               size_t nprobe) const {
+  FVAE_CHECK(queries.rows() > 0);
+  double total = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::span<const float> query{queries.Row(q), queries.cols()};
+    const auto exact = QueryExact(query, top_k);
+    const auto approx = Query(query, top_k, nprobe);
+    size_t hits = 0;
+    for (uint32_t e : exact) {
+      for (uint32_t a : approx) {
+        if (a == e) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += exact.empty() ? 1.0 : double(hits) / double(exact.size());
+  }
+  return total / double(queries.rows());
+}
+
+}  // namespace fvae::lookalike

@@ -1,0 +1,58 @@
+#ifndef FVAE_LOOKALIKE_ANN_INDEX_H_
+#define FVAE_LOOKALIKE_ANN_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "math/matrix.h"
+
+namespace fvae::lookalike {
+
+/// IVF-flat approximate nearest-neighbor index over L2 distance.
+///
+/// The production look-alike system must recall similar accounts from
+/// millions of candidates per request; brute force does not scale. This is
+/// the standard inverted-file design: k-means coarse quantizer, one posting
+/// list per centroid, query probes the `nprobe` nearest lists and ranks
+/// their members exactly.
+class AnnIndex {
+ public:
+  struct Options {
+    /// Number of k-means cells (rule of thumb: ~sqrt(num_points)).
+    size_t num_cells = 64;
+    size_t kmeans_iterations = 10;
+    uint64_t seed = 97;
+  };
+
+  /// Builds the index over the rows of `points` (copied).
+  AnnIndex(const Matrix& points, const Options& options);
+
+  /// Returns the indices of the (approximately) `top_k` nearest rows to
+  /// `query`, nearest first. `nprobe` cells are scanned (clamped to the
+  /// cell count); larger nprobe = better recall, more work.
+  std::vector<uint32_t> Query(std::span<const float> query, size_t top_k,
+                              size_t nprobe) const;
+
+  /// Exact brute-force reference (for recall measurement and tests).
+  std::vector<uint32_t> QueryExact(std::span<const float> query,
+                                   size_t top_k) const;
+
+  size_t num_points() const { return points_.rows(); }
+  size_t num_cells() const { return centroids_.rows(); }
+
+  /// Fraction of QueryExact(top_k) results found by Query(top_k, nprobe),
+  /// averaged over the given queries.
+  double MeasureRecall(const Matrix& queries, size_t top_k,
+                       size_t nprobe) const;
+
+ private:
+  Matrix points_;
+  Matrix centroids_;                        // num_cells x dim
+  std::vector<std::vector<uint32_t>> cells_;  // posting lists
+};
+
+}  // namespace fvae::lookalike
+
+#endif  // FVAE_LOOKALIKE_ANN_INDEX_H_

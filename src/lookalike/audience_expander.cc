@@ -1,0 +1,51 @@
+#include "lookalike/audience_expander.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "math/vector_ops.h"
+
+namespace fvae::lookalike {
+
+AudienceExpander::AudienceExpander(const Matrix& user_embeddings)
+    : embeddings_(user_embeddings) {
+  FVAE_CHECK(user_embeddings.rows() > 0) << "no users";
+}
+
+std::vector<float> AudienceExpander::PoolEmbedding(
+    const std::vector<uint32_t>& users) const {
+  FVAE_CHECK(!users.empty()) << "empty user set";
+  std::vector<float> pooled(embeddings_.cols(), 0.0f);
+  for (uint32_t u : users) {
+    FVAE_CHECK(u < embeddings_.rows()) << "user out of range";
+    const float* row = embeddings_.Row(u);
+    for (size_t d = 0; d < pooled.size(); ++d) pooled[d] += row[d];
+  }
+  const float inv = 1.0f / float(users.size());
+  for (float& v : pooled) v *= inv;
+  return pooled;
+}
+
+std::vector<uint32_t> AudienceExpander::Expand(
+    const std::vector<uint32_t>& seed_users, size_t count) const {
+  const std::vector<float> pooled = PoolEmbedding(seed_users);
+  const std::unordered_set<uint32_t> seeds(seed_users.begin(),
+                                           seed_users.end());
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(embeddings_.rows());
+  for (size_t u = 0; u < embeddings_.rows(); ++u) {
+    if (seeds.count(static_cast<uint32_t>(u))) continue;
+    const double similarity = CosineSimilarity(
+        pooled, {embeddings_.Row(u), embeddings_.cols()});
+    scored.emplace_back(-similarity, static_cast<uint32_t>(u));
+  }
+  const size_t take = std::min(count, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace fvae::lookalike

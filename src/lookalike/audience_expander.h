@@ -1,0 +1,40 @@
+#ifndef FVAE_LOOKALIKE_AUDIENCE_EXPANDER_H_
+#define FVAE_LOOKALIKE_AUDIENCE_EXPANDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fvae::lookalike {
+
+/// Classic look-alike audience extension: given a small *seed audience*
+/// (e.g., users who converted on a campaign), rank the remaining users by
+/// similarity to the seed and return the top-N as the extended audience —
+/// the paper's motivating use of user embeddings ("extend audiences with
+/// high quality long-tail contents", §V-F).
+///
+/// Seed pooling is the same average pooling the account embeddings use;
+/// ranking is cosine similarity (scale-invariant, robust to embedding norm
+/// differences across users).
+class AudienceExpander {
+ public:
+  /// `user_embeddings`: one row per user; must outlive the expander.
+  explicit AudienceExpander(const Matrix& user_embeddings);
+
+  /// Top `count` non-seed users most similar to the pooled seed audience,
+  /// most similar first.
+  std::vector<uint32_t> Expand(const std::vector<uint32_t>& seed_users,
+                               size_t count) const;
+
+  /// The pooled (mean) embedding of a user set.
+  std::vector<float> PoolEmbedding(
+      const std::vector<uint32_t>& users) const;
+
+ private:
+  const Matrix& embeddings_;
+};
+
+}  // namespace fvae::lookalike
+
+#endif  // FVAE_LOOKALIKE_AUDIENCE_EXPANDER_H_

@@ -1,0 +1,55 @@
+#include "lookalike/lookalike_system.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "math/vector_ops.h"
+
+namespace fvae::lookalike {
+
+LookalikeSystem::LookalikeSystem(
+    const Matrix& user_embeddings,
+    const std::vector<std::vector<uint32_t>>& followers)
+    : user_embeddings_(user_embeddings) {
+  const size_t dim = user_embeddings.cols();
+  account_embeddings_.Resize(followers.size(), dim);
+  for (size_t a = 0; a < followers.size(); ++a) {
+    if (followers[a].empty()) continue;
+    float* acc = account_embeddings_.Row(a);
+    for (uint32_t u : followers[a]) {
+      FVAE_CHECK(u < user_embeddings.rows()) << "follower index out of range";
+      const float* row = user_embeddings.Row(u);
+      for (size_t d = 0; d < dim; ++d) acc[d] += row[d];
+    }
+    const float inv = 1.0f / float(followers[a].size());
+    for (size_t d = 0; d < dim; ++d) acc[d] *= inv;
+  }
+}
+
+std::vector<uint32_t> LookalikeSystem::Recall(
+    uint32_t user, size_t count,
+    const std::vector<uint32_t>& exclude) const {
+  FVAE_CHECK(user < user_embeddings_.rows()) << "user out of range";
+  const size_t dim = user_embeddings_.cols();
+  const std::unordered_set<uint32_t> excluded(exclude.begin(), exclude.end());
+
+  std::span<const float> u{user_embeddings_.Row(user), dim};
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(num_accounts());
+  for (size_t a = 0; a < num_accounts(); ++a) {
+    if (excluded.count(static_cast<uint32_t>(a))) continue;
+    const double dist =
+        SquaredDistance(u, {account_embeddings_.Row(a), dim});
+    scored.emplace_back(dist, static_cast<uint32_t>(a));
+  }
+  const size_t take = std::min(count, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace fvae::lookalike

@@ -1,0 +1,40 @@
+#ifndef FVAE_LOOKALIKE_LOOKALIKE_SYSTEM_H_
+#define FVAE_LOOKALIKE_LOOKALIKE_SYSTEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fvae::lookalike {
+
+/// The recall stage of the paper's look-alike deployment (§V-F): account
+/// (uploader) embeddings are built by average-pooling the embeddings of the
+/// users who already follow the account, and candidate accounts are
+/// recalled for a user by L2 similarity between the user's embedding and
+/// the account embeddings.
+class LookalikeSystem {
+ public:
+  /// `user_embeddings`: one row per user. `followers[a]` lists the user
+  /// rows following account `a` (accounts with no followers get a zero
+  /// embedding and are effectively never recalled).
+  LookalikeSystem(const Matrix& user_embeddings,
+                  const std::vector<std::vector<uint32_t>>& followers);
+
+  /// Top-`count` account indices for user row `user`, most similar first
+  /// (smallest L2 distance). Excludes accounts in `exclude` (e.g., already
+  /// followed).
+  std::vector<uint32_t> Recall(uint32_t user, size_t count,
+                               const std::vector<uint32_t>& exclude) const;
+
+  const Matrix& account_embeddings() const { return account_embeddings_; }
+  size_t num_accounts() const { return account_embeddings_.rows(); }
+
+ private:
+  const Matrix& user_embeddings_;
+  Matrix account_embeddings_;
+};
+
+}  // namespace fvae::lookalike
+
+#endif  // FVAE_LOOKALIKE_LOOKALIKE_SYSTEM_H_

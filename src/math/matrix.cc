@@ -1,0 +1,179 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fvae {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    FVAE_CHECK(rows[r].size() == m.cols_) << "ragged initializer";
+    std::copy(rows[r].begin(), rows[r].end(), m.Row(r));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, float stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data_[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::XavierUniform(size_t fan_in, size_t fan_out, Rng& rng) {
+  Matrix m(fan_in, fan_out);
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data_[i] = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+void Matrix::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Matrix::Add(const Matrix& other) {
+  FVAE_CHECK(rows_ == other.rows_ && cols_ == other.cols_) << "shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float factor) {
+  FVAE_CHECK(rows_ == other.rows_ && cols_ == other.cols_) << "shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(total));
+}
+
+float Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  FVAE_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_) << "shape mismatch";
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    out << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c > 0) out << ", ";
+      out << (*this)(r, c);
+    }
+    if (cols_ > max_cols) out << ", ...";
+    out << "]";
+    if (r + 1 < std::min(rows_, max_rows)) out << "\n";
+  }
+  if (rows_ > max_rows) out << "\n ...";
+  out << "]";
+  return out.str();
+}
+
+namespace {
+// Blocking parameter for the cache-blocked GEMM kernels. 64 floats = 256
+// bytes per row strip; blocks of 64x64 fit comfortably in L1/L2.
+constexpr size_t kBlock = 64;
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  FVAE_CHECK(a.cols() == b.rows())
+      << "gemm shape mismatch: " << a.cols() << " vs " << b.rows();
+  out->Resize(a.rows(), b.cols());
+  GemmAccumulate(a, b, out);
+}
+
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  FVAE_CHECK(b.rows() == k && out->rows() == m && out->cols() == n)
+      << "gemm-accumulate shape mismatch";
+  for (size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const size_t i1 = std::min(m, i0 + kBlock);
+    for (size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const size_t p1 = std::min(k, p0 + kBlock);
+      for (size_t i = i0; i < i1; ++i) {
+        float* out_row = out->Row(i);
+        const float* a_row = a.Row(i);
+        for (size_t p = p0; p < p1; ++p) {
+          const float a_ip = a_row[p];
+          if (a_ip == 0.0f) continue;
+          const float* b_row = b.Row(p);
+          for (size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmNT(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  FVAE_CHECK(b.cols() == k)
+      << "gemm-nt shape mismatch: " << a.cols() << " vs " << b.cols();
+  out->Resize(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += double(a_row[p]) * b_row[p];
+      out_row[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void GemmTN(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  FVAE_CHECK(b.rows() == k)
+      << "gemm-tn shape mismatch: " << a.rows() << " vs " << b.rows();
+  out->Resize(m, n);
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* out_row = out->Row(i);
+      for (size_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+}  // namespace fvae

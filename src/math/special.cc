@@ -1,0 +1,33 @@
+#include "math/special.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae {
+
+double Digamma(double x) {
+  FVAE_CHECK(x > 0.0) << "Digamma domain error";
+  double result = 0.0;
+  // Shift x upward until the asymptotic expansion is accurate.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic series: ln x - 1/(2x) - sum B_2n / (2n x^{2n}).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv;
+  result -= inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 -
+                                            inv2 * (1.0 / 132.0)))));
+  return result;
+}
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double ExpDigamma(double x) { return std::exp(Digamma(x)); }
+
+}  // namespace fvae

@@ -1,0 +1,64 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae {
+
+void OnlineStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / double(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  FVAE_CHECK(x.size() == y.size()) << "correlation size mismatch";
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= double(n);
+  my /= double(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  FVAE_CHECK(!values.empty()) << "percentile of empty set";
+  FVAE_CHECK(p >= 0.0 && p <= 100.0) << "p out of range";
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = p / 100.0 * double(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - double(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace fvae

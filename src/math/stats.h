@@ -1,0 +1,40 @@
+#ifndef FVAE_MATH_STATS_H_
+#define FVAE_MATH_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fvae {
+
+/// Streaming mean/variance accumulator (Welford). Used by benchmark
+/// harnesses to report run-to-run variation.
+class OnlineStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+/// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace fvae
+
+#endif  // FVAE_MATH_STATS_H_

@@ -1,0 +1,191 @@
+#include "math/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "math/vector_ops.h"
+
+namespace fvae {
+
+void DenseOperator::Apply(const Matrix& x, Matrix* out) const {
+  Gemm(*matrix_, x, out);
+}
+
+void DenseOperator::ApplyTranspose(const Matrix& x, Matrix* out) const {
+  GemmTN(*matrix_, x, out);
+}
+
+EigenDecomposition SymmetricEigen(const Matrix& a, int max_sweeps,
+                                  float tolerance) {
+  FVAE_CHECK(a.rows() == a.cols()) << "SymmetricEigen needs a square matrix";
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Largest off-diagonal magnitude decides convergence.
+    float off = 0.0f;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::fabs(work(p, q)));
+      }
+    }
+    if (off < tolerance) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const float apq = work(p, q);
+        if (std::fabs(apq) < tolerance) continue;
+        const float app = work(p, p);
+        const float aqq = work(q, q);
+        const float theta = (aqq - app) / (2.0f * apq);
+        // Stable tangent of the rotation angle.
+        const float t = (theta >= 0 ? 1.0f : -1.0f) /
+                        (std::fabs(theta) +
+                         std::sqrt(theta * theta + 1.0f));
+        const float c = 1.0f / std::sqrt(t * t + 1.0f);
+        const float s = t * c;
+        // Apply the rotation to rows/columns p and q.
+        for (size_t i = 0; i < n; ++i) {
+          const float aip = work(i, p);
+          const float aiq = work(i, q);
+          work(i, p) = c * aip - s * aiq;
+          work(i, q) = s * aip + c * aiq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const float api = work(p, i);
+          const float aqi = work(q, i);
+          work(p, i) = c * api - s * aqi;
+          work(q, i) = s * api + c * aqi;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const float vip = v(i, p);
+          const float viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return work(x, x) > work(y, y);
+  });
+
+  EigenDecomposition result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors.Resize(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = work(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+void OrthonormalizeColumns(Matrix* m, Rng& rng) {
+  const size_t rows = m->rows(), cols = m->cols();
+  FVAE_CHECK(rows >= cols) << "cannot orthonormalize " << cols
+                           << " columns in dimension " << rows;
+  std::vector<float> column(rows);
+  for (size_t j = 0; j < cols; ++j) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      for (size_t i = 0; i < rows; ++i) column[i] = (*m)(i, j);
+      const double original_norm = Norm2(column);
+      // Modified Gram-Schmidt, applied twice ("twice is enough"): a single
+      // pass loses orthogonality when the column is nearly dependent on the
+      // previous ones (heavy cancellation) — exactly the situation a
+      // low-rank input creates.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t prev = 0; prev < j; ++prev) {
+          double proj = 0.0;
+          for (size_t i = 0; i < rows; ++i) {
+            proj += double(column[i]) * (*m)(i, prev);
+          }
+          for (size_t i = 0; i < rows; ++i) {
+            column[i] -= static_cast<float>(proj) * (*m)(i, prev);
+          }
+        }
+      }
+      const double norm = Norm2(column);
+      // Degenerate when the residual is noise relative to the original
+      // column (or outright zero).
+      if (norm > 1e-6 * std::max(1.0, original_norm)) {
+        const float inv = static_cast<float>(1.0 / norm);
+        for (size_t i = 0; i < rows; ++i) (*m)(i, j) = column[i] * inv;
+        break;
+      }
+      // Replace with a fresh random direction and retry.
+      for (size_t i = 0; i < rows; ++i) {
+        (*m)(i, j) = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+}
+
+SvdResult RandomizedSvd(const LinearOperator& a, size_t rank, Rng& rng,
+                        size_t oversample, int power_iterations) {
+  const size_t rows = a.rows(), cols = a.cols();
+  FVAE_CHECK(rank > 0);
+  const size_t probes = std::min(cols, std::min(rows, rank + oversample));
+  FVAE_CHECK(rank <= probes) << "rank exceeds matrix dimensions";
+
+  // Range finder: Y = (A A^T)^q A Omega, orthonormalized each pass.
+  Matrix omega = Matrix::Gaussian(cols, probes, 1.0f, rng);
+  Matrix y;
+  a.Apply(omega, &y);  // rows x probes
+  OrthonormalizeColumns(&y, rng);
+  Matrix scratch;
+  for (int it = 0; it < power_iterations; ++it) {
+    a.ApplyTranspose(y, &scratch);  // cols x probes
+    OrthonormalizeColumns(&scratch, rng);
+    a.Apply(scratch, &y);  // rows x probes
+    OrthonormalizeColumns(&y, rng);
+  }
+
+  // B = Q^T A  (probes x cols), realized as B^T = A^T Q.
+  Matrix bt;                      // cols x probes
+  a.ApplyTranspose(y, &bt);
+  // Small Gram matrix B B^T = (B^T)^T (B^T)  (probes x probes).
+  Matrix gram;
+  GemmTN(bt, bt, &gram);
+  EigenDecomposition eig = SymmetricEigen(gram);
+
+  SvdResult result;
+  result.singular_values.resize(rank);
+  result.u.Resize(rows, rank);
+  result.v.Resize(cols, rank);
+  for (size_t j = 0; j < rank; ++j) {
+    const float lambda = std::max(0.0f, eig.eigenvalues[j]);
+    const float sigma = std::sqrt(lambda);
+    result.singular_values[j] = sigma;
+    // u_j = Q * w_j  where w_j is the eigenvector.
+    for (size_t i = 0; i < rows; ++i) {
+      double acc = 0.0;
+      for (size_t p = 0; p < probes; ++p) {
+        acc += double(y(i, p)) * eig.eigenvectors(p, j);
+      }
+      result.u(i, j) = static_cast<float>(acc);
+    }
+    // v_j = B^T w_j / sigma.
+    if (sigma > 1e-12f) {
+      const float inv_sigma = 1.0f / sigma;
+      for (size_t i = 0; i < cols; ++i) {
+        double acc = 0.0;
+        for (size_t p = 0; p < probes; ++p) {
+          acc += double(bt(i, p)) * eig.eigenvectors(p, j);
+        }
+        result.v(i, j) = static_cast<float>(acc) * inv_sigma;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fvae

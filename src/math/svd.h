@@ -1,0 +1,79 @@
+#ifndef FVAE_MATH_SVD_H_
+#define FVAE_MATH_SVD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "math/matrix.h"
+
+namespace fvae {
+
+/// Abstract linear operator A of shape (rows x cols). Lets the randomized
+/// SVD run against sparse user-feature matrices without densifying them
+/// (essential for the PCA baseline at large J).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+
+  /// out = A * x, with x of shape (cols x k) and out of shape (rows x k).
+  virtual void Apply(const Matrix& x, Matrix* out) const = 0;
+
+  /// out = A^T * x, with x of shape (rows x k) and out of shape (cols x k).
+  virtual void ApplyTranspose(const Matrix& x, Matrix* out) const = 0;
+};
+
+/// Adapter exposing a dense Matrix as a LinearOperator.
+class DenseOperator : public LinearOperator {
+ public:
+  /// Does not take ownership; `matrix` must outlive the operator.
+  explicit DenseOperator(const Matrix* matrix) : matrix_(matrix) {}
+
+  size_t rows() const override { return matrix_->rows(); }
+  size_t cols() const override { return matrix_->cols(); }
+  void Apply(const Matrix& x, Matrix* out) const override;
+  void ApplyTranspose(const Matrix& x, Matrix* out) const override;
+
+ private:
+  const Matrix* matrix_;
+};
+
+/// Result of a symmetric eigendecomposition: A = V diag(lambda) V^T with
+/// eigenvalues sorted in decreasing order.
+struct EigenDecomposition {
+  std::vector<float> eigenvalues;
+  Matrix eigenvectors;  // column i is the eigenvector for eigenvalues[i]
+};
+
+/// Cyclic Jacobi eigendecomposition of a small symmetric matrix. Intended
+/// for the (k x k) core matrices inside the randomized SVD; O(n^3) per sweep.
+EigenDecomposition SymmetricEigen(const Matrix& a, int max_sweeps = 50,
+                                  float tolerance = 1e-9f);
+
+/// Orthonormalizes the columns of `m` in place with modified Gram-Schmidt.
+/// Columns that become numerically zero are replaced by fresh random
+/// directions and re-orthogonalized, so the output always has full column
+/// rank.
+void OrthonormalizeColumns(Matrix* m, Rng& rng);
+
+/// Truncated SVD A ~= U diag(s) V^T.
+struct SvdResult {
+  Matrix u;                       // rows x k
+  std::vector<float> singular_values;  // k, decreasing
+  Matrix v;                       // cols x k
+};
+
+/// Halko-Martinsson-Tropp randomized truncated SVD.
+///
+/// `rank` is the number of components kept; `oversample` extra random probes
+/// and `power_iterations` subspace iterations trade time for accuracy
+/// (defaults are the standard recommendation).
+SvdResult RandomizedSvd(const LinearOperator& a, size_t rank, Rng& rng,
+                        size_t oversample = 8, int power_iterations = 2);
+
+}  // namespace fvae
+
+#endif  // FVAE_MATH_SVD_H_

@@ -1,0 +1,113 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae {
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  FVAE_CHECK(a.size() == b.size()) << "dot size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FVAE_CHECK(x.size() == y.size()) << "axpy size mismatch";
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void ScaleInPlace(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+double Norm2(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += double(v) * v;
+  return std::sqrt(acc);
+}
+
+double SquaredDistance(std::span<const float> a, std::span<const float> b) {
+  FVAE_CHECK(a.size() == b.size()) << "distance size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = double(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const double na = Norm2(a), nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void SoftmaxInPlace(std::span<float> logits) {
+  if (logits.empty()) return;
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (float& v : logits) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (float& v : logits) v *= inv;
+}
+
+void LogSoftmaxInPlace(std::span<float> logits) {
+  if (logits.empty()) return;
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (float v : logits) total += std::exp(double(v) - max_logit);
+  const float log_z = max_logit + static_cast<float>(std::log(total));
+  for (float& v : logits) v -= log_z;
+}
+
+double LogSumExp(std::span<const float> x) {
+  if (x.empty()) return -HUGE_VAL;
+  const float max_v = *std::max_element(x.begin(), x.end());
+  double total = 0.0;
+  for (float v : x) total += std::exp(double(v) - max_v);
+  return double(max_v) + std::log(total);
+}
+
+void TanhInPlace(std::span<float> x) {
+  for (float& v : x) v = std::tanh(v);
+}
+
+void SigmoidInPlace(std::span<float> x) {
+  for (float& v : x) v = 1.0f / (1.0f + std::exp(-v));
+}
+
+void ReluInPlace(std::span<float> x) {
+  for (float& v : x) v = std::max(0.0f, v);
+}
+
+double Mean(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc / double(x.size());
+}
+
+double Variance(std::span<const float> x) {
+  if (x.size() < 2) return 0.0;
+  const double mu = Mean(x);
+  double acc = 0.0;
+  for (float v : x) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return acc / double(x.size() - 1);
+}
+
+void L2NormalizeInPlace(std::span<float> x) {
+  const double norm = Norm2(x);
+  if (norm == 0.0) return;
+  ScaleInPlace(x, static_cast<float>(1.0 / norm));
+}
+
+}  // namespace fvae

@@ -1,0 +1,57 @@
+#ifndef FVAE_MATH_VECTOR_OPS_H_
+#define FVAE_MATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fvae {
+
+/// Dense vector kernels shared by the NN layers, the baselines, and the
+/// evaluation code. All functions operate on std::span<float> views so they
+/// compose with Matrix rows and raw buffers alike.
+
+/// Inner product <a, b>; sizes must match.
+double Dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void ScaleInPlace(std::span<float> x, float alpha);
+
+/// Euclidean norm.
+double Norm2(std::span<const float> x);
+
+/// Squared Euclidean distance between a and b.
+double SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/// In-place numerically stable softmax (subtracts max before exp).
+void SoftmaxInPlace(std::span<float> logits);
+
+/// In-place numerically stable log-softmax.
+void LogSoftmaxInPlace(std::span<float> logits);
+
+/// log(sum_i exp(x_i)) computed stably.
+double LogSumExp(std::span<const float> x);
+
+/// Elementwise activations, in place.
+void TanhInPlace(std::span<float> x);
+void SigmoidInPlace(std::span<float> x);
+void ReluInPlace(std::span<float> x);
+
+/// Mean of a span; 0 for empty input.
+double Mean(std::span<const float> x);
+
+/// Unbiased sample variance; 0 for spans with fewer than two elements.
+double Variance(std::span<const float> x);
+
+/// L2-normalizes x in place; leaves an all-zero vector untouched.
+void L2NormalizeInPlace(std::span<float> x);
+
+}  // namespace fvae
+
+#endif  // FVAE_MATH_VECTOR_OPS_H_

@@ -1,0 +1,130 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae::nn {
+
+EmbeddingTable::EmbeddingTable(size_t dim, bool with_bias, float init_stddev,
+                               uint64_t seed)
+    : dim_(dim), with_bias_(with_bias), init_stddev_(init_stddev),
+      rng_(seed) {
+  FVAE_CHECK(dim > 0) << "embedding dim must be positive";
+  FVAE_CHECK(init_stddev >= 0.0f) << "negative init stddev";
+}
+
+uint32_t EmbeddingTable::GetOrCreateRow(uint64_t key) {
+  const size_t before = hash_.size();
+  const uint32_t row = hash_.GetOrInsert(key);
+  if (hash_.size() > before) {
+    EnsureCapacity(row);
+    FVAE_CHECK(keys_.size() == row) << "row/key bookkeeping out of sync";
+    keys_.push_back(key);
+    float* w = weights_.data() + size_t(row) * dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      w[d] = static_cast<float>(rng_.Normal(0.0, init_stddev_));
+    }
+  }
+  return row;
+}
+
+uint64_t EmbeddingTable::KeyOfRow(uint32_t row) const {
+  FVAE_CHECK(row < keys_.size()) << "row out of range";
+  return keys_[row];
+}
+
+std::vector<uint32_t> EmbeddingTable::TakeDirtyRows() {
+  std::vector<uint32_t> out = std::move(dirty_);
+  dirty_.clear();
+  for (uint32_t row : out) is_dirty_[row] = false;
+  return out;
+}
+
+std::optional<uint32_t> EmbeddingTable::FindRow(uint64_t key) const {
+  return hash_.Find(key);
+}
+
+std::span<float> EmbeddingTable::Row(uint32_t row) {
+  FVAE_CHECK(row < num_rows()) << "row out of range";
+  return {weights_.data() + size_t(row) * dim_, dim_};
+}
+
+std::span<const float> EmbeddingTable::Row(uint32_t row) const {
+  FVAE_CHECK(row < num_rows()) << "row out of range";
+  return {weights_.data() + size_t(row) * dim_, dim_};
+}
+
+float EmbeddingTable::bias(uint32_t row) const {
+  FVAE_CHECK(with_bias_ && row < num_rows());
+  return biases_[row];
+}
+
+void EmbeddingTable::set_bias(uint32_t row, float value) {
+  FVAE_CHECK(with_bias_ && row < num_rows());
+  biases_[row] = value;
+}
+
+void EmbeddingTable::AccumulateGrad(uint32_t row, std::span<const float> grad,
+                                    float bias_grad) {
+  FVAE_CHECK(row < num_rows()) << "row out of range";
+  FVAE_CHECK(grad.size() == dim_) << "gradient dim mismatch";
+  if (!is_touched_[row]) {
+    is_touched_[row] = true;
+    touched_.push_back(row);
+  }
+  float* g = grad_.data() + size_t(row) * dim_;
+  for (size_t d = 0; d < dim_; ++d) g[d] += grad[d];
+  if (with_bias_) grad_bias_[row] += bias_grad;
+}
+
+void EmbeddingTable::ApplyGradients(float learning_rate, float epsilon) {
+  for (uint32_t row : touched_) {
+    if (!is_dirty_[row]) {
+      is_dirty_[row] = true;
+      dirty_.push_back(row);
+    }
+    float* w = weights_.data() + size_t(row) * dim_;
+    float* g = grad_.data() + size_t(row) * dim_;
+    float* acc = adagrad_.data() + size_t(row) * dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      acc[d] += g[d] * g[d];
+      w[d] -= learning_rate * g[d] / (std::sqrt(acc[d]) + epsilon);
+      g[d] = 0.0f;
+    }
+    if (with_bias_) {
+      const float gb = grad_bias_[row];
+      adagrad_bias_[row] += gb * gb;
+      biases_[row] -=
+          learning_rate * gb / (std::sqrt(adagrad_bias_[row]) + epsilon);
+      grad_bias_[row] = 0.0f;
+    }
+    is_touched_[row] = false;
+  }
+  touched_.clear();
+}
+
+std::span<const float> EmbeddingTable::RowGrad(uint32_t row) const {
+  FVAE_CHECK(row < num_rows());
+  return {grad_.data() + size_t(row) * dim_, dim_};
+}
+
+void EmbeddingTable::EnsureCapacity(uint32_t row) {
+  const size_t needed = (size_t(row) + 1) * dim_;
+  if (weights_.size() < needed) {
+    weights_.resize(needed, 0.0f);
+    adagrad_.resize(needed, 0.0f);
+    grad_.resize(needed, 0.0f);
+  }
+  if (is_touched_.size() < size_t(row) + 1) {
+    is_touched_.resize(size_t(row) + 1, false);
+    is_dirty_.resize(size_t(row) + 1, false);
+  }
+  if (with_bias_ && biases_.size() < size_t(row) + 1) {
+    biases_.resize(size_t(row) + 1, 0.0f);
+    adagrad_bias_.resize(size_t(row) + 1, 0.0f);
+    grad_bias_.resize(size_t(row) + 1, 0.0f);
+  }
+}
+
+}  // namespace fvae::nn

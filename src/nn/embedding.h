@@ -1,0 +1,106 @@
+#ifndef FVAE_NN_EMBEDDING_H_
+#define FVAE_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "hash/dynamic_hash_table.h"
+
+namespace fvae::nn {
+
+/// Growable per-feature parameter store backed by a DynamicHashTable
+/// (paper §IV-C1).
+///
+/// Each raw 64-bit feature ID owns one dense row of `dim` floats (plus an
+/// optional scalar bias). Rows are created lazily the first time an ID is
+/// touched, with N(0, init_stddev^2) entries — this is exactly the paper's
+/// "weights of this ID are randomly initialized and pushed into the hash
+/// table" behaviour, and is what lets the model absorb new features during
+/// training without a fixed vocabulary.
+///
+/// The table doubles as (a) the encoder's first-layer weights (embedding
+/// sum over a user's features) and (b) each decoder field head's output
+/// weights (one logit row per candidate feature).
+///
+/// Training uses sparse AdaGrad: gradients are accumulated per touched row
+/// and applied in ApplyGradients, which also clears the accumulation state.
+class EmbeddingTable {
+ public:
+  /// `dim` > 0; `with_bias` adds a scalar bias per row.
+  EmbeddingTable(size_t dim, bool with_bias, float init_stddev,
+                 uint64_t seed);
+
+  /// Dense row index for `key`, creating and initializing it if new.
+  uint32_t GetOrCreateRow(uint64_t key);
+
+  /// Dense row index for `key`, or nullopt for unseen keys.
+  std::optional<uint32_t> FindRow(uint64_t key) const;
+
+  /// Row weight vectors.
+  std::span<float> Row(uint32_t row);
+  std::span<const float> Row(uint32_t row) const;
+
+  float bias(uint32_t row) const;
+  void set_bias(uint32_t row, float value);
+
+  size_t num_rows() const { return hash_.size(); }
+  size_t dim() const { return dim_; }
+  bool with_bias() const { return with_bias_; }
+
+  /// Accumulates a gradient contribution for a row (and its bias).
+  void AccumulateGrad(uint32_t row, std::span<const float> grad,
+                      float bias_grad = 0.0f);
+
+  /// AdaGrad update over all rows touched since the last call, then resets
+  /// the accumulated gradients. `epsilon` guards the adaptive denominator.
+  void ApplyGradients(float learning_rate, float epsilon = 1e-8f);
+
+  /// Rows touched by AccumulateGrad since the last ApplyGradients (for
+  /// tests and for the distributed trainer's gradient exchange).
+  const std::vector<uint32_t>& touched_rows() const { return touched_; }
+
+  /// Direct access to accumulated row gradient (valid for touched rows).
+  std::span<const float> RowGrad(uint32_t row) const;
+
+  /// All (key, row) pairs currently in the table (distributed merging).
+  std::vector<std::pair<uint64_t, uint32_t>> Items() const {
+    return hash_.Items();
+  }
+
+  /// Raw key that owns `row` (rows are created in insertion order).
+  uint64_t KeyOfRow(uint32_t row) const;
+
+  /// Rows modified by ApplyGradients since the last TakeDirtyRows call.
+  /// The distributed trainer uses this for delta synchronization: only
+  /// rows that actually changed are exchanged between replicas.
+  std::vector<uint32_t> TakeDirtyRows();
+
+ private:
+  void EnsureCapacity(uint32_t row);
+
+  size_t dim_;
+  bool with_bias_;
+  float init_stddev_;
+  Rng rng_;
+  DynamicHashTable hash_;
+  std::vector<float> weights_;       // num_rows x dim
+  std::vector<float> biases_;        // num_rows (if with_bias_)
+  std::vector<float> adagrad_;       // num_rows x dim accumulators
+  std::vector<float> adagrad_bias_;  // num_rows
+  // Sparse gradient accumulation.
+  std::vector<float> grad_;          // num_rows x dim (zeroed when untouched)
+  std::vector<float> grad_bias_;
+  std::vector<uint32_t> touched_;
+  std::vector<bool> is_touched_;
+  std::vector<uint64_t> keys_;       // row -> raw key
+  std::vector<uint32_t> dirty_;      // rows updated since TakeDirtyRows
+  std::vector<bool> is_dirty_;
+};
+
+}  // namespace fvae::nn
+
+#endif  // FVAE_NN_EMBEDDING_H_

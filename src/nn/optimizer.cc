@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fvae::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params, float learning_rate,
+                           float momentum)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  FVAE_CHECK(learning_rate > 0.0f);
+  FVAE_CHECK(momentum >= 0.0f && momentum < 1.0f);
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    velocity_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = *params_[i].value;
+    Matrix& grad = *params_[i].grad;
+    Matrix& vel = velocity_[i];
+    FVAE_CHECK(grad.rows() == value.rows() && grad.cols() == value.cols())
+        << "gradient shape mismatch";
+    if (momentum_ > 0.0f) {
+      for (size_t j = 0; j < value.size(); ++j) {
+        vel.data()[j] = momentum_ * vel.data()[j] + grad.data()[j];
+        value.data()[j] -= learning_rate_ * vel.data()[j];
+      }
+    } else {
+      for (size_t j = 0; j < value.size(); ++j) {
+        value.data()[j] -= learning_rate_ * grad.data()[j];
+      }
+    }
+    grad.SetZero();
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<ParamRef> params,
+                             float learning_rate, float beta1, float beta2,
+                             float epsilon)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  FVAE_CHECK(learning_rate > 0.0f);
+  FVAE_CHECK(beta1 >= 0.0f && beta1 < 1.0f);
+  FVAE_CHECK(beta2 >= 0.0f && beta2 < 1.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, float(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, float(step_count_));
+  const float alpha = learning_rate_ * std::sqrt(bias2) / bias1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = *params_[i].value;
+    Matrix& grad = *params_[i].grad;
+    FVAE_CHECK(grad.rows() == value.rows() && grad.cols() == value.cols())
+        << "gradient shape mismatch";
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < value.size(); ++j) {
+      const float g = grad.data()[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      value.data()[j] -= alpha * m[j] / (std::sqrt(v[j]) + epsilon_);
+    }
+    grad.SetZero();
+  }
+}
+
+}  // namespace fvae::nn

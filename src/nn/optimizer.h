@@ -1,0 +1,70 @@
+#ifndef FVAE_NN_OPTIMIZER_H_
+#define FVAE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fvae::nn {
+
+/// Dense-parameter optimizer interface. Layers fill gradients in Backward;
+/// Step consumes and zeroes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the params,
+  /// then zeroes the gradients.
+  virtual void Step() = 0;
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+/// Plain SGD with optional momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<ParamRef> params, float learning_rate,
+               float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<ParamRef> params, float learning_rate,
+                float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace fvae::nn
+
+#endif  // FVAE_NN_OPTIMIZER_H_

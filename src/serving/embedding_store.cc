@@ -1,0 +1,96 @@
+#include "serving/embedding_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace fvae::serving {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'V', 'E', 'B'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void EmbeddingStore::Put(uint64_t user_id, std::vector<float> embedding) {
+  FVAE_CHECK(!embedding.empty()) << "empty embedding";
+  if (table_.empty()) {
+    dim_ = embedding.size();
+  } else {
+    FVAE_CHECK(embedding.size() == dim_)
+        << "dimension mismatch: " << embedding.size() << " vs " << dim_;
+  }
+  table_[user_id] = std::move(embedding);
+}
+
+void EmbeddingStore::PutBatch(const std::vector<uint64_t>& user_ids,
+                              const Matrix& embeddings) {
+  FVAE_CHECK(user_ids.size() == embeddings.rows()) << "batch size mismatch";
+  for (size_t i = 0; i < user_ids.size(); ++i) {
+    const float* row = embeddings.Row(i);
+    Put(user_ids[i], std::vector<float>(row, row + embeddings.cols()));
+  }
+}
+
+std::optional<std::vector<float>> EmbeddingStore::Get(uint64_t user_id)
+    const {
+  auto it = table_.find(user_id);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status EmbeddingStore::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, 4);
+  const uint32_t version = kVersion;
+  const uint32_t dim = static_cast<uint32_t>(dim_);
+  const uint64_t count = table_.size();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [user_id, embedding] : table_) {
+    out.write(reinterpret_cast<const char*>(&user_id), sizeof(user_id));
+    out.write(reinterpret_cast<const char*>(embedding.data()),
+              static_cast<std::streamsize>(embedding.size() *
+                                           sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t version = 0, dim = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || version != kVersion) {
+    return Status::InvalidArgument("unsupported store version");
+  }
+  if (dim == 0 || dim > 1u << 20) {
+    return Status::InvalidArgument("bad embedding dimension");
+  }
+  EmbeddingStore store;
+  store.dim_ = dim;
+  store.table_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t user_id = 0;
+    std::vector<float> embedding(dim);
+    in.read(reinterpret_cast<char*>(&user_id), sizeof(user_id));
+    in.read(reinterpret_cast<char*>(embedding.data()),
+            static_cast<std::streamsize>(dim * sizeof(float)));
+    if (!in) return Status::IoError("truncated store: " + path);
+    store.table_[user_id] = std::move(embedding);
+  }
+  return store;
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,53 @@
+#ifndef FVAE_SERVING_EMBEDDING_STORE_H_
+#define FVAE_SERVING_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace fvae::serving {
+
+/// File-backed user-embedding store — the repository's stand-in for the
+/// paper's HDFS offline storage (Fig. 2). The offline module dumps inferred
+/// embeddings here; the online serving proxy loads and serves them.
+///
+/// File format (little-endian): magic "FVEB", uint32 version, uint32 dim,
+/// uint64 count, then count x (uint64 user_id, dim x float).
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+
+  /// Registers / overwrites one embedding. All embeddings must share the
+  /// dimension of the first Put.
+  void Put(uint64_t user_id, std::vector<float> embedding);
+
+  /// Bulk insert: row i of `embeddings` belongs to user_ids[i].
+  void PutBatch(const std::vector<uint64_t>& user_ids,
+                const Matrix& embeddings);
+
+  /// Returns the embedding or nullopt.
+  std::optional<std::vector<float>> Get(uint64_t user_id) const;
+
+  size_t size() const { return table_.size(); }
+  size_t dim() const { return dim_; }
+
+  /// Serializes the full store to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Loads a store previously written by Save.
+  static Result<EmbeddingStore> Load(const std::string& path);
+
+ private:
+  size_t dim_ = 0;
+  std::unordered_map<uint64_t, std::vector<float>> table_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_EMBEDDING_STORE_H_

@@ -1,0 +1,63 @@
+#ifndef FVAE_SERVING_LRU_CACHE_H_
+#define FVAE_SERVING_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fvae::serving {
+
+/// Bounded LRU cache — the repository's stand-in for the paper's Redis
+/// high-performance cache in the online module (Fig. 2).
+///
+/// Single-threaded by design (the serving proxy owns one per shard);
+/// Get refreshes recency, Put evicts the least recently used entry when
+/// full.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    FVAE_CHECK(capacity > 0) << "LRU capacity must be positive";
+  }
+
+  /// Returns the cached value (refreshing recency), or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the LRU entry when at capacity.
+  void Put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) > 0; }
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_LRU_CACHE_H_

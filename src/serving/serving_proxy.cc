@@ -1,0 +1,20 @@
+#include "serving/serving_proxy.h"
+
+namespace fvae::serving {
+
+std::optional<std::vector<float>> ServingProxy::Lookup(uint64_t user_id) {
+  ++stats_.requests;
+  if (auto cached = cache_.Get(user_id); cached.has_value()) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+  if (auto stored = store_->Get(user_id); stored.has_value()) {
+    ++stats_.store_hits;
+    cache_.Put(user_id, *stored);
+    return stored;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,47 @@
+#ifndef FVAE_SERVING_SERVING_PROXY_H_
+#define FVAE_SERVING_SERVING_PROXY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serving/embedding_store.h"
+#include "serving/lru_cache.h"
+
+namespace fvae::serving {
+
+/// Model-serving proxy of the online module (Fig. 2): answers embedding
+/// lookups from a hot LRU cache backed by the (HDFS stand-in) embedding
+/// store, and tracks hit statistics.
+class ServingProxy {
+ public:
+  struct Stats {
+    size_t requests = 0;
+    size_t cache_hits = 0;
+    size_t store_hits = 0;
+    size_t misses = 0;
+
+    double CacheHitRate() const {
+      return requests == 0 ? 0.0 : double(cache_hits) / double(requests);
+    }
+  };
+
+  /// `store` must outlive the proxy.
+  ServingProxy(const EmbeddingStore* store, size_t cache_capacity)
+      : store_(store), cache_(cache_capacity) {}
+
+  /// Looks up a user's embedding: cache first, then store (populating the
+  /// cache on a store hit). nullopt for unknown users.
+  std::optional<std::vector<float>> Lookup(uint64_t user_id);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const EmbeddingStore* store_;
+  LruCache<uint64_t, std::vector<float>> cache_;
+  Stats stats_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_SERVING_PROXY_H_

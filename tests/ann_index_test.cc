@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lookalike/ann_index.h"
+#include "math/matrix.h"
+
+namespace fvae::lookalike {
+namespace {
+
+/// Clustered points: `per_cluster` points around each of `centers` rows.
+Matrix ClusteredPoints(const Matrix& centers, size_t per_cluster,
+                       double spread, Rng& rng) {
+  Matrix points(centers.rows() * per_cluster, centers.cols());
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      float* row = points.Row(c * per_cluster + i);
+      for (size_t d = 0; d < centers.cols(); ++d) {
+        row[d] = centers(c, d) + static_cast<float>(rng.Normal(0, spread));
+      }
+    }
+  }
+  return points;
+}
+
+TEST(AnnIndexTest, ExactQueryFindsNearest) {
+  Matrix points = Matrix::FromRows({{0, 0}, {5, 0}, {0, 5}, {5, 5}});
+  AnnIndex::Options options;
+  options.num_cells = 2;
+  AnnIndex index(points, options);
+  const std::vector<float> query{0.4f, 0.1f};
+  const auto result = index.QueryExact(query, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], 0u);
+}
+
+TEST(AnnIndexTest, FullProbeEqualsExact) {
+  Rng rng(1);
+  Matrix centers = Matrix::Gaussian(8, 6, 5.0f, rng);
+  Matrix points = ClusteredPoints(centers, 40, 0.4, rng);
+  AnnIndex::Options options;
+  options.num_cells = 8;
+  AnnIndex index(points, options);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> query(6);
+    for (float& v : query) v = static_cast<float>(rng.Normal(0, 5));
+    const auto exact = index.QueryExact(query, 10);
+    // Probing every cell must return the exact answer.
+    const auto approx = index.Query(query, 10, /*nprobe=*/8);
+    EXPECT_EQ(exact, approx);
+  }
+}
+
+TEST(AnnIndexTest, RecallImprovesWithNprobe) {
+  Rng rng(2);
+  Matrix centers = Matrix::Gaussian(16, 8, 6.0f, rng);
+  Matrix points = ClusteredPoints(centers, 50, 0.5, rng);
+  AnnIndex::Options options;
+  options.num_cells = 16;
+  AnnIndex index(points, options);
+
+  Matrix queries = ClusteredPoints(centers, 3, 0.5, rng);
+  const double recall_1 = index.MeasureRecall(queries, 10, 1);
+  const double recall_4 = index.MeasureRecall(queries, 10, 4);
+  const double recall_16 = index.MeasureRecall(queries, 10, 16);
+  EXPECT_GE(recall_4, recall_1 - 1e-9);
+  EXPECT_NEAR(recall_16, 1.0, 1e-9);  // full probe = exact
+  EXPECT_GT(recall_1, 0.5);  // clustered data: one cell covers most of it
+}
+
+TEST(AnnIndexTest, HandlesFewerPointsThanCells) {
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 1}});
+  AnnIndex::Options options;
+  options.num_cells = 64;  // clamped to 2
+  AnnIndex index(points, options);
+  EXPECT_LE(index.num_cells(), 2u);
+  const std::vector<float> query{0.1f, 0.1f};
+  const auto result = index.Query(query, 5, 64);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], 0u);
+}
+
+TEST(AnnIndexTest, TopKClamped) {
+  Rng rng(3);
+  Matrix points = Matrix::Gaussian(20, 4, 1.0f, rng);
+  AnnIndex::Options options;
+  options.num_cells = 4;
+  AnnIndex index(points, options);
+  std::vector<float> query(4, 0.0f);
+  EXPECT_EQ(index.QueryExact(query, 100).size(), 20u);
+}
+
+TEST(AnnIndexTest, EveryPointIsIndexed) {
+  Rng rng(4);
+  Matrix points = Matrix::Gaussian(200, 5, 1.0f, rng);
+  AnnIndex::Options options;
+  options.num_cells = 10;
+  AnnIndex index(points, options);
+  // Probing all cells with top_k = n must return every point exactly once.
+  std::vector<float> query(5, 0.0f);
+  const auto all = index.Query(query, 200, 10);
+  ASSERT_EQ(all.size(), 200u);
+  std::vector<bool> seen(200, false);
+  for (uint32_t idx : all) {
+    ASSERT_LT(idx, 200u);
+    EXPECT_FALSE(seen[idx]) << "duplicate " << idx;
+    seen[idx] = true;
+  }
+}
+
+}  // namespace
+}  // namespace fvae::lookalike

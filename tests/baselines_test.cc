@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/feature_indexer.h"
+#include "baselines/lda.h"
+#include "baselines/pca.h"
+#include "baselines/skipgram.h"
+#include "common/random.h"
+#include "datagen/profile_generator.h"
+#include "eval/tasks.h"
+
+namespace fvae::baselines {
+namespace {
+
+// ---------- FeatureIndexer ----------
+
+MultiFieldDataset TinyFixture() {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"a", false}, FieldSchema{"b", false}});
+  builder.AddUser({{{1, 1.0f}, {2, 1.0f}}, {{1, 1.0f}}});
+  builder.AddUser({{{2, 1.0f}}, {{5, 1.0f}}});
+  return builder.Build();
+}
+
+TEST(FeatureIndexerTest, ExactAssignsDistinctColumns) {
+  const MultiFieldDataset data = TinyFixture();
+  const FeatureIndexer indexer = FeatureIndexer::BuildExact(data);
+  // (a,1), (a,2), (b,1), (b,5) -> 4 columns.
+  EXPECT_EQ(indexer.num_columns(), 4u);
+  EXPECT_FALSE(indexer.hashed());
+  // Same raw ID in different fields gets different columns.
+  EXPECT_NE(indexer.Column(0, 1).value(), indexer.Column(1, 1).value());
+  // Unseen pairs map to nothing.
+  EXPECT_FALSE(indexer.Column(0, 99).has_value());
+}
+
+TEST(FeatureIndexerTest, ExactOwnersRoundTrip) {
+  const MultiFieldDataset data = TinyFixture();
+  const FeatureIndexer indexer = FeatureIndexer::BuildExact(data);
+  const auto& owners = indexer.column_owners();
+  ASSERT_EQ(owners.size(), 4u);
+  for (uint32_t col = 0; col < owners.size(); ++col) {
+    const auto [field, id] = owners[col];
+    EXPECT_EQ(indexer.Column(field, id).value(), col);
+  }
+}
+
+TEST(FeatureIndexerTest, HashedAlwaysResolves) {
+  const FeatureIndexer indexer = FeatureIndexer::BuildHashed(3, 8);
+  EXPECT_TRUE(indexer.hashed());
+  EXPECT_EQ(indexer.num_columns(), 256u);
+  for (uint64_t id = 0; id < 1000; ++id) {
+    const auto col = indexer.Column(id % 3, id * 7919);
+    ASSERT_TRUE(col.has_value());
+    EXPECT_LT(*col, 256u);
+  }
+}
+
+// ---------- Shared evaluation fixture ----------
+
+class BaselineTaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProfileGeneratorConfig config = ShortContentConfig(250, /*seed=*/21);
+    // Shrink vocabularies so the linear baselines train fast in tests.
+    config.fields[2].vocab_size = 512;
+    config.fields[3].vocab_size = 1024;
+    config.fields[3].avg_features = 12.0;
+    config.num_topics = 8;
+    gen_ = GenerateProfiles(config);
+    users_.resize(gen_.dataset.num_users());
+    std::iota(users_.begin(), users_.end(), 0u);
+  }
+
+  /// Tag-prediction AUC of a fitted model on the fixture.
+  double TagAuc(const eval::RepresentationModel& model, uint64_t seed) {
+    Rng rng(seed);
+    return eval::RunTagPrediction(model, gen_.dataset, users_, 3,
+                                  gen_.field_vocab[3], rng)
+        .auc;
+  }
+
+  GeneratedProfiles gen_;
+  std::vector<uint32_t> users_;
+};
+
+// ---------- PCA ----------
+
+TEST_F(BaselineTaskTest, PcaEmbedsAndScores) {
+  PcaModel::Options options;
+  options.latent_dim = 16;
+  PcaModel pca(options);
+  pca.Fit(gen_.dataset);
+  EXPECT_EQ(pca.Name(), "PCA");
+  ASSERT_EQ(pca.singular_values().size(), 16u);
+  for (size_t i = 1; i < 16; ++i) {
+    EXPECT_GE(pca.singular_values()[i - 1],
+              pca.singular_values()[i] - 1e-3f);
+  }
+  const std::vector<uint32_t> some{0, 1, 2};
+  const Matrix z = pca.Embed(gen_.dataset, some);
+  EXPECT_EQ(z.rows(), 3u);
+  EXPECT_EQ(z.cols(), 16u);
+}
+
+TEST_F(BaselineTaskTest, PcaBeatsChanceOnTagPrediction) {
+  PcaModel::Options options;
+  options.latent_dim = 16;
+  PcaModel pca(options);
+  pca.Fit(gen_.dataset);
+  EXPECT_GT(TagAuc(pca, 31), 0.6);
+}
+
+// ---------- LDA ----------
+
+TEST_F(BaselineTaskTest, LdaEmbeddingsAreDistributions) {
+  LdaModel::Options options;
+  options.num_topics = 8;
+  options.passes = 3;
+  LdaModel lda(options);
+  lda.Fit(gen_.dataset);
+  const std::vector<uint32_t> some{0, 5, 9};
+  const Matrix theta = lda.Embed(gen_.dataset, some);
+  EXPECT_EQ(theta.cols(), 8u);
+  for (size_t i = 0; i < theta.rows(); ++i) {
+    double total = 0.0;
+    for (size_t t = 0; t < 8; ++t) {
+      EXPECT_GE(theta(i, t), 0.0f);
+      total += theta(i, t);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+TEST_F(BaselineTaskTest, LdaBeatsChanceOnTagPrediction) {
+  LdaModel::Options options;
+  options.num_topics = 8;
+  options.passes = 4;
+  LdaModel lda(options);
+  lda.Fit(gen_.dataset);
+  EXPECT_GT(TagAuc(lda, 32), 0.6);
+}
+
+// ---------- SkipGram (Item2Vec / Job2Vec) ----------
+
+TEST_F(BaselineTaskTest, Item2VecLearnsCooccurrence) {
+  SkipGramModel::Options options;
+  options.variant = SkipGramModel::Variant::kItem2Vec;
+  options.embedding_dim = 32;
+  options.epochs = 40;
+  options.contexts_per_center = 8;
+  SkipGramModel model(options);
+  model.Fit(gen_.dataset);
+  EXPECT_EQ(model.Name(), "Item2Vec");
+  EXPECT_GT(model.vocabulary_size(), 0u);
+  EXPECT_GT(TagAuc(model, 33), 0.6);
+}
+
+TEST_F(BaselineTaskTest, Job2VecVariantRuns) {
+  SkipGramModel::Options options;
+  options.variant = SkipGramModel::Variant::kJob2Vec;
+  options.embedding_dim = 32;
+  options.epochs = 40;
+  options.contexts_per_center = 8;
+  SkipGramModel model(options);
+  model.Fit(gen_.dataset);
+  EXPECT_EQ(model.Name(), "Job2Vec");
+  EXPECT_GT(TagAuc(model, 34), 0.55);
+}
+
+TEST_F(BaselineTaskTest, EmbeddingsDifferAcrossUsersOfDifferentTopics) {
+  SkipGramModel::Options options;
+  options.embedding_dim = 16;
+  options.epochs = 2;
+  SkipGramModel model(options);
+  model.Fit(gen_.dataset);
+  const Matrix z = model.Embed(gen_.dataset, users_);
+  // Not all embeddings identical.
+  float max_diff = 0.0f;
+  for (size_t d = 0; d < z.cols(); ++d) {
+    max_diff = std::max(max_diff, std::fabs(z(0, d) - z(1, d)));
+  }
+  EXPECT_GT(max_diff, 0.0f);
+}
+
+}  // namespace
+}  // namespace fvae::baselines

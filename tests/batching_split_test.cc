@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace fvae {
+namespace {
+
+TEST(BatchIteratorTest, CoversAllUsersOncePerEpoch) {
+  BatchIterator batches(100, 7, /*seed=*/1);
+  std::vector<uint32_t> batch;
+  std::set<uint32_t> seen;
+  size_t batch_count = 0;
+  while (batches.Next(&batch)) {
+    ++batch_count;
+    for (uint32_t u : batch) {
+      EXPECT_TRUE(seen.insert(u).second) << "duplicate user " << u;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(batch_count, batches.BatchesPerEpoch());
+  EXPECT_EQ(batch_count, 15u);  // ceil(100/7)
+}
+
+TEST(BatchIteratorTest, DropRemainder) {
+  BatchIterator batches(100, 7, /*seed=*/2, /*drop_remainder=*/true);
+  std::vector<uint32_t> batch;
+  size_t total = 0, count = 0;
+  while (batches.Next(&batch)) {
+    EXPECT_EQ(batch.size(), 7u);
+    total += batch.size();
+    ++count;
+  }
+  EXPECT_EQ(count, 14u);
+  EXPECT_EQ(total, 98u);
+  EXPECT_EQ(batches.BatchesPerEpoch(), 14u);
+}
+
+TEST(BatchIteratorTest, NewEpochReshuffles) {
+  BatchIterator batches(50, 50, /*seed=*/3);
+  std::vector<uint32_t> first, second;
+  batches.Next(&first);
+  batches.NewEpoch();
+  batches.Next(&second);
+  EXPECT_EQ(first.size(), 50u);
+  EXPECT_EQ(second.size(), 50u);
+  EXPECT_NE(first, second);  // astronomically unlikely to match
+  std::set<uint32_t> s(second.begin(), second.end());
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(BatchIteratorTest, ExhaustedEpochReturnsFalse) {
+  BatchIterator batches(5, 10, /*seed=*/4);
+  std::vector<uint32_t> batch;
+  EXPECT_TRUE(batches.Next(&batch));
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_FALSE(batches.Next(&batch));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batches.Next(&batch));  // stays exhausted
+}
+
+// ---------- Splits ----------
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Rng rng(5);
+  const DatasetSplit split = SplitUsers(1000, 0.1, 0.2, rng);
+  EXPECT_EQ(split.valid.size(), 100u);
+  EXPECT_EQ(split.test.size(), 200u);
+  EXPECT_EQ(split.train.size(), 700u);
+  std::set<uint32_t> all;
+  for (uint32_t u : split.train) all.insert(u);
+  for (uint32_t u : split.valid) all.insert(u);
+  for (uint32_t u : split.test) all.insert(u);
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(SplitTest, ZeroFractions) {
+  Rng rng(6);
+  const DatasetSplit split = SplitUsers(10, 0.0, 0.0, rng);
+  EXPECT_TRUE(split.valid.empty());
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.size(), 10u);
+}
+
+MultiFieldDataset SmallFixture() {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"a", false}, FieldSchema{"b", true}});
+  builder.AddUser({{{1, 1.0f}, {2, 1.0f}}, {{10, 1.0f}, {11, 1.0f}}});
+  builder.AddUser({{{3, 1.0f}}, {{12, 1.0f}}});
+  builder.AddUser({{{1, 1.0f}}, {{10, 2.0f}, {13, 1.0f}, {14, 1.0f}}});
+  return builder.Build();
+}
+
+TEST(SubsetTest, KeepsSelectedUsersInOrder) {
+  const MultiFieldDataset data = SmallFixture();
+  const MultiFieldDataset sub = Subset(data, {2, 0});
+  EXPECT_EQ(sub.num_users(), 2u);
+  // New user 0 is old user 2.
+  EXPECT_EQ(sub.UserField(0, 1).size(), 3u);
+  EXPECT_EQ(sub.UserField(1, 0).size(), 2u);
+  EXPECT_EQ(sub.fields().size(), 2u);
+  EXPECT_EQ(sub.field(1).name, "b");
+}
+
+TEST(MaskFieldTest, EmptiesExactlyOneField) {
+  const MultiFieldDataset data = SmallFixture();
+  const MultiFieldDataset masked = MaskField(data, 1);
+  EXPECT_EQ(masked.num_users(), data.num_users());
+  for (size_t u = 0; u < masked.num_users(); ++u) {
+    EXPECT_TRUE(masked.UserField(u, 1).empty());
+    EXPECT_EQ(masked.UserField(u, 0).size(), data.UserField(u, 0).size());
+  }
+}
+
+TEST(HoldOutTest, InvariantsHold) {
+  const MultiFieldDataset data = SmallFixture();
+  Rng rng(9);
+  const ReconstructionSplit split = HoldOutWithinUsers(data, 0.5, rng);
+  ASSERT_EQ(split.held_out.size(), data.num_users());
+  for (size_t u = 0; u < data.num_users(); ++u) {
+    for (size_t k = 0; k < data.num_fields(); ++k) {
+      const size_t original = data.UserField(u, k).size();
+      const size_t kept = split.input.UserField(u, k).size();
+      const size_t held = split.held_out[u][k].size();
+      EXPECT_EQ(kept + held, original);
+      if (original >= 2) {
+        EXPECT_GE(kept, 1u) << "all entries held out for user " << u;
+      }
+      if (original == 1) {
+        EXPECT_EQ(held, 0u) << "single entry must stay in input";
+      }
+    }
+  }
+}
+
+TEST(HoldOutTest, ZeroFractionHoldsNothing) {
+  const MultiFieldDataset data = SmallFixture();
+  Rng rng(10);
+  const ReconstructionSplit split = HoldOutWithinUsers(data, 0.0, rng);
+  for (size_t u = 0; u < data.num_users(); ++u) {
+    for (size_t k = 0; k < data.num_fields(); ++k) {
+      EXPECT_TRUE(split.held_out[u][k].empty());
+    }
+  }
+}
+
+TEST(HoldOutTest, HeldOutEntriesComeFromSource) {
+  const MultiFieldDataset data = SmallFixture();
+  Rng rng(11);
+  const ReconstructionSplit split = HoldOutWithinUsers(data, 0.4, rng);
+  for (size_t u = 0; u < data.num_users(); ++u) {
+    for (size_t k = 0; k < data.num_fields(); ++k) {
+      for (const FeatureEntry& held : split.held_out[u][k]) {
+        bool found = false;
+        for (const FeatureEntry& src : data.UserField(u, k)) {
+          if (src == held) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvae

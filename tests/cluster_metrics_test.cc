@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "eval/cluster_metrics.h"
+#include "math/matrix.h"
+
+namespace fvae::eval {
+namespace {
+
+/// Three tight blobs at distinct corners.
+void MakeBlobs(Matrix* points, std::vector<uint32_t>* labels, double spread,
+               uint64_t seed) {
+  constexpr size_t kPerBlob = 20;
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  points->Resize(3 * kPerBlob, 2);
+  labels->clear();
+  Rng rng(seed);
+  for (size_t blob = 0; blob < 3; ++blob) {
+    for (size_t i = 0; i < kPerBlob; ++i) {
+      const size_t row = blob * kPerBlob + i;
+      (*points)(row, 0) =
+          centers[blob][0] + static_cast<float>(rng.Normal(0.0, spread));
+      (*points)(row, 1) =
+          centers[blob][1] + static_cast<float>(rng.Normal(0.0, spread));
+      labels->push_back(static_cast<uint32_t>(blob));
+    }
+  }
+}
+
+TEST(KnnPurityTest, PerfectForTightBlobs) {
+  Matrix points;
+  std::vector<uint32_t> labels;
+  MakeBlobs(&points, &labels, 0.2, 1);
+  EXPECT_GT(KnnLabelPurity(points, labels, 5), 0.99);
+}
+
+TEST(KnnPurityTest, NearPriorForShuffledLabels) {
+  Matrix points;
+  std::vector<uint32_t> labels;
+  MakeBlobs(&points, &labels, 0.2, 2);
+  Rng rng(3);
+  rng.Shuffle(labels);
+  // Random labels over 3 balanced classes -> purity ~= 1/3.
+  EXPECT_NEAR(KnnLabelPurity(points, labels, 5), 1.0 / 3.0, 0.12);
+}
+
+TEST(KnnPurityTest, KLargerThanDatasetIsClamped) {
+  Matrix points(4, 2);
+  points(0, 0) = 0;
+  points(1, 0) = 1;
+  points(2, 0) = 2;
+  points(3, 0) = 3;
+  const std::vector<uint32_t> labels{0, 0, 1, 1};
+  const double purity = KnnLabelPurity(points, labels, 100);
+  EXPECT_GE(purity, 0.0);
+  EXPECT_LE(purity, 1.0);
+}
+
+TEST(SilhouetteTest, HighForSeparatedBlobs) {
+  Matrix points;
+  std::vector<uint32_t> labels;
+  MakeBlobs(&points, &labels, 0.2, 4);
+  EXPECT_GT(SilhouetteScore(points, labels), 0.8);
+}
+
+TEST(SilhouetteTest, LowForOverlappingBlobs) {
+  Matrix points;
+  std::vector<uint32_t> labels;
+  MakeBlobs(&points, &labels, 8.0, 5);  // spread >> separation
+  EXPECT_LT(SilhouetteScore(points, labels), 0.3);
+}
+
+TEST(SilhouetteTest, ShuffledLabelsScoreNearZeroOrNegative) {
+  Matrix points;
+  std::vector<uint32_t> labels;
+  MakeBlobs(&points, &labels, 0.2, 6);
+  Rng rng(7);
+  rng.Shuffle(labels);
+  EXPECT_LT(SilhouetteScore(points, labels), 0.1);
+}
+
+}  // namespace
+}  // namespace fvae::eval

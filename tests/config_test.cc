@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "common/config.h"
+
+namespace fvae {
+namespace {
+
+TEST(ConfigMapTest, ParsesKeyValues) {
+  auto config = ConfigMap::Parse(
+      "train.epochs = 10\n"
+      "model.latent = 64\n"
+      "name = my experiment\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("train.epochs", 0), 10);
+  EXPECT_EQ(config->GetInt("model.latent", 0), 64);
+  EXPECT_EQ(config->GetString("name", ""), "my experiment");
+  EXPECT_EQ(config->size(), 3u);
+}
+
+TEST(ConfigMapTest, CommentsAndBlanksIgnored) {
+  auto config = ConfigMap::Parse(
+      "# a comment\n"
+      "\n"
+      "key = value  # trailing comment\n"
+      "   \n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->size(), 1u);
+  EXPECT_EQ(config->GetString("key", ""), "value");
+}
+
+TEST(ConfigMapTest, LastDuplicateWins) {
+  auto config = ConfigMap::Parse("k = 1\nk = 2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("k", 0), 2);
+}
+
+TEST(ConfigMapTest, MalformedLineFails) {
+  EXPECT_FALSE(ConfigMap::Parse("not a key value line\n").ok());
+  EXPECT_FALSE(ConfigMap::Parse("= value\n").ok());
+}
+
+TEST(ConfigMapTest, TypedGettersFallBack) {
+  auto config = ConfigMap::Parse("x = notanumber\nflag = yes\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("x", -1), -1);
+  EXPECT_EQ(config->GetDouble("x", 2.5), 2.5);
+  EXPECT_EQ(config->GetInt("missing", 7), 7);
+  EXPECT_TRUE(config->GetBool("flag", false));
+  EXPECT_FALSE(config->GetBool("missing", false));
+}
+
+TEST(ConfigMapTest, BoolSpellings) {
+  auto config = ConfigMap::Parse(
+      "a = true\nb = 1\nc = false\nd = 0\ne = maybe\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->GetBool("a", false));
+  EXPECT_TRUE(config->GetBool("b", false));
+  EXPECT_FALSE(config->GetBool("c", true));
+  EXPECT_FALSE(config->GetBool("d", true));
+  EXPECT_TRUE(config->GetBool("e", true));  // unparseable -> fallback
+}
+
+TEST(ConfigMapTest, SetAndKeysSorted) {
+  ConfigMap config;
+  config.Set("b", "2");
+  config.Set("a", "1");
+  EXPECT_TRUE(config.Has("a"));
+  EXPECT_FALSE(config.Has("z"));
+  const auto keys = config.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigMapTest, ToStringRoundTrips) {
+  ConfigMap config;
+  config.Set("x.y", "3.5");
+  config.Set("name", "hello world");
+  auto reparsed = ConfigMap::Parse(config.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->GetDouble("x.y", 0.0), 3.5);
+  EXPECT_EQ(reparsed->GetString("name", ""), "hello world");
+}
+
+TEST(ConfigMapTest, LoadFile) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fvae_config_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "run.conf").string();
+  {
+    std::ofstream out(path);
+    out << "epochs = 3\n";
+  }
+  auto config = ConfigMap::LoadFile(path);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("epochs", 0), 3);
+  EXPECT_FALSE(ConfigMap::LoadFile(path + ".missing").ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fvae

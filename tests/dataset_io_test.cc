@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.h"
+#include "data/io.h"
+
+namespace fvae {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fvae_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+MultiFieldDataset Fixture() {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"ch1", false}, FieldSchema{"tag", true}});
+  builder.AddUser({{{7, 1.0f}, {8, 0.5f}}, {{1000, 2.0f}}});
+  builder.AddUser({{}, {}});
+  builder.AddUser({{{9, 3.0f}}, {{1001, 1.0f}, {~uint64_t{0}, 1.0f}}});
+  return builder.Build();
+}
+
+void ExpectEqualDatasets(const MultiFieldDataset& a,
+                         const MultiFieldDataset& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_fields(), b.num_fields());
+  for (size_t k = 0; k < a.num_fields(); ++k) {
+    EXPECT_EQ(a.field(k).name, b.field(k).name);
+    EXPECT_EQ(a.field(k).is_sparse, b.field(k).is_sparse);
+    for (size_t u = 0; u < a.num_users(); ++u) {
+      auto sa = a.UserField(u, k);
+      auto sb = b.UserField(u, k);
+      ASSERT_EQ(sa.size(), sb.size()) << "user " << u << " field " << k;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].id, sb[i].id);
+        EXPECT_FLOAT_EQ(sa[i].value, sb[i].value);
+      }
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, BinaryRoundTrip) {
+  const MultiFieldDataset data = Fixture();
+  ASSERT_TRUE(SaveDatasetBinary(data, Path("data.bin")).ok());
+  auto loaded = LoadDatasetBinary(Path("data.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualDatasets(data, *loaded);
+}
+
+TEST_F(DatasetIoTest, BinaryMissingFile) {
+  auto loaded = LoadDatasetBinary(Path("nope.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DatasetIoTest, BinaryRejectsGarbage) {
+  {
+    std::ofstream out(Path("garbage.bin"), std::ios::binary);
+    out << "this is not a dataset";
+  }
+  auto loaded = LoadDatasetBinary(Path("garbage.bin"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(DatasetIoTest, BinaryRejectsTruncation) {
+  const MultiFieldDataset data = Fixture();
+  ASSERT_TRUE(SaveDatasetBinary(data, Path("full.bin")).ok());
+  // Truncate the file to half.
+  const auto size = std::filesystem::file_size(Path("full.bin"));
+  std::filesystem::resize_file(Path("full.bin"), size / 2);
+  auto loaded = LoadDatasetBinary(Path("full.bin"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(DatasetIoTest, TextRoundTrip) {
+  // The text format parses IDs as signed decimals, so skip the ~0 entry.
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"a", false}, FieldSchema{"b", true}});
+  builder.AddUser({{{7, 1.0f}}, {{1000, 2.5f}}});
+  builder.AddUser({{}, {}});
+  builder.AddUser({{{9, 3.0f}, {10, 1.0f}}, {}});
+  const MultiFieldDataset data = builder.Build();
+
+  ASSERT_TRUE(SaveDatasetText(data, Path("data.txt")).ok());
+  auto loaded = LoadDatasetText(Path("data.txt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualDatasets(data, *loaded);
+}
+
+TEST_F(DatasetIoTest, TextPreservesSparseFlag) {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"x", true}, FieldSchema{"y", false}});
+  builder.AddUser({{{1, 1.0f}}, {{2, 1.0f}}});
+  ASSERT_TRUE(SaveDatasetText(builder.Build(), Path("flags.txt")).ok());
+  auto loaded = LoadDatasetText(Path("flags.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->field(0).is_sparse);
+  EXPECT_FALSE(loaded->field(1).is_sparse);
+}
+
+TEST_F(DatasetIoTest, TextRejectsMissingHeader) {
+  {
+    std::ofstream out(Path("bad.txt"));
+    out << "1:1|2:2\n";
+  }
+  auto loaded = LoadDatasetText(Path("bad.txt"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, TextRejectsWrongFieldCount) {
+  {
+    std::ofstream out(Path("short.txt"));
+    out << "#fields a,b\n";
+    out << "1:1\n";  // only one field on the line
+  }
+  auto loaded = LoadDatasetText(Path("short.txt"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(DatasetIoTest, TextRejectsBadEntry) {
+  {
+    std::ofstream out(Path("badentry.txt"));
+    out << "#fields a\n";
+    out << "nonsense\n";
+  }
+  auto loaded = LoadDatasetText(Path("badentry.txt"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace fvae

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace fvae {
+namespace {
+
+MultiFieldDataset TwoFieldFixture() {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"ch", false}, FieldSchema{"tag", true}});
+  builder.AddUser({{{10, 1.0f}, {11, 2.0f}}, {{100, 1.0f}}});
+  builder.AddUser({{}, {{100, 1.0f}, {101, 1.0f}, {102, 3.0f}}});
+  builder.AddUser({{{11, 1.0f}}, {}});
+  return builder.Build();
+}
+
+TEST(DatasetTest, BasicShape) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  EXPECT_EQ(data.num_users(), 3u);
+  EXPECT_EQ(data.num_fields(), 2u);
+  EXPECT_EQ(data.field(0).name, "ch");
+  EXPECT_FALSE(data.field(0).is_sparse);
+  EXPECT_TRUE(data.field(1).is_sparse);
+}
+
+TEST(DatasetTest, UserFieldSpans) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  auto u0_ch = data.UserField(0, 0);
+  ASSERT_EQ(u0_ch.size(), 2u);
+  EXPECT_EQ(u0_ch[0].id, 10u);
+  EXPECT_EQ(u0_ch[1].value, 2.0f);
+
+  EXPECT_TRUE(data.UserField(1, 0).empty());
+  EXPECT_EQ(data.UserField(1, 1).size(), 3u);
+  EXPECT_TRUE(data.UserField(2, 1).empty());
+}
+
+TEST(DatasetTest, UserFieldTotal) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  EXPECT_DOUBLE_EQ(data.UserFieldTotal(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(data.UserFieldTotal(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(data.UserFieldTotal(2, 1), 0.0);
+}
+
+TEST(DatasetTest, NnzCounts) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  EXPECT_EQ(data.FieldNnz(0), 3u);
+  EXPECT_EQ(data.FieldNnz(1), 4u);
+  EXPECT_EQ(data.TotalNnz(), 7u);
+  EXPECT_NEAR(data.AverageFeaturesPerUser(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetTest, DistinctFeatureIdsSorted) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  const auto tags = data.DistinctFeatureIds(1);
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], 100u);
+  EXPECT_EQ(tags[1], 101u);
+  EXPECT_EQ(tags[2], 102u);
+  const auto chs = data.DistinctFeatureIds(0);
+  ASSERT_EQ(chs.size(), 2u);
+}
+
+TEST(DatasetTest, BuilderReturnsUserIndices) {
+  MultiFieldDataset::Builder builder({FieldSchema{"f", false}});
+  EXPECT_EQ(builder.AddUser({{}}), 0u);
+  EXPECT_EQ(builder.AddUser({{{1, 1.0f}}}), 1u);
+  EXPECT_EQ(builder.AddUser({{}}), 2u);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  MultiFieldDataset::Builder builder({FieldSchema{"f", false}});
+  const MultiFieldDataset data = builder.Build();
+  EXPECT_EQ(data.num_users(), 0u);
+  EXPECT_EQ(data.TotalNnz(), 0u);
+  EXPECT_EQ(data.AverageFeaturesPerUser(), 0.0);
+}
+
+TEST(DatasetTest, SummaryMentionsFieldsAndUsers) {
+  const MultiFieldDataset data = TwoFieldFixture();
+  const std::string summary = data.Summary();
+  EXPECT_NE(summary.find("users=3"), std::string::npos);
+  EXPECT_NE(summary.find("tag"), std::string::npos);
+}
+
+TEST(DatasetTest, FeatureEntryEquality) {
+  EXPECT_EQ((FeatureEntry{1, 2.0f}), (FeatureEntry{1, 2.0f}));
+  EXPECT_FALSE((FeatureEntry{1, 2.0f}) == (FeatureEntry{1, 3.0f}));
+}
+
+}  // namespace
+}  // namespace fvae

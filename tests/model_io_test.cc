@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <unistd.h>
+
+#include "core/fvae_model.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+
+namespace fvae::core {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fvae_model_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+MultiFieldDataset Fixture() {
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"ch", false}, FieldSchema{"tag", true}});
+  for (int i = 0; i < 32; ++i) {
+    builder.AddUser({{{1, 1.0f}}, {{100, 1.0f}, {101, 1.0f}}});
+    builder.AddUser({{{2, 1.0f}}, {{200, 1.0f}}});
+  }
+  return builder.Build();
+}
+
+FvaeConfig Config() {
+  FvaeConfig config;
+  config.latent_dim = 8;
+  config.encoder_hidden = {16, 12};
+  config.decoder_hidden = {12, 16};
+  config.alpha = {1.0f, 2.0f};
+  config.beta = 0.17f;
+  config.sampling_strategy = SamplingStrategy::kZipfian;
+  config.sampling_rate = 0.42;
+  config.seed = 9;
+  return config;
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesInference) {
+  const MultiFieldDataset data = Fixture();
+  FieldVae model(Config(), data.fields());
+  TrainOptions options;
+  options.batch_size = 16;
+  options.epochs = 4;
+  TrainFvae(model, data, options);
+
+  ASSERT_TRUE(SaveFieldVae(model, Path("model.bin")).ok());
+  auto loaded = LoadFieldVae(Path("model.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Embeddings must be bit-identical.
+  std::vector<uint32_t> users(8);
+  std::iota(users.begin(), users.end(), 0u);
+  const Matrix z_original = model.Encode(data, users);
+  const Matrix z_loaded = (*loaded)->Encode(data, users);
+  EXPECT_LT(Matrix::MaxAbsDiff(z_original, z_loaded), 1e-9f);
+
+  // Field scores must match too (decoder + output tables round-trip).
+  const std::vector<uint64_t> candidates{100, 101, 200};
+  const Matrix s_original = model.ScoreField(z_original, 1, candidates);
+  const Matrix s_loaded = (*loaded)->ScoreField(z_loaded, 1, candidates);
+  EXPECT_LT(Matrix::MaxAbsDiff(s_original, s_loaded), 1e-9f);
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesConfigAndSchemas) {
+  const MultiFieldDataset data = Fixture();
+  FieldVae model(Config(), data.fields());
+  ASSERT_TRUE(SaveFieldVae(model, Path("fresh.bin")).ok());
+  auto loaded = LoadFieldVae(Path("fresh.bin"));
+  ASSERT_TRUE(loaded.ok());
+
+  const FvaeConfig& config = (*loaded)->config();
+  EXPECT_EQ(config.latent_dim, 8u);
+  EXPECT_EQ(config.encoder_hidden, (std::vector<size_t>{16, 12}));
+  EXPECT_EQ(config.decoder_hidden, (std::vector<size_t>{12, 16}));
+  ASSERT_EQ(config.alpha.size(), 2u);
+  EXPECT_FLOAT_EQ(config.alpha[1], 2.0f);
+  EXPECT_FLOAT_EQ(config.beta, 0.17f);
+  EXPECT_EQ(config.sampling_strategy, SamplingStrategy::kZipfian);
+  EXPECT_DOUBLE_EQ(config.sampling_rate, 0.42);
+
+  ASSERT_EQ((*loaded)->field_schemas().size(), 2u);
+  EXPECT_EQ((*loaded)->field_schemas()[0].name, "ch");
+  EXPECT_TRUE((*loaded)->field_schemas()[1].is_sparse);
+}
+
+TEST_F(ModelIoTest, LoadedModelCanKeepTraining) {
+  const MultiFieldDataset data = Fixture();
+  FieldVae model(Config(), data.fields());
+  TrainOptions options;
+  options.batch_size = 16;
+  options.epochs = 2;
+  TrainFvae(model, data, options);
+  ASSERT_TRUE(SaveFieldVae(model, Path("warm.bin")).ok());
+  auto loaded = LoadFieldVae(Path("warm.bin"));
+  ASSERT_TRUE(loaded.ok());
+  const TrainResult result = TrainFvae(**loaded, data, options);
+  EXPECT_GT(result.steps, 0u);
+  EXPECT_TRUE(std::isfinite(result.epoch_loss.back()));
+}
+
+TEST_F(ModelIoTest, MissingFileFails) {
+  auto loaded = LoadFieldVae(Path("missing.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ModelIoTest, TruncatedFileFails) {
+  const MultiFieldDataset data = Fixture();
+  FieldVae model(Config(), data.fields());
+  std::vector<uint32_t> batch{0, 1, 2, 3};
+  model.TrainStep(data, batch, 0.1f);
+  ASSERT_TRUE(SaveFieldVae(model, Path("trunc.bin")).ok());
+  std::filesystem::resize_file(
+      Path("trunc.bin"),
+      std::filesystem::file_size(Path("trunc.bin")) / 3);
+  EXPECT_FALSE(LoadFieldVae(Path("trunc.bin")).ok());
+}
+
+TEST_F(ModelIoTest, GarbageFileFails) {
+  {
+    std::ofstream out(Path("garbage.bin"), std::ios::binary);
+    out << "not a model checkpoint at all";
+  }
+  auto loaded = LoadFieldVae(Path("garbage.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fvae::core

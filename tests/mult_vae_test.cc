@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/mult_vae.h"
+#include "common/random.h"
+#include "datagen/profile_generator.h"
+#include "eval/tasks.h"
+
+namespace fvae::baselines {
+namespace {
+
+class MultVaeTaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProfileGeneratorConfig config = ShortContentConfig(250, /*seed=*/41);
+    config.fields[2].vocab_size = 256;
+    config.fields[3].vocab_size = 512;
+    config.fields[3].avg_features = 10.0;
+    config.num_topics = 8;
+    gen_ = GenerateProfiles(config);
+    users_.resize(gen_.dataset.num_users());
+    std::iota(users_.begin(), users_.end(), 0u);
+  }
+
+  MultVaeModel::Options BaseOptions(MultVaeModel::Variant variant) {
+    MultVaeModel::Options options;
+    options.variant = variant;
+    options.hidden_dim = 32;
+    options.latent_dim = 16;
+    options.epochs = 30;
+    options.batch_size = 64;
+    options.anneal_steps = 60;
+    options.beta = 0.1f;
+    options.seed = 5;
+    return options;
+  }
+
+  double TagAuc(const eval::RepresentationModel& model, uint64_t seed) {
+    Rng rng(seed);
+    return eval::RunTagPrediction(model, gen_.dataset, users_, 3,
+                                  gen_.field_vocab[3], rng)
+        .auc;
+  }
+
+  GeneratedProfiles gen_;
+  std::vector<uint32_t> users_;
+};
+
+TEST_F(MultVaeTaskTest, Names) {
+  EXPECT_EQ(MultVaeModel(BaseOptions(MultVaeModel::Variant::kDae)).Name(),
+            "Mult-DAE");
+  EXPECT_EQ(MultVaeModel(BaseOptions(MultVaeModel::Variant::kVae)).Name(),
+            "Mult-VAE");
+  EXPECT_EQ(MultVaeModel(BaseOptions(MultVaeModel::Variant::kRecVae)).Name(),
+            "RecVAE");
+}
+
+TEST_F(MultVaeTaskTest, VaeLearnsTagStructure) {
+  MultVaeModel model(BaseOptions(MultVaeModel::Variant::kVae));
+  model.Fit(gen_.dataset);
+  EXPECT_GT(model.fit_stats().steps, 0u);
+  EXPECT_GT(model.fit_stats().UsersPerSecond(), 0.0);
+  EXPECT_GT(TagAuc(model, 51), 0.65);
+}
+
+TEST_F(MultVaeTaskTest, DaeLearnsTagStructure) {
+  MultVaeModel model(BaseOptions(MultVaeModel::Variant::kDae));
+  model.Fit(gen_.dataset);
+  EXPECT_GT(TagAuc(model, 52), 0.65);
+}
+
+TEST_F(MultVaeTaskTest, RecVaeLearnsTagStructure) {
+  MultVaeModel model(BaseOptions(MultVaeModel::Variant::kRecVae));
+  model.Fit(gen_.dataset);
+  EXPECT_GT(TagAuc(model, 53), 0.65);
+}
+
+TEST_F(MultVaeTaskTest, EmbedShapeAndDeterminism) {
+  MultVaeModel model(BaseOptions(MultVaeModel::Variant::kVae));
+  model.Fit(gen_.dataset);
+  const std::vector<uint32_t> some{0, 3, 7};
+  const Matrix a = model.Embed(gen_.dataset, some);
+  const Matrix b = model.Embed(gen_.dataset, some);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 16u);
+  EXPECT_LT(Matrix::MaxAbsDiff(a, b), 1e-9f);
+}
+
+TEST_F(MultVaeTaskTest, HashedModeBoundsColumns) {
+  MultVaeModel::Options options = BaseOptions(MultVaeModel::Variant::kVae);
+  options.hash_bits = 9;  // 512 buckets, forcing collisions
+  options.epochs = 2;
+  MultVaeModel model(options);
+  model.Fit(gen_.dataset);
+  EXPECT_EQ(model.num_columns(), 512u);
+}
+
+TEST_F(MultVaeTaskTest, TimeBudgetStopsTraining) {
+  MultVaeModel::Options options = BaseOptions(MultVaeModel::Variant::kVae);
+  options.epochs = 100000;
+  options.time_budget_seconds = 0.2;
+  MultVaeModel model(options);
+  model.Fit(gen_.dataset);
+  EXPECT_LT(model.fit_stats().seconds, 10.0);
+}
+
+TEST_F(MultVaeTaskTest, ScoresUnseenCandidatesAsZero) {
+  MultVaeModel::Options options = BaseOptions(MultVaeModel::Variant::kVae);
+  options.epochs = 1;
+  MultVaeModel model(options);
+  model.Fit(gen_.dataset);
+  const std::vector<uint32_t> some{0};
+  const std::vector<uint64_t> candidates{0xDEADBEEFCAFEULL};
+  const Matrix scores = model.Score(gen_.dataset, some, 3, candidates);
+  EXPECT_EQ(scores(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace fvae::baselines

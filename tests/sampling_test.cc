@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/sampling.h"
+
+namespace fvae::core {
+namespace {
+
+std::vector<Candidate> MakeCandidates(size_t n) {
+  // Candidate i has frequency n - i (candidate 0 most frequent).
+  std::vector<Candidate> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({uint64_t(1000 + i), uint32_t(n - i)});
+  }
+  return out;
+}
+
+TEST(SamplingStrategyTest, ParseRoundTrip) {
+  for (auto s : {SamplingStrategy::kNone, SamplingStrategy::kUniform,
+                 SamplingStrategy::kFrequency, SamplingStrategy::kZipfian}) {
+    EXPECT_EQ(ParseSamplingStrategy(SamplingStrategyName(s)), s);
+  }
+}
+
+TEST(SampleCandidatesTest, NoneKeepsEverything) {
+  Rng rng(1);
+  const auto cands = MakeCandidates(50);
+  const auto ids = SampleCandidates(cands, 0.1, SamplingStrategy::kNone, rng);
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(SampleCandidatesTest, EmptyInputGivesEmptyOutput) {
+  Rng rng(2);
+  for (auto s : {SamplingStrategy::kNone, SamplingStrategy::kUniform,
+                 SamplingStrategy::kFrequency, SamplingStrategy::kZipfian}) {
+    EXPECT_TRUE(SampleCandidates({}, 0.5, s, rng).empty());
+  }
+}
+
+TEST(SampleCandidatesTest, RateOneKeepsEverything) {
+  Rng rng(3);
+  const auto cands = MakeCandidates(30);
+  for (auto s : {SamplingStrategy::kUniform, SamplingStrategy::kFrequency,
+                 SamplingStrategy::kZipfian}) {
+    EXPECT_EQ(SampleCandidates(cands, 1.0, s, rng).size(), 30u);
+  }
+}
+
+TEST(SampleCandidatesTest, AtLeastOneSurvives) {
+  Rng rng(4);
+  const auto cands = MakeCandidates(3);
+  for (auto s : {SamplingStrategy::kUniform, SamplingStrategy::kFrequency,
+                 SamplingStrategy::kZipfian}) {
+    EXPECT_GE(SampleCandidates(cands, 0.01, s, rng).size(), 1u);
+  }
+}
+
+class SamplingRateTest
+    : public ::testing::TestWithParam<std::tuple<double, SamplingStrategy>> {
+};
+
+TEST_P(SamplingRateTest, SizeAndUniquenessAndMembership) {
+  const auto [rate, strategy] = GetParam();
+  Rng rng(5);
+  const auto cands = MakeCandidates(200);
+  std::set<uint64_t> valid;
+  for (const Candidate& c : cands) valid.insert(c.id);
+
+  const auto ids = SampleCandidates(cands, rate, strategy, rng);
+  EXPECT_NEAR(double(ids.size()), rate * 200.0, 1.0);
+  std::set<uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size()) << "duplicates returned";
+  for (uint64_t id : ids) EXPECT_TRUE(valid.count(id));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndStrategies, SamplingRateTest,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.5, 0.8),
+                       ::testing::Values(SamplingStrategy::kUniform,
+                                         SamplingStrategy::kFrequency,
+                                         SamplingStrategy::kZipfian)));
+
+TEST(SampleCandidatesTest, UniformCoversLongTail) {
+  // With uniform sampling, the rare half of candidates is selected about as
+  // often as the popular half.
+  Rng rng(6);
+  const auto cands = MakeCandidates(100);
+  size_t popular = 0, rare = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    for (uint64_t id : SampleCandidates(cands, 0.2,
+                                        SamplingStrategy::kUniform, rng)) {
+      (id < 1050 ? popular : rare) += 1;
+    }
+  }
+  EXPECT_NEAR(double(popular) / double(popular + rare), 0.5, 0.05);
+}
+
+TEST(SampleCandidatesTest, FrequencyPrefersPopular) {
+  Rng rng(7);
+  const auto cands = MakeCandidates(100);
+  size_t popular = 0, rare = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    for (uint64_t id : SampleCandidates(cands, 0.2,
+                                        SamplingStrategy::kFrequency, rng)) {
+      (id < 1050 ? popular : rare) += 1;
+    }
+  }
+  EXPECT_GT(double(popular) / double(popular + rare), 0.6);
+}
+
+TEST(SampleCandidatesTest, ZipfianPrefersTopRanked) {
+  Rng rng(8);
+  const auto cands = MakeCandidates(100);
+  size_t top10 = 0, total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    for (uint64_t id : SampleCandidates(cands, 0.2,
+                                        SamplingStrategy::kZipfian, rng)) {
+      top10 += id < 1010;
+      ++total;
+    }
+  }
+  // Top-10 candidates are 10% of the pool but should get far more mass.
+  EXPECT_GT(double(top10) / double(total), 0.2);
+}
+
+TEST(SampleCandidatesTest, FrequencyWithUniformWeightsStillWorks) {
+  Rng rng(9);
+  std::vector<Candidate> cands;
+  for (size_t i = 0; i < 40; ++i) cands.push_back({i, 1});
+  const auto ids =
+      SampleCandidates(cands, 0.25, SamplingStrategy::kFrequency, rng);
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+}  // namespace
+}  // namespace fvae::core

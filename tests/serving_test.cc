@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "math/matrix.h"
+#include "serving/embedding_store.h"
+#include "serving/lru_cache.h"
+#include "serving/serving_proxy.h"
+
+namespace fvae::serving {
+namespace {
+
+// ---------- EmbeddingStore ----------
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fvae_store_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, PutAndGet) {
+  EmbeddingStore store;
+  store.Put(7, {1.0f, 2.0f});
+  store.Put(8, {3.0f, 4.0f});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dim(), 2u);
+  ASSERT_TRUE(store.Get(7).has_value());
+  EXPECT_EQ((*store.Get(7))[1], 2.0f);
+  EXPECT_FALSE(store.Get(99).has_value());
+}
+
+TEST_F(StoreTest, PutOverwrites) {
+  EmbeddingStore store;
+  store.Put(7, {1.0f});
+  store.Put(7, {5.0f});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ((*store.Get(7))[0], 5.0f);
+}
+
+TEST_F(StoreTest, PutBatchFromMatrix) {
+  EmbeddingStore store;
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  store.PutBatch({10, 20, 30}, m);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ((*store.Get(20))[0], 3.0f);
+  EXPECT_EQ((*store.Get(30))[1], 6.0f);
+}
+
+TEST_F(StoreTest, SaveLoadRoundTrip) {
+  EmbeddingStore store;
+  store.Put(1, {1.5f, -2.5f, 3.5f});
+  store.Put(0xFFFFFFFFFFFFFFFFULL, {0.0f, 0.0f, 9.0f});
+  ASSERT_TRUE(store.Save(Path("emb.bin")).ok());
+
+  auto loaded = EmbeddingStore::Load(Path("emb.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 3u);
+  EXPECT_EQ((*loaded->Get(1))[2], 3.5f);
+  EXPECT_EQ((*loaded->Get(0xFFFFFFFFFFFFFFFFULL))[2], 9.0f);
+}
+
+TEST_F(StoreTest, LoadMissingFileFails) {
+  auto loaded = EmbeddingStore::Load(Path("missing.bin"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(StoreTest, LoadRejectsTruncatedFile) {
+  EmbeddingStore store;
+  for (uint64_t i = 0; i < 50; ++i) store.Put(i, {1.0f, 2.0f});
+  ASSERT_TRUE(store.Save(Path("big.bin")).ok());
+  std::filesystem::resize_file(
+      Path("big.bin"), std::filesystem::file_size(Path("big.bin")) / 2);
+  EXPECT_FALSE(EmbeddingStore::Load(Path("big.bin")).ok());
+}
+
+// ---------- LruCache ----------
+
+TEST(LruCacheTest, BasicPutGet) {
+  LruCache<uint64_t, int> cache(2);
+  cache.Put(1, 100);
+  cache.Put(2, 200);
+  EXPECT_EQ(cache.Get(1).value(), 100);
+  EXPECT_EQ(cache.Get(2).value(), 200);
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<uint64_t, int> cache(2);
+  cache.Put(1, 100);
+  cache.Put(2, 200);
+  cache.Put(3, 300);  // evicts 1
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<uint64_t, int> cache(2);
+  cache.Put(1, 100);
+  cache.Put(2, 200);
+  cache.Get(1);       // 1 becomes most recent
+  cache.Put(3, 300);  // evicts 2, not 1
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, PutRefreshesAndOverwrites) {
+  LruCache<uint64_t, int> cache(2);
+  cache.Put(1, 100);
+  cache.Put(2, 200);
+  cache.Put(1, 111);  // overwrite, 1 most recent
+  cache.Put(3, 300);  // evicts 2
+  EXPECT_EQ(cache.Get(1).value(), 111);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, CapacityOne) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Get(2).value(), 20);
+}
+
+// ---------- ServingProxy ----------
+
+TEST(ServingProxyTest, LookupPathsAndStats) {
+  EmbeddingStore store;
+  store.Put(1, {1.0f});
+  store.Put(2, {2.0f});
+  ServingProxy proxy(&store, /*cache_capacity=*/1);
+
+  // Cold lookup: store hit.
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+  EXPECT_EQ(proxy.stats().store_hits, 1u);
+  EXPECT_EQ(proxy.stats().cache_hits, 0u);
+
+  // Warm lookup: cache hit.
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+  EXPECT_EQ(proxy.stats().cache_hits, 1u);
+
+  // Different user evicts (capacity 1), then a miss for unknown.
+  ASSERT_TRUE(proxy.Lookup(2).has_value());
+  EXPECT_FALSE(proxy.Lookup(999).has_value());
+  EXPECT_EQ(proxy.stats().misses, 1u);
+  EXPECT_EQ(proxy.stats().requests, 4u);
+  EXPECT_NEAR(proxy.stats().CacheHitRate(), 0.25, 1e-12);
+}
+
+TEST(ServingProxyTest, OfflineToOnlinePipeline) {
+  // Offline: dump embeddings; online: load + serve (Fig. 2 flow).
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fvae_proxy_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "dump.bin").string();
+  {
+    EmbeddingStore offline;
+    Matrix m = Matrix::FromRows({{0.1f, 0.2f}, {0.3f, 0.4f}});
+    offline.PutBatch({100, 200}, m);
+    ASSERT_TRUE(offline.Save(path).ok());
+  }
+  auto online = EmbeddingStore::Load(path);
+  ASSERT_TRUE(online.ok());
+  ServingProxy proxy(&*online, 16);
+  ASSERT_TRUE(proxy.Lookup(100).has_value());
+  EXPECT_FLOAT_EQ((*proxy.Lookup(100))[1], 0.2f);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fvae::serving

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/special.h"
+
+namespace fvae {
+namespace {
+
+// Euler-Mascheroni constant: psi(1) = -gamma.
+constexpr double kEulerGamma = 0.5772156649015329;
+
+TEST(DigammaTest, KnownValues) {
+  EXPECT_NEAR(Digamma(1.0), -kEulerGamma, 1e-9);
+  // psi(2) = 1 - gamma.
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerGamma, 1e-9);
+  // psi(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-9);
+}
+
+TEST(DigammaTest, RecurrenceHolds) {
+  // psi(x + 1) = psi(x) + 1/x across a range of x.
+  for (double x : {0.1, 0.7, 1.3, 5.5, 42.0, 1000.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, MonotoneIncreasing) {
+  double prev = Digamma(0.05);
+  for (double x = 0.1; x < 20.0; x += 0.37) {
+    const double cur = Digamma(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(DigammaTest, AsymptoticallyLogX) {
+  EXPECT_NEAR(Digamma(1e6), std::log(1e6), 1e-5);
+}
+
+TEST(LogGammaTest, FactorialValues) {
+  // lgamma(n + 1) = log(n!).
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+}
+
+TEST(ExpDigammaTest, MatchesExpOfDigamma) {
+  for (double x : {0.3, 1.0, 7.7}) {
+    EXPECT_NEAR(ExpDigamma(x), std::exp(Digamma(x)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fvae

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace fvae {
+namespace {
+
+TEST(OnlineStatsTest, MatchesBatchComputation) {
+  OnlineStats stats;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-12);
+  // Sample variance of the set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.0);
+  EXPECT_EQ(stats.max(), 3.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{-2, -4, -6, -8};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, -1, 1, -1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -0.4472, 0.01);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_NEAR(Percentile(v, 50), 3.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 0), 1.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 100), 5.0, 1e-12);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_NEAR(Percentile(v, 25), 2.5, 1e-12);
+  EXPECT_NEAR(Percentile(v, 75), 7.5, 1e-12);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_EQ(Percentile({42.0}, 99), 42.0);
+}
+
+}  // namespace
+}  // namespace fvae

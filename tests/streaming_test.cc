@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/random.h"
+#include "data/streaming.h"
+
+namespace fvae {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fvae_stream_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StreamingTest, WriteThenStreamBack) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("s.bin"), {{"a", false}, {"b", true}}).ok());
+  ASSERT_TRUE(
+      writer.WriteUser({{{1, 1.0f}, {2, 0.5f}}, {{10, 2.0f}}}).ok());
+  ASSERT_TRUE(writer.WriteUser({{}, {}}).ok());
+  ASSERT_TRUE(writer.WriteUser({{{3, 1.0f}}, {}}).ok());
+  EXPECT_EQ(writer.users_written(), 3u);
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto reader = StreamingDatasetReader::Open(Path("s.bin"));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->fields().size(), 2u);
+  EXPECT_EQ(reader->fields()[1].name, "b");
+  EXPECT_TRUE(reader->fields()[1].is_sparse);
+
+  std::vector<std::vector<FeatureEntry>> user;
+  ASSERT_TRUE(reader->NextUser(&user));
+  ASSERT_EQ(user[0].size(), 2u);
+  EXPECT_EQ(user[0][1].id, 2u);
+  EXPECT_FLOAT_EQ(user[0][1].value, 0.5f);
+  ASSERT_TRUE(reader->NextUser(&user));
+  EXPECT_TRUE(user[0].empty());
+  EXPECT_TRUE(user[1].empty());
+  ASSERT_TRUE(reader->NextUser(&user));
+  EXPECT_EQ(user[0][0].id, 3u);
+  EXPECT_FALSE(reader->NextUser(&user));  // clean EOF
+  EXPECT_TRUE(reader->status().ok());
+  EXPECT_EQ(reader->users_read(), 3u);
+}
+
+TEST_F(StreamingTest, ReadAllBuildsDataset) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("all.bin"), {{"f", false}}).ok());
+  Rng rng(1);
+  for (int u = 0; u < 50; ++u) {
+    std::vector<FeatureEntry> features;
+    const size_t count = rng.UniformInt(uint64_t{5});
+    for (size_t i = 0; i < count; ++i) {
+      features.push_back({rng.UniformInt(uint64_t{100}), 1.0f});
+    }
+    ASSERT_TRUE(writer.WriteUser({features}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto reader = StreamingDatasetReader::Open(Path("all.bin"));
+  ASSERT_TRUE(reader.ok());
+  auto dataset = reader->ReadAll();
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_users(), 50u);
+  EXPECT_EQ(dataset->num_fields(), 1u);
+}
+
+TEST_F(StreamingTest, WriterRejectsWrongArity) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("arity.bin"), {{"a", false}}).ok());
+  EXPECT_FALSE(writer.WriteUser({{}, {}}).ok());  // 2 fields given, 1 expected
+}
+
+TEST_F(StreamingTest, WriterLifecycle) {
+  StreamingDatasetWriter writer;
+  EXPECT_FALSE(writer.WriteUser({{}}).ok());  // not open
+  ASSERT_TRUE(writer.Open(Path("life.bin"), {{"a", false}}).ok());
+  EXPECT_FALSE(writer.Open(Path("life2.bin"), {{"a", false}}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_TRUE(writer.Close().ok());  // idempotent
+  EXPECT_FALSE(writer.WriteUser({{}}).ok());
+}
+
+TEST_F(StreamingTest, TruncatedRecordReportsError) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("trunc.bin"), {{"a", false}}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.WriteUser({{{7, 1.0f}, {8, 1.0f}}}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  // Chop mid-record.
+  const auto size = std::filesystem::file_size(Path("trunc.bin"));
+  std::filesystem::resize_file(Path("trunc.bin"), size - 5);
+
+  auto reader = StreamingDatasetReader::Open(Path("trunc.bin"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<FeatureEntry>> user;
+  while (reader->NextUser(&user)) {
+  }
+  EXPECT_FALSE(reader->status().ok());
+}
+
+TEST_F(StreamingTest, OpenRejectsGarbage) {
+  {
+    std::ofstream out(Path("bad.bin"), std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(StreamingDatasetReader::Open(Path("bad.bin")).ok());
+  EXPECT_FALSE(StreamingDatasetReader::Open(Path("missing.bin")).ok());
+}
+
+}  // namespace
+}  // namespace fvae

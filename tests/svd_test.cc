@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "math/matrix.h"
+#include "math/svd.h"
+
+namespace fvae {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0, 0}, {0, 1, 0}, {0, 0, 2}});
+  EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0f, 1e-5f);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-5f);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const float v0 = eig.eigenvectors(0, 0);
+  const float v1 = eig.eigenvectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5f), 1e-4f);
+  EXPECT_NEAR(v0, v1, 1e-4f);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(5);
+  Matrix g = Matrix::Gaussian(6, 6, 1.0f, rng);
+  // Symmetrize.
+  Matrix a(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      a(i, j) = 0.5f * (g(i, j) + g(j, i));
+    }
+  }
+  EigenDecomposition eig = SymmetricEigen(a);
+  // Rebuild A = V diag(lambda) V^T.
+  Matrix rebuilt(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      double acc = 0.0;
+      for (size_t t = 0; t < 6; ++t) {
+        acc += double(eig.eigenvectors(i, t)) * eig.eigenvalues[t] *
+               eig.eigenvectors(j, t);
+      }
+      rebuilt(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(a, rebuilt), 1e-3f);
+}
+
+TEST(OrthonormalizeTest, ColumnsAreOrthonormal) {
+  Rng rng(7);
+  Matrix m = Matrix::Gaussian(20, 5, 1.0f, rng);
+  OrthonormalizeColumns(&m, rng);
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 0; b < 5; ++b) {
+      double dot = 0.0;
+      for (size_t i = 0; i < 20; ++i) dot += double(m(i, a)) * m(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(OrthonormalizeTest, RepairsDegenerateColumns) {
+  Rng rng(11);
+  Matrix m(10, 3);  // all-zero columns
+  OrthonormalizeColumns(&m, rng);
+  for (size_t a = 0; a < 3; ++a) {
+    double norm = 0.0;
+    for (size_t i = 0; i < 10; ++i) norm += double(m(i, a)) * m(i, a);
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(RandomizedSvdTest, RecoversExactLowRankMatrix) {
+  Rng rng(13);
+  // A = U0 S0 V0^T with rank 3.
+  Matrix u0 = Matrix::Gaussian(40, 3, 1.0f, rng);
+  Matrix v0 = Matrix::Gaussian(25, 3, 1.0f, rng);
+  Matrix a(40, 25);
+  const float sigmas[3] = {10.0f, 5.0f, 2.0f};
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 25; ++j) {
+      double acc = 0.0;
+      for (int t = 0; t < 3; ++t) {
+        acc += double(sigmas[t]) * u0(i, t) * v0(j, t);
+      }
+      a(i, j) = static_cast<float>(acc);
+    }
+  }
+  // Orthonormalize factors so sigmas above are not exact singular values;
+  // instead just check the reconstruction error of a rank-3 SVD is ~0.
+  DenseOperator op(&a);
+  SvdResult svd = RandomizedSvd(op, 3, rng);
+
+  Matrix rebuilt(40, 25);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 25; ++j) {
+      double acc = 0.0;
+      for (int t = 0; t < 3; ++t) {
+        acc += double(svd.u(i, t)) * svd.singular_values[t] * svd.v(j, t);
+      }
+      rebuilt(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(a, rebuilt) / a.FrobeniusNorm(), 1e-3f);
+}
+
+TEST(RandomizedSvdTest, SingularValuesDecreasing) {
+  Rng rng(17);
+  Matrix a = Matrix::Gaussian(30, 30, 1.0f, rng);
+  DenseOperator op(&a);
+  SvdResult svd = RandomizedSvd(op, 5, rng);
+  for (size_t i = 1; i < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i - 1], svd.singular_values[i] - 1e-4f);
+  }
+}
+
+TEST(RandomizedSvdTest, TopSingularValueOfKnownMatrix) {
+  // diag(4, 2, 1) embedded in a rectangular matrix.
+  Matrix a(5, 3);
+  a(0, 0) = 4.0f;
+  a(1, 1) = 2.0f;
+  a(2, 2) = 1.0f;
+  Rng rng(19);
+  DenseOperator op(&a);
+  SvdResult svd = RandomizedSvd(op, 3, rng);
+  EXPECT_NEAR(svd.singular_values[0], 4.0f, 1e-3f);
+  EXPECT_NEAR(svd.singular_values[1], 2.0f, 1e-3f);
+  EXPECT_NEAR(svd.singular_values[2], 1.0f, 1e-3f);
+}
+
+TEST(RandomizedSvdTest, SingularVectorsOrthonormal) {
+  Rng rng(23);
+  Matrix a = Matrix::Gaussian(25, 18, 1.0f, rng);
+  DenseOperator op(&a);
+  SvdResult svd = RandomizedSvd(op, 4, rng);
+  for (size_t x = 0; x < 4; ++x) {
+    for (size_t y = 0; y < 4; ++y) {
+      double dot_u = 0.0, dot_v = 0.0;
+      for (size_t i = 0; i < 25; ++i) dot_u += double(svd.u(i, x)) * svd.u(i, y);
+      for (size_t i = 0; i < 18; ++i) dot_v += double(svd.v(i, x)) * svd.v(i, y);
+      EXPECT_NEAR(dot_u, x == y ? 1.0 : 0.0, 5e-3);
+      EXPECT_NEAR(dot_v, x == y ? 1.0 : 0.0, 5e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvae

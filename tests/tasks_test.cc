@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "data/split.h"
+#include "datagen/profile_generator.h"
+#include "eval/representation_model.h"
+#include "eval/tasks.h"
+
+namespace fvae::eval {
+namespace {
+
+/// Cheating scorer: scores 1 for features the user truly has in the FULL
+/// dataset (which the task hides from the model input), 0 otherwise.
+/// Tag prediction / reconstruction must rate it at AUC == 1.
+class OracleModel : public RepresentationModel {
+ public:
+  explicit OracleModel(const MultiFieldDataset* truth) : truth_(truth) {}
+
+  std::string Name() const override { return "Oracle"; }
+  void Fit(const MultiFieldDataset&) override {}
+
+  Matrix Embed(const MultiFieldDataset&,
+               std::span<const uint32_t> users) const override {
+    return Matrix(users.size(), 2);
+  }
+
+  Matrix Score(const MultiFieldDataset&, std::span<const uint32_t> users,
+               size_t field,
+               std::span<const uint64_t> candidates) const override {
+    Matrix scores(users.size(), candidates.size());
+    for (size_t i = 0; i < users.size(); ++i) {
+      std::unordered_set<uint64_t> owned;
+      for (const FeatureEntry& e : truth_->UserField(users[i], field)) {
+        owned.insert(e.id);
+      }
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        scores(i, c) = owned.count(candidates[c]) ? 1.0f : 0.0f;
+      }
+    }
+    return scores;
+  }
+
+ private:
+  const MultiFieldDataset* truth_;
+};
+
+/// Scores by a hash of (user, candidate) — pure noise.
+class RandomModel : public RepresentationModel {
+ public:
+  std::string Name() const override { return "Random"; }
+  void Fit(const MultiFieldDataset&) override {}
+
+  Matrix Embed(const MultiFieldDataset&,
+               std::span<const uint32_t> users) const override {
+    return Matrix(users.size(), 2);
+  }
+
+  Matrix Score(const MultiFieldDataset&, std::span<const uint32_t> users,
+               size_t field,
+               std::span<const uint64_t> candidates) const override {
+    Matrix scores(users.size(), candidates.size());
+    for (size_t i = 0; i < users.size(); ++i) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        uint64_t h = (uint64_t(users[i]) << 32) ^ candidates[c] ^
+                     (uint64_t(field) << 17);
+        h ^= h >> 33;
+        h *= 0xFF51AFD7ED558CCDULL;
+        h ^= h >> 33;
+        scores(i, c) = float(h % 10007) / 10007.0f;
+      }
+    }
+    return scores;
+  }
+};
+
+TEST(SampleNegativesTest, ExcludesObservedAndDuplicates) {
+  std::vector<uint64_t> vocab(100);
+  std::iota(vocab.begin(), vocab.end(), 0u);
+  const std::vector<uint64_t> observed{1, 2, 3, 4, 5};
+  Rng rng(1);
+  const auto negatives = SampleNegatives(vocab, observed, 30, rng);
+  EXPECT_EQ(negatives.size(), 30u);
+  std::set<uint64_t> unique(negatives.begin(), negatives.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint64_t id : negatives) {
+    EXPECT_GT(id, 5u);
+    EXPECT_LT(id, 100u);
+  }
+}
+
+TEST(SampleNegativesTest, NearlyExhaustedVocabulary) {
+  const std::vector<uint64_t> vocab{1, 2, 3};
+  const std::vector<uint64_t> observed{1, 2};
+  Rng rng(2);
+  const auto negatives = SampleNegatives(vocab, observed, 5, rng);
+  ASSERT_EQ(negatives.size(), 1u);
+  EXPECT_EQ(negatives[0], 3u);
+}
+
+TEST(SampleNegativesTest, EmptyVocabulary) {
+  Rng rng(3);
+  EXPECT_TRUE(SampleNegatives({}, {}, 5, rng).empty());
+}
+
+class TaskFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProfileGeneratorConfig config = ShortContentConfig(150, /*seed=*/11);
+    gen_ = GenerateProfiles(config);
+    test_users_.resize(gen_.dataset.num_users());
+    std::iota(test_users_.begin(), test_users_.end(), 0u);
+    tag_vocab_ = gen_.field_vocab[3];
+  }
+
+  GeneratedProfiles gen_;
+  std::vector<uint32_t> test_users_;
+  std::vector<uint64_t> tag_vocab_;
+};
+
+TEST_F(TaskFixture, OracleGetsPerfectTagPrediction) {
+  OracleModel oracle(&gen_.dataset);
+  Rng rng(5);
+  const TaskMetrics metrics = RunTagPrediction(
+      oracle, gen_.dataset, test_users_, /*target_field=*/3, tag_vocab_,
+      rng);
+  EXPECT_GT(metrics.auc, 0.999);
+  EXPECT_GT(metrics.map, 0.999);
+}
+
+TEST_F(TaskFixture, RandomScoresNearChance) {
+  RandomModel random;
+  Rng rng(6);
+  const TaskMetrics metrics = RunTagPrediction(
+      random, gen_.dataset, test_users_, 3, tag_vocab_, rng);
+  EXPECT_NEAR(metrics.auc, 0.5, 0.05);
+}
+
+TEST_F(TaskFixture, OracleBeatsRandomOnReconstruction) {
+  Rng split_rng(7);
+  const ReconstructionSplit split =
+      HoldOutWithinUsers(gen_.dataset, 0.3, split_rng);
+  std::vector<std::vector<uint64_t>> vocab = gen_.field_vocab;
+
+  OracleModel oracle(&gen_.dataset);
+  RandomModel random;
+  Rng rng1(8), rng2(8);
+  const ReconstructionMetrics oracle_metrics = RunReconstruction(
+      oracle, gen_.dataset, split, test_users_, vocab, rng1);
+  const ReconstructionMetrics random_metrics = RunReconstruction(
+      random, gen_.dataset, split, test_users_, vocab, rng2);
+
+  ASSERT_EQ(oracle_metrics.per_field.size(), 4u);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(oracle_metrics.per_field[k].auc, 0.99) << "field " << k;
+    EXPECT_NEAR(random_metrics.per_field[k].auc, 0.5, 0.07) << "field " << k;
+  }
+  EXPECT_GT(oracle_metrics.overall.auc, random_metrics.overall.auc);
+}
+
+TEST_F(TaskFixture, TagPredictionDeterministicGivenRngState) {
+  OracleModel oracle(&gen_.dataset);
+  Rng rng_a(9), rng_b(9);
+  const TaskMetrics a = RunTagPrediction(oracle, gen_.dataset, test_users_,
+                                         3, tag_vocab_, rng_a);
+  const TaskMetrics b = RunTagPrediction(oracle, gen_.dataset, test_users_,
+                                         3, tag_vocab_, rng_b);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_DOUBLE_EQ(a.map, b.map);
+}
+
+}  // namespace
+}  // namespace fvae::eval

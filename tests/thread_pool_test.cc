@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fvae {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  // Wait may need two rounds since the inner task is submitted late.
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(pool, 0, 100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 5, 5, [&](size_t) { counter.fetch_add(1); });
+  ParallelFor(pool, 7, 3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  ParallelFor(pool, 10, 20, [&](size_t i) { sum.fetch_add(long(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+}  // namespace
+}  // namespace fvae

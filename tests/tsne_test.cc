@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "eval/tsne.h"
+#include "math/matrix.h"
+#include "math/vector_ops.h"
+
+namespace fvae::eval {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+Matrix TwoBlobs(size_t per_blob, Rng& rng) {
+  Matrix points(2 * per_blob, 10);
+  for (size_t i = 0; i < per_blob; ++i) {
+    for (size_t d = 0; d < 10; ++d) {
+      points(i, d) = static_cast<float>(rng.Normal(0.0, 0.3));
+      points(per_blob + i, d) = static_cast<float>(rng.Normal(8.0, 0.3));
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Matrix points = TwoBlobs(15, rng);
+  TsneConfig config;
+  config.perplexity = 10.0;
+  config.iterations = 150;
+  const Matrix y = Tsne(points, config);
+  EXPECT_EQ(y.rows(), 30u);
+  EXPECT_EQ(y.cols(), 2u);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+TEST(TsneTest, SeparatesDistantClusters) {
+  Rng rng(2);
+  constexpr size_t kPerBlob = 25;
+  Matrix points = TwoBlobs(kPerBlob, rng);
+  TsneConfig config;
+  config.perplexity = 12.0;
+  config.iterations = 300;
+  const Matrix y = Tsne(points, config);
+
+  // Mean intra-blob distance must be far below inter-blob distance.
+  double intra = 0.0, inter = 0.0;
+  size_t n_intra = 0, n_inter = 0;
+  for (size_t a = 0; a < 2 * kPerBlob; ++a) {
+    for (size_t b = a + 1; b < 2 * kPerBlob; ++b) {
+      const double dist = std::sqrt(
+          SquaredDistance({y.Row(a), 2}, {y.Row(b), 2}));
+      const bool same = (a < kPerBlob) == (b < kPerBlob);
+      if (same) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  intra /= double(n_intra);
+  inter /= double(n_inter);
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng rng(3);
+  Matrix points = TwoBlobs(10, rng);
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 100;
+  const Matrix a = Tsne(points, config);
+  const Matrix b = Tsne(points, config);
+  EXPECT_LT(Matrix::MaxAbsDiff(a, b), 1e-9f);
+}
+
+TEST(TsneTest, CenteredOutput) {
+  Rng rng(4);
+  Matrix points = TwoBlobs(10, rng);
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 50;
+  const Matrix y = Tsne(points, config);
+  for (size_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (size_t i = 0; i < y.rows(); ++i) mean += y(i, d);
+    EXPECT_NEAR(mean / double(y.rows()), 0.0, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace fvae::eval

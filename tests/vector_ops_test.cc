@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/vector_ops.h"
+
+namespace fvae {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Dot(std::span<const float>{}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{10, 20};
+  Axpy(3.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  std::vector<float> x{2, -4};
+  ScaleInPlace(x, 0.5f);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  std::vector<float> x{3, 4};
+  EXPECT_NEAR(Norm2(x), 5.0, 1e-9);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  std::vector<float> a{0, 0};
+  std::vector<float> b{3, 4};
+  EXPECT_NEAR(SquaredDistance(a, b), 25.0, 1e-9);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  std::vector<float> a{1, 0};
+  std::vector<float> b{0, 1};
+  std::vector<float> c{2, 0};
+  std::vector<float> zero{0, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOneAndOrders) {
+  std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(logits);
+  double total = 0.0;
+  for (float p : logits) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_LT(logits[0], logits[1]);
+  EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(VectorOpsTest, SoftmaxIsShiftInvariant) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b{101.0f, 102.0f, 103.0f};
+  SoftmaxInPlace(a);
+  SoftmaxInPlace(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(VectorOpsTest, SoftmaxHandlesExtremeValues) {
+  std::vector<float> logits{-1000.0f, 1000.0f};
+  SoftmaxInPlace(logits);
+  EXPECT_NEAR(logits[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(logits[1], 1.0f, 1e-6f);
+}
+
+TEST(VectorOpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  std::vector<float> logits{0.5f, -1.0f, 2.0f, 0.0f};
+  std::vector<float> probs = logits;
+  SoftmaxInPlace(probs);
+  LogSoftmaxInPlace(logits);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(logits[i], std::log(probs[i]), 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, LogSumExp) {
+  std::vector<float> x{0.0f, 0.0f};
+  EXPECT_NEAR(LogSumExp(x), std::log(2.0), 1e-6);
+  std::vector<float> big{1000.0f, 1000.0f};
+  EXPECT_NEAR(LogSumExp(big), 1000.0 + std::log(2.0), 1e-3);
+}
+
+TEST(VectorOpsTest, Activations) {
+  std::vector<float> t{0.0f, 100.0f};
+  TanhInPlace(t);
+  EXPECT_NEAR(t[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(t[1], 1.0f, 1e-4f);
+
+  std::vector<float> s{0.0f};
+  SigmoidInPlace(s);
+  EXPECT_NEAR(s[0], 0.5f, 1e-6f);
+
+  std::vector<float> r{-2.0f, 3.0f};
+  ReluInPlace(r);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[1], 3.0f);
+}
+
+TEST(VectorOpsTest, MeanAndVariance) {
+  std::vector<float> x{1, 2, 3, 4};
+  EXPECT_NEAR(Mean(x), 2.5, 1e-9);
+  EXPECT_NEAR(Variance(x), 5.0 / 3.0, 1e-6);
+  EXPECT_DOUBLE_EQ(Mean(std::span<const float>{}), 0.0);
+  std::vector<float> single{7};
+  EXPECT_DOUBLE_EQ(Variance(single), 0.0);
+}
+
+TEST(VectorOpsTest, L2Normalize) {
+  std::vector<float> x{3, 4};
+  L2NormalizeInPlace(x);
+  EXPECT_NEAR(Norm2(x), 1.0, 1e-6);
+  std::vector<float> zero{0, 0};
+  L2NormalizeInPlace(zero);  // must not produce NaN
+  EXPECT_EQ(zero[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace fvae

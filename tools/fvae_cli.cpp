@@ -1,0 +1,299 @@
+// fvae — command-line driver for the library: generate synthetic profile
+// datasets, train FVAE models, evaluate them, and export embeddings.
+//
+// Usage:
+//   fvae generate --preset sc --users 4000 --seed 7 --out data.bin
+//   fvae train    --data data.bin --model model.bin --epochs 10
+//   fvae evaluate --data data.bin --model model.bin --task tag
+//   fvae export   --data data.bin --model model.bin --out embeddings.bin
+//   fvae inspect  --model model.bin
+//   fvae inspect  --data data.bin
+//
+// Every command prints a short report to stdout; errors go to stderr with a
+// non-zero exit code.
+
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/fvae_model.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "datagen/profile_generator.h"
+#include "eval/representation_model.h"
+#include "eval/tasks.h"
+#include "serving/embedding_store.h"
+
+namespace {
+
+using namespace fvae;
+
+/// Minimal --flag value parser: flags must be "--name value" pairs.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).value_or(fallback);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).value_or(fallback);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string preset = args.Get("preset", "sc");
+  const size_t users = size_t(args.GetInt("users", 4000));
+  const uint64_t seed = uint64_t(args.GetInt("seed", 7));
+  const std::string out = args.Get("out", "data.bin");
+
+  ProfileGeneratorConfig config;
+  if (preset == "sc") {
+    config = ShortContentConfig(users, seed);
+  } else if (preset == "kd") {
+    config = KandianConfig(users, seed);
+  } else if (preset == "qb") {
+    config = QQBrowserConfig(users, seed);
+  } else {
+    return Fail("unknown preset (sc|kd|qb): " + preset);
+  }
+  const GeneratedProfiles gen = GenerateProfiles(config);
+  std::printf("generated %s\n", gen.dataset.Summary().c_str());
+
+  const Status status = args.Has("text")
+                            ? SaveDatasetText(gen.dataset, out)
+                            : SaveDatasetBinary(gen.dataset, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+Result<MultiFieldDataset> LoadData(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return LoadDatasetText(path);
+  }
+  return LoadDatasetBinary(path);
+}
+
+int CmdTrain(const Args& args) {
+  const std::string data_path = args.Get("data", "data.bin");
+  const std::string model_path = args.Get("model", "model.bin");
+  auto data = LoadData(data_path);
+  if (!data.ok()) return Fail(data.status().ToString());
+  std::printf("loaded %s\n", data->Summary().c_str());
+
+  core::FvaeConfig config;
+  config.latent_dim = size_t(args.GetInt("latent", 64));
+  const size_t hidden = size_t(args.GetInt("hidden", 256));
+  config.encoder_hidden = {hidden};
+  config.decoder_hidden = {hidden};
+  config.beta = float(args.GetDouble("beta", 0.1));
+  config.sampling_strategy =
+      core::ParseSamplingStrategy(args.Get("strategy", "uniform"));
+  config.sampling_rate = args.GetDouble("rate", 0.1);
+  config.seed = uint64_t(args.GetInt("seed", 1234));
+
+  core::FieldVae model(config, data->fields());
+  core::TrainOptions options;
+  options.batch_size = size_t(args.GetInt("batch", 512));
+  options.epochs = size_t(args.GetInt("epochs", 10));
+  options.epoch_callback = [](size_t epoch, double loss, double seconds) {
+    std::printf("epoch %3zu  loss %.4f  %.1fs\n", epoch, loss, seconds);
+    return true;
+  };
+  const core::TrainResult result = core::TrainFvae(model, *data, options);
+  std::printf("trained %zu steps, %.0f users/s, %zu parameters\n",
+              result.steps, result.UsersPerSecond(),
+              model.ParameterCount());
+
+  const Status status = core::SaveFieldVae(model, model_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("saved model to %s\n", model_path.c_str());
+  return 0;
+}
+
+/// Adapter for the evaluation tasks.
+class CliModel : public eval::RepresentationModel {
+ public:
+  explicit CliModel(core::FieldVae* model) : model_(model) {}
+  std::string Name() const override { return "FVAE"; }
+  void Fit(const MultiFieldDataset&) override {}
+  Matrix Embed(const MultiFieldDataset& data,
+               std::span<const uint32_t> users) const override {
+    return model_->Encode(data, users);
+  }
+  Matrix Score(const MultiFieldDataset& input,
+               std::span<const uint32_t> users, size_t field,
+               std::span<const uint64_t> candidates) const override {
+    return model_->EncodeAndScore(input, users, field, candidates);
+  }
+
+ private:
+  core::FieldVae* model_;
+};
+
+int CmdEvaluate(const Args& args) {
+  auto data = LoadData(args.Get("data", "data.bin"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto model = core::LoadFieldVae(args.Get("model", "model.bin"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  const std::string task = args.Get("task", "tag");
+  const size_t max_users = size_t(args.GetInt("eval-users", 1000));
+  Rng rng(uint64_t(args.GetInt("seed", 99)));
+
+  std::vector<uint32_t> users(std::min(max_users, data->num_users()));
+  std::iota(users.begin(), users.end(), 0u);
+  CliModel wrapper(model->get());
+
+  if (task == "tag") {
+    const size_t field =
+        size_t(args.GetInt("field", int64_t(data->num_fields() - 1)));
+    if (field >= data->num_fields()) return Fail("field out of range");
+    const std::vector<uint64_t> vocab = data->DistinctFeatureIds(field);
+    const eval::TaskMetrics metrics = eval::RunTagPrediction(
+        wrapper, *data, users, field, vocab, rng);
+    std::printf("tag prediction on field '%s': AUC %.4f  mAP %.4f\n",
+                data->field(field).name.c_str(), metrics.auc, metrics.map);
+    return 0;
+  }
+  if (task == "recon") {
+    const ReconstructionSplit split =
+        HoldOutWithinUsers(*data, args.GetDouble("holdout", 0.3), rng);
+    std::vector<std::vector<uint64_t>> vocab(data->num_fields());
+    for (size_t k = 0; k < data->num_fields(); ++k) {
+      vocab[k] = data->DistinctFeatureIds(k);
+    }
+    const eval::ReconstructionMetrics metrics = eval::RunReconstruction(
+        wrapper, *data, split, users, vocab, rng);
+    std::printf("reconstruction: overall AUC %.4f mAP %.4f\n",
+                metrics.overall.auc, metrics.overall.map);
+    for (size_t k = 0; k < data->num_fields(); ++k) {
+      std::printf("  %-8s AUC %.4f  mAP %.4f\n",
+                  data->field(k).name.c_str(), metrics.per_field[k].auc,
+                  metrics.per_field[k].map);
+    }
+    return 0;
+  }
+  return Fail("unknown task (tag|recon): " + task);
+}
+
+int CmdExport(const Args& args) {
+  auto data = LoadData(args.Get("data", "data.bin"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto model = core::LoadFieldVae(args.Get("model", "model.bin"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  const std::string out = args.Get("out", "embeddings.bin");
+
+  Stopwatch watch;
+  std::vector<uint32_t> users(data->num_users());
+  std::iota(users.begin(), users.end(), 0u);
+  serving::EmbeddingStore store;
+  // Batch to bound peak memory.
+  constexpr size_t kChunk = 4096;
+  for (size_t begin = 0; begin < users.size(); begin += kChunk) {
+    const size_t end = std::min(users.size(), begin + kChunk);
+    std::span<const uint32_t> chunk{users.data() + begin, end - begin};
+    const Matrix z = (*model)->Encode(*data, chunk);
+    std::vector<uint64_t> ids(chunk.begin(), chunk.end());
+    store.PutBatch(ids, z);
+  }
+  const Status status = store.Save(out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("exported %zu embeddings (dim %zu) to %s in %.1fs\n",
+              store.size(), store.dim(), out.c_str(),
+              watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  if (args.Has("model")) {
+    auto model = core::LoadFieldVae(args.Get("model", ""));
+    if (!model.ok()) return Fail(model.status().ToString());
+    const core::FieldVae& m = **model;
+    std::printf("FVAE checkpoint:\n  latent_dim: %zu\n  fields: %zu\n",
+                m.latent_dim(), m.num_fields());
+    for (size_t k = 0; k < m.num_fields(); ++k) {
+      std::printf("    %-8s known_features=%zu%s\n",
+                  m.field_schemas()[k].name.c_str(), m.KnownFeatures(k),
+                  m.field_schemas()[k].is_sparse ? " (sparse)" : "");
+    }
+    std::printf("  parameters: %zu\n  sampling: %s r=%.2f  beta=%.2f\n",
+                m.ParameterCount(),
+                core::SamplingStrategyName(m.config().sampling_strategy),
+                m.config().sampling_rate, m.config().beta);
+    return 0;
+  }
+  if (args.Has("data")) {
+    auto data = LoadData(args.Get("data", ""));
+    if (!data.ok()) return Fail(data.status().ToString());
+    std::printf("%s\n", data->Summary().c_str());
+    for (size_t k = 0; k < data->num_fields(); ++k) {
+      std::printf("  %-8s distinct_features=%zu nnz=%zu%s\n",
+                  data->field(k).name.c_str(),
+                  data->DistinctFeatureIds(k).size(), data->FieldNnz(k),
+                  data->field(k).is_sparse ? " (sparse)" : "");
+    }
+    return 0;
+  }
+  return Fail("inspect needs --model or --data");
+}
+
+void PrintUsage() {
+  std::printf(
+      "fvae <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate  --preset sc|kd|qb --users N --seed S --out F [--text 1]\n"
+      "  train     --data F --model F [--latent D --hidden H --epochs E\n"
+      "             --batch B --rate R --strategy uniform|frequency|zipfian\n"
+      "             --beta B --seed S]\n"
+      "  evaluate  --data F --model F --task tag|recon [--field K]\n"
+      "  export    --data F --model F --out F\n"
+      "  inspect   --model F | --data F\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "export") return CmdExport(args);
+  if (command == "inspect") return CmdInspect(args);
+  PrintUsage();
+  return 1;
+}
