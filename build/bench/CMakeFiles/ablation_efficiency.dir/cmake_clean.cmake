@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_efficiency.dir/ablation_efficiency.cc.o"
+  "CMakeFiles/ablation_efficiency.dir/ablation_efficiency.cc.o.d"
+  "ablation_efficiency"
+  "ablation_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_field_aware.dir/ablation_field_aware.cc.o"
+  "CMakeFiles/ablation_field_aware.dir/ablation_field_aware.cc.o.d"
+  "ablation_field_aware"
+  "ablation_field_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_field_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distributed.dir/fig10_distributed.cc.o"
+  "CMakeFiles/fig10_distributed.dir/fig10_distributed.cc.o.d"
+  "fig10_distributed"
+  "fig10_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tsne.dir/fig4_tsne.cc.o"
+  "CMakeFiles/fig4_tsne.dir/fig4_tsne.cc.o.d"
+  "fig4_tsne"
+  "fig4_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sampling_strategies.dir/fig5_sampling_strategies.cc.o"
+  "CMakeFiles/fig5_sampling_strategies.dir/fig5_sampling_strategies.cc.o.d"
+  "fig5_sampling_strategies"
+  "fig5_sampling_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sampling_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

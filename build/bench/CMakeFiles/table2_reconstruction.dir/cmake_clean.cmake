@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_reconstruction.dir/table2_reconstruction.cc.o"
+  "CMakeFiles/table2_reconstruction.dir/table2_reconstruction.cc.o.d"
+  "table2_reconstruction"
+  "table2_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

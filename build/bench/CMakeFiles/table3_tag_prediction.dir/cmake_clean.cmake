@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tag_prediction.dir/table3_tag_prediction.cc.o"
+  "CMakeFiles/table3_tag_prediction.dir/table3_tag_prediction.cc.o.d"
+  "table3_tag_prediction"
+  "table3_tag_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tag_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

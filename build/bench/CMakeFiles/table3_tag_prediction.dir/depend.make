@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_tag_prediction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_training_speed.dir/table5_training_speed.cc.o"
+  "CMakeFiles/table5_training_speed.dir/table5_training_speed.cc.o.d"
+  "table5_training_speed"
+  "table5_training_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_training_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ab_test.dir/table6_ab_test.cc.o"
+  "CMakeFiles/table6_ab_test.dir/table6_ab_test.cc.o.d"
+  "table6_ab_test"
+  "table6_ab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

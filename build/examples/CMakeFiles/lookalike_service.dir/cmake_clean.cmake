@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookalike_service.dir/lookalike_service.cpp.o"
+  "CMakeFiles/lookalike_service.dir/lookalike_service.cpp.o.d"
+  "lookalike_service"
+  "lookalike_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookalike_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_features.dir/streaming_features.cpp.o"
+  "CMakeFiles/streaming_features.dir/streaming_features.cpp.o.d"
+  "streaming_features"
+  "streaming_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_prediction_pipeline.dir/tag_prediction_pipeline.cpp.o"
+  "CMakeFiles/tag_prediction_pipeline.dir/tag_prediction_pipeline.cpp.o.d"
+  "tag_prediction_pipeline"
+  "tag_prediction_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_prediction_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/feature_indexer.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/feature_indexer.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/feature_indexer.cc.o.d"
+  "/root/repo/src/baselines/fvae_adapter.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/fvae_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/fvae_adapter.cc.o.d"
+  "/root/repo/src/baselines/lda.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/lda.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/lda.cc.o.d"
+  "/root/repo/src/baselines/most_popular.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/most_popular.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/most_popular.cc.o.d"
+  "/root/repo/src/baselines/mult_vae.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/mult_vae.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/mult_vae.cc.o.d"
+  "/root/repo/src/baselines/pca.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/pca.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/pca.cc.o.d"
+  "/root/repo/src/baselines/skipgram.cc" "src/baselines/CMakeFiles/fvae_baselines.dir/skipgram.cc.o" "gcc" "src/baselines/CMakeFiles/fvae_baselines.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fvae_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fvae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fvae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fvae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fvae_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_baselines.dir/feature_indexer.cc.o"
+  "CMakeFiles/fvae_baselines.dir/feature_indexer.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/fvae_adapter.cc.o"
+  "CMakeFiles/fvae_baselines.dir/fvae_adapter.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/lda.cc.o"
+  "CMakeFiles/fvae_baselines.dir/lda.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/most_popular.cc.o"
+  "CMakeFiles/fvae_baselines.dir/most_popular.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/mult_vae.cc.o"
+  "CMakeFiles/fvae_baselines.dir/mult_vae.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/pca.cc.o"
+  "CMakeFiles/fvae_baselines.dir/pca.cc.o.d"
+  "CMakeFiles/fvae_baselines.dir/skipgram.cc.o"
+  "CMakeFiles/fvae_baselines.dir/skipgram.cc.o.d"
+  "libfvae_baselines.a"
+  "libfvae_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_common.dir/config.cc.o"
+  "CMakeFiles/fvae_common.dir/config.cc.o.d"
+  "CMakeFiles/fvae_common.dir/logging.cc.o"
+  "CMakeFiles/fvae_common.dir/logging.cc.o.d"
+  "CMakeFiles/fvae_common.dir/random.cc.o"
+  "CMakeFiles/fvae_common.dir/random.cc.o.d"
+  "CMakeFiles/fvae_common.dir/status.cc.o"
+  "CMakeFiles/fvae_common.dir/status.cc.o.d"
+  "CMakeFiles/fvae_common.dir/string_util.cc.o"
+  "CMakeFiles/fvae_common.dir/string_util.cc.o.d"
+  "CMakeFiles/fvae_common.dir/thread_pool.cc.o"
+  "CMakeFiles/fvae_common.dir/thread_pool.cc.o.d"
+  "libfvae_common.a"
+  "libfvae_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fvae_model.cc" "src/core/CMakeFiles/fvae_core.dir/fvae_model.cc.o" "gcc" "src/core/CMakeFiles/fvae_core.dir/fvae_model.cc.o.d"
+  "/root/repo/src/core/hyper_search.cc" "src/core/CMakeFiles/fvae_core.dir/hyper_search.cc.o" "gcc" "src/core/CMakeFiles/fvae_core.dir/hyper_search.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/fvae_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/fvae_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/fvae_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/fvae_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/fvae_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/fvae_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fvae_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fvae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fvae_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_core.dir/fvae_model.cc.o"
+  "CMakeFiles/fvae_core.dir/fvae_model.cc.o.d"
+  "CMakeFiles/fvae_core.dir/hyper_search.cc.o"
+  "CMakeFiles/fvae_core.dir/hyper_search.cc.o.d"
+  "CMakeFiles/fvae_core.dir/model_io.cc.o"
+  "CMakeFiles/fvae_core.dir/model_io.cc.o.d"
+  "CMakeFiles/fvae_core.dir/sampling.cc.o"
+  "CMakeFiles/fvae_core.dir/sampling.cc.o.d"
+  "CMakeFiles/fvae_core.dir/trainer.cc.o"
+  "CMakeFiles/fvae_core.dir/trainer.cc.o.d"
+  "libfvae_core.a"
+  "libfvae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

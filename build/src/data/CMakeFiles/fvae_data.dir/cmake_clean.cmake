@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_data.dir/batching.cc.o"
+  "CMakeFiles/fvae_data.dir/batching.cc.o.d"
+  "CMakeFiles/fvae_data.dir/dataset.cc.o"
+  "CMakeFiles/fvae_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fvae_data.dir/io.cc.o"
+  "CMakeFiles/fvae_data.dir/io.cc.o.d"
+  "CMakeFiles/fvae_data.dir/split.cc.o"
+  "CMakeFiles/fvae_data.dir/split.cc.o.d"
+  "CMakeFiles/fvae_data.dir/streaming.cc.o"
+  "CMakeFiles/fvae_data.dir/streaming.cc.o.d"
+  "libfvae_data.a"
+  "libfvae_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfvae_data.a"
+)

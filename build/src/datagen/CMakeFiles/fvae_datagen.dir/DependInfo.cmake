@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/barabasi_albert.cc" "src/datagen/CMakeFiles/fvae_datagen.dir/barabasi_albert.cc.o" "gcc" "src/datagen/CMakeFiles/fvae_datagen.dir/barabasi_albert.cc.o.d"
+  "/root/repo/src/datagen/powerlaw.cc" "src/datagen/CMakeFiles/fvae_datagen.dir/powerlaw.cc.o" "gcc" "src/datagen/CMakeFiles/fvae_datagen.dir/powerlaw.cc.o.d"
+  "/root/repo/src/datagen/profile_generator.cc" "src/datagen/CMakeFiles/fvae_datagen.dir/profile_generator.cc.o" "gcc" "src/datagen/CMakeFiles/fvae_datagen.dir/profile_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fvae_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

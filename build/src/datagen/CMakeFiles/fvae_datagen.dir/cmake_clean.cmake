@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_datagen.dir/barabasi_albert.cc.o"
+  "CMakeFiles/fvae_datagen.dir/barabasi_albert.cc.o.d"
+  "CMakeFiles/fvae_datagen.dir/powerlaw.cc.o"
+  "CMakeFiles/fvae_datagen.dir/powerlaw.cc.o.d"
+  "CMakeFiles/fvae_datagen.dir/profile_generator.cc.o"
+  "CMakeFiles/fvae_datagen.dir/profile_generator.cc.o.d"
+  "libfvae_datagen.a"
+  "libfvae_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

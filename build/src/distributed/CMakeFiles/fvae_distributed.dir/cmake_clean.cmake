@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_distributed.dir/parallel_trainer.cc.o"
+  "CMakeFiles/fvae_distributed.dir/parallel_trainer.cc.o.d"
+  "libfvae_distributed.a"
+  "libfvae_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cluster_metrics.cc" "src/eval/CMakeFiles/fvae_eval.dir/cluster_metrics.cc.o" "gcc" "src/eval/CMakeFiles/fvae_eval.dir/cluster_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/fvae_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/fvae_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/tasks.cc" "src/eval/CMakeFiles/fvae_eval.dir/tasks.cc.o" "gcc" "src/eval/CMakeFiles/fvae_eval.dir/tasks.cc.o.d"
+  "/root/repo/src/eval/tsne.cc" "src/eval/CMakeFiles/fvae_eval.dir/tsne.cc.o" "gcc" "src/eval/CMakeFiles/fvae_eval.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fvae_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

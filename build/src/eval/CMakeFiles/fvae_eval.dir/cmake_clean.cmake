@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_eval.dir/cluster_metrics.cc.o"
+  "CMakeFiles/fvae_eval.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/fvae_eval.dir/metrics.cc.o"
+  "CMakeFiles/fvae_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/fvae_eval.dir/tasks.cc.o"
+  "CMakeFiles/fvae_eval.dir/tasks.cc.o.d"
+  "CMakeFiles/fvae_eval.dir/tsne.cc.o"
+  "CMakeFiles/fvae_eval.dir/tsne.cc.o.d"
+  "libfvae_eval.a"
+  "libfvae_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

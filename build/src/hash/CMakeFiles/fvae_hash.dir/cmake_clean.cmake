@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_hash.dir/dynamic_hash_table.cc.o"
+  "CMakeFiles/fvae_hash.dir/dynamic_hash_table.cc.o.d"
+  "CMakeFiles/fvae_hash.dir/feature_hashing.cc.o"
+  "CMakeFiles/fvae_hash.dir/feature_hashing.cc.o.d"
+  "libfvae_hash.a"
+  "libfvae_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

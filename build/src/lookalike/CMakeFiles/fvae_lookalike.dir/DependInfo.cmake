@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lookalike/ab_test.cc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/ab_test.cc.o" "gcc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/ab_test.cc.o.d"
+  "/root/repo/src/lookalike/ann_index.cc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/ann_index.cc.o" "gcc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/ann_index.cc.o.d"
+  "/root/repo/src/lookalike/audience_expander.cc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/audience_expander.cc.o" "gcc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/audience_expander.cc.o.d"
+  "/root/repo/src/lookalike/lookalike_system.cc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/lookalike_system.cc.o" "gcc" "src/lookalike/CMakeFiles/fvae_lookalike.dir/lookalike_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_lookalike.dir/ab_test.cc.o"
+  "CMakeFiles/fvae_lookalike.dir/ab_test.cc.o.d"
+  "CMakeFiles/fvae_lookalike.dir/ann_index.cc.o"
+  "CMakeFiles/fvae_lookalike.dir/ann_index.cc.o.d"
+  "CMakeFiles/fvae_lookalike.dir/audience_expander.cc.o"
+  "CMakeFiles/fvae_lookalike.dir/audience_expander.cc.o.d"
+  "CMakeFiles/fvae_lookalike.dir/lookalike_system.cc.o"
+  "CMakeFiles/fvae_lookalike.dir/lookalike_system.cc.o.d"
+  "libfvae_lookalike.a"
+  "libfvae_lookalike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_lookalike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_math.dir/matrix.cc.o"
+  "CMakeFiles/fvae_math.dir/matrix.cc.o.d"
+  "CMakeFiles/fvae_math.dir/special.cc.o"
+  "CMakeFiles/fvae_math.dir/special.cc.o.d"
+  "CMakeFiles/fvae_math.dir/stats.cc.o"
+  "CMakeFiles/fvae_math.dir/stats.cc.o.d"
+  "CMakeFiles/fvae_math.dir/svd.cc.o"
+  "CMakeFiles/fvae_math.dir/svd.cc.o.d"
+  "CMakeFiles/fvae_math.dir/vector_ops.cc.o"
+  "CMakeFiles/fvae_math.dir/vector_ops.cc.o.d"
+  "libfvae_math.a"
+  "libfvae_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/fvae_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/fvae_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/fvae_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/fvae_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/fvae_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/fvae_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/fvae_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/fvae_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fvae_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_nn.dir/activations.cc.o"
+  "CMakeFiles/fvae_nn.dir/activations.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/dense.cc.o"
+  "CMakeFiles/fvae_nn.dir/dense.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/embedding.cc.o"
+  "CMakeFiles/fvae_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/fvae_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/losses.cc.o"
+  "CMakeFiles/fvae_nn.dir/losses.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/mlp.cc.o"
+  "CMakeFiles/fvae_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/fvae_nn.dir/optimizer.cc.o"
+  "CMakeFiles/fvae_nn.dir/optimizer.cc.o.d"
+  "libfvae_nn.a"
+  "libfvae_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

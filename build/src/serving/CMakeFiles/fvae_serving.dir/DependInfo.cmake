@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/embedding_store.cc" "src/serving/CMakeFiles/fvae_serving.dir/embedding_store.cc.o" "gcc" "src/serving/CMakeFiles/fvae_serving.dir/embedding_store.cc.o.d"
+  "/root/repo/src/serving/serving_proxy.cc" "src/serving/CMakeFiles/fvae_serving.dir/serving_proxy.cc.o" "gcc" "src/serving/CMakeFiles/fvae_serving.dir/serving_proxy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_serving.dir/embedding_store.cc.o"
+  "CMakeFiles/fvae_serving.dir/embedding_store.cc.o.d"
+  "CMakeFiles/fvae_serving.dir/serving_proxy.cc.o"
+  "CMakeFiles/fvae_serving.dir/serving_proxy.cc.o.d"
+  "libfvae_serving.a"
+  "libfvae_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_index_test.dir/ann_index_test.cc.o"
+  "CMakeFiles/ann_index_test.dir/ann_index_test.cc.o.d"
+  "ann_index_test"
+  "ann_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_split_test.dir/batching_split_test.cc.o"
+  "CMakeFiles/batching_split_test.dir/batching_split_test.cc.o.d"
+  "batching_split_test"
+  "batching_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

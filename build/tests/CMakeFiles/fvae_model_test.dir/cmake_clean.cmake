@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_model_test.dir/fvae_model_test.cc.o"
+  "CMakeFiles/fvae_model_test.dir/fvae_model_test.cc.o.d"
+  "fvae_model_test"
+  "fvae_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

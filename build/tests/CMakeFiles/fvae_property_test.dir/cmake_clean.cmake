@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae_property_test.dir/fvae_property_test.cc.o"
+  "CMakeFiles/fvae_property_test.dir/fvae_property_test.cc.o.d"
+  "fvae_property_test"
+  "fvae_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookalike_test.dir/lookalike_test.cc.o"
+  "CMakeFiles/lookalike_test.dir/lookalike_test.cc.o.d"
+  "lookalike_test"
+  "lookalike_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookalike_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_vae_test.dir/mult_vae_test.cc.o"
+  "CMakeFiles/mult_vae_test.dir/mult_vae_test.cc.o.d"
+  "mult_vae_test"
+  "mult_vae_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_vae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

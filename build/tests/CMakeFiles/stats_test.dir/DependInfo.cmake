@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fvae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fvae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fvae_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fvae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fvae_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fvae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fvae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fvae_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fvae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookalike/CMakeFiles/fvae_lookalike.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/fvae_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/fvae_distributed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvae.dir/fvae_cli.cpp.o"
+  "CMakeFiles/fvae.dir/fvae_cli.cpp.o.d"
+  "fvae"
+  "fvae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
