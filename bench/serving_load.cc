@@ -1,0 +1,214 @@
+// Serving-load benchmark: closed-loop multi-threaded load against the
+// online EmbeddingService, comparing micro-batched fold-in encoding
+// (batcher-on) with per-request synchronous encoding (batcher-off) at
+// equal thread count.
+//
+// Two phases per configuration:
+//   cold  — every request is a first-touch fold-in (one pass over a
+//           disjoint cold-user pool), isolating encoder throughput;
+//   mixed — 85% hot store lookups / 15% revisits, measuring the
+//           reader-concurrent sharded store under realistic traffic.
+//
+// Outputs: bench_results/serving_load.txt (human-readable) and
+// BENCH_serving.json + bench_results/BENCH_serving.json (machine-readable
+// {qps, p50_us, p99_us} per configuration).
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/fvae_model.h"
+#include "core/trainer.h"
+#include "serving/embedding_service.h"
+#include "serving/fold_in.h"
+#include "serving/load_gen.h"
+
+namespace fvae::bench {
+namespace {
+
+struct PhaseResult {
+  serving::LoadGenReport cold;
+  serving::LoadGenReport mixed;
+  std::string telemetry_json;
+};
+
+PhaseResult RunConfig(const core::FieldVae& model,
+                      const MultiFieldDataset& dataset,
+                      std::span<const uint32_t> hot_ids,
+                      std::span<const uint32_t> cold_ids, bool enable_batcher,
+                      size_t num_threads, size_t mixed_requests_per_thread) {
+  serving::FvaeFoldInEncoder encoder(&model);
+  serving::EmbeddingServiceOptions options;
+  options.num_shards = 16;
+  options.enable_batcher = enable_batcher;
+  // Closed-loop load offers at most num_threads concurrent requests, so a
+  // batch sized to the client concurrency fills (and dispatches) immediately
+  // in steady state; the wait window only bounds the straggler tail.
+  options.batcher.max_batch_size = num_threads;
+  options.batcher.max_wait_micros = 100;
+  options.batcher.queue_capacity = 8192;
+  serving::EmbeddingService service(
+      serving::MaterializeEmbeddings(model, dataset, hot_ids,
+                                     options.num_shards),
+      &encoder, options);
+
+  // Cold phase: one first-touch pass over the cold pool.
+  serving::LoadGenOptions cold_load;
+  cold_load.num_threads = num_threads;
+  cold_load.requests_per_thread = cold_ids.size() / num_threads;
+  cold_load.hot_fraction = 0.0;
+  cold_load.seed = enable_batcher ? 11 : 22;
+  serving::LoadGenReport cold = serving::RunClosedLoopLoad(
+      service, dataset, hot_ids, cold_ids, cold_load);
+
+  // Mixed phase: mostly hot lookups; the cold pool is materialized by now,
+  // so "cold" picks exercise the recently-written shards.
+  service.telemetry().ResetClock();
+  serving::LoadGenOptions mixed_load;
+  mixed_load.num_threads = num_threads;
+  mixed_load.requests_per_thread = mixed_requests_per_thread;
+  mixed_load.hot_fraction = 0.85;
+  mixed_load.seed = enable_batcher ? 33 : 44;
+  serving::LoadGenReport mixed = serving::RunClosedLoopLoad(
+      service, dataset, hot_ids, cold_ids, mixed_load);
+  return PhaseResult{std::move(cold), std::move(mixed),
+                     service.TelemetryJson()};
+}
+
+int Main() {
+  const Scale scale = GetScale();
+  PrintBanner("Serving load: micro-batched fold-in vs synchronous encode",
+              "online module (Fig. 2) under closed-loop concurrent load");
+
+  // Dataset + a briefly trained model (weights need not be converged for a
+  // throughput benchmark, but the feature tables must be populated).
+  GeneratedProfiles gen = MakeShortContent(scale, /*seed=*/17);
+  // Serving-sized encoder: the online module runs a production-width model,
+  // so the bench uses wider hidden layers than the sweep defaults. This is
+  // the regime micro-batching targets — one batched GEMM amortizes far
+  // better than per-request GEMVs serialized on the encoder.
+  core::FvaeConfig config = SweepFvaeConfig(scale, /*seed=*/17);
+  config.latent_dim = ByScale<size_t>(scale, 32, 64, 96);
+  config.encoder_hidden = {ByScale<size_t>(scale, 256, 512, 768),
+                           ByScale<size_t>(scale, 128, 256, 384)};
+  config.decoder_hidden = config.encoder_hidden;
+  core::FieldVae model(config, gen.dataset.fields());
+  core::TrainOptions train_options;
+  train_options.batch_size = 256;
+  train_options.epochs = 1;
+  train_options.time_budget_seconds = ByScale<double>(scale, 1.0, 3.0, 6.0);
+  core::TrainFvae(model, gen.dataset, train_options);
+
+  const size_t num_users = gen.dataset.num_users();
+  const size_t num_hot = num_users / 2;
+  // Two disjoint cold pools so each configuration sees first-touch users.
+  const size_t pool = (num_users - num_hot) / 2;
+  std::vector<uint32_t> hot_ids(num_hot);
+  std::iota(hot_ids.begin(), hot_ids.end(), 0u);
+  std::vector<uint32_t> cold_on(pool), cold_off(pool);
+  std::iota(cold_on.begin(), cold_on.end(), uint32_t(num_hot));
+  std::iota(cold_off.begin(), cold_off.end(), uint32_t(num_hot + pool));
+
+  // Client threads spend most of their time blocked on futures (closed
+  // loop), so the count is an offered-concurrency knob, not a core count:
+  // more clients -> fuller batches for the batcher-on configuration.
+  const size_t num_threads = 8;
+  const size_t mixed_requests =
+      ByScale<size_t>(scale, 1000, 4000, 10000);
+
+  std::printf("dataset: %s\n", gen.dataset.Summary().c_str());
+  std::printf("threads: %zu  hot users: %zu  cold pool: %zu per config\n\n",
+              num_threads, num_hot, pool);
+
+  const PhaseResult on = RunConfig(model, gen.dataset, hot_ids, cold_on,
+                                   /*enable_batcher=*/true, num_threads,
+                                   mixed_requests);
+  const PhaseResult off = RunConfig(model, gen.dataset, hot_ids, cold_off,
+                                    /*enable_batcher=*/false, num_threads,
+                                    mixed_requests);
+
+  const double cold_speedup =
+      off.cold.Qps() > 0.0 ? on.cold.Qps() / off.cold.Qps() : 0.0;
+
+  std::string table;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-14s %-6s %12s %10s %10s %10s\n", "config", "phase", "qps",
+                "p50_us", "p95_us", "p99_us");
+  table += line;
+  const auto add_row = [&](const char* name, const char* phase,
+                           const serving::LoadGenReport& report) {
+    std::snprintf(line, sizeof(line), "%-14s %-6s %12.1f %10.1f %10.1f %10.1f\n",
+                  name, phase, report.Qps(),
+                  report.latency_us.Percentile(50.0),
+                  report.latency_us.Percentile(95.0),
+                  report.latency_us.Percentile(99.0));
+    table += line;
+  };
+  add_row("batcher-on", "cold", on.cold);
+  add_row("batcher-on", "mixed", on.mixed);
+  add_row("batcher-off", "cold", off.cold);
+  add_row("batcher-off", "mixed", off.mixed);
+  std::snprintf(line, sizeof(line),
+                "\ncold-user (fold-in) throughput speedup from "
+                "micro-batching: %.2fx\n",
+                cold_speedup);
+  table += line;
+  std::printf("%s", table.c_str());
+  std::printf("\nbatcher-on telemetry:  %s\n", on.telemetry_json.c_str());
+  std::printf("batcher-off telemetry: %s\n", off.telemetry_json.c_str());
+
+  // Machine-readable dump. The headline qps/p50/p99 per configuration is
+  // the cold (fold-in) phase — the path the batcher exists for; mixed-phase
+  // numbers ride along under "mixed".
+  std::string json = "{\n";
+  json += "  \"scale\": \"" + std::string(ScaleName(scale)) + "\",\n";
+  json += "  \"threads\": " + std::to_string(num_threads) + ",\n";
+  const auto config_json = [](const PhaseResult& result) {
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "{\"qps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\n",
+                  result.cold.Qps(), result.cold.latency_us.Percentile(50.0),
+                  result.cold.latency_us.Percentile(99.0));
+    return std::string(head) + "     \"cold\":" + result.cold.Json() +
+           ",\n     \"mixed\":" + result.mixed.Json() + "}";
+  };
+  json += "  \"batcher_on\": " + config_json(on) + ",\n";
+  json += "  \"batcher_off\": " + config_json(off) + ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  \"cold_speedup\": %.3f\n", cold_speedup);
+  json += buf;
+  json += "}\n";
+
+  std::filesystem::create_directories("bench_results");
+  for (const char* path :
+       {"BENCH_serving.json", "bench_results/BENCH_serving.json"}) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    }
+  }
+  if (std::FILE* f = std::fopen("bench_results/serving_load.txt", "w")) {
+    std::fputs(table.c_str(), f);
+    std::fprintf(f, "\nbatcher-on telemetry:  %s\n", on.telemetry_json.c_str());
+    std::fprintf(f, "batcher-off telemetry: %s\n", off.telemetry_json.c_str());
+    std::fclose(f);
+  }
+  std::printf("\nwrote BENCH_serving.json and bench_results/serving_load.txt\n");
+
+  if (cold_speedup <= 1.0) {
+    std::printf("WARNING: batcher-on did not beat batcher-off on cold "
+                "fold-in throughput\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvae::bench
+
+int main() { return fvae::bench::Main(); }

@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fvae {
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   size_t num_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      buckets_(num_buckets) {
+  FVAE_CHECK(min_value > 0.0) << "histogram min_value must be positive";
+  FVAE_CHECK(growth > 1.0) << "histogram growth must exceed 1";
+  FVAE_CHECK(num_buckets >= 2) << "histogram needs at least 2 buckets";
+}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other)
+    : min_value_(other.min_value_),
+      log_growth_(other.log_growth_),
+      buckets_(other.buckets_.size()) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double value) const {
+  if (!(value >= min_value_)) return 0;  // also catches NaN
+  const size_t i =
+      1 + static_cast<size_t>(std::log(value / min_value_) / log_growth_);
+  return std::min(i, buckets_.size() - 1);
+}
+
+double LatencyHistogram::BucketLower(size_t i) const {
+  if (i == 0) return 0.0;
+  return min_value_ * std::exp(log_growth_ * double(i - 1));
+}
+
+double LatencyHistogram::BucketUpper(size_t i) const {
+  if (i + 1 >= buckets_.size()) return BucketLower(i);
+  return min_value_ * std::exp(log_growth_ * double(i));
+}
+
+void LatencyHistogram::Record(double value) {
+  if (!(value >= 0.0)) value = 0.0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<uint64_t>(std::llround(value)),
+                 std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Sum() const {
+  return double(sum_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / double(n);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t n = Count();
+  if (n == 0) return 0.0;
+  // Rank of the target observation (1-based, nearest-rank with
+  // interpolation inside the containing bucket).
+  const double rank = p / 100.0 * double(n);
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket =
+        double(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double frac =
+          in_bucket == 0.0 ? 0.0
+                           : std::clamp((rank - seen) / in_bucket, 0.0, 1.0);
+      return BucketLower(i) + frac * (BucketUpper(i) - BucketLower(i));
+    }
+    seen += in_bucket;
+  }
+  return BucketUpper(buckets_.size() - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::SummaryJson() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,"
+                "\"p99\":%.1f}",
+                static_cast<unsigned long long>(Count()), Mean(),
+                Percentile(50.0), Percentile(95.0), Percentile(99.0));
+  return buf;
+}
+
+}  // namespace fvae

@@ -1,0 +1,79 @@
+#ifndef FVAE_COMMON_HISTOGRAM_H_
+#define FVAE_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fvae {
+
+/// Lock-free latency histogram with geometric buckets.
+///
+/// Record() is wait-free (one relaxed atomic increment per call plus two for
+/// count/sum), so request threads can stamp latencies on the hot path; the
+/// percentile readers pay the traversal cost instead. Values are
+/// microseconds by convention in the serving stack, but the class is
+/// unit-agnostic.
+///
+/// Buckets cover [0, +inf): bucket 0 is [0, min_value), then geometric
+/// buckets [min_value * growth^i, min_value * growth^(i+1)) with the last
+/// bucket open-ended. Percentiles interpolate linearly inside a bucket, so
+/// their resolution is bounded by the growth factor (default 1.3 keeps the
+/// p99 estimate within ~15% of the true value — ample for load-test
+/// comparisons).
+class LatencyHistogram {
+ public:
+  /// `min_value`: upper edge of the first bucket; `growth`: geometric bucket
+  /// growth factor (> 1); `num_buckets`: total buckets including the two
+  /// open-ended ones.
+  explicit LatencyHistogram(double min_value = 1.0, double growth = 1.3,
+                            size_t num_buckets = 64);
+
+  LatencyHistogram(const LatencyHistogram& other);
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation. Thread-safe, wait-free.
+  void Record(double value);
+
+  /// Number of recorded observations.
+  uint64_t Count() const;
+
+  /// Sum of recorded observations (accumulated in integer microsteps of the
+  /// value unit; sub-unit fractions are rounded).
+  double Sum() const;
+
+  double Mean() const;
+
+  /// Estimated percentile, p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Resets all buckets to zero. NOT thread-safe against concurrent
+  /// Record() — quiesce writers first.
+  void Reset();
+
+  /// {"count":N,"mean":...,"p50":...,"p95":...,"p99":...} — a JSON object
+  /// fragment used by the serving telemetry dump.
+  std::string SummaryJson() const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  size_t BucketIndex(double value) const;
+  /// Lower edge of bucket i (0 for bucket 0).
+  double BucketLower(size_t i) const;
+  /// Upper edge of bucket i (last bucket reuses its lower edge — the open
+  /// tail has no meaningful midpoint).
+  double BucketUpper(size_t i) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_HISTOGRAM_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -68,6 +70,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -171,6 +171,26 @@ void FieldVae::EncodeWithVariance(const MultiFieldDataset& dataset,
   EncodeConst(dataset, users, mu, logvar);
 }
 
+Matrix FieldVae::EncodeFoldIn(
+    std::span<const RawUserFeatures* const> users) const {
+  // Wrap the raw vectors in a throwaway dataset so the batch reuses the
+  // exact inference path (and its batched GEMMs) of Encode.
+  MultiFieldDataset::Builder builder(field_schemas_);
+  std::vector<uint32_t> indices;
+  indices.reserve(users.size());
+  for (const RawUserFeatures* user : users) {
+    FVAE_CHECK(user != nullptr);
+    FVAE_CHECK(user->size() == field_schemas_.size())
+        << "fold-in user has " << user->size() << " fields, model expects "
+        << field_schemas_.size();
+    indices.push_back(builder.AddUser(*user));
+  }
+  const MultiFieldDataset batch = builder.Build();
+  Matrix mu, logvar;
+  EncodeConst(batch, indices, &mu, &logvar);
+  return mu;
+}
+
 Matrix FieldVae::DecoderHidden(const Matrix& z) const {
   Matrix hidden;
   decoder_trunk_->Forward(z, &hidden, /*training=*/false);

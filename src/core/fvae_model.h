@@ -17,6 +17,12 @@
 
 namespace fvae::core {
 
+/// One user's raw sparse field vector, outside any dataset:
+/// features_per_field[k] lists the observed features of field k (may be
+/// empty). Used by the online fold-in path, where cold users arrive as bare
+/// feature lists rather than dataset indices.
+using RawUserFeatures = std::vector<std::vector<FeatureEntry>>;
+
 /// Per-step training statistics.
 struct StepStats {
   /// Mean (over batch users) reconstruction NLL per field, alpha-weighted
@@ -68,6 +74,17 @@ class FieldVae {
   void EncodeWithVariance(const MultiFieldDataset& dataset,
                           std::span<const uint32_t> users, Matrix* mu,
                           Matrix* logvar) const;
+
+  /// Fold-in entry point for the online module (Fig. 2): posterior means
+  /// (users.size() x latent_dim) for users given directly as raw sparse
+  /// field vectors. Each element must have num_fields() entries; unknown
+  /// feature IDs are skipped (cold-feature behaviour, same as Encode).
+  ///
+  /// NOT safe for concurrent callers (layer forward passes reuse member
+  /// scratch buffers) — the serving layer serializes calls through
+  /// serving::FvaeFoldInEncoder, which is exactly why its micro-batcher
+  /// amortizes rather than parallelizes encoder GEMMs.
+  Matrix EncodeFoldIn(std::span<const RawUserFeatures* const> users) const;
 
   /// Decoder-trunk activation for latent codes `z` (one row per row of z).
   /// An alternative exported representation: its inner-product geometry is

@@ -1,0 +1,90 @@
+#ifndef FVAE_SERVING_EMBEDDING_SERVICE_H_
+#define FVAE_SERVING_EMBEDDING_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fvae_model.h"
+#include "serving/fold_in.h"
+#include "serving/request_batcher.h"
+#include "serving/sharded_store.h"
+#include "serving/telemetry.h"
+
+namespace fvae::serving {
+
+struct EmbeddingServiceOptions {
+  /// Shards of the materialized-embedding store.
+  size_t num_shards = 16;
+  /// When false, cold users are encoded synchronously on the request
+  /// thread (one encoder pass per request) — the baseline the load
+  /// benchmark compares the micro-batcher against.
+  bool enable_batcher = true;
+  RequestBatcherOptions batcher;
+  /// Deadline applied to fold-in requests that do not pass their own
+  /// (microseconds; 0 = none).
+  uint64_t default_deadline_micros = 0;
+};
+
+/// In-process front-end of the online module (Fig. 2): the look-alike
+/// system's view of user embeddings under concurrent traffic.
+///
+/// Request path:
+///   1. sharded store Get            — hot users, reader-concurrent;
+///   2. on miss, fold-in encode      — micro-batched (or synchronous when
+///      the batcher is disabled), result materialized into the store so
+///      the user is hot from then on;
+///   3. overload                     — bounded queue bounces requests with
+///      kUnavailable (admission control); expired deadlines answer
+///      kDeadlineExceeded. Callers degrade gracefully: a kUnavailable
+///      answer means "retry later or serve the cache-only fallback".
+///
+/// All public methods are safe for concurrent callers.
+class EmbeddingService {
+ public:
+  using EmbeddingResult = Result<std::vector<float>>;
+
+  /// `store` seeds the materialized embeddings (moved in). `encoder` may be
+  /// null — the service then answers store lookups only — and must outlive
+  /// the service.
+  EmbeddingService(ShardedEmbeddingStore store, FoldInEncoder* encoder,
+                   EmbeddingServiceOptions options = {});
+  ~EmbeddingService();
+
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Store-only lookup (no fold-in): kNotFound for unmaterialized users.
+  EmbeddingResult Lookup(uint64_t user_id);
+
+  /// Full serving path: store hit answers immediately (the returned future
+  /// is already ready); a miss folds the raw field vector in via the
+  /// batcher. `deadline_micros` overrides the configured default (0 =
+  /// default).
+  std::future<EmbeddingResult> LookupOrEncode(
+      uint64_t user_id, const core::RawUserFeatures& features,
+      uint64_t deadline_micros = 0);
+
+  const ShardedEmbeddingStore& store() const { return store_; }
+  ServingTelemetry& telemetry() { return telemetry_; }
+  const ServingTelemetry& telemetry() const { return telemetry_; }
+
+  /// Telemetry + per-shard stats as one JSON object.
+  std::string TelemetryJson() const;
+
+ private:
+  static std::future<EmbeddingResult> Ready(EmbeddingResult result);
+
+  ShardedEmbeddingStore store_;
+  FoldInEncoder* encoder_;
+  EmbeddingServiceOptions options_;
+  ServingTelemetry telemetry_;
+  std::unique_ptr<RequestBatcher> batcher_;  // null when batcher disabled
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_EMBEDDING_SERVICE_H_

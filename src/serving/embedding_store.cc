@@ -39,6 +39,13 @@ std::optional<std::vector<float>> EmbeddingStore::Get(uint64_t user_id)
   return it->second;
 }
 
+std::vector<uint64_t> EmbeddingStore::Ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(table_.size());
+  for (const auto& [id, _] : table_) ids.push_back(id);
+  return ids;
+}
+
 Status EmbeddingStore::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);

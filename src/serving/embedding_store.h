@@ -34,6 +34,10 @@ class EmbeddingStore {
   /// Returns the embedding or nullopt.
   std::optional<std::vector<float>> Get(uint64_t user_id) const;
 
+  /// All user ids currently in the store (unspecified order). Used to
+  /// migrate an offline dump into the online ShardedEmbeddingStore.
+  std::vector<uint64_t> Ids() const;
+
   size_t size() const { return table_.size(); }
   size_t dim() const { return dim_; }
 

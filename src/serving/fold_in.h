@@ -1,0 +1,56 @@
+#ifndef FVAE_SERVING_FOLD_IN_H_
+#define FVAE_SERVING_FOLD_IN_H_
+
+#include <mutex>
+#include <span>
+
+#include "core/fvae_model.h"
+#include "math/matrix.h"
+
+namespace fvae::serving {
+
+/// Batch encoder for cold users (fold-in): turns raw sparse field vectors
+/// into embeddings when a user's embedding was never materialized offline.
+///
+/// Implementations MUST be safe for concurrent callers — the request
+/// batcher may run more than one worker, and the service's synchronous
+/// fallback path calls straight from request threads.
+class FoldInEncoder {
+ public:
+  virtual ~FoldInEncoder() = default;
+
+  /// Encodes `users` in one forward pass; returns users.size() x dim().
+  virtual Matrix EncodeBatch(
+      std::span<const core::RawUserFeatures* const> users) = 0;
+
+  /// Embedding dimensionality produced by EncodeBatch.
+  virtual size_t dim() const = 0;
+};
+
+/// FoldInEncoder over a frozen FieldVae.
+///
+/// FieldVae's forward passes reuse member scratch buffers, so encodes are
+/// serialized through an internal mutex. That serialization is exactly what
+/// the micro-batcher amortizes: one batched GEMM per batch instead of one
+/// mutex-serialized GEMM per request.
+class FvaeFoldInEncoder : public FoldInEncoder {
+ public:
+  /// `model` must outlive the encoder and must not be trained concurrently.
+  explicit FvaeFoldInEncoder(const core::FieldVae* model) : model_(model) {}
+
+  Matrix EncodeBatch(
+      std::span<const core::RawUserFeatures* const> users) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_->EncodeFoldIn(users);
+  }
+
+  size_t dim() const override { return model_->latent_dim(); }
+
+ private:
+  const core::FieldVae* model_;
+  std::mutex mutex_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_FOLD_IN_H_

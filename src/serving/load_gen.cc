@@ -1,0 +1,107 @@
+#include "serving/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace fvae::serving {
+
+core::RawUserFeatures RawFeaturesOf(const MultiFieldDataset& dataset,
+                                    uint32_t user) {
+  core::RawUserFeatures features(dataset.num_fields());
+  for (size_t k = 0; k < dataset.num_fields(); ++k) {
+    const auto span = dataset.UserField(user, k);
+    features[k].assign(span.begin(), span.end());
+  }
+  return features;
+}
+
+ShardedEmbeddingStore MaterializeEmbeddings(const core::FieldVae& model,
+                                            const MultiFieldDataset& dataset,
+                                            std::span<const uint32_t> users,
+                                            size_t num_shards,
+                                            size_t chunk_size) {
+  chunk_size = std::max<size_t>(chunk_size, 1);
+  ShardedEmbeddingStore store(num_shards);
+  for (size_t begin = 0; begin < users.size(); begin += chunk_size) {
+    const size_t end = std::min(begin + chunk_size, users.size());
+    const std::span<const uint32_t> chunk = users.subspan(begin, end - begin);
+    const Matrix mu = model.Encode(dataset, chunk);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const float* row = mu.Row(i);
+      store.Put(chunk[i], std::vector<float>(row, row + mu.cols()));
+    }
+  }
+  return store;
+}
+
+std::string LoadGenReport::Json() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"qps\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                "\"p99_us\":%.1f,\"mean_us\":%.1f,\"ok\":%llu,"
+                "\"errors\":%llu,\"elapsed_s\":%.3f}",
+                Qps(), latency_us.Percentile(50.0),
+                latency_us.Percentile(95.0), latency_us.Percentile(99.0),
+                latency_us.Mean(), static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(errors), elapsed_seconds);
+  return buf;
+}
+
+LoadGenReport RunClosedLoopLoad(EmbeddingService& service,
+                                const MultiFieldDataset& dataset,
+                                std::span<const uint32_t> hot_ids,
+                                std::span<const uint32_t> cold_ids,
+                                const LoadGenOptions& options) {
+  FVAE_CHECK(options.hot_fraction >= 1.0 || !cold_ids.empty())
+      << "cold traffic requested but no cold ids";
+  FVAE_CHECK(options.hot_fraction <= 0.0 || !hot_ids.empty())
+      << "hot traffic requested but no hot ids";
+  const size_t num_threads = std::max<size_t>(options.num_threads, 1);
+
+  LoadGenReport report;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(options.seed * 1315423911u + t);
+      // Strided walk: thread t owns cold_ids[t], [t + T], ... so each cold
+      // id's first visit belongs to exactly one thread.
+      size_t cold_cursor = t;
+      for (size_t i = 0; i < options.requests_per_thread; ++i) {
+        uint32_t user;
+        if (rng.Uniform() < options.hot_fraction) {
+          user = hot_ids[rng.UniformInt(uint64_t(hot_ids.size()))];
+        } else {
+          user = cold_ids[cold_cursor % cold_ids.size()];
+          cold_cursor += num_threads;
+        }
+        Stopwatch request_watch;
+        auto future = service.LookupOrEncode(
+            user, RawFeaturesOf(dataset, user), options.deadline_micros);
+        const auto result = future.get();
+        report.latency_us.Record(request_watch.ElapsedSeconds() * 1e6);
+        result.ok() ? ok.fetch_add(1, std::memory_order_relaxed)
+                    : errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  report.elapsed_seconds = watch.ElapsedSeconds();
+  report.ok = ok.load();
+  report.errors = errors.load();
+  return report;
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,71 @@
+#ifndef FVAE_SERVING_LOAD_GEN_H_
+#define FVAE_SERVING_LOAD_GEN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/histogram.h"
+#include "core/fvae_model.h"
+#include "data/dataset.h"
+#include "serving/embedding_service.h"
+#include "serving/sharded_store.h"
+
+namespace fvae::serving {
+
+/// User `u`'s sparse field vector extracted from a dataset — the payload a
+/// production caller would attach to a cold-user request.
+core::RawUserFeatures RawFeaturesOf(const MultiFieldDataset& dataset,
+                                    uint32_t user);
+
+/// Offline-dump stand-in: encodes `users` in chunks and materializes their
+/// embeddings into a fresh sharded store (Fig. 2's HDFS -> online load).
+ShardedEmbeddingStore MaterializeEmbeddings(const core::FieldVae& model,
+                                            const MultiFieldDataset& dataset,
+                                            std::span<const uint32_t> users,
+                                            size_t num_shards,
+                                            size_t chunk_size = 1024);
+
+/// Closed-loop workload shape.
+struct LoadGenOptions {
+  size_t num_threads = 8;
+  /// Requests each thread issues (and individually waits for — closed
+  /// loop: one outstanding request per thread).
+  size_t requests_per_thread = 1000;
+  /// Probability a request targets the hot set; the rest walk the cold ids.
+  double hot_fraction = 0.8;
+  /// Per-request deadline forwarded to the service (0 = none).
+  uint64_t deadline_micros = 0;
+  uint64_t seed = 1;
+};
+
+/// What the load generator observed from the client side.
+struct LoadGenReport {
+  double elapsed_seconds = 0.0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  /// Client-observed end-to-end latency (issue -> future resolved), us.
+  LatencyHistogram latency_us;
+
+  double Qps() const {
+    return elapsed_seconds > 0.0 ? double(ok + errors) / elapsed_seconds
+                                 : 0.0;
+  }
+  /// One JSON object row: qps + latency percentiles.
+  std::string Json() const;
+};
+
+/// Drives `service` with num_threads closed-loop clients over `dataset`.
+/// Hot requests draw uniformly from `hot_ids`; cold requests walk
+/// `cold_ids` in a per-thread strided order (each cold id is first touched
+/// by exactly one thread, so a pass over cold_ids measures pure fold-in).
+/// Ids index `dataset`, which supplies the raw field vectors.
+LoadGenReport RunClosedLoopLoad(EmbeddingService& service,
+                                const MultiFieldDataset& dataset,
+                                std::span<const uint32_t> hot_ids,
+                                std::span<const uint32_t> cold_ids,
+                                const LoadGenOptions& options);
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_LOAD_GEN_H_

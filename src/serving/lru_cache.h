@@ -13,15 +13,16 @@ namespace fvae::serving {
 /// Bounded LRU cache — the repository's stand-in for the paper's Redis
 /// high-performance cache in the online module (Fig. 2).
 ///
-/// Single-threaded by design (the serving proxy owns one per shard);
-/// Get refreshes recency, Put evicts the least recently used entry when
-/// full.
+/// Single-threaded by design (callers guard it with their own lock — see
+/// ServingProxy); Get refreshes recency, Put evicts the least recently
+/// used entry when full.
+///
+/// Capacity 0 is a valid degenerate cache: Put is a no-op and Get always
+/// misses (useful for disabling caching via configuration).
 template <typename Key, typename Value>
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity) {
-    FVAE_CHECK(capacity > 0) << "LRU capacity must be positive";
-  }
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached value (refreshing recency), or nullopt.
   std::optional<Value> Get(const Key& key) {
@@ -33,6 +34,7 @@ class LruCache {
 
   /// Inserts or overwrites; evicts the LRU entry when at capacity.
   void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);

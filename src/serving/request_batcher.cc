@@ -1,0 +1,151 @@
+#include "serving/request_batcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fvae::serving {
+
+RequestBatcher::RequestBatcher(FoldInEncoder* encoder,
+                               RequestBatcherOptions options,
+                               ServingTelemetry* telemetry,
+                               EncodedSink on_encoded)
+    : encoder_(encoder),
+      options_(options),
+      telemetry_(telemetry),
+      on_encoded_(std::move(on_encoded)) {
+  FVAE_CHECK(encoder_ != nullptr) << "batcher needs an encoder";
+  options_.max_batch_size = std::max<size_t>(options_.max_batch_size, 1);
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  const size_t workers = std::max<size_t>(options_.num_workers, 1);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
+    uint64_t user_id, const core::RawUserFeatures& features,
+    uint64_t deadline_micros) {
+  const auto now = Clock::now();
+  Request request;
+  request.user_id = user_id;
+  request.features = features;
+  request.enqueue_time = now;
+  request.deadline = deadline_micros == 0
+                         ? Clock::time_point::max()
+                         : now + std::chrono::microseconds(deadline_micros);
+  std::future<EmbeddingResult> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_ || queue_.size() >= options_.queue_capacity) {
+      if (telemetry_ != nullptr) {
+        telemetry_->rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      request.promise.set_value(Status::Unavailable(
+          shutting_down_ ? "batcher shutting down" : "fold-in queue full"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+size_t RequestBatcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RequestBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(
+        lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    // Batch window: dispatch when full, or max_wait_micros after the
+    // window's first request — whichever comes first. During shutdown the
+    // window is skipped so the drain is prompt.
+    const Clock::time_point window_end =
+        queue_.front().enqueue_time +
+        std::chrono::microseconds(options_.max_wait_micros);
+    while (!shutting_down_ && queue_.size() < options_.max_batch_size &&
+           Clock::now() < window_end) {
+      work_available_.wait_until(lock, window_end);
+    }
+
+    std::vector<Request> batch;
+    const size_t take = std::min(queue_.size(), options_.max_batch_size);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
+
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void RequestBatcher::ProcessBatch(std::vector<Request> batch) {
+  // Expired requests are answered without paying for the encoder.
+  const auto now = Clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (request.deadline < now) {
+      if (telemetry_ != nullptr) {
+        telemetry_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      }
+      request.promise.set_value(
+          Status::DeadlineExceeded("expired in fold-in queue"));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<const core::RawUserFeatures*> users;
+  users.reserve(live.size());
+  for (const Request& request : live) users.push_back(&request.features);
+  const Matrix embeddings = encoder_->EncodeBatch(users);
+  FVAE_CHECK(embeddings.rows() == live.size())
+      << "encoder returned " << embeddings.rows() << " rows for "
+      << live.size() << " users";
+
+  if (telemetry_ != nullptr) {
+    telemetry_->batches.fetch_add(1, std::memory_order_relaxed);
+    telemetry_->batched_users.fetch_add(live.size(),
+                                        std::memory_order_relaxed);
+  }
+  const auto done = Clock::now();
+  for (size_t i = 0; i < live.size(); ++i) {
+    const float* row = embeddings.Row(i);
+    std::span<const float> embedding(row, embeddings.cols());
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(done -
+                                                  live[i].enqueue_time)
+            .count();
+    if (on_encoded_) on_encoded_(live[i].user_id, embedding, latency_us);
+    live[i].promise.set_value(
+        std::vector<float>(embedding.begin(), embedding.end()));
+  }
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,115 @@
+#ifndef FVAE_SERVING_REQUEST_BATCHER_H_
+#define FVAE_SERVING_REQUEST_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/fvae_model.h"
+#include "serving/fold_in.h"
+#include "serving/telemetry.h"
+
+namespace fvae::serving {
+
+/// Micro-batching policy and capacity knobs.
+struct RequestBatcherOptions {
+  /// Requests coalesced into one encoder forward pass.
+  size_t max_batch_size = 32;
+  /// How long a batch window stays open after its first request before the
+  /// (possibly partial) batch is dispatched anyway.
+  uint64_t max_wait_micros = 200;
+  /// Admission control: Submit() bounces with kUnavailable once this many
+  /// requests are queued.
+  size_t queue_capacity = 1024;
+  /// Encoder worker threads. With FvaeFoldInEncoder the encoder itself
+  /// serializes, so >1 only helps once the encoder is internally parallel.
+  size_t num_workers = 1;
+};
+
+/// Coalesces concurrent cold-user encode requests into micro-batches.
+///
+/// Request threads enqueue (user id, raw field vector, deadline) and get a
+/// future; worker threads drain the queue in batches of up to
+/// max_batch_size, closing a batch window max_wait_micros after its first
+/// request, and run one FoldInEncoder::EncodeBatch per batch. This
+/// amortizes GEMM setup and the encoder's serialization across requests —
+/// the difference between one matrix-matrix product per batch and one
+/// matrix-vector product (plus lock handoff) per request.
+///
+/// Overload behaviour (documented fallback):
+///  - queue full at Submit()      -> immediate kUnavailable, counted in
+///    telemetry.rejected; callers fall back to a cache-only answer.
+///  - deadline expired in queue   -> kDeadlineExceeded without encoding,
+///    counted in telemetry.deadline_expired.
+///
+/// The destructor drains the queue (every accepted request gets a value or
+/// an error; promises are never broken), then joins the workers.
+class RequestBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using EmbeddingResult = Result<std::vector<float>>;
+  /// Called by worker threads for every successfully encoded user:
+  /// (user_id, embedding row, enqueue->done latency in microseconds).
+  /// Used by the service to materialize embeddings into the store.
+  using EncodedSink =
+      std::function<void(uint64_t, std::span<const float>, double)>;
+
+  /// `encoder` must outlive the batcher; `telemetry` may be null (counters
+  /// dropped); `on_encoded` may be empty.
+  RequestBatcher(FoldInEncoder* encoder, RequestBatcherOptions options,
+                 ServingTelemetry* telemetry = nullptr,
+                 EncodedSink on_encoded = nullptr);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues one fold-in request. `features` is copied (the caller need
+  /// not keep it alive). `deadline_micros` = 0 means no deadline. The
+  /// returned future is always valid; overload and expiry surface as error
+  /// statuses.
+  std::future<EmbeddingResult> Submit(uint64_t user_id,
+                                      const core::RawUserFeatures& features,
+                                      uint64_t deadline_micros = 0);
+
+  /// Current queue depth (instantaneous).
+  size_t QueueDepth() const;
+
+  const RequestBatcherOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    uint64_t user_id = 0;
+    core::RawUserFeatures features;
+    Clock::time_point enqueue_time;
+    Clock::time_point deadline;  // time_point::max() when unset
+    std::promise<EmbeddingResult> promise;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Request> batch);
+
+  FoldInEncoder* encoder_;
+  RequestBatcherOptions options_;
+  ServingTelemetry* telemetry_;
+  EncodedSink on_encoded_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Request> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_REQUEST_BATCHER_H_

@@ -3,11 +3,14 @@
 namespace fvae::serving {
 
 std::optional<std::vector<float>> ServingProxy::Lookup(uint64_t user_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.requests;
   if (auto cached = cache_.Get(user_id); cached.has_value()) {
     ++stats_.cache_hits;
     return cached;
   }
+  // The store is immutable while serving, so reading it under the proxy
+  // mutex is for simplicity, not correctness of the store itself.
   if (auto stored = store_->Get(user_id); stored.has_value()) {
     ++stats_.store_hits;
     cache_.Put(user_id, *stored);

@@ -2,6 +2,7 @@
 #define FVAE_SERVING_SERVING_PROXY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -13,6 +14,12 @@ namespace fvae::serving {
 /// Model-serving proxy of the online module (Fig. 2): answers embedding
 /// lookups from a hot LRU cache backed by the (HDFS stand-in) embedding
 /// store, and tracks hit statistics.
+///
+/// Safe for concurrent callers: the cache and counters are guarded by one
+/// mutex, so throughput is bounded by lock handoff. For the concurrent
+/// serving stack (sharding, micro-batched fold-in, admission control) use
+/// EmbeddingService; this proxy remains the minimal single-store reference
+/// implementation.
 class ServingProxy {
  public:
   struct Stats {
@@ -34,12 +41,17 @@ class ServingProxy {
   /// cache on a store hit). nullopt for unknown users.
   std::optional<std::vector<float>> Lookup(uint64_t user_id);
 
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of the counters.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
  private:
   const EmbeddingStore* store_;
-  LruCache<uint64_t, std::vector<float>> cache_;
-  Stats stats_;
+  mutable std::mutex mutex_;
+  LruCache<uint64_t, std::vector<float>> cache_;  // guarded by mutex_
+  Stats stats_;                                   // guarded by mutex_
 };
 
 }  // namespace fvae::serving

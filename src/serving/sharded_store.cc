@@ -1,0 +1,104 @@
+#include "serving/sharded_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace fvae::serving {
+
+namespace {
+
+/// splitmix64 finalizer: user ids are often sequential, so mix before
+/// taking the shard residue to spread them across shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedEmbeddingStore::ShardedEmbeddingStore(size_t num_shards)
+    : dim_(std::make_unique<std::atomic<size_t>>(0)) {
+  num_shards = std::max<size_t>(num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedEmbeddingStore ShardedEmbeddingStore::FromStore(
+    const EmbeddingStore& store, size_t num_shards) {
+  ShardedEmbeddingStore out(num_shards);
+  for (uint64_t id : store.Ids()) {
+    out.Put(id, *store.Get(id));
+  }
+  return out;
+}
+
+size_t ShardedEmbeddingStore::ShardOf(uint64_t user_id) const {
+  return MixId(user_id) % shards_.size();
+}
+
+void ShardedEmbeddingStore::Put(uint64_t user_id,
+                                std::vector<float> embedding) {
+  size_t expected = 0;
+  if (!dim_->compare_exchange_strong(expected, embedding.size(),
+                                     std::memory_order_acq_rel)) {
+    FVAE_CHECK(embedding.size() == expected)
+        << "embedding dim mismatch: store " << expected << ", put "
+        << embedding.size();
+  }
+  Shard& shard = *shards_[ShardOf(user_id)];
+  std::unique_lock lock(shard.mutex);
+  shard.table[user_id] = std::move(embedding);
+}
+
+std::optional<std::vector<float>> ShardedEmbeddingStore::Get(
+    uint64_t user_id) const {
+  const Shard& shard = *shards_[ShardOf(user_id)];
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.table.find(user_id);
+  if (it == shard.table.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool ShardedEmbeddingStore::Contains(uint64_t user_id) const {
+  const Shard& shard = *shards_[ShardOf(user_id)];
+  std::shared_lock lock(shard.mutex);
+  return shard.table.count(user_id) > 0;
+}
+
+size_t ShardedEmbeddingStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->table.size();
+  }
+  return total;
+}
+
+std::vector<ShardedEmbeddingStore::ShardStats> ShardedEmbeddingStore::Stats()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats stats;
+    stats.hits = shard->hits.load(std::memory_order_relaxed);
+    stats.misses = shard->misses.load(std::memory_order_relaxed);
+    {
+      std::shared_lock lock(shard->mutex);
+      stats.entries = shard->table.size();
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,88 @@
+#ifndef FVAE_SERVING_SHARDED_STORE_H_
+#define FVAE_SERVING_SHARDED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/embedding_store.h"
+
+namespace fvae::serving {
+
+/// Reader-concurrent in-memory embedding store, sharded by hashed user id.
+///
+/// Replaces the global single-map EmbeddingStore on the serving hot path:
+/// each shard owns an independent hash map guarded by a shared_mutex, so
+/// concurrent Gets on different (and, via shared locking, the same) shards
+/// never contend on one global lock, and a Put only stalls readers of its
+/// own shard. Hit/miss counters are per-shard relaxed atomics.
+///
+/// The file-backed EmbeddingStore remains the offline interchange format
+/// (HDFS stand-in); FromStore() is the online module's load step.
+class ShardedEmbeddingStore {
+ public:
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : double(hits) / double(total);
+    }
+  };
+
+  /// `num_shards` is clamped to at least 1.
+  explicit ShardedEmbeddingStore(size_t num_shards = 16);
+
+  ShardedEmbeddingStore(ShardedEmbeddingStore&&) = default;
+  ShardedEmbeddingStore& operator=(ShardedEmbeddingStore&&) = default;
+
+  /// Builds a sharded store holding a copy of every embedding in `store`.
+  static ShardedEmbeddingStore FromStore(const EmbeddingStore& store,
+                                         size_t num_shards = 16);
+
+  /// Inserts or overwrites one embedding. All embeddings must share the
+  /// dimension of the first Put. Thread-safe.
+  void Put(uint64_t user_id, std::vector<float> embedding);
+
+  /// Returns the embedding or nullopt, updating the shard's hit/miss
+  /// counters. Thread-safe; takes the shard lock shared.
+  std::optional<std::vector<float>> Get(uint64_t user_id) const;
+
+  /// Membership probe without statistics side effects. Thread-safe.
+  bool Contains(uint64_t user_id) const;
+
+  /// Total entries across shards (locks each shard briefly).
+  size_t size() const;
+
+  /// Embedding dimension (0 until the first Put).
+  size_t dim() const { return dim_->load(std::memory_order_acquire); }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Per-shard hit/miss/occupancy snapshot.
+  std::vector<ShardStats> Stats() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<uint64_t, std::vector<float>> table;
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
+  };
+
+  size_t ShardOf(uint64_t user_id) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // unique_ptr keeps the store movable (atomics are not).
+  std::unique_ptr<std::atomic<size_t>> dim_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_SHARDED_STORE_H_

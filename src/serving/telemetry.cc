@@ -1,0 +1,47 @@
+#include "serving/telemetry.h"
+
+#include <cstdio>
+
+namespace fvae::serving {
+
+std::string ServingTelemetry::ToJson(
+    const std::vector<ShardedEmbeddingStore::ShardStats>* shards) const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"elapsed_s\":%.3f,\"qps\":%.1f,"
+      "\"requests\":%llu,\"store_hits\":%llu,\"fold_ins\":%llu,"
+      "\"rejected\":%llu,\"deadline_expired\":%llu,\"not_found\":%llu,"
+      "\"queue_depth\":%zu,\"queue_peak\":%zu,"
+      "\"batches\":%llu,\"mean_batch_size\":%.2f",
+      ElapsedSeconds(), Qps(),
+      static_cast<unsigned long long>(requests.load()),
+      static_cast<unsigned long long>(store_hits.load()),
+      static_cast<unsigned long long>(fold_ins.load()),
+      static_cast<unsigned long long>(rejected.load()),
+      static_cast<unsigned long long>(deadline_expired.load()),
+      static_cast<unsigned long long>(not_found.load()), queue_depth(),
+      queue_peak(), static_cast<unsigned long long>(batches.load()),
+      MeanBatchSize());
+  std::string out = buf;
+  out += ",\"lookup_latency_us\":" + lookup_latency_us_.SummaryJson();
+  out += ",\"foldin_latency_us\":" + foldin_latency_us_.SummaryJson();
+  if (shards != nullptr) {
+    out += ",\"shards\":[";
+    for (size_t i = 0; i < shards->size(); ++i) {
+      const auto& s = (*shards)[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"entries\":%zu,\"hits\":%llu,\"misses\":%llu,"
+                    "\"hit_rate\":%.4f}",
+                    i == 0 ? "" : ",", s.entries,
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses), s.HitRate());
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fvae::serving

@@ -1,0 +1,105 @@
+#ifndef FVAE_SERVING_TELEMETRY_H_
+#define FVAE_SERVING_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "serving/sharded_store.h"
+
+namespace fvae::serving {
+
+/// Counters, gauges and latency histograms of the serving stack. One
+/// instance is shared by the EmbeddingService front-end and its
+/// RequestBatcher; everything is atomics / lock-free histograms, so request
+/// threads update it on the hot path without contention.
+///
+/// Invariant maintained by the service:
+///   requests == store_hits + fold_ins + rejected + deadline_expired
+///             + not_found
+/// (every request terminates in exactly one of those outcomes; the stress
+/// test asserts it).
+class ServingTelemetry {
+ public:
+  ServingTelemetry() = default;
+  ServingTelemetry(const ServingTelemetry&) = delete;
+  ServingTelemetry& operator=(const ServingTelemetry&) = delete;
+
+  // --- request outcome counters ---
+  std::atomic<uint64_t> requests{0};
+  /// Served straight from the sharded store (hot users).
+  std::atomic<uint64_t> store_hits{0};
+  /// Served by running the encoder on the raw field vector (cold users).
+  std::atomic<uint64_t> fold_ins{0};
+  /// Admission control: bounced because the fold-in queue was full.
+  std::atomic<uint64_t> rejected{0};
+  /// Dropped in-queue because the per-request deadline expired.
+  std::atomic<uint64_t> deadline_expired{0};
+  /// No embedding and no feature vector to fold in.
+  std::atomic<uint64_t> not_found{0};
+
+  // --- batcher accounting ---
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_users{0};
+
+  /// Sets the queue-depth gauge and folds it into the peak watermark.
+  void UpdateQueueDepth(size_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+    size_t peak = queue_peak_.load(std::memory_order_relaxed);
+    while (depth > peak && !queue_peak_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+  size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  size_t queue_peak() const {
+    return queue_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// End-to-end latency of store-hit answers, microseconds.
+  LatencyHistogram& lookup_latency_us() { return lookup_latency_us_; }
+  const LatencyHistogram& lookup_latency_us() const {
+    return lookup_latency_us_;
+  }
+  /// End-to-end latency of fold-in answers (enqueue -> embedding ready).
+  LatencyHistogram& foldin_latency_us() { return foldin_latency_us_; }
+  const LatencyHistogram& foldin_latency_us() const {
+    return foldin_latency_us_;
+  }
+
+  /// Seconds since construction / ResetClock — the QPS denominator.
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+  void ResetClock() { clock_.Restart(); }
+
+  double Qps() const {
+    const double s = ElapsedSeconds();
+    return s > 0.0 ? double(requests.load(std::memory_order_relaxed)) / s
+                   : 0.0;
+  }
+
+  double MeanBatchSize() const {
+    const uint64_t b = batches.load(std::memory_order_relaxed);
+    return b == 0 ? 0.0
+                  : double(batched_users.load(std::memory_order_relaxed)) /
+                        double(b);
+  }
+
+  /// Full JSON snapshot; `shards` (optional) adds per-shard hit rates.
+  std::string ToJson(
+      const std::vector<ShardedEmbeddingStore::ShardStats>* shards) const;
+
+ private:
+  LatencyHistogram lookup_latency_us_;
+  LatencyHistogram foldin_latency_us_;
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> queue_peak_{0};
+  Stopwatch clock_;
+};
+
+}  // namespace fvae::serving
+
+#endif  // FVAE_SERVING_TELEMETRY_H_

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -197,6 +201,76 @@ TEST(StopwatchTest, RestartResetsOrigin) {
   }
   watch.Restart();
   EXPECT_LT(watch.ElapsedSeconds(), 0.5);
+}
+
+// ---------- LatencyHistogram ----------
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Mean(), 0.0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountMeanAndMonotonePercentiles) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(double(i));
+  EXPECT_EQ(hist.Count(), 1000u);
+  EXPECT_NEAR(hist.Mean(), 500.5, 1.0);
+  const double p50 = hist.Percentile(50.0);
+  const double p95 = hist.Percentile(95.0);
+  const double p99 = hist.Percentile(99.0);
+  // Geometric buckets with growth 1.3: estimates within ~30% of truth.
+  EXPECT_NEAR(p50, 500.0, 160.0);
+  EXPECT_NEAR(p95, 950.0, 300.0);
+  EXPECT_NEAR(p99, 990.0, 310.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, hist.Percentile(100.0));
+}
+
+TEST(LatencyHistogramTest, HandlesZeroNegativeAndHugeValues) {
+  LatencyHistogram hist;
+  hist.Record(0.0);
+  hist.Record(-5.0);   // clamped to 0
+  hist.Record(0.5);    // below min bucket edge
+  hist.Record(1e12);   // lands in the open tail
+  EXPECT_EQ(hist.Count(), 4u);
+  EXPECT_GE(hist.Percentile(100.0), hist.Percentile(0.0));
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.Record(100.0);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Sum(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SummaryJsonHasAllKeys) {
+  LatencyHistogram hist;
+  hist.Record(10.0);
+  const std::string json = hist.SummaryJson();
+  for (const char* key : {"\"count\":1", "\"mean\"", "\"p50\"", "\"p95\"",
+                          "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(double(1 + (t * kPerThread + i) % 5000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.Count(), uint64_t(kThreads) * kPerThread);
 }
 
 }  // namespace

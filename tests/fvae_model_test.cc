@@ -86,6 +86,38 @@ TEST(FieldVaeTest, LossDecreasesWithTraining) {
   EXPECT_LT(last, first * 0.8) << "training did not reduce the loss";
 }
 
+TEST(FieldVaeTest, EncodeFoldInMatchesDatasetEncode) {
+  const MultiFieldDataset data = GroupedFixture(8);
+  FieldVae model(SmallConfig(), data.fields());
+  std::vector<uint32_t> batch(data.num_users());
+  std::iota(batch.begin(), batch.end(), 0u);
+  model.TrainStep(data, batch, 0.1f);
+
+  // Encoding the same sparse field vectors through the fold-in entry point
+  // must reproduce the dataset path bit for bit (same inference code).
+  const std::vector<uint32_t> users{0, 1};
+  const Matrix via_dataset = model.Encode(data, users);
+  const RawUserFeatures raw_a{{{1, 1.0f}}, {{100, 1.0f}}};   // user 0
+  const RawUserFeatures raw_b{{{2, 1.0f}}, {{200, 1.0f}}};   // user 1
+  const std::vector<const RawUserFeatures*> raw{&raw_a, &raw_b};
+  const Matrix via_foldin = model.EncodeFoldIn(raw);
+  ASSERT_EQ(via_foldin.rows(), 2u);
+  ASSERT_EQ(via_foldin.cols(), model.latent_dim());
+  for (size_t i = 0; i < via_dataset.rows(); ++i) {
+    for (size_t d = 0; d < via_dataset.cols(); ++d) {
+      EXPECT_EQ(via_dataset.at(i, d), via_foldin.at(i, d));
+    }
+  }
+
+  // Unknown feature IDs are skipped, matching cold-start Encode behaviour.
+  const RawUserFeatures unknown{{{777, 1.0f}}, {{888, 1.0f}}};
+  const std::vector<const RawUserFeatures*> cold{&unknown};
+  const Matrix cold_mu = model.EncodeFoldIn(cold);
+  for (size_t d = 0; d < cold_mu.cols(); ++d) {
+    EXPECT_TRUE(std::isfinite(cold_mu.at(0, d)));
+  }
+}
+
 TEST(FieldVaeTest, EncodeIsDeterministicAndMeanBased) {
   const MultiFieldDataset data = GroupedFixture(8);
   FieldVae model(SmallConfig(), data.fields());

@@ -1,12 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <future>
+#include <semaphore>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
 #include "math/matrix.h"
+#include "serving/embedding_service.h"
 #include "serving/embedding_store.h"
+#include "serving/fold_in.h"
 #include "serving/lru_cache.h"
+#include "serving/request_batcher.h"
 #include "serving/serving_proxy.h"
+#include "serving/sharded_store.h"
+#include "serving/telemetry.h"
 
 namespace fvae::serving {
 namespace {
@@ -133,6 +144,66 @@ TEST(LruCacheTest, CapacityOne) {
   EXPECT_EQ(cache.Get(2).value(), 20);
 }
 
+TEST(LruCacheTest, CapacityZeroNeverCaches) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, CapacityOneReinsertUpdatesValueAndSurvives) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 10);
+  cache.Put(1, 11);  // re-insert of the only key must not evict it
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1).value(), 11);
+}
+
+TEST(LruCacheTest, ReinsertRefreshesRecency) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  cache.Put(1, 11);   // 1 becomes most recent; LRU order is now 2,3,1
+  cache.Put(4, 40);   // evicts 2
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.Get(1).value(), 11);
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruCacheTest, EvictionOrderUnderInterleavedGetPut) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);   // recency: 3,2,1
+  cache.Get(1);       // recency: 1,3,2
+  cache.Put(4, 40);   // evicts 2 -> recency: 4,1,3
+  EXPECT_FALSE(cache.Contains(2));
+  cache.Get(3);       // recency: 3,4,1
+  cache.Put(5, 50);   // evicts 1 -> recency: 5,3,4
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Put(6, 60);   // evicts 4
+  EXPECT_FALSE(cache.Contains(4));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_TRUE(cache.Contains(6));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+// Misses on a full cache must not evict (Get has no side effect on misses).
+TEST(LruCacheTest, MissDoesNotDisturbOrder) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_FALSE(cache.Get(99).has_value());
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
 // ---------- ServingProxy ----------
 
 TEST(ServingProxyTest, LookupPathsAndStats) {
@@ -176,6 +247,392 @@ TEST(ServingProxyTest, OfflineToOnlinePipeline) {
   ASSERT_TRUE(proxy.Lookup(100).has_value());
   EXPECT_FLOAT_EQ((*proxy.Lookup(100))[1], 0.2f);
   std::filesystem::remove_all(dir);
+}
+
+// ---------- ShardedEmbeddingStore ----------
+
+TEST(ShardedStoreTest, PutGetAcrossShards) {
+  ShardedEmbeddingStore store(4);
+  for (uint64_t id = 0; id < 100; ++id) {
+    store.Put(id, {float(id), float(id) + 0.5f});
+  }
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.dim(), 2u);
+  EXPECT_EQ(store.num_shards(), 4u);
+  for (uint64_t id = 0; id < 100; ++id) {
+    auto embedding = store.Get(id);
+    ASSERT_TRUE(embedding.has_value());
+    EXPECT_FLOAT_EQ((*embedding)[0], float(id));
+  }
+  EXPECT_FALSE(store.Get(12345).has_value());
+
+  // Counters: 100 hits and 1 miss distributed over the shards.
+  uint64_t hits = 0, misses = 0, entries = 0;
+  for (const auto& s : store.Stats()) {
+    hits += s.hits;
+    misses += s.misses;
+    entries += s.entries;
+  }
+  EXPECT_EQ(hits, 100u);
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(entries, 100u);
+}
+
+TEST(ShardedStoreTest, SequentialIdsSpreadOverShards) {
+  ShardedEmbeddingStore store(8);
+  for (uint64_t id = 0; id < 800; ++id) store.Put(id, {1.0f});
+  // The splitmix64 mix must not leave any shard empty or hold everything.
+  for (const auto& s : store.Stats()) {
+    EXPECT_GT(s.entries, 0u);
+    EXPECT_LT(s.entries, 800u / 2);
+  }
+}
+
+TEST(ShardedStoreTest, FromStoreCopiesEverything) {
+  EmbeddingStore offline;
+  offline.Put(7, {1.0f, 2.0f});
+  offline.Put(1ULL << 40, {3.0f, 4.0f});
+  const ShardedEmbeddingStore online =
+      ShardedEmbeddingStore::FromStore(offline, 4);
+  EXPECT_EQ(online.size(), 2u);
+  EXPECT_EQ(online.dim(), 2u);
+  EXPECT_TRUE(online.Contains(7));
+  ASSERT_TRUE(online.Get(1ULL << 40).has_value());
+  EXPECT_FLOAT_EQ((*online.Get(1ULL << 40))[1], 4.0f);
+}
+
+TEST(ShardedStoreTest, PutOverwrites) {
+  ShardedEmbeddingStore store(2);
+  store.Put(5, {1.0f});
+  store.Put(5, {9.0f});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FLOAT_EQ((*store.Get(5))[0], 9.0f);
+}
+
+// ---------- fold-in fakes for batcher/service tests ----------
+
+/// Deterministic encoder: embedding row = first feature id of field 0,
+/// repeated. Optionally sleeps to simulate GEMM cost or blocks on a gate
+/// for deterministic queue-state tests.
+class FakeEncoder : public FoldInEncoder {
+ public:
+  explicit FakeEncoder(size_t dim, int sleep_ms = 0)
+      : dim_(dim), sleep_ms_(sleep_ms) {}
+
+  Matrix EncodeBatch(
+      std::span<const core::RawUserFeatures* const> users) override {
+    calls.fetch_add(1);
+    users_encoded.fetch_add(users.size());
+    if (gated_) {
+      entered.store(true);
+      gate.acquire();
+    }
+    if (sleep_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    }
+    Matrix out(users.size(), dim_);
+    for (size_t i = 0; i < users.size(); ++i) {
+      const auto& field0 = (*users[i])[0];
+      const float value = field0.empty() ? -1.0f : float(field0[0].id);
+      for (size_t d = 0; d < dim_; ++d) out(i, d) = value;
+    }
+    return out;
+  }
+
+  size_t dim() const override { return dim_; }
+
+  void EnableGate() { gated_ = true; }
+
+  std::atomic<int> calls{0};
+  std::atomic<size_t> users_encoded{0};
+  std::atomic<bool> entered{false};
+  std::counting_semaphore<1024> gate{0};
+
+ private:
+  size_t dim_;
+  int sleep_ms_;
+  bool gated_ = false;
+};
+
+core::RawUserFeatures RawUser(uint64_t feature_id) {
+  return {{{feature_id, 1.0f}}};
+}
+
+// ---------- RequestBatcher ----------
+
+TEST(RequestBatcherTest, CoalescesConcurrentRequests) {
+  FakeEncoder encoder(4, /*sleep_ms=*/10);
+  RequestBatcherOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_micros = 2000;
+  ServingTelemetry telemetry;
+  RequestBatcher batcher(&encoder, options, &telemetry);
+
+  std::vector<std::future<RequestBatcher::EmbeddingResult>> futures;
+  for (uint64_t i = 0; i < 16; ++i) {
+    futures.push_back(batcher.Submit(i, RawUser(100 + i)));
+  }
+  for (uint64_t i = 0; i < 16; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->size(), 4u);
+    EXPECT_FLOAT_EQ((*result)[0], float(100 + i));
+  }
+  EXPECT_EQ(encoder.users_encoded.load(), 16u);
+  // 16 requests submitted while the encoder sleeps 10ms per call must
+  // coalesce well below one call per request (worst case: 1 + ceil(15/8)).
+  EXPECT_LT(encoder.calls.load(), 16);
+  EXPECT_EQ(telemetry.batched_users.load(), 16u);
+  EXPECT_GT(telemetry.MeanBatchSize(), 1.0);
+}
+
+TEST(RequestBatcherTest, AdmissionControlRejectsWhenQueueFull) {
+  FakeEncoder encoder(2);
+  encoder.EnableGate();
+  RequestBatcherOptions options;
+  options.max_batch_size = 1;
+  options.max_wait_micros = 0;
+  options.queue_capacity = 2;
+  ServingTelemetry telemetry;
+  RequestBatcher batcher(&encoder, options, &telemetry);
+
+  // First request is picked up by the worker, which blocks inside the
+  // encoder; the queue is now empty and its state is deterministic.
+  auto warm = batcher.Submit(0, RawUser(0));
+  while (!encoder.entered.load()) std::this_thread::yield();
+
+  std::vector<std::future<RequestBatcher::EmbeddingResult>> futures;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    futures.push_back(batcher.Submit(i, RawUser(i)));
+  }
+  EXPECT_EQ(telemetry.rejected.load(), 2u);  // capacity 2: two bounced
+  EXPECT_EQ(telemetry.queue_peak(), 2u);
+
+  encoder.gate.release(64);  // unblock all remaining batches
+  ASSERT_TRUE(warm.get().ok());
+  size_t ok = 0, unavailable = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(unavailable, 2u);
+}
+
+TEST(RequestBatcherTest, ExpiredDeadlineSkipsEncoding) {
+  FakeEncoder encoder(2);
+  encoder.EnableGate();
+  RequestBatcherOptions options;
+  options.max_batch_size = 1;
+  options.max_wait_micros = 0;
+  ServingTelemetry telemetry;
+  RequestBatcher batcher(&encoder, options, &telemetry);
+
+  auto warm = batcher.Submit(0, RawUser(0));
+  while (!encoder.entered.load()) std::this_thread::yield();
+
+  // Queued behind the blocked worker with a 1ms deadline; by the time the
+  // worker drains it, it is long expired and must not be encoded.
+  auto doomed = batcher.Submit(1, RawUser(1), /*deadline_micros=*/1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  encoder.gate.release(64);
+
+  ASSERT_TRUE(warm.get().ok());
+  auto result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(telemetry.deadline_expired.load(), 1u);
+  EXPECT_EQ(encoder.users_encoded.load(), 1u);  // only the warm request
+}
+
+TEST(RequestBatcherTest, DestructorDrainsQueue) {
+  FakeEncoder encoder(2, /*sleep_ms=*/5);
+  RequestBatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_wait_micros = 50000;  // long window: drain must not wait it out
+  std::vector<std::future<RequestBatcher::EmbeddingResult>> futures;
+  {
+    RequestBatcher batcher(&encoder, options);
+    for (uint64_t i = 0; i < 12; ++i) {
+      futures.push_back(batcher.Submit(i, RawUser(i)));
+    }
+  }  // destructor joins workers after draining
+  for (auto& future : futures) {
+    auto result = future.get();  // never a broken promise
+    ASSERT_TRUE(result.ok() ||
+                result.status().code() == StatusCode::kUnavailable);
+  }
+}
+
+// ---------- EmbeddingService ----------
+
+EmbeddingServiceOptions FastServiceOptions() {
+  EmbeddingServiceOptions options;
+  options.num_shards = 4;
+  options.batcher.max_batch_size = 8;
+  options.batcher.max_wait_micros = 200;
+  options.batcher.queue_capacity = 4096;
+  return options;
+}
+
+TEST(EmbeddingServiceTest, HotLookupHitsStore) {
+  ShardedEmbeddingStore store(4);
+  store.Put(42, {1.0f, 2.0f});
+  FakeEncoder encoder(2);
+  EmbeddingService service(std::move(store), &encoder, FastServiceOptions());
+
+  auto result = service.Lookup(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ((*result)[1], 2.0f);
+  EXPECT_EQ(service.telemetry().store_hits.load(), 1u);
+  EXPECT_EQ(encoder.calls.load(), 0);
+
+  auto missing = service.Lookup(7);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.telemetry().not_found.load(), 1u);
+}
+
+TEST(EmbeddingServiceTest, ColdUserFoldsInAndMaterializes) {
+  FakeEncoder encoder(2);
+  EmbeddingService service(ShardedEmbeddingStore(4), &encoder,
+                           FastServiceOptions());
+
+  auto future = service.LookupOrEncode(900, RawUser(55));
+  auto result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FLOAT_EQ((*result)[0], 55.0f);
+  EXPECT_EQ(service.telemetry().fold_ins.load(), 1u);
+  EXPECT_EQ(service.telemetry().foldin_latency_us().Count(), 1u);
+
+  // Materialized: the next request is a store hit, no second encode.
+  auto again = service.LookupOrEncode(900, RawUser(55));
+  ASSERT_TRUE(again.get().ok());
+  EXPECT_EQ(service.telemetry().store_hits.load(), 1u);
+  EXPECT_EQ(encoder.users_encoded.load(), 1u);
+  EXPECT_TRUE(service.store().Contains(900));
+}
+
+TEST(EmbeddingServiceTest, SynchronousPathWhenBatcherDisabled) {
+  FakeEncoder encoder(3);
+  EmbeddingServiceOptions options = FastServiceOptions();
+  options.enable_batcher = false;
+  EmbeddingService service(ShardedEmbeddingStore(4), &encoder, options);
+
+  auto result = service.LookupOrEncode(1, RawUser(11)).get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  EXPECT_FLOAT_EQ((*result)[0], 11.0f);
+  EXPECT_EQ(service.telemetry().fold_ins.load(), 1u);
+  EXPECT_TRUE(service.store().Contains(1));
+}
+
+TEST(EmbeddingServiceTest, NoEncoderAnswersNotFound) {
+  ShardedEmbeddingStore store(2);
+  store.Put(1, {5.0f});
+  EmbeddingService service(std::move(store), nullptr);
+  ASSERT_TRUE(service.LookupOrEncode(1, RawUser(1)).get().ok());
+  auto cold = service.LookupOrEncode(2, RawUser(2)).get();
+  EXPECT_FALSE(cold.ok());
+  EXPECT_EQ(cold.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EmbeddingServiceTest, TelemetryJsonContainsKeyFields) {
+  FakeEncoder encoder(2);
+  EmbeddingService service(ShardedEmbeddingStore(2), &encoder,
+                           FastServiceOptions());
+  service.LookupOrEncode(1, RawUser(1)).get();
+  const std::string json = service.TelemetryJson();
+  EXPECT_NE(json.find("\"qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"fold_ins\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"foldin_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------- concurrency stress (run under -DFVAE_SANITIZE=thread) ----------
+
+TEST(EmbeddingServiceStressTest, ConcurrentMixedTrafficLosesNothing) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRequestsPerThread = 1500;
+  constexpr size_t kHotUsers = 128;
+
+  ShardedEmbeddingStore store(8);
+  for (uint64_t id = 0; id < kHotUsers; ++id) {
+    store.Put(id, {float(id), 0.0f});
+  }
+  FakeEncoder encoder(2);
+  EmbeddingServiceOptions options = FastServiceOptions();
+  options.num_shards = 8;
+  options.batcher.max_batch_size = 16;
+  options.batcher.max_wait_micros = 100;
+  EmbeddingService service(std::move(store), &encoder, options);
+
+  std::atomic<size_t> ok_responses{0};
+  std::atomic<size_t> error_responses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<EmbeddingService::EmbeddingResult>> inflight;
+      for (size_t i = 0; i < kRequestsPerThread; ++i) {
+        uint64_t user_id;
+        if (i % 3 != 0) {
+          user_id = (t * 31 + i) % kHotUsers;          // hot traffic
+        } else {
+          user_id = 100000 + t * kRequestsPerThread + (i % 700);  // cold-ish
+        }
+        inflight.push_back(
+            service.LookupOrEncode(user_id, RawUser(user_id)));
+        if (inflight.size() >= 32) {
+          for (auto& future : inflight) {
+            future.get().ok() ? ok_responses.fetch_add(1)
+                              : error_responses.fetch_add(1);
+          }
+          inflight.clear();
+        }
+      }
+      for (auto& future : inflight) {
+        future.get().ok() ? ok_responses.fetch_add(1)
+                          : error_responses.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto& telemetry = service.telemetry();
+  const uint64_t total = kThreads * kRequestsPerThread;
+  // No lost responses: every request resolved exactly once.
+  EXPECT_EQ(ok_responses.load() + error_responses.load(), total);
+  EXPECT_EQ(telemetry.requests.load(), total);
+  // Outcome counters partition the request count.
+  EXPECT_EQ(telemetry.store_hits.load() + telemetry.fold_ins.load() +
+                telemetry.rejected.load() +
+                telemetry.deadline_expired.load() +
+                telemetry.not_found.load(),
+            total);
+  // Successful answers are exactly hits + fold-ins.
+  EXPECT_EQ(ok_responses.load(),
+            telemetry.store_hits.load() + telemetry.fold_ins.load());
+  EXPECT_EQ(telemetry.not_found.load(), 0u);
+  EXPECT_GT(telemetry.fold_ins.load(), 0u);
+  EXPECT_GT(telemetry.store_hits.load(), 0u);
+  // Encoder accounting matches telemetry.
+  EXPECT_EQ(encoder.users_encoded.load(), telemetry.fold_ins.load());
+  // Per-shard hits/misses add up to the store traffic (every request does
+  // exactly one store Get before any fold-in).
+  uint64_t shard_hits = 0, shard_misses = 0;
+  for (const auto& s : service.store().Stats()) {
+    shard_hits += s.hits;
+    shard_misses += s.misses;
+  }
+  EXPECT_EQ(shard_hits, telemetry.store_hits.load());
+  EXPECT_EQ(shard_hits + shard_misses, total);
 }
 
 }  // namespace

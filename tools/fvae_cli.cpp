@@ -28,7 +28,11 @@
 #include "datagen/profile_generator.h"
 #include "eval/representation_model.h"
 #include "eval/tasks.h"
+#include "serving/embedding_service.h"
 #include "serving/embedding_store.h"
+#include "serving/fold_in.h"
+#include "serving/load_gen.h"
+#include "serving/sharded_store.h"
 
 namespace {
 
@@ -234,6 +238,68 @@ int CmdExport(const Args& args) {
   return 0;
 }
 
+int CmdServeBench(const Args& args) {
+  auto data = LoadData(args.Get("data", "data.bin"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto model = core::LoadFieldVae(args.Get("model", "model.bin"));
+  if (!model.ok()) return Fail(model.status().ToString());
+
+  const size_t threads = size_t(args.GetInt("threads", 8));
+  const size_t requests = size_t(args.GetInt("requests", 20000));
+  const double hot_frac = args.GetDouble("hot-frac", 0.8);
+
+  serving::EmbeddingServiceOptions options;
+  options.num_shards = size_t(args.GetInt("shards", 16));
+  options.enable_batcher = args.GetInt("batcher", 1) != 0;
+  // Default batch size matches client concurrency so closed-loop batches
+  // fill (and dispatch) without burning the whole wait window.
+  const int64_t batch = args.GetInt("batch", 0);
+  options.batcher.max_batch_size = batch > 0 ? size_t(batch) : threads;
+  options.batcher.max_wait_micros = uint64_t(args.GetInt("wait-us", 100));
+  options.batcher.queue_capacity = size_t(args.GetInt("queue", 8192));
+  options.default_deadline_micros =
+      uint64_t(args.GetInt("deadline-us", 0));
+
+  // Materialize the leading half of the users (the offline dump); the rest
+  // arrive cold and exercise the fold-in path.
+  const size_t num_hot = data->num_users() / 2;
+  if (num_hot == 0 || num_hot == data->num_users()) {
+    return Fail("dataset too small to split into hot/cold users");
+  }
+  std::vector<uint32_t> hot_ids(num_hot);
+  std::iota(hot_ids.begin(), hot_ids.end(), 0u);
+  std::vector<uint32_t> cold_ids(data->num_users() - num_hot);
+  std::iota(cold_ids.begin(), cold_ids.end(), uint32_t(num_hot));
+
+  Stopwatch watch;
+  serving::FvaeFoldInEncoder encoder(model->get());
+  serving::EmbeddingService service(
+      serving::MaterializeEmbeddings(**model, *data, hot_ids,
+                                     options.num_shards),
+      &encoder, options);
+  std::printf("materialized %zu embeddings (dim %zu) across %zu shards "
+              "in %.1fs\n",
+              service.store().size(), service.store().dim(),
+              options.num_shards, watch.ElapsedSeconds());
+
+  serving::LoadGenOptions load;
+  load.num_threads = threads;
+  load.requests_per_thread = std::max<size_t>(requests / threads, 1);
+  load.hot_fraction = hot_frac;
+  load.deadline_micros = options.default_deadline_micros;
+  load.seed = uint64_t(args.GetInt("seed", 42));
+  const serving::LoadGenReport report =
+      serving::RunClosedLoopLoad(service, *data, hot_ids, cold_ids, load);
+
+  std::printf("load: %zu threads x %zu requests, hot fraction %.2f, "
+              "batcher %s\n",
+              threads, load.requests_per_thread, hot_frac,
+              options.enable_batcher ? "on" : "off");
+  std::printf("client: %s\n", report.Json().c_str());
+  std::printf("service: %s\n", service.TelemetryJson().c_str());
+  return 0;
+}
+
 int CmdInspect(const Args& args) {
   if (args.Has("model")) {
     auto model = core::LoadFieldVae(args.Get("model", ""));
@@ -277,7 +343,10 @@ void PrintUsage() {
       "             --beta B --seed S]\n"
       "  evaluate  --data F --model F --task tag|recon [--field K]\n"
       "  export    --data F --model F --out F\n"
-      "  inspect   --model F | --data F\n");
+      "  inspect   --model F | --data F\n"
+      "  serve-bench --data F --model F [--threads N --requests N\n"
+      "             --hot-frac H --batcher 0|1 --batch B --wait-us W\n"
+      "             --queue Q --deadline-us D --shards S --seed S]\n");
 }
 
 }  // namespace
@@ -294,6 +363,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "export") return CmdExport(args);
   if (command == "inspect") return CmdInspect(args);
+  if (command == "serve-bench") return CmdServeBench(args);
   PrintUsage();
   return 1;
 }
