@@ -50,7 +50,9 @@ class LatencyHistogram {
   double Percentile(double p) const;
 
   /// Resets all buckets to zero. NOT thread-safe against concurrent
-  /// Record() — quiesce writers first.
+  /// Record() — quiesce writers first. (Unannotatable: the contract is
+  /// "no concurrent writers", not "hold a lock" — there is no capability
+  /// to require. TSan covers this one; see ARCHITECTURE.md.)
   void Reset();
 
   /// {"count":N,"mean":...,"p50":...,"p95":...,"p99":...} — a JSON object

@@ -4,10 +4,21 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace fvae {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes record emission so concurrent log lines never interleave
+/// mid-record on stderr. Each record formats into its own stringstream
+/// first; only the final write is under the lock.
+Mutex& EmitMutex() {
+  static Mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,7 +57,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string record = stream_.str();
+  MutexLock lock(EmitMutex());
+  std::cerr << record;
 }
 
 }  // namespace internal_log

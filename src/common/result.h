@@ -14,8 +14,12 @@ namespace fvae {
 /// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
 /// the value of a non-OK Result aborts via FVAE_CHECK — callers must test
 /// ok() (or use FVAE_ASSIGN_OR_RETURN) first.
+///
+/// [[nodiscard]] for the same reason as Status: an ignored Result is an
+/// ignored failure (and a discarded value). Use `(void)` plus a
+/// justification comment for the rare intentional drop.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, mirrors StatusOr).
   Result(T value) : value_(std::move(value)) {}

@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 /// through a Status (or a Result<T>, see result.h).
 ///
 /// An OK status carries no message and no allocation.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides failures, so the
+/// compiler flags every ignored call. Intentional discards must be written
+/// `(void)expr;` with an inline comment justifying why failure is
+/// ignorable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,93 @@
+#ifndef FVAE_COMMON_THREAD_ANNOTATIONS_H_
+#define FVAE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotation macros.
+///
+/// These attach locking contracts to types, members and functions so that
+/// Clang's `-Wthread-safety` analysis can prove, at compile time, that every
+/// access to a guarded member happens with the right capability held. Under
+/// any other compiler (or with the analysis off) they expand to nothing, so
+/// annotated code stays portable.
+///
+/// Conventions used throughout this repository:
+///  - shared mutable state is declared `FVAE_GUARDED_BY(mutex_)`;
+///  - private helpers that expect the caller to hold a lock are declared
+///    `FVAE_REQUIRES(mutex_)` instead of re-locking;
+///  - the only lock types are `fvae::Mutex` / `fvae::SharedMutex`
+///    (common/mutex.h), which carry `FVAE_CAPABILITY` — raw std::mutex
+///    declarations outside that header are a lint error (tools/fvae_lint).
+///
+/// Build with `-DFVAE_THREAD_SAFETY=ON` under Clang to turn violations into
+/// build breaks (`-Werror=thread-safety`); see ARCHITECTURE.md.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FVAE_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define FVAE_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Declares a class to be a capability (a lock type). The string names the
+/// capability kind in diagnostics, e.g. FVAE_CAPABILITY("mutex").
+#define FVAE_CAPABILITY(x) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define FVAE_SCOPED_CAPABILITY \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding `x`.
+#define FVAE_GUARDED_BY(x) FVAE_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member may only be
+/// dereferenced while holding `x` (the pointer itself is unguarded).
+#define FVAE_PT_GUARDED_BY(x) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Declares that the annotated function must be called with the given
+/// capabilities held exclusively (and does not release them).
+#define FVAE_REQUIRES(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// As FVAE_REQUIRES, but shared (reader) access suffices.
+#define FVAE_REQUIRES_SHARED(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function acquires the given capabilities
+/// exclusively and holds them on return.
+#define FVAE_ACQUIRE(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// As FVAE_ACQUIRE, but acquires shared (reader) capabilities.
+#define FVAE_ACQUIRE_SHARED(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function releases the given capabilities
+/// (exclusive form).
+#define FVAE_RELEASE(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// As FVAE_RELEASE, but for shared (reader) capabilities.
+#define FVAE_RELEASE_SHARED(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function may not be called while holding the
+/// given capabilities (deadlock prevention for self-locking methods).
+#define FVAE_EXCLUDES(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Declares a function that tries to acquire a capability and reports
+/// success via its return value: FVAE_TRY_ACQUIRE(true, mu).
+#define FVAE_TRY_ACQUIRE(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability
+/// (used by accessor methods that expose a lock).
+#define FVAE_RETURN_CAPABILITY(x) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Use sparingly, with a
+/// comment explaining why the contract cannot be expressed.
+#define FVAE_NO_THREAD_SAFETY_ANALYSIS \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // FVAE_COMMON_THREAD_ANNOTATIONS_H_

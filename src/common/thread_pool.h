@@ -1,13 +1,14 @@
 #ifndef FVAE_COMMON_THREAD_POOL_H_
 #define FVAE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fvae {
 
@@ -28,23 +29,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) FVAE_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() FVAE_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FVAE_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::queue<std::function<void()>> queue_ FVAE_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  size_t in_flight_ FVAE_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ FVAE_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [begin, end) across `pool`, blocking until complete.

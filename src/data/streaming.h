@@ -25,7 +25,9 @@ namespace fvae {
 class StreamingDatasetWriter {
  public:
   StreamingDatasetWriter() = default;
-  ~StreamingDatasetWriter() { Close(); }
+  // Destructors can't propagate errors; callers wanting the close status
+  // call Close() explicitly first (it is idempotent).
+  ~StreamingDatasetWriter() { (void)Close(); }
 
   StreamingDatasetWriter(const StreamingDatasetWriter&) = delete;
   StreamingDatasetWriter& operator=(const StreamingDatasetWriter&) = delete;

@@ -143,11 +143,17 @@ DistributedResult ParallelFvaeTrainer::Train(
       (config_.epochs * batches_per_epoch + config_.sync_every_batches - 1) /
       config_.sync_every_batches;
 
-  std::vector<size_t> processed(workers, 0);
+  {
+    MutexLock lock(progress_mutex_);
+    users_processed_ = 0;
+  }
   for (size_t round = 0; round < total_rounds; ++round) {
-    // One worker's share of the round (steps between barriers).
+    // One worker's share of the round (steps between barriers). Progress
+    // accumulates locally and folds into the guarded counter once per
+    // round, so the lock is off the training hot path.
     auto run_worker = [&](size_t r) {
       std::vector<uint32_t> local, global;
+      size_t worker_processed = 0;
       for (size_t step = 0; step < config_.sync_every_batches; ++step) {
         if (!iterators[r].Next(&local)) {
           iterators[r].NewEpoch();
@@ -163,8 +169,10 @@ DistributedResult ParallelFvaeTrainer::Train(
                          float(std::max<size_t>(
                              1, model_config_.anneal_steps)));
         replicas_[r]->TrainStep(dataset, global, beta);
-        processed[r] += global.size();
+        worker_processed += global.size();
       }
+      MutexLock lock(progress_mutex_);
+      users_processed_ += worker_processed;
     };
 
     if (config_.simulate_cluster) {
@@ -196,8 +204,9 @@ DistributedResult ParallelFvaeTrainer::Train(
   if (!config_.simulate_cluster) {
     result.simulated_seconds = result.seconds;
   }
-  for (size_t r = 0; r < workers; ++r) {
-    result.users_processed += processed[r];
+  {
+    MutexLock lock(progress_mutex_);
+    result.users_processed = users_processed_;
   }
   return result;
 }

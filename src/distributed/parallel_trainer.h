@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/fvae_config.h"
 #include "core/fvae_model.h"
 #include "data/dataset.h"
@@ -77,6 +79,10 @@ class ParallelFvaeTrainer {
   core::FvaeConfig model_config_;
   DistributedConfig config_;
   std::vector<std::unique_ptr<core::FieldVae>> replicas_;
+  /// Progress aggregated across worker threads: with simulate_cluster off,
+  /// every worker folds its per-round user count in concurrently.
+  Mutex progress_mutex_;
+  size_t users_processed_ FVAE_GUARDED_BY(progress_mutex_) = 0;
 };
 
 }  // namespace fvae::distributed

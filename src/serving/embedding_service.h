@@ -42,7 +42,13 @@ struct EmbeddingServiceOptions {
 ///      kDeadlineExceeded. Callers degrade gracefully: a kUnavailable
 ///      answer means "retry later or serve the cache-only fallback".
 ///
-/// All public methods are safe for concurrent callers.
+/// All public methods are safe for concurrent callers. The service holds
+/// no locks of its own: every member is either set in the constructor and
+/// immutable afterwards (`encoder_`, `options_`, `batcher_`) or owns its
+/// synchronization (`store_` is per-shard reader/writer-locked and
+/// capability-annotated, `telemetry_` is lock-free atomics). Adding mutable
+/// service-level state requires a `common::Mutex` with `FVAE_GUARDED_BY`
+/// (docs/ARCHITECTURE.md §7).
 class EmbeddingService {
  public:
   using EmbeddingResult = Result<std::vector<float>>;

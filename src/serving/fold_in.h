@@ -1,9 +1,10 @@
 #ifndef FVAE_SERVING_FOLD_IN_H_
 #define FVAE_SERVING_FOLD_IN_H_
 
-#include <mutex>
 #include <span>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/fvae_model.h"
 #include "math/matrix.h"
 
@@ -39,16 +40,20 @@ class FvaeFoldInEncoder : public FoldInEncoder {
   explicit FvaeFoldInEncoder(const core::FieldVae* model) : model_(model) {}
 
   Matrix EncodeBatch(
-      std::span<const core::RawUserFeatures* const> users) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+      std::span<const core::RawUserFeatures* const> users) override
+      FVAE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return model_->EncodeFoldIn(users);
   }
 
   size_t dim() const override { return model_->latent_dim(); }
 
  private:
+  // Not FVAE_PT_GUARDED_BY(mutex_): the mutex serializes EncodeFoldIn's
+  // scratch-buffer reuse only; genuinely-const reads (latent_dim) are safe
+  // without it.
   const core::FieldVae* model_;
-  std::mutex mutex_;
+  Mutex mutex_;
 };
 
 }  // namespace fvae::serving

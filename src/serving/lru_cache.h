@@ -15,7 +15,9 @@ namespace fvae::serving {
 ///
 /// Single-threaded by design (callers guard it with their own lock — see
 /// ServingProxy); Get refreshes recency, Put evicts the least recently
-/// used entry when full.
+/// used entry when full. Concurrent owners must declare their instance
+/// `LruCache<...> cache_ FVAE_GUARDED_BY(mutex_)` so the thread-safety
+/// analysis enforces that every access holds the owner's lock.
 ///
 /// Capacity 0 is a valid degenerate cache: Put is a no-op and Get always
 /// misses (useful for disabling caching via configuration).

@@ -26,10 +26,10 @@ RequestBatcher::RequestBatcher(FoldInEncoder* encoder,
 
 RequestBatcher::~RequestBatcher() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -47,7 +47,7 @@ std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
   std::future<EmbeddingResult> future = request.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutting_down_ || queue_.size() >= options_.queue_capacity) {
       if (telemetry_ != nullptr) {
         telemetry_->rejected.fetch_add(1, std::memory_order_relaxed);
@@ -59,23 +59,37 @@ std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
     queue_.push_back(std::move(request));
     if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return future;
 }
 
 size_t RequestBatcher::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
+std::vector<RequestBatcher::Request> RequestBatcher::TakeBatch() {
+  std::vector<Request> batch;
+  const size_t take = std::min(queue_.size(), options_.max_batch_size);
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
+  return batch;
+}
+
 void RequestBatcher::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   for (;;) {
-    work_available_.wait(
-        lock, [this] { return shutting_down_ || !queue_.empty(); });
+    while (!shutting_down_ && queue_.empty()) {
+      work_available_.Wait(mutex_);
+    }
     if (queue_.empty()) {
-      if (shutting_down_) return;
-      continue;
+      // shutting down and drained
+      mutex_.Unlock();
+      return;
     }
     // Batch window: dispatch when full, or max_wait_micros after the
     // window's first request — whichever comes first. During shutdown the
@@ -85,21 +99,13 @@ void RequestBatcher::WorkerLoop() {
         std::chrono::microseconds(options_.max_wait_micros);
     while (!shutting_down_ && queue_.size() < options_.max_batch_size &&
            Clock::now() < window_end) {
-      work_available_.wait_until(lock, window_end);
+      work_available_.WaitUntil(mutex_, window_end);
     }
 
-    std::vector<Request> batch;
-    const size_t take = std::min(queue_.size(), options_.max_batch_size);
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
-
-    lock.unlock();
+    std::vector<Request> batch = TakeBatch();
+    mutex_.Unlock();
     ProcessBatch(std::move(batch));
-    lock.lock();
+    mutex_.Lock();
   }
 }
 

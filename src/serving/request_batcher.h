@@ -2,18 +2,18 @@
 #define FVAE_SERVING_REQUEST_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/fvae_model.h"
 #include "serving/fold_in.h"
 #include "serving/telemetry.h"
@@ -95,18 +95,21 @@ class RequestBatcher {
     std::promise<EmbeddingResult> promise;
   };
 
-  void WorkerLoop();
-  void ProcessBatch(std::vector<Request> batch);
+  void WorkerLoop() FVAE_EXCLUDES(mutex_);
+  /// Takes up to max_batch_size requests off the queue front. Caller holds
+  /// the queue lock; returns an empty batch when the queue is empty.
+  std::vector<Request> TakeBatch() FVAE_REQUIRES(mutex_);
+  void ProcessBatch(std::vector<Request> batch) FVAE_EXCLUDES(mutex_);
 
   FoldInEncoder* encoder_;
   RequestBatcherOptions options_;
   ServingTelemetry* telemetry_;
   EncodedSink on_encoded_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<Request> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  std::deque<Request> queue_ FVAE_GUARDED_BY(mutex_);
+  bool shutting_down_ FVAE_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

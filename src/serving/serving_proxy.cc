@@ -3,7 +3,7 @@
 namespace fvae::serving {
 
 std::optional<std::vector<float>> ServingProxy::Lookup(uint64_t user_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.requests;
   if (auto cached = cache_.Get(user_id); cached.has_value()) {
     ++stats_.cache_hits;

@@ -2,10 +2,11 @@
 #define FVAE_SERVING_SERVING_PROXY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serving/embedding_store.h"
 #include "serving/lru_cache.h"
 
@@ -39,19 +40,20 @@ class ServingProxy {
 
   /// Looks up a user's embedding: cache first, then store (populating the
   /// cache on a store hit). nullopt for unknown users.
-  std::optional<std::vector<float>> Lookup(uint64_t user_id);
+  std::optional<std::vector<float>> Lookup(uint64_t user_id)
+      FVAE_EXCLUDES(mutex_);
 
   /// Consistent snapshot of the counters.
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats() const FVAE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   const EmbeddingStore* store_;
-  mutable std::mutex mutex_;
-  LruCache<uint64_t, std::vector<float>> cache_;  // guarded by mutex_
-  Stats stats_;                                   // guarded by mutex_
+  mutable Mutex mutex_;
+  LruCache<uint64_t, std::vector<float>> cache_ FVAE_GUARDED_BY(mutex_);
+  Stats stats_ FVAE_GUARDED_BY(mutex_);
 };
 
 }  // namespace fvae::serving

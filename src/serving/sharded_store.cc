@@ -1,9 +1,9 @@
 #include "serving/sharded_store.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace fvae::serving {
 
@@ -52,14 +52,14 @@ void ShardedEmbeddingStore::Put(uint64_t user_id,
         << embedding.size();
   }
   Shard& shard = *shards_[ShardOf(user_id)];
-  std::unique_lock lock(shard.mutex);
+  WriterMutexLock lock(shard.mutex);
   shard.table[user_id] = std::move(embedding);
 }
 
 std::optional<std::vector<float>> ShardedEmbeddingStore::Get(
     uint64_t user_id) const {
   const Shard& shard = *shards_[ShardOf(user_id)];
-  std::shared_lock lock(shard.mutex);
+  ReaderMutexLock lock(shard.mutex);
   auto it = shard.table.find(user_id);
   if (it == shard.table.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
@@ -71,14 +71,14 @@ std::optional<std::vector<float>> ShardedEmbeddingStore::Get(
 
 bool ShardedEmbeddingStore::Contains(uint64_t user_id) const {
   const Shard& shard = *shards_[ShardOf(user_id)];
-  std::shared_lock lock(shard.mutex);
+  ReaderMutexLock lock(shard.mutex);
   return shard.table.count(user_id) > 0;
 }
 
 size_t ShardedEmbeddingStore::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
+    ReaderMutexLock lock(shard->mutex);
     total += shard->table.size();
   }
   return total;
@@ -93,7 +93,7 @@ std::vector<ShardedEmbeddingStore::ShardStats> ShardedEmbeddingStore::Stats()
     stats.hits = shard->hits.load(std::memory_order_relaxed);
     stats.misses = shard->misses.load(std::memory_order_relaxed);
     {
-      std::shared_lock lock(shard->mutex);
+      ReaderMutexLock lock(shard->mutex);
       stats.entries = shard->table.size();
     }
     out.push_back(stats);

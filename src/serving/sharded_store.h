@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serving/embedding_store.h"
 
 namespace fvae::serving {
@@ -70,8 +71,9 @@ class ShardedEmbeddingStore {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<uint64_t, std::vector<float>> table;
+    mutable SharedMutex mutex;
+    std::unordered_map<uint64_t, std::vector<float>> table
+        FVAE_GUARDED_BY(mutex);
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};
   };

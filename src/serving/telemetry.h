@@ -15,7 +15,12 @@ namespace fvae::serving {
 /// Counters, gauges and latency histograms of the serving stack. One
 /// instance is shared by the EmbeddingService front-end and its
 /// RequestBatcher; everything is atomics / lock-free histograms, so request
-/// threads update it on the hot path without contention.
+/// threads update it on the hot path without contention. Accordingly the
+/// class carries no capability annotations: there is no lock to hold, and
+/// all members are individually thread-safe (the cross-counter invariant
+/// below is eventually consistent, not a snapshot). The one exception is
+/// ResetClock(), which restarts the non-atomic Stopwatch and must only be
+/// called while no other thread reads Qps()/ElapsedSeconds().
 ///
 /// Invariant maintained by the service:
 ///   requests == store_hits + fold_ins + rejected + deadline_expired

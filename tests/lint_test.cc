@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace fvae::lint {
+namespace {
+
+/// Runs LintFile over a snippet with the status-function set collected
+/// from the snippet itself (mirrors the tree walk's two phases).
+std::vector<Finding> Lint(const std::string& content,
+                          LintOptions options = {}) {
+  std::set<std::string> status_functions;
+  CollectStatusFunctions(content, &status_functions);
+  options.status_functions = &status_functions;
+  return LintFile("snippet.cc", content, options);
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------- discarded-status ----------
+
+TEST(LintDiscardedStatusTest, BareStatusCallFires) {
+  const auto findings = Lint(
+      "Status Save(const std::string& path);\n"
+      "void f() {\n"
+      "  Save(\"model.bin\");\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(findings, "discarded-status"));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintDiscardedStatusTest, MemberCallAndResultFire) {
+  const auto findings = Lint(
+      "Result<std::vector<float>> Load(const std::string& path);\n"
+      "Status Close();\n"
+      "void f(Writer& w) {\n"
+      "  w.Close();\n"
+      "  Load(\"embeddings.bin\");\n"
+      "}\n");
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(HasRule(findings, "discarded-status"));
+}
+
+TEST(LintDiscardedStatusTest, CheckedCallsStaySilent) {
+  const auto findings = Lint(
+      "Status Save(const std::string& path);\n"
+      "Status g() {\n"
+      "  Status s = Save(\"a\");\n"
+      "  if (!Save(\"b\").ok()) return s;\n"
+      "  return Save(\"c\");\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "discarded-status"));
+}
+
+TEST(LintDiscardedStatusTest, WrappedContinuationLineStaysSilent) {
+  // The tail of a multi-line FVAE_CHECK-style wrapper is not a statement.
+  const auto findings = Lint(
+      "Status Save(const std::string& path);\n"
+      "void f() {\n"
+      "  ASSERT_OK(\n"
+      "      Save(\"model.bin\"));\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "discarded-status"));
+}
+
+// ---------- void-needs-reason ----------
+
+TEST(LintVoidDiscardTest, JustifiedDiscardStaysSilent) {
+  const auto findings = Lint(
+      "Status Close();\n"
+      "void f() {\n"
+      "  // Destructor path: nothing can consume the status here.\n"
+      "  (void)Close();\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintVoidDiscardTest, UnjustifiedDiscardFires) {
+  const auto findings = Lint(
+      "Status Close();\n"
+      "void f() {\n"
+      "  (void)Close();\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(findings, "void-needs-reason"));
+}
+
+TEST(LintVoidDiscardTest, UnusedParameterSilencingIsExempt) {
+  const auto findings = Lint(
+      "void f(int unused) {\n"
+      "  (void)unused;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- raw-mutex ----------
+
+TEST(LintRawMutexTest, RawPrimitivesFire) {
+  for (const char* decl :
+       {"std::mutex mu_;", "std::shared_mutex mu_;",
+        "std::condition_variable cv_;",
+        "std::lock_guard<std::mutex> lock(mu_);"}) {
+    const auto findings = Lint(std::string("  ") + decl + "\n");
+    EXPECT_TRUE(HasRule(findings, "raw-mutex")) << decl;
+  }
+}
+
+TEST(LintRawMutexTest, WrapperTypesStaySilent) {
+  const auto findings = Lint(
+      "  Mutex mutex_;\n"
+      "  SharedMutex shard_mutex_;\n"
+      "  MutexLock lock(mutex_);\n"
+      "  ReaderMutexLock shared(shard_mutex_);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRawMutexTest, MutexHeaderItselfIsAllowed) {
+  LintOptions options;
+  options.allow_raw_mutex = true;
+  const auto findings = Lint("std::mutex mu_;\n", options);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRawMutexTest, SuppressionCommentWorks) {
+  const auto findings =
+      Lint("std::mutex mu_;  // fvae-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- banned-random ----------
+
+TEST(LintBannedRandomTest, NondeterminismFires) {
+  for (const char* expr :
+       {"int x = rand();", "srand(42);", "std::random_device rd;"}) {
+    const auto findings = Lint(std::string("  ") + expr + "\n");
+    EXPECT_TRUE(HasRule(findings, "banned-random")) << expr;
+  }
+}
+
+TEST(LintBannedRandomTest, SeededRngAndLookalikeNamesStaySilent) {
+  const auto findings = Lint(
+      "  Rng rng(42);\n"
+      "  double r = rng.Uniform();\n"
+      "  int operand = 3;\n"       // "rand" inside an identifier
+      "  GrandTotal(operand);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintBannedRandomTest, RandomModuleIsAllowed) {
+  LintOptions options;
+  options.allow_nondeterminism = true;
+  const auto findings = Lint("std::random_device rd;\n", options);
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- header hygiene ----------
+
+TEST(LintHeaderGuardTest, ExpectedGuardFollowsPath) {
+  EXPECT_EQ(ExpectedGuard("src/serving/lru_cache.h"),
+            "FVAE_SERVING_LRU_CACHE_H_");
+  EXPECT_EQ(ExpectedGuard("bench/model_zoo.h"), "FVAE_BENCH_MODEL_ZOO_H_");
+  EXPECT_EQ(ExpectedGuard("tools/lint_rules.h"), "FVAE_TOOLS_LINT_RULES_H_");
+  EXPECT_EQ(ExpectedGuard("src/core/trainer.cc"), "");
+}
+
+TEST(LintHeaderGuardTest, MatchingGuardStaysSilent) {
+  LintOptions options;
+  options.expected_guard = "FVAE_COMMON_FOO_H_";
+  const auto findings = Lint(
+      "#ifndef FVAE_COMMON_FOO_H_\n"
+      "#define FVAE_COMMON_FOO_H_\n"
+      "#endif  // FVAE_COMMON_FOO_H_\n",
+      options);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintHeaderGuardTest, WrongGuardFires) {
+  LintOptions options;
+  options.expected_guard = "FVAE_COMMON_FOO_H_";
+  const auto findings = Lint(
+      "#ifndef COMMON_FOO_H\n"
+      "#define COMMON_FOO_H\n"
+      "#endif\n",
+      options);
+  EXPECT_TRUE(HasRule(findings, "header-guard"));
+}
+
+TEST(LintHeaderGuardTest, MissingGuardAndPragmaOnceFire) {
+  LintOptions options;
+  options.expected_guard = "FVAE_COMMON_FOO_H_";
+  EXPECT_TRUE(HasRule(Lint("int x;\n", options), "header-guard"));
+  EXPECT_TRUE(HasRule(Lint("#pragma once\n"
+                           "#ifndef FVAE_COMMON_FOO_H_\n"
+                           "#define FVAE_COMMON_FOO_H_\n"
+                           "#endif\n",
+                           options),
+                      "header-guard"));
+}
+
+TEST(LintUsingNamespaceTest, FiresInHeadersOnly) {
+  LintOptions header;
+  header.expected_guard = "FVAE_COMMON_FOO_H_";
+  const std::string body =
+      "#ifndef FVAE_COMMON_FOO_H_\n"
+      "#define FVAE_COMMON_FOO_H_\n"
+      "using namespace std;\n"
+      "#endif  // FVAE_COMMON_FOO_H_\n";
+  EXPECT_TRUE(HasRule(Lint(body, header), "using-namespace"));
+  EXPECT_FALSE(HasRule(Lint("using namespace std;\n"), "using-namespace"));
+}
+
+// ---------- lexer ----------
+
+TEST(LintLexerTest, CommentsAndStringsNeverFire) {
+  const auto findings = Lint(
+      "// std::mutex in a comment\n"
+      "/* rand() in a block\n"
+      "   comment spanning lines: std::random_device */\n"
+      "const char* s = \"std::mutex rand()\";\n"
+      "const char* r = R\"(srand(1) std::shared_mutex)\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- the tree itself ----------
+
+TEST(LintTreeTest, RepositoryIsClean) {
+  const std::vector<Finding> findings = LintTree(FVAE_SOURCE_DIR);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.file << ":" << finding.line << " ["
+                  << finding.rule << "] " << finding.message;
+  }
+}
+
+}  // namespace
+}  // namespace fvae::lint

@@ -546,7 +546,8 @@ TEST(EmbeddingServiceTest, TelemetryJsonContainsKeyFields) {
   FakeEncoder encoder(2);
   EmbeddingService service(ShardedEmbeddingStore(2), &encoder,
                            FastServiceOptions());
-  service.LookupOrEncode(1, RawUser(1)).get();
+  // Only the telemetry side effect matters here, not the embedding.
+  (void)service.LookupOrEncode(1, RawUser(1)).get();
   const std::string json = service.TelemetryJson();
   EXPECT_NE(json.find("\"qps\""), std::string::npos);
   EXPECT_NE(json.find("\"fold_ins\":1"), std::string::npos);

@@ -1,0 +1,36 @@
+// fvae_lint — project-invariant linter, run as a ctest gate on every build.
+//
+//   usage: fvae_lint [repo_root]          (default: current directory)
+//
+// Walks src/, tools/, bench/, tests/ and examples/, applies the rules in
+// tools/lint_rules.h, prints every finding as "path:line: [rule] message"
+// and exits non-zero if the tree is not clean. See ARCHITECTURE.md
+// ("Static analysis & sanitizers") for the rule list and rationale.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tools/lint_rules.h"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : ".";
+  if (!std::filesystem::exists(root / "src")) {
+    std::fprintf(stderr, "fvae_lint: %s does not look like the repo root "
+                         "(no src/ directory)\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const std::vector<fvae::lint::Finding> findings =
+      fvae::lint::LintTree(root);
+  for (const fvae::lint::Finding& finding : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", finding.file.c_str(),
+                 finding.line, finding.rule.c_str(),
+                 finding.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "fvae_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("fvae_lint: clean\n");
+  return 0;
+}

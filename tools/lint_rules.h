@@ -1,0 +1,432 @@
+#ifndef FVAE_TOOLS_LINT_RULES_H_
+#define FVAE_TOOLS_LINT_RULES_H_
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// fvae_lint rule engine — a dependency-free, single-pass source scanner
+/// enforcing project invariants that neither the compiler nor TSan can see
+/// (see ARCHITECTURE.md "Static analysis & sanitizers" for the rationale
+/// behind each rule):
+///
+///   discarded-status   an expression statement calls a function returning
+///                      Status / Result<T> and drops the value. Belt and
+///                      braces over [[nodiscard]] — it also covers code the
+///                      compiler never instantiates.
+///   void-needs-reason  a `(void)` cast of a call has no inline
+///                      justification comment (same line or line above).
+///   raw-mutex          a std::mutex / std::shared_mutex / lock/condvar
+///                      primitive is named outside common/mutex.h, where
+///                      the capability-annotated wrappers live.
+///   banned-random      rand(), srand(), std::random_device etc. outside
+///                      src/common/random — all stochastic code must draw
+///                      from an explicitly seeded fvae::Rng.
+///   header-guard       a header's include guard does not match the
+///                      FVAE_<PATH>_H_ convention (or #pragma once).
+///   using-namespace    file-scope `using namespace` in a header.
+///
+/// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed.
+///
+/// The scanner is deliberately lexical (comments and string literals are
+/// stripped first; one statement per line is assumed). That keeps it fast
+/// and dependency-free at the cost of multi-line statements escaping the
+/// discarded-status rule — which is fine, because [[nodiscard]] already
+/// catches those at compile time.
+
+namespace fvae::lint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct LintOptions {
+  /// Expected include guard (empty: skip header-only checks).
+  std::string expected_guard;
+  /// True for common/mutex.h, which wraps the std primitives.
+  bool allow_raw_mutex = false;
+  /// True for src/common/random.*, the one sanctioned entropy boundary.
+  bool allow_nondeterminism = false;
+  /// Known Status/Result-returning function names (last path component).
+  const std::set<std::string>* status_functions = nullptr;
+};
+
+namespace detail {
+
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replaces comments and string/char literals with spaces, preserving line
+/// structure, so token scans never fire inside them. Handles //, /**/,
+/// "..." (with escapes), '...', and R"delim(...)delim".
+inline std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out(src.size(), ' ');
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      out[i++] = '\n';
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') out[i] = '\n';
+        ++i;
+      }
+      i = std::min(n, i + 2);
+    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+               (i == 0 || !IsIdentChar(src[i - 1]))) {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, j);
+      end = end == std::string::npos ? n : end + closer.size();
+      for (size_t k = i; k < end; ++k) {
+        if (src[k] == '\n') out[k] = '\n';
+      }
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (src[i] == '\n') out[i] = '\n';  // unterminated; stay line-true
+        ++i;
+      }
+      ++i;
+    } else {
+      out[i] = c;
+      ++i;
+    }
+  }
+  out.resize(n);
+  return out;
+}
+
+inline std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+inline std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// True if `code` contains `token` as a whole identifier (not a substring
+/// of a longer identifier). `token` may contain "::".
+inline bool HasToken(const std::string& code, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || (!IsIdentChar(code[pos - 1]) &&
+                                      code[pos - 1] != ':');
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// True if the line suppresses `rule` via "fvae-lint: allow(rule)".
+inline bool Suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("fvae-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+/// Parses a qualified identifier (a::b.c->d) starting at `pos`; returns the
+/// last component and advances `pos` past it, or returns "" if none.
+inline std::string ParseQualifiedCallee(const std::string& s, size_t* pos) {
+  size_t i = *pos;
+  std::string last;
+  for (;;) {
+    const size_t start = i;
+    while (i < s.size() && IsIdentChar(s[i])) ++i;
+    if (i == start) return "";
+    last = s.substr(start, i - start);
+    if (i + 1 < s.size() && s.compare(i, 2, "::") == 0) {
+      i += 2;
+    } else if (i < s.size() && s[i] == '.') {
+      i += 1;
+    } else if (i + 1 < s.size() && s.compare(i, 2, "->") == 0) {
+      i += 2;
+    } else {
+      break;
+    }
+  }
+  *pos = i;
+  return last;
+}
+
+}  // namespace detail
+
+/// Scans stripped source for `Status Name(` / `Result<...> Name(`
+/// declarations and collects the function names. Shared by the tree walk
+/// (phase 1) so discarded-status knows the project's fallible functions.
+inline void CollectStatusFunctions(const std::string& content,
+                                   std::set<std::string>* out) {
+  const std::string code = detail::StripCommentsAndStrings(content);
+  size_t pos = 0;
+  while (pos < code.size()) {
+    size_t hit = std::string::npos;
+    size_t after_type = 0;
+    for (const char* type : {"Status", "Result"}) {
+      size_t p = pos;
+      const size_t len = std::string(type).size();
+      while ((p = code.find(type, p)) != std::string::npos) {
+        const bool left_ok = p == 0 || (!detail::IsIdentChar(code[p - 1]) &&
+                                        code[p - 1] != ':' &&
+                                        code[p - 1] != '<');
+        const bool right_ok = p + len >= code.size() ||
+                              !detail::IsIdentChar(code[p + len]);
+        if (left_ok && right_ok) break;
+        p += len;
+      }
+      if (p == std::string::npos) continue;
+      size_t end = p + len;
+      if (code.compare(p, 6, "Result") == 0) {
+        // Must be Result<...>; match angle brackets with depth counting.
+        if (end >= code.size() || code[end] != '<') continue;
+        int depth = 0;
+        while (end < code.size()) {
+          if (code[end] == '<') ++depth;
+          if (code[end] == '>' && --depth == 0) {
+            ++end;
+            break;
+          }
+          ++end;
+        }
+      }
+      if (hit == std::string::npos || p < hit) {
+        hit = p;
+        after_type = end;
+      }
+    }
+    if (hit == std::string::npos) return;
+    pos = after_type;
+    // Reject "Status&", "Status(" (ctor call / return), "Status;" etc.:
+    // a declaration is type, whitespace, identifier, '('.
+    size_t i = pos;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+    }
+    if (i == pos) continue;  // no whitespace after type: not a declaration
+    std::string name = detail::ParseQualifiedCallee(code, &i);
+    if (name.empty()) continue;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+    }
+    if (i < code.size() && code[i] == '(') out->insert(name);
+  }
+}
+
+/// Derives the expected include guard from a repo-relative path:
+/// src/serving/lru_cache.h -> FVAE_SERVING_LRU_CACHE_H_,
+/// bench/model_zoo.h -> FVAE_BENCH_MODEL_ZOO_H_. Empty for non-headers.
+inline std::string ExpectedGuard(std::string rel_path) {
+  if (rel_path.size() < 2 || rel_path.substr(rel_path.size() - 2) != ".h") {
+    return "";
+  }
+  if (rel_path.rfind("src/", 0) == 0) rel_path = rel_path.substr(4);
+  std::string guard = "FVAE_";
+  for (char c : rel_path.substr(0, rel_path.size() - 2)) {
+    guard += detail::IsIdentChar(c)
+                 ? char(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  return guard + "_H_";
+}
+
+/// Lints one file's content. `path_label` is used verbatim in findings.
+inline std::vector<Finding> LintFile(const std::string& path_label,
+                                     const std::string& content,
+                                     const LintOptions& options) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw = detail::SplitLines(content);
+  const std::vector<std::string> code =
+      detail::SplitLines(detail::StripCommentsAndStrings(content));
+  auto report = [&](size_t idx, const std::string& rule,
+                    const std::string& message) {
+    if (idx < raw.size() && detail::Suppressed(raw[idx], rule)) return;
+    findings.push_back({path_label, idx + 1, rule, message});
+  };
+
+  static const char* kMutexTokens[] = {
+      "std::mutex",       "std::shared_mutex",
+      "std::timed_mutex", "std::recursive_mutex",
+      "std::lock_guard",  "std::unique_lock",
+      "std::shared_lock", "std::scoped_lock",
+      "std::condition_variable", "std::condition_variable_any"};
+  static const char* kRandomTokens[] = {"rand", "srand", "drand48", "lrand48",
+                                        "mrand48", "std::random_device"};
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string line = detail::Trim(code[i]);
+    if (line.empty()) continue;
+
+    if (!options.allow_raw_mutex) {
+      for (const char* token : kMutexTokens) {
+        if (detail::HasToken(line, token)) {
+          report(i, "raw-mutex",
+                 std::string(token) +
+                     " outside common/mutex.h; use the capability-annotated "
+                     "fvae::Mutex/SharedMutex/CondVar wrappers");
+          break;
+        }
+      }
+    }
+
+    if (!options.allow_nondeterminism) {
+      for (const char* token : kRandomTokens) {
+        if (detail::HasToken(line, token)) {
+          report(i, "banned-random",
+                 std::string(token) +
+                     " is nondeterministic; draw from an explicitly seeded "
+                     "fvae::Rng (common/random.h)");
+          break;
+        }
+      }
+    }
+
+    if (!options.expected_guard.empty() && line.rfind("using namespace", 0) == 0) {
+      report(i, "using-namespace",
+             "file-scope `using namespace` in a header leaks into every "
+             "includer");
+    }
+
+    // (void)-cast of a call: demand an inline justification so intentional
+    // discards stay auditable. `(void)identifier;` (unused-parameter
+    // silencing) is exempt — no call involved.
+    if (line.rfind("(void)", 0) == 0 &&
+        line.find('(', 6) != std::string::npos) {
+      const bool commented_same =
+          raw[i].find("//") != std::string::npos ||
+          raw[i].find("/*") != std::string::npos;
+      const bool commented_above =
+          i > 0 && detail::Trim(raw[i - 1]).rfind("//", 0) == 0;
+      if (!commented_same && !commented_above) {
+        report(i, "void-needs-reason",
+               "(void)-discarded call needs a justification comment on the "
+               "same line or the line above");
+      }
+      continue;  // an annotated discard is not a discarded-status finding
+    }
+
+    if (options.status_functions != nullptr && line.back() == ';') {
+      size_t pos = 0;
+      const std::string callee = detail::ParseQualifiedCallee(line, &pos);
+      // Balanced parens ⇒ the line is a whole statement, not the tail of a
+      // wrapped expression (those carry the extra closing paren).
+      const bool balanced =
+          std::count(line.begin(), line.end(), '(') ==
+          std::count(line.begin(), line.end(), ')');
+      if (!callee.empty() && pos < line.size() && line[pos] == '(' &&
+          balanced && options.status_functions->count(callee) > 0 &&
+          line.find('=') == std::string::npos &&
+          line.rfind("return", 0) != 0) {
+        report(i, "discarded-status",
+               callee + "() returns Status/Result; the value must be "
+                        "checked (or (void)-discarded with a reason)");
+      }
+    }
+  }
+
+  // Header hygiene: guard lines must exist, match the path-derived name,
+  // and #pragma once is banned (guards keep the convention greppable).
+  if (!options.expected_guard.empty()) {
+    bool saw_ifndef = false, saw_define = false, saw_endif = false;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const std::string line = detail::Trim(code[i]);
+      if (line.rfind("#pragma", 0) == 0 &&
+          line.find("once") != std::string::npos) {
+        report(i, "header-guard", "#pragma once; use the FVAE_*_H_ guard");
+      }
+      if (!saw_ifndef && line.rfind("#ifndef", 0) == 0) {
+        saw_ifndef = true;
+        if (detail::Trim(line.substr(7)) != options.expected_guard) {
+          report(i, "header-guard",
+                 "include guard should be " + options.expected_guard);
+        }
+      } else if (saw_ifndef && !saw_define && line.rfind("#define", 0) == 0) {
+        saw_define = true;
+        if (detail::Trim(line.substr(7)) != options.expected_guard) {
+          report(i, "header-guard",
+                 "#define should match guard " + options.expected_guard);
+        }
+      }
+      if (line.rfind("#endif", 0) == 0) saw_endif = true;
+    }
+    if (!saw_ifndef || !saw_define || !saw_endif) {
+      report(code.empty() ? 0 : code.size() - 1, "header-guard",
+             "missing #ifndef/#define/#endif include guard " +
+                 options.expected_guard);
+    }
+  }
+  return findings;
+}
+
+/// Walks the repository tree rooted at `root` (src, tools, bench, tests,
+/// examples), collects Status/Result signatures, then lints every source
+/// file. This is the whole program: fvae_lint's main() and the lint test's
+/// clean-tree check both call it.
+inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  static const char* kDirs[] = {"src", "tools", "bench", "tests", "examples"};
+  std::vector<std::pair<std::string, std::string>> files;  // rel path, body
+  for (const char* dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream body;
+      body << in.rdbuf();
+      files.emplace_back(fs::relative(entry.path(), root).generic_string(),
+                         body.str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::set<std::string> status_functions;
+  for (const auto& [path, body] : files) {
+    CollectStatusFunctions(body, &status_functions);
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [path, body] : files) {
+    LintOptions options;
+    options.expected_guard = ExpectedGuard(path);
+    options.allow_raw_mutex = path == "src/common/mutex.h";
+    options.allow_nondeterminism = path == "src/common/random.h" ||
+                                   path == "src/common/random.cc";
+    options.status_functions = &status_functions;
+    std::vector<Finding> file_findings = LintFile(path, body, options);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace fvae::lint
+
+#endif  // FVAE_TOOLS_LINT_RULES_H_
