@@ -93,6 +93,21 @@ double LatencyHistogram::Percentile(double p) const {
   return BucketUpper(buckets_.size() - 1);
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  FVAE_CHECK(buckets_.size() == other.buckets_.size() &&
+             min_value_ == other.min_value_ &&
+             log_growth_ == other.log_growth_)
+      << "cannot merge histograms with different bucket geometry";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -55,6 +55,14 @@ class LatencyHistogram {
   /// to require. TSan covers this one; see ARCHITECTURE.md.)
   void Reset();
 
+  /// Folds `other`'s observations into this histogram (bucket-wise add).
+  /// Both histograms must share the same bucket geometry (min_value,
+  /// growth, bucket count) — FVAE_CHECKed. Safe against concurrent
+  /// Record() on either side; the merged totals are eventually consistent
+  /// like any concurrent read. Used to aggregate per-thread span profiles
+  /// (obs::TraceRecorder::Profile).
+  void Merge(const LatencyHistogram& other);
+
   /// {"count":N,"mean":...,"p50":...,"p95":...,"p99":...} — a JSON object
   /// fragment used by the serving telemetry dump.
   std::string SummaryJson() const;

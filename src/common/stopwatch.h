@@ -2,8 +2,18 @@
 #define FVAE_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace fvae {
+
+/// Microseconds on the monotonic clock since an arbitrary (but fixed)
+/// epoch. The timestamp base of trace spans and the telemetry QPS clock —
+/// single values are meaningless, differences are durations.
+inline int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic wall-clock stopwatch used by the training loops and the
 /// benchmark harnesses.

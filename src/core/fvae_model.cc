@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "nn/losses.h"
+#include "obs/trace.h"
 
 namespace fvae::core {
 
@@ -280,6 +281,7 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
   stats.candidates_per_field.assign(num_fields, 0);
 
   // ---- Encoder forward ----
+  obs::TraceSpan forward_span("train.forward");
   EncoderCache cache;
   Matrix mu, logvar;
   EncodeInternal(dataset, users, /*training=*/true, &mu, &logvar, &cache);
@@ -299,8 +301,10 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
   decoder_trunk_->Forward(z, &hdec, /*training=*/true);
   const size_t dec_dim = hdec.cols();
   Matrix hdec_grad(batch, dec_dim);
+  forward_span.End();
 
   // ---- Per-field batched softmax + feature sampling + likelihood ----
+  obs::TraceSpan fields_span("train.fields");
   std::unordered_map<uint64_t, uint32_t> freq;
   std::unordered_map<uint64_t, uint32_t> position;
   std::vector<Candidate> candidates;
@@ -404,8 +408,10 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
                                         static_cast<float>(bias_grad));
     }
   }
+  fields_span.End();
 
   // ---- KL term ----
+  obs::TraceSpan backward_span("train.backward");
   stats.kl = nn::GaussianKl(mu, logvar);
   stats.loss = beta * stats.kl;
   for (size_t k = 0; k < num_fields; ++k) {
@@ -462,7 +468,10 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
     }
   }
 
+  backward_span.End();
+
   // ---- Parameter updates ----
+  obs::TraceSpan update_span("train.update");
   dense_optimizer_->Step();
   for (size_t k = 0; k < num_fields; ++k) {
     input_tables_[k]->ApplyGradients(config_.sparse_learning_rate);

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/batching.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace fvae::core {
 
@@ -43,16 +45,38 @@ TrainResult TrainFvae(FieldVae& model, const MultiFieldDataset& dataset,
 
   BatchIterator batches(dataset.num_users(), options.batch_size,
                         options.shuffle_seed);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& steps_counter = metrics.Counter("training.steps");
+  obs::Counter& users_counter = metrics.Counter("training.users");
+  obs::Counter& epochs_counter = metrics.Counter("training.epochs");
+  // Loss values live on a linear-ish scale near 1; a fine growth factor
+  // keeps the percentile estimates meaningful for them.
+  LatencyHistogram& loss_histo =
+      metrics.Histo("training.epoch_loss", /*min_value=*/0.01,
+                    /*growth=*/1.05, /*num_buckets=*/256);
+  LatencyHistogram& epoch_us_histo = metrics.Histo("training.epoch_us");
+  LatencyHistogram& step_us_histo = metrics.Histo("training.step_us");
+  obs::Gauge& epoch_gauge = metrics.Gauge("training.epoch");
+  obs::Gauge& last_loss_gauge = metrics.Gauge("training.last_epoch_loss");
+
   Stopwatch watch;
   std::vector<uint32_t> batch;
   bool stop = false;
 
   for (size_t epoch = 0; epoch < options.epochs && !stop; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
+    Stopwatch epoch_watch;
     double epoch_loss = 0.0;
     size_t epoch_batches = 0;
     while (batches.Next(&batch)) {
+      obs::TraceSpan step_span("train.step");
+      Stopwatch step_watch;
       const float beta = AnnealedBeta(model.config(), result.steps + 1);
       const StepStats stats = model.TrainStep(dataset, batch, beta);
+      step_span.End();
+      step_us_histo.Record(step_watch.ElapsedSeconds() * 1e6);
+      steps_counter.Increment();
+      users_counter.Add(batch.size());
       epoch_loss += stats.loss;
       ++epoch_batches;
       ++result.steps;
@@ -72,8 +96,14 @@ TrainResult TrainFvae(FieldVae& model, const MultiFieldDataset& dataset,
       }
     }
     batches.NewEpoch();
+    epochs_counter.Increment();
+    epoch_gauge.Set(double(epoch));
+    epoch_us_histo.Record(epoch_watch.ElapsedSeconds() * 1e6);
     if (epoch_batches > 0) {
-      result.epoch_loss.push_back(epoch_loss / double(epoch_batches));
+      const double mean_loss = epoch_loss / double(epoch_batches);
+      result.epoch_loss.push_back(mean_loss);
+      loss_histo.Record(mean_loss);
+      last_loss_gauge.Set(mean_loss);
     }
     if (options.epoch_callback && !stop) {
       if (!options.epoch_callback(epoch, result.epoch_loss.back(),

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/metrics_registry.h"
 
 namespace fvae {
 
@@ -28,6 +29,12 @@ bool BatchIterator::Next(std::vector<uint32_t>* batch) {
   const size_t take = std::min(batch_size_, remaining);
   batch->assign(order_.begin() + cursor_, order_.begin() + cursor_ + take);
   cursor_ += take;
+  static obs::Counter& batches_counter =
+      obs::MetricsRegistry::Global().Counter("data.batches");
+  static obs::Counter& rows_counter =
+      obs::MetricsRegistry::Global().Counter("data.rows");
+  batches_counter.Increment();
+  rows_counter.Add(take);
   return true;
 }
 

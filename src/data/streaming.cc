@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
 
 namespace fvae {
 
@@ -61,6 +63,9 @@ Status StreamingDatasetWriter::WriteUser(
   }
   if (!out_) return Status::IoError("record write failed");
   ++users_written_;
+  static obs::Counter& written_counter =
+      obs::MetricsRegistry::Global().Counter("data.stream_users_written");
+  written_counter.Increment();
   return Status::Ok();
 }
 
@@ -111,6 +116,8 @@ Result<StreamingDatasetReader> StreamingDatasetReader::Open(
 bool StreamingDatasetReader::NextUser(
     std::vector<std::vector<FeatureEntry>>* features_per_field) {
   if (!status_.ok() || in_ == nullptr) return false;
+  // IO-wait accounting: time spent decoding one record off the stream.
+  Stopwatch read_watch;
   features_per_field->assign(fields_.size(), {});
   for (size_t k = 0; k < fields_.size(); ++k) {
     uint32_t count = 0;
@@ -133,6 +140,12 @@ bool StreamingDatasetReader::NextUser(
     }
   }
   ++users_read_;
+  static obs::Counter& read_counter =
+      obs::MetricsRegistry::Global().Counter("data.stream_users");
+  static LatencyHistogram& read_us_histo =
+      obs::MetricsRegistry::Global().Histo("data.stream_read_us");
+  read_counter.Increment();
+  read_us_histo.Record(read_watch.ElapsedSeconds() * 1e6);
   return true;
 }
 

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "data/batching.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace fvae::distributed {
 
@@ -25,6 +27,8 @@ core::FieldVae& ParallelFvaeTrainer::model() {
 void ParallelFvaeTrainer::AverageReplicas() {
   const size_t num_replicas = replicas_.size();
   if (num_replicas < 2) return;
+  FVAE_TRACE_SCOPE("distributed.merge");
+  Stopwatch merge_watch;
 
   // Dense parameters: elementwise mean, broadcast back.
   std::vector<std::vector<Matrix*>> params(num_replicas);
@@ -106,6 +110,9 @@ void ParallelFvaeTrainer::AverageReplicas() {
       }
     }
   }
+  obs::MetricsRegistry::Global()
+      .Histo("distributed.merge_us")
+      .Record(merge_watch.ElapsedSeconds() * 1e6);
 }
 
 DistributedResult ParallelFvaeTrainer::Train(
@@ -147,11 +154,16 @@ DistributedResult ParallelFvaeTrainer::Train(
     MutexLock lock(progress_mutex_);
     users_processed_ = 0;
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& rounds_counter = metrics.Counter("distributed.rounds");
+  LatencyHistogram& round_us_histo = metrics.Histo("distributed.round_us");
   for (size_t round = 0; round < total_rounds; ++round) {
+    Stopwatch round_watch;
     // One worker's share of the round (steps between barriers). Progress
     // accumulates locally and folds into the guarded counter once per
     // round, so the lock is off the training hot path.
     auto run_worker = [&](size_t r) {
+      FVAE_TRACE_SCOPE("distributed.worker_round");
       std::vector<uint32_t> local, global;
       size_t worker_processed = 0;
       for (size_t step = 0; step < config_.sync_every_batches; ++step) {
@@ -171,6 +183,9 @@ DistributedResult ParallelFvaeTrainer::Train(
         replicas_[r]->TrainStep(dataset, global, beta);
         worker_processed += global.size();
       }
+      obs::MetricsRegistry::Global()
+          .Counter("distributed.users")
+          .Add(worker_processed);
       MutexLock lock(progress_mutex_);
       users_processed_ += worker_processed;
     };
@@ -198,6 +213,8 @@ DistributedResult ParallelFvaeTrainer::Train(
       AverageReplicas();
     }
     ++result.rounds;
+    rounds_counter.Increment();
+    round_us_histo.Record(round_watch.ElapsedSeconds() * 1e6);
   }
 
   result.seconds = watch.ElapsedSeconds();

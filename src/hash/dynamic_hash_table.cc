@@ -3,6 +3,9 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace fvae {
 
@@ -37,6 +40,9 @@ uint32_t DynamicHashTable::GetOrInsert(uint64_t key) {
       slot.key = key;
       slot.index = static_cast<uint32_t>(size_);
       ++size_;
+      static obs::Counter& inserts_counter =
+          obs::MetricsRegistry::Global().Counter("hash.inserts");
+      inserts_counter.Increment();
       return slot.index;
     }
     if (slot.key == key) return slot.index;
@@ -76,6 +82,8 @@ void DynamicHashTable::Clear() {
 }
 
 void DynamicHashTable::Grow() {
+  FVAE_TRACE_SCOPE("hash.grow");
+  Stopwatch grow_watch;
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});
   for (const Slot& slot : old) {
@@ -86,6 +94,15 @@ void DynamicHashTable::Grow() {
     }
     slots_[pos] = slot;
   }
+  // Tables are per-field, so the gauges reflect the most recently grown
+  // table — a live sample of vocabulary growth, not a process-wide sum.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Counter("hash.grows").Increment();
+  metrics.Histo("hash.grow_us").Record(grow_watch.ElapsedSeconds() * 1e6);
+  metrics.Gauge("hash.size").Set(double(size_));
+  metrics.Gauge("hash.capacity").Set(double(slots_.size()));
+  metrics.Gauge("hash.load_factor")
+      .Set(double(size_) / double(slots_.size()));
 }
 
 }  // namespace fvae

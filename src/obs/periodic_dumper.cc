@@ -1,0 +1,70 @@
+#include "obs/periodic_dumper.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace fvae::obs {
+
+PeriodicDumper::PeriodicDumper(MetricsRegistry* registry,
+                               PeriodicDumperOptions options, Sink sink)
+    : registry_(registry), options_(std::move(options)),
+      sink_(std::move(sink)) {}
+
+PeriodicDumper::~PeriodicDumper() { Stop(); }
+
+void PeriodicDumper::Start() {
+  if (thread_.joinable()) return;
+  {
+    MutexLock lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&PeriodicDumper::Loop, this);
+}
+
+void PeriodicDumper::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    MutexLock lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+  thread_ = std::thread();
+  EmitOnce();  // final snapshot: the output ends with the end-of-run state
+}
+
+void PeriodicDumper::Loop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.interval_seconds));
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_requested_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        // Timed-out and notified wakes both re-check the predicate, so the
+        // returned reason is irrelevant.
+        (void)cv_.WaitUntil(mutex_, deadline);
+      }
+      if (stop_requested_) return;
+    }
+    EmitOnce();  // outside the lock: snapshot IO never blocks Stop()
+  }
+}
+
+void PeriodicDumper::EmitOnce() {
+  if (sink_) {
+    sink_(registry_->JsonlSnapshot());
+  } else if (!options_.path.empty()) {
+    const Status status = registry_->WriteJsonlSnapshot(options_.path,
+                                                        /*append=*/true);
+    if (!status.ok()) {
+      FVAE_LOG(WARNING) << "metrics dump failed: " << status.ToString();
+    }
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fvae::obs

@@ -1,0 +1,73 @@
+#ifndef FVAE_OBS_PERIODIC_DUMPER_H_
+#define FVAE_OBS_PERIODIC_DUMPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics_registry.h"
+
+namespace fvae::obs {
+
+struct PeriodicDumperOptions {
+  /// Wall-clock interval between snapshots.
+  double interval_seconds = 10.0;
+  /// With no custom sink, JSONL snapshots append here (one block per
+  /// dump — a coarse time series of the whole registry).
+  std::string path;
+};
+
+/// Background thread that snapshots a MetricsRegistry on a fixed interval.
+///
+/// Each tick renders MetricsRegistry::JsonlSnapshot() and hands it to the
+/// sink (or appends it to `options.path`). Stop() wakes the thread, joins
+/// it, and emits one final snapshot so the output always ends with the
+/// end-of-run state; the destructor calls Stop(). Start()/Stop() are meant
+/// for a single controlling thread (the worker itself is properly
+/// synchronized via the guarded stop flag).
+class PeriodicDumper {
+ public:
+  using Sink = std::function<void(const std::string& jsonl_snapshot)>;
+
+  /// `registry` must outlive the dumper. `sink` may be empty — snapshots
+  /// then go to `options.path` (and nowhere when that is empty too).
+  PeriodicDumper(MetricsRegistry* registry, PeriodicDumperOptions options,
+                 Sink sink = {});
+  ~PeriodicDumper();
+
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  /// Launches the background thread. No-op when already running.
+  void Start();
+
+  /// Signals the thread, joins it, and emits a final snapshot. Idempotent.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// Snapshots emitted so far (including the final one from Stop()).
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  MetricsRegistry* registry_;
+  PeriodicDumperOptions options_;
+  Sink sink_;
+
+  std::atomic<uint64_t> dumps_{0};
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_requested_ FVAE_GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace fvae::obs
+
+#endif  // FVAE_OBS_PERIODIC_DUMPER_H_

@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace fvae::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // One-entry cache: a thread overwhelmingly records into one recorder
+  // (the global one), so the registration lock is paid once per thread.
+  // Keyed on the recorder's unique id, not its address — addresses get
+  // reused after a recorder dies, and the stale buffer pointer with them.
+  struct Cache {
+    uint64_t recorder_id = 0;  // ids start at 1: never a false hit
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.recorder_id == id_) return *cache.buffer;
+
+  MutexLock lock(mutex_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& buffer : buffers_) {
+    if (buffer->owner == me) {
+      cache = {id_, buffer.get()};
+      return *cache.buffer;
+    }
+  }
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      static_cast<uint32_t>(buffers_.size()), me));
+  cache = {id_, buffers_.back().get()};
+  return *cache.buffer;
+}
+
+void TraceRecorder::RecordSpan(const char* name, int64_t start_us,
+                               int64_t duration_us) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  MutexLock lock(buffer.mutex);
+  if (buffer.events.size() < kMaxEventsPerThread) {
+    buffer.events.push_back({name, start_us, duration_us, buffer.tid});
+  } else {
+    ++buffer.dropped;
+  }
+  auto it = buffer.profile.find(name);
+  if (it == buffer.profile.end()) {
+    it = buffer.profile.try_emplace(name).first;
+  }
+  it->second.Record(double(duration_us));
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::vector<TraceEvent> events;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      MutexLock buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"fvae\",\"ph\":\"X\","
+                  "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", e.name,
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.duration_us), e.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out.good()) return Status::IoError("trace write failed: " + path);
+  return Status::Ok();
+}
+
+std::vector<SpanProfile> TraceRecorder::Profile() const {
+  // Merge the per-thread duration histograms name by name; all of them use
+  // the default bucket geometry, which Histogram::Merge requires.
+  std::map<std::string, LatencyHistogram> merged;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      MutexLock buffer_lock(buffer->mutex);
+      for (const auto& [name, histogram] : buffer->profile) {
+        auto it = merged.find(name);
+        if (it == merged.end()) it = merged.try_emplace(name).first;
+        it->second.Merge(histogram);
+      }
+    }
+  }
+  std::vector<SpanProfile> profiles;
+  profiles.reserve(merged.size());
+  for (const auto& [name, histogram] : merged) {
+    SpanProfile p;
+    p.name = name;
+    p.count = histogram.Count();
+    p.total_us = histogram.Sum();
+    p.p50_us = histogram.Percentile(50.0);
+    p.p99_us = histogram.Percentile(99.0);
+    profiles.push_back(std::move(p));
+  }
+  std::sort(profiles.begin(), profiles.end(),
+            [](const SpanProfile& a, const SpanProfile& b) {
+              return a.total_us > b.total_us;
+            });
+  return profiles;
+}
+
+std::string TraceRecorder::ProfileText() const {
+  const std::vector<SpanProfile> profiles = Profile();
+  if (profiles.empty()) return "";
+  std::string out =
+      "span                                  count     total_ms    p50_us"
+      "    p99_us\n";
+  char buf[192];
+  for (const SpanProfile& p : profiles) {
+    std::snprintf(buf, sizeof(buf), "%-36s %6llu %12.1f %9.1f %9.1f\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  p.total_us / 1e3, p.p50_us, p.p99_us);
+    out += buf;
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::EventCount() const {
+  MutexLock lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::DroppedCount() const {
+  MutexLock lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::Reset() {
+  MutexLock lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+    buffer->profile.clear();
+  }
+}
+
+}  // namespace fvae::obs

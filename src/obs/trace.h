@@ -1,0 +1,160 @@
+#ifndef FVAE_OBS_TRACE_H_
+#define FVAE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+
+namespace fvae::obs {
+
+/// One completed span. `name` must be a string literal (stored by pointer,
+/// never copied — the FVAE_TRACE_SCOPE macro guarantees this).
+struct TraceEvent {
+  const char* name;
+  int64_t start_us;
+  int64_t duration_us;
+  uint32_t tid;
+};
+
+/// Aggregated statistics of one span name across all threads.
+struct SpanProfile {
+  std::string name;
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Process-wide span recorder.
+///
+/// Completed spans land in per-thread buffers: each thread registers its
+/// own buffer on first use (cached in a thread_local, so the registration
+/// lock is paid once per thread) and appends under that buffer's private
+/// mutex — uncontended in steady state, since only the owner thread writes
+/// and exporters read rarely. Alongside the raw events, every buffer keeps
+/// a per-span-name duration histogram; Profile() merges them across
+/// threads (Histogram::Merge) into count/total/p50/p99 rows.
+///
+/// Recording is off by default: a disabled recorder costs one relaxed
+/// atomic load per span site. Exports:
+///   - ChromeTraceJson()/WriteChromeTrace(): Chrome trace_event format
+///     ("X" complete events), loadable in chrome://tracing or Perfetto;
+///   - Profile()/ProfileText(): the aggregated per-span-name table.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span to the calling thread's buffer. No-op while
+  /// disabled. `name` must be a string literal.
+  void RecordSpan(const char* name, int64_t start_us, int64_t duration_us);
+
+  /// All buffered events as a Chrome trace_event JSON document.
+  std::string ChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Per-span-name aggregate over all threads, sorted by total time
+  /// descending.
+  std::vector<SpanProfile> Profile() const;
+  /// Profile() rendered as an aligned text table (empty string when no
+  /// spans were recorded).
+  std::string ProfileText() const;
+
+  /// Buffered (not dropped) event count across all threads.
+  uint64_t EventCount() const;
+  /// Events discarded because a thread's buffer was full.
+  uint64_t DroppedCount() const;
+
+  /// Clears buffered events and profiles. Thread buffers stay registered
+  /// (live threads hold cached pointers into them).
+  void Reset();
+
+  /// Per-thread event capacity; beyond it, new spans count as dropped.
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 16;
+
+ private:
+  struct ThreadBuffer {
+    ThreadBuffer(uint32_t tid_in, std::thread::id owner_in)
+        : tid(tid_in), owner(owner_in) {}
+    const uint32_t tid;
+    const std::thread::id owner;
+    Mutex mutex;
+    std::vector<TraceEvent> events FVAE_GUARDED_BY(mutex);
+    uint64_t dropped FVAE_GUARDED_BY(mutex) = 0;
+    /// Span durations by name, merged across threads by Profile().
+    std::map<std::string, LatencyHistogram> profile FVAE_GUARDED_BY(mutex);
+  };
+
+  /// The calling thread's buffer, registered on first use.
+  ThreadBuffer& LocalBuffer();
+
+  /// Process-unique instance id (never 0). Thread-local buffer caches key
+  /// on this rather than on `this`: a new recorder allocated at a dead
+  /// recorder's address must not hit the stale cache entry.
+  static uint64_t NextId();
+
+  const uint64_t id_ = NextId();
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ FVAE_GUARDED_BY(mutex_);
+};
+
+/// RAII span: records [construction, destruction) into `recorder` (the
+/// global one by default). End() closes the span early — useful when two
+/// consecutive phases share a C++ scope (see FieldVae::TrainStep).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceRecorder* recorder = nullptr)
+      : recorder_(recorder != nullptr ? recorder
+                                      : &TraceRecorder::Global()) {
+    if (recorder_->enabled()) {
+      name_ = name;
+      start_us_ = MonotonicMicros();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Records the span now; the destructor becomes a no-op. Idempotent.
+  void End() {
+    if (name_ == nullptr) return;
+    recorder_->RecordSpan(name_, start_us_, MonotonicMicros() - start_us_);
+    name_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+#define FVAE_TRACE_CONCAT_INNER_(a, b) a##b
+#define FVAE_TRACE_CONCAT_(a, b) FVAE_TRACE_CONCAT_INNER_(a, b)
+/// Declares an anonymous TraceSpan covering the rest of the enclosing
+/// scope: FVAE_TRACE_SCOPE("train.step");
+#define FVAE_TRACE_SCOPE(name)                                      \
+  ::fvae::obs::TraceSpan FVAE_TRACE_CONCAT_(fvae_trace_span_,       \
+                                            __LINE__)(name)
+
+}  // namespace fvae::obs
+
+#endif  // FVAE_OBS_TRACE_H_

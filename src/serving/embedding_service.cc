@@ -9,7 +9,10 @@ namespace fvae::serving {
 EmbeddingService::EmbeddingService(ShardedEmbeddingStore store,
                                    FoldInEncoder* encoder,
                                    EmbeddingServiceOptions options)
-    : store_(std::move(store)), encoder_(encoder), options_(options) {
+    : store_(std::move(store)),
+      encoder_(encoder),
+      options_(options),
+      telemetry_(options.metrics_registry) {
   if (encoder_ != nullptr && options_.enable_batcher) {
     batcher_ = std::make_unique<RequestBatcher>(
         encoder_, options_.batcher, &telemetry_,
@@ -17,7 +20,7 @@ EmbeddingService::EmbeddingService(ShardedEmbeddingStore store,
                double latency_us) {
           store_.Put(user_id,
                      std::vector<float>(embedding.begin(), embedding.end()));
-          telemetry_.fold_ins.fetch_add(1, std::memory_order_relaxed);
+          telemetry_.fold_ins.Increment();
           telemetry_.foldin_latency_us().Record(latency_us);
         });
   }
@@ -38,13 +41,13 @@ std::future<EmbeddingService::EmbeddingResult> EmbeddingService::Ready(
 EmbeddingService::EmbeddingResult EmbeddingService::Lookup(
     uint64_t user_id) {
   Stopwatch watch;
-  telemetry_.requests.fetch_add(1, std::memory_order_relaxed);
+  telemetry_.requests.Increment();
   if (auto embedding = store_.Get(user_id); embedding.has_value()) {
-    telemetry_.store_hits.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.store_hits.Increment();
     telemetry_.lookup_latency_us().Record(watch.ElapsedSeconds() * 1e6);
     return *std::move(embedding);
   }
-  telemetry_.not_found.fetch_add(1, std::memory_order_relaxed);
+  telemetry_.not_found.Increment();
   return Status::NotFound("user not materialized");
 }
 
@@ -53,14 +56,14 @@ EmbeddingService::LookupOrEncode(uint64_t user_id,
                                  const core::RawUserFeatures& features,
                                  uint64_t deadline_micros) {
   Stopwatch watch;
-  telemetry_.requests.fetch_add(1, std::memory_order_relaxed);
+  telemetry_.requests.Increment();
   if (auto embedding = store_.Get(user_id); embedding.has_value()) {
-    telemetry_.store_hits.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.store_hits.Increment();
     telemetry_.lookup_latency_us().Record(watch.ElapsedSeconds() * 1e6);
     return Ready(*std::move(embedding));
   }
   if (encoder_ == nullptr) {
-    telemetry_.not_found.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.not_found.Increment();
     return Ready(Status::NotFound("user not materialized, no encoder"));
   }
   if (deadline_micros == 0) deadline_micros = options_.default_deadline_micros;
@@ -78,7 +81,7 @@ EmbeddingService::LookupOrEncode(uint64_t user_id,
   const Matrix embedding = encoder_->EncodeBatch({&user, 1});
   std::vector<float> row(embedding.Row(0), embedding.Row(0) + embedding.cols());
   store_.Put(user_id, row);
-  telemetry_.fold_ins.fetch_add(1, std::memory_order_relaxed);
+  telemetry_.fold_ins.Increment();
   telemetry_.foldin_latency_us().Record(watch.ElapsedSeconds() * 1e6);
   return Ready(std::move(row));
 }

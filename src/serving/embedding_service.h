@@ -27,6 +27,10 @@ struct EmbeddingServiceOptions {
   /// Deadline applied to fold-in requests that do not pass their own
   /// (microseconds; 0 = none).
   uint64_t default_deadline_micros = 0;
+  /// Registry the service's telemetry registers into. Null (default) gives
+  /// the service a private registry; pass &obs::MetricsRegistry::Global()
+  /// to surface serving metrics in process-wide snapshots.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /// In-process front-end of the online module (Fig. 2): the look-alike

@@ -50,7 +50,7 @@ std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
     MutexLock lock(mutex_);
     if (shutting_down_ || queue_.size() >= options_.queue_capacity) {
       if (telemetry_ != nullptr) {
-        telemetry_->rejected.fetch_add(1, std::memory_order_relaxed);
+        telemetry_->rejected.Increment();
       }
       request.promise.set_value(Status::Unavailable(
           shutting_down_ ? "batcher shutting down" : "fold-in queue full"));
@@ -117,7 +117,7 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch) {
   for (Request& request : batch) {
     if (request.deadline < now) {
       if (telemetry_ != nullptr) {
-        telemetry_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        telemetry_->deadline_expired.Increment();
       }
       request.promise.set_value(
           Status::DeadlineExceeded("expired in fold-in queue"));
@@ -136,9 +136,8 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch) {
       << live.size() << " users";
 
   if (telemetry_ != nullptr) {
-    telemetry_->batches.fetch_add(1, std::memory_order_relaxed);
-    telemetry_->batched_users.fetch_add(live.size(),
-                                        std::memory_order_relaxed);
+    telemetry_->batches.Increment();
+    telemetry_->batched_users.Add(live.size());
   }
   const auto done = Clock::now();
   for (size_t i = 0; i < live.size(); ++i) {

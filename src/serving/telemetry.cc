@@ -4,6 +4,25 @@
 
 namespace fvae::serving {
 
+ServingTelemetry::ServingTelemetry(obs::MetricsRegistry* registry)
+    : owned_registry_(registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::MetricsRegistry>()),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      requests(registry_->Counter("serving.requests")),
+      store_hits(registry_->Counter("serving.store_hits")),
+      fold_ins(registry_->Counter("serving.fold_ins")),
+      rejected(registry_->Counter("serving.rejected")),
+      deadline_expired(registry_->Counter("serving.deadline_expired")),
+      not_found(registry_->Counter("serving.not_found")),
+      batches(registry_->Counter("serving.batches")),
+      batched_users(registry_->Counter("serving.batched_users")),
+      queue_depth_(registry_->Gauge("serving.queue_depth")),
+      queue_peak_(registry_->Gauge("serving.queue_peak")),
+      lookup_latency_us_(registry_->Histo("serving.lookup_latency_us")),
+      foldin_latency_us_(registry_->Histo("serving.foldin_latency_us")),
+      start_us_(MonotonicMicros()) {}
+
 std::string ServingTelemetry::ToJson(
     const std::vector<ShardedEmbeddingStore::ShardStats>* shards) const {
   char buf[512];
@@ -15,13 +34,13 @@ std::string ServingTelemetry::ToJson(
       "\"queue_depth\":%zu,\"queue_peak\":%zu,"
       "\"batches\":%llu,\"mean_batch_size\":%.2f",
       ElapsedSeconds(), Qps(),
-      static_cast<unsigned long long>(requests.load()),
-      static_cast<unsigned long long>(store_hits.load()),
-      static_cast<unsigned long long>(fold_ins.load()),
-      static_cast<unsigned long long>(rejected.load()),
-      static_cast<unsigned long long>(deadline_expired.load()),
-      static_cast<unsigned long long>(not_found.load()), queue_depth(),
-      queue_peak(), static_cast<unsigned long long>(batches.load()),
+      static_cast<unsigned long long>(requests.Value()),
+      static_cast<unsigned long long>(store_hits.Value()),
+      static_cast<unsigned long long>(fold_ins.Value()),
+      static_cast<unsigned long long>(rejected.Value()),
+      static_cast<unsigned long long>(deadline_expired.Value()),
+      static_cast<unsigned long long>(not_found.Value()), queue_depth(),
+      queue_peak(), static_cast<unsigned long long>(batches.Value()),
       MeanBatchSize());
   std::string out = buf;
   out += ",\"lookup_latency_us\":" + lookup_latency_us_.SummaryJson();

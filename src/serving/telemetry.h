@@ -3,24 +3,30 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
 #include "serving/sharded_store.h"
 
 namespace fvae::serving {
 
-/// Counters, gauges and latency histograms of the serving stack. One
-/// instance is shared by the EmbeddingService front-end and its
-/// RequestBatcher; everything is atomics / lock-free histograms, so request
-/// threads update it on the hot path without contention. Accordingly the
-/// class carries no capability annotations: there is no lock to hold, and
-/// all members are individually thread-safe (the cross-counter invariant
-/// below is eventually consistent, not a snapshot). The one exception is
-/// ResetClock(), which restarts the non-atomic Stopwatch and must only be
-/// called while no other thread reads Qps()/ElapsedSeconds().
+/// Counters, gauges and latency histograms of the serving stack, registered
+/// in an obs::MetricsRegistry under the `serving.` prefix. One instance is
+/// shared by the EmbeddingService front-end and its RequestBatcher;
+/// everything is atomics / lock-free histograms, so request threads update
+/// it on the hot path without contention. Accordingly the class carries no
+/// capability annotations: there is no lock to hold, and all members are
+/// individually thread-safe (the cross-counter invariant below is
+/// eventually consistent, not a snapshot).
+///
+/// Pass a registry (typically obs::MetricsRegistry::Global()) to surface
+/// the serving metrics in process-wide dumps next to the training, data
+/// and hash-table instruments; with no registry the instance owns a
+/// private one, which keeps concurrent services (and tests) isolated.
 ///
 /// Invariant maintained by the service:
 ///   requests == store_hits + fold_ins + rejected + deadline_expired
@@ -28,42 +34,45 @@ namespace fvae::serving {
 /// (every request terminates in exactly one of those outcomes; the stress
 /// test asserts it).
 class ServingTelemetry {
+ private:
+  // Declared before the instrument references below: members initialize in
+  // declaration order, and the references bind into this registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+
  public:
-  ServingTelemetry() = default;
+  explicit ServingTelemetry(obs::MetricsRegistry* registry = nullptr);
   ServingTelemetry(const ServingTelemetry&) = delete;
   ServingTelemetry& operator=(const ServingTelemetry&) = delete;
 
+  /// The registry the instruments live in (owned or injected).
+  obs::MetricsRegistry& registry() { return *registry_; }
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
   // --- request outcome counters ---
-  std::atomic<uint64_t> requests{0};
+  obs::Counter& requests;
   /// Served straight from the sharded store (hot users).
-  std::atomic<uint64_t> store_hits{0};
+  obs::Counter& store_hits;
   /// Served by running the encoder on the raw field vector (cold users).
-  std::atomic<uint64_t> fold_ins{0};
+  obs::Counter& fold_ins;
   /// Admission control: bounced because the fold-in queue was full.
-  std::atomic<uint64_t> rejected{0};
+  obs::Counter& rejected;
   /// Dropped in-queue because the per-request deadline expired.
-  std::atomic<uint64_t> deadline_expired{0};
+  obs::Counter& deadline_expired;
   /// No embedding and no feature vector to fold in.
-  std::atomic<uint64_t> not_found{0};
+  obs::Counter& not_found;
 
   // --- batcher accounting ---
-  std::atomic<uint64_t> batches{0};
-  std::atomic<uint64_t> batched_users{0};
+  obs::Counter& batches;
+  obs::Counter& batched_users;
 
   /// Sets the queue-depth gauge and folds it into the peak watermark.
   void UpdateQueueDepth(size_t depth) {
-    queue_depth_.store(depth, std::memory_order_relaxed);
-    size_t peak = queue_peak_.load(std::memory_order_relaxed);
-    while (depth > peak && !queue_peak_.compare_exchange_weak(
-                               peak, depth, std::memory_order_relaxed)) {
-    }
+    queue_depth_.Set(double(depth));
+    queue_peak_.SetMax(double(depth));
   }
-  size_t queue_depth() const {
-    return queue_depth_.load(std::memory_order_relaxed);
-  }
-  size_t queue_peak() const {
-    return queue_peak_.load(std::memory_order_relaxed);
-  }
+  size_t queue_depth() const { return size_t(queue_depth_.Value()); }
+  size_t queue_peak() const { return size_t(queue_peak_.Value()); }
 
   /// End-to-end latency of store-hit answers, microseconds.
   LatencyHistogram& lookup_latency_us() { return lookup_latency_us_; }
@@ -77,20 +86,26 @@ class ServingTelemetry {
   }
 
   /// Seconds since construction / ResetClock — the QPS denominator.
-  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
-  void ResetClock() { clock_.Restart(); }
+  double ElapsedSeconds() const {
+    return double(MonotonicMicros() -
+                  start_us_.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+  /// Restarts the QPS clock. Safe against concurrent Qps() /
+  /// ElapsedSeconds() readers: the time base is a single atomic
+  /// start-timestamp.
+  void ResetClock() {
+    start_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  }
 
   double Qps() const {
     const double s = ElapsedSeconds();
-    return s > 0.0 ? double(requests.load(std::memory_order_relaxed)) / s
-                   : 0.0;
+    return s > 0.0 ? double(requests.Value()) / s : 0.0;
   }
 
   double MeanBatchSize() const {
-    const uint64_t b = batches.load(std::memory_order_relaxed);
-    return b == 0 ? 0.0
-                  : double(batched_users.load(std::memory_order_relaxed)) /
-                        double(b);
+    const uint64_t b = batches.Value();
+    return b == 0 ? 0.0 : double(batched_users.Value()) / double(b);
   }
 
   /// Full JSON snapshot; `shards` (optional) adds per-shard hit rates.
@@ -98,11 +113,11 @@ class ServingTelemetry {
       const std::vector<ShardedEmbeddingStore::ShardStats>* shards) const;
 
  private:
-  LatencyHistogram lookup_latency_us_;
-  LatencyHistogram foldin_latency_us_;
-  std::atomic<size_t> queue_depth_{0};
-  std::atomic<size_t> queue_peak_{0};
-  Stopwatch clock_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& queue_peak_;
+  LatencyHistogram& lookup_latency_us_;
+  LatencyHistogram& foldin_latency_us_;
+  std::atomic<int64_t> start_us_;
 };
 
 }  // namespace fvae::serving

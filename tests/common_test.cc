@@ -347,6 +347,50 @@ TEST(LatencyHistogramTest, SummaryJsonHasAllKeys) {
   }
 }
 
+TEST(LatencyHistogramTest, MergeOfEmptyIsIdentity) {
+  LatencyHistogram a, b;
+  a.Record(10.0);
+  a.Record(100.0);
+  a.Merge(b);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_NEAR(a.Mean(), 55.0, 0.5);
+
+  b.Merge(a);  // merging into an empty histogram copies the contents
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_NEAR(b.Mean(), a.Mean(), 1e-9);
+  EXPECT_NEAR(b.Percentile(50.0), a.Percentile(50.0), 1e-9);
+}
+
+TEST(LatencyHistogramTest, MergeDisjointRanges) {
+  LatencyHistogram low, high;
+  for (int i = 1; i <= 100; ++i) low.Record(double(i));
+  for (int i = 10001; i <= 10100; ++i) high.Record(double(i));
+  low.Merge(high);
+  EXPECT_EQ(low.Count(), 200u);
+  EXPECT_NEAR(low.Sum(), 100 * 101 / 2 + 100.0 * 10050.5, 1.0);
+  // Half the mass is below ~100, half above ~10000.
+  EXPECT_LT(low.Percentile(49.0), 150.0);
+  EXPECT_GT(low.Percentile(51.0), 5000.0);
+}
+
+TEST(LatencyHistogramTest, MergeOverlappingEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (int i = 1; i <= 500; ++i) {
+    a.Record(double(i));
+    combined.Record(double(i));
+  }
+  for (int i = 250; i <= 750; ++i) {
+    b.Record(double(i));
+    combined.Record(double(i));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_NEAR(a.Sum(), combined.Sum(), 1e-9);
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(a.Percentile(p), combined.Percentile(p), 1e-9) << p;
+  }
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
   LatencyHistogram hist;
   constexpr int kThreads = 8;

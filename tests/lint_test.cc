@@ -217,6 +217,43 @@ TEST(LintUsingNamespaceTest, FiresInHeadersOnly) {
   EXPECT_FALSE(HasRule(Lint("using namespace std;\n"), "using-namespace"));
 }
 
+// ---------- metric-name ----------
+
+TEST(LintMetricNameTest, BadNamesFire) {
+  // Escaped quotes keep these snippets from looking like registry calls to
+  // the tree walk over this very file.
+  for (const char* expr :
+       {"m.Counter(\"BadName\");", "m.Gauge(\"serving.\");",
+        "registry->Histo(\"lookup latency\");", "m.Counter(\"no_dots\");",
+        "m.Gauge(\"serving..depth\");", "m.Histo(\"9data.rows\");"}) {
+    const auto findings = Lint(std::string("  ") + expr + "\n");
+    EXPECT_TRUE(HasRule(findings, "metric-name")) << expr;
+  }
+}
+
+TEST(LintMetricNameTest, DottedSnakeCasePathsStaySilent) {
+  const auto findings = Lint(
+      "  m.Counter(\"training.steps\").Increment();\n"
+      "  registry->Gauge(\"hash.load_factor\").Set(0.5);\n"
+      "  m.Histo(\"serving.lookup_latency_us\", 1.0, 1.3, 64);\n"
+      "  two.Counter(\"a.b2.c_d\");\n");
+  EXPECT_FALSE(HasRule(findings, "metric-name"));
+}
+
+TEST(LintMetricNameTest, LookalikesAndNonLiteralsAreExempt) {
+  const auto findings = Lint(
+      "  m.GetCounter(\"NotTheRegistry\");\n"  // different method name
+      "  m.Counter(name);\n"                   // non-literal argument
+      "  // m.Counter(\"BadComment\") in a comment\n");
+  EXPECT_FALSE(HasRule(findings, "metric-name"));
+}
+
+TEST(LintMetricNameTest, SuppressionCommentWorks) {
+  const auto findings = Lint(
+      "  m.Counter(\"Legacy.Name\");  // fvae-lint: allow(metric-name)\n");
+  EXPECT_FALSE(HasRule(findings, "metric-name"));
+}
+
 // ---------- lexer ----------
 
 TEST(LintLexerTest, CommentsAndStringsNeverFire) {

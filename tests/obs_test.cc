@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/periodic_dumper.h"
+#include "obs/trace.h"
+
+namespace fvae::obs {
+namespace {
+
+// ---------- metric names ----------
+
+TEST(MetricNameTest, ValidatesDottedSnakeCasePaths) {
+  EXPECT_TRUE(IsValidMetricName("training.epoch_loss"));
+  EXPECT_TRUE(IsValidMetricName("serving.lookup_latency_us"));
+  EXPECT_TRUE(IsValidMetricName("a.b"));
+  EXPECT_TRUE(IsValidMetricName("a.b2.c_d"));
+
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("flat"));           // no dot
+  EXPECT_FALSE(IsValidMetricName("Training.loss"));  // upper case
+  EXPECT_FALSE(IsValidMetricName("training."));      // trailing dot
+  EXPECT_FALSE(IsValidMetricName(".loss"));          // leading dot
+  EXPECT_FALSE(IsValidMetricName("a..b"));           // empty segment
+  EXPECT_FALSE(IsValidMetricName("a.9b"));           // digit-led segment
+  EXPECT_FALSE(IsValidMetricName("a._b"));           // underscore-led
+  EXPECT_FALSE(IsValidMetricName("a b.c"));          // space
+}
+
+// ---------- registry ----------
+
+TEST(MetricsRegistryTest, InstrumentsAreNamedSingletons) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.Counter("test.hits");
+  Counter& c2 = registry.Counter("test.hits");
+  EXPECT_EQ(&c1, &c2);
+  c1.Increment();
+  c2.Add(4);
+  EXPECT_EQ(c1.Value(), 5u);
+
+  Gauge& g = registry.Gauge("test.depth");
+  g.Set(2.0);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.SetMax(1.0);  // below the watermark: no effect
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.SetMax(7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+
+  LatencyHistogram& h = registry.Histo("test.latency_us");
+  h.Record(10.0);
+  EXPECT_EQ(&h, &registry.Histo("test.latency_us"));
+  EXPECT_EQ(h.Count(), 1u);
+
+  EXPECT_EQ(registry.MetricCount(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUpdatesAreExact) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrements = 10000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread races the registration of the shared instruments and
+      // additionally registers one of its own.
+      Counter& shared = registry.Counter("test.shared_hits");
+      Gauge& peak = registry.Gauge("test.peak");
+      LatencyHistogram& histo = registry.Histo("test.latency_us");
+      Counter& own =
+          registry.Counter("test.thread_" + std::to_string(t));
+      for (size_t i = 0; i < kIncrements; ++i) {
+        shared.Increment();
+        own.Increment();
+        peak.SetMax(double(i));
+        histo.Record(double(i % 100));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.Counter("test.shared_hits").Value(),
+            kThreads * kIncrements);
+  EXPECT_DOUBLE_EQ(registry.Gauge("test.peak").Value(),
+                   double(kIncrements - 1));
+  EXPECT_EQ(registry.Histo("test.latency_us").Count(),
+            kThreads * kIncrements);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        registry.Counter("test.thread_" + std::to_string(t)).Value(),
+        kIncrements);
+  }
+  // shared counter + gauge + histogram + one counter per thread.
+  EXPECT_EQ(registry.MetricCount(), 3u + kThreads);
+}
+
+// ---------- exporters ----------
+
+TEST(MetricsRegistryTest, TextSnapshotGolden) {
+  MetricsRegistry registry;
+  registry.Counter("test.requests").Add(3);
+  registry.Gauge("test.depth").Set(1.5);
+  EXPECT_EQ(registry.TextSnapshot(),
+            "test.depth                           gauge      1.5\n"
+            "test.requests                        counter    3\n");
+}
+
+TEST(MetricsRegistryTest, JsonlSnapshotGolden) {
+  MetricsRegistry registry;
+  registry.Counter("test.requests").Add(3);
+  registry.Gauge("test.depth").Set(1.5);
+  EXPECT_EQ(registry.JsonlSnapshot(),
+            "{\"name\":\"test.depth\",\"type\":\"gauge\",\"value\":1.5}\n"
+            "{\"name\":\"test.requests\",\"type\":\"counter\","
+            "\"value\":3}\n");
+}
+
+TEST(MetricsRegistryTest, JsonlSnapshotHistogramLine) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.Histo("test.latency_us");
+  h.Record(10.0);
+  h.Record(20.0);
+  const std::string snapshot = registry.JsonlSnapshot();
+  EXPECT_EQ(snapshot.rfind("{\"name\":\"test.latency_us\","
+                           "\"type\":\"histogram\",\"count\":2,"
+                           "\"mean\":15.0,",
+                           0),
+            0u)
+      << snapshot;
+  EXPECT_NE(snapshot.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"p99\":"), std::string::npos);
+}
+
+// ---------- trace spans ----------
+
+/// Minimal field extractor for one Chrome trace event object.
+std::string JsonField(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  if (begin < object.size() && object[begin] == '"') {
+    const size_t end = object.find('"', begin + 1);
+    return object.substr(begin + 1, end - begin - 1);
+  }
+  size_t end = begin;
+  while (end < object.size() && object[end] != ',' && object[end] != '}') {
+    ++end;
+  }
+  return object.substr(begin, end - begin);
+}
+
+struct ParsedEvent {
+  std::string name;
+  int64_t ts = 0;
+  int64_t dur = 0;
+  uint32_t tid = 0;
+};
+
+/// Parses the {...} objects out of a "traceEvents" array.
+std::vector<ParsedEvent> ParseChromeTrace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  const size_t array = json.find("\"traceEvents\":[");
+  EXPECT_NE(array, std::string::npos) << json;
+  size_t pos = array;
+  while ((pos = json.find('{', pos)) != std::string::npos) {
+    const size_t end = json.find('}', pos);
+    const std::string object = json.substr(pos, end - pos + 1);
+    ParsedEvent event;
+    event.name = JsonField(object, "name");
+    event.ts = std::stoll(JsonField(object, "ts"));
+    event.dur = std::stoll(JsonField(object, "dur"));
+    event.tid = uint32_t(std::stoul(JsonField(object, "tid")));
+    EXPECT_EQ(JsonField(object, "ph"), "X") << object;
+    events.push_back(event);
+    pos = end + 1;
+  }
+  return events;
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  { TraceSpan span("test.span", &recorder); }
+  EXPECT_EQ(recorder.EventCount(), 0u);
+}
+
+TEST(TraceTest, SpansNestWithinEachThread) {
+  TraceRecorder recorder;
+  recorder.Enable();
+
+  constexpr size_t kThreads = 2;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      TraceSpan outer("test.outer", &recorder);
+      // Make the inner span strictly containable: busy-wait ~200us so the
+      // microsecond clock ticks between the start/end stamps.
+      const int64_t begin = MonotonicMicros();
+      while (MonotonicMicros() - begin < 100) {
+      }
+      {
+        TraceSpan inner("test.inner", &recorder);
+        const int64_t inner_begin = MonotonicMicros();
+        while (MonotonicMicros() - inner_begin < 100) {
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.EventCount(), 2 * kThreads);
+  const std::vector<ParsedEvent> events =
+      ParseChromeTrace(recorder.ChromeTraceJson());
+  ASSERT_EQ(events.size(), 2 * kThreads);
+
+  // Per thread: exactly one outer and one inner, and the inner's
+  // [ts, ts+dur) interval is contained in the outer's.
+  std::vector<uint32_t> tids;
+  for (const ParsedEvent& event : events) tids.push_back(event.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  ASSERT_EQ(tids.size(), kThreads) << "one buffer (tid) per thread";
+
+  for (uint32_t tid : tids) {
+    const ParsedEvent* outer = nullptr;
+    const ParsedEvent* inner = nullptr;
+    for (const ParsedEvent& event : events) {
+      if (event.tid != tid) continue;
+      if (event.name == "test.outer") outer = &event;
+      if (event.name == "test.inner") inner = &event;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_LE(outer->ts, inner->ts);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+    EXPECT_LT(inner->dur, outer->dur);
+  }
+}
+
+TEST(TraceTest, EarlyEndIsIdempotent) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  TraceSpan span("test.span", &recorder);
+  span.End();
+  span.End();  // no double record
+  EXPECT_EQ(recorder.EventCount(), 1u);
+}
+
+TEST(TraceTest, ProfileAggregatesAcrossThreads) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  std::thread other([&recorder] {
+    recorder.RecordSpan("test.step", 0, 100);
+    recorder.RecordSpan("test.step", 200, 300);
+  });
+  other.join();
+  recorder.RecordSpan("test.step", 500, 200);
+  recorder.RecordSpan("test.misc", 0, 10);
+
+  const std::vector<SpanProfile> profile = recorder.Profile();
+  ASSERT_EQ(profile.size(), 2u);
+  // Sorted by total time descending: step (600us) before misc (10us).
+  EXPECT_EQ(profile[0].name, "test.step");
+  EXPECT_EQ(profile[0].count, 3u);
+  EXPECT_DOUBLE_EQ(profile[0].total_us, 600.0);
+  EXPECT_GT(profile[0].p99_us, 0.0);
+  EXPECT_EQ(profile[1].name, "test.misc");
+  EXPECT_EQ(profile[1].count, 1u);
+  EXPECT_NE(recorder.ProfileText().find("test.step"), std::string::npos);
+}
+
+TEST(TraceTest, FullBufferCountsDrops) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  const size_t over = TraceRecorder::kMaxEventsPerThread + 5;
+  for (size_t i = 0; i < over; ++i) {
+    recorder.RecordSpan("test.spin", int64_t(i), 1);
+  }
+  EXPECT_EQ(recorder.EventCount(), TraceRecorder::kMaxEventsPerThread);
+  EXPECT_EQ(recorder.DroppedCount(), 5u);
+
+  recorder.Reset();
+  EXPECT_EQ(recorder.EventCount(), 0u);
+  EXPECT_EQ(recorder.DroppedCount(), 0u);
+  recorder.RecordSpan("test.spin", 0, 1);
+  EXPECT_EQ(recorder.EventCount(), 1u);
+}
+
+TEST(TraceTest, TraceScopeMacroRecordsIntoGlobal) {
+  TraceRecorder& global = TraceRecorder::Global();
+  global.Reset();
+  global.Enable();
+  { FVAE_TRACE_SCOPE("test.macro_span"); }
+  global.Disable();
+  EXPECT_EQ(global.EventCount(), 1u);
+  EXPECT_NE(global.ChromeTraceJson().find("test.macro_span"),
+            std::string::npos);
+  global.Reset();
+}
+
+// ---------- periodic dumper ----------
+
+TEST(PeriodicDumperTest, DumpsPeriodicallyAndStopsCleanly) {
+  MetricsRegistry registry;
+  registry.Counter("test.ticks").Add(7);
+
+  Mutex mutex;
+  std::vector<std::string> snapshots;
+  PeriodicDumperOptions options;
+  options.interval_seconds = 0.01;
+  PeriodicDumper dumper(&registry, options,
+                        [&mutex, &snapshots](const std::string& snapshot) {
+                          MutexLock lock(mutex);
+                          snapshots.push_back(snapshot);
+                        });
+  EXPECT_FALSE(dumper.running());
+  dumper.Start();
+  EXPECT_TRUE(dumper.running());
+  // Wait for at least one periodic emission (generous bound, not a sleep
+  // calibrated to the interval).
+  const int64_t begin = MonotonicMicros();
+  while (dumper.dumps() == 0 && MonotonicMicros() - begin < 5'000'000) {
+    std::this_thread::yield();
+  }
+  dumper.Stop();
+  EXPECT_FALSE(dumper.running());
+
+  const uint64_t dumps_after_stop = dumper.dumps();
+  EXPECT_GE(dumps_after_stop, 1u);
+  {
+    MutexLock lock(mutex);
+    ASSERT_EQ(snapshots.size(), dumps_after_stop);
+    for (const std::string& snapshot : snapshots) {
+      EXPECT_NE(snapshot.find("\"name\":\"test.ticks\""),
+                std::string::npos);
+    }
+  }
+
+  // No emission after Stop; Start/Stop cycles are repeatable.
+  dumper.Start();
+  dumper.Stop();
+  EXPECT_GE(dumper.dumps(), dumps_after_stop + 1);  // final emit per Stop
+  const uint64_t final_dumps = dumper.dumps();
+  {
+    MutexLock lock(mutex);
+    EXPECT_EQ(snapshots.size(), final_dumps);
+  }
+}
+
+TEST(PeriodicDumperTest, StopWithoutStartIsANoop) {
+  MetricsRegistry registry;
+  PeriodicDumper dumper(&registry, PeriodicDumperOptions{},
+                        [](const std::string&) {});
+  dumper.Stop();
+  EXPECT_EQ(dumper.dumps(), 0u);
+}
+
+}  // namespace
+}  // namespace fvae::obs

@@ -382,7 +382,7 @@ TEST(RequestBatcherTest, CoalescesConcurrentRequests) {
   // 16 requests submitted while the encoder sleeps 10ms per call must
   // coalesce well below one call per request (worst case: 1 + ceil(15/8)).
   EXPECT_LT(encoder.calls.load(), 16);
-  EXPECT_EQ(telemetry.batched_users.load(), 16u);
+  EXPECT_EQ(telemetry.batched_users.Value(), 16u);
   EXPECT_GT(telemetry.MeanBatchSize(), 1.0);
 }
 
@@ -405,7 +405,7 @@ TEST(RequestBatcherTest, AdmissionControlRejectsWhenQueueFull) {
   for (uint64_t i = 1; i <= 4; ++i) {
     futures.push_back(batcher.Submit(i, RawUser(i)));
   }
-  EXPECT_EQ(telemetry.rejected.load(), 2u);  // capacity 2: two bounced
+  EXPECT_EQ(telemetry.rejected.Value(), 2u);  // capacity 2: two bounced
   EXPECT_EQ(telemetry.queue_peak(), 2u);
 
   encoder.gate.release(64);  // unblock all remaining batches
@@ -446,7 +446,7 @@ TEST(RequestBatcherTest, ExpiredDeadlineSkipsEncoding) {
   auto result = doomed.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(telemetry.deadline_expired.load(), 1u);
+  EXPECT_EQ(telemetry.deadline_expired.Value(), 1u);
   EXPECT_EQ(encoder.users_encoded.load(), 1u);  // only the warm request
 }
 
@@ -489,13 +489,13 @@ TEST(EmbeddingServiceTest, HotLookupHitsStore) {
   auto result = service.Lookup(42);
   ASSERT_TRUE(result.ok());
   EXPECT_FLOAT_EQ((*result)[1], 2.0f);
-  EXPECT_EQ(service.telemetry().store_hits.load(), 1u);
+  EXPECT_EQ(service.telemetry().store_hits.Value(), 1u);
   EXPECT_EQ(encoder.calls.load(), 0);
 
   auto missing = service.Lookup(7);
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(service.telemetry().not_found.load(), 1u);
+  EXPECT_EQ(service.telemetry().not_found.Value(), 1u);
 }
 
 TEST(EmbeddingServiceTest, ColdUserFoldsInAndMaterializes) {
@@ -507,13 +507,13 @@ TEST(EmbeddingServiceTest, ColdUserFoldsInAndMaterializes) {
   auto result = future.get();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FLOAT_EQ((*result)[0], 55.0f);
-  EXPECT_EQ(service.telemetry().fold_ins.load(), 1u);
+  EXPECT_EQ(service.telemetry().fold_ins.Value(), 1u);
   EXPECT_EQ(service.telemetry().foldin_latency_us().Count(), 1u);
 
   // Materialized: the next request is a store hit, no second encode.
   auto again = service.LookupOrEncode(900, RawUser(55));
   ASSERT_TRUE(again.get().ok());
-  EXPECT_EQ(service.telemetry().store_hits.load(), 1u);
+  EXPECT_EQ(service.telemetry().store_hits.Value(), 1u);
   EXPECT_EQ(encoder.users_encoded.load(), 1u);
   EXPECT_TRUE(service.store().Contains(900));
 }
@@ -528,7 +528,7 @@ TEST(EmbeddingServiceTest, SynchronousPathWhenBatcherDisabled) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 3u);
   EXPECT_FLOAT_EQ((*result)[0], 11.0f);
-  EXPECT_EQ(service.telemetry().fold_ins.load(), 1u);
+  EXPECT_EQ(service.telemetry().fold_ins.Value(), 1u);
   EXPECT_TRUE(service.store().Contains(1));
 }
 
@@ -610,21 +610,21 @@ TEST(EmbeddingServiceStressTest, ConcurrentMixedTrafficLosesNothing) {
   const uint64_t total = kThreads * kRequestsPerThread;
   // No lost responses: every request resolved exactly once.
   EXPECT_EQ(ok_responses.load() + error_responses.load(), total);
-  EXPECT_EQ(telemetry.requests.load(), total);
+  EXPECT_EQ(telemetry.requests.Value(), total);
   // Outcome counters partition the request count.
-  EXPECT_EQ(telemetry.store_hits.load() + telemetry.fold_ins.load() +
-                telemetry.rejected.load() +
-                telemetry.deadline_expired.load() +
-                telemetry.not_found.load(),
+  EXPECT_EQ(telemetry.store_hits.Value() + telemetry.fold_ins.Value() +
+                telemetry.rejected.Value() +
+                telemetry.deadline_expired.Value() +
+                telemetry.not_found.Value(),
             total);
   // Successful answers are exactly hits + fold-ins.
   EXPECT_EQ(ok_responses.load(),
-            telemetry.store_hits.load() + telemetry.fold_ins.load());
-  EXPECT_EQ(telemetry.not_found.load(), 0u);
-  EXPECT_GT(telemetry.fold_ins.load(), 0u);
-  EXPECT_GT(telemetry.store_hits.load(), 0u);
+            telemetry.store_hits.Value() + telemetry.fold_ins.Value());
+  EXPECT_EQ(telemetry.not_found.Value(), 0u);
+  EXPECT_GT(telemetry.fold_ins.Value(), 0u);
+  EXPECT_GT(telemetry.store_hits.Value(), 0u);
   // Encoder accounting matches telemetry.
-  EXPECT_EQ(encoder.users_encoded.load(), telemetry.fold_ins.load());
+  EXPECT_EQ(encoder.users_encoded.load(), telemetry.fold_ins.Value());
   // Per-shard hits/misses add up to the store traffic (every request does
   // exactly one store Get before any fold-in).
   uint64_t shard_hits = 0, shard_misses = 0;
@@ -632,7 +632,7 @@ TEST(EmbeddingServiceStressTest, ConcurrentMixedTrafficLosesNothing) {
     shard_hits += s.hits;
     shard_misses += s.misses;
   }
-  EXPECT_EQ(shard_hits, telemetry.store_hits.load());
+  EXPECT_EQ(shard_hits, telemetry.store_hits.Value());
   EXPECT_EQ(shard_hits + shard_misses, total);
 }
 

@@ -8,12 +8,20 @@
 //   fvae export   --data data.bin --model model.bin --out embeddings.bin
 //   fvae inspect  --model model.bin
 //   fvae inspect  --data data.bin
+//   fvae metrics  --in metrics.jsonl
+//
+// Observability flags (train / serve-bench):
+//   --trace-out F       record trace spans, write Chrome trace JSON to F
+//   --metrics-out F     write a JSONL metrics snapshot to F at the end
+//   --metrics-every-s N also dump the snapshot every N seconds (appends)
 //
 // Every command prints a short report to stdout; errors go to stderr with a
 // non-zero exit code.
 
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 
@@ -28,6 +36,9 @@
 #include "datagen/profile_generator.h"
 #include "eval/representation_model.h"
 #include "eval/tasks.h"
+#include "obs/metrics_registry.h"
+#include "obs/periodic_dumper.h"
+#include "obs/trace.h"
 #include "serving/embedding_service.h"
 #include "serving/embedding_store.h"
 #include "serving/fold_in.h"
@@ -73,6 +84,71 @@ int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
 }
+
+/// Shared --trace-out / --metrics-out / --metrics-every-s handling for the
+/// instrumented commands. Construct before the work (enables tracing, starts
+/// the periodic dumper), call Finish() after it (writes the trace file and
+/// the final snapshot, prints the registry to stdout).
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : trace_path_(args.Get("trace-out", "")),
+        metrics_path_(args.Get("metrics-out", "")) {
+    if (!trace_path_.empty()) obs::TraceRecorder::Global().Enable();
+    const double every_s = args.GetDouble("metrics-every-s", 0.0);
+    if (every_s > 0.0 && !metrics_path_.empty()) {
+      obs::PeriodicDumperOptions options;
+      options.interval_seconds = every_s;
+      options.path = metrics_path_;
+      dumper_ = std::make_unique<obs::PeriodicDumper>(
+          &obs::MetricsRegistry::Global(), options);
+      dumper_->Start();
+    }
+  }
+
+  ~ObsSession() { Finish(); }
+
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    // Stop() emits one final snapshot, so the file always ends with the
+    // complete end-of-run numbers even in periodic mode.
+    if (dumper_ != nullptr) {
+      dumper_->Stop();
+    } else if (!metrics_path_.empty()) {
+      const Status status = obs::MetricsRegistry::Global().WriteJsonlSnapshot(
+          metrics_path_, /*append=*/false);
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics write failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::printf("-- metrics (%s) --\n%s", metrics_path_.c_str(),
+                  obs::MetricsRegistry::Global().TextSnapshot().c_str());
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+      recorder.Disable();
+      const Status status = recorder.WriteChromeTrace(trace_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     status.ToString().c_str());
+        return;
+      }
+      std::printf("-- trace (%zu spans -> %s, %llu dropped) --\n%s",
+                  recorder.EventCount(), trace_path_.c_str(),
+                  static_cast<unsigned long long>(recorder.DroppedCount()),
+                  recorder.ProfileText().c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::PeriodicDumper> dumper_;
+  bool finished_ = false;
+};
 
 int CmdGenerate(const Args& args) {
   const std::string preset = args.Get("preset", "sc");
@@ -126,6 +202,7 @@ int CmdTrain(const Args& args) {
   config.sampling_rate = args.GetDouble("rate", 0.1);
   config.seed = uint64_t(args.GetInt("seed", 1234));
 
+  ObsSession obs_session(args);
   core::FieldVae model(config, data->fields());
   core::TrainOptions options;
   options.batch_size = size_t(args.GetInt("batch", 512));
@@ -138,6 +215,7 @@ int CmdTrain(const Args& args) {
   std::printf("trained %zu steps, %.0f users/s, %zu parameters\n",
               result.steps, result.UsersPerSecond(),
               model.ParameterCount());
+  obs_session.Finish();
 
   const Status status = core::SaveFieldVae(model, model_path);
   if (!status.ok()) return Fail(status.ToString());
@@ -248,7 +326,9 @@ int CmdServeBench(const Args& args) {
   const size_t requests = size_t(args.GetInt("requests", 20000));
   const double hot_frac = args.GetDouble("hot-frac", 0.8);
 
+  ObsSession obs_session(args);
   serving::EmbeddingServiceOptions options;
+  options.metrics_registry = &obs::MetricsRegistry::Global();
   options.num_shards = size_t(args.GetInt("shards", 16));
   options.enable_batcher = args.GetInt("batcher", 1) != 0;
   // Default batch size matches client concurrency so closed-loop batches
@@ -297,6 +377,56 @@ int CmdServeBench(const Args& args) {
               options.enable_batcher ? "on" : "off");
   std::printf("client: %s\n", report.Json().c_str());
   std::printf("service: %s\n", service.TelemetryJson().c_str());
+  obs_session.Finish();
+  return 0;
+}
+
+/// Pretty-prints a JSONL metrics snapshot written by --metrics-out (or the
+/// periodic dumper). Minimal field extraction — enough to read a dump
+/// without other tooling; rows appear in file order, so an appended file
+/// shows the dump history.
+int CmdMetrics(const Args& args) {
+  const std::string path = args.Get("in", "metrics.jsonl");
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open " + path);
+
+  auto field = [](const std::string& line,
+                  const std::string& key) -> std::string {
+    const std::string needle = "\"" + key + "\":";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos) return "";
+    size_t begin = at + needle.size();
+    if (begin < line.size() && line[begin] == '"') {
+      const size_t end = line.find('"', begin + 1);
+      if (end == std::string::npos) return "";
+      return line.substr(begin + 1, end - begin - 1);
+    }
+    size_t end = begin;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    return line.substr(begin, end - begin);
+  };
+
+  std::string line;
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string name = field(line, "name");
+    const std::string type = field(line, "type");
+    if (name.empty() || type.empty()) {
+      return Fail("not a metrics snapshot line: " + line);
+    }
+    if (type == "histogram") {
+      std::printf("%-36s %-9s count=%s mean=%s p50=%s p99=%s\n",
+                  name.c_str(), type.c_str(), field(line, "count").c_str(),
+                  field(line, "mean").c_str(), field(line, "p50").c_str(),
+                  field(line, "p99").c_str());
+    } else {
+      std::printf("%-36s %-9s %s\n", name.c_str(), type.c_str(),
+                  field(line, "value").c_str());
+    }
+    ++rows;
+  }
+  std::printf("%zu metrics from %s\n", rows, path.c_str());
   return 0;
 }
 
@@ -340,13 +470,16 @@ void PrintUsage() {
       "  generate  --preset sc|kd|qb --users N --seed S --out F [--text 1]\n"
       "  train     --data F --model F [--latent D --hidden H --epochs E\n"
       "             --batch B --rate R --strategy uniform|frequency|zipfian\n"
-      "             --beta B --seed S]\n"
+      "             --beta B --seed S --trace-out F --metrics-out F\n"
+      "             --metrics-every-s N]\n"
       "  evaluate  --data F --model F --task tag|recon [--field K]\n"
       "  export    --data F --model F --out F\n"
       "  inspect   --model F | --data F\n"
+      "  metrics   --in metrics.jsonl\n"
       "  serve-bench --data F --model F [--threads N --requests N\n"
       "             --hot-frac H --batcher 0|1 --batch B --wait-us W\n"
-      "             --queue Q --deadline-us D --shards S --seed S]\n");
+      "             --queue Q --deadline-us D --shards S --seed S\n"
+      "             --trace-out F --metrics-out F]\n");
 }
 
 }  // namespace
@@ -363,6 +496,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "export") return CmdExport(args);
   if (command == "inspect") return CmdInspect(args);
+  if (command == "metrics") return CmdMetrics(args);
   if (command == "serve-bench") return CmdServeBench(args);
   PrintUsage();
   return 1;

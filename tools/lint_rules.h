@@ -30,6 +30,11 @@
 ///   header-guard       a header's include guard does not match the
 ///                      FVAE_<PATH>_H_ convention (or #pragma once).
 ///   using-namespace    file-scope `using namespace` in a header.
+///   metric-name        a string literal passed to a metrics-registry
+///                      Counter()/Gauge()/Histo() call is not a snake_case
+///                      dotted path ("training.epoch_loss"). Catches at
+///                      review time what obs::MetricsRegistry would
+///                      FVAE_CHECK-crash on at run time.
 ///
 /// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed.
 ///
@@ -172,6 +177,32 @@ inline std::string ParseQualifiedCallee(const std::string& s, size_t* pos) {
   }
   *pos = i;
   return last;
+}
+
+/// True for a valid dotted metric path: two or more snake_case segments
+/// ([a-z][a-z0-9_]*) joined by '.'. Mirrors obs::IsValidMetricName so the
+/// lint finding and the registry's runtime FVAE_CHECK agree.
+inline bool IsMetricNamePath(const std::string& name) {
+  if (name.empty()) return false;
+  bool seen_dot = false;
+  bool segment_start = true;
+  for (char c : name) {
+    if (c == '.') {
+      if (segment_start) return false;  // empty segment
+      seen_dot = true;
+      segment_start = true;
+      continue;
+    }
+    if (segment_start) {
+      if (c < 'a' || c > 'z') return false;
+      segment_start = false;
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return seen_dot && !segment_start;
 }
 
 }  // namespace detail
@@ -328,6 +359,38 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
                "same line or the line above");
       }
       continue;  // an annotated discard is not a discarded-status finding
+    }
+
+    // Metric-name hygiene: a string literal handed to a registry
+    // Counter()/Gauge()/Histo() call must be a snake_case dotted path.
+    // Literals live only in the raw line (stripping blanks them), so scan
+    // raw and cross-check the same offset in the stripped line to skip
+    // occurrences inside comments.
+    for (const char* method : {"Counter(\"", "Gauge(\"", "Histo(\""}) {
+      const size_t method_len = std::string(method).size();
+      size_t at = 0;
+      while ((at = raw[i].find(method, at)) != std::string::npos) {
+        const bool own_word = at == 0 || !detail::IsIdentChar(raw[i][at - 1]);
+        const bool in_code =
+            code[i].size() > at &&
+            code[i].compare(at, method_len - 1, method, method_len - 1) == 0;
+        if (!own_word || !in_code) {
+          at += method_len;
+          continue;
+        }
+        const size_t name_begin = at + method_len;
+        const size_t name_end = raw[i].find('"', name_begin);
+        if (name_end == std::string::npos) break;  // literal spans lines
+        const std::string name =
+            raw[i].substr(name_begin, name_end - name_begin);
+        if (!detail::IsMetricNamePath(name)) {
+          report(i, "metric-name",
+                 "metric name \"" + name +
+                     "\" must be a snake_case dotted path like "
+                     "\"training.epoch_loss\"");
+        }
+        at = name_end + 1;
+      }
     }
 
     if (options.status_functions != nullptr && line.back() == ';') {
