@@ -1,0 +1,76 @@
+#ifndef FVAE_COMMON_ATOMIC_FILE_H_
+#define FVAE_COMMON_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace fvae {
+
+/// Crash-safe file writer shared by every persistence path (model
+/// checkpoints, binary datasets, streaming dumps, embedding stores, obs
+/// snapshot exporters).
+///
+/// All bytes stream into `<path>.tmp`; Commit() flushes, fsyncs, and
+/// atomically rename(2)s the temp file onto `path`, then fsyncs the parent
+/// directory. A crash at ANY point therefore leaves the canonical path
+/// either untouched (the previous complete file, or absent) or fully
+/// replaced — never truncated, never interleaved. Stale `.tmp` debris from
+/// a crash is harmless: writers truncate it on the next open and readers
+/// never look at it.
+///
+/// Commit() deliberately samples the stream state *after* close(): close
+/// performs the final flush, so a deferred write error (ENOSPC discovered
+/// at flush time) surfaces only there.
+///
+/// Fault injection: the failpoints `<prefix>.before_tmp_write` (in Open),
+/// `<prefix>.after_tmp_write`, `<prefix>.before_rename` and
+/// `<prefix>.after_rename` (in Commit) fire with the prefix passed to
+/// Open, e.g. `model_io.save.after_tmp_write`. The crash-safety tests kill
+/// the process at each of them and assert the old-or-new invariant above.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  /// An uncommitted writer aborts: the temp file is removed, the canonical
+  /// path is untouched. Call Commit() explicitly to publish.
+  ~AtomicFileWriter() { Abort(); }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens `<path>.tmp` for writing (binary, truncating). `failpoint_prefix`
+  /// names this write's fault-injection points (see class comment).
+  Status Open(const std::string& path,
+              const std::string& failpoint_prefix = "atomic_file.write");
+
+  /// The stream to write payload bytes to. Valid between Open and
+  /// Commit/Abort.
+  std::ostream& stream() { return out_; }
+
+  bool is_open() const { return open_; }
+
+  /// Flush + fsync + rename onto the canonical path + fsync the directory.
+  /// On any failure the temp file is removed and the canonical path is left
+  /// as it was. After Commit (ok or not) the writer is closed.
+  Status Commit();
+
+  /// Drops the temp file without touching the canonical path. Idempotent.
+  void Abort();
+
+  /// Payload size of the last successful Commit.
+  uint64_t bytes_committed() const { return bytes_committed_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::string failpoint_prefix_;
+  std::ofstream out_;
+  bool open_ = false;
+  uint64_t bytes_committed_ = 0;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_ATOMIC_FILE_H_

@@ -1,0 +1,74 @@
+#ifndef FVAE_COMMON_BINARY_IO_H_
+#define FVAE_COMMON_BINARY_IO_H_
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fvae {
+
+/// Little shared vocabulary of the binary persistence formats (FVMD
+/// checkpoints, FVDS datasets, FVST streams, FVEB embedding stores): raw
+/// little-endian PODs written to any std::ostream, read back through a
+/// bounds-checked cursor over an in-memory buffer.
+///
+/// Readers deliberately go through memory rather than streaming from an
+/// ifstream: every format verifies CRC-32 checksums over raw payload bytes
+/// (common/crc32.h), which need the bytes anyway, and a cursor makes the
+/// "every read is bounds-checked" property trivial to audit.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Bounds-checked forward cursor over a borrowed byte buffer. Any
+/// out-of-bounds read returns false and pins the cursor at the end, so a
+/// chain of reads after a truncation keeps failing instead of reading
+/// stale values.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  bool ReadBytes(void* out, size_t n) {
+    if (data_.size() - pos_ < n) {
+      pos_ = data_.size();
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+inline Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return std::move(buffer).str();
+}
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_BINARY_IO_H_

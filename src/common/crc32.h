@@ -1,0 +1,25 @@
+#ifndef FVAE_COMMON_CRC32_H_
+#define FVAE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fvae {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected, table-driven).
+///
+/// The persistence formats (model checkpoints, binary datasets, embedding
+/// dumps) frame their payloads with this checksum so that truncation or
+/// bit-rot is detected at load time as a clean IoError instead of being
+/// deserialized into a garbage model. Incremental use: feed the previous
+/// return value back as `seed` to checksum a payload in chunks.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_CRC32_H_

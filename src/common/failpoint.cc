@@ -1,0 +1,131 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+
+#include "common/mutex.h"
+#include "common/string_util.h"
+#include "common/thread_annotations.h"
+
+namespace fvae {
+
+namespace {
+
+struct ArmedPoint {
+  FailpointAction action = FailpointAction::kOff;
+  uint64_t max_hits = 0;  // 0 = unlimited
+  uint64_t hits = 0;
+};
+
+/// Number of currently armed points. The dormant fast path is a single
+/// relaxed load of this counter, so sprinkling FailpointCheck through IO
+/// code costs nothing in production.
+std::atomic<uint64_t> g_armed_count{0};
+
+Mutex& Lock() {
+  static Mutex* mutex = new Mutex;
+  return *mutex;
+}
+
+std::map<std::string, ArmedPoint, std::less<>>& Registry()
+    FVAE_REQUIRES(Lock()) {
+  static auto* registry = new std::map<std::string, ArmedPoint, std::less<>>;
+  return *registry;
+}
+
+/// Parses FVAE_FAILPOINT ("name[:kill|error[@N]][,...]") once, on the
+/// first FailpointCheck. Malformed entries are ignored — fault injection
+/// must never take down a production run on its own.
+void ArmFromEnvironment() {
+  const char* raw = std::getenv("FVAE_FAILPOINT");
+  if (raw == nullptr || raw[0] == '\0') return;
+  for (const std::string& entry : Split(raw, ',')) {
+    std::string name(StripWhitespace(entry));
+    FailpointAction action = FailpointAction::kKill;
+    uint64_t max_hits = 0;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) {
+      std::string spec = name.substr(colon + 1);
+      name.resize(colon);
+      const size_t at = spec.find('@');
+      if (at != std::string::npos) {
+        max_hits = uint64_t(ParseInt64(spec.substr(at + 1)).value_or(0));
+        spec.resize(at);
+      }
+      if (spec == "error") {
+        action = FailpointAction::kError;
+      } else if (spec != "kill") {
+        continue;
+      }
+    }
+    if (!name.empty()) ArmFailpoint(name, action, max_hits);
+  }
+}
+
+void EnsureEnvironmentParsed() {
+  static const bool parsed = [] {
+    ArmFromEnvironment();
+    return true;
+  }();
+  (void)parsed;  // the side effect of the initializer is the point
+}
+
+}  // namespace
+
+void ArmFailpoint(std::string_view name, FailpointAction action,
+                  uint64_t max_hits) {
+  MutexLock lock(Lock());
+  auto [it, inserted] = Registry().insert_or_assign(
+      std::string(name), ArmedPoint{action, max_hits, 0});
+  (void)it;  // only the insertion flag matters for the armed count
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DisarmFailpoint(std::string_view name) {
+  MutexLock lock(Lock());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return;
+  Registry().erase(it);
+  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t FailpointHitCount(std::string_view name) {
+  MutexLock lock(Lock());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+Status FailpointCheck(std::string_view name) {
+  EnsureEnvironmentParsed();
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  FailpointAction action = FailpointAction::kOff;
+  {
+    MutexLock lock(Lock());
+    auto it = Registry().find(name);
+    if (it == Registry().end()) return Status::Ok();
+    ArmedPoint& point = it->second;
+    if (point.max_hits > 0 && point.hits >= point.max_hits) {
+      return Status::Ok();
+    }
+    ++point.hits;
+    action = point.action;
+  }
+  switch (action) {
+    case FailpointAction::kOff:
+      return Status::Ok();
+    case FailpointAction::kError:
+      return Status::Unavailable("failpoint fired: " + std::string(name));
+    case FailpointAction::kKill:
+      // SIGKILL cannot be caught: no stream flushing, no atexit, no
+      // destructors — the closest in-process stand-in for a machine crash.
+      std::raise(SIGKILL);
+      std::abort();  // unreachable; raise(SIGKILL) does not return
+  }
+  return Status::Ok();
+}
+
+}  // namespace fvae

@@ -1,0 +1,77 @@
+#ifndef FVAE_COMMON_FAILPOINT_H_
+#define FVAE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fvae {
+
+/// Fault-injection hooks for the crash-safety tests.
+///
+/// IO code marks its hazardous boundaries with FailpointCheck("name") —
+/// e.g. the atomic writer fires `model_io.save.after_tmp_write` between
+/// writing the temp file and renaming it onto the canonical path. Names
+/// follow the `<module>.<operation>.<stage>` convention (dotted
+/// snake_case, same grammar as metric names; see ARCHITECTURE.md §10).
+///
+/// A failpoint is dormant (one relaxed atomic load, no lock) until armed:
+///
+///   - programmatically, via ScopedFailpoint in tests;
+///   - via the environment: FVAE_FAILPOINT="name[:action][,name2...]"
+///     where action is `kill` (default — die with SIGKILL, simulating a
+///     crash at exactly that boundary) or `error` (return a transient
+///     Status::Unavailable, exercising retry paths).
+///
+/// Arming takes an optional hit budget: `error@2` fails the first two
+/// hits and then succeeds, which is how the bounded-retry tests model a
+/// transient failure that clears.
+enum class FailpointAction {
+  kOff = 0,
+  /// Report Status::Unavailable from FailpointCheck.
+  kError,
+  /// Terminate the process with SIGKILL (no flushing, no destructors) —
+  /// the honest simulation of a power cut or OOM kill.
+  kKill,
+};
+
+/// Arms `name` with `action`. `max_hits` > 0 disarms the point after that
+/// many hits; 0 means unlimited. Replaces any previous arming of `name`.
+void ArmFailpoint(std::string_view name, FailpointAction action,
+                  uint64_t max_hits = 0);
+
+/// Disarms `name` (no-op when not armed).
+void DisarmFailpoint(std::string_view name);
+
+/// Total times `name` fired (kError or kKill) since it was last armed.
+uint64_t FailpointHitCount(std::string_view name);
+
+/// The hook itself: returns Ok when `name` is dormant or its hit budget is
+/// exhausted, Status::Unavailable when armed as kError, and does not
+/// return when armed as kKill. The first call parses FVAE_FAILPOINT.
+Status FailpointCheck(std::string_view name);
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointAction action,
+                  uint64_t max_hits = 0)
+      : name_(std::move(name)) {
+    ArmFailpoint(name_, action, max_hits);
+  }
+  ~ScopedFailpoint() { DisarmFailpoint(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  uint64_t hits() const { return FailpointHitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_FAILPOINT_H_

@@ -27,6 +27,22 @@ Rng::Rng(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // Guard the xoshiro all-zero fixed point, same as the constructor.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t Rng::Next64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -8,6 +8,18 @@
 
 namespace fvae {
 
+/// Complete serializable state of an Rng: the four xoshiro256** lanes plus
+/// the Box-Muller cache. The cache is part of the state on purpose —
+/// restoring only the lanes after an odd number of Normal() draws would
+/// replay the cached value's twin and diverge from the uninterrupted
+/// stream. Checkpoints persist this struct to make resumed training
+/// bitwise-identical.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Fast, reproducible PRNG (xoshiro256**), seeded via SplitMix64.
 ///
 /// All stochastic components of the library (initialization, sampling,
@@ -63,6 +75,13 @@ class Rng {
   /// Samples k distinct indices from [0, n) without replacement
   /// (Floyd's algorithm); output order is unspecified.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Snapshot of the generator, sufficient to reproduce the exact draw
+  /// stream via SetState (used by checkpoint/resume).
+  RngState GetState() const;
+
+  /// Restores a snapshot taken with GetState.
+  void SetState(const RngState& state);
 
   /// Fisher-Yates shuffle of a vector.
   template <typename T>

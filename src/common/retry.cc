@@ -1,0 +1,29 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace fvae {
+
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& attempt) {
+  FVAE_CHECK(options.max_attempts >= 1) << "need at least one attempt";
+  double backoff_ms = options.initial_backoff_ms;
+  Status status;
+  for (size_t i = 0; i < options.max_attempts; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(options.max_backoff_ms,
+                            backoff_ms * options.backoff_multiplier);
+    }
+    status = attempt();
+    if (status.code() != StatusCode::kUnavailable) return status;
+  }
+  return status;
+}
+
+}  // namespace fvae

@@ -1,0 +1,32 @@
+#ifndef FVAE_COMMON_RETRY_H_
+#define FVAE_COMMON_RETRY_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace fvae {
+
+/// Policy for retrying transient failures (exponential backoff, bounded).
+struct RetryOptions {
+  /// Total attempts, including the first one. 1 disables retrying.
+  size_t max_attempts = 3;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+};
+
+/// Runs `attempt` until it succeeds, fails permanently, or the attempt
+/// budget is exhausted; sleeps with exponential backoff between attempts.
+///
+/// Only kUnavailable is treated as transient — it is the code IO layers
+/// (and the fault-injection failpoints) use for "try again" conditions.
+/// Any other failure is returned immediately: retrying a corrupt file or a
+/// bad argument only delays the diagnosis.
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& attempt);
+
+}  // namespace fvae
+
+#endif  // FVAE_COMMON_RETRY_H_

@@ -1,0 +1,134 @@
+#include "core/checkpoint.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+
+namespace fvae::core {
+
+namespace {
+
+constexpr char kPrefix[] = "checkpoint-";
+constexpr char kSuffix[] = ".fvmd";
+
+std::string CheckpointPath(const std::string& dir, uint64_t step) {
+  return dir + "/" + kPrefix + std::to_string(step) + kSuffix;
+}
+
+/// Parses "checkpoint-<step>.fvmd" into the step, rejecting anything else
+/// (including ".tmp" debris from an interrupted atomic write).
+bool ParseCheckpointName(const std::string& name, uint64_t* step) {
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + uint64_t(c - '0');
+  }
+  *step = value;
+  return true;
+}
+
+/// Steps of all complete checkpoints in `dir`, ascending. NotFound when
+/// the directory does not exist.
+Result<std::vector<uint64_t>> ListCheckpointSteps(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no checkpoint directory: " + dir);
+    }
+    return Status::IoError("cannot list checkpoint directory: " + dir);
+  }
+  std::vector<uint64_t> steps;
+  while (const dirent* entry = ::readdir(handle)) {
+    uint64_t step = 0;
+    if (ParseCheckpointName(entry->d_name, &step)) steps.push_back(step);
+  }
+  ::closedir(handle);
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IoError("cannot create checkpoint directory: " + dir);
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
+    : options_(std::move(options)) {
+  FVAE_CHECK(!options_.dir.empty()) << "checkpoint directory is required";
+  FVAE_CHECK(options_.retain >= 1) << "must retain at least one checkpoint";
+}
+
+Status CheckpointManager::Save(const FieldVae& model,
+                               const TrainingCursor& cursor) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  Stopwatch watch;
+  FVAE_RETURN_IF_ERROR(EnsureDirectory(options_.dir));
+  const std::string path = CheckpointPath(options_.dir, cursor.step);
+  FVAE_RETURN_IF_ERROR(RetryWithBackoff(options_.retry, [&] {
+    return SaveCheckpoint(model, cursor, path);
+  }));
+  metrics.Counter("checkpoint.saves").Increment();
+  metrics.Histo("checkpoint.save_us").Record(watch.ElapsedSeconds() * 1e6);
+  struct stat info;
+  if (::stat(path.c_str(), &info) == 0) {
+    metrics.Counter("checkpoint.bytes").Add(uint64_t(info.st_size));
+  }
+
+  // Rotation failures don't invalidate the checkpoint that was just
+  // published — warn and keep training.
+  auto steps = ListCheckpointSteps(options_.dir);
+  if (!steps.ok()) {
+    FVAE_LOG(WARNING) << "checkpoint rotation skipped: "
+                      << steps.status().ToString();
+    return Status::Ok();
+  }
+  while (steps->size() > options_.retain) {
+    const std::string victim = CheckpointPath(options_.dir, steps->front());
+    if (std::remove(victim.c_str()) != 0) {
+      FVAE_LOG(WARNING) << "cannot remove old checkpoint " << victim;
+    }
+    steps->erase(steps->begin());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> CheckpointManager::LatestIn(const std::string& dir) {
+  FVAE_ASSIGN_OR_RETURN(const std::vector<uint64_t> steps,
+                        ListCheckpointSteps(dir));
+  if (steps.empty()) {
+    return Status::NotFound("no checkpoints in " + dir);
+  }
+  return CheckpointPath(dir, steps.back());
+}
+
+Result<LoadedCheckpoint> CheckpointManager::LoadLatest() const {
+  FVAE_ASSIGN_OR_RETURN(const std::string path, LatestIn(options_.dir));
+  FVAE_ASSIGN_OR_RETURN(LoadedCheckpoint loaded, LoadCheckpoint(path));
+  obs::MetricsRegistry::Global().Counter("checkpoint.resumes").Increment();
+  FVAE_LOG(INFO) << "resuming from checkpoint " << path << " (step "
+                 << loaded.cursor.step << ")";
+  return loaded;
+}
+
+}  // namespace fvae::core

@@ -1,0 +1,58 @@
+#ifndef FVAE_CORE_CHECKPOINT_H_
+#define FVAE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/model_io.h"
+
+namespace fvae::core {
+
+/// Periodic-checkpoint policy for a training run.
+struct CheckpointManagerOptions {
+  /// Directory holding `checkpoint-<step>.fvmd` files (created on first
+  /// save if missing).
+  std::string dir;
+  /// Newest checkpoints kept after each save; older ones are deleted.
+  size_t retain = 3;
+  /// Transient save failures (kUnavailable) are retried under this policy
+  /// before the failure is surfaced.
+  RetryOptions retry;
+};
+
+/// Writes, rotates, and finds trainer checkpoints in a directory.
+///
+/// Each Save produces `checkpoint-<step>.fvmd` through the atomic-write
+/// path (core/model_io.h), so the directory only ever contains complete
+/// checkpoints plus possibly one `.tmp` leftover from a crash, which
+/// discovery ignores. Exports `checkpoint.saves`, `checkpoint.bytes`,
+/// `checkpoint.save_us` and `checkpoint.resumes` metrics.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointManagerOptions options);
+
+  /// Saves model + cursor as `checkpoint-<cursor.step>.fvmd` (with bounded
+  /// retry on transient failures), then deletes all but the newest
+  /// `retain` checkpoints.
+  Status Save(const FieldVae& model, const TrainingCursor& cursor);
+
+  /// Path of the highest-step complete checkpoint in `dir`, or NotFound
+  /// when the directory is missing or holds none.
+  static Result<std::string> LatestIn(const std::string& dir);
+
+  /// Loads the highest-step checkpoint in this manager's directory
+  /// (NotFound when there is none) and counts a `checkpoint.resumes`.
+  Result<LoadedCheckpoint> LoadLatest() const;
+
+  const CheckpointManagerOptions& options() const { return options_; }
+
+ private:
+  CheckpointManagerOptions options_;
+};
+
+}  // namespace fvae::core
+
+#endif  // FVAE_CORE_CHECKPOINT_H_

@@ -133,6 +133,18 @@ class FieldVae {
     return *output_tables_[k];
   }
 
+  /// Dense-parameter optimizer (checkpointing of Adam moments).
+  nn::AdamOptimizer& dense_optimizer() { return *dense_optimizer_; }
+  const nn::AdamOptimizer& dense_optimizer() const {
+    return *dense_optimizer_;
+  }
+
+  /// Snapshot/restore of the model RNG (reparameterization eps and
+  /// candidate sampling draws), so a resumed run replays the exact noise
+  /// stream of the uninterrupted one.
+  RngState rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const RngState& state) { rng_.SetState(state); }
+
  private:
   struct EncoderCache;
 

@@ -1,58 +1,72 @@
 #include "core/model_io.h"
 
+#include <algorithm>
 #include <cstring>
-#include <fstream>
+#include <sstream>
+#include <string_view>
 
+#include "common/atomic_file.h"
+#include "common/binary_io.h"
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace fvae::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'F', 'V', 'M', 'D'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersion = 2;
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+/// v2 section tags, written in strictly increasing order. kEnd terminates
+/// the file; unknown higher tags are skipped (forward compatibility), but
+/// their checksums are still verified.
+enum SectionTag : uint32_t {
+  kEnd = 0,
+  kConfig = 1,
+  kSchemas = 2,
+  kDense = 3,
+  kTables = 4,
+  kOptimizer = 5,
+  kCursor = 6,
+  /// RNG streams for cursor-less exports (SaveFieldVae): without them a
+  /// "warm start" would draw different reparameterization noise than the
+  /// saved run and diverge on the first step. Trainer checkpoints carry
+  /// the same states inside kCursor instead.
+  kRng = 7,
+};
+
+constexpr std::string_view SectionName(uint32_t tag) {
+  switch (tag) {
+    case kConfig: return "config";
+    case kSchemas: return "schemas";
+    case kDense: return "dense";
+    case kTables: return "tables";
+    case kOptimizer: return "optimizer";
+    case kCursor: return "cursor";
+    case kRng: return "rng";
+    default: return "unknown";
+  }
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
+// ---------------------------------------------------------------------------
+// Writing primitives on top of common/binary_io.h (any std::ostream: the
+// atomic writer's stream for v1, per-section std::ostringstream payload
+// builders for v2).
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WritePod(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint32_t len = 0;
-  if (!ReadPod(in, &len) || len > (1u << 20)) return false;
-  s->resize(len);
-  in.read(s->data(), len);
-  return in.good();
-}
-
-void WriteMatrix(std::ofstream& out, const Matrix& m) {
+void WriteMatrix(std::ostream& out, const Matrix& m) {
   WritePod(out, static_cast<uint64_t>(m.rows()));
   WritePod(out, static_cast<uint64_t>(m.cols()));
   out.write(reinterpret_cast<const char*>(m.data()),
             static_cast<std::streamsize>(m.size() * sizeof(float)));
 }
 
-bool ReadMatrixInto(std::ifstream& in, Matrix* m) {
-  uint64_t rows = 0, cols = 0;
-  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) return false;
-  if (rows != m->rows() || cols != m->cols()) return false;
-  in.read(reinterpret_cast<char*>(m->data()),
-          static_cast<std::streamsize>(m->size() * sizeof(float)));
-  return in.good();
-}
-
-void WriteTable(std::ofstream& out, const nn::EmbeddingTable& table) {
+void WriteTable(std::ostream& out, const nn::EmbeddingTable& table) {
   WritePod(out, static_cast<uint64_t>(table.dim()));
   WritePod(out, static_cast<uint8_t>(table.with_bias() ? 1 : 0));
   const auto items = table.Items();
@@ -67,26 +81,67 @@ void WriteTable(std::ofstream& out, const nn::EmbeddingTable& table) {
   }
 }
 
-bool ReadTableInto(std::ifstream& in, nn::EmbeddingTable* table) {
+void WriteSizeVector(std::ostream& out, const std::vector<size_t>& v) {
+  WritePod(out, static_cast<uint32_t>(v.size()));
+  for (size_t x : v) WritePod(out, static_cast<uint64_t>(x));
+}
+
+void WriteDoubleVector(std::ostream& out, const std::vector<double>& v) {
+  WritePod(out, static_cast<uint32_t>(v.size()));
+  for (double x : v) WritePod(out, x);
+}
+
+void WriteRngState(std::ostream& out, const RngState& state) {
+  for (uint64_t lane : state.s) WritePod(out, lane);
+  WritePod(out, static_cast<uint8_t>(state.has_cached_normal ? 1 : 0));
+  WritePod(out, state.cached_normal);
+}
+
+/// Frames one v2 section: tag, payload size, payload, payload CRC.
+void WriteSection(std::ostream& out, uint32_t tag, std::string_view payload) {
+  WritePod(out, tag);
+  WritePod(out, static_cast<uint64_t>(payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  WritePod(out, Crc32(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Reading primitives. Both loaders read the whole file into memory first
+// (checksums need the raw bytes anyway), then parse via a BufferReader.
+
+bool ReadString(BufferReader& in, std::string* s) {
+  uint32_t len = 0;
+  if (!in.ReadPod(&len) || len > (1u << 20)) return false;
+  s->resize(len);
+  return in.ReadBytes(s->data(), len);
+}
+
+bool ReadMatrixInto(BufferReader& in, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  if (!in.ReadPod(&rows) || !in.ReadPod(&cols)) return false;
+  if (rows != m->rows() || cols != m->cols()) return false;
+  return in.ReadBytes(m->data(), m->size() * sizeof(float));
+}
+
+bool ReadTableInto(BufferReader& in, nn::EmbeddingTable* table) {
   uint64_t dim = 0;
   uint8_t with_bias = 0;
   uint64_t count = 0;
-  if (!ReadPod(in, &dim) || !ReadPod(in, &with_bias) ||
-      !ReadPod(in, &count)) {
+  if (!in.ReadPod(&dim) || !in.ReadPod(&with_bias) || !in.ReadPod(&count)) {
     return false;
   }
-  if (dim != table->dim() ||
-      (with_bias != 0) != table->with_bias()) {
+  if (dim != table->dim() || (with_bias != 0) != table->with_bias()) {
     return false;
   }
   std::vector<float> weights(dim);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t key = 0;
     float bias = 0.0f;
-    if (!ReadPod(in, &key)) return false;
-    in.read(reinterpret_cast<char*>(weights.data()),
-            static_cast<std::streamsize>(dim * sizeof(float)));
-    if (!ReadPod(in, &bias)) return false;
+    if (!in.ReadPod(&key) ||
+        !in.ReadBytes(weights.data(), dim * sizeof(float)) ||
+        !in.ReadPod(&bias)) {
+      return false;
+    }
     const uint32_t row = table->GetOrCreateRow(key);
     std::span<float> dst = table->Row(row);
     std::copy(weights.begin(), weights.end(), dst.begin());
@@ -95,34 +150,58 @@ bool ReadTableInto(std::ifstream& in, nn::EmbeddingTable* table) {
   return true;
 }
 
-void WriteSizeVector(std::ofstream& out, const std::vector<size_t>& v) {
-  WritePod(out, static_cast<uint32_t>(v.size()));
-  for (size_t x : v) WritePod(out, static_cast<uint64_t>(x));
-}
-
-bool ReadSizeVector(std::ifstream& in, std::vector<size_t>* v) {
+bool ReadSizeVector(BufferReader& in, std::vector<size_t>* v) {
   uint32_t n = 0;
-  if (!ReadPod(in, &n) || n > 64) return false;
+  if (!in.ReadPod(&n) || n > 64) return false;
   v->resize(n);
   for (size_t i = 0; i < n; ++i) {
     uint64_t x = 0;
-    if (!ReadPod(in, &x)) return false;
+    if (!in.ReadPod(&x)) return false;
     (*v)[i] = static_cast<size_t>(x);
   }
   return true;
 }
 
-}  // namespace
+bool ReadDoubleVector(BufferReader& in, std::vector<double>* v) {
+  uint32_t n = 0;
+  if (!in.ReadPod(&n) || n > (1u << 24)) return false;
+  v->resize(n);
+  for (double& x : *v) {
+    if (!in.ReadPod(&x)) return false;
+  }
+  return true;
+}
 
-Status SaveFieldVae(const FieldVae& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+bool ReadRngState(BufferReader& in, RngState* state) {
+  for (uint64_t& lane : state->s) {
+    if (!in.ReadPod(&lane)) return false;
+  }
+  uint8_t has_cached = 0;
+  if (!in.ReadPod(&has_cached) || !in.ReadPod(&state->cached_normal)) {
+    return false;
+  }
+  state->has_cached_normal = has_cached != 0;
+  return true;
+}
 
-  out.write(kMagic, 4);
-  WritePod(out, kVersion);
+std::string HexBytes(const char* bytes, size_t n) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    const auto b = static_cast<unsigned char>(bytes[i]);
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
 
-  // ---- config ----
-  const FvaeConfig& config = model.config();
+// ---------------------------------------------------------------------------
+// Block payloads, shared between v1 (concatenated) and v2 (one section
+// each). The byte layout of config/schemas/dense/tables is identical in
+// both versions.
+
+void BuildConfigPayload(std::ostream& out, const FvaeConfig& config) {
   WritePod(out, static_cast<uint64_t>(config.latent_dim));
   WriteSizeVector(out, config.encoder_hidden);
   WriteSizeVector(out, config.decoder_hidden);
@@ -138,96 +217,146 @@ Status SaveFieldVae(const FieldVae& model, const std::string& path) {
   WritePod(out, config.sparse_learning_rate);
   WritePod(out, config.embedding_init_stddev);
   WritePod(out, config.seed);
+}
 
-  // ---- schemas ----
+void BuildSchemaPayload(std::ostream& out, const FieldVae& model) {
   WritePod(out, static_cast<uint32_t>(model.num_fields()));
   for (const FieldSchema& schema : model.field_schemas()) {
     WriteString(out, schema.name);
     WritePod(out, static_cast<uint8_t>(schema.is_sparse ? 1 : 0));
   }
+}
 
-  // ---- dense parameters ----
+void BuildDensePayload(std::ostream& out, const FieldVae& model) {
   const auto params = model.DenseParams();
   WritePod(out, static_cast<uint32_t>(params.size()));
   for (const Matrix* param : params) WriteMatrix(out, *param);
+}
 
-  // ---- embedding tables ----
+void BuildTablesPayload(std::ostream& out, const FieldVae& model) {
   for (size_t k = 0; k < model.num_fields(); ++k) {
     WriteTable(out, model.input_table(k));
     WriteTable(out, model.output_table(k));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
 }
 
-Result<std::unique_ptr<FieldVae>> LoadFieldVae(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("bad magic in " + path);
+/// AdaGrad accumulators are stored keyed by feature ID, not by row index:
+/// DynamicHashTable assigns row indices in insertion order, and a loader
+/// re-inserts in Items() (slot) order, so row numbering is not stable
+/// across a save/load cycle but keys are.
+void BuildOptimizerPayload(std::ostream& out, const FieldVae& model) {
+  const nn::AdamOptimizer& adam = model.dense_optimizer();
+  WritePod(out, adam.step_count());
+  WritePod(out, static_cast<uint32_t>(adam.first_moments().size()));
+  for (const Matrix& m : adam.first_moments()) WriteMatrix(out, m);
+  for (const Matrix& v : adam.second_moments()) WriteMatrix(out, v);
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    for (const nn::EmbeddingTable* table :
+         {&model.input_table(k), &model.output_table(k)}) {
+      const auto items = table->Items();
+      WritePod(out, static_cast<uint64_t>(items.size()));
+      for (const auto& [key, row] : items) {
+        WritePod(out, key);
+        std::span<const float> accum = table->AdagradRow(row);
+        out.write(reinterpret_cast<const char*>(accum.data()),
+                  static_cast<std::streamsize>(accum.size() * sizeof(float)));
+        const float bias_accum =
+            table->with_bias() ? table->adagrad_bias(row) : 0.0f;
+        WritePod(out, bias_accum);
+      }
+    }
   }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
+}
 
-  // ---- config ----
-  FvaeConfig config;
+void BuildCursorPayload(std::ostream& out, const TrainingCursor& cursor) {
+  WritePod(out, cursor.epoch);
+  WritePod(out, cursor.batch_in_epoch);
+  WritePod(out, cursor.step);
+  WritePod(out, cursor.users_processed);
+  WritePod(out, cursor.epoch_loss_accum);
+  WritePod(out, cursor.shuffle_seed);
+  WritePod(out, cursor.prior_seconds);
+  WriteDoubleVector(out, cursor.epoch_loss);
+  WriteDoubleVector(out, cursor.candidate_accum);
+  WriteRngState(out, cursor.model_rng);
+  WritePod(out, static_cast<uint32_t>(cursor.input_table_rng.size()));
+  for (const RngState& state : cursor.input_table_rng) {
+    WriteRngState(out, state);
+  }
+  for (const RngState& state : cursor.output_table_rng) {
+    WriteRngState(out, state);
+  }
+}
+
+void BuildRngPayload(std::ostream& out, const FieldVae& model) {
+  WriteRngState(out, model.rng_state());
+  WritePod(out, static_cast<uint32_t>(model.num_fields()));
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    WriteRngState(out, model.input_table(k).rng_state());
+  }
+  for (size_t k = 0; k < model.num_fields(); ++k) {
+    WriteRngState(out, model.output_table(k).rng_state());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block parsers, shared between the v1 and v2 loaders.
+
+Status ParseConfig(BufferReader& in, FvaeConfig* config) {
   uint64_t latent = 0;
-  if (!ReadPod(in, &latent)) return Status::IoError("truncated config");
-  config.latent_dim = static_cast<size_t>(latent);
-  if (!ReadSizeVector(in, &config.encoder_hidden) ||
-      !ReadSizeVector(in, &config.decoder_hidden)) {
+  if (!in.ReadPod(&latent)) return Status::IoError("truncated config");
+  config->latent_dim = static_cast<size_t>(latent);
+  if (!ReadSizeVector(in, &config->encoder_hidden) ||
+      !ReadSizeVector(in, &config->decoder_hidden)) {
     return Status::InvalidArgument("bad hidden dims");
   }
   uint32_t alpha_count = 0;
-  if (!ReadPod(in, &alpha_count) || alpha_count > 1024) {
+  if (!in.ReadPod(&alpha_count) || alpha_count > 1024) {
     return Status::InvalidArgument("bad alpha count");
   }
-  config.alpha.resize(alpha_count);
-  for (float& a : config.alpha) {
-    if (!ReadPod(in, &a)) return Status::IoError("truncated alpha");
+  config->alpha.resize(alpha_count);
+  for (float& a : config->alpha) {
+    if (!in.ReadPod(&a)) return Status::IoError("truncated alpha");
   }
   uint64_t anneal = 0;
   uint32_t schedule = 0;
   uint32_t strategy = 0;
   uint8_t batched = 1;
-  if (!ReadPod(in, &config.beta) || !ReadPod(in, &anneal) ||
-      !ReadPod(in, &schedule) ||
-      !ReadPod(in, &strategy) || !ReadPod(in, &config.sampling_rate) ||
-      !ReadPod(in, &batched) || !ReadPod(in, &config.dense_learning_rate) ||
-      !ReadPod(in, &config.sparse_learning_rate) ||
-      !ReadPod(in, &config.embedding_init_stddev) ||
-      !ReadPod(in, &config.seed)) {
+  if (!in.ReadPod(&config->beta) || !in.ReadPod(&anneal) ||
+      !in.ReadPod(&schedule) || !in.ReadPod(&strategy) ||
+      !in.ReadPod(&config->sampling_rate) || !in.ReadPod(&batched) ||
+      !in.ReadPod(&config->dense_learning_rate) ||
+      !in.ReadPod(&config->sparse_learning_rate) ||
+      !in.ReadPod(&config->embedding_init_stddev) ||
+      !in.ReadPod(&config->seed)) {
     return Status::IoError("truncated config");
   }
-  config.anneal_steps = static_cast<size_t>(anneal);
-  config.anneal_schedule = static_cast<AnnealSchedule>(schedule);
-  config.sampling_strategy = static_cast<SamplingStrategy>(strategy);
-  config.batched_softmax = batched != 0;
+  config->anneal_steps = static_cast<size_t>(anneal);
+  config->anneal_schedule = static_cast<AnnealSchedule>(schedule);
+  config->sampling_strategy = static_cast<SamplingStrategy>(strategy);
+  config->batched_softmax = batched != 0;
+  return Status::Ok();
+}
 
-  // ---- schemas ----
+Status ParseSchemas(BufferReader& in, std::vector<FieldSchema>* schemas) {
   uint32_t num_fields = 0;
-  if (!ReadPod(in, &num_fields) || num_fields == 0 || num_fields > 1024) {
+  if (!in.ReadPod(&num_fields) || num_fields == 0 || num_fields > 1024) {
     return Status::InvalidArgument("bad field count");
   }
-  std::vector<FieldSchema> schemas(num_fields);
-  for (FieldSchema& schema : schemas) {
+  schemas->resize(num_fields);
+  for (FieldSchema& schema : *schemas) {
     uint8_t sparse = 0;
-    if (!ReadString(in, &schema.name) || !ReadPod(in, &sparse)) {
+    if (!ReadString(in, &schema.name) || !in.ReadPod(&sparse)) {
       return Status::IoError("truncated schema");
     }
     schema.is_sparse = sparse != 0;
   }
+  return Status::Ok();
+}
 
-  auto model = std::make_unique<FieldVae>(config, schemas);
-
-  // ---- dense parameters ----
+Status ParseDense(BufferReader& in, FieldVae* model) {
   uint32_t param_count = 0;
-  if (!ReadPod(in, &param_count)) return Status::IoError("truncated params");
+  if (!in.ReadPod(&param_count)) return Status::IoError("truncated params");
   auto params = model->DenseParams();
   if (param_count != params.size()) {
     return Status::InvalidArgument("dense parameter count mismatch");
@@ -237,15 +366,331 @@ Result<std::unique_ptr<FieldVae>> LoadFieldVae(const std::string& path) {
       return Status::InvalidArgument("dense parameter shape mismatch");
     }
   }
+  return Status::Ok();
+}
 
-  // ---- embedding tables ----
+Status ParseTables(BufferReader& in, FieldVae* model) {
   for (size_t k = 0; k < model->num_fields(); ++k) {
     if (!ReadTableInto(in, &model->input_table(k)) ||
         !ReadTableInto(in, &model->output_table(k))) {
       return Status::InvalidArgument("embedding table mismatch");
     }
   }
-  return model;
+  return Status::Ok();
+}
+
+Status ParseOptimizer(BufferReader& in, FieldVae* model) {
+  int64_t step_count = 0;
+  uint32_t param_count = 0;
+  if (!in.ReadPod(&step_count) || !in.ReadPod(&param_count)) {
+    return Status::IoError("truncated optimizer state");
+  }
+  auto params = model->DenseParams();
+  if (step_count < 0 || param_count != params.size()) {
+    return Status::InvalidArgument("optimizer moment count mismatch");
+  }
+  std::vector<Matrix> first, second;
+  first.reserve(param_count);
+  second.reserve(param_count);
+  for (std::vector<Matrix>* moments : {&first, &second}) {
+    for (uint32_t i = 0; i < param_count; ++i) {
+      Matrix m(params[i]->rows(), params[i]->cols());
+      if (!ReadMatrixInto(in, &m)) {
+        return Status::InvalidArgument("optimizer moment shape mismatch");
+      }
+      moments->push_back(std::move(m));
+    }
+  }
+  model->dense_optimizer().RestoreState(step_count, std::move(first),
+                                        std::move(second));
+  for (size_t k = 0; k < model->num_fields(); ++k) {
+    for (nn::EmbeddingTable* table :
+         {&model->input_table(k), &model->output_table(k)}) {
+      uint64_t count = 0;
+      if (!in.ReadPod(&count)) {
+        return Status::IoError("truncated optimizer state");
+      }
+      std::vector<float> accum(table->dim());
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t key = 0;
+        float bias_accum = 0.0f;
+        if (!in.ReadPod(&key) ||
+            !in.ReadBytes(accum.data(), accum.size() * sizeof(float)) ||
+            !in.ReadPod(&bias_accum)) {
+          return Status::IoError("truncated optimizer state");
+        }
+        const auto row = table->FindRow(key);
+        if (!row.has_value()) {
+          return Status::InvalidArgument(
+              "optimizer accumulator for unknown feature key");
+        }
+        table->RestoreAdagradRow(*row, accum, bias_accum);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseCursor(BufferReader& in, FieldVae* model, TrainingCursor* cursor) {
+  if (!in.ReadPod(&cursor->epoch) || !in.ReadPod(&cursor->batch_in_epoch) ||
+      !in.ReadPod(&cursor->step) || !in.ReadPod(&cursor->users_processed) ||
+      !in.ReadPod(&cursor->epoch_loss_accum) ||
+      !in.ReadPod(&cursor->shuffle_seed) ||
+      !in.ReadPod(&cursor->prior_seconds) ||
+      !ReadDoubleVector(in, &cursor->epoch_loss) ||
+      !ReadDoubleVector(in, &cursor->candidate_accum) ||
+      !ReadRngState(in, &cursor->model_rng)) {
+    return Status::IoError("truncated cursor");
+  }
+  uint32_t num_fields = 0;
+  if (!in.ReadPod(&num_fields) || num_fields != model->num_fields()) {
+    return Status::InvalidArgument("cursor field count mismatch");
+  }
+  cursor->input_table_rng.resize(num_fields);
+  cursor->output_table_rng.resize(num_fields);
+  for (RngState& state : cursor->input_table_rng) {
+    if (!ReadRngState(in, &state)) return Status::IoError("truncated cursor");
+  }
+  for (RngState& state : cursor->output_table_rng) {
+    if (!ReadRngState(in, &state)) return Status::IoError("truncated cursor");
+  }
+  // Restore RNG streams last: the table loads above consumed initializer
+  // draws for every re-created row, and these snapshots supersede them.
+  model->set_rng_state(cursor->model_rng);
+  for (size_t k = 0; k < model->num_fields(); ++k) {
+    model->input_table(k).set_rng_state(cursor->input_table_rng[k]);
+    model->output_table(k).set_rng_state(cursor->output_table_rng[k]);
+  }
+  return Status::Ok();
+}
+
+Status ParseRng(BufferReader& in, FieldVae* model) {
+  RngState model_rng;
+  if (!ReadRngState(in, &model_rng)) return Status::IoError("truncated rng");
+  uint32_t num_fields = 0;
+  if (!in.ReadPod(&num_fields) || num_fields != model->num_fields()) {
+    return Status::InvalidArgument("rng field count mismatch");
+  }
+  std::vector<RngState> input_rng(num_fields), output_rng(num_fields);
+  for (RngState& state : input_rng) {
+    if (!ReadRngState(in, &state)) return Status::IoError("truncated rng");
+  }
+  for (RngState& state : output_rng) {
+    if (!ReadRngState(in, &state)) return Status::IoError("truncated rng");
+  }
+  // As with the cursor, restore last so the snapshots supersede the draws
+  // the table load consumed creating rows.
+  model->set_rng_state(model_rng);
+  for (size_t k = 0; k < model->num_fields(); ++k) {
+    model->input_table(k).set_rng_state(input_rng[k]);
+    model->output_table(k).set_rng_state(output_rng[k]);
+  }
+  return Status::Ok();
+}
+
+Status SaveV2(const FieldVae& model, const TrainingCursor* cursor,
+              const std::string& path) {
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "model_io.save"));
+  std::ostream& out = writer.stream();
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+
+  const auto write_section = [&out](uint32_t tag, const auto& build) {
+    std::ostringstream payload;
+    build(payload);
+    WriteSection(out, tag, payload.view());
+  };
+  write_section(kConfig, [&](std::ostream& p) {
+    BuildConfigPayload(p, model.config());
+  });
+  write_section(kSchemas,
+                [&](std::ostream& p) { BuildSchemaPayload(p, model); });
+  write_section(kDense, [&](std::ostream& p) { BuildDensePayload(p, model); });
+  write_section(kTables,
+                [&](std::ostream& p) { BuildTablesPayload(p, model); });
+  write_section(kOptimizer,
+                [&](std::ostream& p) { BuildOptimizerPayload(p, model); });
+  if (cursor != nullptr) {
+    write_section(kCursor,
+                  [&](std::ostream& p) { BuildCursorPayload(p, *cursor); });
+  } else {
+    write_section(kRng, [&](std::ostream& p) { BuildRngPayload(p, model); });
+  }
+  WriteSection(out, kEnd, std::string_view());
+  return writer.Commit();
+}
+
+/// v1 body: the config/schemas/dense/tables payloads concatenated with no
+/// framing and no checksums.
+Result<LoadedCheckpoint> LoadV1Body(BufferReader& in) {
+  FvaeConfig config;
+  FVAE_RETURN_IF_ERROR(ParseConfig(in, &config));
+  std::vector<FieldSchema> schemas;
+  FVAE_RETURN_IF_ERROR(ParseSchemas(in, &schemas));
+  LoadedCheckpoint loaded;
+  loaded.model = std::make_unique<FieldVae>(config, schemas);
+  FVAE_RETURN_IF_ERROR(ParseDense(in, loaded.model.get()));
+  FVAE_RETURN_IF_ERROR(ParseTables(in, loaded.model.get()));
+  return loaded;
+}
+
+Result<LoadedCheckpoint> LoadV2Body(BufferReader& in,
+                                    const std::string& path) {
+  LoadedCheckpoint loaded;
+  FvaeConfig config;
+  uint32_t last_tag = 0;
+  bool saw_config = false, saw_schemas = false, saw_dense = false,
+       saw_tables = false, saw_end = false;
+  while (!saw_end) {
+    uint32_t tag = 0;
+    uint64_t size = 0;
+    if (!in.ReadPod(&tag) || !in.ReadPod(&size)) {
+      return Status::IoError("truncated section header in " + path);
+    }
+    if (tag != kEnd && tag <= last_tag) {
+      return Status::InvalidArgument("out-of-order section in " + path);
+    }
+    last_tag = tag;
+    if (size > in.remaining()) {
+      return Status::IoError("truncated section " +
+                             std::string(SectionName(tag)) + " in " + path);
+    }
+    std::string payload(size, '\0');
+    uint32_t stored_crc = 0;
+    // remaining() was checked above, so the payload read cannot fail; the
+    // CRC that follows it still can.
+    (void)in.ReadBytes(payload.data(), size);
+    if (!in.ReadPod(&stored_crc)) {
+      return Status::IoError("truncated section " +
+                             std::string(SectionName(tag)) + " in " + path);
+    }
+    const uint32_t computed_crc = Crc32(payload);
+    if (stored_crc != computed_crc) {
+      return Status::IoError(
+          "checksum mismatch in section " + std::string(SectionName(tag)) +
+          " of " + path + ": stored " + std::to_string(stored_crc) +
+          ", computed " + std::to_string(computed_crc));
+    }
+    BufferReader section(payload);
+    switch (tag) {
+      case kEnd:
+        saw_end = true;
+        break;
+      case kConfig:
+        FVAE_RETURN_IF_ERROR(ParseConfig(section, &config));
+        saw_config = true;
+        break;
+      case kSchemas: {
+        if (!saw_config) {
+          return Status::InvalidArgument("schemas before config in " + path);
+        }
+        std::vector<FieldSchema> schemas;
+        FVAE_RETURN_IF_ERROR(ParseSchemas(section, &schemas));
+        loaded.model = std::make_unique<FieldVae>(config, schemas);
+        saw_schemas = true;
+        break;
+      }
+      case kDense:
+        if (!saw_schemas) {
+          return Status::InvalidArgument("dense before schemas in " + path);
+        }
+        FVAE_RETURN_IF_ERROR(ParseDense(section, loaded.model.get()));
+        saw_dense = true;
+        break;
+      case kTables:
+        if (!saw_dense) {
+          return Status::InvalidArgument("tables before dense in " + path);
+        }
+        FVAE_RETURN_IF_ERROR(ParseTables(section, loaded.model.get()));
+        saw_tables = true;
+        break;
+      case kOptimizer:
+        if (!saw_tables) {
+          return Status::InvalidArgument("optimizer before tables in " +
+                                         path);
+        }
+        FVAE_RETURN_IF_ERROR(ParseOptimizer(section, loaded.model.get()));
+        break;
+      case kCursor:
+        if (!saw_tables) {
+          return Status::InvalidArgument("cursor before tables in " + path);
+        }
+        FVAE_RETURN_IF_ERROR(
+            ParseCursor(section, loaded.model.get(), &loaded.cursor));
+        loaded.has_cursor = true;
+        break;
+      case kRng:
+        if (!saw_tables) {
+          return Status::InvalidArgument("rng before tables in " + path);
+        }
+        FVAE_RETURN_IF_ERROR(ParseRng(section, loaded.model.get()));
+        break;
+      default:
+        // Checksum-verified but unknown: written by a newer minor writer.
+        break;
+    }
+  }
+  if (!saw_tables) {
+    return Status::InvalidArgument("missing sections in " + path);
+  }
+  return loaded;
+}
+
+Result<LoadedCheckpoint> LoadCheckpointImpl(const std::string& path) {
+  FVAE_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  BufferReader in(data);
+  char magic[4];
+  if (!in.ReadBytes(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    const size_t found = std::min<size_t>(data.size(), 4);
+    return Status::InvalidArgument(
+        "bad magic in " + path + ": found [" + HexBytes(data.data(), found) +
+        "] (" + std::to_string(data.size()) + " bytes), want \"FVMD\"");
+  }
+  uint32_t version = 0;
+  if (!in.ReadPod(&version)) {
+    return Status::IoError("truncated header in " + path);
+  }
+  if (version == kVersionV1) return LoadV1Body(in);
+  if (version == kVersion) return LoadV2Body(in, path);
+  return Status::InvalidArgument(
+      "unsupported checkpoint version " + std::to_string(version) + " in " +
+      path + " (supported: " + std::to_string(kVersionV1) + ".." +
+      std::to_string(kVersion) + ")");
+}
+
+}  // namespace
+
+Status SaveFieldVae(const FieldVae& model, const std::string& path) {
+  return SaveV2(model, nullptr, path);
+}
+
+Status SaveCheckpoint(const FieldVae& model, const TrainingCursor& cursor,
+                      const std::string& path) {
+  return SaveV2(model, &cursor, path);
+}
+
+Result<std::unique_ptr<FieldVae>> LoadFieldVae(const std::string& path) {
+  FVAE_ASSIGN_OR_RETURN(LoadedCheckpoint loaded, LoadCheckpointImpl(path));
+  return std::move(loaded.model);
+}
+
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& path) {
+  return LoadCheckpointImpl(path);
+}
+
+Status SaveFieldVaeV1ForTesting(const FieldVae& model,
+                                const std::string& path) {
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "model_io.save"));
+  std::ostream& out = writer.stream();
+  out.write(kMagic, 4);
+  WritePod(out, kVersionV1);
+  BuildConfigPayload(out, model.config());
+  BuildSchemaPayload(out, model);
+  BuildDensePayload(out, model);
+  BuildTablesPayload(out, model);
+  return writer.Commit();
 }
 
 }  // namespace fvae::core

@@ -2,9 +2,11 @@
 #define FVAE_CORE_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/fvae_model.h"
+#include "core/model_io.h"
 #include "data/dataset.h"
 
 namespace fvae::core {
@@ -17,16 +19,27 @@ struct TrainOptions {
   /// Used by the timed benchmarks (Fig. 6, Table V).
   double time_budget_seconds = 0.0;
   /// Called after every epoch with (epoch index, mean loss, elapsed s);
-  /// return false to stop training early.
+  /// return false to stop training early. The mean loss is NaN for an
+  /// epoch that ran zero batches (possible when resuming at an epoch
+  /// boundary or stopping on the time budget).
   std::function<bool(size_t, double, double)> epoch_callback;
   /// Called after every `eval_every_steps` steps (0 = never) with
   /// (step index, elapsed seconds); used by AUC-vs-time studies.
   size_t eval_every_steps = 0;
   std::function<void(size_t, double)> step_callback;
   uint64_t shuffle_seed = 99;
+  /// Save a checkpoint every this many global steps (0 = never). Requires
+  /// checkpoint_dir.
+  size_t checkpoint_every_steps = 0;
+  /// Directory for `checkpoint-<step>.fvmd` files (core/checkpoint.h).
+  std::string checkpoint_dir;
+  /// Newest checkpoints kept per rotation.
+  size_t checkpoint_retain = 3;
 };
 
-/// Aggregated outcome of a training run.
+/// Aggregated outcome of a training run. For a resumed run the totals
+/// (steps, users, epoch losses, seconds) cover the whole logical run, not
+/// just the part after the resume.
 struct TrainResult {
   std::vector<double> epoch_loss;
   size_t steps = 0;
@@ -48,8 +61,23 @@ float AnnealedBeta(const FvaeConfig& config, size_t step);
 /// Runs Algorithm 1: shuffled mini-batches, per-batch candidate
 /// construction (inside the model), and KL annealing from 0 up to
 /// config.beta over config.anneal_steps steps (config.anneal_schedule).
+/// An empty dataset is a no-op returning a zeroed result.
+///
+/// With checkpoint_every_steps set, the loop saves crash-safe checkpoints
+/// through a CheckpointManager; a save failure is logged and training
+/// continues.
 TrainResult TrainFvae(FieldVae& model, const MultiFieldDataset& dataset,
                       const TrainOptions& options);
+
+/// Resumes a run from `cursor` (loaded via core/checkpoint.h along with
+/// the model it describes). Replays the batch schedule up to the cursor
+/// and continues to options.epochs; with the default batched-softmax path
+/// the final parameters are bitwise-identical to the uninterrupted run.
+/// The cursor's shuffle seed overrides options.shuffle_seed.
+TrainResult TrainFvaeResumingFrom(FieldVae& model,
+                                  const MultiFieldDataset& dataset,
+                                  const TrainOptions& options,
+                                  const TrainingCursor& cursor);
 
 }  // namespace fvae::core
 

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/binary_io.h"
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace fvae {
@@ -12,28 +15,23 @@ namespace fvae {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'V', 'D', 'S'};
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
+constexpr uint32_t kVersionV1 = 1;
+// v2 appends a CRC-32 of the body (everything after the 8-byte header) as
+// a 4-byte footer, and all writes go through the atomic-rename path.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
 Status SaveDatasetBinary(const MultiFieldDataset& dataset,
                          const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "data_io.save"));
+  std::ostream& header = writer.stream();
+  header.write(kMagic, 4);
+  WritePod(header, kVersion);
 
-  out.write(kMagic, 4);
-  WritePod(out, kVersion);
+  std::ostringstream body;
+  std::ostream& out = body;
   WritePod(out, static_cast<uint32_t>(dataset.num_fields()));
   for (const FieldSchema& field : dataset.fields()) {
     WritePod(out, static_cast<uint32_t>(field.name.size()));
@@ -57,57 +55,54 @@ Status SaveDatasetBinary(const MultiFieldDataset& dataset,
       }
     }
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  const std::string_view payload = body.view();
+  header.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  WritePod(header, Crc32(payload));
+  return writer.Commit();
 }
 
-Result<MultiFieldDataset> LoadDatasetBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+namespace {
 
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("bad magic in " + path);
-  }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported dataset version");
-  }
+/// The FVDS body (identical layout in v1 and v2): schemas, user count,
+/// then per-field offset tables and entry arrays.
+Result<MultiFieldDataset> ParseDatasetBody(BufferReader& in,
+                                           const std::string& path) {
   uint32_t num_fields = 0;
-  if (!ReadPod(in, &num_fields) || num_fields == 0 || num_fields > 1024) {
+  if (!in.ReadPod(&num_fields) || num_fields == 0 || num_fields > 1024) {
     return Status::InvalidArgument("bad field count");
   }
   std::vector<FieldSchema> fields(num_fields);
   for (FieldSchema& field : fields) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
+    if (!in.ReadPod(&name_len) || name_len > 4096) {
       return Status::InvalidArgument("bad field name length");
     }
     field.name.resize(name_len);
-    in.read(field.name.data(), name_len);
+    if (!in.ReadBytes(field.name.data(), name_len)) {
+      return Status::IoError("truncated schema");
+    }
     uint8_t sparse = 0;
-    if (!ReadPod(in, &sparse)) return Status::IoError("truncated schema");
+    if (!in.ReadPod(&sparse)) return Status::IoError("truncated schema");
     field.is_sparse = sparse != 0;
   }
   uint64_t num_users = 0;
-  if (!ReadPod(in, &num_users)) return Status::IoError("truncated header");
+  if (!in.ReadPod(&num_users)) return Status::IoError("truncated header");
 
   std::vector<std::vector<FeatureEntry>> field_entries(num_fields);
   std::vector<std::vector<uint64_t>> field_offsets(num_fields);
   for (uint32_t k = 0; k < num_fields; ++k) {
     uint64_t nnz = 0;
-    if (!ReadPod(in, &nnz)) return Status::IoError("truncated field header");
+    if (!in.ReadPod(&nnz)) return Status::IoError("truncated field header");
     field_offsets[k].resize(num_users + 1);
     for (uint64_t& off : field_offsets[k]) {
-      if (!ReadPod(in, &off)) return Status::IoError("truncated offsets");
+      if (!in.ReadPod(&off)) return Status::IoError("truncated offsets");
     }
     if (field_offsets[k].back() != nnz) {
-      return Status::InvalidArgument("offset/nnz mismatch");
+      return Status::InvalidArgument("offset/nnz mismatch in " + path);
     }
     field_entries[k].resize(nnz);
     for (FeatureEntry& e : field_entries[k]) {
-      if (!ReadPod(in, &e.id) || !ReadPod(in, &e.value)) {
+      if (!in.ReadPod(&e.id) || !in.ReadPod(&e.value)) {
         return Status::IoError("truncated entries");
       }
     }
@@ -120,7 +115,7 @@ Result<MultiFieldDataset> LoadDatasetBinary(const std::string& path) {
       const uint64_t lo = field_offsets[k][u];
       const uint64_t hi = field_offsets[k][u + 1];
       if (hi < lo || hi > field_entries[k].size()) {
-        return Status::InvalidArgument("corrupt offsets");
+        return Status::InvalidArgument("corrupt offsets in " + path);
       }
       per_field[k].assign(field_entries[k].begin() + lo,
                           field_entries[k].begin() + hi);
@@ -130,10 +125,54 @@ Result<MultiFieldDataset> LoadDatasetBinary(const std::string& path) {
   return builder.Build();
 }
 
+}  // namespace
+
+Result<MultiFieldDataset> LoadDatasetBinary(const std::string& path) {
+  FVAE_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  BufferReader header(data);
+  char magic[4];
+  if (!header.ReadBytes(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path +
+                                   ", want \"FVDS\"");
+  }
+  uint32_t version = 0;
+  if (!header.ReadPod(&version)) {
+    return Status::IoError("truncated header in " + path);
+  }
+  if (version == kVersionV1) {
+    // Legacy files: no checksum footer, body runs to end-of-file.
+    BufferReader body(std::string_view(data).substr(8));
+    return ParseDatasetBody(body, path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported dataset version " + std::to_string(version) + " in " +
+        path + " (supported: " + std::to_string(kVersionV1) + ".." +
+        std::to_string(kVersion) + ")");
+  }
+  if (data.size() < 8 + sizeof(uint32_t)) {
+    return Status::IoError("truncated checksum footer in " + path);
+  }
+  const std::string_view payload =
+      std::string_view(data).substr(8, data.size() - 8 - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t computed_crc = Crc32(payload);
+  if (stored_crc != computed_crc) {
+    return Status::IoError("checksum mismatch in " + path + ": stored " +
+                           std::to_string(stored_crc) + ", computed " +
+                           std::to_string(computed_crc));
+  }
+  BufferReader body(payload);
+  return ParseDatasetBody(body, path);
+}
+
 Status SaveDatasetText(const MultiFieldDataset& dataset,
                        const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "data_io.save_text"));
+  std::ostream& out = writer.stream();
   out << "#fields ";
   for (size_t k = 0; k < dataset.num_fields(); ++k) {
     if (k) out << ",";
@@ -152,8 +191,7 @@ Status SaveDatasetText(const MultiFieldDataset& dataset,
     }
     out << "\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Result<MultiFieldDataset> LoadDatasetText(const std::string& path) {

@@ -14,7 +14,7 @@ constexpr char kMagic[4] = {'F', 'V', 'S', 'T'};
 constexpr uint32_t kVersion = 1;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
@@ -29,21 +29,21 @@ Status StreamingDatasetWriter::Open(const std::string& path,
                                     std::vector<FieldSchema> fields) {
   if (open_) return Status::FailedPrecondition("writer already open");
   if (fields.empty()) return Status::InvalidArgument("no fields");
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!out_) return Status::IoError("cannot open for write: " + path);
+  FVAE_RETURN_IF_ERROR(writer_.Open(path, "streaming.save"));
   fields_ = std::move(fields);
   users_written_ = 0;
 
-  out_.write(kMagic, 4);
-  WritePod(out_, kVersion);
-  WritePod(out_, static_cast<uint32_t>(fields_.size()));
+  std::ostream& out = writer_.stream();
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(fields_.size()));
   for (const FieldSchema& field : fields_) {
-    WritePod(out_, static_cast<uint32_t>(field.name.size()));
-    out_.write(field.name.data(),
-               static_cast<std::streamsize>(field.name.size()));
-    WritePod(out_, static_cast<uint8_t>(field.is_sparse ? 1 : 0));
+    WritePod(out, static_cast<uint32_t>(field.name.size()));
+    out.write(field.name.data(),
+              static_cast<std::streamsize>(field.name.size()));
+    WritePod(out, static_cast<uint8_t>(field.is_sparse ? 1 : 0));
   }
-  if (!out_) return Status::IoError("header write failed");
+  if (!out) return Status::IoError("header write failed");
   open_ = true;
   return Status::Ok();
 }
@@ -54,14 +54,15 @@ Status StreamingDatasetWriter::WriteUser(
   if (features_per_field.size() != fields_.size()) {
     return Status::InvalidArgument("field count mismatch");
   }
+  std::ostream& out = writer_.stream();
   for (const auto& field_features : features_per_field) {
-    WritePod(out_, static_cast<uint32_t>(field_features.size()));
+    WritePod(out, static_cast<uint32_t>(field_features.size()));
     for (const FeatureEntry& e : field_features) {
-      WritePod(out_, e.id);
-      WritePod(out_, e.value);
+      WritePod(out, e.id);
+      WritePod(out, e.value);
     }
   }
-  if (!out_) return Status::IoError("record write failed");
+  if (!out) return Status::IoError("record write failed");
   ++users_written_;
   static obs::Counter& written_counter =
       obs::MetricsRegistry::Global().Counter("data.stream_users_written");
@@ -71,11 +72,12 @@ Status StreamingDatasetWriter::WriteUser(
 
 Status StreamingDatasetWriter::Close() {
   if (!open_) return Status::Ok();
-  out_.flush();
-  const bool good = out_.good();
-  out_.close();
   open_ = false;
-  return good ? Status::Ok() : Status::IoError("flush failed");
+  // Commit samples the stream state *after* the closing flush — the old
+  // pre-close check here reported Ok for write errors the OS only
+  // surfaced when the buffer actually hit the disk — then fsyncs and
+  // atomically renames the temp file into place.
+  return writer_.Commit();
 }
 
 Result<StreamingDatasetReader> StreamingDatasetReader::Open(

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "data/dataset.h"
@@ -22,6 +23,11 @@ namespace fvae {
 /// then one record per user:
 ///   per field: uint32 count, count x (uint64 id, float value)
 /// terminated by EOF.
+///
+/// Writes are crash-safe: records stream into `<path>.tmp` and the file
+/// appears at `path` only when Close() commits, so readers never observe a
+/// half-written stream (and a crashed writer leaves at most harmless
+/// `.tmp` debris). Failpoints fire under the `streaming.save.*` prefix.
 class StreamingDatasetWriter {
  public:
   StreamingDatasetWriter() = default;
@@ -39,13 +45,15 @@ class StreamingDatasetWriter {
   Status WriteUser(
       const std::vector<std::vector<FeatureEntry>>& features_per_field);
 
-  /// Flushes and closes; further writes are errors. Idempotent.
+  /// Flushes, fsyncs, and atomically publishes the file; further writes
+  /// are errors. Idempotent. Deferred write errors that the OS reports
+  /// only at the final flush (e.g. ENOSPC) surface here.
   Status Close();
 
   size_t users_written() const { return users_written_; }
 
  private:
-  std::ofstream out_;
+  AtomicFileWriter writer_;
   std::vector<FieldSchema> fields_;
   size_t users_written_ = 0;
   bool open_ = false;

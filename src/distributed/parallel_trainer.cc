@@ -5,7 +5,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "data/batching.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -119,11 +121,52 @@ DistributedResult ParallelFvaeTrainer::Train(
     const MultiFieldDataset& dataset) {
   const size_t workers = config_.num_workers;
   replicas_.clear();
-  for (size_t r = 0; r < workers; ++r) {
-    // Identical dense init across replicas (same seed) so model averaging
-    // starts from a consensus point.
-    replicas_.push_back(
-        std::make_unique<core::FieldVae>(model_config_, dataset.fields()));
+
+  std::unique_ptr<core::CheckpointManager> checkpointer;
+  if (config_.checkpoint_every_rounds > 0 || config_.resume) {
+    FVAE_CHECK(!config_.checkpoint_dir.empty())
+        << "distributed checkpointing requires checkpoint_dir";
+    core::CheckpointManagerOptions manager_options;
+    manager_options.dir = config_.checkpoint_dir;
+    manager_options.retain = config_.checkpoint_retain;
+    checkpointer =
+        std::make_unique<core::CheckpointManager>(manager_options);
+  }
+
+  // Resume: every replica restarts from the checkpointed post-barrier
+  // model (loaded once per replica — FieldVae is non-copyable), giving a
+  // consensus warm start at the saved round.
+  size_t start_round = 0;
+  size_t resumed_users = 0;
+  if (config_.resume) {
+    auto latest = core::CheckpointManager::LatestIn(config_.checkpoint_dir);
+    if (latest.ok()) {
+      auto loaded = checkpointer->LoadLatest();
+      FVAE_CHECK(loaded.ok()) << "cannot resume from " << *latest << ": "
+                              << loaded.status().ToString();
+      FVAE_CHECK(loaded->has_cursor)
+          << *latest << " has no training cursor to resume from";
+      start_round = size_t(loaded->cursor.step);
+      resumed_users = size_t(loaded->cursor.users_processed);
+      replicas_.push_back(std::move(loaded->model));
+      for (size_t r = 1; r < workers; ++r) {
+        auto replica = core::LoadFieldVae(*latest);
+        FVAE_CHECK(replica.ok()) << "cannot resume from " << *latest << ": "
+                                 << replica.status().ToString();
+        replicas_.push_back(std::move(replica).value());
+      }
+    } else {
+      FVAE_LOG(INFO) << "no checkpoint to resume from in "
+                     << config_.checkpoint_dir << ", starting fresh";
+    }
+  }
+  if (replicas_.empty()) {
+    for (size_t r = 0; r < workers; ++r) {
+      // Identical dense init across replicas (same seed) so model averaging
+      // starts from a consensus point.
+      replicas_.push_back(
+          std::make_unique<core::FieldVae>(model_config_, dataset.fields()));
+    }
   }
 
   // Round-robin user shards.
@@ -150,14 +193,30 @@ DistributedResult ParallelFvaeTrainer::Train(
       (config_.epochs * batches_per_epoch + config_.sync_every_batches - 1) /
       config_.sync_every_batches;
 
+  // Replay the consumed batch schedule up to the resumed round: iterator
+  // state is a pure function of the seed and the consumption pattern.
+  if (start_round > 0) {
+    std::vector<uint32_t> discard;
+    for (size_t round = 0; round < start_round; ++round) {
+      for (size_t r = 0; r < workers; ++r) {
+        for (size_t step = 0; step < config_.sync_every_batches; ++step) {
+          if (!iterators[r].Next(&discard)) {
+            iterators[r].NewEpoch();
+            if (!iterators[r].Next(&discard)) break;
+          }
+        }
+      }
+    }
+  }
+
   {
     MutexLock lock(progress_mutex_);
-    users_processed_ = 0;
+    users_processed_ = resumed_users;
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Counter& rounds_counter = metrics.Counter("distributed.rounds");
   LatencyHistogram& round_us_histo = metrics.Histo("distributed.round_us");
-  for (size_t round = 0; round < total_rounds; ++round) {
+  for (size_t round = start_round; round < total_rounds; ++round) {
     Stopwatch round_watch;
     // One worker's share of the round (steps between barriers). Progress
     // accumulates locally and folds into the guarded counter once per
@@ -215,6 +274,34 @@ DistributedResult ParallelFvaeTrainer::Train(
     ++result.rounds;
     rounds_counter.Increment();
     round_us_histo.Record(round_watch.ElapsedSeconds() * 1e6);
+
+    if (checkpointer != nullptr && config_.checkpoint_every_rounds > 0 &&
+        (round + 1) % config_.checkpoint_every_rounds == 0) {
+      // Post-barrier is the one moment a single model represents the run:
+      // replica 0 carries the averaged parameters. The cursor's `step` is
+      // the number of completed rounds.
+      const core::FieldVae& snapshot = *replicas_[0];
+      core::TrainingCursor cursor;
+      cursor.step = round + 1;
+      {
+        MutexLock lock(progress_mutex_);
+        cursor.users_processed = users_processed_;
+      }
+      cursor.shuffle_seed = config_.seed;
+      cursor.model_rng = snapshot.rng_state();
+      for (size_t k = 0; k < snapshot.num_fields(); ++k) {
+        cursor.input_table_rng.push_back(
+            snapshot.input_table(k).rng_state());
+        cursor.output_table_rng.push_back(
+            snapshot.output_table(k).rng_state());
+      }
+      const Status saved = checkpointer->Save(snapshot, cursor);
+      // Same policy as TrainFvae: a failed save costs resumability only.
+      if (!saved.ok()) {
+        FVAE_LOG(WARNING) << "distributed checkpoint save failed: "
+                          << saved.ToString();
+      }
+    }
   }
 
   result.seconds = watch.ElapsedSeconds();

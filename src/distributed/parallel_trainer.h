@@ -30,6 +30,21 @@ struct DistributedConfig {
   ///         meaningful speedup numbers).
   bool simulate_cluster = true;
   uint64_t seed = 77;
+  /// Save a crash-safe checkpoint of the averaged model after every this
+  /// many synchronization rounds (0 = never). Requires checkpoint_dir.
+  /// Rounds are the only safe granularity: between barriers the replicas
+  /// hold divergent state that no single checkpoint could capture.
+  size_t checkpoint_every_rounds = 0;
+  /// Directory for `checkpoint-<round>.fvmd` files (core/checkpoint.h).
+  std::string checkpoint_dir;
+  size_t checkpoint_retain = 3;
+  /// Resume from the newest checkpoint in checkpoint_dir when one exists
+  /// (otherwise start fresh). The batch schedule is replayed to the saved
+  /// round, so the resumed run is deterministic — but unlike TrainFvae it
+  /// is a warm start, not bitwise-identical: every worker restarts from
+  /// the replica-0 post-barrier model, while an uninterrupted run's
+  /// replicas keep private never-merged embedding rows.
+  bool resume = false;
 };
 
 /// Outcome of a distributed run.

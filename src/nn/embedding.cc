@@ -1,5 +1,6 @@
 #include "nn/embedding.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -102,6 +103,26 @@ void EmbeddingTable::ApplyGradients(float learning_rate, float epsilon) {
     is_touched_[row] = false;
   }
   touched_.clear();
+}
+
+std::span<const float> EmbeddingTable::AdagradRow(uint32_t row) const {
+  FVAE_CHECK(row < num_rows());
+  return {adagrad_.data() + size_t(row) * dim_, dim_};
+}
+
+float EmbeddingTable::adagrad_bias(uint32_t row) const {
+  FVAE_CHECK(with_bias_ && row < num_rows());
+  return adagrad_bias_[row];
+}
+
+void EmbeddingTable::RestoreAdagradRow(uint32_t row,
+                                       std::span<const float> accum,
+                                       float bias_accum) {
+  FVAE_CHECK(row < num_rows());
+  FVAE_CHECK(accum.size() == dim_) << "accumulator dim mismatch";
+  float* acc = adagrad_.data() + size_t(row) * dim_;
+  std::copy(accum.begin(), accum.end(), acc);
+  if (with_bias_) adagrad_bias_[row] = bias_accum;
 }
 
 std::span<const float> EmbeddingTable::RowGrad(uint32_t row) const {

@@ -79,6 +79,20 @@ class EmbeddingTable {
   /// rows that actually changed are exchanged between replicas.
   std::vector<uint32_t> TakeDirtyRows();
 
+  /// AdaGrad accumulator row, for checkpointing (core/model_io.h).
+  std::span<const float> AdagradRow(uint32_t row) const;
+  float adagrad_bias(uint32_t row) const;
+
+  /// Restores a row's checkpointed AdaGrad accumulators so resumed
+  /// training takes the same adaptive step sizes as the original run.
+  void RestoreAdagradRow(uint32_t row, std::span<const float> accum,
+                         float bias_accum);
+
+  /// Snapshot/restore of the row-initializer RNG, so rows created after a
+  /// resume draw the same values the uninterrupted run would have.
+  RngState rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const RngState& state) { rng_.SetState(state); }
+
  private:
   void EnsureCapacity(uint32_t row);
 

@@ -59,6 +59,22 @@ AdamOptimizer::AdamOptimizer(std::vector<ParamRef> params,
   }
 }
 
+void AdamOptimizer::RestoreState(int64_t step_count, std::vector<Matrix> m,
+                                 std::vector<Matrix> v) {
+  FVAE_CHECK(step_count >= 0);
+  FVAE_CHECK(m.size() == params_.size() && v.size() == params_.size())
+      << "optimizer moment count mismatch";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Matrix& value = *params_[i].value;
+    FVAE_CHECK(m[i].rows() == value.rows() && m[i].cols() == value.cols() &&
+               v[i].rows() == value.rows() && v[i].cols() == value.cols())
+        << "optimizer moment shape mismatch";
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void AdamOptimizer::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, float(step_count_));

@@ -55,6 +55,16 @@ class AdamOptimizer : public Optimizer {
   float learning_rate() const { return learning_rate_; }
   int64_t step_count() const { return step_count_; }
 
+  /// Moment estimates, parallel to params() and shaped like them from
+  /// construction. Checkpointing persists these (plus step_count) so a
+  /// resumed run takes bitwise-identical Adam steps.
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+
+  /// Restores checkpointed state; moment shapes must match the params.
+  void RestoreState(int64_t step_count, std::vector<Matrix> m,
+                    std::vector<Matrix> v);
+
  private:
   float learning_rate_;
   float beta1_;

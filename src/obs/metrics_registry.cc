@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace fvae::obs {
@@ -159,12 +160,24 @@ std::string MetricsRegistry::JsonlSnapshot() const {
 
 Status MetricsRegistry::WriteJsonlSnapshot(const std::string& path,
                                            bool append) const {
-  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << JsonlSnapshot();
-  out.flush();
-  if (!out.good()) return Status::IoError("snapshot write failed: " + path);
-  return Status::Ok();
+  if (append) {
+    // Appending to a shared log cannot go through the atomic rename path
+    // (a rename would clobber the records already in the file), so this
+    // branch keeps the direct stream; partial trailing lines are tolerated
+    // by JSONL consumers.
+    std::ofstream out(path, std::ios::app);  // fvae-lint: allow(atomic-write)
+    if (!out) return Status::IoError("cannot open for write: " + path);
+    out << JsonlSnapshot();
+    out.flush();
+    if (!out.good()) {
+      return Status::IoError("snapshot write failed: " + path);
+    }
+    return Status::Ok();
+  }
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "obs.metrics_snapshot"));
+  writer.stream() << JsonlSnapshot();
+  return writer.Commit();
 }
 
 }  // namespace fvae::obs

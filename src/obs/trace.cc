@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+
+#include "common/atomic_file.h"
 
 namespace fvae::obs {
 
@@ -90,12 +91,10 @@ std::string TraceRecorder::ChromeTraceJson() const {
 }
 
 Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << ChromeTraceJson();
-  out.flush();
-  if (!out.good()) return Status::IoError("trace write failed: " + path);
-  return Status::Ok();
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "obs.trace_export"));
+  writer.stream() << ChromeTraceJson();
+  return writer.Commit();
 }
 
 std::vector<SpanProfile> TraceRecorder::Profile() const {

@@ -1,15 +1,46 @@
 #include "serving/embedding_store.h"
 
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/binary_io.h"
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace fvae::serving {
 
 namespace {
 constexpr char kMagic[4] = {'F', 'V', 'E', 'B'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+// v2 appends a CRC-32 of the body (everything after the 8-byte header) as
+// a 4-byte footer; writes go through the atomic-rename path. Load verifies
+// the checksum before returning, so the serving reload path can never swap
+// a corrupt dump in (serving_proxy reloads by Load-then-replace).
+constexpr uint32_t kVersion = 2;
+
+Result<EmbeddingStore> ParseBody(BufferReader& in, const std::string& path) {
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  if (!in.ReadPod(&dim) || !in.ReadPod(&count)) {
+    return Status::IoError("truncated store header in " + path);
+  }
+  if (dim == 0 || dim > 1u << 20) {
+    return Status::InvalidArgument("bad embedding dimension");
+  }
+  EmbeddingStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t user_id = 0;
+    std::vector<float> embedding(dim);
+    if (!in.ReadPod(&user_id) ||
+        !in.ReadBytes(embedding.data(), size_t(dim) * sizeof(float))) {
+      return Status::IoError("truncated store: " + path);
+    }
+    store.Put(user_id, std::move(embedding));
+  }
+  return store;
+}
+
 }  // namespace
 
 void EmbeddingStore::Put(uint64_t user_id, std::vector<float> embedding) {
@@ -47,57 +78,66 @@ std::vector<uint64_t> EmbeddingStore::Ids() const {
 }
 
 Status EmbeddingStore::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  AtomicFileWriter writer;
+  FVAE_RETURN_IF_ERROR(writer.Open(path, "embedding_store.save"));
+  std::ostream& out = writer.stream();
   out.write(kMagic, 4);
-  const uint32_t version = kVersion;
-  const uint32_t dim = static_cast<uint32_t>(dim_);
-  const uint64_t count = table_.size();
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  WritePod(out, kVersion);
+
+  std::ostringstream body;
+  WritePod(body, static_cast<uint32_t>(dim_));
+  WritePod(body, static_cast<uint64_t>(table_.size()));
   for (const auto& [user_id, embedding] : table_) {
-    out.write(reinterpret_cast<const char*>(&user_id), sizeof(user_id));
-    out.write(reinterpret_cast<const char*>(embedding.data()),
-              static_cast<std::streamsize>(embedding.size() *
-                                           sizeof(float)));
+    WritePod(body, user_id);
+    body.write(reinterpret_cast<const char*>(embedding.data()),
+               static_cast<std::streamsize>(embedding.size() *
+                                            sizeof(float)));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  const std::string_view payload = body.view();
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  WritePod(out, Crc32(payload));
+  return writer.Commit();
 }
 
 Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  FVAE_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  BufferReader header(data);
   char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("bad magic in " + path);
+  if (!header.ReadBytes(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path +
+                                   ", want \"FVEB\"");
   }
-  uint32_t version = 0, dim = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || version != kVersion) {
-    return Status::InvalidArgument("unsupported store version");
+  uint32_t version = 0;
+  if (!header.ReadPod(&version)) {
+    return Status::IoError("truncated header in " + path);
   }
-  if (dim == 0 || dim > 1u << 20) {
-    return Status::InvalidArgument("bad embedding dimension");
+  if (version == kVersionV1) {
+    // Legacy dumps: no checksum footer, body runs to end-of-file.
+    BufferReader body(std::string_view(data).substr(8));
+    return ParseBody(body, path);
   }
-  EmbeddingStore store;
-  store.dim_ = dim;
-  store.table_.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t user_id = 0;
-    std::vector<float> embedding(dim);
-    in.read(reinterpret_cast<char*>(&user_id), sizeof(user_id));
-    in.read(reinterpret_cast<char*>(embedding.data()),
-            static_cast<std::streamsize>(dim * sizeof(float)));
-    if (!in) return Status::IoError("truncated store: " + path);
-    store.table_[user_id] = std::move(embedding);
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported store version " + std::to_string(version) + " in " +
+        path + " (supported: " + std::to_string(kVersionV1) + ".." +
+        std::to_string(kVersion) + ")");
   }
-  return store;
+  if (data.size() < 8 + sizeof(uint32_t)) {
+    return Status::IoError("truncated checksum footer in " + path);
+  }
+  const std::string_view payload =
+      std::string_view(data).substr(8, data.size() - 8 - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t computed_crc = Crc32(payload);
+  if (stored_crc != computed_crc) {
+    return Status::IoError("checksum mismatch in " + path + ": stored " +
+                           std::to_string(stored_crc) + ", computed " +
+                           std::to_string(computed_crc));
+  }
+  BufferReader body(payload);
+  return ParseBody(body, path);
 }
 
 }  // namespace fvae::serving

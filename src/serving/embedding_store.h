@@ -18,7 +18,11 @@ namespace fvae::serving {
 /// embeddings here; the online serving proxy loads and serves them.
 ///
 /// File format (little-endian): magic "FVEB", uint32 version, uint32 dim,
-/// uint64 count, then count x (uint64 user_id, dim x float).
+/// uint64 count, then count x (uint64 user_id, dim x float). Version 2
+/// appends a CRC-32 footer over the body and Save publishes via atomic
+/// rename, so the serving reload path verifies the checksum before it
+/// swaps a dump in; truncated or corrupt files load as IoError. Version 1
+/// files (no footer) remain loadable.
 class EmbeddingStore {
  public:
   EmbeddingStore() = default;

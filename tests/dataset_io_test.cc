@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -83,6 +84,81 @@ TEST_F(DatasetIoTest, BinaryRejectsTruncation) {
   std::filesystem::resize_file(Path("full.bin"), size / 2);
   auto loaded = LoadDatasetBinary(Path("full.bin"));
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(DatasetIoTest, BinaryTruncationAtEveryOffsetIsCleanError) {
+  const MultiFieldDataset data = Fixture();
+  ASSERT_TRUE(SaveDatasetBinary(data, Path("sweep.bin")).ok());
+  std::ifstream in(Path("sweep.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 12u);
+
+  // Every strict prefix must fail to load — the CRC footer catches cuts
+  // that land on a record boundary and would otherwise parse.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    std::ofstream out(Path("cut.bin"), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(n));
+    out.close();
+    auto loaded = LoadDatasetBinary(Path("cut.bin"));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << n << " bytes loaded";
+  }
+}
+
+TEST_F(DatasetIoTest, BinaryDetectsBitFlips) {
+  const MultiFieldDataset data = Fixture();
+  ASSERT_TRUE(SaveDatasetBinary(data, Path("flip.bin")).ok());
+  std::ifstream in(Path("flip.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  // Flip a byte in the middle of the body: only the checksum can notice a
+  // value corruption that keeps the structure parseable.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(Path("flip.bin"), std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+  auto loaded = LoadDatasetBinary(Path("flip.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(DatasetIoTest, BinaryLoadsLegacyV1Files) {
+  const MultiFieldDataset data = Fixture();
+  ASSERT_TRUE(SaveDatasetBinary(data, Path("v2.bin")).ok());
+  std::ifstream in(Path("v2.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  // A v1 file is the v2 file with version 1 and no checksum footer.
+  std::string v1 = bytes.substr(0, bytes.size() - 4);
+  const uint32_t version = 1;
+  std::memcpy(v1.data() + 4, &version, sizeof(version));
+  {
+    std::ofstream out(Path("v1.bin"), std::ios::binary);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+  auto loaded = LoadDatasetBinary(Path("v1.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualDatasets(data, *loaded);
+}
+
+TEST_F(DatasetIoTest, BinaryRejectsUnsupportedVersion) {
+  {
+    std::ofstream out(Path("v9.bin"), std::ios::binary);
+    out << "FVDS";
+    const uint32_t version = 9;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  auto loaded = LoadDatasetBinary(Path("v9.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("9"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find(Path("v9.bin")),
+            std::string::npos);
 }
 
 TEST_F(DatasetIoTest, TextRoundTrip) {

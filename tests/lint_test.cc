@@ -256,6 +256,44 @@ TEST(LintMetricNameTest, SuppressionCommentWorks) {
 
 // ---------- lexer ----------
 
+// ---------- atomic-write ----------
+
+TEST(LintAtomicWriteTest, RawOfstreamFiresInDurableModules) {
+  LintOptions options;
+  options.ban_raw_ofstream = true;
+  const auto findings = Lint(
+      "void Save(const std::string& path) {\n"
+      "  std::ofstream out(path, std::ios::binary);\n"
+      "}\n",
+      options);
+  ASSERT_TRUE(HasRule(findings, "atomic-write"));
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintAtomicWriteTest, ReadersAndWrapperStaySilent) {
+  LintOptions options;
+  options.ban_raw_ofstream = true;
+  const auto findings = Lint(
+      "Status Load(const std::string& path) {\n"
+      "  std::ifstream in(path, std::ios::binary);\n"
+      "  AtomicFileWriter writer;\n"
+      "  return writer.Commit();\n"
+      "}\n",
+      options);
+  EXPECT_FALSE(HasRule(findings, "atomic-write"));
+}
+
+TEST(LintAtomicWriteTest, OffByDefaultAndSuppressible) {
+  const std::string snippet =
+      "void f() {\n"
+      "  std::ofstream out(\"x\");  // fvae-lint: allow(atomic-write)\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint(snippet), "atomic-write"));
+  LintOptions options;
+  options.ban_raw_ofstream = true;
+  EXPECT_FALSE(HasRule(Lint(snippet, options), "atomic-write"));
+}
+
 TEST(LintLexerTest, CommentsAndStringsNeverFire) {
   const auto findings = Lint(
       "// std::mutex in a comment\n"

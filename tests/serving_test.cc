@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <semaphore>
 #include <thread>
@@ -91,6 +93,50 @@ TEST_F(StoreTest, LoadRejectsTruncatedFile) {
   std::filesystem::resize_file(
       Path("big.bin"), std::filesystem::file_size(Path("big.bin")) / 2);
   EXPECT_FALSE(EmbeddingStore::Load(Path("big.bin")).ok());
+}
+
+TEST_F(StoreTest, LoadDetectsBitFlips) {
+  // The reload path swaps a dump in only after Load succeeds, so the CRC
+  // check here is what keeps a corrupt dump out of serving.
+  EmbeddingStore store;
+  for (uint64_t i = 0; i < 20; ++i) store.Put(i, {float(i), -1.0f});
+  ASSERT_TRUE(store.Save(Path("crc.bin")).ok());
+
+  std::ifstream in(Path("crc.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(Path("crc.bin"), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = EmbeddingStore::Load(Path("crc.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(StoreTest, LoadsLegacyV1Files) {
+  EmbeddingStore store;
+  store.Put(5, {1.0f, 2.0f, 3.0f});
+  store.Put(6, {4.0f, 5.0f, 6.0f});
+  ASSERT_TRUE(store.Save(Path("v2.bin")).ok());
+
+  // A v1 file is the v2 file with version 1 and the CRC footer stripped.
+  std::ifstream in(Path("v2.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::string v1 = bytes.substr(0, bytes.size() - 4);
+  const uint32_t version = 1;
+  std::memcpy(v1.data() + 4, &version, sizeof(version));
+  {
+    std::ofstream out(Path("v1.bin"), std::ios::binary);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+  auto loaded = EmbeddingStore::Load(Path("v1.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded->Get(6))[2], 6.0f);
 }
 
 // ---------- LruCache ----------

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <unistd.h>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "data/streaming.h"
 
@@ -108,6 +109,52 @@ TEST_F(StreamingTest, TruncatedRecordReportsError) {
   while (reader->NextUser(&user)) {
   }
   EXPECT_FALSE(reader->status().ok());
+}
+
+TEST_F(StreamingTest, TruncatedEntryReportsError) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("entry.bin"), {{"a", false}}).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.WriteUser({{{7, 1.0f}, {8, 1.0f}}}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  // Chop inside an entry (each record is 4 + 2*12 bytes): leave the count
+  // and the first entry intact, cut the second entry in half.
+  const auto size = std::filesystem::file_size(Path("entry.bin"));
+  std::filesystem::resize_file(Path("entry.bin"), size - 6);
+
+  auto reader = StreamingDatasetReader::Open(Path("entry.bin"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<FeatureEntry>> user;
+  while (reader->NextUser(&user)) {
+  }
+  EXPECT_FALSE(reader->status().ok());
+  EXPECT_NE(reader->status().ToString().find("truncated"),
+            std::string::npos);
+}
+
+TEST_F(StreamingTest, FileOnlyAppearsAtClose) {
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("atomic.bin"), {{"a", false}}).ok());
+  ASSERT_TRUE(writer.WriteUser({{{1, 1.0f}}}).ok());
+  // Readers racing the writer must never see a half-written stream.
+  EXPECT_FALSE(std::filesystem::exists(Path("atomic.bin")));
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_TRUE(std::filesystem::exists(Path("atomic.bin")));
+  EXPECT_FALSE(std::filesystem::exists(Path("atomic.bin") + ".tmp"));
+}
+
+TEST_F(StreamingTest, CloseSurfacesDeferredPublishFailure) {
+  // Regression: Close() used to sample the stream state before the final
+  // flush, reporting Ok for errors the OS only surfaced on close. Inject
+  // a failure at the publish boundary and insist Close reports it.
+  ScopedFailpoint fp("streaming.save.before_rename",
+                     FailpointAction::kError);
+  StreamingDatasetWriter writer;
+  ASSERT_TRUE(writer.Open(Path("fail.bin"), {{"a", false}}).ok());
+  ASSERT_TRUE(writer.WriteUser({{{1, 1.0f}}}).ok());
+  EXPECT_EQ(writer.Close().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(std::filesystem::exists(Path("fail.bin")));
 }
 
 TEST_F(StreamingTest, OpenRejectsGarbage) {

@@ -105,6 +105,28 @@ TEST(TrainerTest, MeanCandidatesReported) {
   EXPECT_NEAR(result.mean_candidates_per_field[1], 2.0, 1e-9);
 }
 
+TEST(TrainerTest, EmptyDatasetIsANoOp) {
+  // Regression: an empty dataset used to abort, and the epoch callback
+  // dereferenced epoch_loss.back() on a zero-batch epoch.
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"ch", false}, FieldSchema{"tag", true}});
+  const MultiFieldDataset data = builder.Build();
+  FieldVae model(SmallConfig(), data.fields());
+  TrainOptions options;
+  options.batch_size = 10;
+  options.epochs = 3;
+  bool callback_ran = false;
+  options.epoch_callback = [&](size_t, double, double) {
+    callback_ran = true;
+    return true;
+  };
+  const TrainResult result = TrainFvae(model, data, options);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_EQ(result.users_processed, 0u);
+  EXPECT_TRUE(result.epoch_loss.empty());
+  EXPECT_FALSE(callback_ran);
+}
+
 TEST(TrainerTest, LossTrendsDownOverEpochs) {
   const MultiFieldDataset data = Fixture(100);
   FvaeConfig config = SmallConfig();

@@ -28,6 +28,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/checkpoint.h"
 #include "core/fvae_model.h"
 #include "core/model_io.h"
 #include "core/trainer.h"
@@ -203,15 +204,57 @@ int CmdTrain(const Args& args) {
   config.seed = uint64_t(args.GetInt("seed", 1234));
 
   ObsSession obs_session(args);
-  core::FieldVae model(config, data->fields());
   core::TrainOptions options;
   options.batch_size = size_t(args.GetInt("batch", 512));
   options.epochs = size_t(args.GetInt("epochs", 10));
+  options.checkpoint_every_steps =
+      size_t(args.GetInt("checkpoint-every", 0));
+  options.checkpoint_dir = args.Get("checkpoint-dir", "");
+  options.checkpoint_retain = size_t(args.GetInt("checkpoint-retain", 3));
+  if (options.checkpoint_every_steps > 0 && options.checkpoint_dir.empty()) {
+    return Fail("--checkpoint-every requires --checkpoint-dir");
+  }
   options.epoch_callback = [](size_t epoch, double loss, double seconds) {
     std::printf("epoch %3zu  loss %.4f  %.1fs\n", epoch, loss, seconds);
     return true;
   };
-  const core::TrainResult result = core::TrainFvae(model, *data, options);
+
+  // --resume 1: pick up from the newest checkpoint in --checkpoint-dir
+  // (falling back to a fresh start when there is none yet, so a restarted
+  // job needs no flag changes).
+  std::unique_ptr<core::FieldVae> resumed_model;
+  core::TrainingCursor cursor;
+  bool resuming = false;
+  if (args.GetInt("resume", 0) != 0) {
+    if (options.checkpoint_dir.empty()) {
+      return Fail("--resume requires --checkpoint-dir");
+    }
+    core::CheckpointManagerOptions manager_options;
+    manager_options.dir = options.checkpoint_dir;
+    manager_options.retain = options.checkpoint_retain;
+    core::CheckpointManager manager(manager_options);
+    auto loaded = manager.LoadLatest();
+    if (loaded.ok()) {
+      if (!loaded->has_cursor) {
+        return Fail("checkpoint in " + options.checkpoint_dir +
+                    " has no training cursor to resume from");
+      }
+      resumed_model = std::move(loaded->model);
+      cursor = std::move(loaded->cursor);
+      resuming = true;
+      std::printf("resuming at step %llu (epoch %llu)\n",
+                  (unsigned long long)cursor.step,
+                  (unsigned long long)cursor.epoch);
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return Fail(loaded.status().ToString());
+    }
+  }
+
+  core::FieldVae fresh_model(config, data->fields());
+  core::FieldVae& model = resuming ? *resumed_model : fresh_model;
+  const core::TrainResult result =
+      resuming ? core::TrainFvaeResumingFrom(model, *data, options, cursor)
+               : core::TrainFvae(model, *data, options);
   std::printf("trained %zu steps, %.0f users/s, %zu parameters\n",
               result.steps, result.UsersPerSecond(),
               model.ParameterCount());
@@ -471,7 +514,9 @@ void PrintUsage() {
       "  train     --data F --model F [--latent D --hidden H --epochs E\n"
       "             --batch B --rate R --strategy uniform|frequency|zipfian\n"
       "             --beta B --seed S --trace-out F --metrics-out F\n"
-      "             --metrics-every-s N]\n"
+      "             --metrics-every-s N --checkpoint-dir D\n"
+      "             --checkpoint-every STEPS --checkpoint-retain N\n"
+      "             --resume 1]\n"
       "  evaluate  --data F --model F --task tag|recon [--field K]\n"
       "  export    --data F --model F --out F\n"
       "  inspect   --model F | --data F\n"

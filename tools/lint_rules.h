@@ -35,6 +35,14 @@
 ///                      dotted path ("training.epoch_loss"). Catches at
 ///                      review time what obs::MetricsRegistry would
 ///                      FVAE_CHECK-crash on at run time.
+///   atomic-write       a std::ofstream is named in a module that produces
+///                      durable artifacts (model_io, checkpoint, dataset
+///                      io/streaming, embedding_store, obs exports). Those
+///                      writes must go through AtomicFileWriter
+///                      (common/atomic_file.h) so a crash leaves the old
+///                      or the new file, never a torn one. Deliberate
+///                      exceptions (e.g. append-mode logs, which a rename
+///                      would clobber) carry the suppression comment.
 ///
 /// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed.
 ///
@@ -60,6 +68,9 @@ struct LintOptions {
   bool allow_raw_mutex = false;
   /// True for src/common/random.*, the one sanctioned entropy boundary.
   bool allow_nondeterminism = false;
+  /// True for modules whose outputs must be crash-safe: ban raw
+  /// std::ofstream in favor of AtomicFileWriter.
+  bool ban_raw_ofstream = false;
   /// Known Status/Result-returning function names (last path component).
   const std::set<std::string>* status_functions = nullptr;
 };
@@ -337,6 +348,13 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
       }
     }
 
+    if (options.ban_raw_ofstream && detail::HasToken(line, "std::ofstream")) {
+      report(i, "atomic-write",
+             "std::ofstream writes a durable artifact in place; route it "
+             "through AtomicFileWriter (common/atomic_file.h) so a crash "
+             "leaves the old or the new file, never a torn one");
+    }
+
     if (!options.expected_guard.empty() && line.rfind("using namespace", 0) == 0) {
       report(i, "using-namespace",
              "file-scope `using namespace` in a header leaks into every "
@@ -482,6 +500,15 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     options.allow_raw_mutex = path == "src/common/mutex.h";
     options.allow_nondeterminism = path == "src/common/random.h" ||
                                    path == "src/common/random.cc";
+    // Modules that persist durable artifacts. common/atomic_file.* itself
+    // is the sanctioned wrapper, and lives outside these prefixes.
+    options.ban_raw_ofstream =
+        path.rfind("src/core/model_io", 0) == 0 ||
+        path.rfind("src/core/checkpoint", 0) == 0 ||
+        path.rfind("src/data/io", 0) == 0 ||
+        path.rfind("src/data/streaming", 0) == 0 ||
+        path.rfind("src/serving/embedding_store", 0) == 0 ||
+        path.rfind("src/obs/", 0) == 0;
     options.status_functions = &status_functions;
     std::vector<Finding> file_findings = LintFile(path, body, options);
     findings.insert(findings.end(), file_findings.begin(),
