@@ -1,0 +1,40 @@
+#ifndef FVAE_COMMON_HOT_PATH_H_
+#define FVAE_COMMON_HOT_PATH_H_
+
+/// Hot-path purity annotations, consumed by fvae_lint's whole-program
+/// analysis (tools/lint_graph.h). They expand to nothing at compile time —
+/// the contract is enforced statically by the linter (a ctest) and
+/// witnessed at runtime by the operator-new interposer in serving_test.
+///
+/// Conventions (docs/ARCHITECTURE.md §7):
+///
+///  - `FVAE_HOT` marks a function on the serving fold-in encode chain
+///    (ServingProxy lookup -> RequestBatcher dispatch -> FieldVae encode ->
+///    GEMM kernels). The linter transitively walks every resolvable callee
+///    and fails if any reachable function logs, does IO, or acquires a
+///    lock whose declaration is not marked FVAE_HOT_LOCK_EXEMPT.
+///
+///  - `FVAE_NOALLOC` implies FVAE_HOT and additionally forbids heap
+///    allocation tokens (`new`, malloc family, growing container calls)
+///    anywhere on the reachable chain. Capacity-reusing calls that only
+///    allocate while cold carry a `fvae-lint: allow(hot-alloc)` line
+///    suppression; the warmed-up zero-allocation claim those suppressions
+///    rest on is asserted for real by serving_test's global operator-new
+///    interposer.
+///
+///  - `FVAE_HOT_LOCK_EXEMPT` goes on a Mutex/SharedMutex *member
+///    declaration* whose acquisition on a hot path is by design (e.g. the
+///    encoder-serialization mutex the micro-batcher amortizes, or a
+///    sharded store's reader locks). Exemption is per-lock, not per-call:
+///    every acquisition site of that member is allowed.
+///
+/// Annotate both the interface declaration (documentation for readers) and
+/// the implementing definition — the linter matches attributes by exact
+/// namespace-qualified name, so an annotation on a base-class virtual does
+/// not transfer to overrides.
+
+#define FVAE_HOT
+#define FVAE_NOALLOC
+#define FVAE_HOT_LOCK_EXEMPT
+
+#endif  // FVAE_COMMON_HOT_PATH_H_

@@ -75,6 +75,19 @@
 #define FVAE_EXCLUDES(...) \
   FVAE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
 
+/// Declares a lock-rank edge on a mutex member: this lock must always be
+/// acquired before the listed locks. Consumed both by Clang (`-Wthread-
+/// safety-beta` checks it dynamically-scoped) and by fvae_lint's lock-order
+/// analysis, which combines declared ranks with statically observed nesting
+/// and fails the build on any cycle in the acquisition-order graph.
+#define FVAE_ACQUIRED_BEFORE(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+/// As FVAE_ACQUIRED_BEFORE, but declares that this lock is acquired after
+/// the listed locks (the reverse edge direction).
+#define FVAE_ACQUIRED_AFTER(...) \
+  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
 /// Declares a function that tries to acquire a capability and reports
 /// success via its return value: FVAE_TRY_ACQUIRE(true, mu).
 #define FVAE_TRY_ACQUIRE(...) \

@@ -174,22 +174,54 @@ void FieldVae::EncodeWithVariance(const MultiFieldDataset& dataset,
 
 Matrix FieldVae::EncodeFoldIn(
     std::span<const RawUserFeatures* const> users) const {
-  // Wrap the raw vectors in a throwaway dataset so the batch reuses the
-  // exact inference path (and its batched GEMMs) of Encode.
-  MultiFieldDataset::Builder builder(field_schemas_);
-  std::vector<uint32_t> indices;
-  indices.reserve(users.size());
-  for (const RawUserFeatures* user : users) {
+  FoldInScratch scratch;
+  Matrix mu;
+  EncodeFoldInInto(users, &scratch, &mu);
+  return mu;
+}
+
+void FieldVae::EncodeFoldInInto(std::span<const RawUserFeatures* const> users,
+                                FoldInScratch* scratch, Matrix* mu) const {
+  // The first hidden activation is computed straight from the raw feature
+  // vectors — no throwaway dataset build (the old fold-in path copied every
+  // feature into a MultiFieldDataset::Builder first). Mirrors
+  // EncodeInternal's inference branch exactly: cold feature IDs are
+  // skipped, h1 = tanh(bias + sum value * embedding_row).
+  const size_t batch = users.size();
+  const size_t h1_dim = config_.encoder_hidden.front();
+  Matrix& h1 = scratch->h1;
+  h1.Resize(batch, h1_dim);
+  for (size_t i = 0; i < batch; ++i) {
+    const RawUserFeatures* user = users[i];
     FVAE_CHECK(user != nullptr);
     FVAE_CHECK(user->size() == field_schemas_.size())
         << "fold-in user has " << user->size() << " fields, model expects "
         << field_schemas_.size();
-    indices.push_back(builder.AddUser(*user));
+    float* out = h1.Row(i);
+    const float* bias = first_bias_.Row(0);
+    for (size_t d = 0; d < h1_dim; ++d) out[d] = bias[d];
+    for (size_t k = 0; k < field_schemas_.size(); ++k) {
+      const nn::EmbeddingTable& table = *input_tables_[k];
+      for (const FeatureEntry& e : (*user)[k]) {
+        const auto found = table.FindRow(e.id);
+        if (!found.has_value()) continue;  // cold feature at inference
+        std::span<const float> weights = table.Row(*found);
+        for (size_t d = 0; d < h1_dim; ++d) out[d] += e.value * weights[d];
+      }
+    }
+    for (size_t d = 0; d < h1_dim; ++d) out[d] = std::tanh(out[d]);
   }
-  const MultiFieldDataset batch = builder.Build();
-  Matrix mu, logvar;
-  EncodeConst(batch, indices, &mu, &logvar);
-  return mu;
+  // Layer forward passes touch member scratch only (same const_cast
+  // rationale as EncodeConst); the logvar head is never run — fold-in
+  // consumers use the posterior mean alone.
+  auto* self = const_cast<FieldVae*>(this);
+  const Matrix* enc_out = &h1;
+  if (encoder_trunk_) {
+    self->encoder_trunk_->Forward(h1, &scratch->trunk_out,
+                                  /*training=*/false);
+    enc_out = &scratch->trunk_out;
+  }
+  self->mu_head_->Forward(*enc_out, mu, /*training=*/false);
 }
 
 Matrix FieldVae::DecoderHidden(const Matrix& z) const {

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/random.h"
 #include "core/fvae_config.h"
 #include "data/dataset.h"
@@ -85,6 +86,28 @@ class FieldVae {
   /// serving::FvaeFoldInEncoder, which is exactly why its micro-batcher
   /// amortizes rather than parallelizes encoder GEMMs.
   Matrix EncodeFoldIn(std::span<const RawUserFeatures* const> users) const;
+
+  /// Reusable scratch for EncodeFoldInInto. Keeping one alive across calls
+  /// (per serializing owner) makes a warmed-up fold-in encode
+  /// allocation-free: the matrices only grow to the high-water batch shape.
+  struct FoldInScratch {
+    Matrix h1;         // batch x encoder_hidden[0]
+    Matrix trunk_out;  // batch x encoder_hidden.back(), when trunk exists
+  };
+
+  /// Allocation-conscious fold-in encode: writes the posterior means
+  /// (users.size() x latent_dim) into `*mu` using caller-owned scratch.
+  /// Two savings over EncodeFoldIn: no throwaway dataset is built (features
+  /// are read straight from the raw vectors), and the log-variance head is
+  /// skipped entirely — fold-in consumers only use mu, so that is one whole
+  /// GEMM less per request batch. Once scratch/mu have seen the maximum
+  /// batch shape a call performs zero heap allocations (runtime-witnessed
+  /// by serving_test's operator-new interposer; statically checked by
+  /// fvae_lint's FVAE_NOALLOC walk). Same concurrency contract as
+  /// EncodeFoldIn: not safe for concurrent callers.
+  void EncodeFoldInInto(std::span<const RawUserFeatures* const> users,
+                        FoldInScratch* scratch, Matrix* mu) const
+      FVAE_HOT FVAE_NOALLOC;
 
   /// Decoder-trunk activation for latent codes `z` (one row per row of z).
   /// An alternative exported representation: its inner-product geometry is

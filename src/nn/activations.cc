@@ -7,11 +7,13 @@
 namespace fvae::nn {
 
 void TanhLayer::Forward(const Matrix& input, Matrix* output, bool training) {
-  (void)training;
   *output = input;
   for (size_t i = 0; i < output->size(); ++i) {
     output->data()[i] = std::tanh(output->data()[i]);
   }
+  // Cached unconditionally: Backward is valid after any forward pass
+  // (`training` only gates stochastic layers). Capacity-reusing once warm.
+  (void)training;
   cached_output_ = *output;
 }
 
@@ -28,11 +30,11 @@ void TanhLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {
 }
 
 void ReluLayer::Forward(const Matrix& input, Matrix* output, bool training) {
-  (void)training;
   *output = input;
   for (size_t i = 0; i < output->size(); ++i) {
     if (output->data()[i] < 0.0f) output->data()[i] = 0.0f;
   }
+  (void)training;
   cached_output_ = *output;
 }
 
@@ -49,11 +51,11 @@ void ReluLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {
 
 void SigmoidLayer::Forward(const Matrix& input, Matrix* output,
                            bool training) {
-  (void)training;
   *output = input;
   for (size_t i = 0; i < output->size(); ++i) {
     output->data()[i] = 1.0f / (1.0f + std::exp(-output->data()[i]));
   }
+  (void)training;
   cached_output_ = *output;
 }
 

@@ -23,7 +23,9 @@ void LayerNorm::Forward(const Matrix& input, Matrix* output, bool training) {
   const size_t batch = input.rows();
   output->Resize(batch, dim);
   normalized_.Resize(batch, dim);
-  inv_std_.resize(batch);
+  // Within-capacity resize: reallocates only while batch is still growing
+  // toward its high-water mark, so a warmed-up forward is allocation-free.
+  inv_std_.resize(batch);  // fvae-lint: allow(hot-alloc)
 
   for (size_t i = 0; i < batch; ++i) {
     const float* x = input.Row(i);

@@ -38,13 +38,15 @@ Mlp::Mlp(const std::vector<size_t>& dims, Activation activation, Rng& rng,
 }
 
 void Mlp::Forward(const Matrix& input, Matrix* output, bool training) {
-  activations_.resize(layers_.size());
+  // Fixed-size after the first pass (layer count never changes), so this
+  // is a no-op on every warmed-up call.
+  activations_.resize(layers_.size());  // fvae-lint: allow(hot-alloc)
   const Matrix* current = &input;
   for (size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->Forward(*current, &activations_[i], training);
     current = &activations_[i];
   }
-  *output = *current;
+  *output = *current;  // capacity-reusing copy once *output has seen the shape
 }
 
 void Mlp::Backward(const Matrix& grad_output, Matrix* grad_input) {

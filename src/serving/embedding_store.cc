@@ -7,6 +7,7 @@
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 
 namespace fvae::serving {
 
@@ -100,6 +101,10 @@ Status EmbeddingStore::Save(const std::string& path) const {
 }
 
 Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  // Transient-read-failure injection point for the serving reload tests
+  // (a kError arming models "HDFS read bounced"; the proxy must keep
+  // serving the previous store).
+  FVAE_RETURN_IF_ERROR(FailpointCheck("embedding_store.load"));
   FVAE_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
   BufferReader header(data);
   char magic[4];

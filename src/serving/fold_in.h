@@ -3,6 +3,7 @@
 
 #include <span>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/fvae_model.h"
@@ -24,6 +25,15 @@ class FoldInEncoder {
   virtual Matrix EncodeBatch(
       std::span<const core::RawUserFeatures* const> users) = 0;
 
+  /// Encodes into a caller-owned matrix (users.size() x dim()), letting
+  /// steady-state callers reuse `out`'s capacity across batches instead of
+  /// returning a fresh Matrix per call. The default adapter just moves
+  /// EncodeBatch's result; allocation-conscious implementations override.
+  virtual void EncodeBatchInto(
+      std::span<const core::RawUserFeatures* const> users, Matrix* out) {
+    *out = EncodeBatch(users);
+  }
+
   /// Embedding dimensionality produced by EncodeBatch.
   virtual size_t dim() const = 0;
 };
@@ -33,27 +43,40 @@ class FoldInEncoder {
 /// FieldVae's forward passes reuse member scratch buffers, so encodes are
 /// serialized through an internal mutex. That serialization is exactly what
 /// the micro-batcher amortizes: one batched GEMM per batch instead of one
-/// mutex-serialized GEMM per request.
+/// mutex-serialized GEMM per request. The mutex is FVAE_HOT_LOCK_EXEMPT for
+/// the same reason — holding it on the hot path is the design, not a leak.
 class FvaeFoldInEncoder : public FoldInEncoder {
  public:
   /// `model` must outlive the encoder and must not be trained concurrently.
   explicit FvaeFoldInEncoder(const core::FieldVae* model) : model_(model) {}
 
   Matrix EncodeBatch(
-      std::span<const core::RawUserFeatures* const> users) override
-      FVAE_EXCLUDES(mutex_) {
+      std::span<const core::RawUserFeatures* const> users) override {
+    Matrix out;
+    EncodeBatchInto(users, &out);
+    return out;
+  }
+
+  /// Zero-allocation once warm: the persistent scratch + the caller's `out`
+  /// grow to the high-water batch shape and are reused ever after
+  /// (FVAE_NOALLOC is checked transitively by fvae_lint and witnessed by
+  /// serving_test's operator-new interposer).
+  void EncodeBatchInto(std::span<const core::RawUserFeatures* const> users,
+                       Matrix* out) override FVAE_EXCLUDES(mutex_)
+      FVAE_HOT FVAE_NOALLOC {
     MutexLock lock(mutex_);
-    return model_->EncodeFoldIn(users);
+    model_->EncodeFoldInInto(users, &scratch_, out);
   }
 
   size_t dim() const override { return model_->latent_dim(); }
 
  private:
-  // Not FVAE_PT_GUARDED_BY(mutex_): the mutex serializes EncodeFoldIn's
-  // scratch-buffer reuse only; genuinely-const reads (latent_dim) are safe
+  // Not FVAE_PT_GUARDED_BY(mutex_): the mutex serializes EncodeFoldInInto's
+  // scratch-buffer use only; genuinely-const reads (latent_dim) are safe
   // without it.
   const core::FieldVae* model_;
-  Mutex mutex_;
+  Mutex mutex_ FVAE_HOT_LOCK_EXEMPT;
+  core::FieldVae::FoldInScratch scratch_ FVAE_GUARDED_BY(mutex_);
 };
 
 }  // namespace fvae::serving

@@ -51,6 +51,14 @@ class LruCache {
     index_[key] = order_.begin();
   }
 
+  /// Drops every entry (capacity unchanged). Used when the backing store
+  /// is swapped out (ServingProxy::ReloadFromFile) so stale embeddings
+  /// cannot outlive the dump they came from.
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
   bool Contains(const Key& key) const { return index_.count(key) > 0; }
   size_t size() const { return order_.size(); }
   size_t capacity() const { return capacity_; }

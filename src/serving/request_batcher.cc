@@ -81,6 +81,7 @@ std::vector<RequestBatcher::Request> RequestBatcher::TakeBatch() {
 }
 
 void RequestBatcher::WorkerLoop() {
+  BatchScratch scratch;  // worker-owned, reused across every dispatch
   mutex_.Lock();
   for (;;) {
     while (!shutting_down_ && queue_.empty()) {
@@ -104,16 +105,18 @@ void RequestBatcher::WorkerLoop() {
 
     std::vector<Request> batch = TakeBatch();
     mutex_.Unlock();
-    ProcessBatch(std::move(batch));
+    ProcessBatch(std::move(batch), &scratch);
     mutex_.Lock();
   }
 }
 
-void RequestBatcher::ProcessBatch(std::vector<Request> batch) {
+void RequestBatcher::ProcessBatch(std::vector<Request> batch,
+                                  BatchScratch* scratch) {
   // Expired requests are answered without paying for the encoder.
   const auto now = Clock::now();
-  std::vector<Request> live;
-  live.reserve(batch.size());
+  std::vector<Request>& live = scratch->live;
+  live.clear();
+  live.reserve(batch.size());  // fvae-lint: allow(hot-alloc)
   for (Request& request : batch) {
     if (request.deadline < now) {
       if (telemetry_ != nullptr) {
@@ -122,15 +125,19 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch) {
       request.promise.set_value(
           Status::DeadlineExceeded("expired in fold-in queue"));
     } else {
-      live.push_back(std::move(request));
+      live.push_back(std::move(request));  // fvae-lint: allow(hot-alloc)
     }
   }
   if (live.empty()) return;
 
-  std::vector<const core::RawUserFeatures*> users;
-  users.reserve(live.size());
-  for (const Request& request : live) users.push_back(&request.features);
-  const Matrix embeddings = encoder_->EncodeBatch(users);
+  std::vector<const core::RawUserFeatures*>& users = scratch->users;
+  users.clear();
+  users.reserve(live.size());  // fvae-lint: allow(hot-alloc)
+  for (const Request& request : live) {
+    users.push_back(&request.features);  // fvae-lint: allow(hot-alloc)
+  }
+  Matrix& embeddings = scratch->embeddings;
+  encoder_->EncodeBatchInto(users, &embeddings);
   FVAE_CHECK(embeddings.rows() == live.size())
       << "encoder returned " << embeddings.rows() << " rows for "
       << live.size() << " users";

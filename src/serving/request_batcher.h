@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -79,7 +80,7 @@ class RequestBatcher {
   /// statuses.
   std::future<EmbeddingResult> Submit(uint64_t user_id,
                                       const core::RawUserFeatures& features,
-                                      uint64_t deadline_micros = 0);
+                                      uint64_t deadline_micros = 0) FVAE_HOT;
 
   /// Current queue depth (instantaneous).
   size_t QueueDepth() const;
@@ -95,18 +96,30 @@ class RequestBatcher {
     std::promise<EmbeddingResult> promise;
   };
 
+  /// Per-worker reusable buffers: once warmed to the high-water batch
+  /// shape, a dispatch allocates only the per-request result vectors the
+  /// promise API hands out.
+  struct BatchScratch {
+    Matrix embeddings;
+    std::vector<const core::RawUserFeatures*> users;
+    std::vector<Request> live;
+  };
+
   void WorkerLoop() FVAE_EXCLUDES(mutex_);
   /// Takes up to max_batch_size requests off the queue front. Caller holds
   /// the queue lock; returns an empty batch when the queue is empty.
   std::vector<Request> TakeBatch() FVAE_REQUIRES(mutex_);
-  void ProcessBatch(std::vector<Request> batch) FVAE_EXCLUDES(mutex_);
+  void ProcessBatch(std::vector<Request> batch, BatchScratch* scratch)
+      FVAE_EXCLUDES(mutex_) FVAE_HOT;
 
   FoldInEncoder* encoder_;
   RequestBatcherOptions options_;
   ServingTelemetry* telemetry_;
   EncodedSink on_encoded_;
 
-  mutable Mutex mutex_;
+  // Held only for queue handoff, never across an encode — the design the
+  // micro-batcher exists for, hence exempt from the hot-path lock check.
+  mutable Mutex mutex_ FVAE_HOT_LOCK_EXEMPT;
   CondVar work_available_;
   std::deque<Request> queue_ FVAE_GUARDED_BY(mutex_);
   bool shutting_down_ FVAE_GUARDED_BY(mutex_) = false;

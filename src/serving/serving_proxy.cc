@@ -1,5 +1,8 @@
 #include "serving/serving_proxy.h"
 
+#include <memory>
+#include <utility>
+
 namespace fvae::serving {
 
 std::optional<std::vector<float>> ServingProxy::Lookup(uint64_t user_id) {
@@ -18,6 +21,23 @@ std::optional<std::vector<float>> ServingProxy::Lookup(uint64_t user_id) {
   }
   ++stats_.misses;
   return std::nullopt;
+}
+
+Status ServingProxy::ReloadFromFile(const std::string& path) {
+  // Parse + CRC-verify the dump with no lock held: Lookups serve the old
+  // store until the new one is fully validated in memory.
+  Result<EmbeddingStore> loaded = EmbeddingStore::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  auto fresh = std::make_unique<EmbeddingStore>(std::move(loaded).value());
+
+  MutexLock lock(mutex_);
+  owned_store_ = std::move(fresh);
+  store_ = owned_store_.get();
+  // Entries cached from the previous store may no longer exist (or may
+  // have new values) in the reloaded dump.
+  cache_.Clear();
+  ++stats_.reloads;
+  return Status::Ok();
 }
 
 }  // namespace fvae::serving

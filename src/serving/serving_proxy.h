@@ -2,10 +2,14 @@
 #define FVAE_SERVING_SERVING_PROXY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "serving/embedding_store.h"
 #include "serving/lru_cache.h"
@@ -28,6 +32,9 @@ class ServingProxy {
     size_t cache_hits = 0;
     size_t store_hits = 0;
     size_t misses = 0;
+    /// Successful ReloadFromFile swaps (failed reloads don't count — the
+    /// old store keeps serving).
+    size_t reloads = 0;
 
     double CacheHitRate() const {
       return requests == 0 ? 0.0 : double(cache_hits) / double(requests);
@@ -41,7 +48,18 @@ class ServingProxy {
   /// Looks up a user's embedding: cache first, then store (populating the
   /// cache on a store hit). nullopt for unknown users.
   std::optional<std::vector<float>> Lookup(uint64_t user_id)
-      FVAE_EXCLUDES(mutex_);
+      FVAE_EXCLUDES(mutex_) FVAE_HOT;
+
+  /// Swaps in a fresh embedding dump written by EmbeddingStore::Save — the
+  /// online module's "new day's embeddings landed on HDFS" step (Fig. 2).
+  ///
+  /// The file is parsed and checksum-verified entirely OUTSIDE the lock, so
+  /// concurrent Lookups keep serving the old store for the whole load; only
+  /// the pointer swap and cache invalidation hold the mutex. On any load
+  /// error (missing file, torn write, bad CRC) the proxy is untouched and
+  /// keeps serving the previous store — a crashed producer can never swap a
+  /// torn dump in (kill-matrix-tested in serving_test).
+  Status ReloadFromFile(const std::string& path) FVAE_EXCLUDES(mutex_);
 
   /// Consistent snapshot of the counters.
   Stats stats() const FVAE_EXCLUDES(mutex_) {
@@ -50,8 +68,13 @@ class ServingProxy {
   }
 
  private:
-  const EmbeddingStore* store_;
-  mutable Mutex mutex_;
+  // Points at either the constructor-supplied store or owned_store_ after a
+  // successful reload. Guarded: reload swaps it.
+  const EmbeddingStore* store_ FVAE_GUARDED_BY(mutex_);
+  // Cache/stats handoff only — held for map probes, never across file IO
+  // (ReloadFromFile loads outside the lock), hence hot-check exempt.
+  mutable Mutex mutex_ FVAE_HOT_LOCK_EXEMPT;
+  std::unique_ptr<EmbeddingStore> owned_store_ FVAE_GUARDED_BY(mutex_);
   LruCache<uint64_t, std::vector<float>> cache_ FVAE_GUARDED_BY(mutex_);
   Stats stats_ FVAE_GUARDED_BY(mutex_);
 };

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "serving/embedding_store.h"
@@ -53,7 +54,7 @@ class ShardedEmbeddingStore {
 
   /// Returns the embedding or nullopt, updating the shard's hit/miss
   /// counters. Thread-safe; takes the shard lock shared.
-  std::optional<std::vector<float>> Get(uint64_t user_id) const;
+  std::optional<std::vector<float>> Get(uint64_t user_id) const FVAE_HOT;
 
   /// Membership probe without statistics side effects. Thread-safe.
   bool Contains(uint64_t user_id) const;
@@ -71,7 +72,9 @@ class ShardedEmbeddingStore {
 
  private:
   struct Shard {
-    mutable SharedMutex mutex;
+    // Short-held reader lock per shard — sharding exists precisely so this
+    // lock is cheap on the hot path, hence exempt from the hot-lock check.
+    mutable SharedMutex mutex FVAE_HOT_LOCK_EXEMPT;
     std::unordered_map<uint64_t, std::vector<float>> table
         FVAE_GUARDED_BY(mutex);
     mutable std::atomic<uint64_t> hits{0};

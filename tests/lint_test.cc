@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "tools/cpp_lexer.h"
+#include "tools/lint_graph.h"
 #include "tools/lint_rules.h"
 
 namespace fvae::lint {
@@ -301,6 +303,249 @@ TEST(LintLexerTest, CommentsAndStringsNeverFire) {
       "   comment spanning lines: std::random_device */\n"
       "const char* s = \"std::mutex rand()\";\n"
       "const char* r = R\"(srand(1) std::shared_mutex)\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- lexer regressions ----------
+
+TEST(CppLexerTest, DigitSeparatorsStayOneNumberToken) {
+  const auto tokens = LexCpp("size_t n = 1'000'000;\n");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "1'000'000");
+}
+
+TEST(CppLexerTest, RawStringSpansLinesAndHidesCode) {
+  const auto tokens = LexCpp(
+      "const char* s = R\"(std::mutex m;\n"
+      "rand();)\";\n"
+      "int after = 0;\n");
+  // Nothing inside the raw string becomes an identifier token.
+  for (const auto& token : tokens) {
+    EXPECT_NE(token.text, "mutex");
+    EXPECT_NE(token.text, "rand");
+  }
+  // Line numbers account for the newline inside the literal.
+  bool found_after = false;
+  for (const auto& token : tokens) {
+    if (token.kind == TokKind::kIdent && token.text == "after") {
+      EXPECT_EQ(token.line, 3u);
+      found_after = true;
+    }
+  }
+  EXPECT_TRUE(found_after);
+}
+
+TEST(CppLexerTest, ContinuedPreprocessorDirectiveIsOneToken) {
+  const auto tokens = LexCpp(
+      "#define FOO(a) \\\n"
+      "  ((a) + 1)\n"
+      "int x = FOO(1);\n");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokKind::kPreproc);
+  // The directive swallowed its continuation line.
+  EXPECT_NE(tokens[0].text.find("((a) + 1)"), std::string::npos);
+}
+
+TEST(CppLexerTest, CommentsAndStringsDoNotLeakRuleTriggers) {
+  const auto findings = Lint(
+      "// std::mutex commented_out;\n"
+      "/* srand(42); */\n"
+      "const char* t = \"std::shared_mutex in a string\";\n"
+      "void f() {}\n");
+  EXPECT_FALSE(HasRule(findings, "raw-mutex"));
+  EXPECT_FALSE(HasRule(findings, "banned-random"));
+}
+
+// ---------- whole-program: lock-order cycles ----------
+
+/// Wraps one synthetic TU as the whole program for AnalyzeProgram.
+std::vector<Finding> AnalyzeOne(const std::string& content) {
+  return AnalyzeProgram({SourceFile{"src/fixture.cc", content}});
+}
+
+TEST(LockOrderTest, DeclaredCycleFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      "  Mutex a_ FVAE_ACQUIRED_BEFORE(b_);\n"
+      "  Mutex b_ FVAE_ACQUIRED_BEFORE(a_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "lock-cycle"));
+  // The report prints the full cycle path through both locks.
+  EXPECT_NE(findings[0].message.find("fvae::S::a_"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("fvae::S::b_"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LockOrderTest, ObservedNestingAgainstDeclaredOrderFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Backwards() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_ FVAE_ACQUIRED_BEFORE(b_);\n"
+      "  Mutex b_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "lock-cycle"));
+}
+
+TEST(LockOrderTest, CrossFunctionCycleThroughCallGraphFires) {
+  // f holds a_ and calls g, which takes b_; h holds b_ and calls k, which
+  // takes a_ — a deadlock only visible through the call graph.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void f() {\n"
+      "    MutexLock lock(a_);\n"
+      "    g();\n"
+      "  }\n"
+      "  void g() { MutexLock lock(b_); }\n"
+      "  void h() {\n"
+      "    MutexLock lock(b_);\n"
+      "    k();\n"
+      "  }\n"
+      "  void k() { MutexLock lock(a_); }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "lock-cycle"));
+}
+
+TEST(LockOrderTest, ConsistentOrderStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Both() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void AlsoBoth() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_ FVAE_ACQUIRED_BEFORE(b_);\n"
+      "  Mutex b_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "lock-cycle"));
+}
+
+// ---------- whole-program: hot-path purity ----------
+
+TEST(HotPathTest, TransitiveAllocationUnderNoallocFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Encode() FVAE_HOT FVAE_NOALLOC { Helper(); }\n"
+      "  void Helper() { buf_.push_back(1.0f); }\n"
+      " private:\n"
+      "  std::vector<float> buf_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "hot-alloc"));
+  // The chain from the annotated root to the allocation is reported.
+  EXPECT_NE(findings[0].message.find("Encode"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("Helper"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(HotPathTest, NewExpressionUnderNoallocFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Encode() FVAE_HOT FVAE_NOALLOC {\n"
+      "  float* p = new float[16];\n"
+      "  delete[] p;\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(findings, "hot-alloc"));
+}
+
+TEST(HotPathTest, LockAcquisitionOnHotPathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Serve() FVAE_HOT { MutexLock lock(mu_); }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "hot-lock"));
+}
+
+TEST(HotPathTest, ExemptLockOnHotPathStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Serve() FVAE_HOT { MutexLock lock(mu_); }\n"
+      " private:\n"
+      "  Mutex mu_ FVAE_HOT_LOCK_EXEMPT;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-lock"));
+}
+
+TEST(HotPathTest, TransitiveIoAndLoggingFire) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Reload() {\n"
+      "  std::ifstream in(\"dump.bin\");\n"
+      "  FVAE_LOG(INFO) << \"reloading\";\n"
+      "}\n"
+      "void Serve() FVAE_HOT { Reload(); }\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(findings, "hot-io"));
+  EXPECT_TRUE(HasRule(findings, "hot-log"));
+}
+
+TEST(HotPathTest, HotWithoutNoallocAllowsAllocations) {
+  // FVAE_HOT alone bans logging/IO/locks but not heap use.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Serve() FVAE_HOT {\n"
+      "  std::vector<int> scratch;\n"
+      "  scratch.push_back(1);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-alloc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HotPathTest, SuppressionCommentSilencesFinding) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Encode() FVAE_HOT FVAE_NOALLOC {\n"
+      "  buf.resize(64);  // fvae-lint: allow(hot-alloc)\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-alloc"));
+}
+
+TEST(HotPathTest, ColdFunctionsAreNotChecked) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Offline() {\n"
+      "  std::ofstream out(\"dump.bin\");  // fvae-lint: allow(atomic-write)\n"
+      "  std::vector<int> v;\n"
+      "  v.push_back(1);\n"
+      "}\n"
+      "}  // namespace fvae\n");
   EXPECT_TRUE(findings.empty());
 }
 

@@ -1,16 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <new>
+#include <numeric>
 #include <semaphore>
 #include <thread>
-#include <unistd.h>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "core/fvae_model.h"
+#include "data/dataset.h"
 #include "math/matrix.h"
 #include "serving/embedding_service.h"
 #include "serving/embedding_store.h"
@@ -20,6 +29,100 @@
 #include "serving/serving_proxy.h"
 #include "serving/sharded_store.h"
 #include "serving/telemetry.h"
+
+// ---------------------------------------------------------------------------
+// Debug operator-new interposer: the runtime witness for the FVAE_NOALLOC
+// contract that fvae_lint checks statically. Replacing the global
+// allocation functions routes every new-expression in this binary through
+// a counter that is armed only around the call under test; the warmed
+// fold-in encode must hit it zero times.
+// ---------------------------------------------------------------------------
+namespace alloc_witness {
+
+std::atomic<bool> armed{false};
+std::atomic<size_t> count{0};
+
+inline void Note() {
+  if (armed.load(std::memory_order_relaxed)) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+inline void* Alloc(std::size_t size) {
+  Note();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+inline void* AlignedAlloc(std::size_t size, std::size_t alignment) {
+  Note();
+  // aligned_alloc insists size is a multiple of alignment.
+  const std::size_t rounded =
+      (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+}
+
+/// Arms the counter for one scope; hits() reads the allocations seen.
+class Scope {
+ public:
+  Scope() {
+    count.store(0, std::memory_order_relaxed);
+    armed.store(true, std::memory_order_relaxed);
+  }
+  ~Scope() { armed.store(false, std::memory_order_relaxed); }
+  size_t hits() const { return count.load(std::memory_order_relaxed); }
+};
+
+}  // namespace alloc_witness
+
+void* operator new(std::size_t size) {
+  void* ptr = alloc_witness::Alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+void* operator new[](std::size_t size) {
+  void* ptr = alloc_witness::Alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return alloc_witness::Alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return alloc_witness::Alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr =
+      alloc_witness::AlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* ptr =
+      alloc_witness::AlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
 
 namespace fvae::serving {
 namespace {
@@ -295,6 +398,150 @@ TEST(ServingProxyTest, OfflineToOnlinePipeline) {
   std::filesystem::remove_all(dir);
 }
 
+// ---------- ServingProxy reload ----------
+
+class ProxyReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fvae_reload_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ProxyReloadTest, ReloadSwapsStoreAndInvalidatesCache) {
+  EmbeddingStore day1;
+  day1.Put(1, {1.0f, 1.0f});
+  day1.Put(2, {2.0f, 2.0f});
+  ServingProxy proxy(&day1, /*cache_capacity=*/16);
+
+  // Warm the cache with day-1 values.
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+  EXPECT_EQ(proxy.stats().cache_hits, 1u);
+
+  // Day 2 lands: user 1 re-embedded, user 2 gone, user 3 new.
+  const std::string path = Path("day2.bin");
+  {
+    EmbeddingStore day2;
+    day2.Put(1, {10.0f, 10.0f});
+    day2.Put(3, {30.0f, 30.0f});
+    ASSERT_TRUE(day2.Save(path).ok());
+  }
+  Status reloaded = proxy.ReloadFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.ToString();
+  EXPECT_EQ(proxy.stats().reloads, 1u);
+
+  // The cached day-1 value must not survive the swap.
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+  EXPECT_FLOAT_EQ((*proxy.Lookup(1))[0], 10.0f);
+  EXPECT_FALSE(proxy.Lookup(2).has_value());
+  ASSERT_TRUE(proxy.Lookup(3).has_value());
+  EXPECT_FLOAT_EQ((*proxy.Lookup(3))[1], 30.0f);
+}
+
+TEST_F(ProxyReloadTest, FailedReloadKeepsServingOldStore) {
+  EmbeddingStore old_store;
+  old_store.Put(1, {1.0f});
+  ServingProxy proxy(&old_store, 16);
+  ASSERT_TRUE(proxy.Lookup(1).has_value());
+
+  EmbeddingStore fresh;
+  fresh.Put(1, {9.0f});
+  const std::string path = Path("fresh.bin");
+  ASSERT_TRUE(fresh.Save(path).ok());
+
+  // A transient read failure ("HDFS bounced") must leave the proxy on the
+  // old store — and a later retry succeeds.
+  {
+    ScopedFailpoint fp("embedding_store.load", FailpointAction::kError);
+    Status status = proxy.ReloadFromFile(path);
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(proxy.stats().reloads, 0u);
+    ASSERT_TRUE(proxy.Lookup(1).has_value());
+    EXPECT_FLOAT_EQ((*proxy.Lookup(1))[0], 1.0f);
+  }
+  ASSERT_TRUE(proxy.ReloadFromFile(path).ok());
+  EXPECT_FLOAT_EQ((*proxy.Lookup(1))[0], 9.0f);
+  EXPECT_EQ(proxy.stats().reloads, 1u);
+
+  // A corrupt dump is equally rejected (CRC), old store keeps serving.
+  {
+    std::ofstream out(Path("torn.bin"), std::ios::binary);
+    out << "FVEB garbage that is not a complete dump";
+  }
+  EXPECT_FALSE(proxy.ReloadFromFile(Path("torn.bin")).ok());
+  EXPECT_FLOAT_EQ((*proxy.Lookup(1))[0], 9.0f);
+}
+
+// Kill matrix over the dump writer: SIGKILL the producer at every
+// registered save failpoint and prove a subsequent reload always swaps in
+// a *complete* dump — the old day's or the new day's, never a torn hybrid.
+// This closes the loop on the atomic-rename + CRC design: the proxy's
+// Load-validate-then-swap can only ever observe all-or-nothing files.
+TEST_F(ProxyReloadTest, KillAtEverySaveStageNeverServesTornDump) {
+  const char* kStages[] = {
+      "embedding_store.save.before_tmp_write",
+      "embedding_store.save.after_tmp_write",
+      "embedding_store.save.before_rename",
+      "embedding_store.save.after_rename",
+  };
+
+  for (const char* stage : kStages) {
+    SCOPED_TRACE(stage);
+    const std::string path = Path("dump.bin");
+
+    EmbeddingStore old_dump;
+    old_dump.Put(1, {1.0f, 1.0f});
+    old_dump.Put(2, {2.0f, 2.0f});
+    ASSERT_TRUE(old_dump.Save(path).ok());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: die mid-overwrite. No gtest machinery in here.
+      ArmFailpoint(stage, FailpointAction::kKill);
+      EmbeddingStore new_dump;
+      new_dump.Put(1, {10.0f, 10.0f});
+      new_dump.Put(3, {30.0f, 30.0f});
+      // The kill failpoint fires mid-save; the status never materializes.
+      (void)new_dump.Save(path);
+      ::_exit(77);  // reached only if the failpoint failed to fire
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child exited instead of dying";
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    EmbeddingStore seed;  // what the proxy served before the reload
+    seed.Put(1, {1.0f, 1.0f});
+    seed.Put(2, {2.0f, 2.0f});
+    ServingProxy proxy(&seed, 16);
+    ASSERT_TRUE(proxy.ReloadFromFile(path).ok())
+        << "canonical dump must stay loadable at every kill point";
+
+    auto user1 = proxy.Lookup(1);
+    ASSERT_TRUE(user1.has_value());
+    if (proxy.Lookup(3).has_value()) {
+      // The rename landed: the proxy must see the complete new dump.
+      EXPECT_FLOAT_EQ((*user1)[0], 10.0f);
+      EXPECT_FALSE(proxy.Lookup(2).has_value());
+    } else {
+      // The rename did not land: the complete old dump, untouched.
+      EXPECT_FLOAT_EQ((*user1)[0], 1.0f);
+      ASSERT_TRUE(proxy.Lookup(2).has_value());
+      EXPECT_FLOAT_EQ((*proxy.Lookup(2))[0], 2.0f);
+    }
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+  }
+}
+
 // ---------- ShardedEmbeddingStore ----------
 
 TEST(ShardedStoreTest, PutGetAcrossShards) {
@@ -402,6 +649,88 @@ class FakeEncoder : public FoldInEncoder {
 
 core::RawUserFeatures RawUser(uint64_t feature_id) {
   return {{{feature_id, 1.0f}}};
+}
+
+// ---------- fold-in hot path: zero-allocation witness ----------
+
+TEST(FoldInZeroAllocTest, WarmedEncodeBatchIsAllocationFree) {
+  // Small but structurally complete model: two encoder hidden layers so
+  // the Mlp trunk runs, plus the per-field embedding sums and the mu head.
+  core::FvaeConfig config;
+  config.latent_dim = 6;
+  config.encoder_hidden = {12, 10};
+  config.decoder_hidden = {12};
+  config.anneal_steps = 4;
+  config.seed = 11;
+
+  MultiFieldDataset::Builder builder(
+      {FieldSchema{"ch", false}, FieldSchema{"tag", true}});
+  for (uint64_t i = 0; i < 32; ++i) {
+    builder.AddUser({{{i % 4 + 1, 1.0f}},
+                     {{100 + i % 4, 1.0f}, {200 + (i % 7), 1.0f}}});
+  }
+  const MultiFieldDataset data = builder.Build();
+
+  core::FieldVae model(config, data.fields());
+  std::vector<uint32_t> users(data.num_users());
+  std::iota(users.begin(), users.end(), 0);
+  // One training step grows the input tables so fold-in actually sums
+  // embedding rows instead of skipping every feature as cold.
+  model.TrainStep(data, users, /*beta=*/0.1f);
+
+  FvaeFoldInEncoder encoder(&model);
+  std::vector<core::RawUserFeatures> raw;
+  raw.reserve(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    // Mix of known features and one unknown id (cold-feature path).
+    raw.push_back({{{i % 4 + 1, 1.0f}},
+                   {{100 + i % 4, 1.0f}, {987654321, 1.0f}}});
+  }
+  std::vector<const core::RawUserFeatures*> ptrs;
+  ptrs.reserve(raw.size());
+  for (const auto& features : raw) ptrs.push_back(&features);
+
+  Matrix out;
+  encoder.EncodeBatchInto(ptrs, &out);  // grows scratch + out to shape
+  encoder.EncodeBatchInto(ptrs, &out);  // settles any lazy growth
+  ASSERT_EQ(out.rows(), ptrs.size());
+  ASSERT_EQ(out.cols(), model.latent_dim());
+
+  size_t allocations = 0;
+  {
+    alloc_witness::Scope witness;
+    encoder.EncodeBatchInto(ptrs, &out);
+    allocations = witness.hits();
+  }
+  EXPECT_EQ(allocations, 0u)
+      << "warmed fold-in encode must not touch the heap (FVAE_NOALLOC)";
+
+  // The allocation-free pass still computes the real embeddings.
+  const Matrix reference = model.EncodeFoldIn(ptrs);
+  EXPECT_EQ(Matrix::MaxAbsDiff(reference, out), 0.0f);
+  bool any_nonzero = false;
+  for (size_t i = 0; i < out.rows() && !any_nonzero; ++i) {
+    for (size_t d = 0; d < out.cols(); ++d) {
+      if (out(i, d) != 0.0f) {
+        any_nonzero = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_nonzero) << "encode produced an all-zero embedding batch";
+}
+
+// The interposer itself must see ordinary allocations — otherwise a silent
+// linker change could turn the zero-allocation assertion into a tautology.
+TEST(FoldInZeroAllocTest, InterposerCountsOrdinaryAllocations) {
+  size_t allocations = 0;
+  {
+    alloc_witness::Scope witness;
+    std::vector<int>* v = new std::vector<int>(1024, 7);
+    allocations = witness.hits();
+    delete v;
+  }
+  EXPECT_GE(allocations, 1u);
 }
 
 // ---------- RequestBatcher ----------

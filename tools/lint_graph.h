@@ -1,0 +1,489 @@
+#ifndef FVAE_TOOLS_LINT_GRAPH_H_
+#define FVAE_TOOLS_LINT_GRAPH_H_
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/cpp_lexer.h"
+#include "tools/tu_facts.h"
+
+/// Cross-TU linking and whole-program analyses for fvae_lint v2.
+///
+/// LinkProgram() merges per-file TuFacts into one ProgramFacts: a
+/// name-indexed function table (header-declared FVAE_HOT/FVAE_NOALLOC
+/// attributes merged onto out-of-line definitions) plus the table of
+/// class-member lock declarations. Calls are resolved by qualified-name
+/// suffix matching with a preference cascade (same class, then same
+/// namespace, then every candidate) — deliberately overload-blind and
+/// therefore over-approximate: the analyses only ever see *more* paths
+/// than the program has, never fewer.
+///
+/// Two analyses run on the linked facts:
+///
+///   lock-cycle   The lock acquisition-order graph has an edge A -> B when
+///                A is declared FVAE_ACQUIRED_BEFORE(B) (or B is declared
+///                FVAE_ACQUIRED_AFTER(A)), when B is observed taken while
+///                A is held inside one function, or when a function called
+///                with A held transitively acquires B. Any cycle is a
+///                potential deadlock and is reported with the full path,
+///                each edge carrying its provenance (file:line, declared
+///                vs observed).
+///
+///   hot-path     Functions marked FVAE_HOT must not log, do IO, or
+///                acquire locks other than ones whose declaration carries
+///                FVAE_HOT_LOCK_EXEMPT — transitively through every
+///                resolvable callee. FVAE_NOALLOC additionally forbids
+///                heap allocation tokens. Violations print the call chain
+///                from the annotated root to the offender.
+///
+/// Line-level suppressions: a `fvae-lint: allow(<rule>)` comment on the
+/// offending line silences that fact; `allow(hot-path)` on a *call* line
+/// cuts that edge out of the hot walk (used where the callee is known to
+/// reuse capacity — the runtime operator-new witness in serving_test backs
+/// the claim).
+
+namespace fvae::lint {
+
+/// One linter finding. `file` is the path label the content was registered
+/// under; `rule` is a stable kebab-case identifier.
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct ProgramFacts {
+  std::vector<FunctionFacts> functions;
+  std::vector<LockDecl> locks;
+  std::map<std::string, std::vector<size_t>> functions_by_name;
+  std::map<std::string, std::vector<size_t>> locks_by_member;
+  // Raw source lines per file, for `fvae-lint: allow(...)` suppressions.
+  std::map<std::string, std::vector<std::string>> file_lines;
+};
+
+namespace graph_detail {
+
+inline std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+inline bool EndsWithSegment(const std::string& qualified,
+                            const std::string& suffix) {
+  if (qualified == suffix) return true;
+  if (qualified.size() <= suffix.size() + 2) return false;
+  return qualified.compare(qualified.size() - suffix.size() - 2, 2, "::") ==
+             0 &&
+         qualified.compare(qualified.size() - suffix.size(), suffix.size(),
+                           suffix) == 0;
+}
+
+}  // namespace graph_detail
+
+/// True when `file:line` carries a `fvae-lint: allow(<rule>)` suppression.
+inline bool LineAllows(const ProgramFacts& pf, const std::string& file,
+                       size_t line, const std::string& rule) {
+  auto it = pf.file_lines.find(file);
+  if (it == pf.file_lines.end() || line == 0 || line > it->second.size()) {
+    return false;
+  }
+  return it->second[line - 1].find("fvae-lint: allow(" + rule + ")") !=
+         std::string::npos;
+}
+
+inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
+  ProgramFacts pf;
+  std::vector<AttrDecl> attr_decls;
+  for (const SourceFile& f : files) {
+    TuFacts tu = ExtractTuFacts(f.path, LexCpp(f.content));
+    for (FunctionFacts& fn : tu.functions) {
+      pf.functions.push_back(std::move(fn));
+    }
+    for (LockDecl& lock : tu.locks) pf.locks.push_back(std::move(lock));
+    for (AttrDecl& a : tu.attr_decls) attr_decls.push_back(std::move(a));
+    pf.file_lines[f.path] = graph_detail::SplitLines(f.content);
+  }
+  // Merge prototype attributes onto the matching definitions.
+  for (const AttrDecl& a : attr_decls) {
+    for (FunctionFacts& fn : pf.functions) {
+      if (fn.name == a.name && fn.cls == a.cls && fn.ns == a.ns) {
+        fn.hot = fn.hot || a.hot;
+        fn.noalloc = fn.noalloc || a.noalloc;
+      }
+    }
+  }
+  for (size_t i = 0; i < pf.functions.size(); ++i) {
+    pf.functions_by_name[pf.functions[i].name].push_back(i);
+  }
+  for (size_t i = 0; i < pf.locks.size(); ++i) {
+    pf.locks_by_member[pf.locks[i].member].push_back(i);
+  }
+  return pf;
+}
+
+/// Resolves a lock name used inside `fn` to its declaration: same class
+/// first, then same namespace, then a unique global match, then the
+/// lexicographically first candidate (deterministic). nullptr when no
+/// member declaration exists (function-local or foreign locks).
+inline const LockDecl* ResolveLock(const ProgramFacts& pf,
+                                   const FunctionFacts& fn,
+                                   const std::string& name) {
+  auto it = pf.locks_by_member.find(name);
+  if (it == pf.locks_by_member.end()) return nullptr;
+  for (size_t i : it->second) {
+    const LockDecl& lock = pf.locks[i];
+    if (lock.ns == fn.ns && !fn.cls.empty() &&
+        (lock.cls == fn.cls ||
+         graph_detail::EndsWithSegment(fn.cls, lock.cls))) {
+      return &lock;
+    }
+  }
+  const LockDecl* best = nullptr;
+  for (size_t i : it->second) {
+    const LockDecl& lock = pf.locks[i];
+    if (lock.ns != fn.ns) continue;
+    if (best == nullptr || lock.id < best->id) best = &lock;
+  }
+  if (best != nullptr) return best;
+  for (size_t i : it->second) {
+    const LockDecl& lock = pf.locks[i];
+    if (best == nullptr || lock.id < best->id) best = &lock;
+  }
+  return best;
+}
+
+/// Resolves an annotation argument (possibly qualified) from the context of
+/// the declaring lock's class.
+inline const LockDecl* ResolveLockArg(const ProgramFacts& pf,
+                                      const LockDecl& from,
+                                      const std::string& arg) {
+  if (arg.find("::") != std::string::npos) {
+    for (const LockDecl& lock : pf.locks) {
+      if (graph_detail::EndsWithSegment(lock.id, arg)) return &lock;
+    }
+    return nullptr;
+  }
+  FunctionFacts ctx;
+  ctx.ns = from.ns;
+  ctx.cls = from.cls;
+  return ResolveLock(pf, ctx, arg);
+}
+
+/// Resolves a call site to candidate definitions: qualifier suffix match,
+/// member calls restricted to class methods, then the preference cascade
+/// same-class > same-namespace > all.
+inline std::vector<size_t> ResolveCall(const ProgramFacts& pf,
+                                       const FunctionFacts& caller,
+                                       const CallSite& call) {
+  auto it = pf.functions_by_name.find(call.name);
+  if (it == pf.functions_by_name.end()) return {};
+  std::vector<size_t> cands;
+  std::string suffix;
+  for (const std::string& q : call.quals) suffix += q + "::";
+  suffix += call.name;
+  for (size_t i : it->second) {
+    const FunctionFacts& f = pf.functions[i];
+    if (!call.quals.empty() &&
+        !graph_detail::EndsWithSegment(f.qualified, suffix)) {
+      continue;
+    }
+    if (call.member_access && f.cls.empty()) continue;
+    cands.push_back(i);
+  }
+  auto narrow = [&pf, &cands](auto pred) {
+    std::vector<size_t> kept;
+    for (size_t i : cands) {
+      if (pred(pf.functions[i])) kept.push_back(i);
+    }
+    if (!kept.empty()) cands = std::move(kept);
+  };
+  narrow([&caller](const FunctionFacts& f) {
+    return !caller.cls.empty() && f.cls == caller.cls && f.ns == caller.ns;
+  });
+  if (cands.size() > 1) {
+    narrow([&caller](const FunctionFacts& f) { return f.ns == caller.ns; });
+  }
+  return cands;
+}
+
+namespace graph_detail {
+
+/// Memoized transitive set of resolved lock ids a function may acquire
+/// (its own acquisitions plus every resolvable callee's).
+class AcquiredLocks {
+ public:
+  explicit AcquiredLocks(const ProgramFacts& pf) : pf_(pf) {}
+
+  const std::set<std::string>& Of(size_t fi) {
+    auto it = memo_.find(fi);
+    if (it != memo_.end()) return it->second;
+    // Insert an empty set first: recursion terminates on the partial set.
+    auto [slot, inserted] = memo_.emplace(fi, std::set<std::string>());
+    (void)inserted;
+    const FunctionFacts& fn = pf_.functions[fi];
+    std::set<std::string> acc;
+    for (const LockAcq& a : fn.acquisitions) {
+      const LockDecl* lock = ResolveLock(pf_, fn, a.lock);
+      if (lock != nullptr) acc.insert(lock->id);
+    }
+    for (const CallSite& call : fn.calls) {
+      for (size_t ci : ResolveCall(pf_, fn, call)) {
+        const std::set<std::string>& sub = Of(ci);
+        acc.insert(sub.begin(), sub.end());
+      }
+    }
+    memo_[fi] = std::move(acc);
+    return memo_[fi];
+  }
+
+ private:
+  const ProgramFacts& pf_;
+  std::map<size_t, std::set<std::string>> memo_;
+};
+
+struct LockEdge {
+  std::string to;
+  std::string file;
+  size_t line = 0;
+  std::string why;
+};
+
+}  // namespace graph_detail
+
+/// Lock-order verification: builds the acquisition-order graph and reports
+/// every distinct cycle with its full path.
+inline std::vector<Finding> AnalyzeLockOrder(const ProgramFacts& pf) {
+  using graph_detail::LockEdge;
+  std::map<std::string, std::vector<LockEdge>> adj;
+  std::set<std::pair<std::string, std::string>> have;
+  auto add_edge = [&adj, &have, &pf](const std::string& from,
+                                     const std::string& to,
+                                     const std::string& file, size_t line,
+                                     const std::string& why) {
+    if (from == to) return;  // same-member self edges: distinct instances
+    if (LineAllows(pf, file, line, "lock-cycle")) return;
+    if (!have.emplace(from, to).second) return;
+    adj[from].push_back({to, file, line, why});
+    adj.emplace(to, std::vector<LockEdge>());
+  };
+
+  for (const LockDecl& lock : pf.locks) {
+    for (const std::string& arg : lock.acquired_before) {
+      const LockDecl* other = ResolveLockArg(pf, lock, arg);
+      if (other == nullptr) continue;
+      add_edge(lock.id, other->id, lock.file, lock.line,
+               "declared FVAE_ACQUIRED_BEFORE on " + lock.id);
+    }
+    for (const std::string& arg : lock.acquired_after) {
+      const LockDecl* other = ResolveLockArg(pf, lock, arg);
+      if (other == nullptr) continue;
+      add_edge(other->id, lock.id, lock.file, lock.line,
+               "declared FVAE_ACQUIRED_AFTER on " + lock.id);
+    }
+  }
+
+  graph_detail::AcquiredLocks acquired(pf);
+  for (size_t fi = 0; fi < pf.functions.size(); ++fi) {
+    const FunctionFacts& fn = pf.functions[fi];
+    for (const LockNest& nest : fn.nests) {
+      const LockDecl* held = ResolveLock(pf, fn, nest.held);
+      const LockDecl* taken = ResolveLock(pf, fn, nest.acquired);
+      if (held == nullptr || taken == nullptr) continue;
+      add_edge(held->id, taken->id, fn.file, nest.line,
+               "observed in " + fn.qualified);
+    }
+    for (const CallSite& call : fn.calls) {
+      if (call.held.empty()) continue;
+      for (size_t ci : ResolveCall(pf, fn, call)) {
+        for (const std::string& acquired_id : acquired.Of(ci)) {
+          for (const std::string& held_name : call.held) {
+            const LockDecl* held = ResolveLock(pf, fn, held_name);
+            if (held == nullptr) continue;
+            add_edge(held->id, acquired_id, fn.file, call.line,
+                     "observed: " + fn.qualified + " calls " +
+                         pf.functions[ci].qualified + " holding " + held->id);
+          }
+        }
+      }
+    }
+  }
+
+  // DFS cycle detection; one finding per distinct cycle node-set.
+  std::vector<Finding> findings;
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::pair<std::string, const LockEdge*>> stack;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back({node, nullptr});
+    for (const LockEdge& e : adj[node]) {
+      stack.back().second = &e;
+      if (color[e.to] == 1) {
+        // Extract the cycle from the stack.
+        size_t start = 0;
+        for (size_t s = 0; s < stack.size(); ++s) {
+          if (stack[s].first == e.to) start = s;
+        }
+        std::vector<std::string> nodes;
+        std::ostringstream path;
+        for (size_t s = start; s < stack.size(); ++s) {
+          nodes.push_back(stack[s].first);
+          path << stack[s].first << " -> ";
+          const LockEdge* used = stack[s].second;
+          path << "[" << used->why << " at " << used->file << ":"
+               << used->line << "] ";
+        }
+        path << e.to;
+        std::sort(nodes.begin(), nodes.end());
+        std::string key;
+        for (const std::string& id : nodes) key += id + "|";
+        if (reported.insert(key).second) {
+          findings.push_back({e.file, e.line, "lock-cycle",
+                              "lock acquisition order cycle: " + path.str()});
+        }
+      } else if (color[e.to] == 0) {
+        dfs(e.to);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, edges] : adj) {
+    (void)edges;
+    if (color[node] == 0) dfs(node);
+  }
+  return findings;
+}
+
+/// Hot-path purity: walks callees from every FVAE_HOT / FVAE_NOALLOC root
+/// and reports logging, IO, non-exempt lock acquisition — plus heap
+/// allocation for FVAE_NOALLOC roots — with the root-to-offender chain.
+inline std::vector<Finding> AnalyzeHotPaths(const ProgramFacts& pf) {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;  // rule|file|line dedup across roots
+  auto report = [&findings, &seen](const std::string& rule,
+                                   const FunctionFacts& fn, size_t line,
+                                   const std::string& message) {
+    std::ostringstream key;
+    key << rule << "|" << fn.file << "|" << line;
+    if (seen.insert(key.str()).second) {
+      findings.push_back({fn.file, line, rule, message});
+    }
+  };
+
+  for (size_t root = 0; root < pf.functions.size(); ++root) {
+    if (!pf.functions[root].hot) continue;
+    const bool noalloc = pf.functions[root].noalloc;
+    const std::string root_attr = noalloc ? "FVAE_NOALLOC" : "FVAE_HOT";
+    // BFS with parent pointers for chain reconstruction.
+    std::map<size_t, size_t> parent;
+    std::deque<size_t> queue;
+    std::set<size_t> visited;
+    queue.push_back(root);
+    visited.insert(root);
+    auto chain_of = [&parent, &pf, root](size_t fi) {
+      std::vector<std::string> parts;
+      for (size_t cur = fi;; cur = parent[cur]) {
+        parts.push_back(pf.functions[cur].qualified);
+        if (cur == root) break;
+      }
+      std::string chain;
+      for (size_t p = parts.size(); p-- > 0;) {
+        chain += parts[p];
+        if (p != 0) chain += " -> ";
+      }
+      return chain;
+    };
+    while (!queue.empty()) {
+      const size_t fi = queue.front();
+      queue.pop_front();
+      const FunctionFacts& fn = pf.functions[fi];
+      for (const PurityFact& log : fn.logs) {
+        if (LineAllows(pf, fn.file, log.line, "hot-log")) continue;
+        report("hot-log", fn, log.line,
+               "logging call '" + log.token + "' reachable from " +
+                   root_attr + " " + pf.functions[root].qualified + " via " +
+                   chain_of(fi));
+      }
+      for (const PurityFact& io : fn.ios) {
+        if (LineAllows(pf, fn.file, io.line, "hot-io")) continue;
+        report("hot-io", fn, io.line,
+               "IO touch '" + io.token + "' reachable from " + root_attr +
+                   " " + pf.functions[root].qualified + " via " +
+                   chain_of(fi));
+      }
+      for (const LockAcq& acq : fn.acquisitions) {
+        const LockDecl* lock = ResolveLock(pf, fn, acq.lock);
+        if (lock != nullptr && lock->hot_exempt) continue;
+        if (LineAllows(pf, fn.file, acq.line, "hot-lock")) continue;
+        report("hot-lock", fn, acq.line,
+               "lock '" + (lock != nullptr ? lock->id : acq.lock) +
+                   "' (not FVAE_HOT_LOCK_EXEMPT) acquired on path from " +
+                   root_attr + " " + pf.functions[root].qualified + " via " +
+                   chain_of(fi));
+      }
+      if (noalloc) {
+        for (const PurityFact& alloc : fn.allocs) {
+          if (LineAllows(pf, fn.file, alloc.line, "hot-alloc")) continue;
+          report("hot-alloc", fn, alloc.line,
+                 "heap allocation '" + alloc.token + "' reachable from " +
+                     root_attr + " " + pf.functions[root].qualified +
+                     " via " + chain_of(fi));
+        }
+      }
+      for (const CallSite& call : fn.calls) {
+        if (LineAllows(pf, fn.file, call.line, "hot-path")) continue;
+        for (size_t ci : ResolveCall(pf, fn, call)) {
+          if (visited.insert(ci).second) {
+            parent[ci] = fi;
+            queue.push_back(ci);
+          }
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+/// Runs the whole-program analyses (lock-cycle + hot-path) over a file set.
+inline std::vector<Finding> AnalyzeProgram(
+    const std::vector<SourceFile>& files) {
+  const ProgramFacts pf = LinkProgram(files);
+  std::vector<Finding> findings = AnalyzeLockOrder(pf);
+  std::vector<Finding> hot = AnalyzeHotPaths(pf);
+  findings.insert(findings.end(), hot.begin(), hot.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace fvae::lint
+
+#endif  // FVAE_TOOLS_LINT_GRAPH_H_

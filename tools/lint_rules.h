@@ -10,10 +10,15 @@
 #include <string>
 #include <vector>
 
-/// fvae_lint rule engine — a dependency-free, single-pass source scanner
-/// enforcing project invariants that neither the compiler nor TSan can see
-/// (see ARCHITECTURE.md "Static analysis & sanitizers" for the rationale
-/// behind each rule):
+#include "tools/cpp_lexer.h"
+#include "tools/lint_graph.h"
+#include "tools/tu_facts.h"
+
+/// fvae_lint rule engine, v2 — a dependency-free static analyzer built on a
+/// real token stream (tools/cpp_lexer.h), so no rule can ever fire inside a
+/// comment or a string/char/raw-string literal. Two layers:
+///
+/// **Per-file rules** (this header; see ARCHITECTURE.md §7 for rationale):
 ///
 ///   discarded-status   an expression statement calls a function returning
 ///                      Status / Result<T> and drops the value. Belt and
@@ -32,34 +37,35 @@
 ///   using-namespace    file-scope `using namespace` in a header.
 ///   metric-name        a string literal passed to a metrics-registry
 ///                      Counter()/Gauge()/Histo() call is not a snake_case
-///                      dotted path ("training.epoch_loss"). Catches at
-///                      review time what obs::MetricsRegistry would
-///                      FVAE_CHECK-crash on at run time.
+///                      dotted path ("training.epoch_loss").
 ///   atomic-write       a std::ofstream is named in a module that produces
-///                      durable artifacts (model_io, checkpoint, dataset
-///                      io/streaming, embedding_store, obs exports). Those
-///                      writes must go through AtomicFileWriter
-///                      (common/atomic_file.h) so a crash leaves the old
-///                      or the new file, never a torn one. Deliberate
-///                      exceptions (e.g. append-mode logs, which a rename
-///                      would clobber) carry the suppression comment.
+///                      durable artifacts; those writes must go through
+///                      AtomicFileWriter (common/atomic_file.h).
 ///
-/// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed.
+/// **Whole-program analyses** (tools/tu_facts.h + tools/lint_graph.h,
+/// wired into LintTree over `src/`):
 ///
-/// The scanner is deliberately lexical (comments and string literals are
-/// stripped first; one statement per line is assumed). That keeps it fast
-/// and dependency-free at the cost of multi-line statements escaping the
-/// discarded-status rule — which is fine, because [[nodiscard]] already
-/// catches those at compile time.
+///   lock-cycle         the lock acquisition-order graph (declared
+///                      FVAE_ACQUIRED_BEFORE/AFTER ranks plus statically
+///                      observed nesting, propagated through calls) has a
+///                      cycle — a potential deadlock; the offending path
+///                      is printed edge by edge.
+///   hot-log / hot-io / functions transitively reachable from an FVAE_HOT
+///   hot-lock /         root log, do IO, or take a lock not marked
+///   hot-alloc          FVAE_HOT_LOCK_EXEMPT; FVAE_NOALLOC roots also
+///                      forbid heap-allocation tokens. The finding prints
+///                      the call chain from the annotated root.
+///
+/// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed;
+/// `fvae-lint: allow(hot-path)` on a call line additionally prunes that
+/// call edge from the hot-path walk.
+///
+/// The per-file rules stay deliberately line-oriented (one statement per
+/// line is assumed), which keeps them fast and lets multi-line statements
+/// escape discarded-status — fine, because [[nodiscard]] already catches
+/// those at compile time.
 
 namespace fvae::lint {
-
-struct Finding {
-  std::string file;
-  size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-};
 
 struct LintOptions {
   /// Expected include guard (empty: skip header-only checks).
@@ -81,56 +87,6 @@ inline bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Replaces comments and string/char literals with spaces, preserving line
-/// structure, so token scans never fire inside them. Handles //, /**/,
-/// "..." (with escapes), '...', and R"delim(...)delim".
-inline std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out(src.size(), ' ');
-  size_t i = 0;
-  const size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      out[i++] = '\n';
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') ++i;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') out[i] = '\n';
-        ++i;
-      }
-      i = std::min(n, i + 2);
-    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-               (i == 0 || !IsIdentChar(src[i - 1]))) {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string closer = ")" + delim + "\"";
-      size_t end = src.find(closer, j);
-      end = end == std::string::npos ? n : end + closer.size();
-      for (size_t k = i; k < end; ++k) {
-        if (src[k] == '\n') out[k] = '\n';
-      }
-      i = end;
-    } else if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\') ++i;
-        if (src[i] == '\n') out[i] = '\n';  // unterminated; stay line-true
-        ++i;
-      }
-      ++i;
-    } else {
-      out[i] = c;
-      ++i;
-    }
-  }
-  out.resize(n);
-  return out;
-}
-
 inline std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> lines;
   std::string line;
@@ -146,47 +102,53 @@ inline std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// True if `code` contains `token` as a whole identifier (not a substring
-/// of a longer identifier). `token` may contain "::".
-inline bool HasToken(const std::string& code, const std::string& token) {
-  size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || (!IsIdentChar(code[pos - 1]) &&
-                                      code[pos - 1] != ':');
-    const size_t end = pos + token.size();
-    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
 /// True if the line suppresses `rule` via "fvae-lint: allow(rule)".
 inline bool Suppressed(const std::string& raw_line, const std::string& rule) {
   return raw_line.find("fvae-lint: allow(" + rule + ")") != std::string::npos;
 }
 
-/// Parses a qualified identifier (a::b.c->d) starting at `pos`; returns the
-/// last component and advances `pos` past it, or returns "" if none.
-inline std::string ParseQualifiedCallee(const std::string& s, size_t* pos) {
-  size_t i = *pos;
+/// Groups a token stream by 1-based line number. Multi-line tokens (raw
+/// strings, joined preprocessor continuations) live on their first line.
+inline std::vector<std::vector<Tok>> TokensByLine(const std::vector<Tok>& toks,
+                                                  size_t line_count) {
+  std::vector<std::vector<Tok>> by_line(line_count + 1);
+  for (const Tok& t : toks) {
+    if (t.line >= 1 && t.line <= line_count) by_line[t.line].push_back(t);
+  }
+  return by_line;
+}
+
+inline bool IsPunct(const Tok& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+inline bool IsIdent(const Tok& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// True when line[i] is `member` qualified as std::member (i >= 2).
+inline bool IsStdQualified(const std::vector<Tok>& line, size_t i) {
+  return i >= 2 && IsPunct(line[i - 1], "::") && IsIdent(line[i - 2], "std");
+}
+
+/// Parses a qualified callee chain (a::b.c->d) starting at line[*i];
+/// returns the last component and advances *i past the chain, or returns
+/// "" when line[*i] is not an identifier.
+inline std::string ParseCalleeChain(const std::vector<Tok>& line, size_t* i) {
   std::string last;
-  for (;;) {
-    const size_t start = i;
-    while (i < s.size() && IsIdentChar(s[i])) ++i;
-    if (i == start) return "";
-    last = s.substr(start, i - start);
-    if (i + 1 < s.size() && s.compare(i, 2, "::") == 0) {
-      i += 2;
-    } else if (i < s.size() && s[i] == '.') {
-      i += 1;
-    } else if (i + 1 < s.size() && s.compare(i, 2, "->") == 0) {
-      i += 2;
+  size_t j = *i;
+  while (j < line.size() && line[j].kind == TokKind::kIdent) {
+    last = line[j].text;
+    if (j + 1 < line.size() &&
+        (IsPunct(line[j + 1], "::") || IsPunct(line[j + 1], ".") ||
+         IsPunct(line[j + 1], "->"))) {
+      j += 2;
     } else {
+      ++j;
       break;
     }
   }
-  *pos = i;
+  if (last.empty()) return "";
+  *i = j;
   return last;
 }
 
@@ -216,67 +178,71 @@ inline bool IsMetricNamePath(const std::string& name) {
   return seen_dot && !segment_start;
 }
 
+/// Splits a kPreproc token's text into the directive name ("ifndef") and
+/// the remainder ("FVAE_FOO_H_ ...").
+inline std::pair<std::string, std::string> SplitDirective(
+    const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' ||
+                             text[i] == '\t')) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < text.size() && IsIdentChar(text[j])) ++j;
+  return {text.substr(i, j - i), Trim(text.substr(j))};
+}
+
 }  // namespace detail
 
-/// Scans stripped source for `Status Name(` / `Result<...> Name(`
+/// Scans a file's tokens for `Status Name(` / `Result<...> Name(`
 /// declarations and collects the function names. Shared by the tree walk
 /// (phase 1) so discarded-status knows the project's fallible functions.
 inline void CollectStatusFunctions(const std::string& content,
                                    std::set<std::string>* out) {
-  const std::string code = detail::StripCommentsAndStrings(content);
-  size_t pos = 0;
-  while (pos < code.size()) {
-    size_t hit = std::string::npos;
-    size_t after_type = 0;
-    for (const char* type : {"Status", "Result"}) {
-      size_t p = pos;
-      const size_t len = std::string(type).size();
-      while ((p = code.find(type, p)) != std::string::npos) {
-        const bool left_ok = p == 0 || (!detail::IsIdentChar(code[p - 1]) &&
-                                        code[p - 1] != ':' &&
-                                        code[p - 1] != '<');
-        const bool right_ok = p + len >= code.size() ||
-                              !detail::IsIdentChar(code[p + len]);
-        if (left_ok && right_ok) break;
-        p += len;
-      }
-      if (p == std::string::npos) continue;
-      size_t end = p + len;
-      if (code.compare(p, 6, "Result") == 0) {
-        // Must be Result<...>; match angle brackets with depth counting.
-        if (end >= code.size() || code[end] != '<') continue;
-        int depth = 0;
-        while (end < code.size()) {
-          if (code[end] == '<') ++depth;
-          if (code[end] == '>' && --depth == 0) {
-            ++end;
-            break;
-          }
-          ++end;
-        }
-      }
-      if (hit == std::string::npos || p < hit) {
-        hit = p;
-        after_type = end;
+  using detail::IsPunct;
+  const std::vector<Tok> toks = LexCpp(content);
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "Status" && t.text != "Result")) {
+      continue;
+    }
+    // Reject qualified (x::Status), template-argument (<Status>), and
+    // member (x.Status) uses: this must be a leading return type.
+    if (i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "::" || toks[i - 1].text == "<" ||
+         toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (t.text == "Result") {
+      // Must be Result<...>; match angle brackets with depth counting
+      // (">>" closes two levels).
+      if (j >= toks.size() || !IsPunct(toks[j], "<")) continue;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (IsPunct(toks[j], "<")) ++depth;
+        if (IsPunct(toks[j], ">")) --depth;
+        if (IsPunct(toks[j], ">>")) depth -= 2;
+        ++j;
+        if (depth <= 0) break;
       }
     }
-    if (hit == std::string::npos) return;
-    pos = after_type;
-    // Reject "Status&", "Status(" (ctor call / return), "Status;" etc.:
-    // a declaration is type, whitespace, identifier, '('.
-    size_t i = pos;
-    while (i < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[i]))) {
-      ++i;
+    // Type, then an identifier chain, then '(' — `Status(...)` (ctor) and
+    // `Status s = ...` fall out naturally.
+    std::string name;
+    while (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      name = toks[j].text;
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], "::")) {
+        j += 2;
+      } else {
+        ++j;
+        break;
+      }
     }
-    if (i == pos) continue;  // no whitespace after type: not a declaration
-    std::string name = detail::ParseQualifiedCallee(code, &i);
-    if (name.empty()) continue;
-    while (i < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[i]))) {
-      ++i;
+    if (!name.empty() && j < toks.size() && IsPunct(toks[j], "(")) {
+      out->insert(name);
     }
-    if (i < code.size() && code[i] == '(') out->insert(name);
   }
 }
 
@@ -301,34 +267,38 @@ inline std::string ExpectedGuard(std::string rel_path) {
 inline std::vector<Finding> LintFile(const std::string& path_label,
                                      const std::string& content,
                                      const LintOptions& options) {
+  using detail::IsIdent;
+  using detail::IsPunct;
+  using detail::IsStdQualified;
   std::vector<Finding> findings;
   const std::vector<std::string> raw = detail::SplitLines(content);
-  const std::vector<std::string> code =
-      detail::SplitLines(detail::StripCommentsAndStrings(content));
+  const std::vector<Tok> toks = LexCpp(content);
+  const std::vector<std::vector<Tok>> by_line =
+      detail::TokensByLine(toks, raw.size());
   auto report = [&](size_t idx, const std::string& rule,
                     const std::string& message) {
     if (idx < raw.size() && detail::Suppressed(raw[idx], rule)) return;
     findings.push_back({path_label, idx + 1, rule, message});
   };
 
-  static const char* kMutexTokens[] = {
-      "std::mutex",       "std::shared_mutex",
-      "std::timed_mutex", "std::recursive_mutex",
-      "std::lock_guard",  "std::unique_lock",
-      "std::shared_lock", "std::scoped_lock",
-      "std::condition_variable", "std::condition_variable_any"};
-  static const char* kRandomTokens[] = {"rand", "srand", "drand48", "lrand48",
-                                        "mrand48", "std::random_device"};
+  static const std::set<std::string> kMutexTypes = {
+      "mutex",       "shared_mutex",       "timed_mutex",
+      "recursive_mutex", "lock_guard",     "unique_lock",
+      "shared_lock", "scoped_lock",        "condition_variable",
+      "condition_variable_any"};
+  static const std::set<std::string> kBareRandom = {
+      "rand", "srand", "drand48", "lrand48", "mrand48"};
 
-  for (size_t i = 0; i < code.size(); ++i) {
-    const std::string line = detail::Trim(code[i]);
+  for (size_t idx = 0; idx < raw.size(); ++idx) {
+    const std::vector<Tok>& line = by_line[idx + 1];
     if (line.empty()) continue;
 
     if (!options.allow_raw_mutex) {
-      for (const char* token : kMutexTokens) {
-        if (detail::HasToken(line, token)) {
-          report(i, "raw-mutex",
-                 std::string(token) +
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i].kind == TokKind::kIdent &&
+            kMutexTypes.count(line[i].text) > 0 && IsStdQualified(line, i)) {
+          report(idx, "raw-mutex",
+                 "std::" + line[i].text +
                      " outside common/mutex.h; use the capability-annotated "
                      "fvae::Mutex/SharedMutex/CondVar wrappers");
           break;
@@ -337,10 +307,15 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
     }
 
     if (!options.allow_nondeterminism) {
-      for (const char* token : kRandomTokens) {
-        if (detail::HasToken(line, token)) {
-          report(i, "banned-random",
-                 std::string(token) +
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i].kind != TokKind::kIdent) continue;
+        const bool bare = kBareRandom.count(line[i].text) > 0 &&
+                          !(i > 0 && IsPunct(line[i - 1], "::"));
+        const bool device =
+            line[i].text == "random_device" && IsStdQualified(line, i);
+        if (bare || device) {
+          report(idx, "banned-random",
+                 line[i].text +
                      " is nondeterministic; draw from an explicitly seeded "
                      "fvae::Rng (common/random.h)");
           break;
@@ -348,82 +323,92 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
       }
     }
 
-    if (options.ban_raw_ofstream && detail::HasToken(line, "std::ofstream")) {
-      report(i, "atomic-write",
-             "std::ofstream writes a durable artifact in place; route it "
-             "through AtomicFileWriter (common/atomic_file.h) so a crash "
-             "leaves the old or the new file, never a torn one");
+    if (options.ban_raw_ofstream) {
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (IsIdent(line[i], "ofstream") && IsStdQualified(line, i)) {
+          report(idx, "atomic-write",
+                 "std::ofstream writes a durable artifact in place; route it "
+                 "through AtomicFileWriter (common/atomic_file.h) so a crash "
+                 "leaves the old or the new file, never a torn one");
+          break;
+        }
+      }
     }
 
-    if (!options.expected_guard.empty() && line.rfind("using namespace", 0) == 0) {
-      report(i, "using-namespace",
+    if (!options.expected_guard.empty() && line.size() >= 2 &&
+        IsIdent(line[0], "using") && IsIdent(line[1], "namespace")) {
+      report(idx, "using-namespace",
              "file-scope `using namespace` in a header leaks into every "
              "includer");
+    }
+
+    // Metric-name hygiene: a string literal handed to a registry
+    // Counter()/Gauge()/Histo() call must be a snake_case dotted path.
+    for (size_t i = 0; i + 2 < line.size(); ++i) {
+      if (line[i].kind != TokKind::kIdent ||
+          (line[i].text != "Counter" && line[i].text != "Gauge" &&
+           line[i].text != "Histo")) {
+        continue;
+      }
+      if (!IsPunct(line[i + 1], "(") ||
+          line[i + 2].kind != TokKind::kString) {
+        continue;
+      }
+      const std::string& name = line[i + 2].text;
+      if (!detail::IsMetricNamePath(name)) {
+        report(idx, "metric-name",
+               "metric name \"" + name +
+                   "\" must be a snake_case dotted path like "
+                   "\"training.epoch_loss\"");
+      }
     }
 
     // (void)-cast of a call: demand an inline justification so intentional
     // discards stay auditable. `(void)identifier;` (unused-parameter
     // silencing) is exempt — no call involved.
-    if (line.rfind("(void)", 0) == 0 &&
-        line.find('(', 6) != std::string::npos) {
-      const bool commented_same =
-          raw[i].find("//") != std::string::npos ||
-          raw[i].find("/*") != std::string::npos;
-      const bool commented_above =
-          i > 0 && detail::Trim(raw[i - 1]).rfind("//", 0) == 0;
-      if (!commented_same && !commented_above) {
-        report(i, "void-needs-reason",
-               "(void)-discarded call needs a justification comment on the "
-               "same line or the line above");
+    if (line.size() >= 3 && IsPunct(line[0], "(") && IsIdent(line[1], "void") &&
+        IsPunct(line[2], ")")) {
+      bool has_call = false;
+      for (size_t i = 3; i < line.size(); ++i) {
+        if (IsPunct(line[i], "(")) has_call = true;
       }
-      continue;  // an annotated discard is not a discarded-status finding
-    }
-
-    // Metric-name hygiene: a string literal handed to a registry
-    // Counter()/Gauge()/Histo() call must be a snake_case dotted path.
-    // Literals live only in the raw line (stripping blanks them), so scan
-    // raw and cross-check the same offset in the stripped line to skip
-    // occurrences inside comments.
-    for (const char* method : {"Counter(\"", "Gauge(\"", "Histo(\""}) {
-      const size_t method_len = std::string(method).size();
-      size_t at = 0;
-      while ((at = raw[i].find(method, at)) != std::string::npos) {
-        const bool own_word = at == 0 || !detail::IsIdentChar(raw[i][at - 1]);
-        const bool in_code =
-            code[i].size() > at &&
-            code[i].compare(at, method_len - 1, method, method_len - 1) == 0;
-        if (!own_word || !in_code) {
-          at += method_len;
-          continue;
+      if (has_call) {
+        const bool commented_same =
+            raw[idx].find("//") != std::string::npos ||
+            raw[idx].find("/*") != std::string::npos;
+        const bool commented_above =
+            idx > 0 && detail::Trim(raw[idx - 1]).rfind("//", 0) == 0;
+        if (!commented_same && !commented_above) {
+          report(idx, "void-needs-reason",
+                 "(void)-discarded call needs a justification comment on the "
+                 "same line or the line above");
         }
-        const size_t name_begin = at + method_len;
-        const size_t name_end = raw[i].find('"', name_begin);
-        if (name_end == std::string::npos) break;  // literal spans lines
-        const std::string name =
-            raw[i].substr(name_begin, name_end - name_begin);
-        if (!detail::IsMetricNamePath(name)) {
-          report(i, "metric-name",
-                 "metric name \"" + name +
-                     "\" must be a snake_case dotted path like "
-                     "\"training.epoch_loss\"");
-        }
-        at = name_end + 1;
+        continue;  // an annotated discard is not a discarded-status finding
       }
     }
 
-    if (options.status_functions != nullptr && line.back() == ';') {
+    // Discarded Status/Result: a whole statement on one line whose leading
+    // expression is a call to a known fallible function, with no
+    // assignment and no `return`.
+    if (options.status_functions != nullptr &&
+        IsPunct(line.back(), ";") && line[0].kind == TokKind::kIdent &&
+        !IsIdent(line[0], "return")) {
       size_t pos = 0;
-      const std::string callee = detail::ParseQualifiedCallee(line, &pos);
+      const std::string callee = detail::ParseCalleeChain(line, &pos);
+      long depth = 0;
+      bool has_assign = false;
+      for (const Tok& t : line) {
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == "(") ++depth;
+        if (t.text == ")") --depth;
+        if (t.text.find('=') != std::string::npos) has_assign = true;
+      }
       // Balanced parens ⇒ the line is a whole statement, not the tail of a
       // wrapped expression (those carry the extra closing paren).
-      const bool balanced =
-          std::count(line.begin(), line.end(), '(') ==
-          std::count(line.begin(), line.end(), ')');
-      if (!callee.empty() && pos < line.size() && line[pos] == '(' &&
-          balanced && options.status_functions->count(callee) > 0 &&
-          line.find('=') == std::string::npos &&
-          line.rfind("return", 0) != 0) {
-        report(i, "discarded-status",
+      if (!callee.empty() && pos < line.size() && IsPunct(line[pos], "(") &&
+          depth == 0 && !has_assign &&
+          options.status_functions->count(callee) > 0) {
+        report(idx, "discarded-status",
                callee + "() returns Status/Result; the value must be "
                         "checked (or (void)-discarded with a reason)");
       }
@@ -434,29 +419,30 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
   // and #pragma once is banned (guards keep the convention greppable).
   if (!options.expected_guard.empty()) {
     bool saw_ifndef = false, saw_define = false, saw_endif = false;
-    for (size_t i = 0; i < code.size(); ++i) {
-      const std::string line = detail::Trim(code[i]);
-      if (line.rfind("#pragma", 0) == 0 &&
-          line.find("once") != std::string::npos) {
-        report(i, "header-guard", "#pragma once; use the FVAE_*_H_ guard");
+    for (const Tok& t : toks) {
+      if (t.kind != TokKind::kPreproc) continue;
+      const auto [directive, rest] = detail::SplitDirective(t.text);
+      const size_t idx = t.line - 1;
+      if (directive == "pragma" && rest.rfind("once", 0) == 0) {
+        report(idx, "header-guard", "#pragma once; use the FVAE_*_H_ guard");
       }
-      if (!saw_ifndef && line.rfind("#ifndef", 0) == 0) {
+      if (!saw_ifndef && directive == "ifndef") {
         saw_ifndef = true;
-        if (detail::Trim(line.substr(7)) != options.expected_guard) {
-          report(i, "header-guard",
+        if (rest != options.expected_guard) {
+          report(idx, "header-guard",
                  "include guard should be " + options.expected_guard);
         }
-      } else if (saw_ifndef && !saw_define && line.rfind("#define", 0) == 0) {
+      } else if (saw_ifndef && !saw_define && directive == "define") {
         saw_define = true;
-        if (detail::Trim(line.substr(7)) != options.expected_guard) {
-          report(i, "header-guard",
+        if (rest != options.expected_guard) {
+          report(idx, "header-guard",
                  "#define should match guard " + options.expected_guard);
         }
       }
-      if (line.rfind("#endif", 0) == 0) saw_endif = true;
+      if (directive == "endif") saw_endif = true;
     }
     if (!saw_ifndef || !saw_define || !saw_endif) {
-      report(code.empty() ? 0 : code.size() - 1, "header-guard",
+      report(raw.empty() ? 0 : raw.size() - 1, "header-guard",
              "missing #ifndef/#define/#endif include guard " +
                  options.expected_guard);
     }
@@ -465,9 +451,10 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
 }
 
 /// Walks the repository tree rooted at `root` (src, tools, bench, tests,
-/// examples), collects Status/Result signatures, then lints every source
-/// file. This is the whole program: fvae_lint's main() and the lint test's
-/// clean-tree check both call it.
+/// examples), collects Status/Result signatures, lints every source file,
+/// then runs the whole-program analyses (lock-cycle, hot-path purity) over
+/// `src/`. This is the whole program: fvae_lint's main() and the lint
+/// test's clean-tree check both call it.
 inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   static const char* kDirs[] = {"src", "tools", "bench", "tests", "examples"};
@@ -514,6 +501,20 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
+
+  // Whole-program analyses over production code only: test fixtures and
+  // fakes must not add call-graph candidates or lock-order edges (they
+  // prove invariants through AnalyzeProgram directly in lint_test).
+  // common/mutex.h is excluded — it *implements* the primitives (CondVar
+  // re-locks via std::adopt_lock), so its raw facts would be noise.
+  std::vector<SourceFile> program;
+  for (const auto& [path, body] : files) {
+    if (path.rfind("src/", 0) != 0) continue;
+    if (path == "src/common/mutex.h") continue;
+    program.push_back({path, body});
+  }
+  std::vector<Finding> analysis = AnalyzeProgram(program);
+  findings.insert(findings.end(), analysis.begin(), analysis.end());
   return findings;
 }
 

@@ -1,0 +1,644 @@
+#ifndef FVAE_TOOLS_TU_FACTS_H_
+#define FVAE_TOOLS_TU_FACTS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/cpp_lexer.h"
+
+/// Per-translation-unit fact extraction for fvae_lint v2.
+///
+/// Walks one file's token stream (tools/cpp_lexer.h) tracking namespace /
+/// class / function / block scopes by brace matching, and records:
+///
+///   - function definitions with their namespace-qualified names and any
+///     FVAE_HOT / FVAE_NOALLOC attributes (from the definition itself or a
+///     matching in-class declaration);
+///   - call sites inside each function (qualifier chain + last name), with
+///     the set of locks held at the call;
+///   - lock acquisitions: RAII guards (MutexLock / WriterMutexLock /
+///     ReaderMutexLock, scope-tracked) and manual .Lock()/.LockShared()
+///     (released by the matching .Unlock()), plus the observed nesting
+///     pairs "Y acquired while X held";
+///   - heap allocations (`new`, malloc family, make_unique/make_shared,
+///     growing container calls), logging calls and IO touches, each with
+///     its line — the raw material of the hot-path purity analysis;
+///   - class-member lock declarations (`Mutex mu_;`) with their
+///     FVAE_ACQUIRED_BEFORE / FVAE_ACQUIRED_AFTER rank annotations and the
+///     FVAE_HOT_LOCK_EXEMPT marker.
+///
+/// The extractor is name-based by design (no overload resolution, no
+/// template instantiation): tools/lint_graph.h links these facts across
+/// files by qualified-name matching. Known blind spots, by construction:
+/// constructor-call allocations (`Matrix m(r, c)`), copy-assignment
+/// allocations (`a = b`), and `operator=` bodies. The runtime
+/// operator-new witness in serving_test covers what the token level
+/// cannot see (docs/ARCHITECTURE.md §7).
+
+namespace fvae::lint {
+
+struct CallSite {
+  std::vector<std::string> quals;  // "::"-joined qualifier chain, outermost first
+  std::string name;                // last component
+  bool member_access = false;      // reached via '.' or '->'
+  size_t line = 0;
+  std::vector<std::string> held;   // lock member-names held at the call
+};
+
+/// One allocation / logging / IO touch inside a function body.
+struct PurityFact {
+  std::string token;  // the offending identifier, e.g. "push_back"
+  size_t line = 0;
+};
+
+struct LockAcq {
+  std::string lock;  // last identifier of the lock expression, e.g. "mutex_"
+  size_t line = 0;
+};
+
+/// Observed nesting: `acquired` taken while `held` was held.
+struct LockNest {
+  std::string held;
+  std::string acquired;
+  size_t line = 0;
+};
+
+struct FunctionFacts {
+  std::string file;
+  size_t line = 0;
+  std::string ns;         // enclosing namespaces, "a::b" ("" at file scope)
+  std::string cls;        // enclosing/explicit class qualifier ("" for free)
+  std::string name;       // unqualified name
+  std::string qualified;  // ns::cls::name with empty parts skipped
+  bool hot = false;
+  bool noalloc = false;
+  std::vector<CallSite> calls;
+  std::vector<LockAcq> acquisitions;
+  std::vector<LockNest> nests;
+  std::vector<PurityFact> allocs;
+  std::vector<PurityFact> logs;
+  std::vector<PurityFact> ios;
+};
+
+/// A class-member lock declaration (fvae::Mutex / fvae::SharedMutex).
+struct LockDecl {
+  std::string file;
+  size_t line = 0;
+  std::string ns;
+  std::string cls;
+  std::string member;
+  std::string id;  // ns::cls::member
+  bool hot_exempt = false;
+  std::vector<std::string> acquired_before;  // raw annotation args
+  std::vector<std::string> acquired_after;
+};
+
+/// FVAE_HOT / FVAE_NOALLOC on a prototype (header declaration) whose body
+/// lives elsewhere; merged onto the definition during linking.
+struct AttrDecl {
+  std::string ns;
+  std::string cls;
+  std::string name;
+  bool hot = false;
+  bool noalloc = false;
+};
+
+struct TuFacts {
+  std::vector<FunctionFacts> functions;
+  std::vector<LockDecl> locks;
+  std::vector<AttrDecl> attr_decls;
+};
+
+namespace facts_detail {
+
+inline const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",      "for",         "while",    "switch",   "return",
+      "sizeof",  "alignof",     "decltype", "catch",    "noexcept",
+      "throw",   "delete",      "new",      "case",     "goto",
+      "using",   "template",    "typename", "operator", "alignas",
+      "requires","static_assert","defined", "assert",   "co_await",
+      "co_return","co_yield",   "typeid"};
+  return kSet;
+}
+
+inline bool IsGuardType(const std::string& ident) {
+  return ident == "MutexLock" || ident == "WriterMutexLock" ||
+         ident == "ReaderMutexLock";
+}
+
+/// Heap-allocating member calls (obj.x(...) / obj->x(...)).
+inline bool IsAllocMember(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+      "resize",    "reserve",      "insert",  "append",        "assign",
+      "substr",    "str"};
+  return kSet.count(ident) > 0;
+}
+
+/// Heap-allocating free/qualified calls.
+inline bool IsAllocFree(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "malloc",      "calloc",      "realloc", "strdup", "aligned_alloc",
+      "make_unique", "make_shared", "to_string"};
+  return kSet.count(ident) > 0;
+}
+
+inline bool IsLogToken(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "FVAE_LOG", "printf", "fprintf", "puts", "fputs", "putchar",
+      "cout",     "cerr",   "clog"};
+  return kSet.count(ident) > 0;
+}
+
+inline bool IsIoToken(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "ifstream", "ofstream",         "fstream",   "fopen",    "fread",
+      "fwrite",   "fclose",           "fseek",     "fflush",   "fsync",
+      "filesystem", "ReadFileToString", "AtomicFileWriter",
+      "sleep_for", "sleep_until",     "usleep",    "nanosleep"};
+  return kSet.count(ident) > 0;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = kBlock;
+  std::string name;     // namespace / class name
+  int func_index = -1;  // kFunction: index into TuFacts::functions
+};
+
+/// A held lock: RAII guards record the scope depth that releases them;
+/// manual .Lock() entries (depth 0, manual=true) wait for .Unlock().
+struct HeldLock {
+  std::string name;
+  size_t depth = 0;
+  bool manual = false;
+};
+
+inline std::string JoinQualified(const std::string& ns, const std::string& cls,
+                                 const std::string& name) {
+  std::string out;
+  auto add = [&out](const std::string& part) {
+    if (part.empty()) return;
+    if (!out.empty()) out += "::";
+    out += part;
+  };
+  add(ns);
+  add(cls);
+  add(name);
+  return out;
+}
+
+/// Finds the identifier chain immediately preceding the first paren group
+/// at paren-depth 0 in `decl`. Returns the chain (e.g. {"FieldVae",
+/// "EncodeFoldIn"}), empty when the buffer does not look like a function
+/// declarator (control keyword, unbalanced parens, leading '=', ...).
+inline std::vector<std::string> DeclaratorName(const std::vector<Tok>& decl) {
+  int paren = 0;
+  size_t open = decl.size();
+  for (size_t i = 0; i < decl.size(); ++i) {
+    const Tok& t = decl[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") {
+        if (paren == 0 && open == decl.size()) open = i;
+        ++paren;
+      } else if (t.text == ")") {
+        --paren;
+      } else if (t.text == "=" && paren == 0 && open == decl.size()) {
+        return {};  // initializer before any call-ish group: not a function
+      }
+    }
+  }
+  if (open == decl.size() || open == 0) return {};
+  // Walk the identifier chain backwards over "::" separators.
+  std::vector<std::string> chain;
+  size_t i = open;
+  for (;;) {
+    if (i == 0) break;
+    const Tok& prev = decl[i - 1];
+    if (prev.kind != TokKind::kIdent) break;
+    chain.insert(chain.begin(), prev.text);
+    if (i >= 2 && decl[i - 2].kind == TokKind::kPunct &&
+        decl[i - 2].text == "::") {
+      i -= 2;
+      continue;
+    }
+    break;
+  }
+  if (chain.empty()) return {};
+  if (ControlKeywords().count(chain.back()) > 0) return {};
+  return chain;
+}
+
+inline bool HasIdent(const std::vector<Tok>& decl, const std::string& ident) {
+  for (const Tok& t : decl) {
+    if (t.kind == TokKind::kIdent && t.text == ident) return true;
+  }
+  return false;
+}
+
+/// Parses the parenthesized argument list following `decl[i]` (which names
+/// an annotation macro) into "::"-joined qualified names.
+inline std::vector<std::string> AnnotationArgs(const std::vector<Tok>& decl,
+                                               size_t i) {
+  std::vector<std::string> args;
+  size_t j = i + 1;
+  if (j >= decl.size() || decl[j].text != "(") return args;
+  ++j;
+  std::string current;
+  int depth = 1;
+  while (j < decl.size() && depth > 0) {
+    const Tok& t = decl[j];
+    if (t.kind == TokKind::kPunct && t.text == "(") ++depth;
+    if (t.kind == TokKind::kPunct && t.text == ")") {
+      if (--depth == 0) break;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "," && depth == 1) {
+      if (!current.empty()) args.push_back(current);
+      current.clear();
+    } else if (t.kind == TokKind::kIdent) {
+      if (!current.empty()) current += "::";
+      current += t.text;
+    }
+    ++j;
+  }
+  if (!current.empty()) args.push_back(current);
+  return args;
+}
+
+}  // namespace facts_detail
+
+/// Extracts the facts of one file. `path_label` is recorded verbatim.
+inline TuFacts ExtractTuFacts(const std::string& path_label,
+                              const std::vector<Tok>& tokens) {
+  using facts_detail::AnnotationArgs;
+  using facts_detail::ControlKeywords;
+  using facts_detail::DeclaratorName;
+  using facts_detail::HasIdent;
+  using facts_detail::HeldLock;
+  using facts_detail::IsAllocFree;
+  using facts_detail::IsAllocMember;
+  using facts_detail::IsGuardType;
+  using facts_detail::IsIoToken;
+  using facts_detail::IsLogToken;
+  using facts_detail::JoinQualified;
+  using facts_detail::Scope;
+  TuFacts facts;
+  std::vector<Scope> stack;
+  std::vector<Tok> decl;          // declaration buffer at the current level
+  std::vector<HeldLock> held;     // active lock acquisitions (in functions)
+  int paren_depth = 0;            // live paren depth (for '{' inside args)
+
+  auto current_ns = [&stack] {
+    std::string ns;
+    for (const Scope& s : stack) {
+      if (s.kind == Scope::kNamespace && !s.name.empty()) {
+        if (!ns.empty()) ns += "::";
+        ns += s.name;
+      }
+    }
+    return ns;
+  };
+  auto current_cls = [&stack] {
+    std::string cls;
+    for (const Scope& s : stack) {
+      if (s.kind == Scope::kClass && !s.name.empty()) {
+        if (!cls.empty()) cls += "::";
+        cls += s.name;
+      }
+    }
+    return cls;
+  };
+  auto current_function = [&stack, &facts]() -> FunctionFacts* {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].kind == Scope::kFunction) {
+        return &facts.functions[stack[i].func_index];
+      }
+      if (stack[i].kind != Scope::kBlock) break;
+    }
+    return nullptr;
+  };
+  auto held_names = [&held] {
+    std::vector<std::string> names;
+    names.reserve(held.size());
+    for (const HeldLock& h : held) names.push_back(h.name);
+    return names;
+  };
+
+  /// Registers an acquisition of `lock` in the current function: records
+  /// the fact, the nesting pairs against everything currently held, and
+  /// pushes the new hold.
+  auto acquire = [&](FunctionFacts* fn, const std::string& lock, size_t line,
+                     bool manual) {
+    fn->acquisitions.push_back({lock, line});
+    for (const HeldLock& h : held) fn->nests.push_back({h.name, lock, line});
+    held.push_back({lock, stack.size(), manual});
+  };
+
+  /// Classifies the declaration buffer when a '{' opens a new scope.
+  auto classify_open = [&]() -> Scope {
+    Scope scope;
+    if (paren_depth > 0) return scope;  // '{' inside an argument list
+    if (!decl.empty() && decl.front().kind == TokKind::kIdent &&
+        decl.front().text == "namespace") {
+      scope.kind = Scope::kNamespace;
+      std::string name;
+      for (size_t i = 1; i < decl.size(); ++i) {
+        if (decl[i].kind == TokKind::kIdent) {
+          if (!name.empty()) name += "::";
+          name += decl[i].text;
+        }
+      }
+      scope.name = name;
+      return scope;
+    }
+    if (HasIdent(decl, "enum")) return scope;  // enum body: plain block
+    const bool classish = !decl.empty() &&
+                          (HasIdent(decl, "class") || HasIdent(decl, "struct") ||
+                           HasIdent(decl, "union"));
+    // A class head has no top-level parens except attribute macros; a
+    // function returning a struct is not definable inline, so "has class
+    // keyword and no declarator name" is a sufficient split.
+    if (classish) {
+      // Name: first identifier after the class keyword that is not a macro
+      // call (macro calls are skipped with their argument group).
+      scope.kind = Scope::kClass;
+      size_t i = 0;
+      while (i < decl.size() &&
+             !(decl[i].kind == TokKind::kIdent &&
+               (decl[i].text == "class" || decl[i].text == "struct" ||
+                decl[i].text == "union"))) {
+        ++i;
+      }
+      ++i;
+      while (i < decl.size()) {
+        if (decl[i].kind == TokKind::kPunct && decl[i].text == ":") break;
+        if (decl[i].kind == TokKind::kIdent) {
+          if (i + 1 < decl.size() && decl[i + 1].kind == TokKind::kPunct &&
+              decl[i + 1].text == "(") {
+            // Attribute macro: skip its argument group.
+            int depth = 0;
+            ++i;
+            do {
+              if (decl[i].text == "(") ++depth;
+              if (decl[i].text == ")") --depth;
+              ++i;
+            } while (i < decl.size() && depth > 0);
+            continue;
+          }
+          if (decl[i].text != "final" && decl[i].text != "alignas") {
+            scope.name = decl[i].text;
+            break;
+          }
+        }
+        ++i;
+      }
+      return scope;
+    }
+    const std::vector<std::string> chain = DeclaratorName(decl);
+    if (chain.empty()) return scope;  // plain block / lambda / init list
+    FunctionFacts fn;
+    fn.file = path_label;
+    fn.line = decl.empty() ? 0 : decl.front().line;
+    fn.ns = current_ns();
+    fn.name = chain.back();
+    std::string explicit_cls;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (!explicit_cls.empty()) explicit_cls += "::";
+      explicit_cls += chain[i];
+    }
+    const std::string scope_cls = current_cls();
+    fn.cls = scope_cls.empty()
+                 ? explicit_cls
+                 : (explicit_cls.empty() ? scope_cls
+                                         : scope_cls + "::" + explicit_cls);
+    fn.qualified = JoinQualified(fn.ns, fn.cls, fn.name);
+    fn.hot = HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC");
+    fn.noalloc = HasIdent(decl, "FVAE_NOALLOC");
+    scope.kind = Scope::kFunction;
+    scope.func_index = static_cast<int>(facts.functions.size());
+    facts.functions.push_back(std::move(fn));
+    return scope;
+  };
+
+  /// Handles a ';'-terminated declaration outside function bodies: lock
+  /// members and annotated prototypes.
+  auto classify_decl = [&]() {
+    if (current_function() != nullptr) return;
+    const std::string cls = current_cls();
+    // Lock member: [mutable] [fvae::] Mutex|SharedMutex name [annotations];
+    // The type token must sit at paren-depth 0 with no paren group before
+    // it (rejects `void f(Mutex& mu);` parameters).
+    if (!cls.empty()) {
+      int paren = 0;
+      bool saw_paren = false;
+      for (size_t i = 0; i < decl.size(); ++i) {
+        const Tok& t = decl[i];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") {
+            ++paren;
+            saw_paren = true;
+          } else if (t.text == ")") {
+            --paren;
+          }
+          continue;
+        }
+        if (t.kind != TokKind::kIdent || paren != 0 || saw_paren) continue;
+        if (t.text != "Mutex" && t.text != "SharedMutex") continue;
+        if (i + 1 >= decl.size() || decl[i + 1].kind != TokKind::kIdent) {
+          continue;
+        }
+        LockDecl lock;
+        lock.file = path_label;
+        lock.line = t.line;
+        lock.ns = current_ns();
+        lock.cls = cls;
+        lock.member = decl[i + 1].text;
+        lock.id = JoinQualified(lock.ns, lock.cls, lock.member);
+        for (size_t j = i + 2; j < decl.size(); ++j) {
+          if (decl[j].kind != TokKind::kIdent) continue;
+          if (decl[j].text == "FVAE_HOT_LOCK_EXEMPT") lock.hot_exempt = true;
+          if (decl[j].text == "FVAE_ACQUIRED_BEFORE") {
+            for (auto& a : AnnotationArgs(decl, j)) {
+              lock.acquired_before.push_back(a);
+            }
+          }
+          if (decl[j].text == "FVAE_ACQUIRED_AFTER") {
+            for (auto& a : AnnotationArgs(decl, j)) {
+              lock.acquired_after.push_back(a);
+            }
+          }
+        }
+        facts.locks.push_back(std::move(lock));
+        break;
+      }
+    }
+    // Annotated prototype: FVAE_HOT / FVAE_NOALLOC on a declaration whose
+    // body lives in another file.
+    if (HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC")) {
+      const std::vector<std::string> chain = DeclaratorName(decl);
+      if (!chain.empty()) {
+        AttrDecl attr;
+        attr.ns = current_ns();
+        attr.cls = cls;
+        for (size_t i = 0; i + 1 < chain.size(); ++i) {
+          if (!attr.cls.empty()) attr.cls += "::";
+          attr.cls += chain[i];
+        }
+        attr.name = chain.back();
+        attr.hot = true;
+        attr.noalloc = HasIdent(decl, "FVAE_NOALLOC");
+        facts.attr_decls.push_back(std::move(attr));
+      }
+    }
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Tok& tok = tokens[i];
+    if (tok.kind == TokKind::kPreproc) continue;
+
+    FunctionFacts* fn = current_function();
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") {
+        stack.push_back(classify_open());
+        decl.clear();
+        continue;
+      }
+      if (tok.text == "}") {
+        if (!stack.empty()) {
+          const bool leaving_function =
+              stack.back().kind == Scope::kFunction;
+          stack.pop_back();
+          // Release RAII guards whose scope just closed; a function exit
+          // also clears manual holds (nothing outlives the body).
+          const size_t depth = stack.size();
+          for (size_t h = held.size(); h-- > 0;) {
+            if ((!held[h].manual && held[h].depth > depth) ||
+                (leaving_function && current_function() == nullptr)) {
+              held.erase(held.begin() + static_cast<long>(h));
+            }
+          }
+        }
+        decl.clear();
+        continue;
+      }
+      if (tok.text == "(") ++paren_depth;
+      if (tok.text == ")") --paren_depth;
+      if (tok.text == ";" && paren_depth == 0) {
+        if (fn == nullptr) classify_decl();
+        decl.clear();
+        continue;
+      }
+      if (tok.text == ":" && fn == nullptr && decl.size() == 1 &&
+          decl[0].kind == TokKind::kIdent &&
+          (decl[0].text == "public" || decl[0].text == "protected" ||
+           decl[0].text == "private")) {
+        decl.clear();  // access specifier
+        continue;
+      }
+    }
+    decl.push_back(tok);
+
+    // ---- in-function fact extraction ----
+    if (fn == nullptr || tok.kind != TokKind::kIdent) continue;
+    const std::string& id = tok.text;
+    const Tok* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+    const Tok* prev = i > 0 ? &tokens[i - 1] : nullptr;
+    const bool after_member =
+        prev != nullptr && prev->kind == TokKind::kPunct &&
+        (prev->text == "." || prev->text == "->");
+    const bool after_scope = prev != nullptr &&
+                             prev->kind == TokKind::kPunct &&
+                             prev->text == "::";
+
+    // RAII guard construction: GuardType [var] ( lock-expr ) ...
+    if (IsGuardType(id)) {
+      size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].kind == TokKind::kIdent) ++j;
+      if (j < tokens.size() && tokens[j].kind == TokKind::kPunct &&
+          tokens[j].text == "(") {
+        int depth = 1;
+        std::string lock_name;
+        ++j;
+        while (j < tokens.size() && depth > 0) {
+          if (tokens[j].kind == TokKind::kPunct) {
+            if (tokens[j].text == "(") ++depth;
+            if (tokens[j].text == ")") --depth;
+          } else if (tokens[j].kind == TokKind::kIdent) {
+            lock_name = tokens[j].text;
+          }
+          ++j;
+        }
+        if (!lock_name.empty()) {
+          acquire(fn, lock_name, tok.line, /*manual=*/false);
+        }
+      }
+      continue;
+    }
+    // Manual lock/unlock: expr.Lock() / expr.Unlock() (and Shared forms).
+    if (after_member && (id == "Lock" || id == "LockShared") &&
+        next != nullptr && next->text == "(") {
+      // Lock name: identifier right before the '.'/'->'.
+      if (i >= 2 && tokens[i - 2].kind == TokKind::kIdent) {
+        acquire(fn, tokens[i - 2].text, tok.line, /*manual=*/true);
+      }
+      continue;
+    }
+    if (after_member && (id == "Unlock" || id == "UnlockShared") &&
+        next != nullptr && next->text == "(") {
+      if (i >= 2 && tokens[i - 2].kind == TokKind::kIdent) {
+        const std::string& name = tokens[i - 2].text;
+        for (size_t h = held.size(); h-- > 0;) {
+          if (held[h].name == name) {
+            held.erase(held.begin() + static_cast<long>(h));
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Purity facts.
+    if (id == "new" &&
+        !(prev != nullptr && prev->kind == TokKind::kIdent &&
+          prev->text == "operator")) {
+      fn->allocs.push_back({"new", tok.line});
+    } else if (after_member && IsAllocMember(id) && next != nullptr &&
+               next->text == "(") {
+      fn->allocs.push_back({id, tok.line});
+    } else if (!after_member && IsAllocFree(id) && next != nullptr &&
+               next->text == "(") {
+      fn->allocs.push_back({id, tok.line});
+    }
+    if (IsLogToken(id)) fn->logs.push_back({id, tok.line});
+    if (IsIoToken(id)) fn->ios.push_back({id, tok.line});
+
+    // Call site: identifier followed by '(' that is not a control keyword.
+    if (next != nullptr && next->kind == TokKind::kPunct &&
+        next->text == "(" && ControlKeywords().count(id) == 0) {
+      CallSite call;
+      call.name = id;
+      call.line = tok.line;
+      call.held = held_names();
+      // Collect the "::" qualifier chain attached to the name.
+      size_t back = i;
+      while (back >= 2 && tokens[back - 1].kind == TokKind::kPunct &&
+             tokens[back - 1].text == "::" &&
+             tokens[back - 2].kind == TokKind::kIdent) {
+        call.quals.insert(call.quals.begin(), tokens[back - 2].text);
+        back -= 2;
+      }
+      call.member_access =
+          back >= 1 && tokens[back - 1].kind == TokKind::kPunct &&
+          (tokens[back - 1].text == "." || tokens[back - 1].text == "->");
+      (void)after_scope;
+      fn->calls.push_back(std::move(call));
+    }
+  }
+  return facts;
+}
+
+}  // namespace fvae::lint
+
+#endif  // FVAE_TOOLS_TU_FACTS_H_
