@@ -9,20 +9,32 @@
 //   mixed — 85% hot store lookups / 15% revisits, measuring the
 //           reader-concurrent sharded store under realistic traffic.
 //
+// With --net, a third phase measures the same service behind the epoll RPC
+// front-end over loopback sockets: direct (one server, one channel per
+// client thread) and routed (three replicas behind a ShardRouterClient).
+//
 // Outputs: bench_results/serving_load.txt (human-readable) and
 // BENCH_serving.json + bench_results/BENCH_serving.json (machine-readable
-// {qps, p50_us, p99_us} per configuration).
+// {qps, p50_us, p99_us} per configuration; "net_loopback" under --net).
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
 #include "core/fvae_model.h"
 #include "core/trainer.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "net/shard_router.h"
 #include "serving/embedding_service.h"
 #include "serving/fold_in.h"
 #include "serving/load_gen.h"
@@ -79,7 +91,114 @@ PhaseResult RunConfig(const core::FieldVae& model,
                      service.TelemetryJson()};
 }
 
-int Main() {
+struct NetPhaseResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Closed-loop lookups of `num_users` keys from `num_threads` clients;
+/// `call(thread, user)` performs one RPC. Returns throughput + client-side
+/// latency percentiles.
+NetPhaseResult DriveLookups(
+    size_t num_threads, size_t requests, size_t num_users,
+    const std::function<Result<std::vector<float>>(size_t, uint64_t)>& call) {
+  LatencyHistogram latency;
+  std::atomic<uint64_t> ok{0};
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = t; i < requests; i += num_threads) {
+        const int64_t start = MonotonicMicros();
+        const Result<std::vector<float>> embedding =
+            call(t, uint64_t(i % num_users));
+        latency.Record(double(MonotonicMicros() - start));
+        if (embedding.ok()) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double elapsed = watch.ElapsedSeconds();
+  if (ok.load() != requests) {
+    std::printf("WARNING: net loopback: %llu/%zu lookups succeeded\n",
+                (unsigned long long)ok.load(), requests);
+  }
+  return {elapsed > 0.0 ? double(requests) / elapsed : 0.0,
+          latency.Percentile(50.0), latency.Percentile(99.0)};
+}
+
+struct NetLoopbackResult {
+  NetPhaseResult direct_1shard;
+  NetPhaseResult routed_3shard;
+};
+
+/// Loopback-socket serving: the full wire path (framing, CRC, epoll loops,
+/// backpressure) minus real network distance. Direct = each client thread
+/// owns one RpcChannel to a single server; routed = all threads share a
+/// ShardRouterClient consistent-hashing over three replicas.
+NetLoopbackResult RunNetLoopback(const core::FieldVae& model,
+                                 const MultiFieldDataset& dataset,
+                                 std::span<const uint32_t> hot_ids,
+                                 size_t num_threads, size_t requests) {
+  serving::EmbeddingServiceOptions options;
+  options.num_shards = 16;
+  options.enable_batcher = true;
+  options.batcher.max_batch_size = num_threads;
+  options.batcher.max_wait_micros = 100;
+
+  NetLoopbackResult out;
+  {
+    serving::FvaeFoldInEncoder encoder(&model);
+    serving::EmbeddingService service(
+        serving::MaterializeEmbeddings(model, dataset, hot_ids,
+                                       options.num_shards),
+        &encoder, options);
+    net::RpcServer server(&service, net::RpcServerOptions{});
+    FVAE_CHECK(server.Start().ok()) << "loopback server failed to start";
+    const std::string endpoint =
+        "127.0.0.1:" + std::to_string(server.port());
+    std::vector<std::unique_ptr<net::RpcChannel>> channels;
+    for (size_t t = 0; t < num_threads; ++t) {
+      auto channel = net::RpcChannel::Connect(endpoint);
+      FVAE_CHECK(channel.ok()) << channel.status().ToString();
+      channels.push_back(std::move(*channel));
+    }
+    out.direct_1shard = DriveLookups(
+        num_threads, requests, hot_ids.size(),
+        [&](size_t t, uint64_t user) { return channels[t]->Lookup(user); });
+    server.Stop();
+  }
+  {
+    std::vector<std::unique_ptr<serving::FvaeFoldInEncoder>> encoders;
+    std::vector<std::unique_ptr<serving::EmbeddingService>> services;
+    std::vector<std::unique_ptr<net::RpcServer>> servers;
+    std::vector<std::string> endpoints;
+    for (size_t shard = 0; shard < 3; ++shard) {
+      encoders.push_back(
+          std::make_unique<serving::FvaeFoldInEncoder>(&model));
+      services.push_back(std::make_unique<serving::EmbeddingService>(
+          serving::MaterializeEmbeddings(model, dataset, hot_ids,
+                                         options.num_shards),
+          encoders.back().get(), options));
+      servers.push_back(std::make_unique<net::RpcServer>(
+          services.back().get(), net::RpcServerOptions{}));
+      FVAE_CHECK(servers.back()->Start().ok())
+          << "loopback shard failed to start";
+      endpoints.push_back("127.0.0.1:" +
+                          std::to_string(servers.back()->port()));
+    }
+    net::ShardRouterClient router(endpoints);
+    out.routed_3shard = DriveLookups(
+        num_threads, requests, hot_ids.size(),
+        [&](size_t, uint64_t user) { return router.Lookup(user); });
+    for (auto& server : servers) server->Stop();
+  }
+  return out;
+}
+
+int Main(bool net_loopback) {
   const Scale scale = GetScale();
   PrintBanner("Serving load: micro-batched fold-in vs synchronous encode",
               "online module (Fig. 2) under closed-loop concurrent load");
@@ -134,6 +253,14 @@ int Main() {
   const double cold_speedup =
       off.cold.Qps() > 0.0 ? on.cold.Qps() / off.cold.Qps() : 0.0;
 
+  NetLoopbackResult net{};
+  if (net_loopback) {
+    std::printf("\nnet loopback: %zu clients x %zu lookups per topology\n",
+                num_threads, mixed_requests);
+    net = RunNetLoopback(model, gen.dataset, hot_ids, num_threads,
+                         mixed_requests);
+  }
+
   std::string table;
   char line[256];
   std::snprintf(line, sizeof(line),
@@ -153,6 +280,17 @@ int Main() {
   add_row("batcher-on", "mixed", on.mixed);
   add_row("batcher-off", "cold", off.cold);
   add_row("batcher-off", "mixed", off.mixed);
+  if (net_loopback) {
+    const auto add_net_row = [&](const char* name,
+                                 const NetPhaseResult& result) {
+      std::snprintf(line, sizeof(line),
+                    "%-14s %-6s %12.1f %10.1f %10s %10.1f\n", name, "net",
+                    result.qps, result.p50_us, "-", result.p99_us);
+      table += line;
+    };
+    add_net_row("net-direct-1", net.direct_1shard);
+    add_net_row("net-routed-3", net.routed_3shard);
+  }
   std::snprintf(line, sizeof(line),
                 "\ncold-user (fold-in) throughput speedup from "
                 "micro-batching: %.2fx\n",
@@ -179,6 +317,18 @@ int Main() {
   };
   json += "  \"batcher_on\": " + config_json(on) + ",\n";
   json += "  \"batcher_off\": " + config_json(off) + ",\n";
+  if (net_loopback) {
+    const auto net_json = [](const NetPhaseResult& result) {
+      char piece[128];
+      std::snprintf(piece, sizeof(piece),
+                    "{\"qps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                    result.qps, result.p50_us, result.p99_us);
+      return std::string(piece);
+    };
+    json += "  \"net_loopback\": {\n";
+    json += "     \"direct_1shard\": " + net_json(net.direct_1shard) + ",\n";
+    json += "     \"routed_3shard\": " + net_json(net.routed_3shard) + "},\n";
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "  \"cold_speedup\": %.3f\n", cold_speedup);
   json += buf;
@@ -211,4 +361,10 @@ int Main() {
 }  // namespace
 }  // namespace fvae::bench
 
-int main() { return fvae::bench::Main(); }
+int main(int argc, char** argv) {
+  bool net_loopback = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--net") net_loopback = true;
+  }
+  return fvae::bench::Main(net_loopback);
+}

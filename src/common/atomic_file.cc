@@ -19,7 +19,9 @@ Status FsyncPath(const std::string& path) {
     return Status::IoError("open for fsync failed: " + path);
   }
   const int rc = ::fsync(fd);
-  const int close_rc = ::close(fd);
+  // Transient fsync handle, open and closed within six lines — wrapping it
+  // in net::Fd would invert the layering (common must not depend on net).
+  const int close_rc = ::close(fd);  // fvae-lint: allow(raw-socket)
   if (rc != 0 || close_rc != 0) {
     return Status::IoError("fsync failed: " + path);
   }

@@ -1,0 +1,168 @@
+#include "net/epoll_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace fvae::net {
+namespace {
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+EpollLoop::EpollLoop() {
+  epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    init_status_ = Status::IoError(std::string("epoll_create1: ") +
+                                   std::strerror(errno));
+    return;
+  }
+  wake_fd_.Reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) {
+    init_status_ =
+        Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    init_status_ = Status::IoError(std::string("epoll_ctl(wake): ") +
+                                   std::strerror(errno));
+  }
+}
+
+EpollLoop::~EpollLoop() = default;
+
+Status EpollLoop::Add(int fd, bool want_write, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(add): ") +
+                           std::strerror(errno));
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::Ok();
+}
+
+Status EpollLoop::Mod(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(mod): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status EpollLoop::Del(int fd) {
+  callbacks_.erase(fd);
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Status::IoError(std::string("epoll_ctl(del): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+TimerWheel::TimerId EpollLoop::ScheduleTimer(int64_t delay_micros,
+                                             std::function<void()> callback) {
+  return timers_.Schedule(MonotonicMicros(), delay_micros,
+                          std::move(callback));
+}
+
+void EpollLoop::CancelTimer(TimerWheel::TimerId id) { timers_.Cancel(id); }
+
+void EpollLoop::Post(Task task) {
+  {
+    MutexLock lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  WakeUp();
+}
+
+void EpollLoop::WakeUp() {
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short write is ignorable.
+  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EpollLoop::DrainPosted() {
+  std::deque<Task> tasks;
+  {
+    MutexLock lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (Task& task : tasks) task();
+}
+
+bool EpollLoop::InLoopThread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) == ThisThreadId();
+}
+
+void EpollLoop::Run() {
+  FVAE_CHECK(init_status_.ok()) << init_status_.ToString();
+  loop_thread_id_.store(ThisThreadId(), std::memory_order_relaxed);
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int64_t now = MonotonicMicros();
+    timers_.Advance(now);
+    // Default 100 ms idle wake keeps the wheel ticking even with no IO.
+    const int64_t next_micros = timers_.MicrosToNext(now, 100'000);
+    const int timeout_ms = static_cast<int>((next_micros + 999) / 1000);
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FVAE_CHECK(false) << "epoll_wait: " << std::strerror(errno);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        uint64_t drained = 0;
+        // Draining the eventfd counter is the only goal; a spurious EAGAIN
+        // just means another wakeup already consumed it.
+        (void)!::read(wake_fd_.get(), &drained, sizeof(drained));
+        DrainPosted();
+        continue;
+      }
+      auto it = callbacks_.find(fd);
+      // A callback earlier in this batch may have closed this fd.
+      if (it == callbacks_.end()) continue;
+      Events readiness;
+      readiness.readable = (events[i].events & EPOLLIN) != 0;
+      readiness.writable = (events[i].events & EPOLLOUT) != 0;
+      readiness.error =
+          (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      // Copy: the callback may Del(fd) and invalidate the iterator.
+      IoCallback callback = it->second;
+      callback(readiness);
+    }
+    if (n == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+  }
+  // Final drain so shutdown tasks posted just before Stop() still run.
+  DrainPosted();
+  loop_thread_id_.store(0, std::memory_order_relaxed);
+}
+
+void EpollLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  WakeUp();
+}
+
+}  // namespace fvae::net

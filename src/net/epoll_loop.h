@@ -1,0 +1,90 @@
+#ifndef FVAE_NET_EPOLL_LOOP_H_
+#define FVAE_NET_EPOLL_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/fd.h"
+#include "net/timer_wheel.h"
+
+namespace fvae::net {
+
+/// Single-threaded level-triggered epoll reactor.
+///
+/// One loop per worker thread. All fd registration, timers, and callbacks
+/// run on the loop thread; the only cross-thread entry point is Post(),
+/// which enqueues a task under a mutex and wakes the loop via an eventfd.
+/// This is the standard one-lock-per-loop design: the hot path (epoll_wait
+/// + dispatch) never takes the mutex unless the eventfd fired.
+class EpollLoop {
+ public:
+  /// Bitmask of readiness events delivered to an IoCallback.
+  struct Events {
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  // EPOLLERR / EPOLLHUP — peer is gone.
+  };
+  using IoCallback = std::function<void(Events)>;
+  using Task = std::function<void()>;
+
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Whether construction succeeded (epoll_create1 / eventfd can fail).
+  Status Init() const { return init_status_; }
+
+  /// Registers `fd` for readiness callbacks. `want_write` adds EPOLLOUT —
+  /// only enable it while the write buffer is non-empty, or the loop spins.
+  /// Loop thread only.
+  Status Add(int fd, bool want_write, IoCallback callback);
+  Status Mod(int fd, bool want_read, bool want_write);
+  Status Del(int fd);
+
+  /// Schedules `callback` on the loop thread after `delay_micros`.
+  /// Loop thread only (cross-thread: Post a task that schedules).
+  TimerWheel::TimerId ScheduleTimer(int64_t delay_micros,
+                                    std::function<void()> callback);
+  void CancelTimer(TimerWheel::TimerId id);
+
+  /// Enqueues `task` to run on the loop thread. Safe from any thread; the
+  /// only cross-thread entry point.
+  void Post(Task task) FVAE_EXCLUDES(post_mutex_);
+
+  /// Runs the reactor until Stop(). Call from exactly one thread.
+  void Run();
+
+  /// Requests Run() to return after the current dispatch round. Safe from
+  /// any thread.
+  void Stop();
+
+  /// True when called from inside a callback on the running loop thread.
+  bool InLoopThread() const;
+
+ private:
+  void DrainPosted() FVAE_EXCLUDES(post_mutex_);
+  void WakeUp();
+
+  Status init_status_;
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd; EPOLLIN on it means posted tasks are pending.
+  TimerWheel timers_;
+  std::unordered_map<int, IoCallback> callbacks_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> loop_thread_id_{0};  // 0 = not running.
+
+  Mutex post_mutex_;
+  std::deque<Task> posted_ FVAE_GUARDED_BY(post_mutex_);
+};
+
+}  // namespace fvae::net
+
+#endif  // FVAE_NET_EPOLL_LOOP_H_

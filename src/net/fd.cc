@@ -1,0 +1,226 @@
+#include "net/fd.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace fvae::net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IoError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::Ok();
+}
+
+/// Remaining poll budget in whole milliseconds, rounded up so a deadline a
+/// few microseconds away still polls once instead of spinning.
+int PollBudgetMs(int64_t deadline_micros) {
+  if (deadline_micros == 0) return -1;  // Block indefinitely.
+  const int64_t left = deadline_micros - MonotonicMicros();
+  if (left <= 0) return 0;
+  return static_cast<int>((left + 999) / 1000);
+}
+
+}  // namespace
+
+void Fd::Reset(int fd) {
+  if (fd_ >= 0) {
+    // The single sanctioned close in the codebase: fvae_lint routes every
+    // other subsystem through this wrapper.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Result<Fd> TcpListen(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Status::IoError(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IoError(Errno("listen"));
+  }
+  return fd;
+}
+
+Result<Fd> Accept(const Fd& listener) {
+  for (;;) {
+    Fd conn(::accept4(listener.get(), nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (conn.valid()) {
+      FVAE_RETURN_IF_ERROR(SetNoDelay(conn.get()));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no pending connection");
+    }
+    return Status::IoError(Errno("accept4"));
+  }
+}
+
+Result<Fd> TcpConnect(uint16_t port, int timeout_ms) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  FVAE_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(Errno("connect"));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    for (;;) {
+      const int n = ::poll(&pfd, 1, timeout_ms);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) return Status::IoError(Errno("poll"));
+      if (n == 0) return Status::Unavailable("connect timed out");
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::IoError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  // Flip back to blocking: RpcChannel callers do blocking round-trips with
+  // explicit poll deadlines.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return Status::IoError(Errno("fcntl(~O_NONBLOCK)"));
+  }
+  FVAE_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Result<uint16_t> EndpointPort(const std::string& endpoint) {
+  const std::vector<std::string> parts = Split(endpoint, ':');
+  if (parts.size() != 2 ||
+      (parts[0] != "127.0.0.1" && parts[0] != "localhost")) {
+    return Status::InvalidArgument("endpoint must be 127.0.0.1:<port>, got " +
+                                   endpoint);
+  }
+  const Result<int64_t> port = ParseInt64(parts[1]);
+  if (!port.ok() || *port <= 0 || *port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint " + endpoint);
+  }
+  return static_cast<uint16_t>(*port);
+}
+
+Result<Fd> ConnectEndpoint(const std::string& endpoint, int timeout_ms) {
+  FVAE_ASSIGN_OR_RETURN(const uint16_t port, EndpointPort(endpoint));
+  return TcpConnect(port, timeout_ms);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::Ok();
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IoError(Errno("getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SendAll(int fd, const void* data, size_t size,
+               int64_t deadline_micros) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int budget = PollBudgetMs(deadline_micros);
+      if (budget == 0) return Status::Unavailable("send deadline exceeded");
+      const int rc = ::poll(&pfd, 1, budget);
+      if (rc < 0 && errno != EINTR) return Status::IoError(Errno("poll"));
+      if (rc == 0) return Status::Unavailable("send deadline exceeded");
+      continue;
+    }
+    return Status::IoError(Errno("send"));
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, void* data, size_t size, int64_t deadline_micros) {
+  char* p = static_cast<char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    FVAE_RETURN_IF_ERROR(WaitReadable(fd, deadline_micros));
+    const ssize_t n = ::recv(fd, p, left, 0);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::IoError("connection closed by peer");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IoError(Errno("recv"));
+  }
+  return Status::Ok();
+}
+
+Status WaitReadable(int fd, int64_t deadline_micros) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int budget = PollBudgetMs(deadline_micros);
+    if (budget == 0) return Status::Unavailable("recv deadline exceeded");
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) return Status::IoError(Errno("poll"));
+    if (rc == 0) return Status::Unavailable("recv deadline exceeded");
+    return Status::Ok();
+  }
+}
+
+}  // namespace fvae::net

@@ -1,0 +1,97 @@
+#ifndef FVAE_NET_FD_H_
+#define FVAE_NET_FD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fvae::net {
+
+/// RAII owner of a POSIX file descriptor.
+///
+/// Every descriptor in the networking subsystem lives in one of these:
+/// fvae_lint's `raw-socket` rule bans bare `socket(` / `accept(` /
+/// `close(` calls outside `src/net/`, so a descriptor can never leak
+/// through an early return and can never be double-closed. Move-only;
+/// destruction closes.
+class Fd {
+ public:
+  Fd() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking IPv4 listening socket bound to 127.0.0.1:`port`
+/// (`port` 0 picks an ephemeral port — read it back with LocalPort).
+/// SO_REUSEADDR is set so restarts do not trip over TIME_WAIT.
+Result<Fd> TcpListen(uint16_t port, int backlog = 128);
+
+/// Accepts one pending connection from a listening socket, non-blocking
+/// and TCP_NODELAY already applied. kUnavailable when no connection is
+/// pending (EAGAIN) — callers in an epoll loop just wait for the next
+/// EPOLLIN.
+Result<Fd> Accept(const Fd& listener);
+
+/// Blocking connect to 127.0.0.1:`port` with a timeout; the returned
+/// socket is in blocking mode with TCP_NODELAY set.
+Result<Fd> TcpConnect(uint16_t port, int timeout_ms = 1000);
+
+/// Parses "host:port" (host must be 127.0.0.1 or localhost — the serving
+/// tier is fronted by a local proxy in this reproduction) and connects.
+Result<Fd> ConnectEndpoint(const std::string& endpoint, int timeout_ms = 1000);
+
+/// Splits "host:port" into its port. kInvalidArgument on malformed input.
+Result<uint16_t> EndpointPort(const std::string& endpoint);
+
+/// Marks `fd` non-blocking.
+Status SetNonBlocking(int fd);
+
+/// The locally bound port of a socket (after TcpListen with port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Sends the full buffer on a blocking socket, retrying short writes and
+/// EINTR; MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE. Fails with
+/// kUnavailable once `deadline_micros` (MonotonicMicros scale; 0 = none)
+/// passes.
+Status SendAll(int fd, const void* data, size_t size,
+               int64_t deadline_micros = 0);
+
+/// Receives exactly `size` bytes on a blocking socket, polling against the
+/// deadline. kUnavailable on timeout, kIoError on EOF/reset.
+Status RecvAll(int fd, void* data, size_t size, int64_t deadline_micros = 0);
+
+/// Polls `fd` for readability until `deadline_micros`. Ok when readable,
+/// kUnavailable on timeout, kIoError on poll failure.
+Status WaitReadable(int fd, int64_t deadline_micros);
+
+}  // namespace fvae::net
+
+#endif  // FVAE_NET_FD_H_

@@ -1,0 +1,347 @@
+#include "net/shard_router.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace fvae::net {
+namespace {
+
+/// FNV-1a over arbitrary bytes — ring placement and key hashing. Not
+/// cryptographic; only uniformity matters here.
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer. FNV-1a's high bits avalanche poorly on short
+/// inputs (sequential user ids, near-identical endpoint strings), and ring
+/// placement compares full 64-bit values — without this the vnodes of one
+/// endpoint cluster and its arc share collapses.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t HashKey(uint64_t user_id) {
+  return Mix64(Fnv1a(&user_id, sizeof(user_id)));
+}
+
+/// A wire-level error status (the shard answered with an error frame) is
+/// successful transport: the shard is alive and the channel stream is
+/// intact. Only transport errors should feed the breaker.
+bool IsWireLevelError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInvalidArgument:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ShardRouterClient::ShardRouterClient(std::vector<std::string> endpoints,
+                                     ShardRouterOptions options,
+                                     obs::MetricsRegistry* registry)
+    : options_(options), metrics_(endpoints.size(), registry) {
+  FVAE_CHECK(!endpoints.empty()) << "router needs at least one endpoint";
+  options_.virtual_nodes = std::max<size_t>(options_.virtual_nodes, 1);
+  shards_.reserve(endpoints.size());
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(endpoints[i]));
+    for (size_t v = 0; v < options_.virtual_nodes; ++v) {
+      uint64_t h = Fnv1a(endpoints[i].data(), endpoints[i].size());
+      h = Fnv1a(&v, sizeof(v), h);
+      ring_.emplace_back(Mix64(h), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  if (options_.enable_health_checks) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+}
+
+ShardRouterClient::~ShardRouterClient() {
+  stopping_.store(true, std::memory_order_release);
+  health_cv_.NotifyAll();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+size_t ShardRouterClient::OwnerOf(uint64_t user_id) const {
+  const uint64_t h = HashKey(user_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+std::vector<size_t> ShardRouterClient::CandidatesFor(uint64_t user_id) const {
+  const uint64_t h = HashKey(user_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, size_t{0}));
+  std::vector<size_t> candidates;
+  candidates.reserve(shards_.size());
+  for (size_t step = 0; step < ring_.size() && candidates.size() < shards_.size();
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const size_t shard = it->second;
+    if (std::find(candidates.begin(), candidates.end(), shard) ==
+        candidates.end()) {
+      candidates.push_back(shard);
+    }
+    ++it;
+  }
+  return candidates;
+}
+
+bool ShardRouterClient::BreakerOpen(size_t shard) const {
+  return shards_[shard]->open_until_us.load(std::memory_order_relaxed) >
+         MonotonicMicros();
+}
+
+int64_t ShardRouterClient::HedgeDelayMicros() const {
+  const LatencyHistogram& latency = metrics_.call_latency_us();
+  if (latency.Count() < options_.hedge_min_samples) {
+    return options_.hedge_max_delay_micros;
+  }
+  const int64_t p99 = static_cast<int64_t>(latency.Percentile(99.0));
+  return std::clamp(p99, options_.hedge_min_delay_micros,
+                    options_.hedge_max_delay_micros);
+}
+
+void ShardRouterClient::RecordSuccess(size_t shard) {
+  Shard& s = *shards_[shard];
+  s.consecutive_failures.store(0, std::memory_order_relaxed);
+  s.open_until_us.store(0, std::memory_order_relaxed);
+}
+
+void ShardRouterClient::RecordFailure(size_t shard) {
+  Shard& s = *shards_[shard];
+  metrics_.shard_errors(shard).Increment();
+  const uint32_t failures =
+      s.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.breaker_failure_threshold) {
+    const int64_t now = MonotonicMicros();
+    const int64_t previous = s.open_until_us.exchange(
+        now + options_.breaker_open_micros, std::memory_order_relaxed);
+    // Count only the closed -> open transition, not re-trips while open.
+    if (previous <= now) metrics_.breaker_trips.Increment();
+  }
+}
+
+Result<Frame> ShardRouterClient::CallWithHedge(
+    size_t primary, int hedge_shard, Verb verb,
+    const std::vector<uint8_t>& payload, int64_t deadline_micros) {
+  metrics_.shard_requests(primary).Increment();
+  // Connect and send failures count toward the breaker like read failures —
+  // connection-refused is the clearest shard-down signal there is.
+  Result<std::unique_ptr<RpcChannel>> acquired =
+      shards_[primary]->pool.Acquire(options_.connect_timeout_ms);
+  if (!acquired.ok()) {
+    RecordFailure(primary);
+    return acquired.status();
+  }
+  std::unique_ptr<RpcChannel> channel = std::move(*acquired);
+  Result<uint64_t> tag = channel->SendRequest(verb, payload, deadline_micros);
+  if (!tag.ok()) {  // Channel discarded (send failed).
+    RecordFailure(primary);
+    return tag.status();
+  }
+
+  const bool may_hedge = options_.enable_hedging && hedge_shard >= 0;
+  if (may_hedge) {
+    const int64_t hedge_at =
+        std::min(MonotonicMicros() + HedgeDelayMicros(), deadline_micros);
+    const Status readable = WaitReadable(channel->fd(), hedge_at);
+    if (!readable.ok() &&
+        readable.code() == StatusCode::kUnavailable &&
+        MonotonicMicros() < deadline_micros) {
+      // Primary is slow, not dead: duplicate to the hedge target and let
+      // the first responder win.
+      metrics_.hedges.Increment();
+      metrics_.shard_requests(static_cast<size_t>(hedge_shard)).Increment();
+      auto hedge_channel =
+          shards_[static_cast<size_t>(hedge_shard)]->pool.Acquire(
+              options_.connect_timeout_ms);
+      if (hedge_channel.ok()) {
+        Result<uint64_t> hedge_tag =
+            (*hedge_channel)->SendRequest(verb, payload, deadline_micros);
+        if (hedge_tag.ok()) {
+          // Poll both arms for the first response.
+          pollfd fds[2] = {{channel->fd(), POLLIN, 0},
+                           {(*hedge_channel)->fd(), POLLIN, 0}};
+          while (MonotonicMicros() < deadline_micros) {
+            const int budget_ms = static_cast<int>(
+                (deadline_micros - MonotonicMicros() + 999) / 1000);
+            const int n = ::poll(fds, 2, std::max(budget_ms, 1));
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) break;
+            if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+              Result<Frame> frame =
+                  channel->ReadResponse(*tag, deadline_micros);
+              if (frame.ok() || IsWireLevelError(frame.status())) {
+                RecordSuccess(primary);
+                shards_[primary]->pool.Release(std::move(channel));
+                // Hedge arm abandoned: its channel (with a response still
+                // in flight) is discarded, not pooled.
+                if (frame.ok()) return frame;
+                return frame.status();
+              }
+              RecordFailure(primary);
+              // Primary arm is dead; fall through to waiting on the hedge.
+              fds[0].fd = -1;  // poll ignores negative fds
+              continue;
+            }
+            if (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) {
+              Result<Frame> frame = (*hedge_channel)
+                                        ->ReadResponse(*hedge_tag,
+                                                       deadline_micros);
+              if (frame.ok() || IsWireLevelError(frame.status())) {
+                metrics_.hedge_wins.Increment();
+                RecordSuccess(static_cast<size_t>(hedge_shard));
+                shards_[static_cast<size_t>(hedge_shard)]->pool.Release(
+                    std::move(*hedge_channel));
+                if (frame.ok()) return frame;
+                return frame.status();
+              }
+              RecordFailure(static_cast<size_t>(hedge_shard));
+              fds[1].fd = -1;
+              continue;
+            }
+          }
+          return Status::Unavailable("hedged call deadline exceeded");
+        }
+        RecordFailure(static_cast<size_t>(hedge_shard));
+      } else {
+        RecordFailure(static_cast<size_t>(hedge_shard));
+      }
+      // Hedge arm unusable: fall back to waiting out the primary alone.
+    } else if (!readable.ok() &&
+               readable.code() != StatusCode::kUnavailable) {
+      RecordFailure(primary);
+      return readable;
+    }
+  }
+
+  Result<Frame> frame = channel->ReadResponse(*tag, deadline_micros);
+  if (frame.ok() || IsWireLevelError(frame.status())) {
+    RecordSuccess(primary);
+    shards_[primary]->pool.Release(std::move(channel));
+    return frame;
+  }
+  RecordFailure(primary);
+  return frame;
+}
+
+Result<std::vector<float>> ShardRouterClient::RoutedCall(
+    uint64_t user_id, Verb verb, const std::vector<uint8_t>& payload) {
+  metrics_.requests.Increment();
+  const int64_t start = MonotonicMicros();
+  const int64_t deadline = start + options_.call_deadline_micros;
+
+  // Breaker-closed candidates first; open ones kept as a last resort so a
+  // fully-tripped fleet still gets tried rather than failing fast forever.
+  const std::vector<size_t> ring_order = CandidatesFor(user_id);
+  std::vector<size_t> order;
+  order.reserve(ring_order.size());
+  for (size_t shard : ring_order) {
+    if (!BreakerOpen(shard)) order.push_back(shard);
+  }
+  for (size_t shard : ring_order) {
+    if (BreakerOpen(shard)) order.push_back(shard);
+  }
+
+  Status last_error = Status::Unavailable("no shards attempted");
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (MonotonicMicros() >= deadline) break;
+    if (i > 0) metrics_.failovers.Increment();
+    const int hedge_shard =
+        i + 1 < order.size() ? static_cast<int>(order[i + 1]) : -1;
+    Result<Frame> frame =
+        CallWithHedge(order[i], hedge_shard, verb, payload, deadline);
+    if (frame.ok()) {
+      metrics_.call_latency_us().Record(
+          static_cast<double>(MonotonicMicros() - start));
+      return DecodeEmbeddingResponse(frame->payload.data(),
+                                     frame->payload.size());
+    }
+    // A wire-level error status (kNotFound, ...) proves the shard is alive:
+    // surface it to the caller instead of walking further.
+    const StatusCode code = frame.status().code();
+    if (code == StatusCode::kNotFound ||
+        code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kResourceExhausted ||
+        code == StatusCode::kInvalidArgument) {
+      metrics_.call_latency_us().Record(
+          static_cast<double>(MonotonicMicros() - start));
+      return frame.status();
+    }
+    last_error = frame.status();
+  }
+  metrics_.failures.Increment();
+  return last_error;
+}
+
+Result<std::vector<float>> ShardRouterClient::Lookup(uint64_t user_id) {
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, user_id);
+  return RoutedCall(user_id, Verb::kLookup, payload);
+}
+
+Result<std::vector<float>> ShardRouterClient::EncodeFoldIn(
+    uint64_t user_id, const core::RawUserFeatures& features) {
+  std::vector<uint8_t> payload;
+  EncodeFoldInRequest(payload, user_id, features);
+  return RoutedCall(user_id, Verb::kEncodeFoldIn, payload);
+}
+
+void ShardRouterClient::HealthLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      metrics_.health_probes.Increment();
+      Result<std::unique_ptr<RpcChannel>> channel =
+          shards_[i]->pool.Acquire(options_.connect_timeout_ms);
+      if (!channel.ok()) {
+        metrics_.health_failures.Increment();
+        RecordFailure(i);
+        continue;
+      }
+      const Status healthy = (*channel)->Health(
+          MonotonicMicros() + options_.health_period_micros);
+      if (healthy.ok()) {
+        RecordSuccess(i);  // A passing probe closes the breaker early.
+        shards_[i]->pool.Release(std::move(*channel));
+      } else {
+        metrics_.health_failures.Increment();
+        RecordFailure(i);
+      }
+    }
+    MutexLock lock(health_mutex_);
+    // Timeout and shutdown wakeup are equally fine; the loop re-checks
+    // stop_health_ either way.
+    (void)health_cv_.WaitUntil(
+        health_mutex_,
+        std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.health_period_micros));
+  }
+}
+
+}  // namespace fvae::net

@@ -1,0 +1,99 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fvae::net {
+
+TimerWheel::TimerId TimerWheel::Schedule(int64_t now_micros,
+                                         int64_t delay_micros,
+                                         std::function<void()> callback) {
+  if (!started_) {
+    last_tick_ = now_micros / tick_micros_;
+    started_ = true;
+  }
+  if (delay_micros < 0) delay_micros = 0;
+  // Round the due time up so a timer never fires a tick early.
+  const int64_t due_tick =
+      (now_micros + delay_micros + tick_micros_ - 1) / tick_micros_;
+  // At least one tick out: a delay shorter than the resolution still waits
+  // for the next sweep instead of firing inside Schedule.
+  const int64_t ticks_ahead = std::max<int64_t>(1, due_tick - last_tick_);
+  const size_t slot =
+      (cursor_ + static_cast<size_t>(ticks_ahead)) % slots_.size();
+  Entry entry;
+  entry.id = next_id_++;
+  entry.rotations =
+      static_cast<uint32_t>((ticks_ahead - 1) / slots_.size());
+  entry.callback = std::move(callback);
+  const TimerId id = entry.id;
+  slots_[slot].push_back(std::move(entry));
+  ++pending_;
+  return id;
+}
+
+void TimerWheel::Cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  for (auto& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --pending_;
+        return;
+      }
+    }
+  }
+}
+
+void TimerWheel::Advance(int64_t now_micros) {
+  if (!started_) return;
+  const int64_t now_tick = now_micros / tick_micros_;
+  // Cap the sweep at one full rotation: after a long stall every slot has
+  // been visited once and every due timer (rotations already decremented
+  // the previous pass at most once — acceptable coarse behavior) fired.
+  int64_t steps = now_tick - last_tick_;
+  if (steps <= 0) return;
+  steps = std::min<int64_t>(steps, static_cast<int64_t>(slots_.size()));
+  for (int64_t s = 0; s < steps; ++s) {
+    cursor_ = (cursor_ + 1) % slots_.size();
+    std::list<Entry> due;
+    auto& slot = slots_[cursor_];
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->rotations == 0) {
+        auto next = std::next(it);
+        due.splice(due.end(), slot, it);
+        it = next;
+      } else {
+        --it->rotations;
+        ++it;
+      }
+    }
+    pending_ -= due.size();
+    for (Entry& entry : due) {
+      // Callback may call Schedule/Cancel on this wheel; `due` is already
+      // detached so iteration stays valid.
+      entry.callback();
+    }
+  }
+  last_tick_ = now_tick;
+}
+
+int64_t TimerWheel::MicrosToNext(int64_t now_micros, int64_t fallback) const {
+  if (pending_ == 0) return fallback;
+  for (size_t ahead = 1; ahead <= slots_.size(); ++ahead) {
+    const size_t slot = (cursor_ + ahead) % slots_.size();
+    for (const Entry& entry : slots_[slot]) {
+      if (entry.rotations == 0) {
+        const int64_t due =
+            (last_tick_ + static_cast<int64_t>(ahead)) * tick_micros_;
+        return std::max<int64_t>(0, due - now_micros);
+      }
+    }
+  }
+  // Only multi-rotation timers pending: wake once per rotation.
+  return static_cast<int64_t>(slots_.size()) * tick_micros_;
+}
+
+}  // namespace fvae::net

@@ -1,0 +1,63 @@
+#ifndef FVAE_NET_TIMER_WHEEL_H_
+#define FVAE_NET_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+namespace fvae::net {
+
+/// Hashed timer wheel for coarse connection timeouts (idle kicks, health
+/// probes, hedge delays). Single-threaded by design: it is owned by one
+/// EpollLoop and only touched from that loop's thread, so it needs no lock.
+///
+/// Resolution is one tick (default 10 ms) — connection timeouts are
+/// hundreds of milliseconds, so coarse buckets beat a balanced tree on both
+/// insert cost and cache behavior. Timers far beyond one rotation carry a
+/// remaining-rotations count, seastar-style.
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  explicit TimerWheel(int64_t tick_micros = 10'000, size_t num_slots = 256)
+      : tick_micros_(tick_micros), slots_(num_slots) {}
+
+  /// Schedules `callback` to fire `delay_micros` from `now_micros`
+  /// (MonotonicMicros scale). Returns an id usable with Cancel.
+  TimerId Schedule(int64_t now_micros, int64_t delay_micros,
+                   std::function<void()> callback);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void Cancel(TimerId id);
+
+  /// Fires every timer that came due by `now_micros`. Callbacks run inline
+  /// on the caller's (= loop) thread and may schedule new timers.
+  void Advance(int64_t now_micros);
+
+  /// Micros until the next pending timer fires, or `fallback` when empty —
+  /// the epoll_wait timeout hint.
+  int64_t MicrosToNext(int64_t now_micros, int64_t fallback) const;
+
+  size_t pending() const { return pending_; }
+
+ private:
+  struct Entry {
+    TimerId id = kInvalidTimer;
+    uint32_t rotations = 0;  // Fire when zero on slot sweep.
+    std::function<void()> callback;
+  };
+
+  int64_t tick_micros_;
+  std::vector<std::list<Entry>> slots_;
+  size_t cursor_ = 0;          // Slot the next Advance sweep starts at.
+  int64_t last_tick_ = 0;      // Tick number last fully processed.
+  bool started_ = false;       // last_tick_ is meaningful.
+  TimerId next_id_ = 1;
+  size_t pending_ = 0;
+};
+
+}  // namespace fvae::net
+
+#endif  // FVAE_NET_TIMER_WHEEL_H_

@@ -1,0 +1,142 @@
+#ifndef FVAE_NET_WIRE_H_
+#define FVAE_NET_WIRE_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/fvae_model.h"
+
+namespace fvae::net {
+
+// The wire format is raw little-endian structs; a big-endian host would
+// need byte swaps this codec does not implement.
+static_assert(std::endian::native == std::endian::little,
+              "fvae wire protocol requires a little-endian host");
+
+/// Request verbs. Numeric values are wire contract — append only.
+enum class Verb : uint8_t {
+  kHealth = 0,
+  kLookup = 1,
+  kEncodeFoldIn = 2,
+  kStats = 3,
+};
+
+/// Response status codes on the wire. A transport-level CRC/framing error
+/// never gets a response — the server closes the connection instead.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kDeadlineExceeded = 2,
+  kResourceExhausted = 3,
+  kInvalidArgument = 4,
+  kInternal = 5,
+};
+
+/// Converts a serving-layer Status into its wire code (and back, for client
+/// error reporting).
+WireStatus ToWireStatus(const Status& status);
+Status FromWireStatus(WireStatus code, const std::string& message);
+
+inline constexpr uint32_t kFrameMagic = 0x50525646;  // "FVRP" little-endian.
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Hard payload ceiling: a fold-in request for even a pathological user fits
+/// in well under 16 MiB, so anything bigger is a corrupt or hostile length
+/// prefix and the connection is dropped before allocating.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;
+
+inline constexpr uint8_t kFlagResponse = 0x01;
+
+/// Fixed 24-byte frame header. `length` counts payload bytes only; `crc`
+/// covers payload bytes only (header corruption is caught by the magic /
+/// version / length sanity checks).
+struct FrameHeader {
+  uint32_t magic = kFrameMagic;
+  uint8_t version = kProtocolVersion;
+  uint8_t verb = 0;
+  uint8_t status = 0;  // WireStatus; meaningful on responses.
+  uint8_t flags = 0;
+  uint64_t tag = 0;  // Echoed verbatim: matches responses to requests.
+  uint32_t length = 0;
+  uint32_t crc = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "header layout is wire contract");
+
+inline constexpr size_t kHeaderBytes = sizeof(FrameHeader);
+
+/// A fully parsed inbound frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+/// Validates magic / version / length bounds of a header freshly copied off
+/// the wire. Does NOT check the CRC (the payload has not been read yet).
+Status ValidateHeader(const FrameHeader& header);
+
+/// Checks the payload against the header CRC.
+Status ValidatePayload(const FrameHeader& header, const uint8_t* payload,
+                       size_t size);
+
+/// Appends header + payload to `out` with the CRC computed over `payload`.
+void AppendFrame(std::vector<uint8_t>& out, Verb verb, WireStatus status,
+                 uint8_t flags, uint64_t tag, const uint8_t* payload,
+                 size_t payload_size);
+
+// --- Payload codecs -------------------------------------------------------
+//
+// Lookup request:       u64 user_id
+// EncodeFoldIn request: u64 user_id, u32 num_fields,
+//                       per field: u32 count, count × (u64 id, f32 value)
+// Embedding response:   u32 dim, dim × f32
+// Error response:       UTF-8 message bytes (no terminator)
+// Health / Stats req:   empty
+// Health response:      empty payload, WireStatus::kOk
+// Stats response:       UTF-8 JSON document
+
+void EncodeLookupRequest(std::vector<uint8_t>& out, uint64_t user_id);
+Result<uint64_t> DecodeLookupRequest(const uint8_t* payload, size_t size);
+
+void EncodeFoldInRequest(std::vector<uint8_t>& out, uint64_t user_id,
+                         const core::RawUserFeatures& features);
+struct FoldInRequest {
+  uint64_t user_id = 0;
+  core::RawUserFeatures features;
+};
+Result<FoldInRequest> DecodeFoldInRequest(const uint8_t* payload, size_t size);
+
+void EncodeEmbeddingResponse(std::vector<uint8_t>& out,
+                             const std::vector<float>& embedding);
+Result<std::vector<float>> DecodeEmbeddingResponse(const uint8_t* payload,
+                                                   size_t size);
+
+/// Incremental frame parser: feed bytes as they arrive, pop complete frames.
+/// One instance per connection; headers and payloads that span reads are
+/// buffered internally.
+class FrameParser {
+ public:
+  /// Appends newly received bytes to the parse buffer.
+  void Feed(const uint8_t* data, size_t size);
+
+  /// Extracts the next complete, CRC-valid frame. Returns:
+  ///  - Ok(frame) when a full frame was parsed,
+  ///  - kUnavailable when more bytes are needed (not an error),
+  ///  - kInvalidArgument / kIoError on malformed input — the connection
+  ///    must be closed, the buffer is poisoned.
+  Result<Frame> Next();
+
+  /// Bytes currently buffered (for backpressure accounting and tests).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out as frames.
+};
+
+}  // namespace fvae::net
+
+#endif  // FVAE_NET_WIRE_H_

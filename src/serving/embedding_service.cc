@@ -86,6 +86,41 @@ EmbeddingService::LookupOrEncode(uint64_t user_id,
   return Ready(std::move(row));
 }
 
+void EmbeddingService::LookupOrEncodeAsync(
+    uint64_t user_id, const core::RawUserFeatures& features,
+    uint64_t deadline_micros, RequestBatcher::DoneCallback done) {
+  Stopwatch watch;
+  telemetry_.requests.Increment();
+  if (auto embedding = store_.Get(user_id); embedding.has_value()) {
+    telemetry_.store_hits.Increment();
+    telemetry_.lookup_latency_us().Record(watch.ElapsedSeconds() * 1e6);
+    done(*std::move(embedding));
+    return;
+  }
+  if (encoder_ == nullptr) {
+    telemetry_.not_found.Increment();
+    done(Status::NotFound("user not materialized, no encoder"));
+    return;
+  }
+  if (deadline_micros == 0) deadline_micros = options_.default_deadline_micros;
+
+  if (batcher_ != nullptr) {
+    batcher_->SubmitAsync(user_id, features, deadline_micros,
+                          std::move(done));
+    return;
+  }
+
+  // Synchronous fallback, as in LookupOrEncode.
+  const core::RawUserFeatures* user = &features;
+  const Matrix embedding = encoder_->EncodeBatch({&user, 1});
+  std::vector<float> row(embedding.Row(0),
+                         embedding.Row(0) + embedding.cols());
+  store_.Put(user_id, row);
+  telemetry_.fold_ins.Increment();
+  telemetry_.foldin_latency_us().Record(watch.ElapsedSeconds() * 1e6);
+  done(std::move(row));
+}
+
 std::string EmbeddingService::TelemetryJson() const {
   const auto shards = store_.Stats();
   return telemetry_.ToJson(&shards);

@@ -78,6 +78,16 @@ class EmbeddingService {
       uint64_t user_id, const core::RawUserFeatures& features,
       uint64_t deadline_micros = 0);
 
+  /// Callback flavor of LookupOrEncode for event-loop callers (the net
+  /// RPC server) that must not park a thread on a future. `done` fires
+  /// exactly once: inline on the calling thread for store hits, rejections
+  /// and the synchronous-encode fallback, or on a batcher worker thread
+  /// otherwise — callers needing loop affinity re-post from the callback.
+  void LookupOrEncodeAsync(uint64_t user_id,
+                           const core::RawUserFeatures& features,
+                           uint64_t deadline_micros,
+                           RequestBatcher::DoneCallback done);
+
   const ShardedEmbeddingStore& store() const { return store_; }
   ServingTelemetry& telemetry() { return telemetry_; }
   const ServingTelemetry& telemetry() const { return telemetry_; }

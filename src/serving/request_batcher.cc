@@ -33,6 +33,34 @@ RequestBatcher::~RequestBatcher() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void RequestBatcher::Resolve(Request& request, EmbeddingResult result) {
+  if (request.callback) {
+    request.callback(std::move(result));
+  } else {
+    request.promise.set_value(std::move(result));
+  }
+}
+
+bool RequestBatcher::Enqueue(Request request) {
+  bool accepted = false;
+  {
+    MutexLock lock(mutex_);
+    if (!shutting_down_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(std::move(request));
+      if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    work_available_.NotifyOne();
+    return true;
+  }
+  // Bounced: resolve outside the lock (the callback may re-enter).
+  if (telemetry_ != nullptr) telemetry_->rejected.Increment();
+  Resolve(request, Status::Unavailable("fold-in queue full or shutting down"));
+  return false;
+}
+
 std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
     uint64_t user_id, const core::RawUserFeatures& features,
     uint64_t deadline_micros) {
@@ -45,22 +73,25 @@ std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
                          ? Clock::time_point::max()
                          : now + std::chrono::microseconds(deadline_micros);
   std::future<EmbeddingResult> future = request.promise.get_future();
-
-  {
-    MutexLock lock(mutex_);
-    if (shutting_down_ || queue_.size() >= options_.queue_capacity) {
-      if (telemetry_ != nullptr) {
-        telemetry_->rejected.Increment();
-      }
-      request.promise.set_value(Status::Unavailable(
-          shutting_down_ ? "batcher shutting down" : "fold-in queue full"));
-      return future;
-    }
-    queue_.push_back(std::move(request));
-    if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
-  }
-  work_available_.NotifyOne();
+  Enqueue(std::move(request));
   return future;
+}
+
+void RequestBatcher::SubmitAsync(uint64_t user_id,
+                                 const core::RawUserFeatures& features,
+                                 uint64_t deadline_micros,
+                                 DoneCallback done) {
+  FVAE_CHECK(done) << "SubmitAsync needs a done callback";
+  const auto now = Clock::now();
+  Request request;
+  request.user_id = user_id;
+  request.features = features;
+  request.enqueue_time = now;
+  request.deadline = deadline_micros == 0
+                         ? Clock::time_point::max()
+                         : now + std::chrono::microseconds(deadline_micros);
+  request.callback = std::move(done);
+  Enqueue(std::move(request));
 }
 
 size_t RequestBatcher::QueueDepth() const {
@@ -68,12 +99,21 @@ size_t RequestBatcher::QueueDepth() const {
   return queue_.size();
 }
 
-std::vector<RequestBatcher::Request> RequestBatcher::TakeBatch() {
+std::vector<RequestBatcher::Request> RequestBatcher::TakeBatch(
+    std::vector<Request>* expired) {
   std::vector<Request> batch;
-  const size_t take = std::min(queue_.size(), options_.max_batch_size);
-  batch.reserve(take);
-  for (size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
+  batch.reserve(std::min(queue_.size(), options_.max_batch_size));
+  // Evaluate deadlines against a fresh clock at the dequeue boundary: a
+  // request admitted just under its deadline but dequeued after it resolves
+  // kDeadlineExceeded here instead of burning encoder throughput.
+  const auto now = Clock::now();
+  while (!queue_.empty() && batch.size() < options_.max_batch_size) {
+    Request& front = queue_.front();
+    if (front.deadline < now) {
+      expired->push_back(std::move(front));
+    } else {
+      batch.push_back(std::move(front));
+    }
     queue_.pop_front();
   }
   if (telemetry_ != nullptr) telemetry_->UpdateQueueDepth(queue_.size());
@@ -103,8 +143,17 @@ void RequestBatcher::WorkerLoop() {
       work_available_.WaitUntil(mutex_, window_end);
     }
 
-    std::vector<Request> batch = TakeBatch();
+    std::vector<Request> expired;
+    std::vector<Request> batch = TakeBatch(&expired);
     mutex_.Unlock();
+    for (Request& request : expired) {
+      if (telemetry_ != nullptr) {
+        telemetry_->deadline_expired.Increment();
+        telemetry_->batcher_deadline_expired.Increment();
+      }
+      Resolve(request,
+              Status::DeadlineExceeded("expired in fold-in queue"));
+    }
     ProcessBatch(std::move(batch), &scratch);
     mutex_.Lock();
   }
@@ -122,8 +171,8 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
       if (telemetry_ != nullptr) {
         telemetry_->deadline_expired.Increment();
       }
-      request.promise.set_value(
-          Status::DeadlineExceeded("expired in fold-in queue"));
+      Resolve(request,
+              Status::DeadlineExceeded("expired in fold-in queue"));
     } else {
       live.push_back(std::move(request));  // fvae-lint: allow(hot-alloc)
     }
@@ -155,8 +204,8 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
                                                   live[i].enqueue_time)
             .count();
     if (on_encoded_) on_encoded_(live[i].user_id, embedding, latency_us);
-    live[i].promise.set_value(
-        std::vector<float>(embedding.begin(), embedding.end()));
+    Resolve(live[i],
+            std::vector<float>(embedding.begin(), embedding.end()));
   }
 }
 

@@ -74,6 +74,11 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
+  /// Called exactly once with the request outcome (embedding or error).
+  /// Runs on a batcher worker thread — or inline on the submitting thread
+  /// when the request bounces at admission.
+  using DoneCallback = std::function<void(EmbeddingResult)>;
+
   /// Enqueues one fold-in request. `features` is copied (the caller need
   /// not keep it alive). `deadline_micros` = 0 means no deadline. The
   /// returned future is always valid; overload and expiry surface as error
@@ -81,6 +86,11 @@ class RequestBatcher {
   std::future<EmbeddingResult> Submit(uint64_t user_id,
                                       const core::RawUserFeatures& features,
                                       uint64_t deadline_micros = 0) FVAE_HOT;
+
+  /// Callback flavor of Submit for event-loop callers (the RPC server)
+  /// that must not block a thread on a future. `done` must be non-empty.
+  void SubmitAsync(uint64_t user_id, const core::RawUserFeatures& features,
+                   uint64_t deadline_micros, DoneCallback done) FVAE_HOT;
 
   /// Current queue depth (instantaneous).
   size_t QueueDepth() const;
@@ -93,8 +103,18 @@ class RequestBatcher {
     core::RawUserFeatures features;
     Clock::time_point enqueue_time;
     Clock::time_point deadline;  // time_point::max() when unset
+    // Exactly one delivery channel is armed: `callback` when set
+    // (SubmitAsync), otherwise the promise (Submit).
     std::promise<EmbeddingResult> promise;
+    DoneCallback callback;
   };
+
+  /// Delivers the outcome through the request's armed channel.
+  static void Resolve(Request& request, EmbeddingResult result);
+
+  /// Shared enqueue path; returns false when bounced at admission (the
+  /// request was already resolved with the rejection status).
+  bool Enqueue(Request request) FVAE_EXCLUDES(mutex_);
 
   /// Per-worker reusable buffers: once warmed to the high-water batch
   /// shape, a dispatch allocates only the per-request result vectors the
@@ -106,9 +126,13 @@ class RequestBatcher {
   };
 
   void WorkerLoop() FVAE_EXCLUDES(mutex_);
-  /// Takes up to max_batch_size requests off the queue front. Caller holds
-  /// the queue lock; returns an empty batch when the queue is empty.
-  std::vector<Request> TakeBatch() FVAE_REQUIRES(mutex_);
+  /// Takes up to max_batch_size live requests off the queue front. Requests
+  /// whose deadline passed while queued are moved to `expired` instead —
+  /// they never consume a batch slot, so a burst of stale work cannot
+  /// starve live requests of encoder throughput. Caller holds the queue
+  /// lock and resolves `expired` after releasing it.
+  std::vector<Request> TakeBatch(std::vector<Request>* expired)
+      FVAE_REQUIRES(mutex_);
   void ProcessBatch(std::vector<Request> batch, BatchScratch* scratch)
       FVAE_EXCLUDES(mutex_) FVAE_HOT;
 

@@ -14,6 +14,8 @@ ServingTelemetry::ServingTelemetry(obs::MetricsRegistry* registry)
       fold_ins(registry_->Counter("serving.fold_ins")),
       rejected(registry_->Counter("serving.rejected")),
       deadline_expired(registry_->Counter("serving.deadline_expired")),
+      batcher_deadline_expired(
+          registry_->Counter("serving.batcher.deadline_expired")),
       not_found(registry_->Counter("serving.not_found")),
       batches(registry_->Counter("serving.batches")),
       batched_users(registry_->Counter("serving.batched_users")),
@@ -30,7 +32,8 @@ std::string ServingTelemetry::ToJson(
       buf, sizeof(buf),
       "{\"elapsed_s\":%.3f,\"qps\":%.1f,"
       "\"requests\":%llu,\"store_hits\":%llu,\"fold_ins\":%llu,"
-      "\"rejected\":%llu,\"deadline_expired\":%llu,\"not_found\":%llu,"
+      "\"rejected\":%llu,\"deadline_expired\":%llu,"
+      "\"batcher_deadline_expired\":%llu,\"not_found\":%llu,"
       "\"queue_depth\":%zu,\"queue_peak\":%zu,"
       "\"batches\":%llu,\"mean_batch_size\":%.2f",
       ElapsedSeconds(), Qps(),
@@ -39,6 +42,7 @@ std::string ServingTelemetry::ToJson(
       static_cast<unsigned long long>(fold_ins.Value()),
       static_cast<unsigned long long>(rejected.Value()),
       static_cast<unsigned long long>(deadline_expired.Value()),
+      static_cast<unsigned long long>(batcher_deadline_expired.Value()),
       static_cast<unsigned long long>(not_found.Value()), queue_depth(),
       queue_peak(), static_cast<unsigned long long>(batches.Value()),
       MeanBatchSize());

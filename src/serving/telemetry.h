@@ -59,6 +59,11 @@ class ServingTelemetry {
   obs::Counter& rejected;
   /// Dropped in-queue because the per-request deadline expired.
   obs::Counter& deadline_expired;
+  /// Subset of deadline_expired caught at the batcher's dequeue boundary:
+  /// admitted under deadline, expired by the time the batch was taken.
+  /// These never consume a batch slot. Not part of the outcome invariant
+  /// (each is also counted in deadline_expired).
+  obs::Counter& batcher_deadline_expired;
   /// No embedding and no feature vector to fold in.
   obs::Counter& not_found;
 

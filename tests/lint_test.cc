@@ -74,6 +74,39 @@ TEST(LintDiscardedStatusTest, WrappedContinuationLineStaysSilent) {
   EXPECT_FALSE(HasRule(findings, "discarded-status"));
 }
 
+TEST(LintDiscardedStatusTest, AssignmentContinuationLineStaysSilent) {
+  // When a wrapped assignment's call sits alone on the second line, that
+  // line has balanced parens and no '=' — only the statement-start check
+  // keeps it silent.
+  const auto findings = Lint(
+      "Result<std::vector<float>> Decode(const char* p);\n"
+      "void f(const char* p) {\n"
+      "  Result<std::vector<float>> decoded =\n"
+      "      Decode(p);\n"
+      "  (void)decoded;\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "discarded-status"));
+}
+
+TEST(LintDiscardedStatusTest, AmbiguousNamesReachTheNonStatusSet) {
+  // Cross-TU matching is by bare name; a name declared fallible in one
+  // file and void in another lands in both sets, and the tree walk drops
+  // it from the fallible set (obs::Counter::Add vs net::EpollLoop::Add).
+  std::set<std::string> status, other;
+  CollectStatusFunctions("Status Add(int fd);\n", &status, &other);
+  CollectStatusFunctions(
+      "class Counter {\n"
+      " public:\n"
+      "  void Add(uint64_t delta);\n"
+      "};\n"
+      "void g() { return Touch(1); }\n",
+      &status, &other);
+  EXPECT_EQ(status.count("Add"), 1u);
+  EXPECT_EQ(other.count("Add"), 1u);
+  // `return Touch(1);` is a call, not a declaration.
+  EXPECT_EQ(other.count("Touch"), 0u);
+}
+
 // ---------- void-needs-reason ----------
 
 TEST(LintVoidDiscardTest, JustifiedDiscardStaysSilent) {
@@ -134,6 +167,43 @@ TEST(LintRawMutexTest, MutexHeaderItselfIsAllowed) {
 TEST(LintRawMutexTest, SuppressionCommentWorks) {
   const auto findings =
       Lint("std::mutex mu_;  // fvae-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- raw-socket ----------
+
+TEST(LintRawSocketTest, BareAndGlobalQualifiedCallsFire) {
+  for (const char* expr :
+       {"int fd = socket(AF_INET, SOCK_STREAM, 0);",
+        "int fd = ::socket(AF_INET, SOCK_STREAM, 0);", "close(fd);",
+        "::close(fd);", "int conn = accept(listener, nullptr, nullptr);",
+        "int conn = ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK);"}) {
+    const auto findings = Lint(std::string("  ") + expr + "\n");
+    EXPECT_TRUE(HasRule(findings, "raw-socket")) << expr;
+  }
+}
+
+TEST(LintRawSocketTest, MemberCallsAndWrapperStaySilent) {
+  const auto findings = Lint(
+      "  file.close();\n"
+      "  stream->close();\n"
+      "  out_.close();\n"
+      "  Fd fd = std::move(other);\n"
+      "  fd.Reset();\n"
+      "  posix::close(fd);\n");
+  EXPECT_FALSE(HasRule(findings, "raw-socket"));
+}
+
+TEST(LintRawSocketTest, NetModuleIsAllowed) {
+  LintOptions options;
+  options.allow_raw_sockets = true;
+  const auto findings = Lint("  ::close(fd_);\n", options);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRawSocketTest, SuppressionCommentWorks) {
+  const auto findings =
+      Lint("  ::close(fd);  // fvae-lint: allow(raw-socket)\n");
   EXPECT_TRUE(findings.empty());
 }
 

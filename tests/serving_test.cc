@@ -822,7 +822,62 @@ TEST(RequestBatcherTest, ExpiredDeadlineSkipsEncoding) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(telemetry.deadline_expired.Value(), 1u);
+  // The request was admitted live and expired while queued, so it was
+  // caught at the dequeue boundary — the batcher-specific counter must see
+  // it too (it is a subset of deadline_expired).
+  EXPECT_EQ(telemetry.batcher_deadline_expired.Value(), 1u);
   EXPECT_EQ(encoder.users_encoded.load(), 1u);  // only the warm request
+}
+
+TEST(RequestBatcherTest, SubmitAsyncDeliversViaCallback) {
+  FakeEncoder encoder(3);
+  RequestBatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_wait_micros = 500;
+  ServingTelemetry telemetry;
+  RequestBatcher batcher(&encoder, options, &telemetry);
+
+  std::promise<RequestBatcher::EmbeddingResult> delivered;
+  batcher.SubmitAsync(7, RawUser(42), /*deadline_micros=*/0,
+                      [&](RequestBatcher::EmbeddingResult result) {
+                        delivered.set_value(std::move(result));
+                      });
+  auto result = delivered.get_future().get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_FLOAT_EQ((*result)[0], 42.0f);
+}
+
+TEST(RequestBatcherTest, SubmitAsyncExpiredDeadlineResolvesCallback) {
+  FakeEncoder encoder(2);
+  encoder.EnableGate();
+  RequestBatcherOptions options;
+  options.max_batch_size = 1;
+  options.max_wait_micros = 0;
+  ServingTelemetry telemetry;
+  RequestBatcher batcher(&encoder, options, &telemetry);
+
+  // Same dequeue-boundary setup as ExpiredDeadlineSkipsEncoding, but the
+  // doomed request is callback-flavored: admitted just under its deadline,
+  // dequeued after it, it must resolve kDeadlineExceeded through the
+  // callback — never silently encode.
+  auto warm = batcher.Submit(0, RawUser(0));
+  while (!encoder.entered.load()) std::this_thread::yield();
+
+  std::promise<RequestBatcher::EmbeddingResult> delivered;
+  batcher.SubmitAsync(1, RawUser(1), /*deadline_micros=*/1000,
+                      [&](RequestBatcher::EmbeddingResult result) {
+                        delivered.set_value(std::move(result));
+                      });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  encoder.gate.release(64);
+
+  ASSERT_TRUE(warm.get().ok());
+  auto result = delivered.get_future().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(telemetry.batcher_deadline_expired.Value(), 1u);
+  EXPECT_EQ(encoder.users_encoded.load(), 1u);
 }
 
 TEST(RequestBatcherTest, DestructorDrainsQueue) {

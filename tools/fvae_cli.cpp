@@ -18,12 +18,18 @@
 // Every command prints a short report to stdout; errors go to stderr with a
 // non-zero exit code.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -37,6 +43,8 @@
 #include "datagen/profile_generator.h"
 #include "eval/representation_model.h"
 #include "eval/tasks.h"
+#include "net/rpc_server.h"
+#include "net/shard_router.h"
 #include "obs/metrics_registry.h"
 #include "obs/periodic_dumper.h"
 #include "obs/trace.h"
@@ -424,6 +432,135 @@ int CmdServeBench(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+/// `fvae serve` — stand up the epoll RPC front-end over an
+/// EmbeddingService built from --data/--model, then block until
+/// SIGINT/SIGTERM. The first stdout line reports the bound port and pid so
+/// scripts (the CI loopback smoke job) can scrape them.
+int CmdServe(const Args& args) {
+  auto data = LoadData(args.Get("data", "data.bin"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto model = core::LoadFieldVae(args.Get("model", "model.bin"));
+  if (!model.ok()) return Fail(model.status().ToString());
+
+  ObsSession obs_session(args);
+  serving::EmbeddingServiceOptions options;
+  options.metrics_registry = &obs::MetricsRegistry::Global();
+  options.num_shards = size_t(args.GetInt("shards", 16));
+  options.enable_batcher = args.GetInt("batcher", 1) != 0;
+  options.batcher.max_batch_size = size_t(args.GetInt("batch", 8));
+  options.batcher.max_wait_micros = uint64_t(args.GetInt("wait-us", 100));
+  options.batcher.queue_capacity = size_t(args.GetInt("queue", 8192));
+  options.default_deadline_micros = uint64_t(args.GetInt("deadline-us", 0));
+
+  // Default: materialize every user, so any shard replica can answer any
+  // key — the failover path then keeps full coverage when a peer dies.
+  const double hot_frac = args.GetDouble("hot-frac", 1.0);
+  const size_t num_hot = std::max<size_t>(
+      1, std::min(data->num_users(), size_t(hot_frac * data->num_users())));
+  std::vector<uint32_t> hot_ids(num_hot);
+  std::iota(hot_ids.begin(), hot_ids.end(), 0u);
+
+  serving::FvaeFoldInEncoder encoder(model->get());
+  serving::EmbeddingService service(
+      serving::MaterializeEmbeddings(**model, *data, hot_ids,
+                                     options.num_shards),
+      &encoder, options);
+
+  net::RpcServerOptions server_options;
+  server_options.port = uint16_t(args.GetInt("port", 7070));
+  server_options.num_workers = size_t(args.GetInt("workers", 2));
+  net::RpcServer server(&service, server_options,
+                        &obs::MetricsRegistry::Global());
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+  std::printf("serving on 127.0.0.1:%u pid %d (%zu embeddings, dim %zu)\n",
+              unsigned(server.port()), int(::getpid()),
+              service.store().size(), service.store().dim());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::printf("service: %s\n", service.TelemetryJson().c_str());
+  std::printf("transport: %s\n", server.metrics().ToJson().c_str());
+  obs_session.Finish();
+  return 0;
+}
+
+/// `fvae net-load` — closed-loop lookup load through a ShardRouterClient
+/// against running `fvae serve` endpoints. Prints a single machine-readable
+/// JSON line; the CI smoke job asserts on its `ok` and `failovers` fields.
+int CmdNetLoad(const Args& args) {
+  const std::string endpoints_flag = args.Get("endpoints", "");
+  if (endpoints_flag.empty()) {
+    return Fail("net-load needs --endpoints host:port[,host:port...]");
+  }
+  std::vector<std::string> endpoints = Split(endpoints_flag, ',');
+  const size_t threads = size_t(args.GetInt("threads", 4));
+  const size_t requests = size_t(args.GetInt("requests", 2000));
+  const size_t num_users = size_t(args.GetInt("users", 1000));
+
+  net::ShardRouterOptions router_options;
+  router_options.call_deadline_micros = args.GetInt("deadline-us", 1'000'000);
+  router_options.enable_hedging = args.GetInt("hedge", 1) != 0;
+  router_options.breaker_failure_threshold =
+      uint32_t(args.GetInt("breaker-threshold", 3));
+  net::ShardRouterClient router(endpoints, router_options,
+                                &obs::MetricsRegistry::Global());
+
+  std::atomic<uint64_t> ok{0}, not_found{0}, failed{0};
+  LatencyHistogram latency;
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = t; i < requests; i += threads) {
+        const uint64_t user = uint64_t(i % num_users);
+        const int64_t start = MonotonicMicros();
+        const Result<std::vector<float>> embedding = router.Lookup(user);
+        latency.Record(double(MonotonicMicros() - start));
+        if (embedding.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (embedding.status().code() == StatusCode::kNotFound) {
+          not_found.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  net::RouterMetrics& metrics = router.metrics();
+  std::string per_shard;
+  for (size_t i = 0; i < router.num_shards(); ++i) {
+    if (!per_shard.empty()) per_shard += ",";
+    per_shard += std::to_string(metrics.shard_requests(i).Value());
+  }
+  std::printf(
+      "{\"requests\":%zu,\"ok\":%llu,\"not_found\":%llu,\"failed\":%llu,"
+      "\"qps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"failovers\":%llu,\"hedges\":%llu,\"breaker_trips\":%llu,"
+      "\"per_shard\":[%s]}\n",
+      requests, (unsigned long long)ok.load(),
+      (unsigned long long)not_found.load(), (unsigned long long)failed.load(),
+      elapsed > 0.0 ? double(requests) / elapsed : 0.0,
+      latency.Percentile(50.0), latency.Percentile(99.0),
+      (unsigned long long)metrics.failovers.Value(),
+      (unsigned long long)metrics.hedges.Value(),
+      (unsigned long long)metrics.breaker_trips.Value(), per_shard.c_str());
+  return 0;
+}
+
 /// Pretty-prints a JSONL metrics snapshot written by --metrics-out (or the
 /// periodic dumper). Minimal field extraction — enough to read a dump
 /// without other tooling; rows appear in file order, so an appended file
@@ -524,7 +661,13 @@ void PrintUsage() {
       "  serve-bench --data F --model F [--threads N --requests N\n"
       "             --hot-frac H --batcher 0|1 --batch B --wait-us W\n"
       "             --queue Q --deadline-us D --shards S --seed S\n"
-      "             --trace-out F --metrics-out F]\n");
+      "             --trace-out F --metrics-out F]\n"
+      "  serve     --data F --model F [--port P --workers W --shards S\n"
+      "             --batcher 0|1 --batch B --wait-us W --queue Q\n"
+      "             --deadline-us D --hot-frac H --metrics-out F]\n"
+      "  net-load  --endpoints h:p[,h:p...] [--threads N --requests N\n"
+      "             --users N --deadline-us D --hedge 0|1\n"
+      "             --breaker-threshold N]\n");
 }
 
 }  // namespace
@@ -543,6 +686,8 @@ int main(int argc, char** argv) {
   if (command == "inspect") return CmdInspect(args);
   if (command == "metrics") return CmdMetrics(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "net-load") return CmdNetLoad(args);
   PrintUsage();
   return 1;
 }

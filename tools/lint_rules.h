@@ -32,6 +32,11 @@
 ///   banned-random      rand(), srand(), std::random_device etc. outside
 ///                      src/common/random — all stochastic code must draw
 ///                      from an explicitly seeded fvae::Rng.
+///   raw-socket         a bare or ::-qualified socket()/accept()/accept4()/
+///                      close() call outside src/net/ — descriptors must
+///                      live in the RAII net::Fd wrapper (net/fd.h) so they
+///                      cannot leak through an early return or be closed
+///                      twice. Member calls (file.close()) are exempt.
 ///   header-guard       a header's include guard does not match the
 ///                      FVAE_<PATH>_H_ convention (or #pragma once).
 ///   using-namespace    file-scope `using namespace` in a header.
@@ -74,6 +79,9 @@ struct LintOptions {
   bool allow_raw_mutex = false;
   /// True for src/common/random.*, the one sanctioned entropy boundary.
   bool allow_nondeterminism = false;
+  /// True for src/net/*, where the RAII Fd wrapper itself makes the raw
+  /// socket()/accept()/close() syscalls.
+  bool allow_raw_sockets = false;
   /// True for modules whose outputs must be crash-safe: ban raw
   /// std::ofstream in favor of AtomicFileWriter.
   bool ban_raw_ofstream = false;
@@ -197,16 +205,21 @@ inline std::pair<std::string, std::string> SplitDirective(
 /// Scans a file's tokens for `Status Name(` / `Result<...> Name(`
 /// declarations and collects the function names. Shared by the tree walk
 /// (phase 1) so discarded-status knows the project's fallible functions.
-inline void CollectStatusFunctions(const std::string& content,
-                                   std::set<std::string>* out) {
+///
+/// When `non_status` is provided, names declared with any *other* leading
+/// return type (`void Add(`, `bool Next(`) are collected there too. The
+/// analyzer matches call sites by bare name across translation units, so
+/// a name used both ways (obs::Counter::Add vs net::EpollLoop::Add) is
+/// ambiguous; the tree walk drops such names from the fallible set rather
+/// than flag unrelated call sites.
+inline void CollectStatusFunctions(
+    const std::string& content, std::set<std::string>* out,
+    std::set<std::string>* non_status = nullptr) {
   using detail::IsPunct;
   const std::vector<Tok> toks = LexCpp(content);
   for (size_t i = 0; i < toks.size(); ++i) {
     const Tok& t = toks[i];
-    if (t.kind != TokKind::kIdent ||
-        (t.text != "Status" && t.text != "Result")) {
-      continue;
-    }
+    if (t.kind != TokKind::kIdent) continue;
     // Reject qualified (x::Status), template-argument (<Status>), and
     // member (x.Status) uses: this must be a leading return type.
     if (i > 0 && toks[i - 1].kind == TokKind::kPunct &&
@@ -214,19 +227,32 @@ inline void CollectStatusFunctions(const std::string& content,
          toks[i - 1].text == "." || toks[i - 1].text == "->")) {
       continue;
     }
+    const bool fallible = t.text == "Status" || t.text == "Result";
     size_t j = i + 1;
-    if (t.text == "Result") {
-      // Must be Result<...>; match angle brackets with depth counting
-      // (">>" closes two levels).
-      if (j >= toks.size() || !IsPunct(toks[j], "<")) continue;
-      int depth = 0;
-      while (j < toks.size()) {
-        if (IsPunct(toks[j], "<")) ++depth;
-        if (IsPunct(toks[j], ">")) --depth;
-        if (IsPunct(toks[j], ">>")) depth -= 2;
-        ++j;
-        if (depth <= 0) break;
+    if (fallible) {
+      if (t.text == "Result") {
+        // Must be Result<...>; match angle brackets with depth counting
+        // (">>" closes two levels).
+        if (j >= toks.size() || !IsPunct(toks[j], "<")) continue;
+        int depth = 0;
+        while (j < toks.size()) {
+          if (IsPunct(toks[j], "<")) ++depth;
+          if (IsPunct(toks[j], ">")) --depth;
+          if (IsPunct(toks[j], ">>")) depth -= 2;
+          ++j;
+          if (depth <= 0) break;
+        }
       }
+    } else {
+      if (non_status == nullptr) continue;
+      // Statement keywords precede *calls*, not declarations; skipping
+      // them keeps `return Foo(x);` from polluting the ambiguity set.
+      static const std::set<std::string> kNotAType = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "new",    "delete",    "else",     "do",       "goto",
+          "case",   "operator",  "using",    "typedef",  "sizeof",
+          "alignof", "not",      "and",      "or"};
+      if (kNotAType.count(t.text) > 0) continue;
     }
     // Type, then an identifier chain, then '(' — `Status(...)` (ctor) and
     // `Status s = ...` fall out naturally.
@@ -241,7 +267,7 @@ inline void CollectStatusFunctions(const std::string& content,
       }
     }
     if (!name.empty() && j < toks.size() && IsPunct(toks[j], "(")) {
-      out->insert(name);
+      (fallible ? out : non_status)->insert(name);
     }
   }
 }
@@ -288,6 +314,8 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
       "condition_variable_any"};
   static const std::set<std::string> kBareRandom = {
       "rand", "srand", "drand48", "lrand48", "mrand48"};
+  static const std::set<std::string> kRawSocketFns = {"socket", "accept",
+                                                      "accept4", "close"};
 
   for (size_t idx = 0; idx < raw.size(); ++idx) {
     const std::vector<Tok>& line = by_line[idx + 1];
@@ -320,6 +348,33 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
                      "fvae::Rng (common/random.h)");
           break;
         }
+      }
+    }
+
+    if (!options.allow_raw_sockets) {
+      for (size_t i = 0; i + 1 < line.size(); ++i) {
+        if (line[i].kind != TokKind::kIdent ||
+            kRawSocketFns.count(line[i].text) == 0 ||
+            !IsPunct(line[i + 1], "(")) {
+          continue;
+        }
+        // Member calls (file.close(), stream->close()) are not descriptor
+        // syscalls; neither is a foreign-namespace qualification. Bare
+        // calls and global-scope `::close(` are the POSIX functions.
+        if (i > 0 &&
+            (IsPunct(line[i - 1], ".") || IsPunct(line[i - 1], "->"))) {
+          continue;
+        }
+        if (i > 0 && IsPunct(line[i - 1], "::") && i >= 2 &&
+            line[i - 2].kind == TokKind::kIdent) {
+          continue;
+        }
+        report(idx, "raw-socket",
+               line[i].text +
+                   "() handles a raw file descriptor outside src/net/; own "
+                   "it with net::Fd (net/fd.h) so it cannot leak or "
+                   "double-close");
+        break;
       }
     }
 
@@ -403,10 +458,26 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
         if (t.text == ")") --depth;
         if (t.text.find('=') != std::string::npos) has_assign = true;
       }
+      // A wrapped statement's continuation can itself carry balanced
+      // parens and no '=' (`Result<Frame> f =\n    parser.Next();`), so
+      // also require that the previous token-bearing line ended a
+      // statement or opened a block — i.e. this line *starts* one.
+      // Comment-only lines lex to nothing and are skipped.
+      bool starts_statement = true;
+      for (size_t p = idx; p >= 1; --p) {
+        if (by_line[p].empty()) continue;
+        const Tok& prev = by_line[p].back();
+        starts_statement =
+            prev.kind == TokKind::kPreproc ||
+            (prev.kind == TokKind::kPunct &&
+             (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+              prev.text == ":"));
+        break;
+      }
       // Balanced parens ⇒ the line is a whole statement, not the tail of a
       // wrapped expression (those carry the extra closing paren).
       if (!callee.empty() && pos < line.size() && IsPunct(line[pos], "(") &&
-          depth == 0 && !has_assign &&
+          depth == 0 && !has_assign && starts_statement &&
           options.status_functions->count(callee) > 0) {
         report(idx, "discarded-status",
                callee + "() returns Status/Result; the value must be "
@@ -476,9 +547,14 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
   std::sort(files.begin(), files.end());
 
   std::set<std::string> status_functions;
+  std::set<std::string> ambiguous;
   for (const auto& [path, body] : files) {
-    CollectStatusFunctions(body, &status_functions);
+    CollectStatusFunctions(body, &status_functions, &ambiguous);
   }
+  // A name declared with both fallible and non-fallible return types
+  // somewhere in the tree cannot be attributed by bare name; drop it
+  // instead of flagging unrelated call sites.
+  for (const std::string& name : ambiguous) status_functions.erase(name);
 
   std::vector<Finding> findings;
   for (const auto& [path, body] : files) {
@@ -487,6 +563,7 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     options.allow_raw_mutex = path == "src/common/mutex.h";
     options.allow_nondeterminism = path == "src/common/random.h" ||
                                    path == "src/common/random.cc";
+    options.allow_raw_sockets = path.rfind("src/net/", 0) == 0;
     // Modules that persist durable artifacts. common/atomic_file.* itself
     // is the sanctioned wrapper, and lives outside these prefixes.
     options.ban_raw_ofstream =
