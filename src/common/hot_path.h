@@ -28,6 +28,31 @@
 ///    sharded store's reader locks). Exemption is per-lock, not per-call:
 ///    every acquisition site of that member is allowed.
 ///
+///  - `FVAE_EVENT_LOOP` marks a function that runs on an EpollLoop thread
+///    (a readiness callback, a timer handler, or a Post()ed task — or a
+///    method only ever invoked from one of those). The linter transitively
+///    walks every resolvable callee and fails on anything that can stall
+///    the loop: blocking syscalls (`poll`, `select`, sleeps, `recv`/`send`
+///    without `MSG_DONTWAIT`), condition-variable waits, thread joins,
+///    `RetryWithBackoff`, file IO, reaching an `FVAE_MAY_BLOCK` function,
+///    and acquisition of locks that are neither FVAE_LOOP_LOCK_EXEMPT nor
+///    FVAE_HOT_LOCK_EXEMPT. Lambdas registered inside an annotated
+///    function are covered automatically: the extractor attributes a
+///    lambda's body to its enclosing named function.
+///
+///  - `FVAE_MAY_BLOCK` marks a function that blocks by design (deadline
+///    polls, full-buffer sends, connect handshakes). It is documentation
+///    at the call site and a hard stop for the event-loop walk: reaching
+///    one from an FVAE_EVENT_LOOP root is a finding on the call line, and
+///    the walk does not descend into it (the annotation already concedes
+///    everything its body could reveal).
+///
+///  - `FVAE_LOOP_LOCK_EXEMPT` goes on a Mutex member declaration whose
+///    bounded critical section is safe to enter from a loop thread (e.g.
+///    EpollLoop's own post-queue handoff mutex: push + eventfd write, no
+///    IO, no nested locks). FVAE_HOT_LOCK_EXEMPT implies the same waiver —
+///    a lock vetted for the serving hot path is vetted for the loop.
+///
 /// Annotate both the interface declaration (documentation for readers) and
 /// the implementing definition — the linter matches attributes by exact
 /// namespace-qualified name, so an annotation on a base-class virtual does
@@ -36,5 +61,8 @@
 #define FVAE_HOT
 #define FVAE_NOALLOC
 #define FVAE_HOT_LOCK_EXEMPT
+#define FVAE_EVENT_LOOP
+#define FVAE_MAY_BLOCK
+#define FVAE_LOOP_LOCK_EXEMPT
 
 #endif  // FVAE_COMMON_HOT_PATH_H_

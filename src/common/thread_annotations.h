@@ -76,17 +76,22 @@
   FVAE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
 
 /// Declares a lock-rank edge on a mutex member: this lock must always be
-/// acquired before the listed locks. Consumed both by Clang (`-Wthread-
-/// safety-beta` checks it dynamically-scoped) and by fvae_lint's lock-order
+/// acquired before the listed locks. Consumed by fvae_lint's lock-order
 /// analysis, which combines declared ranks with statically observed nesting
 /// and fails the build on any cycle in the acquisition-order graph.
-#define FVAE_ACQUIRED_BEFORE(...) \
-  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+///
+/// Deliberately NOT mapped to Clang's acquired_before attribute: plain
+/// `-Wthread-safety` ignores it (it is checked only under the -beta
+/// analysis), and rank edges routinely cross classes — e.g. declaring that
+/// EpollLoop's post mutex ranks below ChannelPool's — which is not
+/// expressible as a Clang capability expression from another header.
+/// fvae_lint resolves the argument by qualified-name suffix instead, so
+/// `FVAE_ACQUIRED_BEFORE(ChannelPool::mutex_)` works without an #include.
+#define FVAE_ACQUIRED_BEFORE(...)  // lint-only; see tools/lint_graph.h
 
 /// As FVAE_ACQUIRED_BEFORE, but declares that this lock is acquired after
 /// the listed locks (the reverse edge direction).
-#define FVAE_ACQUIRED_AFTER(...) \
-  FVAE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+#define FVAE_ACQUIRED_AFTER(...)  // lint-only; see tools/lint_graph.h
 
 /// Declares a function that tries to acquire a capability and reports
 /// success via its return value: FVAE_TRY_ACQUIRE(true, mu).

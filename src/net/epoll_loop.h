@@ -7,6 +7,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -81,7 +82,13 @@ class EpollLoop {
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> loop_thread_id_{0};  // 0 = not running.
 
-  Mutex post_mutex_;
+  // Bounded critical section (queue push/swap + eventfd write, no IO, no
+  // nested locks), so loop threads may take it: DrainPosted holds it for
+  // one swap when the eventfd fires. Ranks below the client-side locks —
+  // fold-in completions Post() while the router still holds its own state
+  // (ChannelPool::Release, breaker bookkeeping), never the reverse.
+  Mutex post_mutex_ FVAE_LOOP_LOCK_EXEMPT FVAE_ACQUIRED_AFTER(
+      ChannelPool::mutex_, ShardRouterClient::health_mutex_);
   std::deque<Task> posted_ FVAE_GUARDED_BY(post_mutex_);
 };
 

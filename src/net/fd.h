@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -62,11 +63,12 @@ Result<Fd> Accept(const Fd& listener);
 
 /// Blocking connect to 127.0.0.1:`port` with a timeout; the returned
 /// socket is in blocking mode with TCP_NODELAY set.
-Result<Fd> TcpConnect(uint16_t port, int timeout_ms = 1000);
+FVAE_MAY_BLOCK Result<Fd> TcpConnect(uint16_t port, int timeout_ms = 1000);
 
 /// Parses "host:port" (host must be 127.0.0.1 or localhost — the serving
 /// tier is fronted by a local proxy in this reproduction) and connects.
-Result<Fd> ConnectEndpoint(const std::string& endpoint, int timeout_ms = 1000);
+FVAE_MAY_BLOCK Result<Fd> ConnectEndpoint(const std::string& endpoint,
+                                          int timeout_ms = 1000);
 
 /// Splits "host:port" into its port. kInvalidArgument on malformed input.
 Result<uint16_t> EndpointPort(const std::string& endpoint);
@@ -81,16 +83,17 @@ Result<uint16_t> LocalPort(int fd);
 /// EINTR; MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE. Fails with
 /// kUnavailable once `deadline_micros` (MonotonicMicros scale; 0 = none)
 /// passes.
-Status SendAll(int fd, const void* data, size_t size,
-               int64_t deadline_micros = 0);
+FVAE_MAY_BLOCK Status SendAll(int fd, const void* data, size_t size,
+                              int64_t deadline_micros = 0);
 
 /// Receives exactly `size` bytes on a blocking socket, polling against the
 /// deadline. kUnavailable on timeout, kIoError on EOF/reset.
-Status RecvAll(int fd, void* data, size_t size, int64_t deadline_micros = 0);
+FVAE_MAY_BLOCK Status RecvAll(int fd, void* data, size_t size,
+                              int64_t deadline_micros = 0);
 
 /// Polls `fd` for readability until `deadline_micros`. Ok when readable,
 /// kUnavailable on timeout, kIoError on poll failure.
-Status WaitReadable(int fd, int64_t deadline_micros);
+FVAE_MAY_BLOCK Status WaitReadable(int fd, int64_t deadline_micros);
 
 }  // namespace fvae::net
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -22,34 +23,37 @@ namespace fvae::net {
 class RpcChannel {
  public:
   /// Connects to "127.0.0.1:<port>".
-  static Result<std::unique_ptr<RpcChannel>> Connect(
+  FVAE_MAY_BLOCK static Result<std::unique_ptr<RpcChannel>> Connect(
       const std::string& endpoint, int timeout_ms = 1000);
 
   /// Full round trip: send + wait for the tagged response.
   /// `deadline_micros` is absolute (MonotonicMicros scale; 0 = no limit).
-  Result<Frame> Call(Verb verb, const std::vector<uint8_t>& payload,
-                     int64_t deadline_micros = 0);
+  FVAE_MAY_BLOCK Result<Frame> Call(Verb verb,
+                                    const std::vector<uint8_t>& payload,
+                                    int64_t deadline_micros = 0);
 
   /// Split-phase API for hedging: send now, collect later.
   /// Returns the tag the response will carry.
-  Result<uint64_t> SendRequest(Verb verb, const std::vector<uint8_t>& payload,
-                               int64_t deadline_micros = 0);
+  FVAE_MAY_BLOCK Result<uint64_t> SendRequest(
+      Verb verb, const std::vector<uint8_t>& payload,
+      int64_t deadline_micros = 0);
   /// Blocks until the response tagged `tag` arrives (skipping stale earlier
   /// responses) or the deadline passes (kUnavailable).
-  Result<Frame> ReadResponse(uint64_t tag, int64_t deadline_micros);
+  FVAE_MAY_BLOCK Result<Frame> ReadResponse(uint64_t tag,
+                                            int64_t deadline_micros);
 
   /// Raw socket for poll-based readiness checks (hedging).
   int fd() const { return fd_.get(); }
   const std::string& endpoint() const { return endpoint_; }
 
   // --- Verb wrappers ---
-  Status Health(int64_t deadline_micros = 0);
-  Result<std::vector<float>> Lookup(uint64_t user_id,
-                                    int64_t deadline_micros = 0);
-  Result<std::vector<float>> EncodeFoldIn(
+  FVAE_MAY_BLOCK Status Health(int64_t deadline_micros = 0);
+  FVAE_MAY_BLOCK Result<std::vector<float>> Lookup(
+      uint64_t user_id, int64_t deadline_micros = 0);
+  FVAE_MAY_BLOCK Result<std::vector<float>> EncodeFoldIn(
       uint64_t user_id, const core::RawUserFeatures& features,
       int64_t deadline_micros = 0);
-  Result<std::string> Stats(int64_t deadline_micros = 0);
+  FVAE_MAY_BLOCK Result<std::string> Stats(int64_t deadline_micros = 0);
 
  private:
   RpcChannel(Fd fd, std::string endpoint)
@@ -73,9 +77,10 @@ class ChannelPool {
  public:
   explicit ChannelPool(std::string endpoint) : endpoint_(std::move(endpoint)) {}
 
-  /// Pops a pooled channel or dials a new one.
-  Result<std::unique_ptr<RpcChannel>> Acquire(int timeout_ms = 1000)
-      FVAE_EXCLUDES(mutex_);
+  /// Pops a pooled channel or dials a new one (a fresh dial blocks in
+  /// connect).
+  FVAE_MAY_BLOCK Result<std::unique_ptr<RpcChannel>> Acquire(
+      int timeout_ms = 1000) FVAE_EXCLUDES(mutex_);
 
   /// Returns a healthy channel for reuse.
   void Release(std::unique_ptr<RpcChannel> channel) FVAE_EXCLUDES(mutex_);

@@ -168,7 +168,12 @@ void RpcServer::HandleIo(Worker* worker, uint64_t conn_id,
 void RpcServer::ReadFrames(Worker* worker, Connection* conn) {
   uint8_t buffer[16 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd.get(), buffer, sizeof(buffer), 0);
+    // MSG_DONTWAIT: the socket is already O_NONBLOCK, but the explicit
+    // flag keeps this read non-blocking even if a future code path hands
+    // over a descriptor whose flag was dropped (and satisfies fvae_lint's
+    // event-loop discipline without trusting per-fd state).
+    const ssize_t n =
+        ::recv(conn->fd.get(), buffer, sizeof(buffer), MSG_DONTWAIT);
     if (n > 0) {
       metrics_.bytes_rx.Add(static_cast<uint64_t>(n));
       conn->parser.Feed(buffer, static_cast<size_t>(n));
@@ -307,9 +312,11 @@ void RpcServer::QueueResponse(Worker* worker, Connection* conn, Verb verb,
 
 void RpcServer::FlushWrites(Worker* worker, Connection* conn) {
   while (conn->pending_write_bytes() > 0) {
+    // MSG_DONTWAIT for the same reason as the read side: the loop thread
+    // must never park in a send, whatever the descriptor's flags say.
     const ssize_t n =
         ::send(conn->fd.get(), conn->write_buffer.data() + conn->write_sent,
-               conn->pending_write_bytes(), MSG_NOSIGNAL);
+               conn->pending_write_bytes(), MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n > 0) {
       metrics_.bytes_tx.Add(static_cast<uint64_t>(n));
       conn->write_sent += static_cast<size_t>(n);

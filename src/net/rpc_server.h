@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -90,21 +91,27 @@ class RpcServer {
   };
 
   void AcceptLoop();
-  void AdoptConnection(Worker* worker, Fd fd);  // loop thread
+  // Everything below AcceptLoop runs on a worker's loop thread (directly
+  // as an epoll/timer callback or via Post); FVAE_EVENT_LOOP holds the
+  // whole data path to the no-blocking discipline (tools/lint_graph.h).
+  FVAE_EVENT_LOOP void AdoptConnection(Worker* worker, Fd fd);
   /// Schedules the self-rearming slow-loris watchdog for a connection.
-  void ArmAssemblyWatchdog(Worker* worker, uint64_t conn_id);
-  void HandleIo(Worker* worker, uint64_t conn_id, EpollLoop::Events events);
-  void ReadFrames(Worker* worker, Connection* conn);
-  void DispatchFrame(Worker* worker, Connection* conn, const Frame& frame);
-  void QueueResponse(Worker* worker, Connection* conn, Verb verb,
-                     WireStatus status, uint64_t tag, const uint8_t* payload,
-                     size_t payload_size);
-  void FlushWrites(Worker* worker, Connection* conn);
-  void UpdateInterest(Worker* worker, Connection* conn);
-  void CloseConnection(Worker* worker, uint64_t conn_id);
+  FVAE_EVENT_LOOP void ArmAssemblyWatchdog(Worker* worker, uint64_t conn_id);
+  FVAE_EVENT_LOOP void HandleIo(Worker* worker, uint64_t conn_id,
+                                EpollLoop::Events events);
+  FVAE_EVENT_LOOP void ReadFrames(Worker* worker, Connection* conn);
+  FVAE_EVENT_LOOP void DispatchFrame(Worker* worker, Connection* conn,
+                                     const Frame& frame);
+  FVAE_EVENT_LOOP void QueueResponse(Worker* worker, Connection* conn,
+                                     Verb verb, WireStatus status,
+                                     uint64_t tag, const uint8_t* payload,
+                                     size_t payload_size);
+  FVAE_EVENT_LOOP void FlushWrites(Worker* worker, Connection* conn);
+  FVAE_EVENT_LOOP void UpdateInterest(Worker* worker, Connection* conn);
+  FVAE_EVENT_LOOP void CloseConnection(Worker* worker, uint64_t conn_id);
   /// During drain: close once nothing is pending; stop the loop when the
   /// worker has no connections left.
-  void MaybeFinishDrain(Worker* worker, Connection* conn);
+  FVAE_EVENT_LOOP void MaybeFinishDrain(Worker* worker, Connection* conn);
 
   serving::EmbeddingService* service_;
   RpcServerOptions options_;

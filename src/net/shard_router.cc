@@ -50,7 +50,7 @@ bool IsWireLevelError(const Status& status) {
     case StatusCode::kResourceExhausted:
     case StatusCode::kInvalidArgument:
       return true;
-    default:
+    default:  // every other code arrives via transport failure paths
       return false;
   }
 }

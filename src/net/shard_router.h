@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -69,9 +70,11 @@ class ShardRouterClient {
   ShardRouterClient(const ShardRouterClient&) = delete;
   ShardRouterClient& operator=(const ShardRouterClient&) = delete;
 
-  Result<std::vector<float>> Lookup(uint64_t user_id);
-  Result<std::vector<float>> EncodeFoldIn(uint64_t user_id,
-                                          const core::RawUserFeatures& features);
+  // Blocking round trips (candidate walk + hedge polling): never call
+  // from an event-loop thread — route through the batcher instead.
+  FVAE_MAY_BLOCK Result<std::vector<float>> Lookup(uint64_t user_id);
+  FVAE_MAY_BLOCK Result<std::vector<float>> EncodeFoldIn(
+      uint64_t user_id, const core::RawUserFeatures& features);
 
   /// The shard a user's key maps to (ring owner, ignoring health).
   size_t OwnerOf(uint64_t user_id) const;
@@ -98,14 +101,14 @@ class ShardRouterClient {
 
   /// One request over the candidate walk with hedging; decoded embedding
   /// or the last error.
-  Result<std::vector<float>> RoutedCall(uint64_t user_id, Verb verb,
-                                        const std::vector<uint8_t>& payload);
+  FVAE_MAY_BLOCK Result<std::vector<float>> RoutedCall(
+      uint64_t user_id, Verb verb, const std::vector<uint8_t>& payload);
 
   /// Sends on `primary`; hedges to `hedge_shard` (if >= 0) after the hedge
   /// delay; first response wins. Transport-level result.
-  Result<Frame> CallWithHedge(size_t primary, int hedge_shard, Verb verb,
-                              const std::vector<uint8_t>& payload,
-                              int64_t deadline_micros);
+  FVAE_MAY_BLOCK Result<Frame> CallWithHedge(
+      size_t primary, int hedge_shard, Verb verb,
+      const std::vector<uint8_t>& payload, int64_t deadline_micros);
 
   int64_t HedgeDelayMicros() const;
   void RecordSuccess(size_t shard);
@@ -119,7 +122,11 @@ class ShardRouterClient {
   RouterMetrics metrics_;
 
   std::atomic<bool> stopping_{false};
-  Mutex health_mutex_;
+  // Declared rank for the net subsystem's lock DAG: if prober pacing ever
+  // nests with a shard's pool (today the probe walk runs unlocked), the
+  // pacing lock comes first — a pool mutex must never be held while
+  // touching prober state (RecordSuccess/Failure stay atomics-only).
+  Mutex health_mutex_ FVAE_ACQUIRED_BEFORE(ChannelPool::mutex_);
   CondVar health_cv_;
   std::thread health_thread_;
 };

@@ -53,7 +53,7 @@ WireStatus ToWireStatus(const Status& status) {
       return WireStatus::kResourceExhausted;
     case StatusCode::kInvalidArgument:
       return WireStatus::kInvalidArgument;
-    default:
+    default:  // codes with no wire equivalent collapse to kInternal
       return WireStatus::kInternal;
   }
 }

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -617,6 +620,470 @@ TEST(HotPathTest, ColdFunctionsAreNotChecked) {
       "}\n"
       "}  // namespace fvae\n");
   EXPECT_TRUE(findings.empty());
+}
+
+// ---------- whole-program: event-loop blocking discipline ----------
+
+TEST(EventLoopTest, BlockingCallInLoopCallbackFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    ::usleep(1000);\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "loop-block"));
+  EXPECT_NE(findings[0].message.find("usleep"), std::string::npos);
+}
+
+TEST(EventLoopTest, TransitiveBlockingThroughHelperFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() { Helper(); }\n"
+      "  void Helper() { ::poll(nullptr, 0, -1); }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "loop-block"));
+  // The chain from the annotated root is printed.
+  EXPECT_NE(findings[0].message.find("OnReady -> fvae::L::Helper"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EventLoopTest, NonBlockingCallbackStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    ::recv(fd_, buf_, 4096, MSG_DONTWAIT);\n"
+      "    ::send(fd_, buf_, 4096, MSG_NOSIGNAL | MSG_DONTWAIT);\n"
+      "    counter_ += 1;\n"
+      "  }\n"
+      " private:\n"
+      "  int fd_ = -1;\n"
+      "  long counter_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(EventLoopTest, RecvWithoutDontwaitFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() { ::recv(fd_, buf_, 4096, 0); }\n"
+      " private:\n"
+      "  int fd_ = -1;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "loop-block"));
+  EXPECT_NE(findings[0].message.find("recv without MSG_DONTWAIT"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(EventLoopTest, CondvarWaitAndJoinFire) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    cv_.Wait(mutex_);\n"
+      "    worker_.join();\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(findings, "loop-block"));
+}
+
+TEST(EventLoopTest, MayBlockCalleeFiresAtCallSiteWithoutDescent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "FVAE_MAY_BLOCK void SendAll() {\n"
+      "  ::poll(nullptr, 0, -1);\n"
+      "}\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() { SendAll(); }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "loop-may-block"));
+  // The concession is total: the poll inside the conceded body must not be
+  // reported a second time.
+  EXPECT_FALSE(HasRule(findings, "loop-block"));
+}
+
+TEST(EventLoopTest, NonExemptLockFiresExemptLocksStaySilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    MutexLock a(plain_mutex_);\n"
+      "    MutexLock b(loop_mutex_);\n"
+      "    MutexLock c(hot_mutex_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex plain_mutex_;\n"
+      "  Mutex loop_mutex_ FVAE_LOOP_LOCK_EXEMPT;\n"
+      "  Mutex hot_mutex_ FVAE_HOT_LOCK_EXEMPT;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "loop-lock"));
+  // Exactly one finding: the plain mutex. Both exemption macros waive.
+  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("plain_mutex_"), std::string::npos);
+}
+
+TEST(EventLoopTest, AllowLoopPathPrunesTheCallEdge) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    Helper();  // fvae-lint: allow(loop-path)\n"
+      "  }\n"
+      "  void Helper() { ::usleep(1000); }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- whole-program: guarded-by enforcement ----------
+
+TEST(GuardedByTest, UnguardedAccessFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void Add(long d) { value_ += d; }\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  long value_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "guarded-by"));
+  EXPECT_NE(findings[0].message.find("value_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("mutex_"), std::string::npos);
+}
+
+TEST(GuardedByTest, RaiiGuardStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void Add(long d) {\n"
+      "    MutexLock lock(mutex_);\n"
+      "    value_ += d;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  long value_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(GuardedByTest, RequiresOnPrototypeCoversOutOfLineDefinition) {
+  // The annotation sits on the in-class prototype only — LinkProgram must
+  // merge it onto the definition (the RequestBatcher::TakeBatch pattern).
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Batcher {\n"
+      " public:\n"
+      "  void TakeBatch() FVAE_REQUIRES(mutex_);\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  long queue_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "void Batcher::TakeBatch() { queue_ += 1; }\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(GuardedByTest, ManualLockWithEarlyExitUnlockStaysSilent) {
+  // `mutex_.Unlock(); return;` is an early exit: on the fall-through path
+  // the lock is still held, so the accesses after the if are guarded.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Q {\n"
+      " public:\n"
+      "  void Drain() {\n"
+      "    mutex_.Lock();\n"
+      "    if (stopped_) {\n"
+      "      mutex_.Unlock();\n"
+      "      return;\n"
+      "    }\n"
+      "    stopped_ = true;\n"
+      "    mutex_.Unlock();\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  bool stopped_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(GuardedByTest, AccessAfterFinalUnlockFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Q {\n"
+      " public:\n"
+      "  void Drain() {\n"
+      "    mutex_.Lock();\n"
+      "    mutex_.Unlock();\n"
+      "    stopped_ = true;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  bool stopped_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(findings, "guarded-by"));
+}
+
+TEST(GuardedByTest, ReceiverFormMatchesReceiverScopedGuard) {
+  // The trace-buffer pattern: per-object locks named via the receiver.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "struct Buffer {\n"
+      "  Mutex mutex;\n"
+      "  long events FVAE_GUARDED_BY(mutex);\n"
+      "};\n"
+      "class Recorder {\n"
+      " public:\n"
+      "  void Good(Buffer& buffer) {\n"
+      "    MutexLock lock(buffer.mutex);\n"
+      "    buffer.events += 1;\n"
+      "  }\n"
+      "  void Bad(Buffer& buffer) { buffer.events += 1; }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "guarded-by"));
+  EXPECT_EQ(findings.size(), 1u);  // only Bad()
+}
+
+TEST(GuardedByTest, ConstructorAndSuppressionAreExempt) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class Counter {\n"
+      " public:\n"
+      "  Counter() { value_ = 0; }\n"
+      "  long Read() {\n"
+      "    return value_;  // fvae-lint: allow(guarded-by)\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  long value_ FVAE_GUARDED_BY(mutex_);\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(GuardedByTest, TreeAnnotationsAreActuallyExtracted) {
+  // RepositoryIsClean proving "no findings" is only meaningful if the
+  // checker sees the tree's annotations at all; pin the extraction volume
+  // so a silent regression cannot masquerade as a clean tree. The clang
+  // -Wthread-safety CI job checks the same ~20 declarations, so agreement
+  // with Clang on src/ is "both checkers pass on the same tree".
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(FVAE_SOURCE_DIR) / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    files.push_back(
+        {fs::relative(entry.path(), FVAE_SOURCE_DIR).generic_string(),
+         body.str()});
+  }
+  const ProgramFacts pf = LinkProgram(files);
+  EXPECT_GE(pf.guarded.size(), 15u);
+  size_t event_loop_roots = 0;
+  size_t may_block = 0;
+  for (const FunctionFacts& fn : pf.functions) {
+    event_loop_roots += fn.event_loop ? 1 : 0;
+    may_block += fn.may_block ? 1 : 0;
+  }
+  EXPECT_GE(event_loop_roots, 8u);   // the RpcServer loop-thread methods
+  EXPECT_GE(may_block, 5u);          // SendAll/RecvAll/WaitReadable/...
+  bool post_mutex_loop_exempt = false;
+  for (const LockDecl& lock : pf.locks) {
+    if (lock.id == "fvae::net::EpollLoop::post_mutex_") {
+      post_mutex_loop_exempt = lock.loop_exempt;
+    }
+  }
+  EXPECT_TRUE(post_mutex_loop_exempt);
+}
+
+// ---------- fd-leak dataflow (src/net/ only) ----------
+
+TEST(FdLeakTest, UnwrappedProducersFire) {
+  LintOptions options;
+  options.allow_raw_sockets = true;
+  for (const char* expr :
+       {"int a = ::socket(AF_INET, SOCK_STREAM, 0);",
+        "int b = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK);",
+        "int c = ::eventfd(0, EFD_NONBLOCK);",
+        "int d = ::epoll_create1(EPOLL_CLOEXEC);",
+        "int e = open(\"/dev/null\", 0);"}) {
+    const auto findings =
+        Lint(std::string("void F() { ") + expr + " }\n", options);
+    EXPECT_TRUE(HasRule(findings, "fd-leak")) << expr;
+  }
+}
+
+TEST(FdLeakTest, ImmediateWrapsStaySilent) {
+  LintOptions options;
+  options.allow_raw_sockets = true;
+  const auto findings = Lint(
+      "void F() {\n"
+      "  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));\n"
+      "  Fd conn(::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK));\n"
+      "  wake_fd_.Reset(::eventfd(0, EFD_NONBLOCK));\n"
+      "  epoll_fd_->Reset(\n"
+      "      ::epoll_create1(EPOLL_CLOEXEC));\n"
+      "  return Fd(::socket(AF_INET, SOCK_DGRAM, 0));\n"
+      "}\n",
+      options);
+  EXPECT_FALSE(HasRule(findings, "fd-leak"));
+}
+
+TEST(FdLeakTest, MemberOpenAndForeignQualificationAreExempt) {
+  LintOptions options;
+  options.allow_raw_sockets = true;
+  const auto findings = Lint(
+      "void F() {\n"
+      "  file.open(\"x\");\n"
+      "  stream->open(\"y\");\n"
+      "  util::open(\"z\");\n"
+      "}\n",
+      options);
+  EXPECT_FALSE(HasRule(findings, "fd-leak"));
+}
+
+TEST(FdLeakTest, SuppressionCommentWorks) {
+  LintOptions options;
+  options.allow_raw_sockets = true;
+  const auto findings = Lint(
+      "void F() {\n"
+      "  int raw = ::socket(AF_INET, SOCK_STREAM, 0);"
+      "  // fvae-lint: allow(fd-leak)\n"
+      "}\n",
+      options);
+  EXPECT_FALSE(HasRule(findings, "fd-leak"));
+}
+
+TEST(FdLeakTest, OutsideNetTheRawSocketRuleOwnsTheCall) {
+  // Elsewhere the producer call itself is banned; fd-leak is net-only.
+  const auto findings =
+      Lint("void F() { int a = ::socket(AF_INET, SOCK_STREAM, 0); }\n");
+  EXPECT_TRUE(HasRule(findings, "raw-socket"));
+  EXPECT_FALSE(HasRule(findings, "fd-leak"));
+}
+
+// ---------- exhaustive switches over wire enums ----------
+
+TEST(VerbSwitchTest, MissingCaseWithoutDefaultFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae::net {\n"
+      "enum class Verb : uint8_t { kHealth, kLookup, kEncodeFoldIn };\n"
+      "void Dispatch(Verb verb) {\n"
+      "  switch (verb) {\n"
+      "    case Verb::kHealth:\n"
+      "      break;\n"
+      "    case Verb::kLookup:\n"
+      "      break;\n"
+      "  }\n"
+      "}\n"
+      "}  // namespace fvae::net\n");
+  ASSERT_TRUE(HasRule(findings, "verb-switch"));
+  EXPECT_NE(findings[0].message.find("kEncodeFoldIn"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(VerbSwitchTest, FullCoverageStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae::net {\n"
+      "enum class Verb : uint8_t { kHealth, kLookup };\n"
+      "void Dispatch(Verb verb) {\n"
+      "  switch (verb) {\n"
+      "    case Verb::kHealth:\n"
+      "      break;\n"
+      "    case Verb::kLookup:\n"
+      "      break;\n"
+      "  }\n"
+      "}\n"
+      "}  // namespace fvae::net\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(VerbSwitchTest, JustifiedDefaultWaivesMissingCases) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae::net {\n"
+      "enum class Verb : uint8_t { kHealth, kLookup, kStats };\n"
+      "void Dispatch(Verb verb) {\n"
+      "  switch (verb) {\n"
+      "    case Verb::kHealth:\n"
+      "      break;\n"
+      "    default:  // unknown verbs answer kInvalidArgument\n"
+      "      break;\n"
+      "  }\n"
+      "}\n"
+      "}  // namespace fvae::net\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(VerbSwitchTest, BareDefaultDoesNotWaive) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae::net {\n"
+      "enum class Verb : uint8_t { kHealth, kLookup, kStats };\n"
+      "void Dispatch(Verb verb) {\n"
+      "  switch (verb) {\n"
+      "    case Verb::kHealth:\n"
+      "      break;\n"
+      "    default:\n"
+      "      break;\n"
+      "  }\n"
+      "}\n"
+      "}  // namespace fvae::net\n");
+  EXPECT_TRUE(HasRule(findings, "verb-switch"));
+}
+
+TEST(VerbSwitchTest, NonEnumSwitchesAreIgnored) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void F(int x) {\n"
+      "  switch (x) {\n"
+      "    case 1:\n"
+      "      break;\n"
+      "  }\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------- self-runtime timing ----------
+
+TEST(LintTimingTest, FullTreeRunPopulatesTimings) {
+  LintTimings timings;
+  // Only the timing side channel matters here; findings are asserted on
+  // by RepositoryIsClean below.
+  (void)LintTree(FVAE_SOURCE_DIR, &timings);
+  EXPECT_GT(timings.file_count, 100u);
+  EXPECT_GT(timings.per_file_ms, 0.0);
+  EXPECT_GT(timings.analysis.link_ms, 0.0);
+  EXPECT_GT(timings.total_ms(), 0.0);
 }
 
 // ---------- the tree itself ----------

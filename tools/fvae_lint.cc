@@ -1,36 +1,70 @@
 // fvae_lint — project-invariant linter, run as a ctest gate on every build.
 //
-//   usage: fvae_lint [repo_root]          (default: current directory)
+//   usage: fvae_lint [repo_root] [--budget-ms N]
 //
 // Walks src/, tools/, bench/, tests/ and examples/, applies the rules in
 // tools/lint_rules.h, prints every finding as "path:line: [rule] message"
-// and exits non-zero if the tree is not clean. See ARCHITECTURE.md
-// ("Static analysis & sanitizers") for the rule list and rationale.
+// and exits non-zero if the tree is not clean. A per-analysis wall-clock
+// breakdown always follows the verdict, so the analyzer's own cost stays
+// visible as the tree grows; with --budget-ms the run additionally fails
+// when the total exceeds the budget (the ctest passes 5000 on
+// non-sanitizer builds). See ARCHITECTURE.md ("Static analysis &
+// sanitizers") for the rule list and rationale.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "tools/lint_rules.h"
 
 int main(int argc, char** argv) {
-  const std::filesystem::path root = argc > 1 ? argv[1] : ".";
+  std::filesystem::path root = ".";
+  double budget_ms = 0;  // 0: report timing but do not enforce
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
+      budget_ms = std::atof(argv[++i]);
+    } else {
+      root = argv[i];
+    }
+  }
   if (!std::filesystem::exists(root / "src")) {
     std::fprintf(stderr, "fvae_lint: %s does not look like the repo root "
                          "(no src/ directory)\n",
                  root.string().c_str());
     return 2;
   }
+  fvae::lint::LintTimings timings;
   const std::vector<fvae::lint::Finding> findings =
-      fvae::lint::LintTree(root);
+      fvae::lint::LintTree(root, &timings);
   for (const fvae::lint::Finding& finding : findings) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", finding.file.c_str(),
                  finding.line, finding.rule.c_str(),
                  finding.message.c_str());
   }
+  int rc = 0;
   if (!findings.empty()) {
     std::fprintf(stderr, "fvae_lint: %zu finding(s)\n", findings.size());
-    return 1;
+    rc = 1;
+  } else {
+    std::printf("fvae_lint: clean\n");
   }
-  std::printf("fvae_lint: clean\n");
-  return 0;
+  std::printf(
+      "fvae_lint: timing: scan %.1f ms (%zu files), per-file %.1f ms, "
+      "link %.1f ms, lock-cycle %.1f ms, hot-path %.1f ms, "
+      "event-loop %.1f ms, guarded-by %.1f ms, verb-switch %.1f ms, "
+      "total %.1f ms\n",
+      timings.scan_ms, timings.file_count, timings.per_file_ms,
+      timings.analysis.link_ms, timings.analysis.lock_cycle_ms,
+      timings.analysis.hot_path_ms, timings.analysis.event_loop_ms,
+      timings.analysis.guarded_by_ms, timings.analysis.verb_switch_ms,
+      timings.total_ms());
+  if (budget_ms > 0 && timings.total_ms() > budget_ms) {
+    std::fprintf(stderr,
+                 "fvae_lint: self-runtime budget exceeded: %.1f ms > "
+                 "%.1f ms budget\n",
+                 timings.total_ms(), budget_ms);
+    rc = rc == 0 ? 1 : rc;
+  }
+  return rc;
 }

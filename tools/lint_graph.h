@@ -2,6 +2,7 @@
 #define FVAE_TOOLS_LINT_GRAPH_H_
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -24,7 +25,7 @@
 /// therefore over-approximate: the analyses only ever see *more* paths
 /// than the program has, never fewer.
 ///
-/// Two analyses run on the linked facts:
+/// Five analyses run on the linked facts:
 ///
 ///   lock-cycle   The lock acquisition-order graph has an edge A -> B when
 ///                A is declared FVAE_ACQUIRED_BEFORE(B) (or B is declared
@@ -41,6 +42,19 @@
 ///                resolvable callee. FVAE_NOALLOC additionally forbids
 ///                heap allocation tokens. Violations print the call chain
 ///                from the annotated root to the offender.
+///
+///   event-loop   Functions marked FVAE_EVENT_LOOP (EpollLoop callbacks
+///                and the methods they run) must not block: no blocking
+///                syscalls, sleeps, condvar waits, joins, file IO,
+///                non-exempt lock acquisition, or FVAE_MAY_BLOCK callees —
+///                transitively, like the hot walk (AnalyzeEventLoops).
+///
+///   guarded-by   Every access to an FVAE_GUARDED_BY(m) member must occur
+///                where `m` is held — portable re-implementation of the
+///                core of Clang's -Wthread-safety (AnalyzeGuardedBy).
+///
+///   verb-switch  A switch over a known enum class (the wire Verb) must be
+///                exhaustive or justify its default (AnalyzeEnumSwitches).
 ///
 /// Line-level suppressions: a `fvae-lint: allow(<rule>)` comment on the
 /// offending line silences that fact; `allow(hot-path)` on a *call* line
@@ -67,8 +81,16 @@ struct SourceFile {
 struct ProgramFacts {
   std::vector<FunctionFacts> functions;
   std::vector<LockDecl> locks;
+  std::vector<GuardedDecl> guarded;
+  std::vector<SwitchFacts> switches;
+  std::vector<EnumDecl> enums;
   std::map<std::string, std::vector<size_t>> functions_by_name;
   std::map<std::string, std::vector<size_t>> locks_by_member;
+  // Member name -> declared class type, kept only when every declaration
+  // of that member name across the program agrees on the type. Used to
+  // narrow member-call resolution by receiver (`worker->loop.Post(..)`
+  // resolves Post against EpollLoop, not against same-class methods).
+  std::map<std::string, std::string> member_types;
   // Raw source lines per file, for `fvae-lint: allow(...)` suppressions.
   std::map<std::string, std::vector<std::string>> file_lines;
 };
@@ -100,6 +122,21 @@ inline bool EndsWithSegment(const std::string& qualified,
                            suffix) == 0;
 }
 
+inline std::string LastSegment(const std::string& qualified) {
+  const size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+inline std::string FileStem(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  const size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
 }  // namespace graph_detail
 
 /// True when `file:line` carries a `fvae-lint: allow(<rule>)` suppression.
@@ -116,6 +153,7 @@ inline bool LineAllows(const ProgramFacts& pf, const std::string& file,
 inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
   ProgramFacts pf;
   std::vector<AttrDecl> attr_decls;
+  std::map<std::string, std::set<std::string>> member_type_cands;
   for (const SourceFile& f : files) {
     TuFacts tu = ExtractTuFacts(f.path, LexCpp(f.content));
     for (FunctionFacts& fn : tu.functions) {
@@ -123,7 +161,16 @@ inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
     }
     for (LockDecl& lock : tu.locks) pf.locks.push_back(std::move(lock));
     for (AttrDecl& a : tu.attr_decls) attr_decls.push_back(std::move(a));
+    for (GuardedDecl& g : tu.guarded) pf.guarded.push_back(std::move(g));
+    for (SwitchFacts& s : tu.switches) pf.switches.push_back(std::move(s));
+    for (EnumDecl& e : tu.enums) pf.enums.push_back(std::move(e));
+    for (const MemberTypeDecl& m : tu.member_types) {
+      member_type_cands[m.member].insert(m.type);
+    }
     pf.file_lines[f.path] = graph_detail::SplitLines(f.content);
+  }
+  for (const auto& [member, types] : member_type_cands) {
+    if (types.size() == 1) pf.member_types[member] = *types.begin();
   }
   // Merge prototype attributes onto the matching definitions.
   for (const AttrDecl& a : attr_decls) {
@@ -131,6 +178,11 @@ inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
       if (fn.name == a.name && fn.cls == a.cls && fn.ns == a.ns) {
         fn.hot = fn.hot || a.hot;
         fn.noalloc = fn.noalloc || a.noalloc;
+        fn.event_loop = fn.event_loop || a.event_loop;
+        fn.may_block = fn.may_block || a.may_block;
+        for (const std::string& r : a.requires_locks) {
+          fn.requires_locks.push_back(r);
+        }
       }
     }
   }
@@ -219,6 +271,20 @@ inline std::vector<size_t> ResolveCall(const ProgramFacts& pf,
     }
     if (!kept.empty()) cands = std::move(kept);
   };
+  // Receiver narrowing first: `service_->Lookup(..)` must prefer the class
+  // that `service_` is declared as over a same-class method that happens to
+  // share the name. Only applies when the receiver's type is known and
+  // unambiguous program-wide; narrow() keeps the over-approximation when
+  // the type has no method of that name.
+  if (call.member_access && !call.receiver.empty()) {
+    auto tit = pf.member_types.find(call.receiver);
+    if (tit != pf.member_types.end()) {
+      const std::string& type = tit->second;
+      narrow([&type](const FunctionFacts& f) {
+        return f.cls == type || graph_detail::EndsWithSegment(f.cls, type);
+      });
+    }
+  }
   narrow([&caller](const FunctionFacts& f) {
     return !caller.cls.empty() && f.cls == caller.cls && f.ns == caller.ns;
   });
@@ -468,13 +534,307 @@ inline std::vector<Finding> AnalyzeHotPaths(const ProgramFacts& pf) {
   return findings;
 }
 
-/// Runs the whole-program analyses (lock-cycle + hot-path) over a file set.
-inline std::vector<Finding> AnalyzeProgram(
-    const std::vector<SourceFile>& files) {
+/// Event-loop blocking discipline: walks callees from every FVAE_EVENT_LOOP
+/// root and reports anything that can stall the loop thread —
+///
+///   loop-block      blocking syscalls, sleeps, condvar waits, thread
+///                   joins, RetryWithBackoff, recv/send without
+///                   MSG_DONTWAIT, anywhere on the reachable chain
+///   loop-io         file IO on the chain (sleeps report as loop-block)
+///   loop-lock       acquisition of a lock that is neither
+///                   FVAE_LOOP_LOCK_EXEMPT nor FVAE_HOT_LOCK_EXEMPT
+///   loop-may-block  a call that reaches an FVAE_MAY_BLOCK function; the
+///                   walk reports at the call line and does not descend
+///
+/// `fvae-lint: allow(loop-path)` on a call line cuts that edge out of the
+/// walk, mirroring allow(hot-path).
+inline std::vector<Finding> AnalyzeEventLoops(const ProgramFacts& pf) {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;  // rule|file|line dedup across roots
+  auto report = [&findings, &seen](const std::string& rule,
+                                   const FunctionFacts& fn, size_t line,
+                                   const std::string& message) {
+    std::ostringstream key;
+    key << rule << "|" << fn.file << "|" << line;
+    if (seen.insert(key.str()).second) {
+      findings.push_back({fn.file, line, rule, message});
+    }
+  };
+
+  for (size_t root = 0; root < pf.functions.size(); ++root) {
+    if (!pf.functions[root].event_loop || pf.functions[root].may_block) {
+      continue;
+    }
+    const std::string& root_name = pf.functions[root].qualified;
+    std::map<size_t, size_t> parent;
+    std::deque<size_t> queue;
+    std::set<size_t> visited;
+    queue.push_back(root);
+    visited.insert(root);
+    auto chain_of = [&parent, &pf, root](size_t fi) {
+      std::vector<std::string> parts;
+      for (size_t cur = fi;; cur = parent[cur]) {
+        parts.push_back(pf.functions[cur].qualified);
+        if (cur == root) break;
+      }
+      std::string chain;
+      for (size_t p = parts.size(); p-- > 0;) {
+        chain += parts[p];
+        if (p != 0) chain += " -> ";
+      }
+      return chain;
+    };
+    while (!queue.empty()) {
+      const size_t fi = queue.front();
+      queue.pop_front();
+      const FunctionFacts& fn = pf.functions[fi];
+      for (const PurityFact& b : fn.blocking) {
+        if (LineAllows(pf, fn.file, b.line, "loop-block")) continue;
+        report("loop-block", fn, b.line,
+               "blocking call '" + b.token +
+                   "' reachable from FVAE_EVENT_LOOP " + root_name + " via " +
+                   chain_of(fi));
+      }
+      for (const PurityFact& io : fn.ios) {
+        // Sleeps sit in both token sets; they report as loop-block above.
+        if (facts_detail::IsBlockingCall(io.token)) continue;
+        if (LineAllows(pf, fn.file, io.line, "loop-io")) continue;
+        report("loop-io", fn, io.line,
+               "IO touch '" + io.token + "' reachable from FVAE_EVENT_LOOP " +
+                   root_name + " via " + chain_of(fi));
+      }
+      for (const LockAcq& acq : fn.acquisitions) {
+        const LockDecl* lock = ResolveLock(pf, fn, acq.lock);
+        if (lock != nullptr && (lock->hot_exempt || lock->loop_exempt)) {
+          continue;
+        }
+        if (LineAllows(pf, fn.file, acq.line, "loop-lock")) continue;
+        report("loop-lock", fn, acq.line,
+               "lock '" + (lock != nullptr ? lock->id : acq.lock) +
+                   "' (neither FVAE_LOOP_LOCK_EXEMPT nor "
+                   "FVAE_HOT_LOCK_EXEMPT) acquired on loop path from " +
+                   root_name + " via " + chain_of(fi));
+      }
+      for (const CallSite& call : fn.calls) {
+        if (LineAllows(pf, fn.file, call.line, "loop-path")) continue;
+        for (size_t ci : ResolveCall(pf, fn, call)) {
+          const FunctionFacts& callee = pf.functions[ci];
+          if (callee.may_block) {
+            if (!LineAllows(pf, fn.file, call.line, "loop-may-block")) {
+              report("loop-may-block", fn, call.line,
+                     "call to FVAE_MAY_BLOCK " + callee.qualified +
+                         " from FVAE_EVENT_LOOP " + root_name + " via " +
+                         chain_of(fi));
+            }
+            continue;  // the annotation concedes the body; do not descend
+          }
+          if (visited.insert(ci).second) {
+            parent[ci] = fi;
+            queue.push_back(ci);
+          }
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+/// Portable guarded-by enforcement: every recorded read/write of an
+/// FVAE_GUARDED_BY(m) member must occur where `m` is held — via an RAII
+/// guard in scope, a manual Lock() without intervening Unlock(), or an
+/// FVAE_REQUIRES(m) on the enclosing function (prototype annotations are
+/// merged onto definitions by LinkProgram).
+///
+/// Model (docs/ARCHITECTURE.md §7 spells out the deltas vs Clang):
+///  - bare accesses (`member_`) bind to guarded members of the enclosing
+///    class (suffix match on nested classes);
+///  - receiver-form accesses (`obj.member` / `obj->member`) are enforced
+///    only within the declaring component — the access's file must share
+///    the declaring header's stem (`src/obs/trace.h` covers
+///    `src/obs/trace.cc`) — because binding foreign receivers by member
+///    name alone would misfire on unrelated fields (e.g. epoll_event's
+///    `events` vs a guarded `events` buffer);
+///  - constructors and destructors are exempt (the object is not shared);
+///  - a lock name satisfies a guard when it matches the guard expression's
+///    last segment, so `MutexLock l(buffer.mutex)` satisfies
+///    FVAE_GUARDED_BY(mutex) on the buffer's fields.
+/// Escape hatch: `fvae-lint: allow(guarded-by)` on the access line.
+inline std::vector<Finding> AnalyzeGuardedBy(const ProgramFacts& pf) {
+  std::map<std::string, std::vector<const GuardedDecl*>> by_member;
+  for (const GuardedDecl& g : pf.guarded) by_member[g.member].push_back(&g);
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  for (const FunctionFacts& fn : pf.functions) {
+    if (fn.accesses.empty()) continue;
+    if (!fn.cls.empty() &&
+        (fn.name == graph_detail::LastSegment(fn.cls) || fn.name[0] == '~')) {
+      continue;  // ctor/dtor: the object is not yet / no longer shared
+    }
+    for (const MemberAccess& access : fn.accesses) {
+      auto it = by_member.find(access.member);
+      if (it == by_member.end()) continue;
+      std::vector<const GuardedDecl*> cands;
+      for (const GuardedDecl* g : it->second) {
+        if (access.receiver.empty()) {
+          if (g->ns == fn.ns && !fn.cls.empty() &&
+              (g->cls == fn.cls ||
+               graph_detail::EndsWithSegment(fn.cls, g->cls))) {
+            cands.push_back(g);
+          }
+        } else if (graph_detail::FileStem(g->file) ==
+                   graph_detail::FileStem(fn.file)) {
+          cands.push_back(g);
+        }
+      }
+      if (cands.empty()) continue;
+      bool satisfied = false;
+      for (const GuardedDecl* g : cands) {
+        const std::string want = graph_detail::LastSegment(g->guard);
+        for (const std::string& h : access.held) {
+          if (h == want || h == g->guard) {
+            satisfied = true;
+            break;
+          }
+        }
+        for (const std::string& r : fn.requires_locks) {
+          if (satisfied) break;
+          if (graph_detail::LastSegment(r) == want) satisfied = true;
+        }
+        if (satisfied) break;
+      }
+      if (satisfied) continue;
+      if (LineAllows(pf, fn.file, access.line, "guarded-by")) continue;
+      std::ostringstream key;
+      key << fn.file << "|" << access.line << "|" << access.member;
+      if (!seen.insert(key.str()).second) continue;
+      const GuardedDecl* g = cands.front();
+      std::ostringstream msg;
+      msg << "'" << access.member << "' is FVAE_GUARDED_BY(" << g->guard
+          << ") (declared at " << g->file << ":" << g->line
+          << ") but is accessed in " << fn.qualified << " without holding '"
+          << g->guard << "'";
+      findings.push_back({fn.file, access.line, "guarded-by", msg.str()});
+    }
+  }
+  return findings;
+}
+
+namespace graph_detail {
+
+/// A `default:` is a justified escape from exhaustiveness only when it
+/// carries a comment (on its line or the one above) saying why.
+inline bool DefaultJustified(const ProgramFacts& pf, const SwitchFacts& sw) {
+  auto it = pf.file_lines.find(sw.file);
+  if (it == pf.file_lines.end()) return false;
+  const size_t lines[] = {sw.default_line, sw.default_line - 1};
+  for (size_t l : lines) {
+    if (l == 0 || l > it->second.size()) continue;
+    const std::string& text = it->second[l - 1];
+    const size_t pos = text.find("//");
+    if (pos != std::string::npos &&
+        text.find_first_not_of(" /", pos) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace graph_detail
+
+/// Exhaustive-switch enforcement for wire enums: a `switch` whose case
+/// labels name a known `enum class` (e.g. `case Verb::kLookup:`) must
+/// either cover every enumerator or carry a `default:` with a justifying
+/// comment — so adding a protocol verb cannot silently skip a handler.
+/// Suppression: `fvae-lint: allow(verb-switch)` on the switch line.
+inline std::vector<Finding> AnalyzeEnumSwitches(const ProgramFacts& pf) {
+  std::vector<Finding> findings;
+  for (const SwitchFacts& sw : pf.switches) {
+    const EnumDecl* en = nullptr;
+    std::set<std::string> covered;
+    for (const std::string& chain : sw.cases) {
+      const size_t pos = chain.rfind("::");
+      if (pos == std::string::npos) continue;
+      const std::string prefix = chain.substr(0, pos);
+      const std::string label = chain.substr(pos + 2);
+      for (const EnumDecl& cand : pf.enums) {
+        std::string qual = cand.ns;
+        if (!cand.cls.empty()) {
+          qual += qual.empty() ? cand.cls : "::" + cand.cls;
+        }
+        qual += qual.empty() ? cand.name : "::" + cand.name;
+        if (qual == prefix || graph_detail::EndsWithSegment(qual, prefix)) {
+          en = &cand;
+          covered.insert(label);
+          break;
+        }
+      }
+    }
+    if (en == nullptr) continue;
+    std::vector<std::string> missing;
+    for (const std::string& e : en->enumerators) {
+      if (covered.count(e) == 0) missing.push_back(e);
+    }
+    if (missing.empty()) continue;
+    if (sw.has_default && graph_detail::DefaultJustified(pf, sw)) continue;
+    if (LineAllows(pf, sw.file, sw.line, "verb-switch")) continue;
+    std::ostringstream msg;
+    msg << "switch on " << en->name << " in " << sw.function
+        << " does not handle ";
+    for (size_t m = 0; m < missing.size(); ++m) {
+      if (m != 0) msg << ", ";
+      msg << en->name << "::" << missing[m];
+    }
+    msg << (sw.has_default
+                ? " and its default: has no justifying comment"
+                : " and has no default:");
+    findings.push_back({sw.file, sw.line, "verb-switch", msg.str()});
+  }
+  return findings;
+}
+
+/// Wall-clock cost of each whole-program pass; surfaced in the lint report
+/// and enforced by the fvae_lint ctest's --budget-ms self-runtime gate.
+struct AnalysisTiming {
+  double link_ms = 0;
+  double lock_cycle_ms = 0;
+  double hot_path_ms = 0;
+  double event_loop_ms = 0;
+  double guarded_by_ms = 0;
+  double verb_switch_ms = 0;
+};
+
+/// Runs the whole-program analyses (lock-cycle, hot-path, event-loop,
+/// guarded-by, verb-switch) over a file set.
+inline std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files,
+                                           AnalysisTiming* timing = nullptr) {
+  using Clock = std::chrono::steady_clock;
+  auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  const auto t0 = Clock::now();
   const ProgramFacts pf = LinkProgram(files);
+  const auto t1 = Clock::now();
   std::vector<Finding> findings = AnalyzeLockOrder(pf);
-  std::vector<Finding> hot = AnalyzeHotPaths(pf);
-  findings.insert(findings.end(), hot.begin(), hot.end());
+  const auto t2 = Clock::now();
+  auto append = [&findings](std::vector<Finding> more) {
+    findings.insert(findings.end(), more.begin(), more.end());
+  };
+  append(AnalyzeHotPaths(pf));
+  const auto t3 = Clock::now();
+  append(AnalyzeEventLoops(pf));
+  const auto t4 = Clock::now();
+  append(AnalyzeGuardedBy(pf));
+  const auto t5 = Clock::now();
+  append(AnalyzeEnumSwitches(pf));
+  const auto t6 = Clock::now();
+  if (timing != nullptr) {
+    timing->link_ms = ms(t0, t1);
+    timing->lock_cycle_ms = ms(t1, t2);
+    timing->hot_path_ms = ms(t2, t3);
+    timing->event_loop_ms = ms(t3, t4);
+    timing->guarded_by_ms = ms(t4, t5);
+    timing->verb_switch_ms = ms(t5, t6);
+  }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -37,6 +38,16 @@
 ///                      live in the RAII net::Fd wrapper (net/fd.h) so they
 ///                      cannot leak through an early return or be closed
 ///                      twice. Member calls (file.close()) are exempt.
+///   fd-leak            inside src/net/ (where the raw syscalls are
+///                      allowed), every descriptor-producing call —
+///                      socket()/accept()/accept4()/eventfd()/
+///                      epoll_create1()/open() — must appear *inside* the
+///                      argument list of an `Fd(...)` construction or an
+///                      `.Reset(...)` call, so the result is owned before
+///                      any statement can intervene. The paren-nesting
+///                      check runs on the token stream, so multi-line
+///                      wraps are fine; an intentionally raw result takes
+///                      `fvae-lint: allow(fd-leak)` on the call line.
 ///   header-guard       a header's include guard does not match the
 ///                      FVAE_<PATH>_H_ convention (or #pragma once).
 ///   using-namespace    file-scope `using namespace` in a header.
@@ -60,6 +71,16 @@
 ///   hot-alloc          FVAE_HOT_LOCK_EXEMPT; FVAE_NOALLOC roots also
 ///                      forbid heap-allocation tokens. The finding prints
 ///                      the call chain from the annotated root.
+///   loop-block /       functions transitively reachable from an
+///   loop-io /          FVAE_EVENT_LOOP root block (syscalls, sleeps,
+///   loop-lock /        condvar waits, joins, recv/send without
+///   loop-may-block     MSG_DONTWAIT), do file IO, take a non-exempt lock,
+///                      or call into an FVAE_MAY_BLOCK function.
+///   guarded-by         an FVAE_GUARDED_BY(m) member is accessed without
+///                      `m` held (RAII guard, manual Lock(), or
+///                      FVAE_REQUIRES on the enclosing function).
+///   verb-switch        a switch over a known enum class (the wire Verb)
+///                      misses enumerators without a justified default.
 ///
 /// Findings on a line carrying `fvae-lint: allow(<rule>)` are suppressed;
 /// `fvae-lint: allow(hot-path)` on a call line additionally prunes that
@@ -486,6 +507,67 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
     }
   }
 
+  // Fd-leak dataflow (src/net/ only — elsewhere raw-socket bans the calls
+  // outright): walk the token stream with a paren stack; a descriptor
+  // producer is legal only inside a paren group opened by an Fd
+  // construction (`Fd(..)`, `Fd name(..)`, `return Fd(..)`) or a Reset
+  // member call, which hands the int straight to the RAII owner.
+  if (options.allow_raw_sockets) {
+    static const std::set<std::string> kFdProducers = {
+        "socket", "accept", "accept4", "eventfd", "epoll_create1", "open"};
+    std::vector<bool> wrap_stack;  // one entry per open paren group
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          bool wrap = false;
+          if (i >= 1 && toks[i - 1].kind == TokKind::kIdent) {
+            const std::string& callee = toks[i - 1].text;
+            if (callee == "Fd") {
+              wrap = true;  // temporary: Fd(::socket(..))
+            } else if (i >= 2 && toks[i - 2].kind == TokKind::kIdent &&
+                       toks[i - 2].text == "Fd") {
+              wrap = true;  // declaration: Fd fd(::socket(..))
+            } else if (callee == "Reset" && i >= 2 &&
+                       toks[i - 2].kind == TokKind::kPunct &&
+                       (toks[i - 2].text == "." ||
+                        toks[i - 2].text == "->")) {
+              wrap = true;  // handoff: owner_.Reset(::eventfd(..))
+            }
+          }
+          wrap_stack.push_back(wrap);
+        } else if (t.text == ")") {
+          if (!wrap_stack.empty()) wrap_stack.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent || kFdProducers.count(t.text) == 0) {
+        continue;
+      }
+      if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+      // Member calls (file.open()) and foreign qualifications (ns::open)
+      // are not the POSIX producers; `::open(` and bare calls are.
+      if (i >= 1 &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+        continue;
+      }
+      if (i >= 2 && IsPunct(toks[i - 1], "::") &&
+          toks[i - 2].kind == TokKind::kIdent) {
+        continue;
+      }
+      bool wrapped = false;
+      for (bool w : wrap_stack) wrapped = wrapped || w;
+      if (!wrapped) {
+        report(t.line - 1, "fd-leak",
+               t.text +
+                   "() returns a raw descriptor that is not handed straight "
+                   "to net::Fd; wrap the call as Fd(" + t.text +
+                   "(..)) or owner.Reset(" + t.text +
+                   "(..)) so early returns cannot leak it");
+      }
+    }
+  }
+
   // Header hygiene: guard lines must exist, match the path-derived name,
   // and #pragma once is banned (guards keep the convention greppable).
   if (!options.expected_guard.empty()) {
@@ -521,13 +603,36 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
   return findings;
 }
 
+/// Wall-clock breakdown of a LintTree run, printed by fvae_lint so the
+/// analyzer's own cost stays visible as the tree grows, and gated by the
+/// ctest's --budget-ms check.
+struct LintTimings {
+  double scan_ms = 0;      // directory walk + file reads
+  double per_file_ms = 0;  // per-file rules over every file
+  size_t file_count = 0;
+  AnalysisTiming analysis;  // whole-program passes (link + 5 analyses)
+  double total_ms() const {
+    return scan_ms + per_file_ms + analysis.link_ms +
+           analysis.lock_cycle_ms + analysis.hot_path_ms +
+           analysis.event_loop_ms + analysis.guarded_by_ms +
+           analysis.verb_switch_ms;
+  }
+};
+
 /// Walks the repository tree rooted at `root` (src, tools, bench, tests,
 /// examples), collects Status/Result signatures, lints every source file,
-/// then runs the whole-program analyses (lock-cycle, hot-path purity) over
-/// `src/`. This is the whole program: fvae_lint's main() and the lint
-/// test's clean-tree check both call it.
-inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
+/// then runs the whole-program analyses (lock-cycle, hot-path purity,
+/// event-loop discipline, guarded-by, verb-switch) over `src/`. This is
+/// the whole program: fvae_lint's main() and the lint test's clean-tree
+/// check both call it.
+inline std::vector<Finding> LintTree(const std::filesystem::path& root,
+                                     LintTimings* timings = nullptr) {
   namespace fs = std::filesystem;
+  using Clock = std::chrono::steady_clock;
+  auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  const auto t0 = Clock::now();
   static const char* kDirs[] = {"src", "tools", "bench", "tests", "examples"};
   std::vector<std::pair<std::string, std::string>> files;  // rel path, body
   for (const char* dir : kDirs) {
@@ -545,6 +650,7 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     }
   }
   std::sort(files.begin(), files.end());
+  const auto t1 = Clock::now();
 
   std::set<std::string> status_functions;
   std::set<std::string> ambiguous;
@@ -578,6 +684,7 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
+  const auto t2 = Clock::now();
 
   // Whole-program analyses over production code only: test fixtures and
   // fakes must not add call-graph candidates or lock-order edges (they
@@ -590,8 +697,14 @@ inline std::vector<Finding> LintTree(const std::filesystem::path& root) {
     if (path == "src/common/mutex.h") continue;
     program.push_back({path, body});
   }
-  std::vector<Finding> analysis = AnalyzeProgram(program);
+  std::vector<Finding> analysis = AnalyzeProgram(
+      program, timings != nullptr ? &timings->analysis : nullptr);
   findings.insert(findings.end(), analysis.begin(), analysis.end());
+  if (timings != nullptr) {
+    timings->scan_ms = ms(t0, t1);
+    timings->per_file_ms = ms(t1, t2);
+    timings->file_count = files.size();
+  }
   return findings;
 }
 

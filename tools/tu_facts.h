@@ -42,6 +42,7 @@ struct CallSite {
   std::vector<std::string> quals;  // "::"-joined qualifier chain, outermost first
   std::string name;                // last component
   bool member_access = false;      // reached via '.' or '->'
+  std::string receiver;            // ident before the '.'/'->' ("" if none)
   size_t line = 0;
   std::vector<std::string> held;   // lock member-names held at the call
 };
@@ -64,6 +65,17 @@ struct LockNest {
   size_t line = 0;
 };
 
+/// One read/write of a (possibly guarded) data member inside a function
+/// body: a bare `queue_` in a method, or `buffer->events` with an explicit
+/// receiver. The guarded-by analysis matches these against FVAE_GUARDED_BY
+/// declarations; unguarded members simply never match.
+struct MemberAccess {
+  std::string member;
+  std::string receiver;  // "" for this-relative access
+  size_t line = 0;
+  std::vector<std::string> held;  // lock member-names held at the access
+};
+
 struct FunctionFacts {
   std::string file;
   size_t line = 0;
@@ -73,12 +85,17 @@ struct FunctionFacts {
   std::string qualified;  // ns::cls::name with empty parts skipped
   bool hot = false;
   bool noalloc = false;
+  bool event_loop = false;  // FVAE_EVENT_LOOP root
+  bool may_block = false;   // FVAE_MAY_BLOCK: blocks by design
+  std::vector<std::string> requires_locks;  // FVAE_REQUIRES(...) args
   std::vector<CallSite> calls;
   std::vector<LockAcq> acquisitions;
   std::vector<LockNest> nests;
   std::vector<PurityFact> allocs;
   std::vector<PurityFact> logs;
   std::vector<PurityFact> ios;
+  std::vector<PurityFact> blocking;  // loop-stalling tokens (poll, waits, …)
+  std::vector<MemberAccess> accesses;
 };
 
 /// A class-member lock declaration (fvae::Mutex / fvae::SharedMutex).
@@ -90,24 +107,72 @@ struct LockDecl {
   std::string member;
   std::string id;  // ns::cls::member
   bool hot_exempt = false;
+  bool loop_exempt = false;  // FVAE_LOOP_LOCK_EXEMPT
   std::vector<std::string> acquired_before;  // raw annotation args
   std::vector<std::string> acquired_after;
 };
 
-/// FVAE_HOT / FVAE_NOALLOC on a prototype (header declaration) whose body
-/// lives elsewhere; merged onto the definition during linking.
+/// Purity/loop/requires annotations on a prototype (header declaration)
+/// whose body lives elsewhere; merged onto the definition during linking.
 struct AttrDecl {
   std::string ns;
   std::string cls;
   std::string name;
   bool hot = false;
   bool noalloc = false;
+  bool event_loop = false;
+  bool may_block = false;
+  std::vector<std::string> requires_locks;
+};
+
+/// An FVAE_GUARDED_BY(m) data-member declaration.
+struct GuardedDecl {
+  std::string file;
+  size_t line = 0;
+  std::string ns;
+  std::string cls;
+  std::string member;
+  std::string guard;  // annotation argument ("mutex_", "Lock", …)
+};
+
+/// A class-scope data member with a plainly spelled type (`EpollLoop loop;`,
+/// `serving::EmbeddingService* service_;`). Feeds receiver-aware call
+/// resolution: `service_->Lookup(...)` narrows to EmbeddingService methods.
+struct MemberTypeDecl {
+  std::string cls;     // owning class
+  std::string member;
+  std::string type;    // last segment of the type name
+};
+
+/// A switch statement's case labels; only qualified labels (`Verb::kStats`)
+/// are recorded — they key the exhaustive-switch analysis to enum classes.
+struct SwitchFacts {
+  std::string file;
+  size_t line = 0;  // the `switch` line
+  std::string function;  // qualified enclosing function
+  std::vector<std::string> cases;  // "::"-joined label chains
+  bool has_default = false;
+  size_t default_line = 0;
+};
+
+/// An enum (class) declaration with its enumerators.
+struct EnumDecl {
+  std::string file;
+  size_t line = 0;
+  std::string ns;
+  std::string cls;
+  std::string name;
+  std::vector<std::string> enumerators;
 };
 
 struct TuFacts {
   std::vector<FunctionFacts> functions;
   std::vector<LockDecl> locks;
   std::vector<AttrDecl> attr_decls;
+  std::vector<GuardedDecl> guarded;
+  std::vector<MemberTypeDecl> member_types;
+  std::vector<SwitchFacts> switches;
+  std::vector<EnumDecl> enums;
 };
 
 namespace facts_detail {
@@ -161,11 +226,40 @@ inline bool IsIoToken(const std::string& ident) {
   return kSet.count(ident) > 0;
 }
 
+///// Bare / ::-qualified calls that park the calling thread: the core of the
+/// event-loop blocking discipline. RetryWithBackoff sleeps between
+/// attempts, so a call to it is blocking regardless of what it wraps.
+inline bool IsBlockingCall(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "poll",     "ppoll",     "select", "pselect",    "epoll_wait",
+      "sleep",    "usleep",    "nanosleep", "sleep_for", "sleep_until",
+      "RetryWithBackoff"};
+  return kSet.count(ident) > 0;
+}
+
+/// Member calls that park the calling thread: condition-variable waits and
+/// thread joins.
+inline bool IsBlockingMember(const std::string& ident) {
+  return ident == "Wait" || ident == "WaitUntil" || ident == "WaitFor" ||
+         ident == "join";
+}
+
+/// Socket transfer syscalls that must carry MSG_DONTWAIT when issued from
+/// an event-loop thread (an explicit, per-call non-blocking guarantee that
+/// holds even if the fd's O_NONBLOCK flag is ever mis-set).
+inline bool IsSocketTransfer(const std::string& ident) {
+  static const std::set<std::string> kSet = {"recv", "recvfrom", "recvmsg",
+                                             "send", "sendto",   "sendmsg"};
+  return kSet.count(ident) > 0;
+}
+
 struct Scope {
   enum Kind { kNamespace, kClass, kFunction, kBlock };
   Kind kind = kBlock;
-  std::string name;     // namespace / class name
-  int func_index = -1;  // kFunction: index into TuFacts::functions
+  std::string name;       // namespace / class name
+  int func_index = -1;    // kFunction: index into TuFacts::functions
+  int switch_index = -1;  // kBlock opened by `switch`: TuFacts::switches
+  int enum_index = -1;    // kBlock that is an enum body: TuFacts::enums
 };
 
 /// A held lock: RAII guards record the scope depth that releases them;
@@ -279,9 +373,12 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
   using facts_detail::HeldLock;
   using facts_detail::IsAllocFree;
   using facts_detail::IsAllocMember;
+  using facts_detail::IsBlockingCall;
+  using facts_detail::IsBlockingMember;
   using facts_detail::IsGuardType;
   using facts_detail::IsIoToken;
   using facts_detail::IsLogToken;
+  using facts_detail::IsSocketTransfer;
   using facts_detail::JoinQualified;
   using facts_detail::Scope;
   TuFacts facts;
@@ -353,7 +450,42 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
       scope.name = name;
       return scope;
     }
-    if (HasIdent(decl, "enum")) return scope;  // enum body: plain block
+    if (HasIdent(decl, "enum")) {
+      // Enum body: a plain block whose comma-separated identifiers are
+      // collected as enumerators (for the exhaustive-switch analysis).
+      EnumDecl en;
+      en.file = path_label;
+      en.line = decl.empty() ? 0 : decl.front().line;
+      en.ns = current_ns();
+      en.cls = current_cls();
+      for (size_t i = 0; i < decl.size(); ++i) {
+        if (decl[i].kind != TokKind::kIdent) continue;
+        if (decl[i].text == "enum" || decl[i].text == "class" ||
+            decl[i].text == "struct") {
+          continue;
+        }
+        en.name = decl[i].text;  // first ident after the keywords
+        break;
+      }
+      if (!en.name.empty()) {
+        scope.enum_index = static_cast<int>(facts.enums.size());
+        facts.enums.push_back(std::move(en));
+      }
+      return scope;
+    }
+    if (!decl.empty() && decl.front().kind == TokKind::kIdent &&
+        decl.front().text == "switch" && current_function() != nullptr) {
+      // Switch body: a plain block; case labels are recorded as they are
+      // seen so the exhaustive-switch analysis can compare them against
+      // the enum's declared enumerators.
+      SwitchFacts sw;
+      sw.file = path_label;
+      sw.line = decl.front().line;
+      sw.function = current_function()->qualified;
+      scope.switch_index = static_cast<int>(facts.switches.size());
+      facts.switches.push_back(std::move(sw));
+      return scope;
+    }
     const bool classish = !decl.empty() &&
                           (HasIdent(decl, "class") || HasIdent(decl, "struct") ||
                            HasIdent(decl, "union"));
@@ -416,6 +548,17 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     fn.qualified = JoinQualified(fn.ns, fn.cls, fn.name);
     fn.hot = HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC");
     fn.noalloc = HasIdent(decl, "FVAE_NOALLOC");
+    fn.event_loop = HasIdent(decl, "FVAE_EVENT_LOOP");
+    fn.may_block = HasIdent(decl, "FVAE_MAY_BLOCK");
+    for (size_t i = 0; i < decl.size(); ++i) {
+      if (decl[i].kind == TokKind::kIdent &&
+          (decl[i].text == "FVAE_REQUIRES" ||
+           decl[i].text == "FVAE_REQUIRES_SHARED")) {
+        for (auto& a : AnnotationArgs(decl, i)) {
+          fn.requires_locks.push_back(std::move(a));
+        }
+      }
+    }
     scope.kind = Scope::kFunction;
     scope.func_index = static_cast<int>(facts.functions.size());
     facts.functions.push_back(std::move(fn));
@@ -459,6 +602,9 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
         for (size_t j = i + 2; j < decl.size(); ++j) {
           if (decl[j].kind != TokKind::kIdent) continue;
           if (decl[j].text == "FVAE_HOT_LOCK_EXEMPT") lock.hot_exempt = true;
+          if (decl[j].text == "FVAE_LOOP_LOCK_EXEMPT") {
+            lock.loop_exempt = true;
+          }
           if (decl[j].text == "FVAE_ACQUIRED_BEFORE") {
             for (auto& a : AnnotationArgs(decl, j)) {
               lock.acquired_before.push_back(a);
@@ -474,9 +620,68 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
         break;
       }
     }
-    // Annotated prototype: FVAE_HOT / FVAE_NOALLOC on a declaration whose
-    // body lives in another file.
-    if (HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC")) {
+    // Guarded data member: `<type> name FVAE_GUARDED_BY(m) [= init];`.
+    // The member is the identifier immediately before the annotation.
+    if (!cls.empty()) {
+      for (size_t j = 0; j < decl.size(); ++j) {
+        if (decl[j].kind != TokKind::kIdent ||
+            decl[j].text != "FVAE_GUARDED_BY" || j == 0 ||
+            decl[j - 1].kind != TokKind::kIdent) {
+          continue;
+        }
+        const std::vector<std::string> args = AnnotationArgs(decl, j);
+        if (args.empty()) continue;
+        GuardedDecl g;
+        g.file = path_label;
+        g.line = decl[j].line;
+        g.ns = current_ns();
+        g.cls = cls;
+        g.member = decl[j - 1].text;
+        g.guard = args.front();
+        facts.guarded.push_back(std::move(g));
+        break;
+      }
+    }
+    // Plainly typed data member (`EpollLoop loop;`, `RpcServer* server =
+    // nullptr;`): the receiver-type map for call resolution. Decls with
+    // parens (methods, annotations) or template types fail the backward
+    // walk and are simply skipped.
+    if (!cls.empty() && !decl.empty()) {
+      std::vector<Tok> head = decl;
+      for (size_t j = 0; j < head.size(); ++j) {
+        if (head[j].kind == TokKind::kPunct && head[j].text == "=") {
+          head.resize(j);
+          break;
+        }
+      }
+      bool has_paren = false;
+      for (const Tok& t : head) {
+        if (t.kind == TokKind::kPunct && (t.text == "(" || t.text == ")")) {
+          has_paren = true;
+        }
+      }
+      if (!has_paren && head.size() >= 2 &&
+          head.back().kind == TokKind::kIdent &&
+          head.back().text.rfind("FVAE_", 0) != 0) {
+        const std::string member = head.back().text;
+        size_t j = head.size() - 1;
+        while (j > 0 && head[j - 1].kind == TokKind::kPunct &&
+               (head[j - 1].text == "*" || head[j - 1].text == "&")) {
+          --j;
+        }
+        if (j > 0 && head[j - 1].kind == TokKind::kIdent &&
+            head[j - 1].text != "const" && head[j - 1].text != member &&
+            ControlKeywords().count(head[j - 1].text) == 0) {
+          facts.member_types.push_back({cls, member, head[j - 1].text});
+        }
+      }
+    }
+    // Annotated prototype: purity / event-loop / requires annotations on a
+    // declaration whose body lives in another file.
+    if (HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC") ||
+        HasIdent(decl, "FVAE_EVENT_LOOP") || HasIdent(decl, "FVAE_MAY_BLOCK") ||
+        HasIdent(decl, "FVAE_REQUIRES") ||
+        HasIdent(decl, "FVAE_REQUIRES_SHARED")) {
       const std::vector<std::string> chain = DeclaratorName(decl);
       if (!chain.empty()) {
         AttrDecl attr;
@@ -487,8 +692,19 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
           attr.cls += chain[i];
         }
         attr.name = chain.back();
-        attr.hot = true;
+        attr.hot = HasIdent(decl, "FVAE_HOT") || HasIdent(decl, "FVAE_NOALLOC");
         attr.noalloc = HasIdent(decl, "FVAE_NOALLOC");
+        attr.event_loop = HasIdent(decl, "FVAE_EVENT_LOOP");
+        attr.may_block = HasIdent(decl, "FVAE_MAY_BLOCK");
+        for (size_t i = 0; i < decl.size(); ++i) {
+          if (decl[i].kind == TokKind::kIdent &&
+              (decl[i].text == "FVAE_REQUIRES" ||
+               decl[i].text == "FVAE_REQUIRES_SHARED")) {
+            for (auto& a : AnnotationArgs(decl, i)) {
+              attr.requires_locks.push_back(std::move(a));
+            }
+          }
+        }
         facts.attr_decls.push_back(std::move(attr));
       }
     }
@@ -540,6 +756,14 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     }
     decl.push_back(tok);
 
+    // Enum-body enumerators: identifiers directly after '{' or ','.
+    if (tok.kind == TokKind::kIdent && !stack.empty() &&
+        stack.back().enum_index >= 0 && i > 0 &&
+        tokens[i - 1].kind == TokKind::kPunct &&
+        (tokens[i - 1].text == "{" || tokens[i - 1].text == ",")) {
+      facts.enums[stack.back().enum_index].enumerators.push_back(tok.text);
+    }
+
     // ---- in-function fact extraction ----
     if (fn == nullptr || tok.kind != TokKind::kIdent) continue;
     const std::string& id = tok.text;
@@ -587,13 +811,76 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     }
     if (after_member && (id == "Unlock" || id == "UnlockShared") &&
         next != nullptr && next->text == "(") {
-      if (i >= 2 && tokens[i - 2].kind == TokKind::kIdent) {
+      // `mu_.Unlock(); return;` (or break/continue) is an early exit: the
+      // linear token walk proceeds into the fall-through path, where the
+      // lock is still held, so the release must not apply there.
+      bool early_exit = false;
+      {
+        size_t j = i + 1;  // at '('
+        int depth = 0;
+        while (j < tokens.size()) {
+          if (tokens[j].kind == TokKind::kPunct) {
+            if (tokens[j].text == "(") ++depth;
+            if (tokens[j].text == ")" && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+        if (j + 1 < tokens.size() && tokens[j].kind == TokKind::kPunct &&
+            tokens[j].text == ";" &&
+            tokens[j + 1].kind == TokKind::kIdent &&
+            (tokens[j + 1].text == "return" ||
+             tokens[j + 1].text == "break" ||
+             tokens[j + 1].text == "continue")) {
+          early_exit = true;
+        }
+      }
+      if (!early_exit && i >= 2 && tokens[i - 2].kind == TokKind::kIdent) {
         const std::string& name = tokens[i - 2].text;
         for (size_t h = held.size(); h-- > 0;) {
           if (held[h].name == name) {
             held.erase(held.begin() + static_cast<long>(h));
             break;
           }
+        }
+      }
+      continue;
+    }
+
+    // Switch case labels: `case A::B:` chains and `default:`.
+    if ((id == "case" || id == "default") && !after_member && !after_scope) {
+      int sw = -1;
+      for (size_t s = stack.size(); s-- > 0;) {
+        if (stack[s].switch_index >= 0) {
+          sw = stack[s].switch_index;
+          break;
+        }
+        if (stack[s].kind == Scope::kFunction) break;
+      }
+      if (sw >= 0) {
+        SwitchFacts& facts_sw = facts.switches[static_cast<size_t>(sw)];
+        if (id == "default" && next != nullptr &&
+            next->kind == TokKind::kPunct && next->text == ":") {
+          facts_sw.has_default = true;
+          facts_sw.default_line = tok.line;
+        } else if (id == "case") {
+          std::string chain;
+          size_t j = i + 1;
+          while (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
+            if (!chain.empty()) chain += "::";
+            chain += tokens[j].text;
+            if (j + 2 < tokens.size() &&
+                tokens[j + 1].kind == TokKind::kPunct &&
+                tokens[j + 1].text == "::" &&
+                tokens[j + 2].kind == TokKind::kIdent) {
+              j += 2;
+            } else {
+              break;
+            }
+          }
+          if (!chain.empty()) facts_sw.cases.push_back(chain);
         }
       }
       continue;
@@ -614,6 +901,63 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     if (IsLogToken(id)) fn->logs.push_back({id, tok.line});
     if (IsIoToken(id)) fn->ios.push_back({id, tok.line});
 
+    // Blocking facts for the event-loop walk. Sleeps appear in IsIoToken
+    // too; AnalyzeEventLoops skips io facts that are also blocking facts so
+    // a single call is reported once.
+    if (!after_member && IsBlockingCall(id) && next != nullptr &&
+        next->kind == TokKind::kPunct && next->text == "(") {
+      fn->blocking.push_back({id, tok.line});
+    } else if (after_member && IsBlockingMember(id) && next != nullptr &&
+               next->kind == TokKind::kPunct && next->text == "(") {
+      fn->blocking.push_back({id, tok.line});
+    } else if (!after_member && IsSocketTransfer(id) && next != nullptr &&
+               next->kind == TokKind::kPunct && next->text == "(") {
+      // recv()/send() block unless the flags argument carries MSG_DONTWAIT
+      // (the socket itself being O_NONBLOCK is invisible here, so the walk
+      // demands the explicit per-call flag).
+      bool dontwait = false;
+      size_t j = i + 1;
+      int depth = 0;
+      while (j < tokens.size()) {
+        if (tokens[j].kind == TokKind::kPunct) {
+          if (tokens[j].text == "(") ++depth;
+          if (tokens[j].text == ")" && --depth == 0) break;
+        } else if (tokens[j].kind == TokKind::kIdent &&
+                   tokens[j].text == "MSG_DONTWAIT") {
+          dontwait = true;
+        }
+        ++j;
+      }
+      if (!dontwait) {
+        fn->blocking.push_back({id + " without MSG_DONTWAIT", tok.line});
+      }
+    }
+
+    // Guarded-member access facts. A member access is either receiver-form
+    // (`obj.member` / `obj->member`, receiver an identifier) or bare
+    // (`member_` — trailing-underscore members of the enclosing class).
+    // Calls are recorded as CallSites instead, and `A::b` scope uses are
+    // enumerator/static references, not object accesses.
+    if (!after_scope &&
+        !(next != nullptr && next->kind == TokKind::kPunct &&
+          next->text == "(")) {
+      if (after_member && i >= 2 && tokens[i - 2].kind == TokKind::kIdent) {
+        MemberAccess access;
+        access.member = id;
+        access.receiver =
+            tokens[i - 2].text == "this" ? "" : tokens[i - 2].text;
+        access.line = tok.line;
+        access.held = held_names();
+        fn->accesses.push_back(std::move(access));
+      } else if (!after_member && id.size() > 1 && id.back() == '_') {
+        MemberAccess access;
+        access.member = id;
+        access.line = tok.line;
+        access.held = held_names();
+        fn->accesses.push_back(std::move(access));
+      }
+    }
+
     // Call site: identifier followed by '(' that is not a control keyword.
     if (next != nullptr && next->kind == TokKind::kPunct &&
         next->text == "(" && ControlKeywords().count(id) == 0) {
@@ -632,6 +976,11 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
       call.member_access =
           back >= 1 && tokens[back - 1].kind == TokKind::kPunct &&
           (tokens[back - 1].text == "." || tokens[back - 1].text == "->");
+      if (call.member_access && back >= 2 &&
+          tokens[back - 2].kind == TokKind::kIdent &&
+          tokens[back - 2].text != "this") {
+        call.receiver = tokens[back - 2].text;
+      }
       (void)after_scope;
       fn->calls.push_back(std::move(call));
     }
