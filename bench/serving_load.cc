@@ -12,18 +12,24 @@
 // With --net, a third phase measures the same service behind the epoll RPC
 // front-end over loopback sockets: direct (one server, one channel per
 // client thread) and routed (three replicas behind a ShardRouterClient).
+// The routed topology then drives traced fold-in requests and joins client
+// and server spans on trace_id into a per-hop latency breakdown —
+// queue-wait vs encode vs wire — reported under "net_loopback"."hops".
 //
 // Outputs: bench_results/serving_load.txt (human-readable) and
 // BENCH_serving.json + bench_results/BENCH_serving.json (machine-readable
 // {qps, p50_us, p99_us} per configuration; "net_loopback" under --net).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -35,6 +41,7 @@
 #include "net/rpc_client.h"
 #include "net/rpc_server.h"
 #include "net/shard_router.h"
+#include "obs/trace.h"
 #include "serving/embedding_service.h"
 #include "serving/fold_in.h"
 #include "serving/load_gen.h"
@@ -129,26 +136,96 @@ NetPhaseResult DriveLookups(
           latency.Percentile(50.0), latency.Percentile(99.0)};
 }
 
+/// Per-hop latency breakdown assembled from stitched traces: one entry per
+/// fully-stitched request (client send span + server reply span sharing a
+/// trace_id; batcher spans when the request took the fold-in path).
+struct HopStats {
+  size_t traces = 0;
+  LatencyHistogram client_send_us;
+  LatencyHistogram server_reply_us;
+  LatencyHistogram queue_wait_us;
+  LatencyHistogram encode_us;
+  /// Client-observed send minus server-side envelope: framing + syscalls +
+  /// loopback transit + the client's poll wakeup.
+  LatencyHistogram wire_us;
+
+  std::string Json() const {
+    return "{\"traces\":" + std::to_string(traces) +
+           ",\"client_send_us\":" + client_send_us.SummaryJson() +
+           ",\"server_reply_us\":" + server_reply_us.SummaryJson() +
+           ",\"queue_wait_us\":" + queue_wait_us.SummaryJson() +
+           ",\"encode_us\":" + encode_us.SummaryJson() +
+           ",\"wire_us\":" + wire_us.SummaryJson() + "}";
+  }
+};
+
+/// Drives traced fold-in requests through the router (cold users, so the
+/// owning replica goes through its batcher), then joins client and server
+/// spans on trace_id. Everything is in-process over loopback, so the one
+/// global recorder sees both halves of every trace. Out-param because the
+/// histograms are atomic-backed and neither copyable nor movable.
+void RunTracedHops(net::ShardRouterClient& router,
+                   const MultiFieldDataset& dataset,
+                   std::span<const uint32_t> cold_ids, size_t requests,
+                   HopStats* stats) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Reset();
+  recorder.Enable();
+  for (size_t i = 0; i < requests && i < cold_ids.size(); ++i) {
+    const uint32_t user = cold_ids[i];
+    // Only the recorded spans matter here; per-request errors surface as
+    // missing hops in the stitched-trace count.
+    (void)router.EncodeFoldIn(user, serving::RawFeaturesOf(dataset, user));
+  }
+  recorder.Disable();
+
+  std::map<uint64_t, std::vector<obs::TraceEvent>> by_trace;
+  for (const obs::TraceEvent& event : recorder.Events()) {
+    if (event.trace_id != 0) by_trace[event.trace_id].push_back(event);
+  }
+  for (const auto& [trace_id, events] : by_trace) {
+    double send = 0.0, reply = 0.0, queue = 0.0, encode = 0.0;
+    for (const obs::TraceEvent& event : events) {
+      const std::string_view name = event.name;
+      const double d = double(event.duration_us);
+      // max(): a hedged request has two send arms; the winner dominates.
+      if (name == "net.client.send") send = std::max(send, d);
+      if (name == "net.server.reply") reply = std::max(reply, d);
+      if (name == "serving.batcher.queue_wait") queue = std::max(queue, d);
+      if (name == "serving.batcher.encode") encode = std::max(encode, d);
+    }
+    if (send <= 0.0 || reply <= 0.0) continue;  // not fully stitched
+    ++stats->traces;
+    stats->client_send_us.Record(send);
+    stats->server_reply_us.Record(reply);
+    if (queue > 0.0) stats->queue_wait_us.Record(queue);
+    if (encode > 0.0) stats->encode_us.Record(encode);
+    stats->wire_us.Record(std::max(0.0, send - reply));
+  }
+  recorder.Reset();
+}
+
 struct NetLoopbackResult {
   NetPhaseResult direct_1shard;
   NetPhaseResult routed_3shard;
+  HopStats hops;
 };
 
 /// Loopback-socket serving: the full wire path (framing, CRC, epoll loops,
 /// backpressure) minus real network distance. Direct = each client thread
 /// owns one RpcChannel to a single server; routed = all threads share a
 /// ShardRouterClient consistent-hashing over three replicas.
-NetLoopbackResult RunNetLoopback(const core::FieldVae& model,
-                                 const MultiFieldDataset& dataset,
-                                 std::span<const uint32_t> hot_ids,
-                                 size_t num_threads, size_t requests) {
+void RunNetLoopback(const core::FieldVae& model,
+                    const MultiFieldDataset& dataset,
+                    std::span<const uint32_t> hot_ids,
+                    std::span<const uint32_t> cold_ids, size_t num_threads,
+                    size_t requests, NetLoopbackResult* out) {
   serving::EmbeddingServiceOptions options;
   options.num_shards = 16;
   options.enable_batcher = true;
   options.batcher.max_batch_size = num_threads;
   options.batcher.max_wait_micros = 100;
 
-  NetLoopbackResult out;
   {
     serving::FvaeFoldInEncoder encoder(&model);
     serving::EmbeddingService service(
@@ -165,7 +242,7 @@ NetLoopbackResult RunNetLoopback(const core::FieldVae& model,
       FVAE_CHECK(channel.ok()) << channel.status().ToString();
       channels.push_back(std::move(*channel));
     }
-    out.direct_1shard = DriveLookups(
+    out->direct_1shard = DriveLookups(
         num_threads, requests, hot_ids.size(),
         [&](size_t t, uint64_t user) { return channels[t]->Lookup(user); });
     server.Stop();
@@ -190,12 +267,13 @@ NetLoopbackResult RunNetLoopback(const core::FieldVae& model,
                           std::to_string(servers.back()->port()));
     }
     net::ShardRouterClient router(endpoints);
-    out.routed_3shard = DriveLookups(
+    out->routed_3shard = DriveLookups(
         num_threads, requests, hot_ids.size(),
         [&](size_t, uint64_t user) { return router.Lookup(user); });
+    RunTracedHops(router, dataset, cold_ids,
+                  std::min<size_t>(cold_ids.size(), 256), &out->hops);
     for (auto& server : servers) server->Stop();
   }
-  return out;
 }
 
 int Main(bool net_loopback) {
@@ -253,12 +331,15 @@ int Main(bool net_loopback) {
   const double cold_speedup =
       off.cold.Qps() > 0.0 ? on.cold.Qps() / off.cold.Qps() : 0.0;
 
-  NetLoopbackResult net{};
+  NetLoopbackResult net;
   if (net_loopback) {
     std::printf("\nnet loopback: %zu clients x %zu lookups per topology\n",
                 num_threads, mixed_requests);
-    net = RunNetLoopback(model, gen.dataset, hot_ids, num_threads,
-                         mixed_requests);
+    // The net phase builds fresh replicas that materialize only hot_ids,
+    // so cold_on users are first-touch fold-ins there regardless of the
+    // earlier in-process phase.
+    RunNetLoopback(model, gen.dataset, hot_ids, cold_on, num_threads,
+                   mixed_requests, &net);
   }
 
   std::string table;
@@ -290,6 +371,16 @@ int Main(bool net_loopback) {
     };
     add_net_row("net-direct-1", net.direct_1shard);
     add_net_row("net-routed-3", net.routed_3shard);
+    std::snprintf(line, sizeof(line),
+                  "\nrouted fold-in hop breakdown (%zu stitched traces, "
+                  "p50 us): queue-wait %.1f  encode %.1f  server %.1f  "
+                  "wire %.1f  client %.1f\n",
+                  net.hops.traces, net.hops.queue_wait_us.Percentile(50.0),
+                  net.hops.encode_us.Percentile(50.0),
+                  net.hops.server_reply_us.Percentile(50.0),
+                  net.hops.wire_us.Percentile(50.0),
+                  net.hops.client_send_us.Percentile(50.0));
+    table += line;
   }
   std::snprintf(line, sizeof(line),
                 "\ncold-user (fold-in) throughput speedup from "
@@ -327,7 +418,8 @@ int Main(bool net_loopback) {
     };
     json += "  \"net_loopback\": {\n";
     json += "     \"direct_1shard\": " + net_json(net.direct_1shard) + ",\n";
-    json += "     \"routed_3shard\": " + net_json(net.routed_3shard) + "},\n";
+    json += "     \"routed_3shard\": " + net_json(net.routed_3shard) + ",\n";
+    json += "     \"hops\": " + net.hops.Json() + "},\n";
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "  \"cold_speedup\": %.3f\n", cold_speedup);

@@ -69,6 +69,17 @@ class LatencyHistogram {
 
   size_t num_buckets() const { return buckets_.size(); }
 
+  /// Observations recorded into bucket `i` (relaxed read; eventually
+  /// consistent like every other reader). For cumulative-bucket exporters
+  /// (Prometheus text exposition).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of bucket `i`. The last bucket is open-ended — exporters
+  /// must render it as +Inf rather than calling this on it.
+  double BucketUpperEdge(size_t i) const { return BucketUpper(i); }
+
  private:
   size_t BucketIndex(double value) const;
   /// Lower edge of bucket i (0 for bucket 0).

@@ -22,7 +22,38 @@ ServerMetrics::ServerMetrics(obs::MetricsRegistry* registry)
           registry_->Counter("net.server.backpressure_pauses")),
       open_connections_(registry_->Gauge("net.server.open_connections")),
       request_latency_us_(
-          registry_->Histo("net.server.request_latency_us")) {}
+          registry_->Histo("net.server.request_latency_us")),
+      request_exemplars_(
+          registry_->Exemplars("net.server.request_latency_us")),
+      slow_traces_(/*capacity=*/64) {
+  // Verb names are part of the introspection contract — keep in sync with
+  // the Verb enum (and VerbName below).
+  verb_latency_us_ = {
+      &registry_->Histo("net.server.health.latency_us"),
+      &registry_->Histo("net.server.lookup.latency_us"),
+      &registry_->Histo("net.server.encode_fold_in.latency_us"),
+      &registry_->Histo("net.server.stats.latency_us"),
+      &registry_->Histo("net.server.introspect.latency_us"),
+  };
+}
+
+namespace {
+const char* VerbName(size_t verb) {
+  switch (static_cast<Verb>(verb)) {
+    case Verb::kHealth:
+      return "health";
+    case Verb::kLookup:
+      return "lookup";
+    case Verb::kEncodeFoldIn:
+      return "encode_fold_in";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kIntrospect:
+      return "introspect";
+  }
+  return "unknown";
+}
+}  // namespace
 
 std::string ServerMetrics::ToJson() const {
   std::string out = StrFormat(
@@ -41,7 +72,12 @@ std::string ServerMetrics::ToJson() const {
       static_cast<unsigned long long>(bytes_tx.Value()),
       static_cast<unsigned long long>(backpressure_pauses.Value()));
   out += ",\"request_latency_us\":" + request_latency_us_.SummaryJson();
-  out += "}";
+  out += ",\"verb_latency_us\":{";
+  for (size_t v = 0; v < kNumVerbs; ++v) {
+    out += StrFormat("%s\"%s\":", v == 0 ? "" : ",", VerbName(v));
+    out += verb_latency_us_[v]->SummaryJson();
+  }
+  out += "}}";
   return out;
 }
 

@@ -1,13 +1,17 @@
 #ifndef FVAE_NET_NET_METRICS_H_
 #define FVAE_NET_NET_METRICS_H_
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "net/wire.h"
+#include "obs/exemplars.h"
 #include "obs/metrics_registry.h"
+#include "obs/slow_trace_ring.h"
 
 namespace fvae::net {
 
@@ -46,11 +50,29 @@ class ServerMetrics {
   /// Server-side request latency (frame in -> response queued), micros.
   LatencyHistogram& request_latency_us() { return request_latency_us_; }
 
+  /// One latency histogram per verb; Introspect serves the per-verb p50/p99
+  /// the `fvae top` dashboard renders.
+  static constexpr size_t kNumVerbs =
+      static_cast<size_t>(Verb::kIntrospect) + 1;
+  LatencyHistogram& verb_latency_us(Verb verb) {
+    return *verb_latency_us_[static_cast<size_t>(verb)];
+  }
+
+  /// Tail-based slow/errored request capture (lock-free ring).
+  obs::SlowTraceRing& slow_traces() { return slow_traces_; }
+  const obs::SlowTraceRing& slow_traces() const { return slow_traces_; }
+
+  /// Trace exemplars for the aggregate request-latency histogram.
+  obs::ExemplarStore& request_exemplars() { return request_exemplars_; }
+
   std::string ToJson() const;
 
  private:
   obs::Gauge& open_connections_;
   LatencyHistogram& request_latency_us_;
+  std::array<LatencyHistogram*, kNumVerbs> verb_latency_us_;
+  obs::ExemplarStore& request_exemplars_;
+  obs::SlowTraceRing slow_traces_;
 };
 
 /// Client/router-side instruments, registered under `net.client.` plus

@@ -21,8 +21,13 @@ Result<uint64_t> RpcChannel::SendRequest(Verb verb,
                                          int64_t deadline_micros) {
   const uint64_t tag = next_tag_++;
   send_buffer_.clear();
+  // The thread-ambient trace context rides the frame once the peer has
+  // proven v2-capable; on a v1 channel AppendFrame drops it silently, so
+  // the first request to a new server is always a plain v1 frame.
+  const obs::TraceContext context = obs::CurrentTraceContext();
   AppendFrame(send_buffer_, verb, WireStatus::kOk, /*flags=*/0, tag,
-              payload.data(), payload.size());
+              payload.data(), payload.size(), peer_version_,
+              context.valid() ? &context : nullptr);
   FVAE_RETURN_IF_ERROR(SendAll(fd_.get(), send_buffer_.data(),
                                send_buffer_.size(), deadline_micros));
   return tag;
@@ -34,7 +39,19 @@ Result<Frame> RpcChannel::ReadResponse(uint64_t tag,
     // Drain any frame already buffered before touching the socket.
     Result<Frame> frame = parser_.Next();
     if (frame.ok()) {
-      if (frame->header.tag == tag) return CheckResponse(*std::move(frame));
+      // Any response doubles as the capability advertisement — even a
+      // stale one from an abandoned hedge arm upgrades the channel.
+      if ((frame->header.flags & kFlagTraceCapable) != 0) {
+        peer_version_ = kProtocolVersion;
+      }
+      if (frame->header.tag == tag) {
+        // Responses are not expected to carry a trace prefix today, but a
+        // future server minting server-side contexts may; strip it so verb
+        // wrappers always see the bare payload.
+        FVAE_RETURN_IF_ERROR(
+            ExtractTraceContext(&*frame).status());
+        return CheckResponse(*std::move(frame));
+      }
       // Stale response from an abandoned hedge arm on a reused channel:
       // skip it and keep reading.
       continue;
@@ -102,6 +119,15 @@ Result<std::string> RpcChannel::Stats(int64_t deadline_micros) {
   const std::vector<uint8_t> empty;
   FVAE_ASSIGN_OR_RETURN(Frame frame,
                         Call(Verb::kStats, empty, deadline_micros));
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+Result<std::string> RpcChannel::Introspect(IntrospectFormat format,
+                                           int64_t deadline_micros) {
+  std::vector<uint8_t> payload;
+  EncodeIntrospectRequest(payload, format);
+  FVAE_ASSIGN_OR_RETURN(Frame frame,
+                        Call(Verb::kIntrospect, payload, deadline_micros));
   return std::string(frame.payload.begin(), frame.payload.end());
 }
 

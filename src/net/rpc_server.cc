@@ -10,6 +10,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 
 namespace fvae::net {
 
@@ -199,7 +201,7 @@ void RpcServer::ReadFrames(Worker* worker, Connection* conn) {
       return;
     }
     metrics_.frames_rx.Increment();
-    DispatchFrame(worker, conn, *frame);
+    DispatchFrame(worker, conn, &*frame);
     if (conn->closing) return;
   }
   // Track the start of an unfinished frame for the slow-loris watchdog.
@@ -213,29 +215,73 @@ void RpcServer::ReadFrames(Worker* worker, Connection* conn) {
 }
 
 void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
-                              const Frame& frame) {
-  const uint64_t tag = frame.header.tag;
-  const Verb verb = static_cast<Verb>(frame.header.verb);
-  const int64_t start_us = MonotonicMicros();
-  switch (verb) {
+                              Frame* frame) {
+  RequestState req;
+  req.tag = frame->header.tag;
+  req.verb = static_cast<Verb>(frame->header.verb);
+  req.version = frame->header.version;
+  req.start_us = MonotonicMicros();
+  // Peel the trace prefix off the payload before any verb decoding. A
+  // malformed prefix is a protocol error (ValidateHeader already vetoed
+  // the flag-on-v1 and too-short cases, but stay defensive).
+  Result<obs::TraceContext> extracted = ExtractTraceContext(frame);
+  if (!extracted.ok()) {
+    metrics_.protocol_errors.Increment();
+    CloseConnection(worker, conn->id);
+    return;
+  }
+  req.trace = *extracted;
+  // Install the wire context for the dispatch: spans opened below (and any
+  // synchronous service work) stitch into the client's trace.
+  obs::ScopedTraceContext scoped(req.trace);
+  obs::TraceSpan parse_span("net.server.parse");
+  switch (req.verb) {
     case Verb::kHealth: {
-      QueueResponse(worker, conn, verb, WireStatus::kOk, tag, nullptr, 0);
+      parse_span.End();
+      QueueResponse(worker, conn, req, WireStatus::kOk, nullptr, 0);
       break;
     }
     case Verb::kStats: {
+      parse_span.End();
       const std::string json = "{\"serving\":" + service_->TelemetryJson() +
                                ",\"net\":" + metrics_.ToJson() + "}";
-      QueueResponse(worker, conn, verb, WireStatus::kOk, tag,
+      QueueResponse(worker, conn, req, WireStatus::kOk,
                     reinterpret_cast<const uint8_t*>(json.data()),
                     json.size());
       break;
     }
+    case Verb::kIntrospect: {
+      Result<IntrospectFormat> format = DecodeIntrospectRequest(
+          frame->payload.data(), frame->payload.size());
+      parse_span.End();
+      if (!format.ok()) {
+        const std::string& msg = format.status().message();
+        QueueResponse(worker, conn, req, WireStatus::kInvalidArgument,
+                      reinterpret_cast<const uint8_t*>(msg.data()),
+                      msg.size());
+        break;
+      }
+      std::string body;
+      if (*format == IntrospectFormat::kPrometheus) {
+        body = obs::PrometheusText(metrics_.registry());
+      } else {
+        body = "{\"serving\":" + service_->TelemetryJson() +
+               ",\"net\":" + metrics_.ToJson() +
+               ",\"slow_traces\":" + metrics_.slow_traces().ToJson() +
+               ",\"exemplars\":" + metrics_.registry().ExemplarsJson() + "}";
+      }
+      QueueResponse(worker, conn, req, WireStatus::kOk,
+                    reinterpret_cast<const uint8_t*>(body.data()),
+                    body.size());
+      break;
+    }
     case Verb::kLookup: {
       Result<uint64_t> user =
-          DecodeLookupRequest(frame.payload.data(), frame.payload.size());
+          DecodeLookupRequest(frame->payload.data(), frame->payload.size());
+      parse_span.End();
       if (!user.ok()) {
         const std::string& msg = user.status().message();
-        QueueResponse(worker, conn, verb, WireStatus::kInvalidArgument, tag,
+        QueueResponse(worker, conn, req, WireStatus::kInvalidArgument,
                       reinterpret_cast<const uint8_t*>(msg.data()),
                       msg.size());
         break;
@@ -245,11 +291,11 @@ void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
       if (result.ok()) {
         std::vector<uint8_t> payload;
         EncodeEmbeddingResponse(payload, *result);
-        QueueResponse(worker, conn, verb, WireStatus::kOk, tag,
-                      payload.data(), payload.size());
+        QueueResponse(worker, conn, req, WireStatus::kOk, payload.data(),
+                      payload.size());
       } else {
         const std::string& msg = result.status().message();
-        QueueResponse(worker, conn, verb, ToWireStatus(result.status()), tag,
+        QueueResponse(worker, conn, req, ToWireStatus(result.status()),
                       reinterpret_cast<const uint8_t*>(msg.data()),
                       msg.size());
       }
@@ -257,10 +303,11 @@ void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
     }
     case Verb::kEncodeFoldIn: {
       Result<FoldInRequest> request =
-          DecodeFoldInRequest(frame.payload.data(), frame.payload.size());
+          DecodeFoldInRequest(frame->payload.data(), frame->payload.size());
+      parse_span.End();
       if (!request.ok()) {
         const std::string& msg = request.status().message();
-        QueueResponse(worker, conn, verb, WireStatus::kInvalidArgument, tag,
+        QueueResponse(worker, conn, req, WireStatus::kInvalidArgument,
                       reinterpret_cast<const uint8_t*>(msg.data()),
                       msg.size());
         break;
@@ -268,12 +315,15 @@ void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
       ++conn->inflight;
       const uint64_t conn_id = conn->id;
       // The completion may fire on a batcher thread; hop back to the loop
-      // and re-resolve the connection by id (it may be gone by then).
+      // and re-resolve the connection by id (it may be gone by then). The
+      // ambient trace context is live here, so the batcher submission
+      // captures it synchronously and req (POD, by value) carries it back
+      // for the reply span.
       service_->LookupOrEncodeAsync(
           request->user_id, request->features, /*deadline_micros=*/0,
-          [this, worker, conn_id, tag,
-           verb](serving::EmbeddingService::EmbeddingResult result) {
-            worker->loop.Post([this, worker, conn_id, tag, verb,
+          [this, worker, conn_id,
+           req](serving::EmbeddingService::EmbeddingResult result) {
+            worker->loop.Post([this, worker, conn_id, req,
                                result = std::move(result)]() {
               auto it = worker->connections.find(conn_id);
               if (it == worker->connections.end()) return;
@@ -282,12 +332,12 @@ void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
               if (result.ok()) {
                 std::vector<uint8_t> payload;
                 EncodeEmbeddingResponse(payload, *result);
-                QueueResponse(worker, conn, verb, WireStatus::kOk, tag,
+                QueueResponse(worker, conn, req, WireStatus::kOk,
                               payload.data(), payload.size());
               } else {
                 const std::string& msg = result.status().message();
-                QueueResponse(worker, conn, verb,
-                              ToWireStatus(result.status()), tag,
+                QueueResponse(worker, conn, req,
+                              ToWireStatus(result.status()),
                               reinterpret_cast<const uint8_t*>(msg.data()),
                               msg.size());
               }
@@ -297,15 +347,46 @@ void RpcServer::DispatchFrame(Worker* worker, Connection* conn,
       break;
     }
   }
-  metrics_.request_latency_us().Record(
-      static_cast<double>(MonotonicMicros() - start_us));
 }
 
-void RpcServer::QueueResponse(Worker* worker, Connection* conn, Verb verb,
-                              WireStatus status, uint64_t tag,
+void RpcServer::QueueResponse(Worker* worker, Connection* conn,
+                              const RequestState& req, WireStatus status,
                               const uint8_t* payload, size_t payload_size) {
-  AppendFrame(conn->write_buffer, verb, status, kFlagResponse, tag, payload,
-              payload_size);
+  const int64_t now_us = MonotonicMicros();
+  const double latency_us = static_cast<double>(now_us - req.start_us);
+  // One reply span per request, parented on the client's send span, so the
+  // stitched trace shows the full server-side envelope (queue wait for
+  // fold-ins included — this runs after the batcher hop, not at dispatch).
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.enabled() && req.trace.valid()) {
+    const obs::TraceContext reply_ctx{req.trace.trace_id, obs::MintSpanId()};
+    recorder.RecordSpan("net.server.reply", req.start_us,
+                        now_us - req.start_us, reply_ctx,
+                        /*parent_span_id=*/req.trace.span_id);
+  }
+  metrics_.request_latency_us().Record(latency_us);
+  metrics_.verb_latency_us(req.verb).Record(latency_us);
+  if (req.trace.valid()) {
+    metrics_.request_exemplars().Offer(latency_us, req.trace.trace_id);
+  }
+  if (latency_us > static_cast<double>(options_.slow_trace_threshold_micros) ||
+      status != WireStatus::kOk) {
+    obs::SlowTraceRing::Entry entry;
+    entry.trace_id = req.trace.trace_id;
+    entry.parent_span_id = req.trace.span_id;
+    entry.tag = req.tag;
+    entry.start_us = req.start_us;
+    entry.duration_us = now_us - req.start_us;
+    entry.verb = static_cast<uint8_t>(req.verb);
+    entry.status = static_cast<uint8_t>(status);
+    metrics_.slow_traces().Record(entry);
+  }
+  // Responses mirror the request's version (a v1 client must be able to
+  // parse its reply) and always advertise v2 capability; the flag is just
+  // a bit, invisible to v1 clients that never check it.
+  AppendFrame(conn->write_buffer, req.verb, status,
+              kFlagResponse | kFlagTraceCapable, req.tag, payload,
+              payload_size, req.version);
   metrics_.frames_tx.Increment();
   FlushWrites(worker, conn);
 }

@@ -16,6 +16,7 @@
 #include "net/fd.h"
 #include "net/net_metrics.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "serving/embedding_service.h"
 
 namespace fvae::net {
@@ -35,6 +36,10 @@ struct RpcServerOptions {
   /// Graceful-drain budget on Stop(): connections flush pending responses
   /// until this expires, then are force-closed.
   int64_t drain_timeout_micros = 2'000'000;
+  /// Tail capture: a completed request slower than this (or finishing with
+  /// a non-ok wire status) lands in the slow-trace ring served by the
+  /// Introspect verb. 0 captures errors only.
+  int64_t slow_trace_threshold_micros = 50'000;
 };
 
 /// Epoll-based network front-end over an EmbeddingService.
@@ -73,6 +78,21 @@ class RpcServer {
  private:
   struct Connection;
 
+  /// Per-request bookkeeping threaded from frame arrival to response
+  /// queueing — across the batcher completion hop for fold-ins. POD by
+  /// design: it is captured by value into cross-thread lambdas.
+  struct RequestState {
+    uint64_t tag = 0;
+    Verb verb = Verb::kHealth;
+    /// Protocol version the request arrived with; the response mirrors it
+    /// so a v1 client never sees v2-only framing.
+    uint8_t version = kProtocolVersion;
+    int64_t start_us = 0;
+    /// Wire-extracted context: the trace id plus the client's span id
+    /// (our parent). Invalid (zero) on untraced requests.
+    obs::TraceContext trace;
+  };
+
   /// One worker thread: a private event loop plus the connections it owns.
   /// All members except the loop's Post queue are loop-thread-only.
   struct Worker {
@@ -100,11 +120,15 @@ class RpcServer {
   FVAE_EVENT_LOOP void HandleIo(Worker* worker, uint64_t conn_id,
                                 EpollLoop::Events events);
   FVAE_EVENT_LOOP void ReadFrames(Worker* worker, Connection* conn);
+  /// Takes the frame by pointer: extracting the trace-context prefix
+  /// mutates the payload in place.
   FVAE_EVENT_LOOP void DispatchFrame(Worker* worker, Connection* conn,
-                                     const Frame& frame);
+                                     Frame* frame);
+  /// Terminal step for every request: records the reply span, per-verb
+  /// latency, exemplars and slow-trace capture, then frames the response.
   FVAE_EVENT_LOOP void QueueResponse(Worker* worker, Connection* conn,
-                                     Verb verb, WireStatus status,
-                                     uint64_t tag, const uint8_t* payload,
+                                     const RequestState& req,
+                                     WireStatus status, const uint8_t* payload,
                                      size_t payload_size);
   FVAE_EVENT_LOOP void FlushWrites(Worker* worker, Connection* conn);
   FVAE_EVENT_LOOP void UpdateInterest(Worker* worker, Connection* conn);

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace fvae::net {
 namespace {
@@ -150,6 +151,36 @@ Result<Frame> ShardRouterClient::CallWithHedge(
     size_t primary, int hedge_shard, Verb verb,
     const std::vector<uint8_t>& payload, int64_t deadline_micros) {
   metrics_.shard_requests(primary).Increment();
+  // Each physical send is its own trace arm: same trace_id, fresh span_id,
+  // parented on the routed-call span. Hedged duplicates therefore show up
+  // as two overlapping net.client.send spans in the Chrome export, and the
+  // wire prefix carries the arm's span id so the server's spans parent on
+  // the arm that actually delivered the request.
+  const obs::TraceContext parent = obs::CurrentTraceContext();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  struct Arm {
+    obs::TraceContext ctx;
+    int64_t send_us = 0;
+    bool open = false;
+  };
+  Arm primary_arm;
+  Arm hedge_arm;
+  auto begin_arm = [&](Arm& arm) {
+    if (parent.valid()) {
+      arm.ctx = obs::TraceContext{parent.trace_id, obs::MintSpanId()};
+    }
+    arm.send_us = MonotonicMicros();
+    arm.open = true;
+  };
+  auto end_arm = [&](Arm& arm) {
+    if (!arm.open) return;
+    arm.open = false;
+    if (recorder.enabled() && arm.ctx.valid()) {
+      recorder.RecordSpan("net.client.send", arm.send_us,
+                          MonotonicMicros() - arm.send_us, arm.ctx,
+                          parent.span_id);
+    }
+  };
   // Connect and send failures count toward the breaker like read failures —
   // connection-refused is the clearest shard-down signal there is.
   Result<std::unique_ptr<RpcChannel>> acquired =
@@ -159,8 +190,13 @@ Result<Frame> ShardRouterClient::CallWithHedge(
     return acquired.status();
   }
   std::unique_ptr<RpcChannel> channel = std::move(*acquired);
-  Result<uint64_t> tag = channel->SendRequest(verb, payload, deadline_micros);
+  begin_arm(primary_arm);
+  Result<uint64_t> tag = [&]() -> Result<uint64_t> {
+    obs::ScopedTraceContext arm_scope(primary_arm.ctx);
+    return channel->SendRequest(verb, payload, deadline_micros);
+  }();
   if (!tag.ok()) {  // Channel discarded (send failed).
+    end_arm(primary_arm);
     RecordFailure(primary);
     return tag.status();
   }
@@ -181,8 +217,12 @@ Result<Frame> ShardRouterClient::CallWithHedge(
           shards_[static_cast<size_t>(hedge_shard)]->pool.Acquire(
               options_.connect_timeout_ms);
       if (hedge_channel.ok()) {
-        Result<uint64_t> hedge_tag =
-            (*hedge_channel)->SendRequest(verb, payload, deadline_micros);
+        begin_arm(hedge_arm);
+        Result<uint64_t> hedge_tag = [&]() -> Result<uint64_t> {
+          obs::ScopedTraceContext arm_scope(hedge_arm.ctx);
+          return (*hedge_channel)
+              ->SendRequest(verb, payload, deadline_micros);
+        }();
         if (hedge_tag.ok()) {
           // Poll both arms for the first response.
           pollfd fds[2] = {{channel->fd(), POLLIN, 0},
@@ -197,6 +237,8 @@ Result<Frame> ShardRouterClient::CallWithHedge(
               Result<Frame> frame =
                   channel->ReadResponse(*tag, deadline_micros);
               if (frame.ok() || IsWireLevelError(frame.status())) {
+                end_arm(primary_arm);
+                end_arm(hedge_arm);  // abandoned: closes at the same moment
                 RecordSuccess(primary);
                 shards_[primary]->pool.Release(std::move(channel));
                 // Hedge arm abandoned: its channel (with a response still
@@ -204,6 +246,7 @@ Result<Frame> ShardRouterClient::CallWithHedge(
                 if (frame.ok()) return frame;
                 return frame.status();
               }
+              end_arm(primary_arm);
               RecordFailure(primary);
               // Primary arm is dead; fall through to waiting on the hedge.
               fds[0].fd = -1;  // poll ignores negative fds
@@ -214,6 +257,8 @@ Result<Frame> ShardRouterClient::CallWithHedge(
                                         ->ReadResponse(*hedge_tag,
                                                        deadline_micros);
               if (frame.ok() || IsWireLevelError(frame.status())) {
+                end_arm(hedge_arm);
+                end_arm(primary_arm);  // abandoned primary closes here too
                 metrics_.hedge_wins.Increment();
                 RecordSuccess(static_cast<size_t>(hedge_shard));
                 shards_[static_cast<size_t>(hedge_shard)]->pool.Release(
@@ -221,13 +266,17 @@ Result<Frame> ShardRouterClient::CallWithHedge(
                 if (frame.ok()) return frame;
                 return frame.status();
               }
+              end_arm(hedge_arm);
               RecordFailure(static_cast<size_t>(hedge_shard));
               fds[1].fd = -1;
               continue;
             }
           }
+          end_arm(primary_arm);
+          end_arm(hedge_arm);
           return Status::Unavailable("hedged call deadline exceeded");
         }
+        end_arm(hedge_arm);
         RecordFailure(static_cast<size_t>(hedge_shard));
       } else {
         RecordFailure(static_cast<size_t>(hedge_shard));
@@ -235,12 +284,14 @@ Result<Frame> ShardRouterClient::CallWithHedge(
       // Hedge arm unusable: fall back to waiting out the primary alone.
     } else if (!readable.ok() &&
                readable.code() != StatusCode::kUnavailable) {
+      end_arm(primary_arm);
       RecordFailure(primary);
       return readable;
     }
   }
 
   Result<Frame> frame = channel->ReadResponse(*tag, deadline_micros);
+  end_arm(primary_arm);
   if (frame.ok() || IsWireLevelError(frame.status())) {
     RecordSuccess(primary);
     shards_[primary]->pool.Release(std::move(channel));
@@ -255,6 +306,15 @@ Result<std::vector<float>> ShardRouterClient::RoutedCall(
   metrics_.requests.Increment();
   const int64_t start = MonotonicMicros();
   const int64_t deadline = start + options_.call_deadline_micros;
+  // Root of the distributed trace. An ambient context (an outer span the
+  // caller opened) is reused so nested routed calls stay in one trace;
+  // otherwise a fresh root is minted. The wire carries the context even
+  // when local span recording is disabled, so server-side tail capture and
+  // exemplars work regardless of client-side recorder state.
+  const obs::TraceContext ambient = obs::CurrentTraceContext();
+  obs::ScopedTraceContext scoped(
+      ambient.valid() ? ambient : obs::MintTraceContext());
+  obs::TraceSpan call_span("net.client.call");
 
   // Breaker-closed candidates first; open ones kept as a last resort so a
   // fully-tripped fleet still gets tried rather than failing fast forever.

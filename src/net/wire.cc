@@ -82,7 +82,8 @@ Status ValidateHeader(const FrameHeader& header) {
     return Status::InvalidArgument(
         StrFormat("bad frame magic 0x%08x", header.magic));
   }
-  if (header.version != kProtocolVersion) {
+  if (header.version < kMinProtocolVersion ||
+      header.version > kProtocolVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported protocol version %u", header.version));
   }
@@ -91,9 +92,22 @@ Status ValidateHeader(const FrameHeader& header) {
         StrFormat("frame length %u exceeds cap %u", header.length,
                   kMaxPayloadBytes));
   }
-  if (header.verb > static_cast<uint8_t>(Verb::kStats)) {
+  if (header.verb > static_cast<uint8_t>(Verb::kIntrospect)) {
     return Status::InvalidArgument(
         StrFormat("unknown verb %u", header.verb));
+  }
+  if ((header.flags & kFlagTraceContext) != 0) {
+    // The trace prefix is a v2 construct; a v1 frame carrying the bit is
+    // a peer that negotiated wrong (or noise in the flags byte).
+    if (header.version < 2) {
+      return Status::InvalidArgument(
+          "trace-context flag on a v1 frame");
+    }
+    if (header.length < kTraceContextBytes) {
+      return Status::InvalidArgument(
+          StrFormat("frame length %u cannot hold the %zu-byte trace prefix",
+                    header.length, kTraceContextBytes));
+    }
   }
   return Status::Ok();
 }
@@ -111,20 +125,49 @@ Status ValidatePayload(const FrameHeader& header, const uint8_t* payload,
 
 void AppendFrame(std::vector<uint8_t>& out, Verb verb, WireStatus status,
                  uint8_t flags, uint64_t tag, const uint8_t* payload,
-                 size_t payload_size) {
+                 size_t payload_size, uint8_t version,
+                 const obs::TraceContext* trace) {
+  const bool traced = trace != nullptr && trace->valid() && version >= 2;
+  const size_t prefix = traced ? kTraceContextBytes : 0;
   FrameHeader header;
+  header.version = version;
   header.verb = static_cast<uint8_t>(verb);
   header.status = static_cast<uint8_t>(status);
-  header.flags = flags;
+  header.flags = traced ? (flags | kFlagTraceContext) : flags;
   header.tag = tag;
-  header.length = static_cast<uint32_t>(payload_size);
-  header.crc = Crc32(payload, payload_size);
+  header.length = static_cast<uint32_t>(prefix + payload_size);
   const size_t at = out.size();
-  out.resize(at + kHeaderBytes + payload_size);
-  std::memcpy(out.data() + at, &header, kHeaderBytes);
-  if (payload_size > 0) {
-    std::memcpy(out.data() + at + kHeaderBytes, payload, payload_size);
+  out.resize(at + kHeaderBytes + prefix + payload_size);
+  uint8_t* body = out.data() + at + kHeaderBytes;
+  if (traced) {
+    std::memcpy(body, &trace->trace_id, sizeof(uint64_t));
+    std::memcpy(body + sizeof(uint64_t), &trace->span_id, sizeof(uint64_t));
   }
+  if (payload_size > 0) {
+    std::memcpy(body + prefix, payload, payload_size);
+  }
+  // CRC over the assembled payload region (prefix + body), then the header
+  // is patched in last.
+  header.crc = Crc32(body, prefix + payload_size);
+  std::memcpy(out.data() + at, &header, kHeaderBytes);
+}
+
+Result<obs::TraceContext> ExtractTraceContext(Frame* frame) {
+  obs::TraceContext context;
+  if ((frame->header.flags & kFlagTraceContext) == 0) return context;
+  if (frame->payload.size() < kTraceContextBytes) {
+    return Status::InvalidArgument(
+        "trace-context flag on a frame too short for the prefix");
+  }
+  std::memcpy(&context.trace_id, frame->payload.data(), sizeof(uint64_t));
+  std::memcpy(&context.span_id,
+              frame->payload.data() + sizeof(uint64_t), sizeof(uint64_t));
+  frame->payload.erase(
+      frame->payload.begin(),
+      frame->payload.begin() + static_cast<ptrdiff_t>(kTraceContextBytes));
+  frame->header.flags &= static_cast<uint8_t>(~kFlagTraceContext);
+  frame->header.length -= static_cast<uint32_t>(kTraceContextBytes);
+  return context;
 }
 
 void EncodeLookupRequest(std::vector<uint8_t>& out, uint64_t user_id) {
@@ -213,6 +256,25 @@ Result<std::vector<float>> DecodeEmbeddingResponse(const uint8_t* payload,
     }
   }
   return embedding;
+}
+
+void EncodeIntrospectRequest(std::vector<uint8_t>& out,
+                             IntrospectFormat format) {
+  Append(out, static_cast<uint8_t>(format));
+}
+
+Result<IntrospectFormat> DecodeIntrospectRequest(const uint8_t* payload,
+                                                 size_t size) {
+  Reader reader(payload, size);
+  uint8_t format = 0;
+  if (!reader.Read(&format) || !reader.Done()) {
+    return Status::InvalidArgument("malformed introspect request payload");
+  }
+  if (format > static_cast<uint8_t>(IntrospectFormat::kPrometheus)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown introspect format %u", format));
+  }
+  return static_cast<IntrospectFormat>(format);
 }
 
 void FrameParser::Feed(const uint8_t* data, size_t size) {

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/fvae_model.h"
+#include "obs/trace.h"
 
 namespace fvae::net {
 
@@ -24,6 +25,7 @@ enum class Verb : uint8_t {
   kLookup = 1,
   kEncodeFoldIn = 2,
   kStats = 3,
+  kIntrospect = 4,  // v2: metrics snapshot + slow traces + Prometheus text
 };
 
 /// Response status codes on the wire. A transport-level CRC/framing error
@@ -43,13 +45,32 @@ WireStatus ToWireStatus(const Status& status);
 Status FromWireStatus(WireStatus code, const std::string& message);
 
 inline constexpr uint32_t kFrameMagic = 0x50525646;  // "FVRP" little-endian.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Current protocol version. v2 adds the trace-context payload prefix, the
+/// trace-capability response flag, and the Introspect verb; v1 peers are
+/// still fully supported (kMinProtocolVersion) — see the negotiation notes
+/// on the flag constants below and docs/PROTOCOL.md.
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kMinProtocolVersion = 1;
 /// Hard payload ceiling: a fold-in request for even a pathological user fits
 /// in well under 16 MiB, so anything bigger is a corrupt or hostile length
 /// prefix and the connection is dropped before allocating.
 inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;
 
 inline constexpr uint8_t kFlagResponse = 0x01;
+/// v2: the payload begins with a 16-byte trace-context prefix (u64
+/// trace_id, u64 parent span_id, little-endian). `length` and `crc` cover
+/// prefix + body. Only valid on version >= 2 frames — ValidateHeader
+/// rejects the bit on v1, which is what lets v1 peers stay oblivious.
+inline constexpr uint8_t kFlagTraceContext = 0x02;
+/// v2: set by the server on every response to advertise that it
+/// understands v2 frames. Responses mirror the *request's* version (a v1
+/// request gets a v1 response, which an old client parses; old clients
+/// never inspect flags), so this bit is the upgrade signal: a client that
+/// sees it switches the channel to v2 and starts injecting trace context.
+inline constexpr uint8_t kFlagTraceCapable = 0x04;
+
+/// Size of the trace-context payload prefix (u64 trace_id + u64 span_id).
+inline constexpr size_t kTraceContextBytes = 16;
 
 /// Fixed 24-byte frame header. `length` counts payload bytes only; `crc`
 /// covers payload bytes only (header corruption is caught by the magic /
@@ -74,18 +95,36 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
-/// Validates magic / version / length bounds of a header freshly copied off
-/// the wire. Does NOT check the CRC (the payload has not been read yet).
+/// Validates magic / version / flag / length bounds of a header freshly
+/// copied off the wire. Versions in [kMinProtocolVersion,
+/// kProtocolVersion] are accepted; the trace-context flag is rejected on
+/// v1 frames and on frames too short to hold the prefix. Does NOT check
+/// the CRC (the payload has not been read yet).
 Status ValidateHeader(const FrameHeader& header);
 
 /// Checks the payload against the header CRC.
 Status ValidatePayload(const FrameHeader& header, const uint8_t* payload,
                        size_t size);
 
-/// Appends header + payload to `out` with the CRC computed over `payload`.
+/// Appends header + payload to `out` with the CRC computed over the
+/// payload region. `version` stamps the header (peers negotiate down to
+/// v1 for old servers). When `trace` is non-null, valid, and `version`
+/// >= 2, the kFlagTraceContext bit is set and the 16-byte prefix
+/// (trace->trace_id, trace->span_id — the sender's current span, i.e. the
+/// receiver's parent) is written ahead of the payload; `length`/`crc`
+/// cover both.
 void AppendFrame(std::vector<uint8_t>& out, Verb verb, WireStatus status,
                  uint8_t flags, uint64_t tag, const uint8_t* payload,
-                 size_t payload_size);
+                 size_t payload_size, uint8_t version = kProtocolVersion,
+                 const obs::TraceContext* trace = nullptr);
+
+/// Strips the trace-context prefix from `frame` (payload shrinks by 16
+/// bytes, the flag bit clears) and returns it as a TraceContext whose
+/// span_id is the *sender's* span — the parent of everything the receiver
+/// records. Frames without the flag return {0,0} untouched. A flagged
+/// frame with a short payload is an error (ValidateHeader already rejects
+/// it; this guards direct callers).
+Result<obs::TraceContext> ExtractTraceContext(Frame* frame);
 
 // --- Payload codecs -------------------------------------------------------
 //
@@ -97,6 +136,8 @@ void AppendFrame(std::vector<uint8_t>& out, Verb verb, WireStatus status,
 // Health / Stats req:   empty
 // Health response:      empty payload, WireStatus::kOk
 // Stats response:       UTF-8 JSON document
+// Introspect request:   u8 format (IntrospectFormat)
+// Introspect response:  UTF-8 document (JSON or Prometheus text)
 
 void EncodeLookupRequest(std::vector<uint8_t>& out, uint64_t user_id);
 Result<uint64_t> DecodeLookupRequest(const uint8_t* payload, size_t size);
@@ -113,6 +154,17 @@ void EncodeEmbeddingResponse(std::vector<uint8_t>& out,
                              const std::vector<float>& embedding);
 Result<std::vector<float>> DecodeEmbeddingResponse(const uint8_t* payload,
                                                    size_t size);
+
+/// Requested rendering of the Introspect snapshot.
+enum class IntrospectFormat : uint8_t {
+  kJson = 0,        // metrics + per-verb latency + slow traces + exemplars
+  kPrometheus = 1,  // text exposition format for scrapers
+};
+
+void EncodeIntrospectRequest(std::vector<uint8_t>& out,
+                             IntrospectFormat format);
+Result<IntrospectFormat> DecodeIntrospectRequest(const uint8_t* payload,
+                                                 size_t size);
 
 /// Incremental frame parser: feed bytes as they arrive, pop complete frames.
 /// One instance per connection; headers and payloads that span reads are

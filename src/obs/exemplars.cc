@@ -1,0 +1,55 @@
+#include "obs/exemplars.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace fvae::obs {
+
+ExemplarStore::ExemplarStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  // Reserved up front: Offer never grows the vector under the lock.
+  // (Constructor-time allocation; the hot path is Offer's fast reject.)
+}
+
+void ExemplarStore::Offer(double value, uint64_t trace_id) {
+  if (trace_id == 0) return;
+  if (value <= floor_.load(std::memory_order_relaxed)) return;
+  MutexLock lock(mutex_);
+  if (exemplars_.size() >= capacity_ && value <= exemplars_.back().value) {
+    return;  // floor was stale; a better candidate already landed
+  }
+  Exemplar exemplar{value, trace_id, MonotonicMicros()};
+  // Keep sorted descending by value; insert and trim.
+  auto it = std::upper_bound(
+      exemplars_.begin(), exemplars_.end(), exemplar,
+      [](const Exemplar& a, const Exemplar& b) { return a.value > b.value; });
+  exemplars_.insert(it, exemplar);
+  if (exemplars_.size() > capacity_) exemplars_.pop_back();
+  if (exemplars_.size() >= capacity_) {
+    floor_.store(exemplars_.back().value, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ExemplarStore::Exemplar> ExemplarStore::Snapshot() const {
+  MutexLock lock(mutex_);
+  return exemplars_;
+}
+
+std::string ExemplarStore::ToJson() const {
+  const std::vector<Exemplar> exemplars = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    const Exemplar& e = exemplars[i];
+    out += StrFormat(
+        "%s{\"value\":%.1f,\"trace_id\":\"%016llx\",\"ts_us\":%lld}",
+        i == 0 ? "" : ",", e.value,
+        static_cast<unsigned long long>(e.trace_id),
+        static_cast<long long>(e.ts_us));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fvae::obs

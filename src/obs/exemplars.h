@@ -1,0 +1,66 @@
+#ifndef FVAE_OBS_EXEMPLARS_H_
+#define FVAE_OBS_EXEMPLARS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hot_path.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fvae::obs {
+
+/// Latency-histogram exemplars: the top-K highest observed values, each
+/// carrying the trace_id of the request that produced it. A p99 bucket in
+/// a metrics snapshot tells you *that* requests were slow; the exemplar
+/// tells you *which* — the trace id links the histogram tail straight to
+/// the Chrome trace and the slow-trace ring.
+///
+/// Offer() is designed for event-loop/request threads: a relaxed atomic
+/// threshold rejects the overwhelming majority of observations without
+/// touching the mutex; only a new top-K candidate (rare by construction —
+/// the threshold ratchets up) takes the lock to splice itself in.
+class ExemplarStore {
+ public:
+  struct Exemplar {
+    double value = 0.0;
+    uint64_t trace_id = 0;
+    int64_t ts_us = 0;  // MonotonicMicros at observation
+  };
+
+  explicit ExemplarStore(size_t capacity = 4);
+
+  ExemplarStore(const ExemplarStore&) = delete;
+  ExemplarStore& operator=(const ExemplarStore&) = delete;
+
+  /// Offers one observation. Ignored when trace_id is 0 (no context to
+  /// link) or the value is below the current top-K floor.
+  void Offer(double value, uint64_t trace_id);
+
+  /// Current exemplars, sorted by value descending.
+  std::vector<Exemplar> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Snapshot() as a JSON array:
+  ///   [{"value":V,"trace_id":"<hex>","ts_us":N},...]
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  /// Fast-reject floor: the smallest value currently in the store once it
+  /// is full, 0 before that. Monotone under Offer (only rises), so a stale
+  /// read can only cause a harmless extra lock acquisition.
+  std::atomic<double> floor_{0.0};
+  // Taken only when an observation beats the floor — rare, bounded splice,
+  // no IO: safe from event-loop threads.
+  mutable Mutex mutex_ FVAE_LOOP_LOCK_EXEMPT;
+  std::vector<Exemplar> exemplars_ FVAE_GUARDED_BY(mutex_);
+};
+
+}  // namespace fvae::obs
+
+#endif  // FVAE_OBS_EXEMPLARS_H_

@@ -82,6 +82,52 @@ LatencyHistogram& MetricsRegistry::Histo(std::string_view name,
   return *entry.histogram;
 }
 
+ExemplarStore& MetricsRegistry::Exemplars(std::string_view name,
+                                          size_t capacity) {
+  FVAE_CHECK(IsValidMetricName(name))
+      << "exemplar store name must be a snake_case dotted path, got: "
+      << std::string(name);
+  MutexLock lock(mutex_);
+  auto it = exemplars_.find(name);
+  if (it == exemplars_.end()) {
+    it = exemplars_
+             .emplace(std::string(name),
+                      std::make_unique<ExemplarStore>(capacity))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::ExemplarsJson() const {
+  MutexLock lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, store] : exemplars_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + store->ToJson();
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::Visit(MetricVisitor& visitor) const {
+  MutexLock lock(mutex_);
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        visitor.OnCounter(name, entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        visitor.OnGauge(name, entry.gauge->Value());
+        break;
+      case Kind::kHistogram:
+        visitor.OnHistogram(name, *entry.histogram);
+        break;
+    }
+  }
+}
+
 size_t MetricsRegistry::MetricCount() const {
   MutexLock lock(mutex_);
   return metrics_.size();

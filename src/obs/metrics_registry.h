@@ -12,6 +12,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/exemplars.h"
 
 namespace fvae::obs {
 
@@ -70,6 +71,18 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Read-side callback interface over a registry's instruments, invoked in
+/// name order under the registration lock — keep the callbacks cheap and
+/// lock-free (they feed exporters like obs::PrometheusText).
+class MetricVisitor {
+ public:
+  virtual ~MetricVisitor() = default;
+  virtual void OnCounter(const std::string& name, uint64_t value) = 0;
+  virtual void OnGauge(const std::string& name, double value) = 0;
+  virtual void OnHistogram(const std::string& name,
+                           const LatencyHistogram& histogram) = 0;
+};
+
 /// Process-wide registry of named counters, gauges and histograms.
 ///
 /// Registration (`Counter()`/`Gauge()`/`Histo()`) takes `mutex_` once to
@@ -104,6 +117,18 @@ class MetricsRegistry {
   LatencyHistogram& Histo(std::string_view name, double min_value = 1.0,
                           double growth = 1.3, size_t num_buckets = 64);
 
+  /// Exemplar store attached to the histogram registered under `name`
+  /// (created on first use; `name` follows the metric-name grammar).
+  /// Callers cache the reference like any instrument: the store outlives
+  /// every caller and its Offer path is lock-free in the common case.
+  ExemplarStore& Exemplars(std::string_view name, size_t capacity = 4);
+
+  /// All exemplar stores as one JSON object: {"<name>":[...],...}.
+  std::string ExemplarsJson() const;
+
+  /// Walks every instrument in name order. See MetricVisitor.
+  void Visit(MetricVisitor& visitor) const;
+
   /// Number of registered instruments.
   size_t MetricCount() const;
 
@@ -135,8 +160,16 @@ class MetricsRegistry {
   Entry& Register(std::string_view name, Kind kind)
       FVAE_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  // Registration happens at startup; the only steady-state acquisitions
+  // are snapshot/exposition reads (Introspect on the server event loop):
+  // bounded map walks and string formatting, no IO, no nested locks
+  // beyond ExemplarStore's own exempt mutex — hence loop-exempt.
+  mutable Mutex mutex_ FVAE_LOOP_LOCK_EXEMPT;
   std::map<std::string, Entry, std::less<>> metrics_ FVAE_GUARDED_BY(mutex_);
+  /// Exemplar stores keyed by histogram name. unique_ptr keeps addresses
+  /// stable so cached references survive map rebalancing.
+  std::map<std::string, std::unique_ptr<ExemplarStore>, std::less<>>
+      exemplars_ FVAE_GUARDED_BY(mutex_);
 };
 
 }  // namespace fvae::obs

@@ -1,0 +1,67 @@
+#include "obs/prometheus.h"
+
+#include "common/string_util.h"
+
+namespace fvae::obs {
+namespace {
+
+class PrometheusVisitor : public MetricVisitor {
+ public:
+  std::string out;
+
+  void OnCounter(const std::string& name, uint64_t value) override {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += StrFormat("%s %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+
+  void OnGauge(const std::string& name, double value) override {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += StrFormat("%s %.6g\n", prom.c_str(), value);
+  }
+
+  void OnHistogram(const std::string& name,
+                   const LatencyHistogram& histogram) override {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative buckets: each `le` series counts every observation at or
+    // below its edge; the final +Inf series equals the total count. The
+    // relaxed per-bucket reads make the cut eventually consistent, same as
+    // every other snapshot in the registry.
+    uint64_t cumulative = 0;
+    const size_t buckets = histogram.num_buckets();
+    for (size_t i = 0; i + 1 < buckets; ++i) {
+      cumulative += histogram.BucketCount(i);
+      out += StrFormat("%s_bucket{le=\"%.6g\"} %llu\n", prom.c_str(),
+                       histogram.BucketUpperEdge(i),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += histogram.BucketCount(buckets - 1);
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+    out += StrFormat("%s_sum %.6g\n", prom.c_str(), histogram.Sum());
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+  }
+};
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "fvae_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out += (c == '.') ? '_' : c;
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  PrometheusVisitor visitor;
+  registry.Visit(visitor);
+  return visitor.out;
+}
+
+}  // namespace fvae::obs

@@ -1,0 +1,27 @@
+#ifndef FVAE_OBS_PROMETHEUS_H_
+#define FVAE_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
+
+namespace fvae::obs {
+
+/// `name` mangled into the Prometheus grammar: dots become underscores and
+/// the exposition prefix "fvae_" is prepended ("net.server.frames_rx" ->
+/// "fvae_net_server_frames_rx"). Metric names already satisfy
+/// IsValidMetricName, whose alphabet is a subset of Prometheus's, so the
+/// mangling is a pure substitution — no escaping needed.
+std::string PrometheusName(std::string_view name);
+
+/// Renders the registry as Prometheus text exposition format (version
+/// 0.0.4): one `# TYPE` line per metric, counters suffixed `_total`,
+/// gauges as-is, histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum` and `_count`. The result is a complete scrape body — the
+/// Introspect verb serves it verbatim.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace fvae::obs
+
+#endif  // FVAE_OBS_PROMETHEUS_H_

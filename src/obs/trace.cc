@@ -1,11 +1,57 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 
 #include "common/atomic_file.h"
 
 namespace fvae::obs {
+namespace {
+
+/// splitmix64 finalizer: turns a sequential counter into well-spread ids.
+uint64_t Mix64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Per-process id sequence. Seeded once from the monotonic clock and pid so
+/// two processes minting concurrently (client + server in the loopback
+/// smoke test) do not collide; sequential after that, mixed at use.
+std::atomic<uint64_t>& IdSequence() {
+  static std::atomic<uint64_t>* sequence = new std::atomic<uint64_t>(
+      (static_cast<uint64_t>(::getpid()) << 32) ^
+      static_cast<uint64_t>(MonotonicMicros()));
+  return *sequence;
+}
+
+thread_local TraceContext tls_trace_context;
+
+}  // namespace
+
+uint64_t MintSpanId() {
+  uint64_t id = 0;
+  while (id == 0) {
+    id = Mix64(IdSequence().fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+TraceContext MintTraceContext() {
+  return TraceContext{MintSpanId(), MintSpanId()};
+}
+
+TraceContext CurrentTraceContext() { return tls_trace_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  tls_trace_context = context;
+}
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder;
@@ -45,11 +91,20 @@ TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
 
 void TraceRecorder::RecordSpan(const char* name, int64_t start_us,
                                int64_t duration_us) {
+  RecordSpan(name, start_us, duration_us, TraceContext{}, 0);
+}
+
+void TraceRecorder::RecordSpan(const char* name, int64_t start_us,
+                               int64_t duration_us,
+                               const TraceContext& context,
+                               uint64_t parent_span_id) {
   if (!enabled()) return;
   ThreadBuffer& buffer = LocalBuffer();
   MutexLock lock(buffer.mutex);
   if (buffer.events.size() < kMaxEventsPerThread) {
-    buffer.events.push_back({name, start_us, duration_us, buffer.tid});
+    buffer.events.push_back({name, start_us, duration_us, buffer.tid,
+                             context.trace_id, context.span_id,
+                             parent_span_id});
   } else {
     ++buffer.dropped;
   }
@@ -60,7 +115,17 @@ void TraceRecorder::RecordSpan(const char* name, int64_t start_us,
   it->second.Record(double(duration_us));
 }
 
-std::string TraceRecorder::ChromeTraceJson() const {
+void SpanScratch::Flush(TraceRecorder* recorder) {
+  if (recorder == nullptr) recorder = &TraceRecorder::Global();
+  for (const TraceEvent& span : spans_) {
+    recorder->RecordSpan(span.name, span.start_us, span.duration_us,
+                         TraceContext{span.trace_id, span.span_id},
+                         span.parent_span_id);
+  }
+  spans_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> events;
   {
     MutexLock lock(mutex_);
@@ -74,17 +139,35 @@ std::string TraceRecorder::ChromeTraceJson() const {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.start_us < b.start_us;
             });
+  return events;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[256];
+  char buf[384];
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     std::snprintf(buf, sizeof(buf),
                   "%s\n{\"name\":\"%s\",\"cat\":\"fvae\",\"ph\":\"X\","
-                  "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u}",
+                  "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u",
                   i == 0 ? "" : ",", e.name,
                   static_cast<long long>(e.start_us),
                   static_cast<long long>(e.duration_us), e.tid);
     out += buf;
+    if (e.trace_id != 0) {
+      // Hex strings, not numbers: 64-bit ids do not survive a JSON
+      // consumer's double conversion.
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"trace_id\":\"%016llx\","
+                    "\"span_id\":\"%016llx\","
+                    "\"parent_span_id\":\"%016llx\"}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_span_id));
+      out += buf;
+    }
+    out += "}";
   }
   out += "\n]}\n";
   return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 
 namespace fvae::serving {
 
@@ -72,6 +73,8 @@ std::future<RequestBatcher::EmbeddingResult> RequestBatcher::Submit(
   request.deadline = deadline_micros == 0
                          ? Clock::time_point::max()
                          : now + std::chrono::microseconds(deadline_micros);
+  request.trace_ctx = obs::CurrentTraceContext();
+  request.enqueue_us = MonotonicMicros();
   std::future<EmbeddingResult> future = request.promise.get_future();
   Enqueue(std::move(request));
   return future;
@@ -90,6 +93,8 @@ void RequestBatcher::SubmitAsync(uint64_t user_id,
   request.deadline = deadline_micros == 0
                          ? Clock::time_point::max()
                          : now + std::chrono::microseconds(deadline_micros);
+  request.trace_ctx = obs::CurrentTraceContext();
+  request.enqueue_us = MonotonicMicros();
   request.callback = std::move(done);
   Enqueue(std::move(request));
 }
@@ -155,6 +160,9 @@ void RequestBatcher::WorkerLoop() {
               Status::DeadlineExceeded("expired in fold-in queue"));
     }
     ProcessBatch(std::move(batch), &scratch);
+    // Off the hot path: move staged spans into the global recorder before
+    // going back to sleep on the queue.
+    if (scratch.spans.staged() > 0) scratch.spans.Flush();
     mutex_.Lock();
   }
 }
@@ -163,6 +171,7 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
                                   BatchScratch* scratch) {
   // Expired requests are answered without paying for the encoder.
   const auto now = Clock::now();
+  const int64_t dequeue_us = MonotonicMicros();
   std::vector<Request>& live = scratch->live;
   live.clear();
   live.reserve(batch.size());  // fvae-lint: allow(hot-alloc)
@@ -186,7 +195,9 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
     users.push_back(&request.features);  // fvae-lint: allow(hot-alloc)
   }
   Matrix& embeddings = scratch->embeddings;
+  const int64_t encode_start_us = MonotonicMicros();
   encoder_->EncodeBatchInto(users, &embeddings);
+  const int64_t encode_end_us = MonotonicMicros();
   FVAE_CHECK(embeddings.rows() == live.size())
       << "encoder returned " << embeddings.rows() << " rows for "
       << live.size() << " users";
@@ -195,6 +206,11 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
     telemetry_->batches.Increment();
     telemetry_->batched_users.Add(live.size());
   }
+  // Stage per-request queue-wait and encode spans; each parents on the
+  // context captured at submit (the client's send arm for network
+  // requests), so the stitched trace shows real queue time separately
+  // from encoder time. Staging is a bounded write — WorkerLoop flushes.
+  const bool tracing = obs::TraceRecorder::Global().enabled();
   const auto done = Clock::now();
   for (size_t i = 0; i < live.size(); ++i) {
     const float* row = embeddings.Row(i);
@@ -203,6 +219,19 @@ void RequestBatcher::ProcessBatch(std::vector<Request> batch,
         std::chrono::duration<double, std::micro>(done -
                                                   live[i].enqueue_time)
             .count();
+    if (tracing && live[i].trace_ctx.valid()) {
+      const obs::TraceContext& submit_ctx = live[i].trace_ctx;
+      scratch->spans.NoteSpan(
+          "serving.batcher.queue_wait", live[i].enqueue_us,
+          dequeue_us - live[i].enqueue_us,
+          obs::TraceContext{submit_ctx.trace_id, obs::MintSpanId()},
+          submit_ctx.span_id);
+      scratch->spans.NoteSpan(
+          "serving.batcher.encode", encode_start_us,
+          encode_end_us - encode_start_us,
+          obs::TraceContext{submit_ctx.trace_id, obs::MintSpanId()},
+          submit_ctx.span_id);
+    }
     if (on_encoded_) on_encoded_(live[i].user_id, embedding, latency_us);
     Resolve(live[i],
             std::vector<float>(embedding.begin(), embedding.end()));

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/fvae_model.h"
+#include "obs/trace.h"
 #include "serving/fold_in.h"
 #include "serving/telemetry.h"
 
@@ -103,6 +104,13 @@ class RequestBatcher {
     core::RawUserFeatures features;
     Clock::time_point enqueue_time;
     Clock::time_point deadline;  // time_point::max() when unset
+    /// Submitter's ambient trace context, captured synchronously in
+    /// Submit/SubmitAsync — the hop that stitches a network request's
+    /// trace across the event-loop -> batcher-worker thread boundary.
+    obs::TraceContext trace_ctx;
+    /// MonotonicMicros at submit: queue-wait spans need the recorder's
+    /// clock, not the steady_clock the deadline math uses.
+    int64_t enqueue_us = 0;
     // Exactly one delivery channel is armed: `callback` when set
     // (SubmitAsync), otherwise the promise (Submit).
     std::promise<EmbeddingResult> promise;
@@ -123,6 +131,10 @@ class RequestBatcher {
     Matrix embeddings;
     std::vector<const core::RawUserFeatures*> users;
     std::vector<Request> live;
+    /// Per-request queue-wait/encode spans staged on the hot path and
+    /// flushed by WorkerLoop between dispatches. Two spans per request;
+    /// beyond-capacity batches drop spans (counted), never block.
+    obs::SpanScratch spans{256};
   };
 
   void WorkerLoop() FVAE_EXCLUDES(mutex_);

@@ -329,6 +329,43 @@ TEST(LintMetricNameTest, SuppressionCommentWorks) {
   EXPECT_FALSE(HasRule(findings, "metric-name"));
 }
 
+// ---------- span-name ----------
+
+TEST(LintSpanNameTest, BadNamesFireAcrossAllForms) {
+  for (const char* expr :
+       {"obs::TraceSpan span(\"ParseFrame\");",       // named variable
+        "obs::TraceSpan(\"no_dots\");",               // temporary
+        "FVAE_TRACE_SCOPE(\"net..parse\");",          // scope macro
+        "recorder.RecordSpan(\"Net.Reply\", s, d);",  // explicit record
+        "scratch.NoteSpan(\"queue wait\", s, d, ctx);"}) {
+    const auto findings = Lint(std::string("  ") + expr + "\n");
+    EXPECT_TRUE(HasRule(findings, "span-name")) << expr;
+  }
+}
+
+TEST(LintSpanNameTest, DottedSnakeCasePathsStaySilent) {
+  const auto findings = Lint(
+      "  obs::TraceSpan parse_span(\"net.server.parse\");\n"
+      "  FVAE_TRACE_SCOPE(\"train.step\");\n"
+      "  recorder.RecordSpan(\"net.client.send\", start, dur, ctx, parent);\n"
+      "  scratch.NoteSpan(\"serving.batcher.queue_wait\", s, d, ctx);\n");
+  EXPECT_FALSE(HasRule(findings, "span-name"));
+}
+
+TEST(LintSpanNameTest, NonLiteralsAndLookalikesAreExempt) {
+  const auto findings = Lint(
+      "  obs::TraceSpan span(name);\n"       // non-literal argument
+      "  MakeTraceSpanLike(\"NotASpan\");\n"  // different identifier
+      "  // TraceSpan span(\"BadComment\") in a comment\n");
+  EXPECT_FALSE(HasRule(findings, "span-name"));
+}
+
+TEST(LintSpanNameTest, SuppressionCommentWorks) {
+  const auto findings = Lint(
+      "  FVAE_TRACE_SCOPE(\"Legacy.Span\");  // fvae-lint: allow(span-name)\n");
+  EXPECT_FALSE(HasRule(findings, "span-name"));
+}
+
 // ---------- lexer ----------
 
 // ---------- atomic-write ----------
@@ -598,6 +635,65 @@ TEST(HotPathTest, HotWithoutNoallocAllowsAllocations) {
       "}  // namespace fvae\n");
   EXPECT_FALSE(HasRule(findings, "hot-alloc"));
   EXPECT_TRUE(findings.empty());
+}
+
+TEST(HotPathTest, TraceSpanOnHotPathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Helper() {\n"
+      "  obs::TraceSpan span(\"net.server.parse\");\n"
+      "}\n"
+      "void Serve() FVAE_HOT { Helper(); }\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "hot-trace"));
+  // The chain from the annotated root to the construction is reported.
+  EXPECT_NE(findings[0].message.find("Serve"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("Helper"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(HotPathTest, TraceScopeMacroOnHotPathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Serve() FVAE_HOT {\n"
+      "  FVAE_TRACE_SCOPE(\"serving.lookup\");\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(findings, "hot-trace"));
+}
+
+TEST(HotPathTest, NoteSpanOnHotPathStaysSilent) {
+  // SpanScratch::NoteSpan is the sanctioned hot-path span API: a bounded
+  // write into pre-reserved storage, flushed off the hot path.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Serve(obs::SpanScratch& scratch) FVAE_HOT {\n"
+      "  scratch.NoteSpan(\"serving.batcher.encode\", 0, 1, ctx);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-trace"));
+}
+
+TEST(HotPathTest, TraceSpanOffHotPathStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Offline() {\n"
+      "  obs::TraceSpan span(\"checkpoint.write\");\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-trace"));
+}
+
+TEST(HotPathTest, TraceSpanSuppressionCommentWorks) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "void Serve() FVAE_HOT {\n"
+      "  obs::TraceSpan span(\"serving.slow_init\");"
+      "  // fvae-lint: allow(hot-trace)\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "hot-trace"));
 }
 
 TEST(HotPathTest, SuppressionCommentSilencesFinding) {

@@ -255,6 +255,145 @@ TEST(FrameParserTest, ParsesPipelinedFrames) {
   EXPECT_EQ(parser.Next().status().code(), StatusCode::kUnavailable);
 }
 
+// ---------- trace-context compatibility ----------
+
+std::vector<uint8_t> BuildTracedFrame(Verb verb, uint64_t tag,
+                                      const std::vector<uint8_t>& payload,
+                                      const obs::TraceContext& trace) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(bytes, verb, WireStatus::kOk, 0, tag, payload.data(),
+              payload.size(), kProtocolVersion, &trace);
+  return bytes;
+}
+
+TEST(TraceContextTest, PrefixRoundTripsAndStripsClean) {
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, 77);
+  const obs::TraceContext trace{0xdeadbeefcafe1234ull, 0x42ull};
+  const std::vector<uint8_t> bytes =
+      BuildTracedFrame(Verb::kLookup, 9, payload, trace);
+
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  Result<Frame> frame = parser.Next();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.flags & kFlagTraceContext, kFlagTraceContext);
+  EXPECT_EQ(frame->payload.size(), payload.size() + kTraceContextBytes);
+
+  Result<obs::TraceContext> extracted = ExtractTraceContext(&*frame);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->trace_id, trace.trace_id);
+  EXPECT_EQ(extracted->span_id, trace.span_id);
+  // The prefix is gone, the flag is cleared, and the body is byte-identical
+  // to what the sender encoded.
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(frame->header.flags & kFlagTraceContext, 0);
+}
+
+TEST(TraceContextTest, V1FramesNeverCarryThePrefix) {
+  // A v2 sender talking to a v1 peer downgrades: the trace pointer is
+  // ignored, the frame is a plain v1 frame an old parser accepts.
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, 77);
+  const obs::TraceContext trace{123, 456};
+  std::vector<uint8_t> bytes;
+  AppendFrame(bytes, Verb::kLookup, WireStatus::kOk, 0, 5, payload.data(),
+              payload.size(), /*version=*/1, &trace);
+
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  Result<Frame> frame = parser.Next();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.version, 1);
+  EXPECT_EQ(frame->header.flags & kFlagTraceContext, 0);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Extraction on an unflagged frame is the identity: {0,0}, untouched.
+  Result<obs::TraceContext> extracted = ExtractTraceContext(&*frame);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_FALSE(extracted->valid());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(TraceContextTest, TraceFlagOnV1FrameIsRejected) {
+  // The header CRC covers payload bytes only, so flipping the version byte
+  // down to 1 leaves an otherwise-valid frame whose flags claim a prefix
+  // v1 cannot have — ValidateHeader must kill it.
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, 77);
+  std::vector<uint8_t> bytes =
+      BuildTracedFrame(Verb::kLookup, 9, payload, {1, 2});
+  bytes[4] = 1;  // version byte
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  EXPECT_EQ(parser.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceContextTest, FlaggedFrameTooShortForPrefixIsRejected) {
+  // Set the trace bit on a frame whose payload cannot hold the 16-byte
+  // prefix. flags live at header offset 7 and are outside the CRC region.
+  std::vector<uint8_t> bytes = BuildFrame(Verb::kHealth, 1, {});
+  bytes[7] |= kFlagTraceContext;
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  EXPECT_EQ(parser.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceContextTest, TracedFrameParsesFedBytewise) {
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, 42);
+  const std::vector<uint8_t> bytes =
+      BuildTracedFrame(Verb::kLookup, 3, payload, {7, 8});
+
+  FrameParser parser;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // Truncation at every offset of the extended frame — header, prefix,
+    // body — is incomplete, never an error.
+    Result<Frame> frame = parser.Next();
+    ASSERT_FALSE(frame.ok());
+    ASSERT_EQ(frame.status().code(), StatusCode::kUnavailable)
+        << "offset " << i << ": " << frame.status().ToString();
+    parser.Feed(&bytes[i], 1);
+  }
+  Result<Frame> frame = parser.Next();
+  ASSERT_TRUE(frame.ok());
+  Result<obs::TraceContext> extracted = ExtractTraceContext(&*frame);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->trace_id, 7u);
+  EXPECT_EQ(extracted->span_id, 8u);
+}
+
+TEST(TraceContextTest, BitFlippedTraceBytesFailCrc) {
+  // The CRC covers the trace prefix: corruption in any of its 16 bytes is
+  // caught before the context can mis-stitch two unrelated traces.
+  std::vector<uint8_t> payload;
+  EncodeLookupRequest(payload, 77);
+  for (size_t i = 0; i < kTraceContextBytes; ++i) {
+    std::vector<uint8_t> bytes =
+        BuildTracedFrame(Verb::kLookup, 1, payload, {0xabcd, 0xef01});
+    bytes[kHeaderBytes + i] ^= 0x10;
+    FrameParser parser;
+    parser.Feed(bytes.data(), bytes.size());
+    Result<Frame> frame = parser.Next();
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kIoError)
+        << "prefix byte " << i;
+  }
+}
+
+TEST(TraceContextTest, IntrospectRequestRoundTrip) {
+  for (IntrospectFormat format :
+       {IntrospectFormat::kJson, IntrospectFormat::kPrometheus}) {
+    std::vector<uint8_t> payload;
+    EncodeIntrospectRequest(payload, format);
+    Result<IntrospectFormat> decoded =
+        DecodeIntrospectRequest(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, format);
+  }
+  EXPECT_FALSE(DecodeIntrospectRequest(nullptr, 0).ok());
+}
+
 // ---------- timer wheel ----------
 
 TEST(TimerWheelTest, FiresInOrderAndHonorsCancel) {

@@ -9,8 +9,11 @@
 
 #include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "obs/exemplars.h"
 #include "obs/metrics_registry.h"
 #include "obs/periodic_dumper.h"
+#include "obs/prometheus.h"
+#include "obs/slow_trace_ring.h"
 #include "obs/trace.h"
 
 namespace fvae::obs {
@@ -309,6 +312,291 @@ TEST(TraceTest, TraceScopeMacroRecordsIntoGlobal) {
   global.Reset();
 }
 
+// ---------- distributed trace context ----------
+
+TEST(TraceContextTest, MintedIdsAreUniqueAndNonZero) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(MintSpanId());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+  const TraceContext root = MintTraceContext();
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.span_id, 0u);
+}
+
+TEST(TraceContextTest, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    ScopedTraceContext outer(TraceContext{10, 20});
+    EXPECT_EQ(CurrentTraceContext().trace_id, 10u);
+    {
+      ScopedTraceContext inner(TraceContext{30, 40});
+      EXPECT_EQ(CurrentTraceContext().trace_id, 30u);
+      EXPECT_EQ(CurrentTraceContext().span_id, 40u);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, 10u);
+    EXPECT_EQ(CurrentTraceContext().span_id, 20u);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(TraceContextTest, NestedSpansInheritTraceAndChainParents) {
+  // TraceSpan installs itself as the ambient context, so a nested span
+  // parents on it and an outbound RPC issued inside it would carry its id.
+  TraceRecorder recorder;
+  recorder.Enable();
+  const TraceContext root = MintTraceContext();
+  {
+    ScopedTraceContext scope(root);
+    TraceSpan outer("test.outer", &recorder);
+    { TraceSpan inner("test.inner", &recorder); }
+  }
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Both spans open in the same microsecond, so the start-sorted order is
+  // not deterministic — pick them out by name.
+  if (std::string(events[0].name) != "test.outer") {
+    std::swap(events[0], events[1]);
+  }
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_EQ(outer.trace_id, root.trace_id);
+  EXPECT_EQ(inner.trace_id, root.trace_id);
+  EXPECT_EQ(outer.parent_span_id, root.span_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(outer.span_id, inner.span_id);
+}
+
+TEST(TraceContextTest, ContextFreeSpansKeepTheOldSerialization) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  { TraceSpan span("test.plain", &recorder); }
+  // Without an ambient context the Chrome export carries no "args" block —
+  // byte-compatible with pre-tracing golden files.
+  EXPECT_EQ(recorder.ChromeTraceJson().find("\"args\""), std::string::npos);
+
+  {
+    ScopedTraceContext scope(TraceContext{0xabc, 0xdef});
+    TraceSpan span("test.traced", &recorder);
+  }
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_NE(json.find("\"args\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000000abc\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"parent_span_id\":\"0000000000000def\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceContextTest, ExplicitContextRecordBypassesAmbient) {
+  // The 5-arg RecordSpan is the API for spans whose identity was captured
+  // elsewhere (hedge arms, batcher completions): it must not read the
+  // calling thread's ambient context.
+  TraceRecorder recorder;
+  recorder.Enable();
+  ScopedTraceContext scope(TraceContext{1, 2});
+  recorder.RecordSpan("test.explicit", 100, 5, TraceContext{7, 8}, 9);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 7u);
+  EXPECT_EQ(events[0].span_id, 8u);
+  EXPECT_EQ(events[0].parent_span_id, 9u);
+}
+
+TEST(SpanScratchTest, StagesFlushesAndCountsOverflow) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  SpanScratch scratch(2);
+  scratch.NoteSpan("test.a", 10, 1, TraceContext{1, 2}, 3);
+  scratch.NoteSpan("test.b", 20, 1, TraceContext{1, 4}, 2);
+  scratch.NoteSpan("test.c", 30, 1, TraceContext{1, 5}, 2);  // over capacity
+  EXPECT_EQ(scratch.staged(), 2u);
+  EXPECT_EQ(scratch.dropped(), 1u);
+  EXPECT_EQ(recorder.EventCount(), 0u);  // nothing recorded until Flush
+
+  scratch.Flush(&recorder);
+  EXPECT_EQ(scratch.staged(), 0u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 1u);
+  EXPECT_EQ(events[0].span_id, 2u);
+  EXPECT_EQ(events[0].parent_span_id, 3u);
+}
+
+// ---------- slow-trace ring ----------
+
+TEST(SlowTraceRingTest, CapturesAndSortsByDuration) {
+  SlowTraceRing ring(4);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    SlowTraceRing::Entry entry;
+    entry.trace_id = i;
+    entry.tag = i * 10;
+    entry.start_us = int64_t(i) * 100;
+    entry.duration_us = int64_t(i) * 1000;
+    entry.verb = 2;
+    entry.status = 0;
+    ring.Record(entry);
+  }
+  const std::vector<SlowTraceRing::Entry> snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].trace_id, 3u);  // longest first
+  EXPECT_EQ(snapshot[0].duration_us, 3000);
+  EXPECT_EQ(snapshot[2].trace_id, 1u);
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_NE(ring.ToJson().find("\"trace_id\":\"0000000000000003\""),
+            std::string::npos)
+      << ring.ToJson();
+}
+
+TEST(SlowTraceRingTest, WrapKeepsOnlyTheLastCapacity) {
+  SlowTraceRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    SlowTraceRing::Entry entry;
+    entry.trace_id = i;
+    entry.duration_us = 1;
+    ring.Record(entry);
+  }
+  const std::vector<SlowTraceRing::Entry> snapshot = ring.Snapshot();
+  EXPECT_LE(snapshot.size(), 4u);
+  for (const SlowTraceRing::Entry& entry : snapshot) {
+    EXPECT_GE(entry.trace_id, 7u);  // only the newest survive the wrap
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+}
+
+TEST(SlowTraceRingTest, ConcurrentWritersNeverTearSnapshots) {
+  SlowTraceRing ring(8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ring, &stop, t] {
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SlowTraceRing::Entry entry;
+        // trace_id and duration_us are locked together; a torn slot would
+        // break the invariant checked below.
+        entry.trace_id = uint64_t(t + 1);
+        entry.duration_us = int64_t(t + 1) * 1000;
+        entry.tag = ++n;
+        ring.Record(entry);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (const SlowTraceRing::Entry& entry : ring.Snapshot()) {
+      ASSERT_EQ(entry.duration_us, int64_t(entry.trace_id) * 1000);
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+}
+
+// ---------- exemplars ----------
+
+TEST(ExemplarStoreTest, KeepsTopKByValueWithTraceIds) {
+  ExemplarStore store(2);
+  store.Offer(10.0, 1);
+  store.Offer(30.0, 3);
+  store.Offer(20.0, 2);
+  store.Offer(5.0, 5);    // below the floor once full
+  store.Offer(99.0, 0);   // no trace context: never stored
+  const std::vector<ExemplarStore::Exemplar> snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].value, 30.0);
+  EXPECT_EQ(snapshot[0].trace_id, 3u);
+  EXPECT_EQ(snapshot[1].value, 20.0);
+  EXPECT_EQ(snapshot[1].trace_id, 2u);
+  EXPECT_NE(store.ToJson().find("\"trace_id\":\"0000000000000003\""),
+            std::string::npos)
+      << store.ToJson();
+}
+
+TEST(MetricsRegistryTest, ExemplarStoresAttachToHistogramsAndExport) {
+  MetricsRegistry registry;
+  registry.Histo("test.latency_us").Record(123.0);
+  ExemplarStore& store = registry.Exemplars("test.latency_us");
+  store.Offer(123.0, 0x77);
+  // Cached-reference contract: the same name returns the same store.
+  EXPECT_EQ(&registry.Exemplars("test.latency_us"), &store);
+  const std::string json = registry.ExemplarsJson();
+  EXPECT_NE(json.find("\"test.latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000000077\""),
+            std::string::npos)
+      << json;
+}
+
+// ---------- visitor + Prometheus exposition ----------
+
+TEST(MetricsRegistryTest, VisitWalksInstrumentsInNameOrder) {
+  MetricsRegistry registry;
+  registry.Counter("test.b_counter").Add(2);
+  registry.Gauge("test.a_gauge").Set(1.5);
+  registry.Histo("test.c_histo").Record(10.0);
+
+  class Collector : public MetricVisitor {
+   public:
+    std::vector<std::string> names;
+    void OnCounter(const std::string& name, uint64_t value) override {
+      names.push_back(name);
+      EXPECT_EQ(value, 2u);
+    }
+    void OnGauge(const std::string& name, double value) override {
+      names.push_back(name);
+      EXPECT_EQ(value, 1.5);
+    }
+    void OnHistogram(const std::string& name,
+                     const LatencyHistogram& histogram) override {
+      names.push_back(name);
+      EXPECT_EQ(histogram.Count(), 1u);
+    }
+  };
+  Collector collector;
+  registry.Visit(collector);
+  const std::vector<std::string> expected = {
+      "test.a_gauge", "test.b_counter", "test.c_histo"};
+  EXPECT_EQ(collector.names, expected);
+}
+
+TEST(PrometheusTest, NameManglingPrefixesAndSubstitutes) {
+  EXPECT_EQ(PrometheusName("net.server.frames_rx"),
+            "fvae_net_server_frames_rx");
+}
+
+TEST(PrometheusTest, ExpositionCoversAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.Counter("test.requests").Add(41);
+  registry.Gauge("test.queue_depth").Set(3.0);
+  registry.Histo("test.latency_us", 1.0, 2.0, 4).Record(2.5);
+
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE fvae_test_requests_total counter\n"
+                      "fvae_test_requests_total 41\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE fvae_test_queue_depth gauge\n"
+                      "fvae_test_queue_depth 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE fvae_test_latency_us histogram"),
+            std::string::npos)
+      << text;
+  // Cumulative buckets end in the +Inf series, which equals _count.
+  EXPECT_NE(text.find("fvae_test_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+  // Sum is bucket-approximated (the histogram stores counts, not raw
+  // values), so only assert the series exists.
+  EXPECT_NE(text.find("fvae_test_latency_us_sum "), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fvae_test_latency_us_count 1"), std::string::npos)
+      << text;
+}
+
 // ---------- periodic dumper ----------
 
 TEST(PeriodicDumperTest, DumpsPeriodicallyAndStopsCleanly) {
@@ -355,6 +643,47 @@ TEST(PeriodicDumperTest, DumpsPeriodicallyAndStopsCleanly) {
   {
     MutexLock lock(mutex);
     EXPECT_EQ(snapshots.size(), final_dumps);
+  }
+}
+
+TEST(PeriodicDumperTest, StopFlushesAFinalSnapshotExactlyOnce) {
+  // Lifecycle contract for crash-free shutdown telemetry: with an interval
+  // far beyond the test's lifetime, the only emission is the final flush
+  // Stop() performs — and it must see every update made before Stop().
+  MetricsRegistry registry;
+  fvae::obs::Counter& served = registry.Counter("test.requests_served");
+
+  Mutex mutex;
+  std::vector<std::string> snapshots;
+  PeriodicDumperOptions options;
+  options.interval_seconds = 3600.0;  // never fires on its own
+  PeriodicDumper dumper(&registry, options,
+                        [&mutex, &snapshots](const std::string& snapshot) {
+                          MutexLock lock(mutex);
+                          snapshots.push_back(snapshot);
+                        });
+  dumper.Start();
+  served.Add(42);  // lands after Start, must still reach the final flush
+  dumper.Stop();
+
+  EXPECT_EQ(dumper.dumps(), 1u);
+  {
+    MutexLock lock(mutex);
+    ASSERT_EQ(snapshots.size(), 1u);
+    EXPECT_NE(snapshots[0].find("\"name\":\"test.requests_served\""),
+              std::string::npos)
+        << snapshots[0];
+    EXPECT_NE(snapshots[0].find("\"value\":42"), std::string::npos)
+        << snapshots[0];
+  }
+
+  // A second Start/Stop cycle flushes again; dumps() counts both.
+  dumper.Start();
+  dumper.Stop();
+  EXPECT_EQ(dumper.dumps(), 2u);
+  {
+    MutexLock lock(mutex);
+    EXPECT_EQ(snapshots.size(), 2u);
   }
 }
 

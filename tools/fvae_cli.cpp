@@ -43,6 +43,7 @@
 #include "datagen/profile_generator.h"
 #include "eval/representation_model.h"
 #include "eval/tasks.h"
+#include "net/rpc_client.h"
 #include "net/rpc_server.h"
 #include "net/shard_router.h"
 #include "obs/metrics_registry.h"
@@ -473,6 +474,7 @@ int CmdServe(const Args& args) {
   net::RpcServerOptions server_options;
   server_options.port = uint16_t(args.GetInt("port", 7070));
   server_options.num_workers = size_t(args.GetInt("workers", 2));
+  server_options.slow_trace_threshold_micros = args.GetInt("slow-us", 50'000);
   net::RpcServer server(&service, server_options,
                         &obs::MetricsRegistry::Global());
   const Status started = server.Start();
@@ -507,6 +509,10 @@ int CmdNetLoad(const Args& args) {
   const size_t requests = size_t(args.GetInt("requests", 2000));
   const size_t num_users = size_t(args.GetInt("users", 1000));
 
+  // --trace-out here captures the client half of the distributed traces
+  // (net.client.call / net.client.send); the server writes its half on
+  // shutdown. The CI smoke job joins the two files on trace_id.
+  ObsSession obs_session(args);
   net::ShardRouterOptions router_options;
   router_options.call_deadline_micros = args.GetInt("deadline-us", 1'000'000);
   router_options.enable_hedging = args.GetInt("hedge", 1) != 0;
@@ -558,6 +564,172 @@ int CmdNetLoad(const Args& args) {
       (unsigned long long)metrics.failovers.Value(),
       (unsigned long long)metrics.hedges.Value(),
       (unsigned long long)metrics.breaker_trips.Value(), per_shard.c_str());
+  return 0;
+}
+
+/// Returns the value of `"key":` in `json` — the balanced {...}/[...] for
+/// containers, the bare token (unquoted) for scalars, "" when absent.
+/// First occurrence wins, so call it on an already-narrowed subobject.
+/// Good enough for the introspection JSON (no braces inside strings).
+std::string JsonValue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  if (begin >= json.size()) return "";
+  const char open = json[begin];
+  if (open == '{' || open == '[') {
+    const char close = open == '{' ? '}' : ']';
+    int depth = 0;
+    for (size_t i = begin; i < json.size(); ++i) {
+      if (json[i] == open) ++depth;
+      if (json[i] == close && --depth == 0) {
+        return json.substr(begin, i - begin + 1);
+      }
+    }
+    return "";
+  }
+  size_t end = begin;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != ']') {
+    ++end;
+  }
+  std::string value = json.substr(begin, end - begin);
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  return value;
+}
+
+double JsonNumber(const std::string& json, const std::string& key,
+                  double fallback = 0.0) {
+  const std::string value = JsonValue(json, key);
+  if (value.empty()) return fallback;
+  return ParseDouble(value).value_or(fallback);
+}
+
+/// Splits a JSON array of flat objects into per-object strings.
+std::vector<std::string> JsonArrayObjects(const std::string& array_json) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < array_json.size(); ++i) {
+    if (array_json[i] == '{' && depth++ == 0) start = i;
+    if (array_json[i] == '}' && --depth == 0) {
+      out.push_back(array_json.substr(start, i - start + 1));
+    }
+  }
+  return out;
+}
+
+const char* const kTopVerbNames[] = {"health", "lookup", "encode_fold_in",
+                                     "stats", "introspect"};
+
+/// `fvae top` — live dashboard over running `fvae serve` endpoints: polls
+/// the Introspect verb each interval and renders QPS, per-verb p50/p99,
+/// endpoint health (a poll-failure mini-breaker), and the slowest captured
+/// traces with their trace ids. `--once 1` renders a single frame without
+/// clearing the screen (scriptable; the CI smoke job uses it); `--prom 1`
+/// dumps the Prometheus text exposition instead and exits.
+int CmdTop(const Args& args) {
+  const std::string endpoints_flag = args.Get("endpoints", "");
+  if (endpoints_flag.empty()) {
+    return Fail("top needs --endpoints host:port[,host:port...]");
+  }
+  const std::vector<std::string> endpoints = Split(endpoints_flag, ',');
+  const double interval_s = args.GetDouble("interval-s", 2.0);
+  const bool once = args.GetInt("once", 0) != 0;
+
+  if (args.GetInt("prom", 0) != 0) {
+    for (const std::string& endpoint : endpoints) {
+      auto channel = net::RpcChannel::Connect(endpoint);
+      if (!channel.ok()) return Fail(channel.status().ToString());
+      auto text = (*channel)->Introspect(net::IntrospectFormat::kPrometheus);
+      if (!text.ok()) return Fail(text.status().ToString());
+      std::printf("%s", text->c_str());
+    }
+    return 0;
+  }
+
+  struct EndpointState {
+    double last_frames_rx = 0.0;
+    int64_t last_poll_us = 0;
+    uint32_t consecutive_failures = 0;
+  };
+  std::vector<EndpointState> states(endpoints.size());
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  for (;;) {
+    std::string screen;
+    for (size_t e = 0; e < endpoints.size(); ++e) {
+      EndpointState& state = states[e];
+      auto channel = net::RpcChannel::Connect(endpoints[e], /*timeout_ms=*/500);
+      Result<std::string> body =
+          channel.ok() ? (*channel)->Introspect() : Result<std::string>(
+                                                        channel.status());
+      const int64_t now_us = MonotonicMicros();
+      if (!body.ok()) {
+        ++state.consecutive_failures;
+        // Same threshold the router's breaker defaults to: three strikes.
+        const char* breaker =
+            state.consecutive_failures >= 3 ? "OPEN" : "DEGRADED";
+        screen += StrFormat("%s  [%s]  %s\n", endpoints[e].c_str(), breaker,
+                            body.status().ToString().c_str());
+        continue;
+      }
+      state.consecutive_failures = 0;
+      const std::string net_json = JsonValue(*body, "net");
+      const double frames_rx = JsonNumber(net_json, "frames_rx");
+      double qps = 0.0;
+      if (state.last_poll_us != 0 && now_us > state.last_poll_us) {
+        qps = (frames_rx - state.last_frames_rx) * 1e6 /
+              double(now_us - state.last_poll_us);
+      }
+      state.last_frames_rx = frames_rx;
+      state.last_poll_us = now_us;
+
+      screen += StrFormat(
+          "%s  [CLOSED]  qps %.1f  conns %.0f  frames_rx %.0f  "
+          "protocol_errors %.0f\n",
+          endpoints[e].c_str(), qps, JsonNumber(net_json, "open_connections"),
+          frames_rx, JsonNumber(net_json, "protocol_errors"));
+      const std::string verbs = JsonValue(net_json, "verb_latency_us");
+      screen += "  verb            count        p50_us       p99_us\n";
+      for (const char* verb : kTopVerbNames) {
+        const std::string histo = JsonValue(verbs, verb);
+        if (histo.empty() || JsonNumber(histo, "count") == 0.0) continue;
+        screen += StrFormat("  %-14s %8.0f %12.1f %12.1f\n", verb,
+                            JsonNumber(histo, "count"),
+                            JsonNumber(histo, "p50"),
+                            JsonNumber(histo, "p99"));
+      }
+      const std::vector<std::string> slow =
+          JsonArrayObjects(JsonValue(*body, "slow_traces"));
+      if (!slow.empty()) {
+        screen += "  slowest traces:\n";
+        for (size_t i = 0; i < slow.size() && i < 5; ++i) {
+          const size_t verb = size_t(JsonNumber(slow[i], "verb"));
+          screen += StrFormat(
+              "    trace %s  %-14s status %.0f  %.0f us\n",
+              JsonValue(slow[i], "trace_id").c_str(),
+              verb < 5 ? kTopVerbNames[verb] : "?",
+              JsonNumber(slow[i], "status"),
+              JsonNumber(slow[i], "duration_us"));
+        }
+      }
+    }
+    if (!once) std::printf("\x1b[2J\x1b[H");  // clear + home
+    std::printf("%s", screen.c_str());
+    std::fflush(stdout);
+    if (once || g_stop.load(std::memory_order_relaxed)) break;
+    for (int tick = 0; tick < int(interval_s * 10.0) &&
+                       !g_stop.load(std::memory_order_relaxed);
+         ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_stop.load(std::memory_order_relaxed)) break;
+  }
   return 0;
 }
 
@@ -664,10 +836,13 @@ void PrintUsage() {
       "             --trace-out F --metrics-out F]\n"
       "  serve     --data F --model F [--port P --workers W --shards S\n"
       "             --batcher 0|1 --batch B --wait-us W --queue Q\n"
-      "             --deadline-us D --hot-frac H --metrics-out F]\n"
+      "             --deadline-us D --hot-frac H --metrics-out F\n"
+      "             --slow-us N --trace-out F]\n"
       "  net-load  --endpoints h:p[,h:p...] [--threads N --requests N\n"
       "             --users N --deadline-us D --hedge 0|1\n"
-      "             --breaker-threshold N]\n");
+      "             --breaker-threshold N --trace-out F]\n"
+      "  top       --endpoints h:p[,h:p...] [--interval-s S --once 1\n"
+      "             --prom 1]\n");
 }
 
 }  // namespace
@@ -688,6 +863,7 @@ int main(int argc, char** argv) {
   if (command == "serve-bench") return CmdServeBench(args);
   if (command == "serve") return CmdServe(args);
   if (command == "net-load") return CmdNetLoad(args);
+  if (command == "top") return CmdTop(args);
   PrintUsage();
   return 1;
 }

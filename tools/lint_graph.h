@@ -445,8 +445,9 @@ inline std::vector<Finding> AnalyzeLockOrder(const ProgramFacts& pf) {
 }
 
 /// Hot-path purity: walks callees from every FVAE_HOT / FVAE_NOALLOC root
-/// and reports logging, IO, non-exempt lock acquisition — plus heap
-/// allocation for FVAE_NOALLOC roots — with the root-to-offender chain.
+/// and reports logging, IO, non-exempt lock acquisition, TraceSpan /
+/// FVAE_TRACE_SCOPE construction — plus heap allocation for FVAE_NOALLOC
+/// roots — with the root-to-offender chain.
 inline std::vector<Finding> AnalyzeHotPaths(const ProgramFacts& pf) {
   std::vector<Finding> findings;
   std::set<std::string> seen;  // rule|file|line dedup across roots
@@ -500,6 +501,15 @@ inline std::vector<Finding> AnalyzeHotPaths(const ProgramFacts& pf) {
                "IO touch '" + io.token + "' reachable from " + root_attr +
                    " " + pf.functions[root].qualified + " via " +
                    chain_of(fi));
+      }
+      for (const PurityFact& trace : fn.traces) {
+        if (LineAllows(pf, fn.file, trace.line, "hot-trace")) continue;
+        report("hot-trace", fn, trace.line,
+               "'" + trace.token + "' construction reachable from " +
+                   root_attr + " " + pf.functions[root].qualified + " via " +
+                   chain_of(fi) +
+                   " — TraceSpan locks and may allocate; hot code stages "
+                   "spans through SpanScratch::NoteSpan instead");
       }
       for (const LockAcq& acq : fn.acquisitions) {
         const LockDecl* lock = ResolveLock(pf, fn, acq.lock);

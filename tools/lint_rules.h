@@ -439,6 +439,34 @@ inline std::vector<Finding> LintFile(const std::string& path_label,
       }
     }
 
+    // Span-name hygiene: trace span names share the metric-name grammar so
+    // Chrome exports, span profiles and the hop-breakdown bench all key on
+    // one vocabulary. Covers FVAE_TRACE_SCOPE("x"), TraceSpan s("x"),
+    // TraceSpan("x"), RecordSpan("x", ...) and NoteSpan("x", ...).
+    for (size_t i = 0; i + 2 < line.size(); ++i) {
+      if (line[i].kind != TokKind::kIdent ||
+          (line[i].text != "FVAE_TRACE_SCOPE" &&
+           line[i].text != "TraceSpan" && line[i].text != "RecordSpan" &&
+           line[i].text != "NoteSpan")) {
+        continue;
+      }
+      // The named-variable form puts one identifier between the type and
+      // the open paren: `TraceSpan parse_span("net.server.parse")`.
+      size_t open = i + 1;
+      if (open < line.size() && line[open].kind == TokKind::kIdent) ++open;
+      if (open + 1 >= line.size() || !IsPunct(line[open], "(") ||
+          line[open + 1].kind != TokKind::kString) {
+        continue;
+      }
+      const std::string& name = line[open + 1].text;
+      if (!detail::IsMetricNamePath(name)) {
+        report(idx, "span-name",
+               "span name \"" + name +
+                   "\" must be a snake_case dotted path like "
+                   "\"net.server.parse\"");
+      }
+    }
+
     // (void)-cast of a call: demand an inline justification so intentional
     // discards stay auditable. `(void)identifier;` (unused-parameter
     // silencing) is exempt — no call involved.

@@ -95,6 +95,7 @@ struct FunctionFacts {
   std::vector<PurityFact> logs;
   std::vector<PurityFact> ios;
   std::vector<PurityFact> blocking;  // loop-stalling tokens (poll, waits, …)
+  std::vector<PurityFact> traces;    // TraceSpan / FVAE_TRACE_SCOPE sites
   std::vector<MemberAccess> accesses;
 };
 
@@ -900,6 +901,21 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     }
     if (IsLogToken(id)) fn->logs.push_back({id, tok.line});
     if (IsIoToken(id)) fn->ios.push_back({id, tok.line});
+
+    // TraceSpan construction facts for the hot-trace walk. Both the scope
+    // macro and the constructor forms put the identifier before '(' —
+    // directly (`TraceSpan("x")`, `FVAE_TRACE_SCOPE("x")`) or with the
+    // variable name between (`TraceSpan span("x")`). Mentions that are not
+    // constructions (a `const TraceSpan&` parameter) don't match.
+    if (id == "TraceSpan" || id == "FVAE_TRACE_SCOPE") {
+      const Tok* n2 = i + 2 < tokens.size() ? &tokens[i + 2] : nullptr;
+      const bool direct = next != nullptr &&
+                          next->kind == TokKind::kPunct && next->text == "(";
+      const bool named = next != nullptr && next->kind == TokKind::kIdent &&
+                         n2 != nullptr && n2->kind == TokKind::kPunct &&
+                         n2->text == "(";
+      if (direct || named) fn->traces.push_back({id, tok.line});
+    }
 
     // Blocking facts for the event-loop walk. Sleeps appear in IsIoToken
     // too; AnalyzeEventLoops skips io facts that are also blocking facts so
