@@ -37,6 +37,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/fvae_model.h"
+#include "math/kernels/kernel_table.h"
 #include "core/trainer.h"
 #include "net/rpc_client.h"
 #include "net/rpc_server.h"
@@ -103,6 +104,39 @@ struct NetPhaseResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
 };
+
+/// Single-threaded cold fold-in encode rate (users/s) with whatever ISA
+/// the dispatch table currently holds: micro-batches of 8 over `users`'
+/// raw features, persistent scratch, exactly the batcher's steady-state
+/// encode shape. Used for the SIMD before/after delta — callers pin the
+/// table with ForceIsa around this.
+double FoldInEncodeRate(const core::FieldVae& model,
+                        const MultiFieldDataset& dataset,
+                        std::span<const uint32_t> users, double budget_s) {
+  const size_t pool = std::min<size_t>(users.size(), 512);
+  std::vector<core::RawUserFeatures> storage;
+  storage.reserve(pool);
+  std::vector<const core::RawUserFeatures*> raw;
+  raw.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    storage.push_back(serving::RawFeaturesOf(dataset, users[i]));
+    raw.push_back(&storage.back());
+  }
+  core::FieldVae::FoldInScratch scratch;
+  Matrix mu;
+  const size_t batch = 8;
+  std::span<const core::RawUserFeatures* const> span(raw);
+  model.EncodeFoldInInto(span.subspan(0, batch), &scratch, &mu);  // warm
+  size_t encoded = 0, cursor = 0;
+  Stopwatch watch;
+  do {
+    if (cursor + batch > pool) cursor = 0;
+    model.EncodeFoldInInto(span.subspan(cursor, batch), &scratch, &mu);
+    cursor += batch;
+    encoded += batch;
+  } while (watch.ElapsedSeconds() < budget_s);
+  return static_cast<double>(encoded) / watch.ElapsedSeconds();
+}
 
 /// Closed-loop lookups of `num_users` keys from `num_threads` clients;
 /// `call(thread, user)` performs one RPC. Returns throughput + client-side
@@ -321,6 +355,25 @@ int Main(bool net_loopback) {
   std::printf("threads: %zu  hot users: %zu  cold pool: %zu per config\n\n",
               num_threads, num_hot, pool);
 
+  // SIMD dispatch delta: the identical cold fold-in encode with the kernel
+  // table pinned to scalar vs the detected-best ISA — the serving-side
+  // before/after of the SIMD kernel layer (BENCH_kernels.json has the
+  // per-kernel breakdown).
+  const Isa native_isa = ActiveIsa();
+  const double simd_budget_s = ByScale<double>(scale, 0.2, 0.5, 1.0);
+  FVAE_CHECK(ForceIsa(Isa::kScalar));
+  const double simd_scalar_rate =
+      FoldInEncodeRate(model, gen.dataset, cold_on, simd_budget_s);
+  FVAE_CHECK(ForceIsa(native_isa));
+  const double simd_native_rate =
+      FoldInEncodeRate(model, gen.dataset, cold_on, simd_budget_s);
+  const double simd_cold_speedup =
+      simd_scalar_rate > 0.0 ? simd_native_rate / simd_scalar_rate : 0.0;
+  std::printf("cold fold-in encode: scalar %.0f users/s, %s %.0f users/s "
+              "-> %.2fx SIMD speedup\n\n",
+              simd_scalar_rate, IsaName(native_isa), simd_native_rate,
+              simd_cold_speedup);
+
   const PhaseResult on = RunConfig(model, gen.dataset, hot_ids, cold_on,
                                    /*enable_batcher=*/true, num_threads,
                                    mixed_requests);
@@ -387,6 +440,11 @@ int Main(bool net_loopback) {
                 "micro-batching: %.2fx\n",
                 cold_speedup);
   table += line;
+  std::snprintf(line, sizeof(line),
+                "cold fold-in encode speedup from SIMD dispatch (%s vs "
+                "scalar): %.2fx\n",
+                IsaName(native_isa), simd_cold_speedup);
+  table += line;
   std::printf("%s", table.c_str());
   std::printf("\nbatcher-on telemetry:  %s\n", on.telemetry_json.c_str());
   std::printf("batcher-off telemetry: %s\n", off.telemetry_json.c_str());
@@ -421,8 +479,17 @@ int Main(bool net_loopback) {
     json += "     \"routed_3shard\": " + net_json(net.routed_3shard) + ",\n";
     json += "     \"hops\": " + net.hops.Json() + "},\n";
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "  \"cold_speedup\": %.3f\n", cold_speedup);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "  \"cold_speedup\": %.3f,\n",
+                cold_speedup);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"simd\": {\"native_isa\": \"%s\", "
+                "\"scalar_foldin_users_s\": %.1f, "
+                "\"native_foldin_users_s\": %.1f, "
+                "\"simd_cold_speedup\": %.3f}\n",
+                IsaName(native_isa), simd_scalar_rate, simd_native_rate,
+                simd_cold_speedup);
   json += buf;
   json += "}\n";
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "math/kernels/kernel_table.h"
 #include "nn/losses.h"
 #include "obs/trace.h"
 
@@ -125,14 +126,14 @@ void FieldVae::EncodeInternal(const MultiFieldDataset& dataset,
           row = *found;
         }
         std::span<const float> weights = table.Row(row);
-        for (size_t d = 0; d < h1_dim; ++d) out[d] += e.value * weights[d];
+        Kernels().axpy(e.value, weights.data(), out, h1_dim);
         if (cache != nullptr) {
           cache->inputs[i].push_back(
               {static_cast<uint32_t>(k), row, e.value});
         }
       }
     }
-    for (size_t d = 0; d < h1_dim; ++d) out[d] = std::tanh(out[d]);
+    Kernels().tanh_inplace(out, h1_dim);
   }
   if (cache != nullptr) cache->h1 = h1;
 
@@ -206,10 +207,10 @@ void FieldVae::EncodeFoldInInto(std::span<const RawUserFeatures* const> users,
         const auto found = table.FindRow(e.id);
         if (!found.has_value()) continue;  // cold feature at inference
         std::span<const float> weights = table.Row(*found);
-        for (size_t d = 0; d < h1_dim; ++d) out[d] += e.value * weights[d];
+        Kernels().axpy(e.value, weights.data(), out, h1_dim);
       }
     }
-    for (size_t d = 0; d < h1_dim; ++d) out[d] = std::tanh(out[d]);
+    Kernels().tanh_inplace(out, h1_dim);
   }
   // Layer forward passes touch member scratch only (same const_cast
   // rationale as EncodeConst); the logvar head is never run — fold-in
@@ -320,12 +321,18 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
   const size_t latent = config_.latent_dim;
 
   // ---- Reparameterization ----
+  // std_dev = exp(0.5 * logvar), computed once through the vectorized exp
+  // kernel and reused by the logvar gradient in the backward pass below.
   Matrix eps(batch, latent);
   Matrix z(batch, latent);
+  Matrix std_dev(batch, latent);
+  for (size_t i = 0; i < std_dev.size(); ++i) {
+    std_dev.data()[i] = 0.5f * logvar.data()[i];
+  }
+  Kernels().exp_inplace(std_dev.data(), std_dev.size());
   for (size_t i = 0; i < eps.size(); ++i) {
     eps.data()[i] = static_cast<float>(rng_.Normal());
-    z.data()[i] = mu.data()[i] +
-                  std::exp(0.5f * logvar.data()[i]) * eps.data()[i];
+    z.data()[i] = mu.data()[i] + std_dev.data()[i] * eps.data()[i];
   }
 
   // ---- Decoder trunk forward ----
@@ -457,8 +464,8 @@ StepStats FieldVae::TrainStep(const MultiFieldDataset& dataset,
   Matrix mu_grad = z_grad;
   Matrix logvar_grad(batch, latent);
   for (size_t i = 0; i < z_grad.size(); ++i) {
-    logvar_grad.data()[i] = z_grad.data()[i] * eps.data()[i] * 0.5f *
-                            std::exp(0.5f * logvar.data()[i]);
+    logvar_grad.data()[i] =
+        z_grad.data()[i] * eps.data()[i] * 0.5f * std_dev.data()[i];
   }
   nn::GaussianKlBackward(mu, logvar, beta / static_cast<float>(batch),
                          &mu_grad, &logvar_grad);

@@ -1,0 +1,151 @@
+#include "math/kernels/kernel_table.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <xmmintrin.h>
+#endif
+
+namespace fvae {
+namespace {
+
+KernelTable g_table;
+
+Isa DetectBestIsa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Isa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+void BuildTable(Isa isa, KernelTable* t) {
+  // Scalar first so every slot holds a valid pointer even if a Fill* for a
+  // narrower ISA ever leaves one untouched.
+  FillScalar(t);
+  switch (isa) {
+    case Isa::kScalar:
+      break;
+    case Isa::kAvx2:
+      FillAvx2(t);
+      break;
+    case Isa::kAvx512:
+      FillAvx512(t);
+      break;
+  }
+  t->isa = isa;
+}
+
+bool ParseIsaName(const char* s, Isa* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    *out = Isa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+// First-use initializer behind Kernels()'s magic static. Runs on a hot
+// path, so: getenv + strcmp only — no std::string, no logging, no
+// allocation (the lint purity walk enforces this transitively).
+bool InitTableFromEnv() {
+  Isa isa = DetectBestIsa();
+  const char* force = std::getenv("FVAE_FORCE_ISA");
+  Isa forced = Isa::kScalar;
+  if (force != nullptr && ParseIsaName(force, &forced) &&
+      IsaSupported(forced)) {
+    // An unsupported or unparsable FVAE_FORCE_ISA silently keeps the
+    // detected best; callers can read Kernels().isa to see what won.
+    isa = forced;
+  }
+  BuildTable(isa, &g_table);
+  return true;
+}
+
+// FTZ/DAZ policy (docs/ARCHITECTURE.md §12): subnormal intermediates in
+// the exp/KL path stall the FP pipeline by ~100x on common cores, and the
+// fold-in chain never needs gradual underflow. MXCSR is per-thread state,
+// so this runs once per thread via the thread_local in Kernels().
+// FVAE_FTZ=0 opts out (e.g. to audit underflow behavior).
+bool ApplyFtzThisThread() {
+#if defined(__x86_64__) || defined(_M_X64)
+  const char* env = std::getenv("FVAE_FTZ");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return false;
+  // Bit 15 = FTZ (flush results), bit 6 = DAZ (treat inputs as zero).
+  _mm_setcsr(_mm_getcsr() | 0x8040u);
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable& Kernels() {
+  static const bool inited = InitTableFromEnv();
+  (void)inited;
+  thread_local const bool ftz_applied = ApplyFtzThisThread();
+  (void)ftz_applied;
+  return g_table;
+}
+
+Isa ActiveIsa() { return Kernels().isa; }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ForceIsa(Isa isa) {
+  if (!IsaSupported(isa)) return false;
+  Kernels();  // settle env-driven first-init before overwriting the table
+  BuildTable(isa, &g_table);
+  return true;
+}
+
+}  // namespace fvae

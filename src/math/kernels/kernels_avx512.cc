@@ -1,0 +1,485 @@
+#include <cstddef>
+
+#include "math/kernels/kernel_table.h"
+
+// AVX-512 kernels: structurally the same algorithms as kernels_avx2.cc at
+// twice the width, with __mmask16 predication replacing maskload/maskstore
+// emulation. Compiled with -mavx512{f,dq,bw,vl} for this TU only. The
+// polynomial cores (Exp16/Log16/Tanh16) use the identical Cephes
+// coefficients and FMA shapes as the AVX2 versions, so per-element results
+// agree bitwise between the two vector ISAs.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <cfloat>
+#include <cmath>
+#include <immintrin.h>
+
+namespace fvae {
+namespace {
+
+__mmask16 TailMask16(size_t n) {
+  return static_cast<__mmask16>((1u << n) - 1u);
+}
+
+// The maskz extract variants are used throughout instead of the plain
+// ones: GCC's plain _mm512_extract*/_mm512_reduce_* wrappers pass an
+// _mm256_undefined_*() passthrough operand that trips -Wuninitialized.
+__m256 High256(__m512 v) {
+  return _mm512_maskz_extractf32x8_ps(static_cast<__mmask8>(0xff), v, 1);
+}
+
+__m256d High256d(__m512d v) {
+  return _mm512_maskz_extractf64x4_pd(static_cast<__mmask8>(0xf), v, 1);
+}
+
+double HorizontalSumPd512(__m512d v) {
+  const __m256d s = _mm256_add_pd(_mm512_castpd512_pd256(v), High256d(v));
+  __m128d lo = _mm256_castpd256_pd128(s);
+  lo = _mm_add_pd(lo, _mm256_extractf128_pd(s, 1));
+  lo = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+float HorizontalMax512(__m512 v) {
+  const __m256 m8 = _mm256_max_ps(_mm512_castps512_ps256(v), High256(v));
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(m8),
+                        _mm256_extractf128_ps(m8, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+void AccumulateLanesPd512(__m512 v, __m512d* acc) {
+  *acc = _mm512_add_pd(*acc,
+                       _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+  *acc = _mm512_add_pd(*acc, _mm512_cvtps_pd(High256(v)));
+}
+
+// Cephes expf, 16-wide; see Exp8 in kernels_avx2.cc for the derivation.
+__m512 Exp16(__m512 x0) {
+  const __m512 hi = _mm512_set1_ps(88.3762626647950f);
+  const __m512 lo = _mm512_set1_ps(-87.3365478515625f);
+  __m512 x = _mm512_max_ps(_mm512_min_ps(x0, hi), lo);
+  __m512 fx = _mm512_fmadd_ps(x, _mm512_set1_ps(1.44269504088896341f),
+                              _mm512_set1_ps(0.5f));
+  fx = _mm512_roundscale_ps(fx, 0x09);  // floor, suppress exceptions
+  x = _mm512_fnmadd_ps(fx, _mm512_set1_ps(0.693359375f), x);
+  x = _mm512_fnmadd_ps(fx, _mm512_set1_ps(-2.12194440e-4f), x);
+  const __m512 z = _mm512_mul_ps(x, x);
+  __m512 y = _mm512_set1_ps(1.9875691500e-4f);
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.3981999507e-3f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(8.3334519073e-3f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(4.1665795894e-2f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.6666665459e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(5.0000001201e-1f));
+  y = _mm512_fmadd_ps(y, z, x);
+  y = _mm512_add_ps(y, _mm512_set1_ps(1.0f));
+  __m512i n = _mm512_cvttps_epi32(fx);
+  n = _mm512_add_epi32(n, _mm512_set1_epi32(127));
+  n = _mm512_slli_epi32(n, 23);
+  __m512 r = _mm512_mul_ps(y, _mm512_castsi512_ps(n));
+  r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(x0, hi, _CMP_GT_OQ), r,
+                           _mm512_set1_ps(HUGE_VALF));
+  r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(x0, lo, _CMP_LT_OQ), r,
+                           _mm512_setzero_ps());
+  r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(x0, x0, _CMP_UNORD_Q), r, x0);
+  return r;
+}
+
+// Cephes logf, 16-wide; see Log8 in kernels_avx2.cc.
+__m512 Log16(__m512 x0) {
+  const __m512 min_norm =
+      _mm512_castsi512_ps(_mm512_set1_epi32(0x00800000));
+  __m512 x = _mm512_max_ps(x0, min_norm);
+  __m512i xi = _mm512_castps_si512(x);
+  const __m512i exp_bits = _mm512_srli_epi32(xi, 23);
+  __m512 e = _mm512_cvtepi32_ps(
+      _mm512_sub_epi32(exp_bits, _mm512_set1_epi32(126)));
+  xi = _mm512_and_si512(xi, _mm512_set1_epi32(0x007fffff));
+  xi = _mm512_or_si512(xi, _mm512_castps_si512(_mm512_set1_ps(0.5f)));
+  x = _mm512_castsi512_ps(xi);
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __mmask16 below_sqrth = _mm512_cmp_ps_mask(
+      x, _mm512_set1_ps(0.707106781186547524f), _CMP_LT_OQ);
+  e = _mm512_mask_sub_ps(e, below_sqrth, e, one);
+  x = _mm512_sub_ps(_mm512_mask_add_ps(x, below_sqrth, x, x), one);
+  const __m512 z = _mm512_mul_ps(x, x);
+  __m512 y = _mm512_set1_ps(7.0376836292e-2f);
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(-1.1514610310e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.1676998740e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(-1.2420140846e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.4249322787e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(-1.6668057665e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(2.0000714765e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(-2.4999993993e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(3.3333331174e-1f));
+  y = _mm512_mul_ps(_mm512_mul_ps(y, x), z);
+  y = _mm512_fmadd_ps(e, _mm512_set1_ps(-2.12194440e-4f), y);
+  y = _mm512_fnmadd_ps(_mm512_set1_ps(0.5f), z, y);
+  __m512 r = _mm512_add_ps(x, y);
+  r = _mm512_fmadd_ps(e, _mm512_set1_ps(0.693359375f), r);
+  const __m512 zero = _mm512_setzero_ps();
+  r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(x0, zero, _CMP_EQ_OQ), r,
+                           _mm512_set1_ps(-HUGE_VALF));
+  r = _mm512_mask_blend_ps(
+      _mm512_cmp_ps_mask(x0, zero, _CMP_LT_OQ), r,
+      _mm512_set1_ps(std::numeric_limits<float>::quiet_NaN()));
+  r = _mm512_mask_blend_ps(
+      _mm512_cmp_ps_mask(x0, _mm512_set1_ps(HUGE_VALF), _CMP_EQ_OQ), r, x0);
+  r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(x0, x0, _CMP_UNORD_Q), r, x0);
+  return r;
+}
+
+// Cephes tanhf, 16-wide; see Tanh8 in kernels_avx2.cc.
+__m512 Tanh16(__m512 x) {
+  const __m512 sign_mask = _mm512_set1_ps(-0.0f);
+  const __m512 ax = _mm512_andnot_ps(sign_mask, x);
+  const __m512 z = _mm512_mul_ps(x, x);
+  __m512 p = _mm512_set1_ps(-5.70498872745e-3f);
+  p = _mm512_fmadd_ps(p, z, _mm512_set1_ps(2.06390887954e-2f));
+  p = _mm512_fmadd_ps(p, z, _mm512_set1_ps(-5.37397155531e-2f));
+  p = _mm512_fmadd_ps(p, z, _mm512_set1_ps(1.33314422036e-1f));
+  p = _mm512_fmadd_ps(p, z, _mm512_set1_ps(-3.33332819422e-1f));
+  const __m512 small = _mm512_fmadd_ps(_mm512_mul_ps(x, z), p, x);
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 e = Exp16(_mm512_add_ps(ax, ax));
+  __m512 big = _mm512_sub_ps(
+      one, _mm512_div_ps(_mm512_set1_ps(2.0f), _mm512_add_ps(e, one)));
+  big = _mm512_or_ps(big, _mm512_and_ps(x, sign_mask));
+  return _mm512_mask_blend_ps(
+      _mm512_cmp_ps_mask(ax, _mm512_set1_ps(0.625f), _CMP_LT_OQ), big,
+      small);
+}
+
+__m512 Sigmoid16(__m512 x) {
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 e = Exp16(_mm512_sub_ps(_mm512_setzero_ps(), x));
+  return _mm512_div_ps(one, _mm512_add_ps(one, e));
+}
+
+// ---- GEMM --------------------------------------------------------------
+
+void Gemm1RowAvx512(const float* a_row, const float* b, float* out_row,
+                    size_t k, size_t n) {
+  size_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m512 c0 = _mm512_loadu_ps(out_row + j);
+    __m512 c1 = _mm512_loadu_ps(out_row + j + 16);
+    for (size_t p = 0; p < k; ++p) {
+      const __m512 va = _mm512_set1_ps(a_row[p]);
+      const float* b_row = b + p * n + j;
+      c0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b_row), c0);
+      c1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b_row + 16), c1);
+    }
+    _mm512_storeu_ps(out_row + j, c0);
+    _mm512_storeu_ps(out_row + j + 16, c1);
+  }
+  for (; j + 16 <= n; j += 16) {
+    __m512 c0 = _mm512_loadu_ps(out_row + j);
+    for (size_t p = 0; p < k; ++p) {
+      c0 = _mm512_fmadd_ps(_mm512_set1_ps(a_row[p]),
+                           _mm512_loadu_ps(b + p * n + j), c0);
+    }
+    _mm512_storeu_ps(out_row + j, c0);
+  }
+  if (j < n) {
+    const __mmask16 mask = TailMask16(n - j);
+    __m512 c0 = _mm512_maskz_loadu_ps(mask, out_row + j);
+    for (size_t p = 0; p < k; ++p) {
+      c0 = _mm512_fmadd_ps(_mm512_set1_ps(a_row[p]),
+                           _mm512_maskz_loadu_ps(mask, b + p * n + j), c0);
+    }
+    _mm512_mask_storeu_ps(out_row + j, mask, c0);
+  }
+}
+
+void Gemm4RowsAvx512(const float* a0, const float* a1, const float* a2,
+                     const float* a3, const float* b, float* o0, float* o1,
+                     float* o2, float* o3, size_t k, size_t n) {
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m512 c0 = _mm512_loadu_ps(o0 + j);
+    __m512 c1 = _mm512_loadu_ps(o1 + j);
+    __m512 c2 = _mm512_loadu_ps(o2 + j);
+    __m512 c3 = _mm512_loadu_ps(o3 + j);
+    for (size_t p = 0; p < k; ++p) {
+      const __m512 b0 = _mm512_loadu_ps(b + p * n + j);
+      c0 = _mm512_fmadd_ps(_mm512_set1_ps(a0[p]), b0, c0);
+      c1 = _mm512_fmadd_ps(_mm512_set1_ps(a1[p]), b0, c1);
+      c2 = _mm512_fmadd_ps(_mm512_set1_ps(a2[p]), b0, c2);
+      c3 = _mm512_fmadd_ps(_mm512_set1_ps(a3[p]), b0, c3);
+    }
+    _mm512_storeu_ps(o0 + j, c0);
+    _mm512_storeu_ps(o1 + j, c1);
+    _mm512_storeu_ps(o2 + j, c2);
+    _mm512_storeu_ps(o3 + j, c3);
+  }
+  if (j < n) {
+    const __mmask16 mask = TailMask16(n - j);
+    __m512 c0 = _mm512_maskz_loadu_ps(mask, o0 + j);
+    __m512 c1 = _mm512_maskz_loadu_ps(mask, o1 + j);
+    __m512 c2 = _mm512_maskz_loadu_ps(mask, o2 + j);
+    __m512 c3 = _mm512_maskz_loadu_ps(mask, o3 + j);
+    for (size_t p = 0; p < k; ++p) {
+      const __m512 b0 = _mm512_maskz_loadu_ps(mask, b + p * n + j);
+      c0 = _mm512_fmadd_ps(_mm512_set1_ps(a0[p]), b0, c0);
+      c1 = _mm512_fmadd_ps(_mm512_set1_ps(a1[p]), b0, c1);
+      c2 = _mm512_fmadd_ps(_mm512_set1_ps(a2[p]), b0, c2);
+      c3 = _mm512_fmadd_ps(_mm512_set1_ps(a3[p]), b0, c3);
+    }
+    _mm512_mask_storeu_ps(o0 + j, mask, c0);
+    _mm512_mask_storeu_ps(o1 + j, mask, c1);
+    _mm512_mask_storeu_ps(o2 + j, mask, c2);
+    _mm512_mask_storeu_ps(o3 + j, mask, c3);
+  }
+}
+
+void GemmAccumulateAvx512(const float* a, const float* b, float* out,
+                          size_t m, size_t k, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    Gemm4RowsAvx512(a + i * k, a + (i + 1) * k, a + (i + 2) * k,
+                    a + (i + 3) * k, b, out + i * n, out + (i + 1) * n,
+                    out + (i + 2) * n, out + (i + 3) * n, k, n);
+  }
+  for (; i < m; ++i) {
+    Gemm1RowAvx512(a + i * k, b, out + i * n, k, n);
+  }
+}
+
+// ---- reductions and elementwise ----------------------------------------
+
+double DotAvx512(const float* a, const float* b, size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 va = _mm512_loadu_ps(a + i);
+    const __m512 vb = _mm512_loadu_ps(b + i);
+    acc0 = _mm512_fmadd_pd(_mm512_cvtps_pd(_mm512_castps512_ps256(va)),
+                           _mm512_cvtps_pd(_mm512_castps512_ps256(vb)),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_cvtps_pd(High256(va)),
+                           _mm512_cvtps_pd(High256(vb)), acc1);
+  }
+  double acc = HorizontalSumPd512(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+void AxpyAvx512(float alpha, const float* x, float* y, size_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i),
+                               _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(
+        y + i, mask,
+        _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(mask, x + i),
+                        _mm512_maskz_loadu_ps(mask, y + i)));
+  }
+}
+
+float MaxOrNegInfAvx512(const float* x, size_t n) {
+  __m512 vm = _mm512_set1_ps(-HUGE_VALF);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vm = _mm512_max_ps(vm, _mm512_loadu_ps(x + i));
+  }
+  float mx = HorizontalMax512(vm);
+  for (; i < n; ++i) {
+    if (x[i] > mx) mx = x[i];
+  }
+  return mx;
+}
+
+double ExpSumAvx512(const float* x, float* out, float mx, size_t n) {
+  const __m512 vmx = _mm512_set1_ps(mx);
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 e = Exp16(_mm512_sub_ps(_mm512_loadu_ps(x + i), vmx));
+    if (out != nullptr) _mm512_storeu_ps(out + i, e);
+    AccumulateLanesPd512(e, &acc);
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    const __m512 v = _mm512_maskz_loadu_ps(mask, x + i);
+    __m512 e = Exp16(_mm512_sub_ps(v, vmx));
+    if (out != nullptr) _mm512_mask_storeu_ps(out + i, mask, e);
+    e = _mm512_maskz_mov_ps(mask, e);
+    AccumulateLanesPd512(e, &acc);
+  }
+  return HorizontalSumPd512(acc);
+}
+
+void ScaleAvx512(float* x, float s, size_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(_mm512_loadu_ps(x + i), vs));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(
+        x + i, mask,
+        _mm512_mul_ps(_mm512_maskz_loadu_ps(mask, x + i), vs));
+  }
+}
+
+void AddScalarAvx512(float* x, float s, size_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_add_ps(_mm512_loadu_ps(x + i), vs));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(
+        x + i, mask,
+        _mm512_add_ps(_mm512_maskz_loadu_ps(mask, x + i), vs));
+  }
+}
+
+void SoftmaxAvx512(float* x, size_t n) {
+  if (n == 0) return;
+  const float mx = MaxOrNegInfAvx512(x, n);
+  if (mx == -HUGE_VALF) {
+    kernel_detail::SoftmaxDegenerate(x, n);
+    return;
+  }
+  const double total = ExpSumAvx512(x, x, mx, n);
+  ScaleAvx512(x, static_cast<float>(1.0 / total), n);
+}
+
+void LogSoftmaxAvx512(float* x, size_t n) {
+  if (n == 0) return;
+  const float mx = MaxOrNegInfAvx512(x, n);
+  if (mx == -HUGE_VALF) {
+    kernel_detail::LogSoftmaxDegenerate(x, n);
+    return;
+  }
+  const double total = ExpSumAvx512(x, nullptr, mx, n);
+  const float log_z = mx + static_cast<float>(std::log(total));
+  AddScalarAvx512(x, -log_z, n);
+}
+
+double LogSumExpAvx512(const float* x, size_t n) {
+  if (n == 0) return -HUGE_VAL;
+  const float mx = MaxOrNegInfAvx512(x, n);
+  if (mx == -HUGE_VALF) {
+    return kernel_detail::HasNan(x, n)
+               ? static_cast<double>(std::numeric_limits<float>::quiet_NaN())
+               : -HUGE_VAL;
+  }
+  const double total = ExpSumAvx512(x, nullptr, mx, n);
+  return static_cast<double>(mx) + std::log(total);
+}
+
+void ExpInPlaceAvx512(float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, Exp16(_mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(x + i, mask,
+                          Exp16(_mm512_maskz_loadu_ps(mask, x + i)));
+  }
+}
+
+void LogInPlaceAvx512(float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, Log16(_mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(x + i, mask,
+                          Log16(_mm512_maskz_loadu_ps(mask, x + i)));
+  }
+}
+
+void TanhInPlaceAvx512(float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, Tanh16(_mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(x + i, mask,
+                          Tanh16(_mm512_maskz_loadu_ps(mask, x + i)));
+  }
+}
+
+void SigmoidInPlaceAvx512(float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, Sigmoid16(_mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    _mm512_mask_storeu_ps(x + i, mask,
+                          Sigmoid16(_mm512_maskz_loadu_ps(mask, x + i)));
+  }
+}
+
+void MultinomialGradAvx512(const float* log_probs, const float* counts,
+                           float total_count, float* grad, size_t n) {
+  const __m512 vtc = _mm512_set1_ps(total_count);
+  const __m512 vmin = _mm512_set1_ps(FLT_MIN);
+  const __m512 zero = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 t = _mm512_mul_ps(Exp16(_mm512_loadu_ps(log_probs + i)), vtc);
+    t = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(t, vmin, _CMP_LT_OQ), t,
+                             zero);
+    _mm512_storeu_ps(grad + i,
+                     _mm512_sub_ps(t, _mm512_loadu_ps(counts + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask16(n - i);
+    __m512 t = _mm512_mul_ps(
+        Exp16(_mm512_maskz_loadu_ps(mask, log_probs + i)), vtc);
+    t = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(t, vmin, _CMP_LT_OQ), t,
+                             zero);
+    _mm512_mask_storeu_ps(
+        grad + i, mask,
+        _mm512_sub_ps(t, _mm512_maskz_loadu_ps(mask, counts + i)));
+  }
+}
+
+}  // namespace
+
+void FillAvx512(KernelTable* t) {
+  t->gemm_accumulate = GemmAccumulateAvx512;
+  t->dot = DotAvx512;
+  t->axpy = AxpyAvx512;
+  t->softmax_inplace = SoftmaxAvx512;
+  t->log_softmax_inplace = LogSoftmaxAvx512;
+  t->log_sum_exp = LogSumExpAvx512;
+  t->exp_inplace = ExpInPlaceAvx512;
+  t->log_inplace = LogInPlaceAvx512;
+  t->tanh_inplace = TanhInPlaceAvx512;
+  t->sigmoid_inplace = SigmoidInPlaceAvx512;
+  t->multinomial_grad = MultinomialGradAvx512;
+}
+
+}  // namespace fvae
+
+#else  // !x86_64
+
+namespace fvae {
+
+void FillAvx512(KernelTable* t) { FillScalar(t); }
+
+}  // namespace fvae
+
+#endif

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <type_traits>
+
+#include "math/kernels/kernel_table.h"
 
 namespace fvae {
 
@@ -111,17 +112,6 @@ std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
   return out.str();
 }
 
-namespace {
-// Register-tile shape for GemmAccumulate: kTileRows rows of `a` share every
-// streamed row of `b`, and kStrip output columns per row stay in local
-// accumulators across the whole inner-product loop. This cuts weight-row
-// traffic per output element by kTileRows versus a row-at-a-time loop, which
-// is what makes batched inference (e.g. micro-batched fold-in encoding)
-// faster per user than repeated single-row GEMVs.
-constexpr size_t kTileRows = 4;
-constexpr size_t kStrip = 16;
-}  // namespace
-
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   FVAE_CHECK(a.cols() == b.rows())
       << "gemm shape mismatch: " << a.cols() << " vs " << b.rows();
@@ -133,66 +123,10 @@ void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   FVAE_CHECK(b.rows() == k && out->rows() == m && out->cols() == n)
       << "gemm-accumulate shape mismatch";
-  // Accumulators are seeded from `out` and every output element sums its
-  // contributions in ascending p order, exactly like the scalar tail below,
-  // so tiled and untiled paths produce bit-identical results.
-  size_t i = 0;
-  for (; i + kTileRows <= m; i += kTileRows) {
-    const float* a0 = a.Row(i);
-    const float* a1 = a.Row(i + 1);
-    const float* a2 = a.Row(i + 2);
-    const float* a3 = a.Row(i + 3);
-    float* o0 = out->Row(i);
-    float* o1 = out->Row(i + 1);
-    float* o2 = out->Row(i + 2);
-    float* o3 = out->Row(i + 3);
-    // Full strips get a compile-time trip count so the accumulators live in
-    // vector registers; the ragged tail reuses the same body with a runtime
-    // width.
-    const auto strip = [&](size_t j0, auto width) {
-      float acc0[kStrip], acc1[kStrip], acc2[kStrip], acc3[kStrip];
-      for (size_t j = 0; j < width; ++j) {
-        acc0[j] = o0[j0 + j];
-        acc1[j] = o1[j0 + j];
-        acc2[j] = o2[j0 + j];
-        acc3[j] = o3[j0 + j];
-      }
-      for (size_t p = 0; p < k; ++p) {
-        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-        if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
-        const float* b_row = b.Row(p) + j0;
-        for (size_t j = 0; j < width; ++j) {
-          const float w = b_row[j];
-          acc0[j] += v0 * w;
-          acc1[j] += v1 * w;
-          acc2[j] += v2 * w;
-          acc3[j] += v3 * w;
-        }
-      }
-      for (size_t j = 0; j < width; ++j) {
-        o0[j0 + j] = acc0[j];
-        o1[j0 + j] = acc1[j];
-        o2[j0 + j] = acc2[j];
-        o3[j0 + j] = acc3[j];
-      }
-    };
-    size_t j0 = 0;
-    for (; j0 + kStrip <= n; j0 += kStrip) {
-      strip(j0, std::integral_constant<size_t, kStrip>{});
-    }
-    if (j0 < n) strip(j0, n - j0);
-  }
-  // Leftover rows (and any m < kTileRows batch, e.g. single-user GEMV).
-  for (; i < m; ++i) {
-    float* out_row = out->Row(i);
-    const float* a_row = a.Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = b.Row(p);
-      for (size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
-    }
-  }
+  // Shape checks stay here; the arithmetic runs in the ISA-dispatched
+  // kernel layer (src/math/kernels/), which guarantees ascending-p
+  // accumulation with no zero-operand skips in every tile and tail path.
+  Kernels().gemm_accumulate(a.Row(0), b.Row(0), out->Row(0), m, k, n);
 }
 
 void GemmNT(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -200,14 +134,12 @@ void GemmNT(const Matrix& a, const Matrix& b, Matrix* out) {
   FVAE_CHECK(b.cols() == k)
       << "gemm-nt shape mismatch: " << a.cols() << " vs " << b.cols();
   out->Resize(m, n);
+  const KernelTable& kt = Kernels();
   for (size_t i = 0; i < m; ++i) {
     const float* a_row = a.Row(i);
     float* out_row = out->Row(i);
     for (size_t j = 0; j < n; ++j) {
-      const float* b_row = b.Row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += double(a_row[p]) * b_row[p];
-      out_row[j] = static_cast<float>(acc);
+      out_row[j] = static_cast<float>(kt.dot(a_row, b.Row(j), k));
     }
   }
 }
@@ -217,14 +149,17 @@ void GemmTN(const Matrix& a, const Matrix& b, Matrix* out) {
   FVAE_CHECK(b.rows() == k)
       << "gemm-tn shape mismatch: " << a.rows() << " vs " << b.rows();
   out->Resize(m, n);
+  const KernelTable& kt = Kernels();
   for (size_t p = 0; p < k; ++p) {
     const float* a_row = a.Row(p);
     const float* b_row = b.Row(p);
     for (size_t i = 0; i < m; ++i) {
       const float a_pi = a_row[i];
+      // Activation gradients are mostly dense but batch-sparse rows do
+      // occur; the skip is exact (+= 0*x is an fp no-op for finite x) and
+      // GemmTN is not on the inf/NaN-propagation-sensitive serving path.
       if (a_pi == 0.0f) continue;
-      float* out_row = out->Row(i);
-      for (size_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
+      kt.axpy(a_pi, b_row, out->Row(i), n);
     }
   }
 }

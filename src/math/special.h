@@ -18,6 +18,20 @@ double LogGamma(double x);
 /// exp(psi(x)): convenient for LDA's expected-topic-weight geometric means.
 double ExpDigamma(double x);
 
+/// Scalar twins of the vectorized exp/log polynomial kernels in
+/// src/math/kernels/: identical Cephes range reduction, coefficients, FMA
+/// shapes, and special-case semantics, so tests can pin the SIMD paths
+/// element-for-element without depending on libm. Relative error vs the
+/// true function is < 3 ulp over the non-saturated range.
+///
+/// ExpApprox saturates: x > 88.3762626647950 -> +inf,
+/// x < -87.3365478515625 -> 0 (never subnormal), NaN -> NaN.
+float ExpApprox(float x);
+
+/// LogApprox: 0 -> -inf, negative -> NaN, +inf -> +inf, NaN -> NaN;
+/// subnormal inputs are treated as the smallest normal.
+float LogApprox(float x);
+
 }  // namespace fvae
 
 #endif  // FVAE_MATH_SPECIAL_H_

@@ -1,22 +1,20 @@
 #include "math/vector_ops.h"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
+#include "math/kernels/kernel_table.h"
 
 namespace fvae {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
   FVAE_CHECK(a.size() == b.size()) << "dot size mismatch";
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * b[i];
-  return acc;
+  return Kernels().dot(a.data(), b.data(), a.size());
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FVAE_CHECK(x.size() == y.size()) << "axpy size mismatch";
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  Kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void ScaleInPlace(std::span<float> x, float alpha) {
@@ -46,44 +44,35 @@ double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
 }
 
 void SoftmaxInPlace(std::span<float> logits) {
-  if (logits.empty()) return;
-  const float max_logit = *std::max_element(logits.begin(), logits.end());
-  double total = 0.0;
-  for (float& v : logits) {
-    v = std::exp(v - max_logit);
-    total += v;
-  }
-  const float inv = static_cast<float>(1.0 / total);
-  for (float& v : logits) v *= inv;
+  Kernels().softmax_inplace(logits.data(), logits.size());
 }
 
 void LogSoftmaxInPlace(std::span<float> logits) {
-  if (logits.empty()) return;
-  const float max_logit = *std::max_element(logits.begin(), logits.end());
-  double total = 0.0;
-  for (float v : logits) total += std::exp(double(v) - max_logit);
-  const float log_z = max_logit + static_cast<float>(std::log(total));
-  for (float& v : logits) v -= log_z;
+  Kernels().log_softmax_inplace(logits.data(), logits.size());
 }
 
 double LogSumExp(std::span<const float> x) {
-  if (x.empty()) return -HUGE_VAL;
-  const float max_v = *std::max_element(x.begin(), x.end());
-  double total = 0.0;
-  for (float v : x) total += std::exp(double(v) - max_v);
-  return double(max_v) + std::log(total);
+  return Kernels().log_sum_exp(x.data(), x.size());
 }
 
 void TanhInPlace(std::span<float> x) {
-  for (float& v : x) v = std::tanh(v);
+  Kernels().tanh_inplace(x.data(), x.size());
 }
 
 void SigmoidInPlace(std::span<float> x) {
-  for (float& v : x) v = 1.0f / (1.0f + std::exp(-v));
+  Kernels().sigmoid_inplace(x.data(), x.size());
 }
 
 void ReluInPlace(std::span<float> x) {
-  for (float& v : x) v = std::max(0.0f, v);
+  for (float& v : x) v = v > 0.0f ? v : 0.0f;
+}
+
+void ExpInPlace(std::span<float> x) {
+  Kernels().exp_inplace(x.data(), x.size());
+}
+
+void LogInPlace(std::span<float> x) {
+  Kernels().log_inplace(x.data(), x.size());
 }
 
 double Mean(std::span<const float> x) {

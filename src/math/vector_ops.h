@@ -10,6 +10,12 @@ namespace fvae {
 /// Dense vector kernels shared by the NN layers, the baselines, and the
 /// evaluation code. All functions operate on std::span<float> views so they
 /// compose with Matrix rows and raw buffers alike.
+///
+/// The hot entry points (Dot/Axpy/softmax family/exp/log/tanh/sigmoid)
+/// forward to the runtime-dispatched SIMD kernel layer in
+/// src/math/kernels/kernel_table.h; see that header for the ISA selection
+/// story and the shared numeric edge-case contract (empty spans, all-(-inf)
+/// logits, NaN propagation, exp saturation).
 
 /// Inner product <a, b>; sizes must match.
 double Dot(std::span<const float> a, std::span<const float> b);
@@ -29,10 +35,13 @@ double SquaredDistance(std::span<const float> a, std::span<const float> b);
 /// Cosine similarity; returns 0 when either vector is all-zero.
 double CosineSimilarity(std::span<const float> a, std::span<const float> b);
 
-/// In-place numerically stable softmax (subtracts max before exp).
+/// In-place numerically stable softmax (subtracts max before exp). Empty
+/// spans are a no-op; all-(-inf) logits yield the uniform distribution;
+/// a NaN anywhere yields an all-NaN output.
 void SoftmaxInPlace(std::span<float> logits);
 
-/// In-place numerically stable log-softmax.
+/// In-place numerically stable log-softmax. Empty spans are a no-op;
+/// all-(-inf) logits yield -log(n); NaN anywhere yields all-NaN.
 void LogSoftmaxInPlace(std::span<float> logits);
 
 /// log(sum_i exp(x_i)) computed stably.
@@ -42,6 +51,12 @@ double LogSumExp(std::span<const float> x);
 void TanhInPlace(std::span<float> x);
 void SigmoidInPlace(std::span<float> x);
 void ReluInPlace(std::span<float> x);
+
+/// Elementwise exp/log, in place. The vectorized exp saturates exactly like
+/// ExpApprox in src/math/special.h (+inf above 88.376..., 0 below
+/// -87.336...); log maps 0 to -inf and negatives to NaN.
+void ExpInPlace(std::span<float> x);
+void LogInPlace(std::span<float> x);
 
 /// Mean of a span; 0 for empty input.
 double Mean(std::span<const float> x);

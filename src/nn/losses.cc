@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "math/kernels/kernel_table.h"
 #include "math/vector_ops.h"
 
 namespace fvae::nn {
@@ -51,10 +52,13 @@ double MultinomialNll(std::span<const float> logits,
     total_count += counts[j];
     loss -= double(counts[j]) * log_probs[j];
   }
-  for (size_t j = 0; j < grad.size(); ++j) {
-    grad[j] = static_cast<float>(total_count * std::exp(double(log_probs[j])) -
-                                 counts[j]);
-  }
+  // grad = total_count * softmax - counts, via the ISA-dispatched kernel.
+  // Candidates whose softmax mass underflows below FLT_MIN are flushed to
+  // exactly zero there, so the gradient never feeds subnormal garbage into
+  // the optimizer even when FVAE_FTZ=0.
+  Kernels().multinomial_grad(log_probs.data(), counts.data(),
+                             static_cast<float>(total_count), grad.data(),
+                             grad.size());
   return loss;
 }
 

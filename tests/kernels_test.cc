@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "math/kernels/kernel_table.h"
+#include "math/special.h"
+
+namespace fvae {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+/// Distance between two floats in units of last place, treating the float
+/// line as the ordered integer line (negative floats mirrored). Returns a
+/// huge value when exactly one side is NaN.
+uint64_t UlpDistance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b)) ? 0 : UINT64_MAX;
+  }
+  // Monotone map from sign-magnitude float bits to the integer line.
+  auto key = [](float f) -> int64_t {
+    int32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits < 0 ? -(int64_t)(bits & 0x7fffffff) : (int64_t)bits;
+  };
+  const int64_t ka = key(a), kb = key(b);
+  return static_cast<uint64_t>(ka > kb ? ka - kb : kb - ka);
+}
+
+/// ULP-bounded closeness with an absolute floor for results near zero
+/// (where relative/ULP comparisons are meaninglessly strict).
+::testing::AssertionResult Close(float a, float b, uint64_t max_ulps,
+                                 float abs_eps) {
+  if (std::isnan(a) && std::isnan(b)) return ::testing::AssertionSuccess();
+  if (a == b) return ::testing::AssertionSuccess();
+  if (std::fabs(a - b) <= abs_eps) return ::testing::AssertionSuccess();
+  const uint64_t d = UlpDistance(a, b);
+  if (d <= max_ulps) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " differ by " << d << " ulps";
+}
+
+std::vector<float> RandomVec(size_t n, std::mt19937* rng, float lo = -1.0f,
+                             float hi = 1.0f) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(*rng);
+  return v;
+}
+
+// Runs first in this binary: with FVAE_FORCE_ISA set (the forced-ISA ctest
+// legs), first-use init must install exactly the forced ISA when the CPU
+// has it.
+TEST(KernelDispatchTest, EnvOverrideRespected) {
+  const char* forced = std::getenv("FVAE_FORCE_ISA");
+  if (forced == nullptr) GTEST_SKIP() << "FVAE_FORCE_ISA not set";
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (std::string(forced) == IsaName(isa)) {
+      if (IsaSupported(isa)) {
+        EXPECT_EQ(ActiveIsa(), isa) << "env override ignored";
+      } else {
+        // Unsupported forced ISA keeps the detected best.
+        EXPECT_TRUE(IsaSupported(ActiveIsa()));
+      }
+      return;
+    }
+  }
+  GTEST_SKIP() << "unrecognized FVAE_FORCE_ISA value: " << forced;
+}
+
+TEST(KernelDispatchTest, TableIsFullyPopulated) {
+  const KernelTable& t = Kernels();
+  EXPECT_NE(t.gemm_accumulate, nullptr);
+  EXPECT_NE(t.dot, nullptr);
+  EXPECT_NE(t.axpy, nullptr);
+  EXPECT_NE(t.softmax_inplace, nullptr);
+  EXPECT_NE(t.log_softmax_inplace, nullptr);
+  EXPECT_NE(t.log_sum_exp, nullptr);
+  EXPECT_NE(t.exp_inplace, nullptr);
+  EXPECT_NE(t.log_inplace, nullptr);
+  EXPECT_NE(t.tanh_inplace, nullptr);
+  EXPECT_NE(t.sigmoid_inplace, nullptr);
+  EXPECT_NE(t.multinomial_grad, nullptr);
+  EXPECT_TRUE(IsaSupported(t.isa));
+}
+
+TEST(KernelDispatchTest, ForceIsaSwitchesAndRestores) {
+  const Isa entry = ActiveIsa();
+  ASSERT_TRUE(ForceIsa(Isa::kScalar));
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  ASSERT_TRUE(ForceIsa(entry));
+  EXPECT_EQ(ActiveIsa(), entry);
+}
+
+/// Parametrized over every ISA the host supports; unsupported ISAs skip.
+/// Each test compares the forced table against a locally built scalar
+/// reference table, so parity is checked kernel-for-kernel.
+class KernelIsaTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    entry_isa_ = ActiveIsa();
+    if (!IsaSupported(GetParam())) {
+      GTEST_SKIP() << IsaName(GetParam()) << " not supported on this CPU";
+    }
+    ASSERT_TRUE(ForceIsa(GetParam()));
+    FillScalar(&ref_);
+  }
+  void TearDown() override { ForceIsa(entry_isa_); }
+
+  const KernelTable& T() { return Kernels(); }
+
+  KernelTable ref_;
+  Isa entry_isa_ = Isa::kScalar;
+};
+
+TEST_P(KernelIsaTest, GemmParityAcrossTailSizes) {
+  // Sizes straddle every strip width (1/8/16/32) and their remainders.
+  const size_t sizes[] = {1, 3, 7, 17, 31, 63, 65};
+  std::mt19937 rng(42);
+  for (size_t m : {size_t{1}, size_t{4}, size_t{7}}) {
+    for (size_t k : sizes) {
+      for (size_t n : sizes) {
+        const std::vector<float> a = RandomVec(m * k, &rng);
+        const std::vector<float> b = RandomVec(k * n, &rng);
+        std::vector<float> got = RandomVec(m * n, &rng);
+        std::vector<float> want = got;
+        T().gemm_accumulate(a.data(), b.data(), got.data(), m, k, n);
+        ref_.gemm_accumulate(a.data(), b.data(), want.data(), m, k, n);
+        for (size_t i = 0; i < m * n; ++i) {
+          EXPECT_TRUE(Close(got[i], want[i], 64,
+                            1e-6f * static_cast<float>(k)))
+              << "m=" << m << " k=" << k << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, GemmPropagatesInfAndNanLikeScalar) {
+  // 0 * inf in the accumulation must yield NaN in every path — the old
+  // tiled GEMM skipped zero multiplicands in its remainder loop, so the
+  // tail diverged from the body on exactly these inputs.
+  const size_t m = 1, k = 2;
+  for (size_t n : {size_t{1}, size_t{8}, size_t{17}}) {
+    std::vector<float> a = {0.0f, 1.0f};
+    std::vector<float> b(k * n, 1.0f);
+    b[0] = kInf;  // B(0,0) pairs with A's zero: 0 * inf = NaN
+    std::vector<float> got(m * n, 0.0f), want(m * n, 0.0f);
+    T().gemm_accumulate(a.data(), b.data(), got.data(), m, k, n);
+    ref_.gemm_accumulate(a.data(), b.data(), want.data(), m, k, n);
+    EXPECT_TRUE(std::isnan(got[0])) << "n=" << n;
+    EXPECT_TRUE(std::isnan(want[0])) << "n=" << n;
+    for (size_t i = 1; i < n; ++i) {
+      EXPECT_EQ(std::isnan(got[i]), std::isnan(want[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, DotAndAxpyParity) {
+  std::mt19937 rng(7);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{17}, size_t{65},
+                   size_t{256}}) {
+    const std::vector<float> x = RandomVec(n, &rng);
+    const std::vector<float> y = RandomVec(n, &rng);
+    EXPECT_NEAR(T().dot(x.data(), y.data(), n),
+                ref_.dot(x.data(), y.data(), n), 1e-9 * (double(n) + 1.0));
+    std::vector<float> got = y, want = y;
+    T().axpy(0.37f, x.data(), got.data(), n);
+    ref_.axpy(0.37f, x.data(), want.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(Close(got[i], want[i], 2, 1e-7f)) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, ElementwiseParityAgainstScalar) {
+  std::mt19937 rng(11);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{16}, size_t{33},
+                   size_t{100}}) {
+    const std::vector<float> base = RandomVec(n, &rng, -10.0f, 10.0f);
+    for (auto op : {&KernelTable::exp_inplace, &KernelTable::log_inplace,
+                    &KernelTable::tanh_inplace,
+                    &KernelTable::sigmoid_inplace}) {
+      std::vector<float> got = base, want = base;
+      if (op == &KernelTable::log_inplace) {
+        for (float& v : got) v = std::fabs(v) + 0.01f;
+        want = got;
+      }
+      (T().*op)(got.data(), n);
+      (ref_.*op)(want.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(Close(got[i], want[i], 8, 1e-6f)) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, VectorExpLogMatchScalarTwinsBitwise) {
+  if (GetParam() == Isa::kScalar) {
+    GTEST_SKIP() << "scalar table uses libm, not the polynomial twins";
+  }
+  // The SIMD exp/log and ExpApprox/LogApprox share range reduction,
+  // coefficients, and FMA shapes, so agreement is bitwise.
+  std::vector<float> xs;
+  for (float v = -100.0f; v <= 100.0f; v += 0.618f) xs.push_back(v);
+  xs.insert(xs.end(), {0.0f, -0.0f, 88.3762626647950f, 88.5f,
+                       -87.3365478515625f, -87.5f, 1.0f, -1.0f});
+  std::vector<float> e = xs;
+  T().exp_inplace(e.data(), e.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const float want = ExpApprox(xs[i]);
+    EXPECT_EQ(std::memcmp(&e[i], &want, sizeof(float)), 0)
+        << "exp(" << xs[i] << ") = " << e[i] << " want " << want;
+  }
+  std::vector<float> ls;
+  for (float v = 0.001f; v <= 50.0f; v += 0.1337f) ls.push_back(v);
+  ls.insert(ls.end(), {1.0f, 0.5f, 2.0f, 1e-30f, 1e30f});
+  std::vector<float> l = ls;
+  T().log_inplace(l.data(), l.size());
+  for (size_t i = 0; i < ls.size(); ++i) {
+    const float want = LogApprox(ls[i]);
+    EXPECT_EQ(std::memcmp(&l[i], &want, sizeof(float)), 0)
+        << "log(" << ls[i] << ") = " << l[i] << " want " << want;
+  }
+}
+
+TEST_P(KernelIsaTest, ExpSaturatesAndPropagatesSpecials) {
+  // 88.0 is near — but safely inside — the saturation clamp; at the exact
+  // boundary the approximation already rounds to +inf (like ExpApprox).
+  std::vector<float> x = {100.0f, -100.0f, kNan, kInf, -kInf, 0.0f,
+                          88.0f, -87.0f};
+  T().exp_inplace(x.data(), x.size());
+  EXPECT_EQ(x[0], kInf);        // above the clamp: +inf, not garbage
+  EXPECT_EQ(x[1], 0.0f);        // below the clamp: exact zero
+  EXPECT_TRUE(std::isnan(x[2]));
+  EXPECT_EQ(x[3], kInf);
+  EXPECT_EQ(x[4], 0.0f);
+  EXPECT_EQ(x[5], 1.0f);
+  EXPECT_TRUE(std::isfinite(x[6]) && x[6] > 0.0f);
+  // exp(-87) ~ 1.6e-38 sits just above min-normal: must survive, not be
+  // flushed or saturated to zero by an over-wide clamp.
+  EXPECT_TRUE(x[7] > 0.0f && std::fpclassify(x[7]) == FP_NORMAL)
+      << "near-underflow value must stay normal, got " << x[7];
+}
+
+TEST_P(KernelIsaTest, LogSpecials) {
+  std::vector<float> x = {0.0f, -1.0f, kInf, kNan, 1.0f};
+  T().log_inplace(x.data(), x.size());
+  EXPECT_EQ(x[0], -kInf);
+  EXPECT_TRUE(std::isnan(x[1]));
+  EXPECT_EQ(x[2], kInf);
+  EXPECT_TRUE(std::isnan(x[3]));
+  EXPECT_EQ(x[4], 0.0f);
+}
+
+TEST_P(KernelIsaTest, SoftmaxEdgeCases) {
+  // Empty span: no touch, no NaN (regression: used to divide 0/0).
+  std::vector<float> sentinel = {42.0f};
+  T().softmax_inplace(sentinel.data(), 0);
+  T().log_softmax_inplace(sentinel.data(), 0);
+  EXPECT_EQ(sentinel[0], 42.0f);
+
+  // All-(-inf) logits: uniform, not NaN (regression: exp(-inf - -inf)).
+  for (size_t n : {size_t{1}, size_t{5}, size_t{19}}) {
+    std::vector<float> x(n, -kInf);
+    T().softmax_inplace(x.data(), n);
+    for (float p : x) EXPECT_FLOAT_EQ(p, 1.0f / static_cast<float>(n));
+    std::vector<float> lx(n, -kInf);
+    T().log_softmax_inplace(lx.data(), n);
+    for (float lp : lx) {
+      EXPECT_FLOAT_EQ(lp, -std::log(static_cast<float>(n)));
+    }
+  }
+
+  // NaN anywhere poisons the whole output, matching what the scalar
+  // exp -> sum -> normalize chain does.
+  for (size_t pos : {size_t{0}, size_t{9}, size_t{16}}) {
+    std::vector<float> x(17, 0.5f);
+    x[pos] = kNan;
+    T().softmax_inplace(x.data(), x.size());
+    for (float p : x) EXPECT_TRUE(std::isnan(p)) << "pos=" << pos;
+    std::vector<float> lx(17, 0.5f);
+    lx[pos] = kNan;
+    T().log_softmax_inplace(lx.data(), lx.size());
+    for (float lp : lx) EXPECT_TRUE(std::isnan(lp)) << "pos=" << pos;
+  }
+
+  // A +inf logit dominates: its probability is NaN-free only at the inf
+  // slot under the scalar semantics (inf - inf = NaN elsewhere... exp of
+  // -inf shift). Scalar and vector must agree elementwise on NaN-ness.
+  std::vector<float> got = {1.0f, kInf, 0.0f, 2.0f};
+  std::vector<float> want = got;
+  T().softmax_inplace(got.data(), got.size());
+  ref_.softmax_inplace(want.data(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::isnan(got[i]), std::isnan(want[i])) << "i=" << i;
+    if (!std::isnan(got[i])) {
+      EXPECT_TRUE(Close(got[i], want[i], 16, 1e-6f)) << "i=" << i;
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, SoftmaxParityAgainstScalar) {
+  std::mt19937 rng(23);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{8}, size_t{17}, size_t{64},
+                   size_t{129}}) {
+    const std::vector<float> base = RandomVec(n, &rng, -8.0f, 8.0f);
+    std::vector<float> got = base, want = base;
+    T().softmax_inplace(got.data(), n);
+    ref_.softmax_inplace(want.data(), n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(Close(got[i], want[i], 256, 1e-6f)) << "n=" << n;
+      total += got[i];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+
+    got = base;
+    want = base;
+    T().log_softmax_inplace(got.data(), n);
+    ref_.log_softmax_inplace(want.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(Close(got[i], want[i], 256, 1e-5f)) << "n=" << n;
+    }
+    EXPECT_NEAR(T().log_sum_exp(base.data(), n),
+                ref_.log_sum_exp(base.data(), n), 1e-5);
+  }
+}
+
+TEST_P(KernelIsaTest, LogSumExpEdgeCases) {
+  EXPECT_EQ(T().log_sum_exp(nullptr, 0), -HUGE_VAL);
+  std::vector<float> allneg(7, -kInf);
+  EXPECT_EQ(T().log_sum_exp(allneg.data(), allneg.size()), -HUGE_VAL);
+  std::vector<float> shifted = {1000.0f, 1000.0f};
+  EXPECT_NEAR(T().log_sum_exp(shifted.data(), 2), 1000.0 + std::log(2.0),
+              1e-3);
+}
+
+TEST_P(KernelIsaTest, MultinomialGradFlushesSubnormalMass) {
+  // lp = -87 gives softmax mass ~1.6e-38; scaled by total_count = 0.5 the
+  // naive product is subnormal. The kernel must emit exactly zero there,
+  // never subnormal garbage, even with FVAE_FTZ=0.
+  const size_t n = 9;
+  std::vector<float> lp(n, -87.0f);
+  lp[0] = 0.0f;  // carries ~all the mass
+  std::vector<float> counts(n, 0.0f);
+  counts[0] = 0.5f;
+  std::vector<float> grad(n, kNan);
+  T().multinomial_grad(lp.data(), counts.data(), 0.5f, grad.data(), n);
+  EXPECT_TRUE(Close(grad[0], 0.0f, 4, 1e-6f));
+  for (size_t j = 1; j < n; ++j) {
+    EXPECT_EQ(grad[j], 0.0f) << "j=" << j;
+    EXPECT_NE(std::fpclassify(grad[j]), FP_SUBNORMAL);
+  }
+}
+
+TEST_P(KernelIsaTest, MultinomialGradParityAndNan) {
+  std::mt19937 rng(99);
+  for (size_t n : {size_t{1}, size_t{6}, size_t{17}, size_t{70}}) {
+    std::vector<float> lp = RandomVec(n, &rng, -6.0f, 0.0f);
+    ref_.log_softmax_inplace(lp.data(), n);  // normalize so mass sums to 1
+    const std::vector<float> counts = RandomVec(n, &rng, 0.0f, 3.0f);
+    float total = 0.0f;
+    for (float c : counts) total += c;
+    std::vector<float> got(n), want(n);
+    T().multinomial_grad(lp.data(), counts.data(), total, got.data(), n);
+    ref_.multinomial_grad(lp.data(), counts.data(), total, want.data(), n);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_TRUE(Close(got[j], want[j], 32, 1e-5f)) << "n=" << n;
+    }
+  }
+  // NaN in log_probs must reach the gradient, not be flushed away.
+  std::vector<float> lp = {0.0f, kNan, -1.0f};
+  std::vector<float> counts = {1.0f, 0.0f, 1.0f};
+  std::vector<float> grad(3);
+  T().multinomial_grad(lp.data(), counts.data(), 2.0f, grad.data(), 3);
+  EXPECT_TRUE(std::isnan(grad[1]));
+}
+
+TEST_P(KernelIsaTest, TanhAndSigmoidSpecials) {
+  std::vector<float> t = {0.0f, 50.0f, -50.0f, kNan, kInf, -kInf};
+  T().tanh_inplace(t.data(), t.size());
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 1.0f);
+  EXPECT_FLOAT_EQ(t[2], -1.0f);
+  EXPECT_TRUE(std::isnan(t[3]));
+  EXPECT_FLOAT_EQ(t[4], 1.0f);
+  EXPECT_FLOAT_EQ(t[5], -1.0f);
+
+  std::vector<float> s = {0.0f, 100.0f, -100.0f, kNan};
+  T().sigmoid_inplace(s.data(), s.size());
+  EXPECT_FLOAT_EQ(s[0], 0.5f);
+  EXPECT_FLOAT_EQ(s[1], 1.0f);
+  EXPECT_EQ(s[2], 0.0f);
+  EXPECT_TRUE(std::isnan(s[3]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelIsaTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return std::string(IsaName(info.param));
+                         });
+
+}  // namespace
+}  // namespace fvae

@@ -718,6 +718,94 @@ TEST(HotPathTest, ColdFunctionsAreNotChecked) {
   EXPECT_TRUE(findings.empty());
 }
 
+// ---------- whole-program: dispatch-table indirection ----------
+
+TEST(DispatchTableTest, HotAllocThroughDispatchTableFires) {
+  // A `t->member = Target;` binding plus a `Table().member(...)` call site
+  // must give the hot-path walk an edge into the bound kernel.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "struct KernelTable {\n"
+      "  void (*axpy)(float, const float*, float*, size_t);\n"
+      "};\n"
+      "KernelTable g_table;\n"
+      "void AxpyImpl(float a, const float* x, float* y, size_t n) {\n"
+      "  void* scratch = malloc(n);\n"
+      "  free(scratch);\n"
+      "}\n"
+      "void Fill(KernelTable* t) { t->axpy = AxpyImpl; }\n"
+      "const KernelTable& Kernels() { return g_table; }\n"
+      "void Encode() FVAE_HOT FVAE_NOALLOC {\n"
+      "  Kernels().axpy(1.0f, nullptr, nullptr, 8);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "hot-alloc"));
+  // The chain names both the annotated root and the dispatched kernel.
+  EXPECT_NE(findings[0].message.find("Encode"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("AxpyImpl"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(DispatchTableTest, PureKernelThroughDispatchStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "struct KernelTable {\n"
+      "  void (*tanh_inplace)(float*, size_t);\n"
+      "};\n"
+      "KernelTable g_table;\n"
+      "void TanhImpl(float* x, size_t n) {\n"
+      "  for (size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);\n"
+      "}\n"
+      "void Fill(KernelTable* t) { t->tanh_inplace = TanhImpl; }\n"
+      "const KernelTable& Kernels() { return g_table; }\n"
+      "void Encode() FVAE_HOT FVAE_NOALLOC {\n"
+      "  Kernels().tanh_inplace(nullptr, 8);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DispatchTableTest, QualifiedAddressOfBindingResolves) {
+  // `t->member = &detail::Target;` — optional address-of, :: chain.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "struct KernelTable {\n"
+      "  double (*dot)(const float*, const float*, size_t);\n"
+      "};\n"
+      "KernelTable g_table;\n"
+      "namespace kernel_detail {\n"
+      "double DotImpl(const float* a, const float* b, size_t n) {\n"
+      "  FVAE_LOG(INFO) << \"dot\";\n"
+      "  return 0.0;\n"
+      "}\n"
+      "}  // namespace kernel_detail\n"
+      "void Fill(KernelTable* t) { t->dot = &kernel_detail::DotImpl; }\n"
+      "const KernelTable& Kernels() { return g_table; }\n"
+      "void Serve() FVAE_HOT {\n"
+      "  Kernels().dot(nullptr, nullptr, 4);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "hot-log"));
+  EXPECT_NE(findings[0].message.find("DotImpl"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(DispatchTableTest, UnboundMemberCallStaysUnresolved) {
+  // A member call with no dispatch binding anywhere must not invent edges:
+  // the dirty helper shares a *member* name with nothing bound to it.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "struct Sink { void (*emit)(int); };\n"
+      "Sink g_sink;\n"
+      "const Sink& TheSink() { return g_sink; }\n"
+      "void Encode() FVAE_HOT FVAE_NOALLOC {\n"
+      "  TheSink().emit(1);\n"
+      "}\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 // ---------- whole-program: event-loop blocking discipline ----------
 
 TEST(EventLoopTest, BlockingCallInLoopCallbackFires) {

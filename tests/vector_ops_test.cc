@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "math/vector_ops.h"
@@ -84,6 +85,48 @@ TEST(VectorOpsTest, LogSoftmaxMatchesLogOfSoftmax) {
   for (int i = 0; i < 4; ++i) {
     EXPECT_NEAR(logits[i], std::log(probs[i]), 1e-5);
   }
+}
+
+TEST(VectorOpsTest, SoftmaxEmptySpanIsNoOp) {
+  // Regression: the old loop computed 0/0 on an empty span once callers
+  // started handing it empty candidate sets.
+  std::vector<float> empty;
+  SoftmaxInPlace(empty);
+  LogSoftmaxInPlace(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(VectorOpsTest, SoftmaxAllNegInfYieldsUniformNotNan) {
+  // Regression: all-(-inf) logits used to produce exp(-inf - -inf) =
+  // exp(NaN) and poison the whole distribution.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> logits(4, -inf);
+  SoftmaxInPlace(logits);
+  for (float p : logits) EXPECT_FLOAT_EQ(p, 0.25f);
+
+  std::vector<float> log_logits(4, -inf);
+  LogSoftmaxInPlace(log_logits);
+  for (float lp : log_logits) EXPECT_FLOAT_EQ(lp, -std::log(4.0f));
+}
+
+TEST(VectorOpsTest, SoftmaxNanStillPoisons) {
+  // NaN input is a caller bug; it must stay visible, not be laundered
+  // into the all-(-inf) uniform fallback.
+  std::vector<float> logits{0.0f, std::numeric_limits<float>::quiet_NaN(),
+                            1.0f};
+  SoftmaxInPlace(logits);
+  for (float p : logits) EXPECT_TRUE(std::isnan(p));
+}
+
+TEST(VectorOpsTest, ExpLogInPlace) {
+  std::vector<float> x{0.0f, 1.0f, -2.0f};
+  ExpInPlace(x);
+  EXPECT_NEAR(x[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(x[1], std::exp(1.0f), 1e-5f);
+  LogInPlace(x);
+  EXPECT_NEAR(x[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(x[1], 1.0f, 1e-5f);
+  EXPECT_NEAR(x[2], -2.0f, 1e-5f);
 }
 
 TEST(VectorOpsTest, LogSumExp) {

@@ -23,7 +23,12 @@
 /// suffix matching with a preference cascade (same class, then same
 /// namespace, then every candidate) — deliberately overload-blind and
 /// therefore over-approximate: the analyses only ever see *more* paths
-/// than the program has, never fewer.
+/// than the program has, never fewer. Function-pointer dispatch tables
+/// (the SIMD kernel layer's `t->softmax_inplace = SoftmaxAvx2;`) are
+/// linked through the recorded DispatchBind facts: a member call that
+/// resolves to no method falls back to *every* function ever bound to
+/// that member name, so `Kernels().softmax_inplace(..)` walks into each
+/// per-ISA kernel body instead of vanishing behind the indirection.
 ///
 /// Five analyses run on the linked facts:
 ///
@@ -86,6 +91,11 @@ struct ProgramFacts {
   std::vector<EnumDecl> enums;
   std::map<std::string, std::vector<size_t>> functions_by_name;
   std::map<std::string, std::vector<size_t>> locks_by_member;
+  // Dispatch-table member name -> function indices ever assigned to it
+  // (`t->softmax_inplace = SoftmaxAvx2;` in any registration function).
+  // ResolveCall falls back to these for member calls that match no method,
+  // keeping runtime-dispatched kernels inside the purity walks.
+  std::map<std::string, std::vector<size_t>> dispatch_targets;
   // Member name -> declared class type, kept only when every declaration
   // of that member name across the program agrees on the type. Used to
   // narrow member-call resolution by receiver (`worker->loop.Post(..)`
@@ -192,6 +202,27 @@ inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
   for (size_t i = 0; i < pf.locks.size(); ++i) {
     pf.locks_by_member[pf.locks[i].member].push_back(i);
   }
+  // Link dispatch-table registrations: each recorded `t->member = Target;`
+  // binds every program function whose qualified name ends with Target.
+  // Non-function targets (plain data-member assignments) match nothing and
+  // drop out here.
+  for (const FunctionFacts& fn : pf.functions) {
+    for (const DispatchBind& bind : fn.dispatch_binds) {
+      auto it = pf.functions_by_name.find(
+          graph_detail::LastSegment(bind.target));
+      if (it == pf.functions_by_name.end()) continue;
+      std::vector<size_t>& targets = pf.dispatch_targets[bind.member];
+      for (size_t i : it->second) {
+        if (!graph_detail::EndsWithSegment(pf.functions[i].qualified,
+                                           bind.target)) {
+          continue;
+        }
+        if (std::find(targets.begin(), targets.end(), i) == targets.end()) {
+          targets.push_back(i);
+        }
+      }
+    }
+  }
   return pf;
 }
 
@@ -245,12 +276,21 @@ inline const LockDecl* ResolveLockArg(const ProgramFacts& pf,
 
 /// Resolves a call site to candidate definitions: qualifier suffix match,
 /// member calls restricted to class methods, then the preference cascade
-/// same-class > same-namespace > all.
+/// same-class > same-namespace > all. A member call that matches no method
+/// falls back to the dispatch-table targets bound to that member name
+/// (`Kernels().softmax_inplace(..)` -> every per-ISA kernel registered as
+/// `t->softmax_inplace = ..`), over-approximating runtime dispatch.
 inline std::vector<size_t> ResolveCall(const ProgramFacts& pf,
                                        const FunctionFacts& caller,
                                        const CallSite& call) {
+  auto dispatch_fallback = [&pf, &call]() -> std::vector<size_t> {
+    if (!call.member_access) return {};
+    auto dit = pf.dispatch_targets.find(call.name);
+    return dit == pf.dispatch_targets.end() ? std::vector<size_t>{}
+                                            : dit->second;
+  };
   auto it = pf.functions_by_name.find(call.name);
-  if (it == pf.functions_by_name.end()) return {};
+  if (it == pf.functions_by_name.end()) return dispatch_fallback();
   std::vector<size_t> cands;
   std::string suffix;
   for (const std::string& q : call.quals) suffix += q + "::";
@@ -291,6 +331,7 @@ inline std::vector<size_t> ResolveCall(const ProgramFacts& pf,
   if (cands.size() > 1) {
     narrow([&caller](const FunctionFacts& f) { return f.ns == caller.ns; });
   }
+  if (cands.empty()) return dispatch_fallback();
   return cands;
 }
 

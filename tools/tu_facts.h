@@ -53,6 +53,18 @@ struct PurityFact {
   size_t line = 0;
 };
 
+/// A function-pointer member assignment (`t->softmax_inplace = SoftmaxAvx2;`)
+/// — the registration half of a dispatch table. The linker resolves `target`
+/// against the program's function names and lets call resolution follow
+/// member calls of `member` (e.g. `Kernels().softmax_inplace(..)`) into every
+/// bound target, so runtime-dispatched kernels stay inside the hot-path
+/// purity walk instead of vanishing behind the indirection.
+struct DispatchBind {
+  std::string member;  // the assigned member, e.g. "softmax_inplace"
+  std::string target;  // "::"-joined assigned chain, e.g. "SoftmaxAvx2"
+  size_t line = 0;
+};
+
 struct LockAcq {
   std::string lock;  // last identifier of the lock expression, e.g. "mutex_"
   size_t line = 0;
@@ -97,6 +109,7 @@ struct FunctionFacts {
   std::vector<PurityFact> blocking;  // loop-stalling tokens (poll, waits, …)
   std::vector<PurityFact> traces;    // TraceSpan / FVAE_TRACE_SCOPE sites
   std::vector<MemberAccess> accesses;
+  std::vector<DispatchBind> dispatch_binds;  // fn-pointer member assignments
 };
 
 /// A class-member lock declaration (fvae::Mutex / fvae::SharedMutex).
@@ -946,6 +959,39 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
       }
       if (!dontwait) {
         fn->blocking.push_back({id + " without MSG_DONTWAIT", tok.line});
+      }
+    }
+
+    // Dispatch-table registration: `t->member = Target;` (optionally
+    // `&Target` or a `ns::Target` chain, in an assignment or a braced
+    // initializer list). Recorded permissively — binds whose target never
+    // resolves to a program function are dropped at link time — so plain
+    // data-member assignments cost nothing.
+    if (after_member && next != nullptr && next->kind == TokKind::kPunct &&
+        next->text == "=") {
+      size_t j = i + 2;
+      if (j < tokens.size() && tokens[j].kind == TokKind::kPunct &&
+          tokens[j].text == "&") {
+        ++j;
+      }
+      std::string target;
+      while (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
+        if (!target.empty()) target += "::";
+        target += tokens[j].text;
+        if (j + 2 < tokens.size() && tokens[j + 1].kind == TokKind::kPunct &&
+            tokens[j + 1].text == "::" &&
+            tokens[j + 2].kind == TokKind::kIdent) {
+          j += 2;
+        } else {
+          ++j;
+          break;
+        }
+      }
+      const bool terminated = j < tokens.size() &&
+                              tokens[j].kind == TokKind::kPunct &&
+                              (tokens[j].text == ";" || tokens[j].text == ",");
+      if (!target.empty() && terminated) {
+        fn->dispatch_binds.push_back({id, target, tok.line});
       }
     }
 
