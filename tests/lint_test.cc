@@ -1257,6 +1257,733 @@ TEST(VerbSwitchTest, NonEnumSwitchesAreIgnored) {
   EXPECT_TRUE(findings.empty());
 }
 
+// ---------- CFG construction ----------
+
+/// Lexes `src` and builds the CFG of the first function body: the token
+/// range between the first '{' and its matching '}'.
+Cfg CfgOf(const std::string& src) {
+  const std::vector<Tok> toks = LexCpp(src);
+  size_t open = 0;
+  while (open < toks.size() &&
+         !(toks[open].kind == TokKind::kPunct && toks[open].text == "{")) {
+    ++open;
+  }
+  int depth = 0;
+  size_t close = open;
+  for (; close < toks.size(); ++close) {
+    if (toks[close].kind != TokKind::kPunct) continue;
+    if (toks[close].text == "{") ++depth;
+    if (toks[close].text == "}" && --depth == 0) break;
+  }
+  return BuildCfg(toks, open + 1, close);
+}
+
+TEST(CfgTest, IfElseFormsADiamond) {
+  const Cfg cfg = CfgOf("void f() { if (a) { b(); } else { c(); } d(); }");
+  EXPECT_FALSE(cfg.truncated);
+  ASSERT_GE(cfg.nodes.size(), 5u);
+  EXPECT_TRUE(cfg.reachable[Cfg::kExit]);
+  // Some node branches two ways: the condition node.
+  bool has_branch = false;
+  for (const CfgNode& node : cfg.nodes) {
+    if (node.succ.size() >= 2) has_branch = true;
+  }
+  EXPECT_TRUE(has_branch);
+}
+
+TEST(CfgTest, InfiniteLoopLeavesExitUnreachable) {
+  // `for (;;)` with no break has no path to the function exit; the code
+  // after the loop is dead.
+  const Cfg cfg = CfgOf("void f() { for (;;) { tick(); } cleanup(); }");
+  EXPECT_FALSE(cfg.truncated);
+  EXPECT_FALSE(cfg.reachable[Cfg::kExit]);
+}
+
+TEST(CfgTest, BreakRestoresThePathToExit) {
+  const Cfg cfg = CfgOf(
+      "void f() { for (;;) { if (done) { break; } tick(); } cleanup(); }");
+  EXPECT_FALSE(cfg.truncated);
+  EXPECT_TRUE(cfg.reachable[Cfg::kExit]);
+}
+
+TEST(CfgTest, EarlyReturnMakesTrailingCodeUnreachable) {
+  const Cfg cfg = CfgOf("void f() { a(); return; b(); }");
+  EXPECT_FALSE(cfg.truncated);
+  EXPECT_TRUE(cfg.reachable[Cfg::kExit]);
+  // Find the node holding b() — it must be unreachable.
+  bool found_dead_b = false;
+  for (size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (cfg.reachable[n]) continue;
+    if (!cfg.nodes[n].stmts.empty()) found_dead_b = true;
+  }
+  EXPECT_TRUE(found_dead_b);
+}
+
+TEST(CfgTest, PathologicalNestingSetsTruncated) {
+  std::string src = "void f() { ";
+  for (int i = 0; i < 220; ++i) src += "if (x) { ";
+  src += "y(); ";
+  for (int i = 0; i < 220; ++i) src += "} ";
+  src += "}";
+  const Cfg cfg = CfgOf(src);
+  EXPECT_TRUE(cfg.truncated);  // analyses must skip this function
+}
+
+// ---------- dataflow solver ----------
+
+Cfg ChainCfg() {
+  // entry(0) -> 2 -> 3 -> exit(1)
+  Cfg cfg;
+  cfg.nodes.resize(4);
+  auto edge = [&cfg](size_t a, size_t b) {
+    cfg.nodes[a].succ.push_back(b);
+    cfg.nodes[b].pred.push_back(a);
+  };
+  edge(Cfg::kEntry, 2);
+  edge(2, 3);
+  edge(3, Cfg::kExit);
+  cfg.reachable.assign(4, true);
+  return cfg;
+}
+
+TEST(DataflowTest, BackwardDirectionPropagatesFromExit) {
+  const Cfg cfg = ChainCfg();
+  FlowState boundary;
+  boundary.vals["q"] = Flow::kB;  // "q live at exit"
+  auto transfer = [](size_t node, const FlowState& in) {
+    FlowState out = in;
+    if (node == 2) out.vals.erase("q");  // node 2 defines q: kills liveness
+    return out;
+  };
+  auto join = [](FlowState* acc, const FlowState& other) {
+    JoinFlowStates(acc, other, Flow::kA);
+  };
+  const auto result = SolveDataflow(cfg, DataflowDir::kBackward, boundary,
+                                    FlowState{}, transfer, join);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.in[3].vals.count("q"), 1u);  // live between 2 and exit
+  EXPECT_EQ(result.in[Cfg::kEntry].vals.count("q"), 0u);  // killed at 2
+}
+
+TEST(DataflowTest, DiamondJoinProducesMixed) {
+  // entry -> {2, 3} -> 4 -> exit; only node 2 establishes x.
+  Cfg cfg;
+  cfg.nodes.resize(5);
+  auto edge = [&cfg](size_t a, size_t b) {
+    cfg.nodes[a].succ.push_back(b);
+    cfg.nodes[b].pred.push_back(a);
+  };
+  edge(Cfg::kEntry, 2);
+  edge(Cfg::kEntry, 3);
+  edge(2, 4);
+  edge(3, 4);
+  edge(4, Cfg::kExit);
+  cfg.reachable.assign(5, true);
+  auto transfer = [](size_t node, const FlowState& in) {
+    FlowState out = in;
+    if (node == 2) out.vals["x"] = Flow::kB;
+    return out;
+  };
+  auto join = [](FlowState* acc, const FlowState& other) {
+    JoinFlowStates(acc, other, Flow::kA);
+  };
+  const auto result = SolveDataflow(cfg, DataflowDir::kForward, FlowState{},
+                                    FlowState{}, transfer, join);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.in[4].vals.count("x"), 1u);
+  EXPECT_EQ(result.in[4].vals.at("x"), Flow::kMixed);
+}
+
+TEST(DataflowTest, BudgetBoundsNonMonotoneTransfers) {
+  // A transfer that flips x on every visit of node 3 never reaches a
+  // fixpoint on the 2 <-> 3 cycle; the per-function budget must stop the
+  // solve and mark it non-converged instead of hanging.
+  Cfg cfg;
+  cfg.nodes.resize(4);
+  auto edge = [&cfg](size_t a, size_t b) {
+    cfg.nodes[a].succ.push_back(b);
+    cfg.nodes[b].pred.push_back(a);
+  };
+  edge(Cfg::kEntry, 2);
+  edge(2, 3);
+  edge(3, 2);
+  edge(3, Cfg::kExit);
+  cfg.reachable.assign(4, true);
+  auto transfer = [](size_t node, const FlowState& in) {
+    FlowState out = in;
+    if (node == 3) {
+      if (out.vals.count("x") > 0) {
+        out.vals.erase("x");
+      } else {
+        out.vals["x"] = Flow::kB;
+      }
+    }
+    return out;
+  };
+  auto join = [](FlowState* acc, const FlowState& other) {
+    JoinFlowStates(acc, other, Flow::kA);
+  };
+  const auto result = SolveDataflow(cfg, DataflowDir::kForward, FlowState{},
+                                    FlowState{}, transfer, join);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(DataflowTest, TruncatedCfgNeverConverges) {
+  Cfg cfg;
+  cfg.nodes.resize(2);
+  cfg.reachable.assign(2, true);
+  cfg.truncated = true;
+  auto transfer = [](size_t, const FlowState& in) { return in; };
+  auto join = [](FlowState* acc, const FlowState& other) {
+    JoinFlowStates(acc, other, Flow::kA);
+  };
+  const auto result = SolveDataflow(cfg, DataflowDir::kForward, FlowState{},
+                                    FlowState{}, transfer, join);
+  EXPECT_FALSE(result.converged);
+}
+
+// ---------- whole-program: status-path ----------
+
+TEST(StatusPathTest, StatusDroppedOnEveryPathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    Status st = Step();\n"
+      "    counter_ = counter_ + 1;\n"
+      "  }\n"
+      " private:\n"
+      "  int counter_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "status-path"));
+}
+
+TEST(StatusPathTest, StatusDroppedOnSomePathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    Status st = Step();\n"
+      "    if (counter_ > 0) {\n"
+      "      return;\n"  // drops st on this path only
+      "    }\n"
+      "    (void)st;\n"
+      "  }\n"
+      " private:\n"
+      "  int counter_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "status-path"));
+  bool some_path = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "status-path" &&
+        f.message.find("some path") != std::string::npos) {
+      some_path = true;
+    }
+  }
+  EXPECT_TRUE(some_path);
+}
+
+TEST(StatusPathTest, CheckedOnEveryPathStaysSilent) {
+  // Control-flow twin of the fixtures above: every path consumes st.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    Status st = Step();\n"
+      "    if (!st.ok()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    (void)st;\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "status-path"));
+}
+
+TEST(StatusPathTest, OverwritingUnconsumedStatusFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  Status F() {\n"
+      "    Status st = Step();\n"
+      "    st = Step();\n"  // first result silently dropped
+      "    return st;\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "status-path"));
+  EXPECT_NE(findings[0].message.find("overwritten"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(StatusPathTest, SummariesDistinguishConsumingCallees) {
+  // Stash is resolvable and does NOT take a Status parameter, so passing
+  // st to it is not consumption; Check takes one, so it is. Both callees
+  // are defined in the TU — an unresolvable callee would silence both.
+  const auto fire = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Stash(int v) { counter_ = v; }\n"
+      "  void F() {\n"
+      "    Status st = Step();\n"
+      "    Stash(st);\n"
+      "  }\n"
+      " private:\n"
+      "  int counter_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_TRUE(HasRule(fire, "status-path"));
+  const auto silent = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void Check(Status st) { (void)st; }\n"
+      "  void F() {\n"
+      "    Status st = Step();\n"
+      "    Check(st);\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(silent, "status-path"));
+}
+
+TEST(StatusPathTest, SuppressionOnTheDeclarationLineIsHonored) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    Status st = Step();  // fvae-lint: allow(status-path)\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "status-path"));
+}
+
+// ---------- whole-program: resource-escape ----------
+
+TEST(ResourceEscapeTest, TimerHandleDroppedOnSomePathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class T {\n"
+      " public:\n"
+      "  void Arm() {\n"
+      "    TimerId id = wheel_.Schedule(100, 0);\n"
+      "    if (armed_ > 0) {\n"
+      "      return;\n"  // the handle leaks here
+      "    }\n"
+      "    wheel_.Cancel(id);\n"
+      "  }\n"
+      " private:\n"
+      "  TimerWheel wheel_;\n"
+      "  int armed_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "resource-escape"));
+}
+
+TEST(ResourceEscapeTest, TimerHandleCancelledOrStoredStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class T {\n"
+      " public:\n"
+      "  void Arm() {\n"
+      "    TimerId id = wheel_.Schedule(100, 0);\n"
+      "    if (armed_ > 0) {\n"
+      "      pending_ = id;\n"  // escapes into a member: tracked elsewhere
+      "      return;\n"
+      "    }\n"
+      "    wheel_.Cancel(id);\n"
+      "  }\n"
+      " private:\n"
+      "  TimerWheel wheel_;\n"
+      "  TimerId pending_;\n"
+      "  int armed_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "resource-escape"));
+}
+
+TEST(ResourceEscapeTest, WriterAbandonedOnVisibleEarlyReturnFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class W {\n"
+      " public:\n"
+      "  Status Save() {\n"
+      "    AtomicFileWriter writer;\n"
+      "    Status st = writer.Open(path_);\n"
+      "    if (!st.ok()) {\n"
+      "      return st;\n"  // neither Commit nor Abort on this path
+      "    }\n"
+      "    return writer.Commit();\n"
+      "  }\n"
+      " private:\n"
+      "  std::string path_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "resource-escape"));
+}
+
+TEST(ResourceEscapeTest, WriterAbortedOnEveryPathStaysSilent) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class W {\n"
+      " public:\n"
+      "  Status Save() {\n"
+      "    AtomicFileWriter writer;\n"
+      "    Status st = writer.Open(path_);\n"
+      "    if (!st.ok()) {\n"
+      "      writer.Abort();\n"
+      "      return st;\n"
+      "    }\n"
+      "    return writer.Commit();\n"
+      "  }\n"
+      " private:\n"
+      "  std::string path_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "resource-escape"));
+}
+
+TEST(ResourceEscapeTest, LocalFdRegistrationWithoutDelFires) {
+  const auto fire = AnalyzeOne(
+      "namespace fvae {\n"
+      "class E {\n"
+      " public:\n"
+      "  void Watch() {\n"
+      "    int fd = NewEventFd();\n"
+      "    loop_.Add(fd, false, 0);\n"
+      "    if (failed_ > 0) {\n"
+      "      return;\n"  // fd stays registered with no owner
+      "    }\n"
+      "    loop_.Del(fd);\n"
+      "  }\n"
+      " private:\n"
+      "  EpollLoop loop_;\n"
+      "  int failed_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(fire, "resource-escape"));
+  // Registering a *borrowed* descriptor (`.get()` of an owner that lives
+  // on) creates no obligation here.
+  const auto silent = AnalyzeOne(
+      "namespace fvae {\n"
+      "class E {\n"
+      " public:\n"
+      "  void Watch() {\n"
+      "    int fd = conn_.get();\n"
+      "    loop_.Add(fd, false, 0);\n"
+      "  }\n"
+      " private:\n"
+      "  EpollLoop loop_;\n"
+      "  Fd conn_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(silent, "resource-escape"));
+}
+
+TEST(ResourceEscapeTest, SuppressionOnTheAcquireLineIsHonored) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class T {\n"
+      " public:\n"
+      "  void Arm() {\n"
+      "    TimerId id = wheel_.Schedule(100, 0);"
+      "  // fvae-lint: allow(resource-escape)\n"
+      "  }\n"
+      " private:\n"
+      "  TimerWheel wheel_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "resource-escape"));
+}
+
+// ---------- whole-program: lock-balance ----------
+
+TEST(LockBalanceTest, LockHeldAtExitOnSomePathFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  void Bad() {\n"
+      "    mu_.Lock();\n"
+      "    if (size_ > 0) {\n"
+      "      return;\n"  // leaks the lock
+      "    }\n"
+      "    mu_.Unlock();\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int size_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "lock-balance"));
+}
+
+TEST(LockBalanceTest, DoubleReleaseFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  void Twice() {\n"
+      "    mu_.Lock();\n"
+      "    mu_.Unlock();\n"
+      "    mu_.Unlock();\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "lock-balance"));
+  EXPECT_NE(findings[0].message.find("release"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LockBalanceTest, WorkerLoopHandoffPatternStaysSilent) {
+  // The request_batcher WorkerLoop shape: lock before an infinite loop,
+  // unlock+return inside, unlock-work-relock around the work. Balanced on
+  // every path that can actually exit — the `for (;;)` head has no edge
+  // to the code after the loop, so the held state there never reaches the
+  // function exit.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  void Run() {\n"
+      "    mu_.Lock();\n"
+      "    for (;;) {\n"
+      "      if (stop_ > 0) {\n"
+      "        mu_.Unlock();\n"
+      "        return;\n"
+      "      }\n"
+      "      mu_.Unlock();\n"
+      "      Work();\n"
+      "      mu_.Lock();\n"
+      "    }\n"
+      "  }\n"
+      "  void Work() {}\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int stop_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "lock-balance"));
+}
+
+TEST(LockBalanceTest, SuppressionOnTheAcquireLineIsHonored) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  void Bad() {\n"
+      "    mu_.Lock();  // fvae-lint: allow(lock-balance)\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "lock-balance"));
+}
+
+// ---------- whole-program: use-after-move ----------
+
+TEST(UseAfterMoveTest, ReadAfterMoveFires) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    Consume(std::move(name));\n"
+      "    size_ = name.size();\n"  // read of the moved-from local
+      "  }\n"
+      " private:\n"
+      "  int size_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "use-after-move"));
+}
+
+TEST(UseAfterMoveTest, MoveOnOnePathMakesLaterUseMaybe) {
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    if (keep_ > 0) {\n"
+      "      Consume(std::move(name));\n"
+      "    }\n"
+      "    Use(name);\n"
+      "  }\n"
+      " private:\n"
+      "  int keep_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  ASSERT_TRUE(HasRule(findings, "use-after-move"));
+  EXPECT_NE(findings[0].message.find("may be used"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(UseAfterMoveTest, MovingBranchReturningStaysSilent) {
+  // Control-flow twin: the moving branch leaves the function, so the
+  // later use only executes on the not-moved path.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    if (keep_ > 0) {\n"
+      "      Consume(std::move(name));\n"
+      "      return;\n"
+      "    }\n"
+      "    Use(name);\n"
+      "  }\n"
+      " private:\n"
+      "  int keep_ = 0;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "use-after-move"));
+}
+
+TEST(UseAfterMoveTest, LoopLocalRedeclarationRevives) {
+  // The classic accumulate loop: the local is a *fresh object* every
+  // iteration, so the back-edge's moved-from state must not leak into the
+  // next iteration's reads.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    for (int i = 0; i < 3; i = i + 1) {\n"
+      "      std::string row = Title();\n"
+      "      row.push_back('x');\n"
+      "      Consume(std::move(row));\n"
+      "    }\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "use-after-move"));
+}
+
+TEST(UseAfterMoveTest, LambdaInitCaptureRebindingStaysSilent) {
+  // `[name = std::move(name)]` moves the outer local into a *new* binding
+  // of the same name; uses inside the lambda body read the capture.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    Post([name = std::move(name)]() { Use(name); });\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "use-after-move"));
+}
+
+TEST(UseAfterMoveTest, ReassignmentRevivesAndSuppressionIsHonored) {
+  const auto revived = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    Consume(std::move(name));\n"
+      "    name = Title();\n"
+      "    Use(name);\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(revived, "use-after-move"));
+  const auto suppressed = AnalyzeOne(
+      "namespace fvae {\n"
+      "class M {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::string name = Title();\n"
+      "    Consume(std::move(name));\n"
+      "    Use(name);  // fvae-lint: allow(use-after-move)\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(suppressed, "use-after-move"));
+}
+
+// ---------- suppression lists ----------
+
+TEST(SuppressionListTest, CommaListSuppressesEveryNamedRule) {
+  // One line violating two whole-program rules, one list naming both.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class S {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    mu_.Lock();\n"
+      "    Status st = Step();"
+      "  // fvae-lint: allow(status-path, lock-balance)\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "status-path"));
+  // lock-balance reports at the Lock() line, which the list does not
+  // cover — proving the list only applies to its own line.
+  EXPECT_TRUE(HasRule(findings, "lock-balance"));
+}
+
+TEST(SuppressionListTest, ListDoesNotSuppressUnnamedRules) {
+  const auto findings = Lint(
+      "void f() {\n"
+      "  std::mutex m;  // fvae-lint: allow(banned-random,fd-leak)\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(findings, "raw-mutex"));
+}
+
+TEST(SuppressionListTest, SingleRuleSpellingStillWorks) {
+  // The pre-list grammar is the one-element case of the same parser.
+  const auto findings = Lint(
+      "void f() {\n"
+      "  std::mutex m;  // fvae-lint: allow(raw-mutex)\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "raw-mutex"));
+  const auto list = Lint(
+      "void f() {\n"
+      "  std::mutex m;  // fvae-lint: allow(raw-mutex, banned-random)\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(list, "raw-mutex"));
+}
+
+// ---------- path-sensitive corrections to the legacy analyses ----------
+
+TEST(EventLoopTest, BlockingCallInDeadCodeStaysSilent) {
+  // The CFG proves the ::poll is unreachable (it follows a return), so
+  // the event-loop analysis must not flag it; its reachable twin in
+  // BlockingCallInLoopCallbackFires above does fire.
+  const auto findings = AnalyzeOne(
+      "namespace fvae {\n"
+      "class L {\n"
+      " public:\n"
+      "  FVAE_EVENT_LOOP void OnReady() {\n"
+      "    Dispatch();\n"
+      "    return;\n"
+      "    ::usleep(1000);\n"
+      "  }\n"
+      "  void Dispatch() {}\n"
+      "};\n"
+      "}  // namespace fvae\n");
+  EXPECT_FALSE(HasRule(findings, "loop-block"));
+}
+
 // ---------- self-runtime timing ----------
 
 TEST(LintTimingTest, FullTreeRunPopulatesTimings) {
@@ -1267,7 +1994,17 @@ TEST(LintTimingTest, FullTreeRunPopulatesTimings) {
   EXPECT_GT(timings.file_count, 100u);
   EXPECT_GT(timings.per_file_ms, 0.0);
   EXPECT_GT(timings.analysis.link_ms, 0.0);
+  // The CFG layer and every path-sensitive analysis must actually run
+  // (a zero here means a pass was silently skipped).
+  EXPECT_GT(timings.analysis.cfg_ms, 0.0);
+  EXPECT_GT(timings.analysis.lock_balance_ms, 0.0);
+  EXPECT_GT(timings.analysis.status_path_ms, 0.0);
+  EXPECT_GT(timings.analysis.resource_escape_ms, 0.0);
+  EXPECT_GT(timings.analysis.use_after_move_ms, 0.0);
   EXPECT_GT(timings.total_ms(), 0.0);
+  // Timing regression gate: the whole-tree run must stay far inside the
+  // fvae_lint ctest's 5 s budget, path-sensitive passes included.
+  EXPECT_LT(timings.total_ms(), 5000.0);
 }
 
 // ---------- the tree itself ----------

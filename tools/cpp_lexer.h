@@ -260,6 +260,39 @@ inline std::vector<Tok> LexCpp(const std::string& src) {
   return out;
 }
 
+/// Parses every `fvae-lint: allow(...)` marker on a raw source line and
+/// returns true when any of them names `rule`. The argument is a
+/// comma-separated rule list — `fvae-lint: allow(status-path,lock-balance)`
+/// suppresses both rules on the line — with whitespace around each entry
+/// ignored, so the single-rule spelling `allow(fd-leak)` is the one-element
+/// case of the same grammar. Both suppression layers (the per-file rules in
+/// lint_rules.h and the whole-program LineAllows in lint_graph.h) call this,
+/// so the two grammars can never drift apart.
+inline bool SuppressionAllows(const std::string& raw_line,
+                              const std::string& rule) {
+  static const std::string kMarker = "fvae-lint: allow(";
+  size_t pos = 0;
+  while ((pos = raw_line.find(kMarker, pos)) != std::string::npos) {
+    size_t i = pos + kMarker.size();
+    const size_t close = raw_line.find(')', i);
+    if (close == std::string::npos) return false;
+    while (i < close) {
+      size_t comma = raw_line.find(',', i);
+      if (comma == std::string::npos || comma > close) comma = close;
+      size_t b = i, e = comma;
+      while (b < e && (raw_line[b] == ' ' || raw_line[b] == '\t')) ++b;
+      while (e > b &&
+             (raw_line[e - 1] == ' ' || raw_line[e - 1] == '\t')) {
+        --e;
+      }
+      if (e > b && raw_line.compare(b, e - b, rule) == 0) return true;
+      i = comma + 1;
+    }
+    pos = close + 1;
+  }
+  return false;
+}
+
 }  // namespace fvae::lint
 
 #endif  // FVAE_TOOLS_CPP_LEXER_H_

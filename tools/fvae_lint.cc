@@ -1,6 +1,6 @@
 // fvae_lint — project-invariant linter, run as a ctest gate on every build.
 //
-//   usage: fvae_lint [repo_root] [--budget-ms N]
+//   usage: fvae_lint [repo_root] [--budget-ms N] [--json FILE]
 //
 // Walks src/, tools/, bench/, tests/ and examples/, applies the rules in
 // tools/lint_rules.h, prints every finding as "path:line: [rule] message"
@@ -8,22 +8,111 @@
 // breakdown always follows the verdict, so the analyzer's own cost stays
 // visible as the tree grows; with --budget-ms the run additionally fails
 // when the total exceeds the budget (the ctest passes 5000 on
-// non-sanitizer builds). See ARCHITECTURE.md ("Static analysis &
-// sanitizers") for the rule list and rationale.
+// non-sanitizer builds). With --json FILE a machine-readable report
+// (verdict, findings with source excerpts, the timing breakdown) is
+// written whether or not the tree is clean — CI uploads it as an
+// artifact when the lint step fails. See ARCHITECTURE.md ("Static
+// analysis & sanitizers") for the rule list and rationale.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "tools/lint_rules.h"
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The offending source line, whitespace-trimmed, for the JSON report's
+/// path excerpt. Empty string when the file or line cannot be read.
+std::string LineExcerpt(const std::filesystem::path& root,
+                        const std::string& file, size_t line) {
+  std::ifstream in(root / file);
+  std::string text;
+  for (size_t i = 0; i < line && std::getline(in, text); ++i) {
+  }
+  if (!in && text.empty()) return "";
+  size_t b = text.find_first_not_of(" \t");
+  size_t e = text.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return text.substr(b, e - b + 1);
+}
+
+void WriteJsonReport(const std::filesystem::path& out_path,
+                     const std::filesystem::path& root,
+                     const std::vector<fvae::lint::Finding>& findings,
+                     const fvae::lint::LintTimings& t) {
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "fvae_lint: cannot write --json file %s\n",
+                 out_path.string().c_str());
+    return;
+  }
+  out << "{\n  \"clean\": " << (findings.empty() ? "true" : "false")
+      << ",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const fvae::lint::Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"rule\": \"" << JsonEscape(f.rule) << "\", \"file\": \""
+        << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << JsonEscape(f.message)
+        << "\", \"excerpt\": \""
+        << JsonEscape(LineExcerpt(root, f.file, f.line)) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << ",\n  \"timing_ms\": {";
+  const auto& a = t.analysis;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"scan\": %.3f, \"per_file\": %.3f, \"link\": %.3f, "
+      "\"cfg\": %.3f, \"lock_balance\": %.3f, \"lock_cycle\": %.3f, "
+      "\"hot_path\": %.3f, \"event_loop\": %.3f, \"guarded_by\": %.3f, "
+      "\"verb_switch\": %.3f, \"status_path\": %.3f, "
+      "\"resource_escape\": %.3f, \"use_after_move\": %.3f, "
+      "\"total\": %.3f",
+      t.scan_ms, t.per_file_ms, a.link_ms, a.cfg_ms, a.lock_balance_ms,
+      a.lock_cycle_ms, a.hot_path_ms, a.event_loop_ms, a.guarded_by_ms,
+      a.verb_switch_ms, a.status_path_ms, a.resource_escape_ms,
+      a.use_after_move_ms, t.total_ms());
+  out << buf << "},\n  \"file_count\": " << t.file_count << "\n}\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::filesystem::path root = ".";
+  std::filesystem::path json_path;
   double budget_ms = 0;  // 0: report timing but do not enforce
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
       budget_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       root = argv[i];
     }
@@ -42,6 +131,9 @@ int main(int argc, char** argv) {
                  finding.line, finding.rule.c_str(),
                  finding.message.c_str());
   }
+  if (!json_path.empty()) {
+    WriteJsonReport(json_path, root, findings, timings);
+  }
   int rc = 0;
   if (!findings.empty()) {
     std::fprintf(stderr, "fvae_lint: %zu finding(s)\n", findings.size());
@@ -51,14 +143,17 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "fvae_lint: timing: scan %.1f ms (%zu files), per-file %.1f ms, "
-      "link %.1f ms, lock-cycle %.1f ms, hot-path %.1f ms, "
-      "event-loop %.1f ms, guarded-by %.1f ms, verb-switch %.1f ms, "
-      "total %.1f ms\n",
+      "link %.1f ms, cfg %.1f ms, lock-balance %.1f ms, "
+      "lock-cycle %.1f ms, hot-path %.1f ms, event-loop %.1f ms, "
+      "guarded-by %.1f ms, verb-switch %.1f ms, status-path %.1f ms, "
+      "resource-escape %.1f ms, use-after-move %.1f ms, total %.1f ms\n",
       timings.scan_ms, timings.file_count, timings.per_file_ms,
-      timings.analysis.link_ms, timings.analysis.lock_cycle_ms,
+      timings.analysis.link_ms, timings.analysis.cfg_ms,
+      timings.analysis.lock_balance_ms, timings.analysis.lock_cycle_ms,
       timings.analysis.hot_path_ms, timings.analysis.event_loop_ms,
       timings.analysis.guarded_by_ms, timings.analysis.verb_switch_ms,
-      timings.total_ms());
+      timings.analysis.status_path_ms, timings.analysis.resource_escape_ms,
+      timings.analysis.use_after_move_ms, timings.total_ms());
   if (budget_ms > 0 && timings.total_ms() > budget_ms) {
     std::fprintf(stderr,
                  "fvae_lint: self-runtime budget exceeded: %.1f ms > "

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "tools/cfg.h"
 #include "tools/cpp_lexer.h"
+#include "tools/dataflow.h"
 #include "tools/tu_facts.h"
 
 /// Cross-TU linking and whole-program analyses for fvae_lint v2.
@@ -103,6 +105,9 @@ struct ProgramFacts {
   std::map<std::string, std::string> member_types;
   // Raw source lines per file, for `fvae-lint: allow(...)` suppressions.
   std::map<std::string, std::vector<std::string>> file_lines;
+  // Token stream per file (the one ExtractTuFacts consumed), kept so the
+  // CFG/dataflow layer can re-walk function bodies by token range.
+  std::map<std::string, std::vector<Tok>> file_tokens;
 };
 
 namespace graph_detail {
@@ -149,15 +154,15 @@ inline std::string FileStem(const std::string& path) {
 
 }  // namespace graph_detail
 
-/// True when `file:line` carries a `fvae-lint: allow(<rule>)` suppression.
+/// True when `file:line` carries a `fvae-lint: allow(<rule>)` suppression
+/// (single rule or a comma-separated list; see SuppressionAllows).
 inline bool LineAllows(const ProgramFacts& pf, const std::string& file,
                        size_t line, const std::string& rule) {
   auto it = pf.file_lines.find(file);
   if (it == pf.file_lines.end() || line == 0 || line > it->second.size()) {
     return false;
   }
-  return it->second[line - 1].find("fvae-lint: allow(" + rule + ")") !=
-         std::string::npos;
+  return SuppressionAllows(it->second[line - 1], rule);
 }
 
 inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
@@ -165,7 +170,9 @@ inline ProgramFacts LinkProgram(const std::vector<SourceFile>& files) {
   std::vector<AttrDecl> attr_decls;
   std::map<std::string, std::set<std::string>> member_type_cands;
   for (const SourceFile& f : files) {
-    TuFacts tu = ExtractTuFacts(f.path, LexCpp(f.content));
+    std::vector<Tok> tokens = LexCpp(f.content);
+    TuFacts tu = ExtractTuFacts(f.path, tokens);
+    pf.file_tokens[f.path] = std::move(tokens);
     for (FunctionFacts& fn : tu.functions) {
       pf.functions.push_back(std::move(fn));
     }
@@ -843,6 +850,896 @@ inline std::vector<Finding> AnalyzeEnumSwitches(const ProgramFacts& pf) {
   return findings;
 }
 
+// ---------------------------------------------------------------------------
+// Path-sensitive analyses (tools/cfg.h + tools/dataflow.h)
+//
+// Four analyses run on per-function CFGs with the worklist solver:
+//
+//   status-path      a local Status/Result value whose initializer calls a
+//                    function must be consumed — checked (`.ok()`, any
+//                    member access), returned, `(void)`-cast, address-
+//                    taken, or passed to a consuming callee — on every
+//                    path to function exit; overwriting an unconsumed
+//                    value is reported at the assignment.
+//   resource-escape  table-driven acquire/release: TimerWheel handles
+//                    (`TimerId id = w.Schedule(..)` ... `w.Cancel(id)`),
+//                    EpollLoop registrations of function-local fds
+//                    (`loop.Add(fd, ..)` ... `loop.Del(fd)`), and
+//                    AtomicFileWriter lifetimes (declaration ...
+//                    Commit()/Abort()). Every path to exit must release
+//                    the obligation or escape the resource (return it,
+//                    store it, move it, pass it to an owning callee).
+//   lock-balance     manual .Lock()/.LockShared() must be balanced by
+//                    .Unlock()/.UnlockShared() on every path; acquiring a
+//                    lock already held and releasing one not held are
+//                    reported at the site. The per-path held sets also
+//                    *correct* the linear fact extractor's lock tracking
+//                    for the legacy analyses (guarded-by, lock-cycle),
+//                    and facts recorded in CFG-unreachable statements are
+//                    dropped, which makes the event-loop and hot-path
+//                    walks path-sensitive at the intra-function level.
+//   use-after-move   a local read after `std::move(local)` without an
+//                    intervening reassignment or `.clear()`-style revive;
+//                    null-checks and re-moves into checks stay silent.
+//
+// Interprocedural precision comes from FnSummary (tools/dataflow.h):
+// consumes-status, takes-ownership and releases-argument summaries are
+// computed from every function's parameter facts and body tokens, so
+// passing a tracked value into a project wrapper does not spuriously keep
+// (or discharge) an obligation. A callee the program cannot resolve is
+// assumed to consume/own — over-approximation in the silent direction.
+// ---------------------------------------------------------------------------
+
+/// Computes the per-function interprocedural summaries, merged by bare
+/// name (overloads OR together, the usual over-approximation).
+inline SummaryMap ComputeSummaries(const ProgramFacts& pf) {
+  static const std::set<std::string> kReleaseMethods = {
+      "Unlock", "UnlockShared", "Cancel", "Del",
+      "Commit", "Abort",        "close",  "Reset"};
+  SummaryMap map;
+  for (const FunctionFacts& fn : pf.functions) {
+    FnSummary& s = map[fn.name];
+    std::set<std::string> param_names;
+    for (const ParamFacts& p : fn.params) {
+      if (p.fallible) s.consumes_status = true;
+      if (p.rvalue_ref) s.takes_ownership = true;
+      if (!p.name.empty()) param_names.insert(p.name);
+    }
+    if (s.releases_argument || param_names.empty() ||
+        fn.body_end <= fn.body_begin) {
+      continue;
+    }
+    auto tit = pf.file_tokens.find(fn.file);
+    if (tit == pf.file_tokens.end()) continue;
+    const std::vector<Tok>& toks = tit->second;
+    const size_t end = std::min(fn.body_end, toks.size());
+    for (size_t i = fn.body_begin; i < end; ++i) {
+      const Tok& t = toks[i];
+      if (t.kind != TokKind::kIdent || kReleaseMethods.count(t.text) == 0) {
+        continue;
+      }
+      if (i + 1 >= end || toks[i + 1].kind != TokKind::kPunct ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      // Receiver form: `param.Unlock()` / `param->Commit()`.
+      if (i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          toks[i - 2].kind == TokKind::kIdent &&
+          param_names.count(toks[i - 2].text) > 0) {
+        s.releases_argument = true;
+        break;
+      }
+      // Argument form: `wheel_.Cancel(param)` — a param inside the group.
+      int depth = 0;
+      for (size_t j = i + 1; j < end; ++j) {
+        if (toks[j].kind == TokKind::kPunct) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+        } else if (toks[j].kind == TokKind::kIdent &&
+                   param_names.count(toks[j].text) > 0) {
+          s.releases_argument = true;
+          break;
+        }
+      }
+      if (s.releases_argument) break;
+    }
+  }
+  return map;
+}
+
+namespace path_detail {
+
+/// Everything the per-function passes need in one place.
+struct FnPath {
+  const ProgramFacts* pf = nullptr;
+  const SummaryMap* summaries = nullptr;
+  const FunctionFacts* fn = nullptr;
+  const std::vector<Tok>* toks = nullptr;
+  const Cfg* cfg = nullptr;
+  // Innermost enclosing call's bare callee name per body token (indexed
+  // by token_index - fn->body_begin; "" outside any call's argument
+  // list). Paren groups are balanced within statements, so one linear
+  // body scan serves every statement.
+  std::vector<std::string> callees;
+};
+
+inline bool TokPunct(const std::vector<Tok>& toks, size_t i,
+                     const char* text) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+         toks[i].text == text;
+}
+inline bool TokIdent(const std::vector<Tok>& toks, size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent;
+}
+
+inline std::vector<std::string> EnclosingCallees(const std::vector<Tok>& toks,
+                                                 size_t begin, size_t end) {
+  std::vector<std::string> out(end > begin ? end - begin : 0);
+  std::vector<std::string> stack;
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = stack.empty() ? "" : stack.back();
+    const Tok& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") {
+      std::string callee;
+      if (i > begin && toks[i - 1].kind == TokKind::kIdent &&
+          facts_detail::ControlKeywords().count(toks[i - 1].text) == 0) {
+        callee = toks[i - 1].text;
+      }
+      stack.push_back(std::move(callee));
+    } else if (t.text == ")") {
+      if (!stack.empty()) stack.pop_back();
+    }
+  }
+  return out;
+}
+
+/// Skips a balanced `<...>` group starting at `i` (which must be '<');
+/// returns the index just past the matching '>' (`>>` closes two).
+inline size_t SkipAngles(const std::vector<Tok>& toks, size_t i,
+                         size_t end) {
+  int depth = 0;
+  while (i < end) {
+    if (toks[i].kind == TokKind::kPunct) {
+      if (toks[i].text == "<") ++depth;
+      if (toks[i].text == ">") --depth;
+      if (toks[i].text == ">>") depth -= 2;
+    }
+    ++i;
+    if (depth <= 0) break;
+  }
+  return i;
+}
+
+inline bool StmtIsReturn(const std::vector<Tok>& toks, const CfgStmt& s) {
+  return TokIdent(toks, s.begin) &&
+         (toks[s.begin].text == "return" || toks[s.begin].text == "co_return");
+}
+inline bool StmtIsVoidCast(const std::vector<Tok>& toks, const CfgStmt& s) {
+  return TokPunct(toks, s.begin, "(") && TokIdent(toks, s.begin + 1) &&
+         toks[s.begin + 1].text == "void" && TokPunct(toks, s.begin + 2, ")");
+}
+
+/// Shared reporting helper: LineAllows + per-function dedup.
+struct Reporter {
+  const FnPath* ctx;
+  std::vector<Finding>* findings;
+  std::set<std::string> seen;
+  void operator()(size_t line, const std::string& rule,
+                  const std::string& message) {
+    if (LineAllows(*ctx->pf, ctx->fn->file, line, rule)) return;
+    std::ostringstream key;
+    key << line << "|" << rule << "|" << message;
+    if (!seen.insert(key.str()).second) return;
+    findings->push_back({ctx->fn->file, line, rule, message});
+  }
+};
+
+/// Runs `transfer` to fixpoint and then replays every reachable node once
+/// with reporting enabled. `transfer(stmt, state, report)` mutates the
+/// state across one statement.
+template <typename StmtTransfer>
+DataflowResult<FlowState> SolveAndReport(const FnPath& ctx, Flow missing,
+                                         StmtTransfer transfer) {
+  auto node_transfer = [&](size_t node, const FlowState& in) {
+    FlowState state = in;
+    for (const CfgStmt& s : ctx.cfg->nodes[node].stmts) {
+      transfer(s, &state, /*report=*/false);
+    }
+    return state;
+  };
+  auto join = [missing](FlowState* acc, const FlowState& other) {
+    JoinFlowStates(acc, other, missing);
+  };
+  DataflowResult<FlowState> result =
+      SolveDataflow(*ctx.cfg, DataflowDir::kForward, FlowState{}, FlowState{},
+                    node_transfer, join);
+  if (!result.converged) return result;
+  for (size_t n = 0; n < ctx.cfg->nodes.size(); ++n) {
+    if (!ctx.cfg->reachable[n]) continue;
+    FlowState state = result.in[n];
+    for (const CfgStmt& s : ctx.cfg->nodes[n].stmts) {
+      transfer(s, &state, /*report=*/true);
+    }
+  }
+  return result;
+}
+
+}  // namespace path_detail
+
+/// status-path: every locally declared Status/Result value produced by a
+/// call must be consumed on every path to exit. Consumption is any member
+/// access, being returned, (void)-cast, address-taken, compared, or
+/// passed to an unresolvable callee / a callee whose summary says it
+/// consumes Status. Passing to a resolvable *non*-consuming callee keeps
+/// the obligation — the precision the summaries buy.
+inline void AnalyzeStatusPaths(const ProgramFacts& pf,
+                               const SummaryMap& summaries,
+                               const std::map<size_t, Cfg>& cfgs,
+                               std::vector<Finding>* findings) {
+  using path_detail::FnPath;
+  using path_detail::Reporter;
+  using path_detail::SkipAngles;
+  using path_detail::TokIdent;
+  using path_detail::TokPunct;
+  for (const auto& [fi, cfg] : cfgs) {
+    const FunctionFacts& fn = pf.functions[fi];
+    const std::vector<Tok>& toks = pf.file_tokens.at(fn.file);
+    FnPath ctx{&pf, &summaries, &fn, &toks, &cfg,
+               path_detail::EnclosingCallees(toks, fn.body_begin,
+                                             fn.body_end)};
+    Reporter report{&ctx, findings, {}};
+    std::map<std::string, size_t> decl_line;  // monotone across passes
+
+    auto rhs_has_call = [&](size_t from, size_t end) {
+      for (size_t i = from; i < end; ++i) {
+        if (TokPunct(toks, i, "(")) return true;
+      }
+      return false;
+    };
+
+    auto transfer = [&](const CfgStmt& s, FlowState* state, bool emit) {
+      const bool is_return = path_detail::StmtIsReturn(toks, s);
+      const bool is_void = path_detail::StmtIsVoidCast(toks, s);
+      // Declaration: [const|static]* Status|Result<..> NAME [= init];
+      size_t skip_name = SIZE_MAX;
+      {
+        size_t p = s.begin;
+        while (TokIdent(toks, p) && (toks[p].text == "const" ||
+                                     toks[p].text == "static" ||
+                                     toks[p].text == "constexpr")) {
+          ++p;
+        }
+        size_t type_end = 0;
+        if (TokIdent(toks, p) && toks[p].text == "Status" &&
+            !TokPunct(toks, p + 1, "::")) {
+          type_end = p + 1;
+        } else if (TokIdent(toks, p) && toks[p].text == "Result" &&
+                   TokPunct(toks, p + 1, "<")) {
+          type_end = SkipAngles(toks, p + 1, s.end);
+        }
+        if (type_end != 0 && type_end < s.end && TokIdent(toks, type_end)) {
+          const std::string& name = toks[type_end].text;
+          const size_t after = type_end + 1;
+          const bool decl_like =
+              TokPunct(toks, after, "=") || TokPunct(toks, after, ";") ||
+              TokPunct(toks, after, "(") || TokPunct(toks, after, "{");
+          if (decl_like) {
+            skip_name = type_end;
+            decl_line.emplace(name, toks[type_end].line);
+            // Only an initializer that calls something creates the
+            // obligation; `Status st = kOk;` accumulators start consumed.
+            if (rhs_has_call(after, s.end)) {
+              state->vals[name] = Flow::kB;
+            } else {
+              state->vals.erase(name);
+            }
+          }
+        }
+      }
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        if (i == skip_name || toks[i].kind != TokKind::kIdent) continue;
+        auto dit = decl_line.find(toks[i].text);
+        if (dit == decl_line.end()) continue;
+        const bool prev_member =
+            i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+             toks[i - 1].text == "::");
+        if (prev_member) continue;
+        const std::string& name = toks[i].text;
+        if (TokPunct(toks, i + 1, "=")) {  // plain reassignment
+          auto sit = state->vals.find(name);
+          if (emit && sit != state->vals.end() && sit->second == Flow::kB) {
+            report(toks[i].line, "status-path",
+                   "'" + name + "' still holds an unconsumed Status/Result "
+                   "(from line " + std::to_string(dit->second) +
+                   ") when it is overwritten here");
+          }
+          if (rhs_has_call(i + 2, s.end)) {
+            state->vals[name] = Flow::kB;
+            dit->second = toks[i].line;  // the obligation now starts here
+          } else {
+            state->vals.erase(name);
+          }
+          continue;
+        }
+        bool consumed = is_return || is_void;
+        if (!consumed && i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "&" || toks[i - 1].text == "!" ||
+             toks[i - 1].text == "=")) {
+          consumed = true;  // address taken / negated / stored elsewhere
+        }
+        if (!consumed &&
+            (TokPunct(toks, i + 1, ".") || TokPunct(toks, i + 1, "->") ||
+             TokPunct(toks, i + 1, "==") || TokPunct(toks, i + 1, "!="))) {
+          consumed = true;  // member access or comparison
+        }
+        if (!consumed) {
+          const std::string& callee =
+              i >= fn.body_begin && i - fn.body_begin < ctx.callees.size()
+                  ? ctx.callees[i - fn.body_begin]
+                  : std::string();
+          if (callee.empty()) {
+            consumed = true;  // bare mention outside any call
+          } else if (pf.functions_by_name.count(callee) == 0) {
+            consumed = true;  // unresolvable callee: assume it consumes
+          } else {
+            auto sit = summaries.find(callee);
+            consumed = sit != summaries.end() && sit->second.consumes_status;
+          }
+        }
+        if (consumed) state->vals.erase(name);
+      }
+    };
+
+    const DataflowResult<FlowState> result =
+        path_detail::SolveAndReport(ctx, Flow::kA, transfer);
+    if (!result.converged) continue;
+    for (const auto& [name, val] : result.in[Cfg::kExit].vals) {
+      auto dit = decl_line.find(name);
+      const size_t line = dit != decl_line.end() ? dit->second : fn.line;
+      report(line, "status-path",
+             val == Flow::kB
+                 ? "Status/Result value '" + name +
+                       "' is never consumed on any path to function exit "
+                       "(check it, return it, or (void)-cast it)"
+                 : "Status/Result value '" + name +
+                       "' is dropped on some path to function exit "
+                       "(consumed on others)");
+    }
+  }
+}
+
+/// resource-escape: table-driven acquire/release over the CFG. See the
+/// section comment for the three resource kinds.
+inline void AnalyzeResourceEscapes(const ProgramFacts& pf,
+                                   const SummaryMap& summaries,
+                                   const std::map<size_t, Cfg>& cfgs,
+                                   std::vector<Finding>* findings) {
+  using path_detail::FnPath;
+  using path_detail::Reporter;
+  using path_detail::TokIdent;
+  using path_detail::TokPunct;
+  // Callees that release the resource passed as an argument, and member
+  // calls on the resource that settle its lifetime.
+  static const std::set<std::string> kReleaseArgCallees = {"Cancel", "Del",
+                                                           "close", "Reset"};
+  static const std::set<std::string> kReleaseMembers = {"Commit", "Abort"};
+  for (const auto& [fi, cfg] : cfgs) {
+    const FunctionFacts& fn = pf.functions[fi];
+    const std::vector<Tok>& toks = pf.file_tokens.at(fn.file);
+    FnPath ctx{&pf, &summaries, &fn, &toks, &cfg,
+               path_detail::EnclosingCallees(toks, fn.body_begin,
+                                             fn.body_end)};
+    Reporter report{&ctx, findings, {}};
+    std::map<std::string, size_t> acquire_line;
+    std::map<std::string, std::string> kind;
+    // Function-local ints/Fds, for the EpollLoop registration rule: only
+    // a *local* descriptor registered and then dropped is a sure leak
+    // (member fds legitimately stay registered past the return). A local
+    // initialized via `.get()` merely *borrows* a descriptor someone else
+    // owns — registering it creates no obligation here.
+    std::set<std::string> local_ints;
+    {
+      const size_t end = std::min(fn.body_end, toks.size());
+      for (size_t i = fn.body_begin; i + 1 < end; ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            (toks[i].text != "int" && toks[i].text != "Fd") ||
+            !TokIdent(toks, i + 1) ||
+            (i > 0 && TokPunct(toks, i - 1, "::"))) {
+          continue;
+        }
+        bool borrowed = false;
+        if (TokPunct(toks, i + 2, "=")) {
+          for (size_t j = i + 3; j < end && !TokPunct(toks, j, ";"); ++j) {
+            if (toks[j].kind == TokKind::kIdent && toks[j].text == "get") {
+              borrowed = true;
+              break;
+            }
+          }
+        }
+        if (!borrowed) local_ints.insert(toks[i + 1].text);
+      }
+    }
+
+    auto transfer = [&](const CfgStmt& s, FlowState* state, bool emit) {
+      (void)emit;
+      const bool is_return = path_detail::StmtIsReturn(toks, s);
+      // Acquire: TimerId NAME = <recv>.Schedule(...);
+      {
+        size_t p = s.begin;
+        while (TokIdent(toks, p) && toks[p].text == "const") ++p;
+        if (TokIdent(toks, p) && TokIdent(toks, p + 1) &&
+            TokPunct(toks, p + 2, "=")) {
+          const std::string& type = toks[p].text;
+          const std::string& name = toks[p + 1].text;
+          if (type == "TimerId") {
+            for (size_t i = p + 3; i + 1 < s.end; ++i) {
+              if (toks[i].kind == TokKind::kIdent &&
+                  toks[i].text == "Schedule" && i >= 1 &&
+                  (TokPunct(toks, i - 1, ".") ||
+                   TokPunct(toks, i - 1, "->")) &&
+                  TokPunct(toks, i + 1, "(")) {
+                state->vals[name] = Flow::kB;
+                acquire_line.emplace(name, toks[p + 1].line);
+                kind.emplace(name, "TimerWheel handle");
+                break;
+              }
+            }
+          }
+        }
+        // Acquire: AtomicFileWriter NAME ...;
+        if (TokIdent(toks, p) && toks[p].text == "AtomicFileWriter" &&
+            TokIdent(toks, p + 1) &&
+            (TokPunct(toks, p + 2, ";") || TokPunct(toks, p + 2, "(") ||
+             TokPunct(toks, p + 2, "{") || TokPunct(toks, p + 2, "="))) {
+          const std::string& name = toks[p + 1].text;
+          state->vals[name] = Flow::kB;
+          acquire_line.emplace(name, toks[p + 1].line);
+          kind.emplace(name, "AtomicFileWriter");
+        }
+      }
+      // Acquire: <recv>.Add(fd, ...) with recv an EpollLoop member and fd
+      // a bare local. Release: <recv>.Del(fd) and friends, below.
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i].text != "Add") {
+          continue;
+        }
+        if (!(i >= 2 &&
+              (TokPunct(toks, i - 1, ".") || TokPunct(toks, i - 1, "->")) &&
+              toks[i - 2].kind == TokKind::kIdent)) {
+          continue;
+        }
+        auto rit = pf.member_types.find(toks[i - 2].text);
+        if (rit == pf.member_types.end() || rit->second != "EpollLoop") {
+          continue;
+        }
+        if (TokPunct(toks, i + 1, "(") && TokIdent(toks, i + 2) &&
+            (TokPunct(toks, i + 3, ",") || TokPunct(toks, i + 3, ")")) &&
+            local_ints.count(toks[i + 2].text) > 0) {
+          const std::string& name = toks[i + 2].text;
+          state->vals[name] = Flow::kB;
+          acquire_line.emplace(name, toks[i + 2].line);
+          kind.emplace(name, "EpollLoop registration");
+        }
+      }
+      // Releases and escapes of tracked names.
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent) continue;
+        const std::string& name = toks[i].text;
+        if (state->vals.count(name) == 0) continue;
+        const bool prev_member =
+            i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+             toks[i - 1].text == "::");
+        if (prev_member) continue;
+        bool done = is_return;  // returning the resource escapes it
+        if (!done &&
+            (TokPunct(toks, i + 1, ".") || TokPunct(toks, i + 1, "->")) &&
+            TokIdent(toks, i + 2) &&
+            kReleaseMembers.count(toks[i + 2].text) > 0 &&
+            TokPunct(toks, i + 3, "(")) {
+          done = true;  // writer.Commit() / writer.Abort()
+        }
+        if (!done && i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "&" || toks[i - 1].text == "=") &&
+            !(TokPunct(toks, i + 1, ".") || TokPunct(toks, i + 1, "->"))) {
+          // Address taken / stored whole into another lvalue. Followed by
+          // '.' it is only `x = res.Method()` — the *result* is stored,
+          // not the resource.
+          done = true;
+        }
+        if (!done &&
+            (TokPunct(toks, i + 1, ",") || TokPunct(toks, i + 1, ")"))) {
+          // Passed whole as an argument. The acquire verbs themselves are
+          // not escapes — `loop_.Add(fd, ...)` must not discharge the
+          // obligation it just created.
+          static const std::set<std::string> kAcquireCallees = {"Add",
+                                                                "Schedule"};
+          const std::string& callee =
+              i >= fn.body_begin && i - fn.body_begin < ctx.callees.size()
+                  ? ctx.callees[i - fn.body_begin]
+                  : std::string();
+          if (!callee.empty() && kAcquireCallees.count(callee) == 0) {
+            if (kReleaseArgCallees.count(callee) > 0 ||
+                pf.functions_by_name.count(callee) == 0) {
+              done = true;  // releasing callee, or unresolvable: assume owns
+            } else {
+              auto sit = summaries.find(callee);
+              done = sit != summaries.end() &&
+                     (sit->second.takes_ownership ||
+                      sit->second.releases_argument);
+            }
+          }
+        }
+        if (done) state->vals.erase(name);
+      }
+    };
+
+    const DataflowResult<FlowState> result =
+        path_detail::SolveAndReport(ctx, Flow::kA, transfer);
+    if (!result.converged) continue;
+    for (const auto& [name, val] : result.in[Cfg::kExit].vals) {
+      auto ait = acquire_line.find(name);
+      const size_t line = ait != acquire_line.end() ? ait->second : fn.line;
+      auto kit = kind.find(name);
+      const std::string what =
+          (kit != kind.end() ? kit->second : std::string("resource")) +
+          " '" + name + "'";
+      report(line, "resource-escape",
+             val == Flow::kB
+                 ? what + " is neither released nor escaped on any path to "
+                          "function exit"
+                 : what + " is neither released nor escaped on some path "
+                          "to function exit");
+    }
+  }
+}
+
+/// Per-function result of the lock-balance pass, including the per-line
+/// may-held manual-lock sets used to correct the linear extractor's held
+/// sets for the legacy analyses.
+struct LockBalanceFn {
+  std::set<std::string> manual_names;
+  std::map<size_t, std::set<std::string>> may_held;  // line -> lock names
+  bool analyzed = false;
+};
+
+/// lock-balance: manual lock acquire/release balance over the CFG.
+inline LockBalanceFn AnalyzeLockBalanceFn(const path_detail::FnPath& ctx,
+                                          std::vector<Finding>* findings) {
+  using path_detail::Reporter;
+  using path_detail::TokIdent;
+  using path_detail::TokPunct;
+  const std::vector<Tok>& toks = *ctx.toks;
+  const FunctionFacts& fn = *ctx.fn;
+  LockBalanceFn out;
+  const size_t body_end = std::min(fn.body_end, toks.size());
+  for (size_t i = fn.body_begin; i < body_end; ++i) {
+    if (toks[i].kind == TokKind::kIdent &&
+        (toks[i].text == "Lock" || toks[i].text == "LockShared") &&
+        TokPunct(toks, i + 1, "(") && i >= 2 &&
+        (TokPunct(toks, i - 1, ".") || TokPunct(toks, i - 1, "->")) &&
+        toks[i - 2].kind == TokKind::kIdent) {
+      out.manual_names.insert(toks[i - 2].text);
+    }
+  }
+  if (out.manual_names.empty()) return out;  // nothing to balance
+
+  Reporter report{&ctx, findings, {}};
+  std::map<std::string, size_t> acquire_line;
+  auto transfer = [&](const CfgStmt& s, FlowState* state, bool emit) {
+    auto note_line = [&](size_t line) {
+      if (!emit) return;
+      std::set<std::string>& held = out.may_held[line];
+      for (const auto& [name, val] : state->vals) {
+        (void)val;  // kB and kMixed both mean possibly held
+        held.insert(name);
+      }
+    };
+    if (emit) {
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        note_line(toks[i].line);
+      }
+    }
+    for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !TokPunct(toks, i + 1, "(") ||
+          i < 2 ||
+          !(TokPunct(toks, i - 1, ".") || TokPunct(toks, i - 1, "->")) ||
+          toks[i - 2].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& method = toks[i].text;
+      const std::string& lock = toks[i - 2].text;
+      if (method == "Lock" || method == "LockShared") {
+        auto sit = state->vals.find(lock);
+        if (emit && sit != state->vals.end() && sit->second == Flow::kB) {
+          report(toks[i].line, "lock-balance",
+                 "manual lock '" + lock + "' is acquired while already "
+                 "held on every path reaching this statement");
+        }
+        state->vals[lock] = Flow::kB;
+        acquire_line.emplace(lock, toks[i].line);
+      } else if (method == "Unlock" || method == "UnlockShared") {
+        if (out.manual_names.count(lock) == 0) continue;
+        if (emit && state->vals.count(lock) == 0) {
+          report(toks[i].line, "lock-balance",
+                 "manual lock '" + lock + "' is released here but is not "
+                 "held on any path reaching this statement (double "
+                 "release?)");
+        }
+        state->vals.erase(lock);
+      }
+    }
+    if (emit) {
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        note_line(toks[i].line);
+      }
+    }
+  };
+
+  const DataflowResult<FlowState> result =
+      path_detail::SolveAndReport(ctx, Flow::kA, transfer);
+  if (!result.converged) return out;
+  out.analyzed = true;
+  for (const auto& [name, val] : result.in[Cfg::kExit].vals) {
+    auto ait = acquire_line.find(name);
+    const size_t line = ait != acquire_line.end() ? ait->second : fn.line;
+    report(line, "lock-balance",
+           val == Flow::kB
+               ? "manual lock '" + name +
+                     "' is still held at function exit on every path "
+                     "(no balancing Unlock)"
+               : "manual lock '" + name +
+                     "' is still held at function exit on some path "
+                     "(released on others)");
+  }
+  return out;
+}
+
+/// use-after-move: a moved-from local read before reassignment.
+inline void AnalyzeUseAfterMove(const ProgramFacts& pf,
+                                const SummaryMap& summaries,
+                                const std::map<size_t, Cfg>& cfgs,
+                                std::vector<Finding>* findings) {
+  using path_detail::FnPath;
+  using path_detail::Reporter;
+  using path_detail::TokIdent;
+  using path_detail::TokPunct;
+  static const std::set<std::string> kRevivers = {"clear", "reset", "Reset",
+                                                  "assign", "emplace"};
+  for (const auto& [fi, cfg] : cfgs) {
+    const FunctionFacts& fn = pf.functions[fi];
+    const std::vector<Tok>& toks = pf.file_tokens.at(fn.file);
+    FnPath ctx{&pf, &summaries, &fn, &toks, &cfg, {}};
+    Reporter report{&ctx, findings, {}};
+    std::map<std::string, size_t> move_line;
+
+    // An identifier preceded by a type-ish token is a *declaration* of a
+    // fresh object (`SearchTrial trial;` redeclared per loop iteration, a
+    // range-for binding `for (auto& x : xs)`, `std::vector<float> v(n)`):
+    // it revives the name. Keywords that merely precede an expression are
+    // excluded; `>` closes a template type; `&`/`&&`/`*` declarators look
+    // one further back.
+    auto type_like = [&](size_t j) {
+      if (toks[j].kind == TokKind::kIdent) {
+        static const std::set<std::string> kExprKeywords = {
+            "return", "co_return", "co_yield", "throw", "case",
+            "goto",   "delete",    "new",      "sizeof"};
+        return kExprKeywords.count(toks[j].text) == 0;
+      }
+      return TokPunct(toks, j, ">");
+    };
+    auto is_declared_here = [&](const CfgStmt& s, size_t i) {
+      if (i <= s.begin) return false;
+      if (type_like(i - 1)) return true;
+      return i >= s.begin + 2 &&
+             (TokPunct(toks, i - 1, "&") || TokPunct(toks, i - 1, "&&") ||
+              TokPunct(toks, i - 1, "*")) &&
+             type_like(i - 2);
+    };
+
+    auto transfer = [&](const CfgStmt& s, FlowState* state, bool emit) {
+      std::set<size_t> skip;  // tokens consumed by a std::move() pattern
+      std::set<std::string> assigned;  // names assigned earlier in this stmt
+      for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+        if (skip.count(i) > 0 || toks[i].kind != TokKind::kIdent) continue;
+        const std::string& name = toks[i].text;
+        // std::move(local): the argument must be a bare identifier —
+        // `std::move(*ptr)` / `std::move(obj.field)` stay untracked.
+        if (name == "move" && i >= 2 && TokPunct(toks, i - 1, "::") &&
+            toks[i - 2].kind == TokKind::kIdent &&
+            toks[i - 2].text == "std" && TokPunct(toks, i + 1, "(") &&
+            TokIdent(toks, i + 2) && TokPunct(toks, i + 3, ")")) {
+          const std::string& moved = toks[i + 2].text;
+          // Members (trailing '_') may be revived by calls this walk
+          // cannot see; track plain locals and parameters only. A name
+          // assigned earlier in the same statement is being *rebound*
+          // from itself (`[x = std::move(x)]` lambda init-captures): the
+          // move target is a fresh object, not the tracked local.
+          if (!moved.empty() && moved.back() != '_' &&
+              assigned.count(moved) == 0) {
+            auto sit = state->vals.find(moved);
+            if (emit && sit != state->vals.end() &&
+                sit->second == Flow::kB) {
+              auto mit = move_line.find(moved);
+              report(toks[i + 2].line, "use-after-move",
+                     "'" + moved + "' is moved again after the move at "
+                     "line " +
+                         std::to_string(mit != move_line.end() ? mit->second
+                                                               : 0));
+            }
+            state->vals[moved] = Flow::kB;
+            move_line.emplace(moved, toks[i + 2].line);
+          }
+          skip.insert(i + 2);
+          continue;
+        }
+        const bool prev_member =
+            i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+             toks[i - 1].text == "::");
+        if (!prev_member && TokPunct(toks, i + 1, "=")) {
+          assigned.insert(name);
+        }
+        auto sit = state->vals.find(name);
+        if (sit == state->vals.end()) continue;
+        if (prev_member) continue;
+        if (TokPunct(toks, i + 1, "=") || is_declared_here(s, i)) {
+          state->vals.erase(sit);  // reassignment / fresh declaration
+          continue;
+        }
+        if ((TokPunct(toks, i + 1, ".") || TokPunct(toks, i + 1, "->")) &&
+            TokIdent(toks, i + 2) && kRevivers.count(toks[i + 2].text) > 0 &&
+            TokPunct(toks, i + 3, "(")) {
+          state->vals.erase(sit);  // x.clear() etc. re-establish a value
+          continue;
+        }
+        // Null-check shapes stay silent: a whole-condition mention
+        // (single-token statement), comparisons, negation, address-of.
+        if (s.end == s.begin + 1) continue;
+        if (TokPunct(toks, i + 1, "==") || TokPunct(toks, i + 1, "!=")) {
+          continue;
+        }
+        if (i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "!" || toks[i - 1].text == "&" ||
+             toks[i - 1].text == "==" || toks[i - 1].text == "!=")) {
+          continue;
+        }
+        if (emit) {
+          auto mit = move_line.find(name);
+          const std::string at =
+              std::to_string(mit != move_line.end() ? mit->second : 0);
+          report(toks[i].line, "use-after-move",
+                 sit->second == Flow::kB
+                     ? "'" + name + "' is used after being moved at line " +
+                           at
+                     : "'" + name + "' may be used after being moved "
+                       "(move at line " + at + " happens on some paths)");
+        }
+      }
+    };
+    // Uses are reported inline during the replay; no exit-state check.
+    (void)path_detail::SolveAndReport(ctx, Flow::kA, transfer);
+  }
+}
+
+/// Builds a CFG for every function with a recorded body range, keyed by
+/// index into pf.functions. Functions whose definitions never closed (or
+/// whose file tokens are missing) simply have no CFG and are skipped by
+/// the path-sensitive analyses.
+inline std::map<size_t, Cfg> BuildFunctionCfgs(const ProgramFacts& pf) {
+  std::map<size_t, Cfg> cfgs;
+  for (size_t fi = 0; fi < pf.functions.size(); ++fi) {
+    const FunctionFacts& fn = pf.functions[fi];
+    if (fn.body_end <= fn.body_begin) continue;
+    auto tit = pf.file_tokens.find(fn.file);
+    if (tit == pf.file_tokens.end() || fn.body_end > tit->second.size()) {
+      continue;
+    }
+    cfgs.emplace(fi, BuildCfg(tit->second, fn.body_begin, fn.body_end));
+  }
+  return cfgs;
+}
+
+/// Runs lock-balance over every function and applies the two CFG-driven
+/// corrections to the linear extractor's facts, which is what makes the
+/// *legacy* analyses path-sensitive:
+///
+///   1. held-set correction — for manual (non-RAII) locks the linear walk
+///      can only guess across early exits; the per-line may-held sets
+///      from the dataflow solve replace its guesses on every CallSite,
+///      MemberAccess and LockNest.
+///   2. unreachable-fact dropping — blocking/io/log/alloc/trace facts on
+///      lines covered only by CFG-unreachable statements (dead code after
+///      a terminator) are removed, so the event-loop and hot-path walks
+///      no longer flag code no path executes.
+///
+/// Must run before the legacy analyses read the facts.
+inline void AnalyzeLockBalance(ProgramFacts* pf, const SummaryMap& summaries,
+                               const std::map<size_t, Cfg>& cfgs,
+                               std::vector<Finding>* findings) {
+  for (const auto& [fi, cfg] : cfgs) {
+    FunctionFacts& fn = pf->functions[fi];
+    const std::vector<Tok>& toks = pf->file_tokens.at(fn.file);
+    path_detail::FnPath ctx{pf, &summaries, &fn, &toks, &cfg, {}};
+    const LockBalanceFn lb = AnalyzeLockBalanceFn(ctx, findings);
+
+    // Correction 2: drop facts recorded in dead code.
+    bool any_unreachable = false;
+    if (!cfg.truncated) {
+      for (size_t n2 = 0; n2 < cfg.nodes.size(); ++n2) {
+        if (!cfg.reachable[n2] && !cfg.nodes[n2].stmts.empty()) {
+          any_unreachable = true;
+          break;
+        }
+      }
+    }
+    if (any_unreachable) {
+      std::set<size_t> reach_lines, unreach_lines;
+      for (size_t n2 = 0; n2 < cfg.nodes.size(); ++n2) {
+        for (const CfgStmt& s : cfg.nodes[n2].stmts) {
+          for (size_t i = s.begin; i < s.end && i < toks.size(); ++i) {
+            (cfg.reachable[n2] ? reach_lines : unreach_lines)
+                .insert(toks[i].line);
+          }
+        }
+      }
+      auto dead = [&](size_t line) {
+        return unreach_lines.count(line) > 0 && reach_lines.count(line) == 0;
+      };
+      auto prune = [&](std::vector<PurityFact>* facts) {
+        facts->erase(
+            std::remove_if(facts->begin(), facts->end(),
+                           [&](const PurityFact& f) { return dead(f.line); }),
+            facts->end());
+      };
+      prune(&fn.blocking);
+      prune(&fn.ios);
+      prune(&fn.logs);
+      prune(&fn.allocs);
+      prune(&fn.traces);
+    }
+
+    // Correction 1: manual-lock held sets.
+    if (!lb.analyzed || lb.manual_names.empty()) continue;
+    auto fix_held = [&](std::vector<std::string>* held, size_t line) {
+      auto mit = lb.may_held.find(line);
+      const std::set<std::string>* may =
+          mit != lb.may_held.end() ? &mit->second : nullptr;
+      std::vector<std::string> fixed;
+      for (const std::string& name : *held) {
+        if (lb.manual_names.count(name) == 0 ||
+            (may != nullptr && may->count(name) > 0)) {
+          fixed.push_back(name);
+        }
+      }
+      if (may != nullptr) {
+        for (const std::string& name : *may) {
+          if (std::find(fixed.begin(), fixed.end(), name) == fixed.end()) {
+            fixed.push_back(name);
+          }
+        }
+      }
+      *held = std::move(fixed);
+    };
+    for (CallSite& c : fn.calls) fix_held(&c.held, c.line);
+    for (MemberAccess& a : fn.accesses) fix_held(&a.held, a.line);
+    fn.nests.erase(
+        std::remove_if(fn.nests.begin(), fn.nests.end(),
+                       [&](const LockNest& nest) {
+                         if (lb.manual_names.count(nest.held) == 0) {
+                           return false;
+                         }
+                         auto mit = lb.may_held.find(nest.line);
+                         return mit == lb.may_held.end() ||
+                                mit->second.count(nest.held) == 0;
+                       }),
+        fn.nests.end());
+  }
+}
+
 /// Wall-clock cost of each whole-program pass; surfaced in the lint report
 /// and enforced by the fvae_lint ctest's --budget-ms self-runtime gate.
 struct AnalysisTiming {
@@ -852,10 +1749,18 @@ struct AnalysisTiming {
   double event_loop_ms = 0;
   double guarded_by_ms = 0;
   double verb_switch_ms = 0;
+  double cfg_ms = 0;  // CFG construction + interprocedural summaries
+  double lock_balance_ms = 0;
+  double status_path_ms = 0;
+  double resource_escape_ms = 0;
+  double use_after_move_ms = 0;
 };
 
-/// Runs the whole-program analyses (lock-cycle, hot-path, event-loop,
-/// guarded-by, verb-switch) over a file set.
+/// Runs the whole-program analyses over a file set: first the CFG build,
+/// interprocedural summaries and the lock-balance pass (whose corrections
+/// the legacy fact-walks depend on), then the legacy five (lock-cycle,
+/// hot-path, event-loop, guarded-by, verb-switch), then the remaining
+/// path-sensitive analyses (status-path, resource-escape, use-after-move).
 inline std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files,
                                            AnalysisTiming* timing = nullptr) {
   using Clock = std::chrono::steady_clock;
@@ -863,13 +1768,19 @@ inline std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files,
     return std::chrono::duration<double, std::milli>(b - a).count();
   };
   const auto t0 = Clock::now();
-  const ProgramFacts pf = LinkProgram(files);
+  ProgramFacts pf = LinkProgram(files);
   const auto t1 = Clock::now();
-  std::vector<Finding> findings = AnalyzeLockOrder(pf);
-  const auto t2 = Clock::now();
+  const std::map<size_t, Cfg> cfgs = BuildFunctionCfgs(pf);
+  const SummaryMap summaries = ComputeSummaries(pf);
+  const auto t_cfg = Clock::now();
+  std::vector<Finding> findings;
+  AnalyzeLockBalance(&pf, summaries, cfgs, &findings);
+  const auto t_lb = Clock::now();
   auto append = [&findings](std::vector<Finding> more) {
     findings.insert(findings.end(), more.begin(), more.end());
   };
+  append(AnalyzeLockOrder(pf));
+  const auto t2 = Clock::now();
   append(AnalyzeHotPaths(pf));
   const auto t3 = Clock::now();
   append(AnalyzeEventLoops(pf));
@@ -878,13 +1789,24 @@ inline std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files,
   const auto t5 = Clock::now();
   append(AnalyzeEnumSwitches(pf));
   const auto t6 = Clock::now();
+  AnalyzeStatusPaths(pf, summaries, cfgs, &findings);
+  const auto t7 = Clock::now();
+  AnalyzeResourceEscapes(pf, summaries, cfgs, &findings);
+  const auto t8 = Clock::now();
+  AnalyzeUseAfterMove(pf, summaries, cfgs, &findings);
+  const auto t9 = Clock::now();
   if (timing != nullptr) {
     timing->link_ms = ms(t0, t1);
-    timing->lock_cycle_ms = ms(t1, t2);
+    timing->cfg_ms = ms(t1, t_cfg);
+    timing->lock_balance_ms = ms(t_cfg, t_lb);
+    timing->lock_cycle_ms = ms(t_lb, t2);
     timing->hot_path_ms = ms(t2, t3);
     timing->event_loop_ms = ms(t3, t4);
     timing->guarded_by_ms = ms(t4, t5);
     timing->verb_switch_ms = ms(t5, t6);
+    timing->status_path_ms = ms(t6, t7);
+    timing->resource_escape_ms = ms(t7, t8);
+    timing->use_after_move_ms = ms(t8, t9);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

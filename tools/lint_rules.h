@@ -131,9 +131,11 @@ inline std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// True if the line suppresses `rule` via "fvae-lint: allow(rule)".
+/// True if the line suppresses `rule` via "fvae-lint: allow(rule)" or a
+/// comma-separated list "fvae-lint: allow(rule,other)". Shared grammar
+/// with the whole-program suppression check (see cpp_lexer.h).
 inline bool Suppressed(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("fvae-lint: allow(" + rule + ")") != std::string::npos;
+  return SuppressionAllows(raw_line, rule);
 }
 
 /// Groups a token stream by 1-based line number. Multi-line tokens (raw
@@ -638,12 +640,14 @@ struct LintTimings {
   double scan_ms = 0;      // directory walk + file reads
   double per_file_ms = 0;  // per-file rules over every file
   size_t file_count = 0;
-  AnalysisTiming analysis;  // whole-program passes (link + 5 analyses)
+  AnalysisTiming analysis;  // whole-program passes (link + 9 analyses)
   double total_ms() const {
-    return scan_ms + per_file_ms + analysis.link_ms +
-           analysis.lock_cycle_ms + analysis.hot_path_ms +
-           analysis.event_loop_ms + analysis.guarded_by_ms +
-           analysis.verb_switch_ms;
+    return scan_ms + per_file_ms + analysis.link_ms + analysis.cfg_ms +
+           analysis.lock_balance_ms + analysis.lock_cycle_ms +
+           analysis.hot_path_ms + analysis.event_loop_ms +
+           analysis.guarded_by_ms + analysis.verb_switch_ms +
+           analysis.status_path_ms + analysis.resource_escape_ms +
+           analysis.use_after_move_ms;
   }
 };
 

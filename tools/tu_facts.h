@@ -88,6 +88,19 @@ struct MemberAccess {
   std::vector<std::string> held;  // lock member-names held at the access
 };
 
+/// One function parameter, parsed from the declarator's parameter list.
+/// Name-based like everything else here: `fallible` records whether the
+/// spelled type names Status or Result (feeding the consumes-status
+/// summary), `rvalue_ref` whether the parameter is `T&&` (takes-ownership
+/// summary). Parameters whose pieces the comma split cannot parse (deep
+/// template types with defaulted arguments) are simply dropped —
+/// summaries only ever under-claim.
+struct ParamFacts {
+  std::string name;       // "" when unnamed
+  bool rvalue_ref = false;
+  bool fallible = false;  // type mentions Status / Result
+};
+
 struct FunctionFacts {
   std::string file;
   size_t line = 0;
@@ -110,6 +123,12 @@ struct FunctionFacts {
   std::vector<PurityFact> traces;    // TraceSpan / FVAE_TRACE_SCOPE sites
   std::vector<MemberAccess> accesses;
   std::vector<DispatchBind> dispatch_binds;  // fn-pointer member assignments
+  std::vector<ParamFacts> params;
+  // Token range strictly inside the body's braces, as indices into the
+  // file's token vector — the input to tools/cfg.h. Both zero when the
+  // definition never closed (malformed input).
+  size_t body_begin = 0;
+  size_t body_end = 0;
 };
 
 /// A class-member lock declaration (fvae::Mutex / fvae::SharedMutex).
@@ -346,6 +365,92 @@ inline bool HasIdent(const std::vector<Tok>& decl, const std::string& ident) {
   return false;
 }
 
+/// Parses the declarator's first top-level paren group (the same group
+/// DeclaratorName keyed on) into per-parameter facts. Commas are split at
+/// paren- and angle-depth zero; a defaulted argument's expression can
+/// unbalance the angle count, in which case later parameters merge into
+/// one unparseable piece and drop out — acceptable, summaries only
+/// under-claim.
+inline std::vector<ParamFacts> ExtractParams(const std::vector<Tok>& decl) {
+  std::vector<ParamFacts> params;
+  size_t open = decl.size();
+  {
+    int paren = 0;
+    for (size_t i = 0; i < decl.size(); ++i) {
+      if (decl[i].kind != TokKind::kPunct) continue;
+      if (decl[i].text == "(") {
+        if (paren == 0) {
+          open = i;
+          break;
+        }
+        ++paren;
+      } else if (decl[i].text == ")") {
+        --paren;
+      }
+    }
+  }
+  if (open == decl.size()) return params;
+  // Collect the group and the comma cut points.
+  std::vector<std::pair<size_t, size_t>> pieces;
+  int paren = 0, angle = 0;
+  size_t start = open + 1, close = decl.size();
+  for (size_t i = open; i < decl.size(); ++i) {
+    const Tok& t = decl[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") {
+      ++paren;
+    } else if (t.text == ")") {
+      if (--paren == 0) {
+        close = i;
+        break;
+      }
+    } else if (t.text == "<") {
+      ++angle;
+    } else if (t.text == ">") {
+      --angle;
+    } else if (t.text == ">>") {
+      angle -= 2;
+    } else if (t.text == "," && paren == 1 && angle <= 0) {
+      pieces.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (close == decl.size()) return params;
+  pieces.emplace_back(start, close);
+  static const std::set<std::string> kCvWords = {
+      "const", "volatile", "struct", "class", "typename", "register"};
+  for (const auto& [b, e] : pieces) {
+    if (b >= e) continue;
+    ParamFacts p;
+    size_t stop = e;  // cut the default argument off
+    for (size_t i = b; i < e; ++i) {
+      if (decl[i].kind == TokKind::kPunct && decl[i].text == "=") {
+        stop = i;
+        break;
+      }
+    }
+    size_t idents = 0;
+    std::string last;
+    bool last_qualified = false;
+    for (size_t i = b; i < stop; ++i) {
+      const Tok& t = decl[i];
+      if (t.kind == TokKind::kPunct && t.text == "&&") p.rvalue_ref = true;
+      if (t.kind != TokKind::kIdent || kCvWords.count(t.text) > 0) continue;
+      if (t.text == "Status" || t.text == "Result") p.fallible = true;
+      ++idents;
+      last = t.text;
+      last_qualified = i > b && decl[i - 1].kind == TokKind::kPunct &&
+                       decl[i - 1].text == "::";
+    }
+    // The name is the trailing identifier — present only when at least
+    // two type-ish identifiers remain and the last is not a qualified
+    // type segment (`const std::string&` is an unnamed string parameter).
+    if (idents >= 2 && !last_qualified) p.name = last;
+    if (idents > 0) params.push_back(std::move(p));
+  }
+  return params;
+}
+
 /// Parses the parenthesized argument list following `decl[i]` (which names
 /// an annotation macro) into "::"-joined qualified names.
 inline std::vector<std::string> AnnotationArgs(const std::vector<Tok>& decl,
@@ -383,6 +488,7 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
   using facts_detail::AnnotationArgs;
   using facts_detail::ControlKeywords;
   using facts_detail::DeclaratorName;
+  using facts_detail::ExtractParams;
   using facts_detail::HasIdent;
   using facts_detail::HeldLock;
   using facts_detail::IsAllocFree;
@@ -573,6 +679,7 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
         }
       }
     }
+    fn.params = ExtractParams(decl);
     scope.kind = Scope::kFunction;
     scope.func_index = static_cast<int>(facts.functions.size());
     facts.functions.push_back(std::move(fn));
@@ -732,6 +839,9 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
     if (tok.kind == TokKind::kPunct) {
       if (tok.text == "{") {
         stack.push_back(classify_open());
+        if (stack.back().kind == Scope::kFunction) {
+          facts.functions[stack.back().func_index].body_begin = i + 1;
+        }
         decl.clear();
         continue;
       }
@@ -739,6 +849,9 @@ inline TuFacts ExtractTuFacts(const std::string& path_label,
         if (!stack.empty()) {
           const bool leaving_function =
               stack.back().kind == Scope::kFunction;
+          if (leaving_function) {
+            facts.functions[stack.back().func_index].body_end = i;
+          }
           stack.pop_back();
           // Release RAII guards whose scope just closed; a function exit
           // also clears manual holds (nothing outlives the body).
